@@ -1,0 +1,261 @@
+use std::collections::{BTreeMap, VecDeque};
+
+use crate::{minimize, Dfa, Nfa};
+
+/// A canonical minimal DFA: language equality is structural equality.
+///
+/// Obtained by determinizing, minimizing, and renumbering states in
+/// BFS order from the start state with transitions taken in ascending
+/// symbol order. Since the minimal DFA of a regular language is unique
+/// up to isomorphism and the BFS renumbering fixes one isomorphism
+/// representative, two `CanonicalDfa`s are `==` **iff** their languages
+/// are equal. This is what makes symbolic states hashable and
+/// dedupable in the symbolic CUBA engine, and what implements the
+/// automata-equivalence test that Scheme 1 over `Sk` needs (paper §4
+/// discusses the cost of that test; minimization is our answer).
+///
+/// The empty language canonicalizes to the zero-state automaton.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CanonicalDfa {
+    num_states: u32,
+    /// Sorted `(src, sym, dst)` triples.
+    transitions: Vec<(u32, u32, u32)>,
+    /// Accepting flags, indexed by state.
+    finals: Vec<bool>,
+}
+
+impl CanonicalDfa {
+    /// Canonicalizes an arbitrary NFA.
+    pub fn from_nfa(nfa: &Nfa) -> Self {
+        Self::from_dfa(&Dfa::determinize(nfa))
+    }
+
+    /// Canonicalizes an arbitrary DFA.
+    pub fn from_dfa(dfa: &Dfa) -> Self {
+        let min = minimize(dfa);
+        if min.is_language_empty() {
+            return CanonicalDfa {
+                num_states: 0,
+                transitions: Vec::new(),
+                finals: Vec::new(),
+            };
+        }
+        // BFS renumbering: start state first, successors in symbol order.
+        let mut order: BTreeMap<u32, u32> = BTreeMap::new();
+        order.insert(0, 0);
+        let mut queue = VecDeque::from([0u32]);
+        while let Some(s) = queue.pop_front() {
+            for (_sym, t) in min.transitions_from(s) {
+                if !order.contains_key(&t) {
+                    let id = order.len() as u32;
+                    order.insert(t, id);
+                    queue.push_back(t);
+                }
+            }
+        }
+        let mut transitions = Vec::new();
+        let mut finals = vec![false; order.len()];
+        for (&old, &new) in &order {
+            finals[new as usize] = min.is_final(old);
+            for (sym, t) in min.transitions_from(old) {
+                transitions.push((new, sym, order[&t]));
+            }
+        }
+        transitions.sort_unstable();
+        CanonicalDfa {
+            num_states: order.len() as u32,
+            transitions,
+            finals,
+        }
+    }
+
+    /// The canonical automaton of the empty language.
+    pub fn empty() -> Self {
+        CanonicalDfa {
+            num_states: 0,
+            transitions: Vec::new(),
+            finals: Vec::new(),
+        }
+    }
+
+    /// The canonical automaton of the single word `word`.
+    pub fn single_word(word: &[u32]) -> Self {
+        let mut transitions = Vec::new();
+        let n = word.len() as u32 + 1;
+        for (i, &sym) in word.iter().enumerate() {
+            transitions.push((i as u32, sym, i as u32 + 1));
+        }
+        let mut finals = vec![false; n as usize];
+        finals[n as usize - 1] = true;
+        CanonicalDfa {
+            num_states: n,
+            transitions,
+            finals,
+        }
+    }
+
+    /// Whether the language is empty.
+    pub fn is_empty_language(&self) -> bool {
+        self.num_states == 0
+    }
+
+    /// Number of states of the minimal automaton.
+    pub fn num_states(&self) -> u32 {
+        self.num_states
+    }
+
+    /// Whether the canonical DFA accepts `word`.
+    pub fn accepts(&self, word: &[u32]) -> bool {
+        self.to_dfa().accepts(word)
+    }
+
+    /// The set of symbols that can appear *first* in an accepted word,
+    /// plus whether the empty word is accepted. This is exactly the
+    /// per-thread data Alg. 4 of the paper extracts (`T(Ai)`).
+    pub fn first_symbols(&self) -> (Vec<u32>, bool) {
+        if self.is_empty_language() {
+            return (Vec::new(), false);
+        }
+        let dfa = self.to_dfa();
+        let mut firsts = Vec::new();
+        for (src, sym, _dst) in &self.transitions {
+            // minimize() trims dead states, so every transition from the
+            // start leads to some accepted word.
+            if *src == 0 {
+                firsts.push(*sym);
+            }
+        }
+        firsts.sort_unstable();
+        firsts.dedup();
+        (firsts, dfa.is_final(0))
+    }
+
+    /// Reconstructs a concrete [`Dfa`] (state 0 = start).
+    pub fn to_dfa(&self) -> Dfa {
+        if self.num_states == 0 {
+            return Dfa::empty();
+        }
+        let mut delta: Vec<BTreeMap<u32, u32>> = vec![BTreeMap::new(); self.num_states as usize];
+        for &(src, sym, dst) in &self.transitions {
+            delta[src as usize].insert(sym, dst);
+        }
+        Dfa::from_parts(delta, self.finals.clone())
+    }
+
+    /// Reconstructs an [`Nfa`].
+    pub fn to_nfa(&self) -> Nfa {
+        self.to_dfa().to_nfa()
+    }
+
+    /// Enumerates up to `limit` accepted words, shortest first.
+    pub fn sample_words(&self, limit: usize) -> Vec<Vec<u32>> {
+        self.to_nfa().sample_words(limit)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Label, StateId};
+
+    /// Builds an NFA accepting (01)*.
+    fn zero_one_star() -> Nfa {
+        let mut n = Nfa::with_states(2);
+        n.set_initial(StateId(0));
+        n.set_final(StateId(0));
+        n.add_transition(StateId(0), Label::Sym(0), StateId(1));
+        n.add_transition(StateId(1), Label::Sym(1), StateId(0));
+        n
+    }
+
+    /// A structurally different NFA with the same language (01)*.
+    fn zero_one_star_redundant() -> Nfa {
+        let mut n = Nfa::with_states(4);
+        n.set_initial(StateId(0));
+        n.set_final(StateId(0));
+        n.set_final(StateId(2));
+        n.add_transition(StateId(0), Label::Sym(0), StateId(1));
+        n.add_transition(StateId(1), Label::Sym(1), StateId(2));
+        n.add_transition(StateId(2), Label::Sym(0), StateId(3));
+        n.add_transition(StateId(3), Label::Sym(1), StateId(2));
+        n
+    }
+
+    #[test]
+    fn equal_language_equal_canonical_form() {
+        let a = CanonicalDfa::from_nfa(&zero_one_star());
+        let b = CanonicalDfa::from_nfa(&zero_one_star_redundant());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_language_different_canonical_form() {
+        let a = CanonicalDfa::from_nfa(&zero_one_star());
+        let mut other = zero_one_star();
+        other.add_transition(StateId(0), Label::Sym(5), StateId(0));
+        let b = CanonicalDfa::from_nfa(&other);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn empty_language_is_zero_states() {
+        let n = Nfa::with_states(3);
+        let c = CanonicalDfa::from_nfa(&n);
+        assert!(c.is_empty_language());
+        assert_eq!(c, CanonicalDfa::empty());
+        assert!(!c.accepts(&[]));
+    }
+
+    #[test]
+    fn single_word_roundtrip() {
+        let c = CanonicalDfa::single_word(&[4, 6, 6]);
+        assert!(c.accepts(&[4, 6, 6]));
+        assert!(!c.accepts(&[4, 6]));
+        assert!(!c.accepts(&[]));
+        // It is already canonical: re-canonicalizing is a fixpoint.
+        let again = CanonicalDfa::from_dfa(&c.to_dfa());
+        assert_eq!(c, again);
+    }
+
+    #[test]
+    fn single_empty_word() {
+        let c = CanonicalDfa::single_word(&[]);
+        assert!(c.accepts(&[]));
+        assert!(!c.accepts(&[0]));
+        let (firsts, eps) = c.first_symbols();
+        assert!(firsts.is_empty());
+        assert!(eps);
+    }
+
+    #[test]
+    fn first_symbols_reports_tops() {
+        // Language {4w : …} ∪ {ε}: firsts = {4}, eps = true.
+        let mut n = Nfa::with_states(2);
+        n.set_initial(StateId(0));
+        n.set_final(StateId(0));
+        n.set_final(StateId(1));
+        n.add_transition(StateId(0), Label::Sym(4), StateId(1));
+        n.add_transition(StateId(1), Label::Sym(6), StateId(1));
+        let c = CanonicalDfa::from_nfa(&n);
+        let (firsts, eps) = c.first_symbols();
+        assert_eq!(firsts, vec![4]);
+        assert!(eps);
+    }
+
+    #[test]
+    fn canonical_is_usable_as_hash_key() {
+        use std::collections::HashSet;
+        let mut set = HashSet::new();
+        set.insert(CanonicalDfa::from_nfa(&zero_one_star()));
+        assert!(set.contains(&CanonicalDfa::from_nfa(&zero_one_star_redundant())));
+        assert!(!set.contains(&CanonicalDfa::empty()));
+    }
+
+    #[test]
+    fn sample_words_from_canonical() {
+        let c = CanonicalDfa::from_nfa(&zero_one_star());
+        let words = c.sample_words(3);
+        assert_eq!(words[0], Vec::<u32>::new());
+        assert!(words.contains(&vec![0, 1]));
+    }
+}

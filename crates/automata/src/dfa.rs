@@ -1,0 +1,295 @@
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::{Label, Nfa, StateId};
+
+/// A (partial) deterministic finite automaton.
+///
+/// State `0` is the start state; a missing transition means rejection.
+/// Produced by [`Dfa::determinize`] via the subset construction and
+/// consumed by [`minimize`](crate::minimize) and
+/// [`CanonicalDfa`](crate::CanonicalDfa).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Dfa {
+    /// `delta[s][sym] = t`.
+    delta: Vec<BTreeMap<u32, u32>>,
+    finals: Vec<bool>,
+}
+
+impl Dfa {
+    /// Builds a DFA from parts. `delta.len()` must equal `finals.len()`
+    /// and all targets must be in range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the parts are inconsistent.
+    pub fn from_parts(delta: Vec<BTreeMap<u32, u32>>, finals: Vec<bool>) -> Self {
+        assert_eq!(delta.len(), finals.len(), "delta/finals length mismatch");
+        for m in &delta {
+            for &t in m.values() {
+                assert!((t as usize) < delta.len(), "transition target out of range");
+            }
+        }
+        Dfa { delta, finals }
+    }
+
+    /// The DFA accepting the empty language (a single non-accepting
+    /// state with no transitions).
+    pub fn empty() -> Self {
+        Dfa {
+            delta: vec![BTreeMap::new()],
+            finals: vec![false],
+        }
+    }
+
+    /// Determinizes `nfa` (from its initial-state set) via the subset
+    /// construction with ε-closures.
+    pub fn determinize(nfa: &Nfa) -> Dfa {
+        let start: BTreeSet<u32> = nfa.initial_states().map(|s| s.0).collect();
+        Self::determinize_from(nfa, &start)
+    }
+
+    /// Determinizes `nfa` starting from an explicit set of NFA states.
+    pub fn determinize_from(nfa: &Nfa, start: &BTreeSet<u32>) -> Dfa {
+        let start = nfa.eps_closure(start);
+        let mut ids: BTreeMap<BTreeSet<u32>, u32> = BTreeMap::new();
+        let mut delta: Vec<BTreeMap<u32, u32>> = Vec::new();
+        let mut finals: Vec<bool> = Vec::new();
+        let mut queue: Vec<BTreeSet<u32>> = Vec::new();
+
+        let mut intern = |set: BTreeSet<u32>,
+                          delta: &mut Vec<BTreeMap<u32, u32>>,
+                          finals: &mut Vec<bool>,
+                          queue: &mut Vec<BTreeSet<u32>>|
+         -> u32 {
+            if let Some(&id) = ids.get(&set) {
+                return id;
+            }
+            let id = delta.len() as u32;
+            delta.push(BTreeMap::new());
+            finals.push(set.iter().any(|&s| nfa.is_final(StateId(s))));
+            ids.insert(set.clone(), id);
+            queue.push(set);
+            id
+        };
+
+        intern(start, &mut delta, &mut finals, &mut queue);
+        let mut qi = 0;
+        while qi < queue.len() {
+            let set = queue[qi].clone();
+            let src = qi as u32;
+            qi += 1;
+            let mut by_sym: BTreeMap<u32, BTreeSet<u32>> = BTreeMap::new();
+            for &s in &set {
+                for (label, dst) in nfa.transitions_from(StateId(s)) {
+                    if let Label::Sym(sym) = label {
+                        by_sym.entry(sym).or_default().insert(dst.0);
+                    }
+                }
+            }
+            for (sym, dsts) in by_sym {
+                let closed = nfa.eps_closure(&dsts);
+                let id = intern(closed, &mut delta, &mut finals, &mut queue);
+                delta[src as usize].insert(sym, id);
+            }
+        }
+        Dfa { delta, finals }
+    }
+
+    /// Number of states.
+    pub fn num_states(&self) -> u32 {
+        self.delta.len() as u32
+    }
+
+    /// Whether state `s` is accepting.
+    pub fn is_final(&self, s: u32) -> bool {
+        self.finals[s as usize]
+    }
+
+    /// The transition target of `(s, sym)`, if defined.
+    pub fn next(&self, s: u32, sym: u32) -> Option<u32> {
+        self.delta[s as usize].get(&sym).copied()
+    }
+
+    /// Outgoing transitions of state `s`, sorted by symbol.
+    pub fn transitions_from(&self, s: u32) -> impl Iterator<Item = (u32, u32)> + '_ {
+        self.delta[s as usize].iter().map(|(&sym, &t)| (sym, t))
+    }
+
+    /// Whether the DFA accepts `word`.
+    pub fn accepts(&self, word: &[u32]) -> bool {
+        let mut s = 0u32;
+        for &sym in word {
+            match self.next(s, sym) {
+                Some(t) => s = t,
+                None => return false,
+            }
+        }
+        self.is_final(s)
+    }
+
+    /// The symbols used on any transition.
+    pub fn alphabet(&self) -> BTreeSet<u32> {
+        self.delta.iter().flat_map(|m| m.keys().copied()).collect()
+    }
+
+    /// Makes the DFA *complete* over `alphabet` by adding a rejecting
+    /// sink for all missing transitions. Idempotent if already complete.
+    pub fn complete(&self, alphabet: &BTreeSet<u32>) -> Dfa {
+        let needs_sink = self
+            .delta
+            .iter()
+            .any(|m| alphabet.iter().any(|sym| !m.contains_key(sym)));
+        if !needs_sink {
+            return self.clone();
+        }
+        let mut delta = self.delta.clone();
+        let mut finals = self.finals.clone();
+        let sink = delta.len() as u32;
+        delta.push(BTreeMap::new());
+        finals.push(false);
+        for m in delta.iter_mut() {
+            for &sym in alphabet {
+                m.entry(sym).or_insert(sink);
+            }
+        }
+        Dfa { delta, finals }
+    }
+
+    /// The complement DFA over `alphabet` (completes first, then flips
+    /// acceptance).
+    pub fn complement(&self, alphabet: &BTreeSet<u32>) -> Dfa {
+        let mut c = self.complete(alphabet);
+        for f in c.finals.iter_mut() {
+            *f = !*f;
+        }
+        c
+    }
+
+    /// Whether the accepted language is empty.
+    pub fn is_language_empty(&self) -> bool {
+        // BFS from the start state.
+        let mut seen = vec![false; self.delta.len()];
+        let mut queue = vec![0u32];
+        seen[0] = true;
+        while let Some(s) = queue.pop() {
+            if self.is_final(s) {
+                return false;
+            }
+            for (_, t) in self.transitions_from(s) {
+                if !seen[t as usize] {
+                    seen[t as usize] = true;
+                    queue.push(t);
+                }
+            }
+        }
+        true
+    }
+
+    /// Converts back to an [`Nfa`] (single initial state `0`).
+    pub fn to_nfa(&self) -> Nfa {
+        let mut n = Nfa::with_states(self.num_states());
+        n.set_initial(StateId(0));
+        for (s, f) in self.finals.iter().enumerate() {
+            if *f {
+                n.set_final(StateId(s as u32));
+            }
+        }
+        for s in 0..self.num_states() {
+            for (sym, t) in self.transitions_from(s) {
+                n.add_transition(StateId(s), Label::Sym(sym), StateId(t));
+            }
+        }
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// NFA for (ab)* with an ε shortcut.
+    fn ab_star() -> Nfa {
+        let mut n = Nfa::with_states(2);
+        n.set_initial(StateId(0));
+        n.set_final(StateId(0));
+        n.add_transition(StateId(0), Label::Sym(0), StateId(1));
+        n.add_transition(StateId(1), Label::Sym(1), StateId(0));
+        n
+    }
+
+    #[test]
+    fn determinize_preserves_language() {
+        let n = ab_star();
+        let d = Dfa::determinize(&n);
+        for w in [
+            vec![],
+            vec![0, 1],
+            vec![0, 1, 0, 1],
+            vec![0],
+            vec![1],
+            vec![0, 0],
+        ] {
+            assert_eq!(d.accepts(&w), n.accepts(&w), "word {w:?}");
+        }
+    }
+
+    #[test]
+    fn determinize_handles_eps() {
+        let mut n = Nfa::with_states(3);
+        n.set_initial(StateId(0));
+        n.set_final(StateId(2));
+        n.add_transition(StateId(0), Label::Eps, StateId(1));
+        n.add_transition(StateId(1), Label::Sym(3), StateId(2));
+        let d = Dfa::determinize(&n);
+        assert!(d.accepts(&[3]));
+        assert!(!d.accepts(&[]));
+    }
+
+    #[test]
+    fn complete_adds_sink_once() {
+        let d = Dfa::determinize(&ab_star());
+        let alpha: BTreeSet<u32> = [0, 1].into_iter().collect();
+        let c = d.complete(&alpha);
+        let c2 = c.complete(&alpha);
+        assert_eq!(c.num_states(), c2.num_states());
+        for s in 0..c.num_states() {
+            for &sym in &alpha {
+                assert!(c.next(s, sym).is_some());
+            }
+        }
+    }
+
+    #[test]
+    fn complement_flips_membership() {
+        let d = Dfa::determinize(&ab_star());
+        let alpha: BTreeSet<u32> = [0, 1].into_iter().collect();
+        let c = d.complement(&alpha);
+        for w in [vec![], vec![0, 1], vec![0], vec![1, 0]] {
+            assert_eq!(c.accepts(&w), !d.accepts(&w), "word {w:?}");
+        }
+    }
+
+    #[test]
+    fn emptiness() {
+        assert!(Dfa::empty().is_language_empty());
+        let d = Dfa::determinize(&ab_star());
+        assert!(!d.is_language_empty());
+    }
+
+    #[test]
+    fn to_nfa_roundtrip() {
+        let d = Dfa::determinize(&ab_star());
+        let n = d.to_nfa();
+        for w in [vec![], vec![0, 1], vec![0]] {
+            assert_eq!(n.accepts(&w), d.accepts(&w));
+        }
+    }
+
+    #[test]
+    fn empty_initial_set_rejects_everything() {
+        let n = Nfa::with_states(1); // no initial, no final
+        let d = Dfa::determinize(&n);
+        assert!(!d.accepts(&[]));
+        assert!(d.is_language_empty());
+    }
+}

@@ -1,0 +1,125 @@
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::{Label, Nfa, Psa, StateId};
+
+/// Renders an NFA as a Graphviz `dot` digraph.
+///
+/// Initial states get a bold border, accepting states a double circle.
+/// Parallel edges between the same pair of states are merged into one
+/// arrow with a comma-separated label, matching the paper's Fig. 4/7
+/// drawings (e.g. `ε,1,2`).
+pub fn nfa_to_dot(nfa: &Nfa, name: &str) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph {name} {{");
+    let _ = writeln!(out, "  rankdir=LR;");
+    for s in 0..nfa.num_states() {
+        let sid = StateId(s);
+        let shape = if nfa.is_final(sid) {
+            "doublecircle"
+        } else {
+            "circle"
+        };
+        let style = if nfa.is_initial(sid) {
+            ", style=bold"
+        } else {
+            ""
+        };
+        let _ = writeln!(out, "  s{s} [shape={shape}{style}];");
+    }
+    let mut merged: BTreeMap<(u32, u32), Vec<String>> = BTreeMap::new();
+    for (src, label, dst) in nfa.transitions() {
+        let text = match label {
+            Label::Eps => "ε".to_owned(),
+            Label::Sym(x) => x.to_string(),
+        };
+        merged.entry((src.0, dst.0)).or_default().push(text);
+    }
+    for ((src, dst), labels) in merged {
+        let _ = writeln!(out, "  s{src} -> s{dst} [label=\"{}\"];", labels.join(","));
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+/// Renders a pushdown store automaton as `dot`, labelling control
+/// states `q0, q1, …` and the accepting sink `sF` as in Fig. 7.
+pub fn psa_to_dot(psa: &Psa, name: &str) -> String {
+    let nfa = psa.as_nfa();
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph {name} {{");
+    let _ = writeln!(out, "  rankdir=LR;");
+    let label_of = |s: u32| -> String {
+        if s < psa.num_controls() {
+            format!("q{s}")
+        } else if StateId(s) == psa.sink() {
+            "sF".to_owned()
+        } else {
+            format!("s{s}")
+        }
+    };
+    for s in 0..nfa.num_states() {
+        let sid = StateId(s);
+        let shape = if nfa.is_final(sid) {
+            "doublecircle"
+        } else {
+            "circle"
+        };
+        let style = if psa.is_control(sid) {
+            ", style=bold"
+        } else {
+            ""
+        };
+        let _ = writeln!(out, "  \"{}\" [shape={shape}{style}];", label_of(s));
+    }
+    let mut merged: BTreeMap<(u32, u32), Vec<String>> = BTreeMap::new();
+    for (src, label, dst) in nfa.transitions() {
+        let text = match label {
+            Label::Eps => "ε".to_owned(),
+            Label::Sym(x) => x.to_string(),
+        };
+        merged.entry((src.0, dst.0)).or_default().push(text);
+    }
+    for ((src, dst), labels) in merged {
+        let _ = writeln!(
+            out,
+            "  \"{}\" -> \"{}\" [label=\"{}\"];",
+            label_of(src),
+            label_of(dst),
+            labels.join(",")
+        );
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cuba_pds::{PdsConfig, SharedState, Stack, StackSym};
+
+    #[test]
+    fn nfa_dot_contains_states_and_merged_labels() {
+        let mut n = Nfa::with_states(2);
+        n.set_initial(StateId(0));
+        n.set_final(StateId(1));
+        n.add_transition(StateId(0), Label::Sym(1), StateId(1));
+        n.add_transition(StateId(0), Label::Sym(2), StateId(1));
+        n.add_transition(StateId(0), Label::Eps, StateId(1));
+        let dot = nfa_to_dot(&n, "g");
+        assert!(dot.contains("digraph g {"));
+        assert!(dot.contains("doublecircle"));
+        assert!(dot.contains("label=\"ε,1,2\""));
+    }
+
+    #[test]
+    fn psa_dot_names_controls_and_sink() {
+        let c = PdsConfig::new(SharedState(0), Stack::from_top_down([StackSym(3)]));
+        let psa = Psa::accepting_configs(2, [&c]).unwrap();
+        let dot = psa_to_dot(&psa, "psa");
+        assert!(dot.contains("\"q0\""));
+        assert!(dot.contains("\"q1\""));
+        assert!(dot.contains("\"sF\""));
+        assert!(dot.contains("label=\"3\""));
+    }
+}

@@ -1,0 +1,70 @@
+/// Errors raised by automaton constructions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AutomataError {
+    /// A state id does not exist in the automaton.
+    StateOutOfRange {
+        /// The offending state id.
+        state: u32,
+        /// Number of states in the automaton.
+        num_states: u32,
+    },
+    /// A control-state id passed to a PSA operation is not a control
+    /// state of that PSA.
+    NotAControlState {
+        /// The offending state id.
+        state: u32,
+        /// Number of control states.
+        num_controls: u32,
+    },
+    /// A PSA invariant was violated: control states must have no
+    /// incoming transitions and the final sink no outgoing ones.
+    BrokenPsaInvariant(&'static str),
+}
+
+impl std::fmt::Display for AutomataError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AutomataError::StateOutOfRange { state, num_states } => {
+                write!(f, "state {state} out of range ({num_states} states)")
+            }
+            AutomataError::NotAControlState {
+                state,
+                num_controls,
+            } => write!(
+                f,
+                "state {state} is not a control state (controls are 0..{num_controls})"
+            ),
+            AutomataError::BrokenPsaInvariant(what) => {
+                write!(f, "pushdown store automaton invariant violated: {what}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AutomataError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(
+            AutomataError::StateOutOfRange {
+                state: 5,
+                num_states: 3
+            }
+            .to_string(),
+            "state 5 out of range (3 states)"
+        );
+        assert!(AutomataError::NotAControlState {
+            state: 7,
+            num_controls: 2
+        }
+        .to_string()
+        .contains("not a control state"));
+        assert!(AutomataError::BrokenPsaInvariant("x")
+            .to_string()
+            .contains("invariant"));
+    }
+}

@@ -1,0 +1,232 @@
+use crate::{Label, Nfa};
+
+/// Verdict of the language-finiteness test.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Finiteness {
+    /// The accepted language is finite.
+    Finite,
+    /// The accepted language is infinite: some useful cycle consumes
+    /// input.
+    Infinite,
+}
+
+impl std::fmt::Display for Finiteness {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Finiteness::Finite => write!(f, "finite"),
+            Finiteness::Infinite => write!(f, "infinite"),
+        }
+    }
+}
+
+/// Decides whether `L(nfa)` is finite.
+///
+/// The language of a finite automaton is finite exactly if, after
+/// trimming to useful states (reachable and co-reachable), no cycle
+/// carries a non-ε label. The paper uses this on pushdown store
+/// automata to decide finite context reachability (§5, Fig. 4:
+/// "absence of loops in the graph structure of `Ai`"); ε-only cycles
+/// contribute no words and are tolerated.
+pub fn is_language_finite(nfa: &Nfa) -> Finiteness {
+    let (trimmed, _) = nfa.trim();
+    // Tarjan SCC, iterative.
+    let n = trimmed.num_states() as usize;
+    if n == 0 {
+        return Finiteness::Finite;
+    }
+    let mut index = vec![usize::MAX; n];
+    let mut low = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut comp = vec![usize::MAX; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut next_index = 0usize;
+    let mut next_comp = 0usize;
+
+    #[derive(Clone)]
+    struct Frame {
+        v: usize,
+        succs: Vec<usize>,
+        next_succ: usize,
+    }
+
+    for start in 0..n {
+        if index[start] != usize::MAX {
+            continue;
+        }
+        let mut call: Vec<Frame> = vec![Frame {
+            v: start,
+            succs: trimmed
+                .transitions_from(crate::StateId(start as u32))
+                .map(|(_, d)| d.0 as usize)
+                .collect(),
+            next_succ: 0,
+        }];
+        index[start] = next_index;
+        low[start] = next_index;
+        next_index += 1;
+        stack.push(start);
+        on_stack[start] = true;
+
+        while let Some(frame) = call.last_mut() {
+            let v = frame.v;
+            if frame.next_succ < frame.succs.len() {
+                let w = frame.succs[frame.next_succ];
+                frame.next_succ += 1;
+                if index[w] == usize::MAX {
+                    index[w] = next_index;
+                    low[w] = next_index;
+                    next_index += 1;
+                    stack.push(w);
+                    on_stack[w] = true;
+                    call.push(Frame {
+                        v: w,
+                        succs: trimmed
+                            .transitions_from(crate::StateId(w as u32))
+                            .map(|(_, d)| d.0 as usize)
+                            .collect(),
+                        next_succ: 0,
+                    });
+                } else if on_stack[w] {
+                    low[v] = low[v].min(index[w]);
+                }
+            } else {
+                if low[v] == index[v] {
+                    // v is an SCC root.
+                    loop {
+                        let w = stack.pop().expect("SCC stack underflow");
+                        on_stack[w] = false;
+                        comp[w] = next_comp;
+                        if w == v {
+                            break;
+                        }
+                    }
+                    next_comp += 1;
+                }
+                let done = call.pop().expect("frame exists");
+                if let Some(parent) = call.last_mut() {
+                    low[parent.v] = low[parent.v].min(low[done.v]);
+                }
+            }
+        }
+    }
+
+    // A word-producing cycle exists iff some non-ε edge stays inside
+    // one SCC and that SCC is cyclic (≥2 states, or a self-loop).
+    for (src, label, dst) in trimmed.transitions() {
+        let (s, d) = (src.0 as usize, dst.0 as usize);
+        if comp[s] != comp[d] {
+            continue;
+        }
+        if label == Label::Eps && s != d {
+            // ε-edge inside an SCC: harmless unless the SCC also has a
+            // non-ε edge, which this loop will find separately.
+            continue;
+        }
+        if label != Label::Eps {
+            // Same SCC: either a self-loop, or part of a real cycle.
+            if s == d || scc_size(&comp, comp[s]) > 1 {
+                return Finiteness::Infinite;
+            }
+        }
+    }
+    Finiteness::Finite
+}
+
+fn scc_size(comp: &[usize], c: usize) -> usize {
+    comp.iter().filter(|&&x| x == c).count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::StateId;
+
+    #[test]
+    fn finite_word_set() {
+        let mut n = Nfa::with_states(3);
+        n.set_initial(StateId(0));
+        n.set_final(StateId(2));
+        n.add_transition(StateId(0), Label::Sym(1), StateId(1));
+        n.add_transition(StateId(1), Label::Sym(2), StateId(2));
+        assert_eq!(is_language_finite(&n), Finiteness::Finite);
+    }
+
+    #[test]
+    fn self_loop_is_infinite() {
+        let mut n = Nfa::with_states(2);
+        n.set_initial(StateId(0));
+        n.set_final(StateId(1));
+        n.add_transition(StateId(0), Label::Sym(1), StateId(0));
+        n.add_transition(StateId(0), Label::Sym(2), StateId(1));
+        assert_eq!(is_language_finite(&n), Finiteness::Infinite);
+    }
+
+    #[test]
+    fn useless_loop_does_not_count() {
+        let mut n = Nfa::with_states(3);
+        n.set_initial(StateId(0));
+        n.set_final(StateId(1));
+        n.add_transition(StateId(0), Label::Sym(1), StateId(1));
+        // Cycle on a state that cannot reach the accepting state:
+        n.add_transition(StateId(0), Label::Sym(2), StateId(2));
+        n.add_transition(StateId(2), Label::Sym(2), StateId(2));
+        assert_eq!(is_language_finite(&n), Finiteness::Finite);
+    }
+
+    #[test]
+    fn unreachable_loop_does_not_count() {
+        let mut n = Nfa::with_states(3);
+        n.set_initial(StateId(0));
+        n.set_final(StateId(1));
+        n.add_transition(StateId(0), Label::Sym(1), StateId(1));
+        n.add_transition(StateId(2), Label::Sym(2), StateId(2));
+        n.add_transition(StateId(2), Label::Sym(1), StateId(1));
+        assert_eq!(is_language_finite(&n), Finiteness::Finite);
+    }
+
+    #[test]
+    fn eps_only_cycle_is_finite() {
+        let mut n = Nfa::with_states(3);
+        n.set_initial(StateId(0));
+        n.set_final(StateId(2));
+        n.add_transition(StateId(0), Label::Eps, StateId(1));
+        n.add_transition(StateId(1), Label::Eps, StateId(0));
+        n.add_transition(StateId(1), Label::Sym(5), StateId(2));
+        assert_eq!(is_language_finite(&n), Finiteness::Finite);
+    }
+
+    #[test]
+    fn mixed_cycle_is_infinite() {
+        // Cycle 0 -ε-> 1 -a-> 0 produces a^k prefixes: infinite.
+        let mut n = Nfa::with_states(3);
+        n.set_initial(StateId(0));
+        n.set_final(StateId(2));
+        n.add_transition(StateId(0), Label::Eps, StateId(1));
+        n.add_transition(StateId(1), Label::Sym(1), StateId(0));
+        n.add_transition(StateId(0), Label::Sym(2), StateId(2));
+        assert_eq!(is_language_finite(&n), Finiteness::Infinite);
+    }
+
+    #[test]
+    fn two_state_cycle_is_infinite() {
+        let mut n = Nfa::with_states(3);
+        n.set_initial(StateId(0));
+        n.set_final(StateId(2));
+        n.add_transition(StateId(0), Label::Sym(1), StateId(1));
+        n.add_transition(StateId(1), Label::Sym(2), StateId(0));
+        n.add_transition(StateId(0), Label::Sym(3), StateId(2));
+        assert_eq!(is_language_finite(&n), Finiteness::Infinite);
+    }
+
+    #[test]
+    fn empty_automaton_is_finite() {
+        assert_eq!(is_language_finite(&Nfa::new()), Finiteness::Finite);
+        assert_eq!(is_language_finite(&Nfa::with_states(4)), Finiteness::Finite);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Finiteness::Finite.to_string(), "finite");
+        assert_eq!(Finiteness::Infinite.to_string(), "infinite");
+    }
+}

@@ -1,0 +1,306 @@
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet, VecDeque};
+
+use crate::Dfa;
+
+/// Minimizes a DFA with Hopcroft's partition-refinement algorithm.
+///
+/// The input may be partial; it is completed with a sink first. The
+/// result is trimmed back to *useful* states (reachable and able to
+/// reach an accepting state), so it is again partial: the unique dead
+/// state, if any, is dropped. The minimal automaton of a language is
+/// unique up to isomorphism, which
+/// [`CanonicalDfa`](crate::CanonicalDfa) exploits for hashable
+/// language identity.
+pub fn minimize(dfa: &Dfa) -> Dfa {
+    let alphabet: BTreeSet<u32> = dfa.alphabet();
+    let complete = dfa.complete(&alphabet);
+    let n = complete.num_states() as usize;
+
+    // Restrict to states reachable from the start; Hopcroft assumes all
+    // states matter, unreachable ones would pollute the partition.
+    let mut reachable = vec![false; n];
+    let mut queue = VecDeque::from([0u32]);
+    reachable[0] = true;
+    while let Some(s) = queue.pop_front() {
+        for (_, t) in complete.transitions_from(s) {
+            if !reachable[t as usize] {
+                reachable[t as usize] = true;
+                queue.push_back(t);
+            }
+        }
+    }
+    let states: Vec<u32> = (0..n as u32).filter(|&s| reachable[s as usize]).collect();
+
+    // Reverse transition index: rev[sym][t] = sources.
+    let mut rev: HashMap<u32, HashMap<u32, Vec<u32>>> = HashMap::new();
+    for &s in &states {
+        for (sym, t) in complete.transitions_from(s) {
+            rev.entry(sym).or_default().entry(t).or_default().push(s);
+        }
+    }
+
+    // Initial partition: accepting vs non-accepting (reachable only).
+    let finals: HashSet<u32> = states
+        .iter()
+        .copied()
+        .filter(|&s| complete.is_final(s))
+        .collect();
+    let nonfinals: HashSet<u32> = states
+        .iter()
+        .copied()
+        .filter(|&s| !complete.is_final(s))
+        .collect();
+
+    let mut partition: Vec<HashSet<u32>> = Vec::new();
+    if !finals.is_empty() {
+        partition.push(finals.clone());
+    }
+    if !nonfinals.is_empty() {
+        partition.push(nonfinals);
+    }
+
+    // Worklist of (block index, symbol) splitters.
+    let mut work: VecDeque<(usize, u32)> = VecDeque::new();
+    for (i, _) in partition.iter().enumerate() {
+        for &sym in &alphabet {
+            work.push_back((i, sym));
+        }
+    }
+
+    while let Some((block_idx, sym)) = work.pop_front() {
+        // X = states with a `sym`-transition into the splitter block.
+        let splitter = partition[block_idx].clone();
+        let mut x: HashSet<u32> = HashSet::new();
+        if let Some(by_target) = rev.get(&sym) {
+            for t in &splitter {
+                if let Some(sources) = by_target.get(t) {
+                    x.extend(sources.iter().copied());
+                }
+            }
+        }
+        if x.is_empty() {
+            continue;
+        }
+        let mut i = 0;
+        while i < partition.len() {
+            let block = &partition[i];
+            let inter: HashSet<u32> = block.intersection(&x).copied().collect();
+            if inter.is_empty() || inter.len() == block.len() {
+                i += 1;
+                continue;
+            }
+            let diff: HashSet<u32> = block.difference(&x).copied().collect();
+            // Replace block i by the two halves.
+            partition[i] = inter;
+            partition.push(diff);
+            let j = partition.len() - 1;
+            // Hopcroft's trick: if (i, sym') is pending, both halves go
+            // on the worklist via (i, .) and (j, .); otherwise only the
+            // smaller half is needed.
+            for &sym2 in &alphabet {
+                if work.contains(&(i, sym2)) {
+                    work.push_back((j, sym2));
+                } else if partition[i].len() <= partition[j].len() {
+                    work.push_back((i, sym2));
+                } else {
+                    work.push_back((j, sym2));
+                }
+            }
+            i += 1;
+        }
+    }
+
+    // Map each old state to its block.
+    let mut block_of: HashMap<u32, usize> = HashMap::new();
+    for (i, block) in partition.iter().enumerate() {
+        for &s in block {
+            block_of.insert(s, i);
+        }
+    }
+
+    // Order blocks so the start state's block is 0.
+    let start_block = block_of[&0];
+    let mut order: Vec<usize> = Vec::with_capacity(partition.len());
+    order.push(start_block);
+    for i in 0..partition.len() {
+        if i != start_block {
+            order.push(i);
+        }
+    }
+    let mut new_id: HashMap<usize, u32> = HashMap::new();
+    for (new, &old) in order.iter().enumerate() {
+        new_id.insert(old, new as u32);
+    }
+
+    let mut delta: Vec<BTreeMap<u32, u32>> = vec![BTreeMap::new(); partition.len()];
+    let mut finals_out = vec![false; partition.len()];
+    for (i, block) in partition.iter().enumerate() {
+        let repr = *block.iter().next().expect("blocks are non-empty");
+        let ni = new_id[&i] as usize;
+        finals_out[ni] = complete.is_final(repr);
+        for (sym, t) in complete.transitions_from(repr) {
+            delta[ni].insert(sym, new_id[&block_of[&t]]);
+        }
+    }
+    let min = Dfa::from_parts(delta, finals_out);
+    trim_dead(&min)
+}
+
+/// Drops states that cannot reach an accepting state (at most the one
+/// dead sink after minimization, but handles the general case).
+fn trim_dead(dfa: &Dfa) -> Dfa {
+    let n = dfa.num_states() as usize;
+    // Backward reachability from accepting states.
+    let mut rev: Vec<Vec<u32>> = vec![Vec::new(); n];
+    for s in 0..n as u32 {
+        for (_, t) in dfa.transitions_from(s) {
+            rev[t as usize].push(s);
+        }
+    }
+    let mut alive = vec![false; n];
+    let mut queue: VecDeque<u32> = VecDeque::new();
+    for s in 0..n as u32 {
+        if dfa.is_final(s) {
+            alive[s as usize] = true;
+            queue.push_back(s);
+        }
+    }
+    while let Some(s) = queue.pop_front() {
+        for &p in &rev[s as usize] {
+            if !alive[p as usize] {
+                alive[p as usize] = true;
+                queue.push_back(p);
+            }
+        }
+    }
+    if !alive[0] {
+        return Dfa::empty();
+    }
+    if alive.iter().all(|&a| a) {
+        return dfa.clone();
+    }
+    let mut map: HashMap<u32, u32> = HashMap::new();
+    // Keep state 0 first so it stays the start state.
+    let mut next = 0u32;
+    for s in 0..n as u32 {
+        if alive[s as usize] {
+            map.insert(s, next);
+            next += 1;
+        }
+    }
+    let mut delta: Vec<BTreeMap<u32, u32>> = vec![BTreeMap::new(); next as usize];
+    let mut finals = vec![false; next as usize];
+    for s in 0..n as u32 {
+        if let Some(&ns) = map.get(&s) {
+            finals[ns as usize] = dfa.is_final(s);
+            for (sym, t) in dfa.transitions_from(s) {
+                if let Some(&nt) = map.get(&t) {
+                    delta[ns as usize].insert(sym, nt);
+                }
+            }
+        }
+    }
+    Dfa::from_parts(delta, finals)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Label, Nfa, StateId};
+
+    fn dfa_of(nfa: &Nfa) -> Dfa {
+        Dfa::determinize(nfa)
+    }
+
+    /// Two redundant paths accepting exactly {a, b}.
+    fn redundant() -> Nfa {
+        let mut n = Nfa::with_states(5);
+        n.set_initial(StateId(0));
+        n.set_final(StateId(3));
+        n.set_final(StateId(4));
+        n.add_transition(StateId(0), Label::Sym(0), StateId(1));
+        n.add_transition(StateId(0), Label::Sym(1), StateId(2));
+        n.add_transition(StateId(1), Label::Eps, StateId(3));
+        n.add_transition(StateId(2), Label::Eps, StateId(4));
+        n
+    }
+
+    #[test]
+    fn minimize_merges_equivalent_states() {
+        let d = dfa_of(&redundant());
+        let m = minimize(&d);
+        // Minimal DFA for {a, b}: start + accept = 2 states.
+        assert_eq!(m.num_states(), 2);
+        assert!(m.accepts(&[0]));
+        assert!(m.accepts(&[1]));
+        assert!(!m.accepts(&[]));
+        assert!(!m.accepts(&[0, 0]));
+    }
+
+    #[test]
+    fn minimize_preserves_language_samples() {
+        let mut n = Nfa::with_states(3);
+        n.set_initial(StateId(0));
+        n.set_final(StateId(0));
+        n.add_transition(StateId(0), Label::Sym(0), StateId(1));
+        n.add_transition(StateId(1), Label::Sym(1), StateId(0));
+        n.add_transition(StateId(1), Label::Sym(0), StateId(2));
+        n.add_transition(StateId(2), Label::Sym(1), StateId(1));
+        let d = dfa_of(&n);
+        let m = minimize(&d);
+        for w in [
+            vec![],
+            vec![0, 1],
+            vec![0, 0, 1, 1],
+            vec![0, 0, 1],
+            vec![1],
+            vec![0, 1, 0, 1],
+            vec![0, 0, 1, 1, 0, 1],
+        ] {
+            assert_eq!(m.accepts(&w), d.accepts(&w), "word {w:?}");
+        }
+        assert!(m.num_states() <= d.num_states());
+    }
+
+    #[test]
+    fn minimize_empty_language() {
+        let n = Nfa::with_states(1);
+        let m = minimize(&dfa_of(&n));
+        assert!(m.is_language_empty());
+        assert_eq!(m.num_states(), 1);
+    }
+
+    #[test]
+    fn minimize_eps_only_language() {
+        let mut n = Nfa::with_states(1);
+        n.set_initial(StateId(0));
+        n.set_final(StateId(0));
+        let m = minimize(&dfa_of(&n));
+        assert_eq!(m.num_states(), 1);
+        assert!(m.accepts(&[]));
+        assert!(!m.accepts(&[0]));
+    }
+
+    #[test]
+    fn minimize_is_idempotent() {
+        let d = dfa_of(&redundant());
+        let m1 = minimize(&d);
+        let m2 = minimize(&m1);
+        assert_eq!(m1.num_states(), m2.num_states());
+    }
+
+    #[test]
+    fn minimal_dfa_has_no_dead_states() {
+        // Language a* over alphabet {a, b}: completing adds a sink that
+        // must be trimmed away again.
+        let mut n = Nfa::with_states(2);
+        n.set_initial(StateId(0));
+        n.set_final(StateId(0));
+        n.add_transition(StateId(0), Label::Sym(0), StateId(0));
+        n.add_transition(StateId(0), Label::Sym(1), StateId(1)); // dead path
+        let m = minimize(&dfa_of(&n));
+        assert_eq!(m.num_states(), 1);
+        assert!(m.accepts(&[0, 0]));
+        assert!(!m.accepts(&[1]));
+    }
+}

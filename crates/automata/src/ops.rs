@@ -1,0 +1,176 @@
+use std::collections::{BTreeSet, HashMap, VecDeque};
+
+use crate::{Dfa, Label, Nfa, StateId};
+
+/// The product NFA accepting `L(a) ∩ L(b)`.
+///
+/// Standard synchronous product with ε-interleaving: an ε-move of one
+/// component advances alone.
+pub fn intersect(a: &Nfa, b: &Nfa) -> Nfa {
+    let mut out = Nfa::new();
+    let mut ids: HashMap<(u32, u32), StateId> = HashMap::new();
+    let mut queue: VecDeque<(u32, u32)> = VecDeque::new();
+
+    let intern = |pair: (u32, u32),
+                  out: &mut Nfa,
+                  queue: &mut VecDeque<(u32, u32)>,
+                  ids: &mut HashMap<(u32, u32), StateId>|
+     -> StateId {
+        if let Some(&s) = ids.get(&pair) {
+            return s;
+        }
+        let s = out.add_state();
+        if a.is_final(StateId(pair.0)) && b.is_final(StateId(pair.1)) {
+            out.set_final(s);
+        }
+        ids.insert(pair, s);
+        queue.push_back(pair);
+        s
+    };
+
+    for sa in a.initial_states() {
+        for sb in b.initial_states() {
+            let s = intern((sa.0, sb.0), &mut out, &mut queue, &mut ids);
+            out.set_initial(s);
+        }
+    }
+
+    while let Some((pa, pb)) = queue.pop_front() {
+        let src = ids[&(pa, pb)];
+        for (label, ta) in a.transitions_from(StateId(pa)) {
+            match label {
+                Label::Eps => {
+                    let dst = intern((ta.0, pb), &mut out, &mut queue, &mut ids);
+                    out.add_transition(src, Label::Eps, dst);
+                }
+                Label::Sym(sym) => {
+                    for tb in b.run_one(StateId(pb), sym) {
+                        let dst = intern((ta.0, tb.0), &mut out, &mut queue, &mut ids);
+                        out.add_transition(src, Label::Sym(sym), dst);
+                    }
+                }
+            }
+        }
+        for (label, tb) in b.transitions_from(StateId(pb)) {
+            if label == Label::Eps {
+                let dst = intern((pa, tb.0), &mut out, &mut queue, &mut ids);
+                out.add_transition(src, Label::Eps, dst);
+            }
+        }
+    }
+    out
+}
+
+impl Nfa {
+    /// Successors of `src` under `sym` after allowing leading ε-moves.
+    /// (Trailing ε-moves are handled by the caller continuing from the
+    /// result; acceptance checks apply their own closure.)
+    fn run_one(&self, src: StateId, sym: u32) -> Vec<StateId> {
+        let mut start = BTreeSet::new();
+        start.insert(src.0);
+        let closed = self.eps_closure(&start);
+        let mut out = Vec::new();
+        for &s in &closed {
+            out.extend(self.step(StateId(s), Label::Sym(sym)));
+        }
+        out
+    }
+}
+
+/// Whether `L(a) ⊆ L(b)`, decided via `L(a) ∩ complement(L(b)) = ∅`.
+///
+/// The complement is taken over the union of both alphabets, so words
+/// of `a` using symbols unknown to `b` correctly refute containment.
+pub fn language_subset(a: &Nfa, b: &Nfa) -> bool {
+    let mut alphabet = a.alphabet();
+    alphabet.extend(b.alphabet());
+    let not_b = Dfa::determinize(b).complement(&alphabet).to_nfa();
+    intersect(a, &not_b).is_language_empty()
+}
+
+/// Whether `L(a) = L(b)` (two containment checks).
+pub fn language_equal(a: &Nfa, b: &Nfa) -> bool {
+    language_subset(a, b) && language_subset(b, a)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CanonicalDfa;
+
+    fn word_nfa(words: &[&[u32]]) -> Nfa {
+        let mut n = Nfa::new();
+        let start = n.add_state();
+        n.set_initial(start);
+        let fin = n.add_state();
+        n.set_final(fin);
+        for w in words {
+            let mut cur = start;
+            for (i, &sym) in w.iter().enumerate() {
+                let next = if i + 1 == w.len() { fin } else { n.add_state() };
+                n.add_transition(cur, Label::Sym(sym), next);
+                cur = next;
+            }
+            if w.is_empty() {
+                n.add_transition(start, Label::Eps, fin);
+            }
+        }
+        n
+    }
+
+    #[test]
+    fn intersection_of_word_sets() {
+        let a = word_nfa(&[&[1, 2], &[3]]);
+        let b = word_nfa(&[&[3], &[4]]);
+        let i = intersect(&a, &b);
+        assert!(i.accepts(&[3]));
+        assert!(!i.accepts(&[1, 2]));
+        assert!(!i.accepts(&[4]));
+    }
+
+    #[test]
+    fn intersection_with_eps_members() {
+        let a = word_nfa(&[&[], &[1]]);
+        let b = word_nfa(&[&[], &[2]]);
+        let i = intersect(&a, &b);
+        assert!(i.accepts(&[]));
+        assert!(!i.accepts(&[1]));
+        assert!(!i.accepts(&[2]));
+    }
+
+    #[test]
+    fn subset_checks() {
+        let small = word_nfa(&[&[1]]);
+        let big = word_nfa(&[&[1], &[2]]);
+        assert!(language_subset(&small, &big));
+        assert!(!language_subset(&big, &small));
+        assert!(language_subset(&small, &small));
+    }
+
+    #[test]
+    fn subset_with_foreign_symbols() {
+        let a = word_nfa(&[&[9]]);
+        let b = word_nfa(&[&[1]]);
+        assert!(!language_subset(&a, &b));
+    }
+
+    #[test]
+    fn equality_matches_canonical_equality() {
+        let a = word_nfa(&[&[1], &[2], &[1, 2]]);
+        let b = word_nfa(&[&[1, 2], &[2], &[1]]);
+        let c = word_nfa(&[&[1], &[2]]);
+        assert!(language_equal(&a, &b));
+        assert!(!language_equal(&a, &c));
+        assert_eq!(CanonicalDfa::from_nfa(&a), CanonicalDfa::from_nfa(&b));
+        assert_ne!(CanonicalDfa::from_nfa(&a), CanonicalDfa::from_nfa(&c));
+    }
+
+    #[test]
+    fn empty_language_is_subset_of_everything() {
+        let empty = Nfa::with_states(1);
+        let b = word_nfa(&[&[1]]);
+        assert!(language_subset(&empty, &b));
+        assert!(!language_subset(&b, &empty));
+        assert!(language_equal(&empty, &Nfa::new()));
+    }
+}

@@ -1,0 +1,318 @@
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use cuba_pds::{Pds, Rhs, SharedState, StackSym};
+
+use crate::{Label, Nfa, Psa, StateId};
+
+/// Computes `post*(L(init))`: the PSA accepting all configurations
+/// reachable in `pds` from a configuration accepted by `init`
+/// (saturation procedure of Bouajjani–Esparza–Maler / Schwoon; paper
+/// App. C, Thm. 8).
+///
+/// Extensions over the textbook algorithm, needed by the paper's model
+/// (§2.1):
+///
+/// * ε-transitions may already exist in `init` (they encode acceptance
+///   of empty-stack configurations `⟨q|ε⟩`); the saturation keeps an
+///   ε-elimination closure so rule triggering stays complete, and
+/// * empty-stack actions `(q,ε) → (q',w')` fire whenever `⟨q|ε⟩`
+///   becomes accepted.
+///
+/// # Panics
+///
+/// Panics if `init` violates the PSA invariants (debug builds check
+/// [`Psa::validate`]).
+pub fn post_star(pds: &Pds, init: &Psa) -> Psa {
+    debug_assert!(
+        init.validate().is_ok(),
+        "post_star input must be a valid PSA"
+    );
+    let mut psa = init.clone();
+    let sink = psa.sink();
+
+    // Rule indexes.
+    let mut rules_by_lhs: HashMap<(u32, u32), Vec<usize>> = HashMap::new();
+    let mut empty_rules_by_q: HashMap<u32, Vec<usize>> = HashMap::new();
+    for (i, a) in pds.actions().iter().enumerate() {
+        match a.top {
+            Some(sym) => rules_by_lhs.entry((a.q.0, sym.0)).or_default().push(i),
+            None => empty_rules_by_q.entry(a.q.0).or_default().push(i),
+        }
+    }
+
+    // Fresh middle states, one per (target control, pushed symbol).
+    let mut mid: HashMap<(u32, u32), StateId> = HashMap::new();
+
+    // ε-predecessors: eps_preds[s] = controls/states p with (p, ε, s).
+    let mut eps_preds: HashMap<u32, HashSet<u32>> = HashMap::new();
+
+    let mut work: VecDeque<(StateId, Label, StateId)> = psa.nfa.transitions().collect();
+    // `add` inserts a transition and enqueues it when new.
+    fn add(
+        psa: &mut Psa,
+        work: &mut VecDeque<(StateId, Label, StateId)>,
+        src: StateId,
+        label: Label,
+        dst: StateId,
+    ) {
+        if psa.nfa.add_transition(src, label, dst) {
+            work.push_back((src, label, dst));
+        }
+    }
+
+    // Which empty-stack triggers already fired, to avoid re-firing.
+    let mut fired_empty: HashSet<u32> = HashSet::new();
+
+    while let Some((src, label, dst)) = work.pop_front() {
+        // Backward ε-propagation: anything src can do, its
+        // ε-predecessors can do.
+        if let Some(preds) = eps_preds.get(&src.0) {
+            for &p in &preds.clone() {
+                add(&mut psa, &mut work, StateId(p), label, dst);
+            }
+        }
+        match label {
+            Label::Sym(gamma) if psa.is_control(src) => {
+                let p = src.0;
+                if let Some(rule_ids) = rules_by_lhs.get(&(p, gamma)) {
+                    for &ri in rule_ids {
+                        let a = &pds.actions()[ri];
+                        let p2 = StateId(a.q_post.0);
+                        match a.rhs {
+                            Rhs::Empty => {
+                                add(&mut psa, &mut work, p2, Label::Eps, dst);
+                            }
+                            Rhs::One(sym2) => {
+                                add(&mut psa, &mut work, p2, Label::Sym(sym2.0), dst);
+                            }
+                            Rhs::Two { top, below } => {
+                                let m = *mid
+                                    .entry((a.q_post.0, top.0))
+                                    .or_insert_with(|| psa.nfa.add_state());
+                                add(&mut psa, &mut work, p2, Label::Sym(top.0), m);
+                                add(&mut psa, &mut work, m, Label::Sym(below.0), dst);
+                            }
+                        }
+                    }
+                }
+            }
+            Label::Eps => {
+                eps_preds.entry(dst.0).or_default().insert(src.0);
+                // Forward ε-elimination: copy dst's current out-edges.
+                let outs: Vec<(Label, StateId)> = psa.nfa.transitions_from(dst).collect();
+                for (l, t) in outs {
+                    add(&mut psa, &mut work, src, l, t);
+                }
+                // Empty-stack rules fire once ⟨q|ε⟩ is accepted.
+                if dst == sink && psa.is_control(src) && fired_empty.insert(src.0) {
+                    if let Some(rule_ids) = empty_rules_by_q.get(&src.0) {
+                        for &ri in rule_ids {
+                            let a = &pds.actions()[ri];
+                            let p2 = StateId(a.q_post.0);
+                            match a.rhs {
+                                Rhs::Empty => add(&mut psa, &mut work, p2, Label::Eps, sink),
+                                Rhs::One(sym2) => {
+                                    add(&mut psa, &mut work, p2, Label::Sym(sym2.0), sink)
+                                }
+                                Rhs::Two { .. } => {
+                                    unreachable!("empty-stack pushes of two symbols are rejected")
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            Label::Sym(_) => {
+                // Non-control source: no rule can fire; ε-propagation
+                // above already handled it.
+            }
+        }
+    }
+    debug_assert!(
+        psa.validate().is_ok(),
+        "post_star must preserve PSA invariants"
+    );
+    psa
+}
+
+/// Convenience: the `post*` PSA from a single configuration.
+///
+/// # Errors
+///
+/// Returns an error if the configuration's control state is out of
+/// range for `num_controls`.
+pub fn post_star_from_config(
+    pds: &Pds,
+    num_controls: u32,
+    config: &cuba_pds::PdsConfig,
+) -> Result<Psa, crate::AutomataError> {
+    let init = Psa::accepting_configs(num_controls, [config])?;
+    Ok(post_star(pds, &init))
+}
+
+/// Enumerates, by explicit BFS, all configurations reachable from
+/// `config` within `max_steps` PDS steps (no context notion — a single
+/// thread). Used to cross-validate saturation in tests and exposed for
+/// diagnostics.
+pub fn bounded_reach(
+    pds: &Pds,
+    config: &cuba_pds::PdsConfig,
+    max_steps: usize,
+) -> Vec<cuba_pds::PdsConfig> {
+    let mut seen: HashSet<cuba_pds::PdsConfig> = HashSet::new();
+    seen.insert(config.clone());
+    let mut frontier = vec![config.clone()];
+    for _ in 0..max_steps {
+        let mut next = Vec::new();
+        for c in &frontier {
+            for succ in pds.successors(c) {
+                if seen.insert(succ.clone()) {
+                    next.push(succ);
+                }
+            }
+        }
+        if next.is_empty() {
+            break;
+        }
+        frontier = next;
+    }
+    let mut out: Vec<_> = seen.into_iter().collect();
+    out.sort();
+    out
+}
+
+#[allow(unused_imports)]
+use cuba_pds::PdsConfig; // referenced in doc comments
+
+#[allow(dead_code)]
+fn _type_assertions(_q: SharedState, _s: StackSym, _n: Nfa) {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cuba_pds::{PdsBuilder, PdsConfig, Stack};
+
+    fn q(n: u32) -> SharedState {
+        SharedState(n)
+    }
+    fn s(n: u32) -> StackSym {
+        StackSym(n)
+    }
+
+    /// The PDS of the paper's Fig. 7 (App. C).
+    fn fig7() -> Pds {
+        let mut b = PdsBuilder::new(3, 3);
+        b.push(q(0), s(0), q(1), s(1), s(0)).unwrap();
+        b.push(q(1), s(1), q(2), s(2), s(0)).unwrap();
+        b.overwrite(q(2), s(2), q(0), s(1)).unwrap();
+        b.pop(q(0), s(1), q(0)).unwrap();
+        b.build().unwrap()
+    }
+
+    fn cfg(qq: u32, word: &[u32]) -> PdsConfig {
+        PdsConfig::new(q(qq), Stack::from_top_down(word.iter().map(|&x| s(x))))
+    }
+
+    #[test]
+    fn fig7_post_star_agrees_with_explicit_bfs() {
+        let pds = fig7();
+        let init = cfg(0, &[0]);
+        let psa = post_star_from_config(&pds, 3, &init).unwrap();
+        // Everything found by bounded explicit search is accepted.
+        for c in bounded_reach(&pds, &init, 8) {
+            assert!(psa.accepts_config(&c), "post* must accept reachable {c}");
+        }
+        // Spot-check unreachable configurations.
+        assert!(!psa.accepts_config(&cfg(2, &[0])));
+        assert!(!psa.accepts_config(&cfg(1, &[0])));
+        assert!(!psa.accepts_config(&cfg(0, &[2])));
+    }
+
+    #[test]
+    fn fig7_sampled_psa_configs_are_truly_reachable() {
+        let pds = fig7();
+        let init = cfg(0, &[0]);
+        let psa = post_star_from_config(&pds, 3, &init).unwrap();
+        let explicit: std::collections::HashSet<_> =
+            bounded_reach(&pds, &init, 14).into_iter().collect();
+        // Every accepted config with a short stack must appear in a
+        // sufficiently deep explicit search (completeness direction).
+        for qq in 0..3 {
+            let lang = psa.stack_language(q(qq));
+            for word in lang.sample_words(12) {
+                if word.len() <= 4 {
+                    let c = cfg(qq, &word);
+                    assert!(explicit.contains(&c), "PSA accepts unreachable {c}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pop_makes_stack_empty_and_empty_rules_fire() {
+        // (0,a) -> (1,ε); (1,ε) -> (2,b)
+        let mut b = PdsBuilder::new(3, 2);
+        b.pop(q(0), s(0), q(1)).unwrap();
+        b.from_empty(q(1), q(2), Some(s(1))).unwrap();
+        let pds = b.build().unwrap();
+        let psa = post_star_from_config(&pds, 3, &cfg(0, &[0])).unwrap();
+        assert!(psa.accepts_config(&cfg(1, &[])));
+        assert!(psa.accepts_config(&cfg(2, &[1])));
+        assert!(!psa.accepts_config(&cfg(2, &[0])));
+    }
+
+    #[test]
+    fn empty_rule_chain() {
+        // Start from ⟨0|ε⟩: (0,ε)->(1,ε), (1,ε)->(2,a)
+        let mut b = PdsBuilder::new(3, 1);
+        b.from_empty(q(0), q(1), None).unwrap();
+        b.from_empty(q(1), q(2), Some(s(0))).unwrap();
+        let pds = b.build().unwrap();
+        let psa = post_star_from_config(&pds, 3, &cfg(0, &[])).unwrap();
+        assert!(psa.accepts_config(&cfg(0, &[])));
+        assert!(psa.accepts_config(&cfg(1, &[])));
+        assert!(psa.accepts_config(&cfg(2, &[0])));
+        assert!(!psa.accepts_config(&cfg(1, &[0])));
+    }
+
+    #[test]
+    fn recursion_yields_infinite_language() {
+        // (0,a) -> (0,aa): unbounded pushes of `a`.
+        let mut b = PdsBuilder::new(1, 1);
+        b.push(q(0), s(0), q(0), s(0), s(0)).unwrap();
+        let pds = b.build().unwrap();
+        let psa = post_star_from_config(&pds, 1, &cfg(0, &[0])).unwrap();
+        for depth in 1..6 {
+            let word = vec![0u32; depth];
+            assert!(psa.accepts(q(0), &word), "depth {depth}");
+        }
+        assert!(!psa.accepts(q(0), &[]));
+    }
+
+    #[test]
+    fn post_star_of_empty_set_is_empty() {
+        let pds = fig7();
+        let psa = post_star(&pds, &Psa::empty(3));
+        assert!(psa.as_nfa().is_language_empty());
+    }
+
+    #[test]
+    fn post_star_keeps_initial_configs() {
+        let pds = fig7();
+        let init = cfg(0, &[0]);
+        let psa = post_star_from_config(&pds, 3, &init).unwrap();
+        assert!(psa.accepts_config(&init));
+    }
+
+    #[test]
+    fn post_star_from_all_short_stacks() {
+        let pds = fig7();
+        let init = Psa::all_stacks_leq1(3, [0, 1, 2]);
+        let psa = post_star(&pds, &init);
+        psa.validate().unwrap();
+        // ⟨2|2⟩ ∈ Q×Σ≤1 steps to ⟨0|1⟩ then pops to ⟨0|ε⟩.
+        assert!(psa.accepts_config(&cfg(0, &[])));
+        // Pushing from ⟨0|0⟩ still works.
+        assert!(psa.accepts_config(&cfg(1, &[1, 0])));
+    }
+}

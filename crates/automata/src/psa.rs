@@ -1,0 +1,399 @@
+use std::collections::BTreeSet;
+
+use cuba_pds::{PdsConfig, SharedState};
+
+use crate::{AutomataError, Label, Nfa, StateId};
+
+/// A *pushdown store automaton* (paper App. C): a finite automaton
+/// representing a regular set of PDS states `⟨q|w⟩`.
+///
+/// Automaton states `0..num_controls` are the control states (one per
+/// shared state of the PDS); state `num_controls` is the unique
+/// accepting sink `s_F`. The automaton accepts `⟨q|w⟩` if reading the
+/// stack word `w` (top first) from state `q` can reach `s_F`.
+///
+/// Invariants (checked by [`validate`](Psa::validate), maintained by
+/// all constructors and by `post*`):
+///
+/// * control states have no incoming transitions,
+/// * the sink `s_F` has no outgoing transitions,
+/// * `s_F` is the only accepting state (`F ∩ Q = ∅`, as in the paper).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Psa {
+    pub(crate) nfa: Nfa,
+    pub(crate) num_controls: u32,
+}
+
+impl Psa {
+    /// A PSA over `num_controls` control states accepting nothing.
+    pub fn empty(num_controls: u32) -> Self {
+        let mut nfa = Nfa::with_states(num_controls + 1);
+        for q in 0..num_controls {
+            nfa.set_initial(StateId(q));
+        }
+        nfa.set_final(StateId(num_controls));
+        Psa { nfa, num_controls }
+    }
+
+    /// A PSA accepting exactly the given configurations.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if a configuration's shared state is out of
+    /// range.
+    pub fn accepting_configs<'a, I>(num_controls: u32, configs: I) -> Result<Self, AutomataError>
+    where
+        I: IntoIterator<Item = &'a PdsConfig>,
+    {
+        let mut psa = Psa::empty(num_controls);
+        for c in configs {
+            psa.add_config(c)?;
+        }
+        Ok(psa)
+    }
+
+    /// A PSA accepting `Q × Σ≤1` for the given symbol set: every
+    /// `⟨q|σ⟩` and every `⟨q|ε⟩`. This is the initial set of the FCR
+    /// check (paper §5, Fig. 4).
+    pub fn all_stacks_leq1<I: IntoIterator<Item = u32>>(num_controls: u32, symbols: I) -> Self {
+        let mut psa = Psa::empty(num_controls);
+        let sink = psa.sink();
+        let symbols: Vec<u32> = symbols.into_iter().collect();
+        for q in 0..num_controls {
+            psa.nfa.add_transition(StateId(q), Label::Eps, sink);
+            for &s in &symbols {
+                psa.nfa.add_transition(StateId(q), Label::Sym(s), sink);
+            }
+        }
+        psa
+    }
+
+    /// A PSA accepting `{⟨q|w⟩ : w ∈ L(stack_nfa)}`: glues a
+    /// single-initial-state NFA over stack symbols onto control `q`.
+    /// Used by the symbolic engine to re-enter saturation from a
+    /// per-thread stack language.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `q` is not a control state.
+    pub fn from_stack_nfa(
+        num_controls: u32,
+        q: SharedState,
+        stack_nfa: &Nfa,
+    ) -> Result<Self, AutomataError> {
+        if q.0 >= num_controls {
+            return Err(AutomataError::NotAControlState {
+                state: q.0,
+                num_controls,
+            });
+        }
+        let mut psa = Psa::empty(num_controls);
+        let sink = psa.sink();
+        // Copy the stack NFA's states.
+        let offset = psa.nfa.num_states();
+        for _ in 0..stack_nfa.num_states() {
+            psa.nfa.add_state();
+        }
+        let map = |s: StateId| StateId(s.0 + offset);
+        let initials: Vec<StateId> = stack_nfa.initial_states().collect();
+        // Acceptance is rerouted to the sink: every edge into an
+        // accepting state is mirrored to the sink, and accepting
+        // initial states accept ε via a control ε-edge.
+        for (src, label, dst) in stack_nfa.transitions() {
+            psa.nfa.add_transition(map(src), label, map(dst));
+            if stack_nfa.is_final(dst) {
+                psa.nfa.add_transition(map(src), label, sink);
+            }
+        }
+        for &init in &initials {
+            // Mirror the initial state's outgoing edges onto the control.
+            for (label, dst) in stack_nfa.transitions_from(init) {
+                psa.nfa.add_transition(StateId(q.0), label, map(dst));
+                if stack_nfa.is_final(dst) {
+                    psa.nfa.add_transition(StateId(q.0), label, sink);
+                }
+            }
+            if stack_nfa.is_final(init) {
+                psa.nfa.add_transition(StateId(q.0), Label::Eps, sink);
+            }
+        }
+        Ok(psa)
+    }
+
+    /// Number of control states.
+    pub fn num_controls(&self) -> u32 {
+        self.num_controls
+    }
+
+    /// The accepting sink `s_F`.
+    pub fn sink(&self) -> StateId {
+        StateId(self.num_controls)
+    }
+
+    /// Whether `s` is a control state.
+    pub fn is_control(&self, s: StateId) -> bool {
+        s.0 < self.num_controls
+    }
+
+    /// A read-only view of the underlying automaton.
+    pub fn as_nfa(&self) -> &Nfa {
+        &self.nfa
+    }
+
+    /// Adds acceptance of a single configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the shared state is out of range.
+    pub fn add_config(&mut self, config: &PdsConfig) -> Result<(), AutomataError> {
+        if config.q.0 >= self.num_controls {
+            return Err(AutomataError::NotAControlState {
+                state: config.q.0,
+                num_controls: self.num_controls,
+            });
+        }
+        let sink = self.sink();
+        let word: Vec<u32> = config.stack.iter_top_down().map(|s| s.0).collect();
+        if word.is_empty() {
+            self.nfa
+                .add_transition(StateId(config.q.0), Label::Eps, sink);
+            return Ok(());
+        }
+        let mut cur = StateId(config.q.0);
+        for (i, &sym) in word.iter().enumerate() {
+            let next = if i + 1 == word.len() {
+                sink
+            } else {
+                self.nfa.add_state()
+            };
+            self.nfa.add_transition(cur, Label::Sym(sym), next);
+            cur = next;
+        }
+        Ok(())
+    }
+
+    /// Whether the PSA accepts `⟨q|w⟩` with `w` given top-first.
+    pub fn accepts(&self, q: SharedState, word: &[u32]) -> bool {
+        if q.0 >= self.num_controls {
+            return false;
+        }
+        self.nfa.accepts_from(StateId(q.0), word)
+    }
+
+    /// Whether the PSA accepts the configuration.
+    pub fn accepts_config(&self, config: &PdsConfig) -> bool {
+        let word: Vec<u32> = config.stack.iter_top_down().map(|s| s.0).collect();
+        self.accepts(config.q, &word)
+    }
+
+    /// The stack language at control `q`: an NFA over stack symbols
+    /// accepting `{w : ⟨q|w⟩ ∈ L(self)}` with a single fresh initial
+    /// state (control states are stripped, which is sound because they
+    /// have no incoming transitions).
+    pub fn stack_language(&self, q: SharedState) -> Nfa {
+        let mut view = self.nfa.clone();
+        // Re-point the initial set at q only.
+        let mut out = Nfa::with_states(view.num_states() + 1);
+        let fresh = StateId(view.num_states());
+        for (src, label, dst) in view.transitions() {
+            out.add_transition(src, label, dst);
+            if src.0 == q.0 {
+                out.add_transition(fresh, label, dst);
+            }
+        }
+        for f in view.final_states() {
+            out.set_final(f);
+        }
+        out.set_initial(fresh);
+        // Drop other controls' initialness implicitly (only `fresh` is
+        // initial); trim unreachable parts.
+        view = out;
+        let (trimmed, _) = view.trim();
+        trimmed
+    }
+
+    /// Shared states `q` whose stack language is non-empty, i.e. that
+    /// appear in some accepted configuration.
+    pub fn nonempty_controls(&self) -> Vec<SharedState> {
+        let coreach = self.nfa.coreachable_states();
+        (0..self.num_controls)
+            .filter(|q| {
+                // q is useful if some transition from q leads into the
+                // co-reachable region, or q ε-accepts.
+                self.nfa
+                    .transitions_from(StateId(*q))
+                    .any(|(_, dst)| coreach.contains(&dst.0))
+            })
+            .map(SharedState)
+            .collect()
+    }
+
+    /// The per-control visible tops: `T(A)` of the paper's Alg. 4 —
+    /// for control `q`, the set of top symbols of accepted stacks
+    /// (`None` encodes the accepted empty stack).
+    pub fn visible_tops(&self, q: SharedState) -> Vec<Option<u32>> {
+        let coreach = self.nfa.coreachable_states();
+        let mut out: BTreeSet<Option<u32>> = BTreeSet::new();
+        // Follow ε-closure from q, collecting first symbols into the
+        // co-reachable region; ε into a final state means ⟨q|ε⟩ ∈ L.
+        let mut start = BTreeSet::new();
+        start.insert(q.0);
+        let closure = self.nfa.eps_closure(&start);
+        for &s in &closure {
+            if self.nfa.is_final(StateId(s)) {
+                out.insert(None);
+            }
+            for (label, dst) in self.nfa.transitions_from(StateId(s)) {
+                if let Label::Sym(sym) = label {
+                    if coreach.contains(&dst.0) {
+                        out.insert(Some(sym));
+                    }
+                }
+            }
+        }
+        out.into_iter().collect()
+    }
+
+    /// Checks the PSA invariants; used by tests and debug assertions.
+    ///
+    /// # Errors
+    ///
+    /// Returns which invariant is broken.
+    pub fn validate(&self) -> Result<(), AutomataError> {
+        for (src, _, dst) in self.nfa.transitions() {
+            if self.is_control(dst) {
+                return Err(AutomataError::BrokenPsaInvariant(
+                    "control state has an incoming transition",
+                ));
+            }
+            if src == self.sink() {
+                return Err(AutomataError::BrokenPsaInvariant(
+                    "final sink has an outgoing transition",
+                ));
+            }
+        }
+        let finals: Vec<StateId> = self.nfa.final_states().collect();
+        if finals != vec![self.sink()] {
+            return Err(AutomataError::BrokenPsaInvariant(
+                "accepting states must be exactly the sink",
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cuba_pds::{Stack, StackSym};
+
+    fn q(n: u32) -> SharedState {
+        SharedState(n)
+    }
+    fn s(n: u32) -> StackSym {
+        StackSym(n)
+    }
+
+    #[test]
+    fn empty_psa_accepts_nothing() {
+        let psa = Psa::empty(3);
+        psa.validate().unwrap();
+        assert!(!psa.accepts(q(0), &[]));
+        assert!(!psa.accepts(q(1), &[0]));
+    }
+
+    #[test]
+    fn accepting_configs_exact() {
+        let c1 = PdsConfig::new(q(0), Stack::from_top_down([s(1), s(2)]));
+        let c2 = PdsConfig::new(q(2), Stack::new());
+        let psa = Psa::accepting_configs(3, [&c1, &c2]).unwrap();
+        psa.validate().unwrap();
+        assert!(psa.accepts_config(&c1));
+        assert!(psa.accepts_config(&c2));
+        assert!(!psa.accepts(q(0), &[1]));
+        assert!(!psa.accepts(q(0), &[]));
+        assert!(!psa.accepts(q(1), &[1, 2]));
+        assert!(!psa.accepts(q(2), &[1, 2]));
+    }
+
+    #[test]
+    fn out_of_range_control_rejected() {
+        let c = PdsConfig::new(q(5), Stack::new());
+        assert!(Psa::accepting_configs(3, [&c]).is_err());
+        let psa = Psa::empty(3);
+        assert!(!psa.accepts(q(9), &[]));
+    }
+
+    #[test]
+    fn all_stacks_leq1() {
+        let psa = Psa::all_stacks_leq1(2, [4, 5]);
+        psa.validate().unwrap();
+        for qq in 0..2 {
+            assert!(psa.accepts(q(qq), &[]));
+            assert!(psa.accepts(q(qq), &[4]));
+            assert!(psa.accepts(q(qq), &[5]));
+            assert!(!psa.accepts(q(qq), &[4, 4]));
+            assert!(!psa.accepts(q(qq), &[6]));
+        }
+    }
+
+    #[test]
+    fn stack_language_extraction() {
+        let c1 = PdsConfig::new(q(0), Stack::from_top_down([s(1), s(2)]));
+        let c2 = PdsConfig::new(q(1), Stack::from_top_down([s(3)]));
+        let psa = Psa::accepting_configs(2, [&c1, &c2]).unwrap();
+        let l0 = psa.stack_language(q(0));
+        assert!(l0.accepts(&[1, 2]));
+        assert!(!l0.accepts(&[3]));
+        let l1 = psa.stack_language(q(1));
+        assert!(l1.accepts(&[3]));
+        assert!(!l1.accepts(&[1, 2]));
+    }
+
+    #[test]
+    fn from_stack_nfa_roundtrip() {
+        // Stack language: 4(6)* ∪ {ε}
+        let mut n = Nfa::with_states(2);
+        n.set_initial(StateId(0));
+        n.set_final(StateId(0));
+        n.set_final(StateId(1));
+        n.add_transition(StateId(0), Label::Sym(4), StateId(1));
+        n.add_transition(StateId(1), Label::Sym(6), StateId(1));
+        let psa = Psa::from_stack_nfa(3, q(1), &n).unwrap();
+        psa.validate().unwrap();
+        assert!(psa.accepts(q(1), &[]));
+        assert!(psa.accepts(q(1), &[4]));
+        assert!(psa.accepts(q(1), &[4, 6, 6]));
+        assert!(!psa.accepts(q(1), &[6]));
+        assert!(!psa.accepts(q(0), &[4]));
+        // And back out:
+        let back = psa.stack_language(q(1));
+        assert!(back.accepts(&[]));
+        assert!(back.accepts(&[4, 6]));
+        assert!(!back.accepts(&[6]));
+    }
+
+    #[test]
+    fn visible_tops_reports_eps_and_symbols() {
+        let c1 = PdsConfig::new(q(0), Stack::from_top_down([s(1), s(2)]));
+        let c2 = PdsConfig::new(q(0), Stack::new());
+        let c3 = PdsConfig::new(q(0), Stack::from_top_down([s(9)]));
+        let psa = Psa::accepting_configs(1, [&c1, &c2, &c3]).unwrap();
+        assert_eq!(psa.visible_tops(q(0)), vec![None, Some(1), Some(9)]);
+    }
+
+    #[test]
+    fn nonempty_controls() {
+        let c1 = PdsConfig::new(q(1), Stack::from_top_down([s(1)]));
+        let psa = Psa::accepting_configs(3, [&c1]).unwrap();
+        assert_eq!(psa.nonempty_controls(), vec![q(1)]);
+    }
+
+    #[test]
+    fn validate_catches_broken_invariants() {
+        let mut psa = Psa::empty(2);
+        let sink = psa.sink();
+        psa.nfa.add_transition(sink, Label::Sym(0), StateId(3 - 1));
+        assert!(psa.validate().is_err());
+    }
+}

@@ -1,0 +1,109 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//!
+//! * explicit `T(Rk)` vs symbolic `T(Sk)` under FCR (§5's claim that
+//!   the explicit encoding is cheaper when applicable),
+//! * exact canonical dedup vs pointwise subsumption in the symbolic
+//!   engine (§8's symbolic-convergence dilemma),
+//! * `post*` saturation cost vs PDS size,
+//! * canonical-minimal-DFA construction cost (the symbolic dedup's
+//!   inner loop).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cuba_automata::{post_star, CanonicalDfa, Psa};
+use cuba_benchmarks::random::{random_cpds, RandomCpdsConfig};
+use cuba_benchmarks::{fig1, fig2};
+use cuba_explore::{ExplicitEngine, ExploreBudget, SubsumptionMode, SymbolicEngine};
+
+fn explicit_vs_symbolic(c: &mut Criterion) {
+    let cpds = fig1::build();
+    let mut group = c.benchmark_group("ablation_encoding");
+    group.bench_function("explicit_rk/fig1", |b| {
+        b.iter(|| {
+            let mut e = ExplicitEngine::new(cpds.clone(), ExploreBudget::default());
+            for _ in 0..6 {
+                e.advance().expect("FCR");
+            }
+            e.num_visible()
+        })
+    });
+    group.bench_function("symbolic_sk/fig1", |b| {
+        b.iter(|| {
+            let mut e = SymbolicEngine::new(
+                cpds.clone(),
+                ExploreBudget::default(),
+                SubsumptionMode::Exact,
+            );
+            for _ in 0..6 {
+                e.advance().expect("ok");
+            }
+            e.num_visible()
+        })
+    });
+    group.finish();
+}
+
+fn subsumption_modes(c: &mut Criterion) {
+    let cpds = fig2::build();
+    let mut group = c.benchmark_group("ablation_subsumption");
+    for (name, mode) in [
+        ("exact", SubsumptionMode::Exact),
+        ("pointwise", SubsumptionMode::Pointwise),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut e = SymbolicEngine::new(cpds.clone(), ExploreBudget::default(), mode);
+                e.run_until_collapse(8).expect("ok")
+            })
+        });
+    }
+    group.finish();
+}
+
+fn poststar_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_poststar");
+    for actions in [8usize, 16, 32] {
+        let cfg = RandomCpdsConfig {
+            num_shared: 4,
+            num_threads: 1,
+            alphabet: 4,
+            actions_per_thread: actions,
+            push_probability: 0.3,
+        };
+        let cpds = random_cpds(&cfg, 11);
+        let pds = cpds.thread(0).clone();
+        let init = Psa::all_stacks_leq1(4, pds.used_symbols().into_iter().map(|s| s.0));
+        group.bench_with_input(BenchmarkId::from_parameter(actions), &actions, |b, _| {
+            b.iter(|| post_star(&pds, &init).as_nfa().num_states())
+        });
+    }
+    group.finish();
+}
+
+fn canonicalization(c: &mut Criterion) {
+    // Canonicalize the post* stack language of the Fig. 2 thread —
+    // the exact operation the symbolic engine performs per context.
+    let cpds = fig2::build();
+    let pds = cpds.thread(0).clone();
+    let init = Psa::accepting_configs(
+        3,
+        [&cuba_pds::PdsConfig::new(
+            cuba_pds::SharedState(0),
+            cuba_pds::Stack::from_top_down([cuba_pds::StackSym(2)]),
+        )],
+    )
+    .expect("control in range");
+    let saturated = post_star(&pds, &init);
+    let lang = saturated.stack_language(cuba_pds::SharedState(2));
+    c.bench_function("ablation_canonical_dfa", |b| {
+        b.iter(|| CanonicalDfa::from_nfa(&lang).num_states())
+    });
+}
+
+criterion_group!(
+    benches,
+    explicit_vs_symbolic,
+    subsumption_modes,
+    poststar_scaling,
+    canonicalization
+);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Criterion bench for the Fig. 1 experiment: cost of computing the
+//! layered reachability table (6 rounds) explicitly and symbolically,
+//! and of the full Alg. 3 run to convergence.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cuba_benchmarks::fig1;
+use cuba_core::{alg3_explicit, Alg3Config, Property};
+use cuba_explore::{ExplicitEngine, ExploreBudget, SubsumptionMode, SymbolicEngine};
+
+fn bench_fig1(c: &mut Criterion) {
+    let cpds = fig1::build();
+
+    c.bench_function("fig1/explicit_6_rounds", |b| {
+        b.iter(|| {
+            let mut engine = ExplicitEngine::new(cpds.clone(), ExploreBudget::default());
+            for _ in 0..6 {
+                engine.advance().expect("FCR holds");
+            }
+            std::hint::black_box(engine.num_states())
+        })
+    });
+
+    c.bench_function("fig1/symbolic_6_rounds", |b| {
+        b.iter(|| {
+            let mut engine = SymbolicEngine::new(
+                cpds.clone(),
+                ExploreBudget::default(),
+                SubsumptionMode::Exact,
+            );
+            for _ in 0..6 {
+                engine.advance().expect("no budget issues");
+            }
+            std::hint::black_box(engine.num_symbolic_states())
+        })
+    });
+
+    c.bench_function("fig1/alg3_to_convergence", |b| {
+        let config = Alg3Config {
+            use_state_collapse: false,
+            ..Alg3Config::default()
+        };
+        b.iter(|| {
+            let report = alg3_explicit(&cpds, &Property::True, &config).expect("FCR holds");
+            std::hint::black_box(report.rounds)
+        })
+    });
+}
+
+criterion_group!(benches, bench_fig1);
+criterion_main!(benches);

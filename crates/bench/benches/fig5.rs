@@ -1,0 +1,44 @@
+//! Criterion bench for Fig. 5: Cuba vs the context-bounded baseline
+//! on a safe and an unsafe row — the comparison whose shape the paper
+//! plots as a scatter (comparable cost, only Cuba proves safety).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cuba_benchmarks::{bluetooth, bst};
+use cuba_core::{cba_baseline, CbaConfig, Cuba, CubaConfig};
+
+fn bench_fig5(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5");
+
+    let unsafe_cpds = bluetooth::build(bluetooth::Version::V1, 1, 1);
+    let unsafe_prop = bluetooth::property();
+    group.bench_function("cuba/bluetooth-1", |b| {
+        let cuba = Cuba::new(unsafe_cpds.clone(), unsafe_prop.clone());
+        b.iter(|| cuba.run(&CubaConfig::default()).expect("ok").rounds)
+    });
+    group.bench_function("cba/bluetooth-1", |b| {
+        b.iter(|| {
+            cba_baseline(&unsafe_cpds, &unsafe_prop, &CbaConfig::up_to(8))
+                .expect("ok")
+                .states
+        })
+    });
+
+    let safe_cpds = bst::build(1, 1);
+    let safe_prop = bst::property(2);
+    group.bench_function("cuba/bst-insert", |b| {
+        let cuba = Cuba::new(safe_cpds.clone(), safe_prop.clone());
+        b.iter(|| cuba.run(&CubaConfig::default()).expect("ok").rounds)
+    });
+    group.bench_function("cba/bst-insert", |b| {
+        b.iter(|| {
+            cba_baseline(&safe_cpds, &safe_prop, &CbaConfig::up_to(3))
+                .expect("ok")
+                .states
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig5);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Criterion bench for Table 2: end-to-end Cuba driver runs on
+//! representative rows of each benchmark family (the full-size rows
+//! run in the `table2` binary; here we keep per-iteration cost low).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cuba_benchmarks::{bluetooth, bst, crawler, dekker, fig2, proc2, stefan};
+use cuba_core::{Cuba, CubaConfig, Property};
+use cuba_explore::ExploreBudget;
+
+fn config() -> CubaConfig {
+    CubaConfig {
+        budget: ExploreBudget::default(),
+        max_k: 32,
+        ..CubaConfig::default()
+    }
+}
+
+fn bench_rows(c: &mut Criterion) {
+    let rows: Vec<(&str, cuba_pds::Cpds, Property)> = vec![
+        (
+            "bluetooth-1/1+1",
+            bluetooth::build(bluetooth::Version::V1, 1, 1),
+            bluetooth::property(),
+        ),
+        (
+            "bluetooth-3/1+1",
+            bluetooth::build(bluetooth::Version::V3, 1, 1),
+            bluetooth::property(),
+        ),
+        ("bst-insert/1+1", bst::build(1, 1), bst::property(2)),
+        ("filecrawler/1*+2", crawler::build(2), crawler::property()),
+        (
+            "k-induction/1+1",
+            fig2::build(),
+            Property::never_visible(fig2::unreachable_visible()),
+        ),
+        ("proc-2/2+2*", proc2::build(), proc2::property()),
+        ("stefan-1/2", stefan::build(2), stefan::property(2)),
+        ("dekker/2*", dekker::build(), dekker::property()),
+    ];
+    let mut group = c.benchmark_group("table2");
+    for (label, cpds, property) in rows {
+        group.bench_function(label, |b| {
+            let cuba = Cuba::new(cpds.clone(), property.clone());
+            b.iter(|| {
+                let outcome = cuba.run(&config()).expect("within budget");
+                std::hint::black_box(outcome.rounds)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_rows);
+criterion_main!(benches);

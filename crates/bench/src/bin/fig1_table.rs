@@ -1,0 +1,63 @@
+//! Regenerates the **Fig. 1 (right)** reachability table: the new
+//! global states `Rk \ Rk−1` and new visible states `T(Rk) \ T(Rk−1)`
+//! per context bound, plus the Ex. 14 data (G∩Z, plateaus, collapse).
+//!
+//! ```text
+//! cargo run --release -p cuba-bench --bin fig1_table
+//! ```
+
+use cuba_benchmarks::fig1;
+use cuba_core::{alg3_explicit, Alg3Config, Property, Verdict};
+use cuba_explore::{ExplicitEngine, ExploreBudget};
+
+fn main() {
+    let cpds = fig1::build();
+    let mut engine = ExplicitEngine::new(cpds.clone(), ExploreBudget::default());
+    for _ in 0..6 {
+        engine.advance().expect("Fig. 1 satisfies FCR");
+    }
+
+    println!("Fig. 1 reachability table (new states per bound k):\n");
+    println!("{:>2}  {:<40}  T(Rk) \\ T(Rk-1)", "k", "Rk \\ Rk-1");
+    println!("{}", "-".repeat(80));
+    for k in 0..=6usize {
+        let mut states: Vec<String> = engine.layer(k).map(|s| s.to_string()).collect();
+        states.sort();
+        let mut visible: Vec<String> = engine
+            .visible_layer(k)
+            .iter()
+            .map(|v| v.to_string())
+            .collect();
+        visible.sort();
+        println!(
+            "{k:>2}  {:<40}  {}",
+            states.join(" "),
+            if visible.is_empty() {
+                "(plateau)".to_owned()
+            } else {
+                visible.join(" ")
+            }
+        );
+    }
+
+    // The Ex. 14 run: Alg 3 with the generator test.
+    let config = Alg3Config {
+        use_state_collapse: false,
+        ..Alg3Config::default()
+    };
+    let report = alg3_explicit(&cpds, &Property::True, &config).expect("FCR holds");
+    println!("\nAlg. 3 over (T(Rk)) with stuttering detection:");
+    let gz: Vec<String> = report.g_cap_z.iter().map(|v| v.to_string()).collect();
+    println!("  G ∩ Z = {{{}}}", gz.join(", "));
+    println!(
+        "  rejected (stuttering) plateaus at k = {:?}",
+        report.rejected_plateaus
+    );
+    println!("  |T(Rk)| per k: {:?}", report.visible_growth.sizes());
+    match report.verdict {
+        Verdict::Safe { k, method } => {
+            println!("  collapse detected at k = {k} (via {method})")
+        }
+        other => println!("  unexpected verdict: {other}"),
+    }
+}

@@ -1,0 +1,29 @@
+//! Regenerates **Fig. 3 / Ex. 13**: the finite-state abstractions
+//! `M1, M2` (Alg. 2) of the Fig. 1 threads and the reachable set `Z`.
+//!
+//! ```text
+//! cargo run --release -p cuba-bench --bin fig3_z
+//! ```
+
+use cuba_benchmarks::fig1;
+use cuba_core::compute_z;
+
+fn main() {
+    let cpds = fig1::build();
+    let z = compute_z(&cpds);
+
+    for (i, abstraction) in z.abstractions.iter().enumerate() {
+        println!("T{} (abstraction of thread {}):", i + 1, i + 1);
+        for t in abstraction {
+            println!("  {t}");
+        }
+    }
+
+    let mut states: Vec<String> = z.states.iter().map(|v| v.to_string()).collect();
+    states.sort();
+    println!("\nZ (reachable states of M2), {} states:", states.len());
+    for s in &states {
+        println!("  {s}");
+    }
+    assert_eq!(states.len(), 8, "Ex. 13 reports exactly 8 states");
+}

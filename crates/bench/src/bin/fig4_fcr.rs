@@ -1,0 +1,39 @@
+//! Regenerates **Fig. 4**: the FCR determination for the Fig. 1 and
+//! Fig. 2 systems via their `post*(Q × Σ≤1)` pushdown store automata.
+//! Prints per-thread verdicts and Graphviz renderings of the automata
+//! (the loop-free ones certify FCR; the self-loops refute it).
+//!
+//! ```text
+//! cargo run --release -p cuba-bench --bin fig4_fcr
+//! ```
+
+use cuba_automata::{is_language_finite, psa_to_dot};
+use cuba_benchmarks::{fig1, fig2};
+use cuba_core::{check_fcr, fcr_psa};
+
+fn main() {
+    for (name, cpds) in [("Fig. 1", fig1::build()), ("Fig. 2", fig2::build())] {
+        let report = check_fcr(&cpds);
+        println!("{name}: {report}");
+        for (i, verdict) in report.per_thread.iter().enumerate() {
+            let psa = fcr_psa(cpds.thread(i), cpds.num_shared());
+            let (trimmed, _) = psa.as_nfa().trim();
+            println!(
+                "  thread {}: R(Q x Sigma<=1) is {verdict} ({} useful automaton states)",
+                i + 1,
+                trimmed.num_states()
+            );
+            assert_eq!(is_language_finite(psa.as_nfa()), *verdict);
+            let dot = psa_to_dot(&psa, &format!("A{}", i + 1));
+            let path = format!(
+                "results/fig4_{}_thread{}.dot",
+                name.replace([' ', '.'], "").to_lowercase(),
+                i + 1
+            );
+            std::fs::create_dir_all("results").ok();
+            if std::fs::write(&path, &dot).is_ok() {
+                println!("  wrote {path}");
+            }
+        }
+    }
+}

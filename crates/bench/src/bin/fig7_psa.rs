@@ -1,0 +1,35 @@
+//! Regenerates **Fig. 7 (App. C)**: the example PDS and its pushdown
+//! store automaton, built by `post*` saturation from `⟨q0|σ0⟩`.
+//!
+//! ```text
+//! cargo run --release -p cuba-bench --bin fig7_psa
+//! ```
+
+use cuba_automata::{post_star_from_config, psa_to_dot};
+use cuba_benchmarks::fig7;
+
+fn main() {
+    let pds = fig7::build();
+    println!("Fig. 7 PDS actions:");
+    for a in pds.actions() {
+        println!("  {a}");
+    }
+
+    let psa = post_star_from_config(&pds, fig7::NUM_SHARED, &fig7::initial_config())
+        .expect("q0 is a control state");
+    println!("\npost* automaton: {} states", psa.as_nfa().num_states());
+    println!("sample accepted configurations (reachable states):");
+    for q in 0..fig7::NUM_SHARED {
+        let lang = psa.stack_language(cuba_pds::SharedState(q));
+        for word in lang.sample_words(4) {
+            let text: Vec<String> = word.iter().map(|w| w.to_string()).collect();
+            println!("  <{q}|{}>", text.join(""));
+        }
+    }
+
+    std::fs::create_dir_all("results").ok();
+    let dot = psa_to_dot(&psa, "fig7");
+    if std::fs::write("results/fig7_psa.dot", &dot).is_ok() {
+        println!("\nwrote results/fig7_psa.dot");
+    }
+}

@@ -1,0 +1,204 @@
+//! Shared infrastructure for the experiment harness: a counting
+//! global allocator (the Table 2 / Fig. 5 memory columns), wall-clock
+//! measurement, and machine-readable result records.
+//!
+//! Each binary in `src/bin/` regenerates one table or figure of the
+//! paper; see `DESIGN.md` §3 for the experiment index.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+/// A wrapper around the system allocator that tracks current and peak
+/// heap usage. Install it in a harness binary with:
+///
+/// ```ignore
+/// #[global_allocator]
+/// static ALLOC: cuba_bench::CountingAlloc = cuba_bench::CountingAlloc::new();
+/// ```
+///
+/// The paper's memory columns report process RSS; peak heap bytes is
+/// the closest allocator-level analogue (DESIGN.md §2).
+pub struct CountingAlloc {
+    current: AtomicUsize,
+    peak: AtomicUsize,
+}
+
+impl CountingAlloc {
+    /// A fresh counting allocator.
+    pub const fn new() -> Self {
+        CountingAlloc {
+            current: AtomicUsize::new(0),
+            peak: AtomicUsize::new(0),
+        }
+    }
+
+    /// Current live heap bytes.
+    pub fn current_bytes(&self) -> usize {
+        self.current.load(Ordering::Relaxed)
+    }
+
+    /// Peak live heap bytes since the last [`reset_peak`](Self::reset_peak).
+    pub fn peak_bytes(&self) -> usize {
+        self.peak.load(Ordering::Relaxed)
+    }
+
+    /// Resets the peak to the current level (call between benchmarks).
+    pub fn reset_peak(&self) {
+        self.peak
+            .store(self.current.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+}
+
+impl Default for CountingAlloc {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+// SAFETY: delegates to the system allocator; the counters are
+// side-channel bookkeeping only and never affect returned pointers.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let p = unsafe { System.alloc(layout) };
+        if !p.is_null() {
+            let cur = self.current.fetch_add(layout.size(), Ordering::Relaxed) + layout.size();
+            self.peak.fetch_max(cur, Ordering::Relaxed);
+        }
+        p
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) };
+        self.current.fetch_sub(layout.size(), Ordering::Relaxed);
+    }
+}
+
+/// One measured run, serializable for EXPERIMENTS.md generation.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct RunRecord {
+    /// Benchmark row label, e.g. `bluetooth-3/2+1`.
+    pub label: String,
+    /// Whether FCR holds.
+    pub fcr: bool,
+    /// `"safe"`, `"unsafe"` or `"undetermined"`.
+    pub verdict: String,
+    /// Convergence bound (safe) or bug bound (unsafe), if any.
+    pub k: Option<usize>,
+    /// Engine that decided.
+    pub engine: String,
+    /// States stored by the deciding engine.
+    pub states: usize,
+    /// Wall-clock seconds.
+    pub seconds: f64,
+    /// Peak heap bytes during the run (0 when the counting allocator
+    /// is not installed).
+    pub peak_bytes: usize,
+}
+
+/// Runs a closure, measuring wall-clock time and (optionally) peak
+/// heap via the given allocator reference.
+pub fn measure<T>(alloc: Option<&CountingAlloc>, f: impl FnOnce() -> T) -> (T, f64, usize) {
+    if let Some(a) = alloc {
+        a.reset_peak();
+    }
+    let before = alloc.map(|a| a.peak_bytes()).unwrap_or(0);
+    let start = Instant::now();
+    let value = f();
+    let seconds = start.elapsed().as_secs_f64();
+    let peak = alloc
+        .map(|a| a.peak_bytes().saturating_sub(before))
+        .unwrap_or(0);
+    (value, seconds, peak)
+}
+
+/// Formats a byte count as MB with two decimals (Table 2 style).
+pub fn fmt_mb(bytes: usize) -> String {
+    format!("{:.2}", bytes as f64 / (1024.0 * 1024.0))
+}
+
+/// Renders a simple aligned text table.
+pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: Vec<String>, widths: &[usize]| -> String {
+        let mut line = String::new();
+        for (i, cell) in cells.iter().enumerate() {
+            if i > 0 {
+                line.push_str("  ");
+            }
+            line.push_str(&format!("{:width$}", cell, width = widths[i]));
+        }
+        line.trim_end().to_owned()
+    };
+    out.push_str(&fmt_row(
+        headers.iter().map(|h| h.to_string()).collect(),
+        &widths,
+    ));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row.clone(), &widths));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measure_reports_time() {
+        let (v, secs, _peak) = measure(None, || 41 + 1);
+        assert_eq!(v, 42);
+        assert!(secs >= 0.0);
+    }
+
+    #[test]
+    fn fmt_mb_two_decimals() {
+        assert_eq!(fmt_mb(1024 * 1024), "1.00");
+        assert_eq!(fmt_mb(0), "0.00");
+    }
+
+    #[test]
+    fn render_table_aligns() {
+        let t = render_table(
+            &["id", "k"],
+            &[
+                vec!["a".to_owned(), "10".to_owned()],
+                vec!["longer".to_owned(), "2".to_owned()],
+            ],
+        );
+        assert!(t.contains("id"));
+        assert!(t.contains("longer"));
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+    }
+
+    #[test]
+    fn run_record_serializes() {
+        let r = RunRecord {
+            label: "x/1".into(),
+            fcr: true,
+            verdict: "safe".into(),
+            k: Some(5),
+            engine: "Alg3(T(Rk))".into(),
+            states: 10,
+            seconds: 0.1,
+            peak_bytes: 1024,
+        };
+        let json = serde_json::to_string(&r).unwrap();
+        assert!(json.contains("\"k\":5"));
+        let back: RunRecord = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.label, "x/1");
+    }
+}

@@ -1,0 +1,63 @@
+//! The paper's running example: the two-thread CPDS of Fig. 1.
+//!
+//! `P2 = {P1, P2}` with `Q = {0,1,2,3}`, `Σ1 = {1,2}`, `Σ2 = {4,5,6}`,
+//! initial state `⟨0|1,4⟩`. Its visible-state sequence plateaus (fake)
+//! at `k = 2` and collapses at `k = 5` (Ex. 5, Ex. 9, Ex. 14); FCR
+//! holds although the global reachability set is infinite (Ex. 15).
+
+use cuba_pds::{Cpds, CpdsBuilder, PdsBuilder, SharedState, StackSym, VisibleState};
+
+/// Builds the Fig. 1 CPDS.
+pub fn build() -> Cpds {
+    let q = SharedState;
+    let s = StackSym;
+    let mut p1 = PdsBuilder::new(4, 3);
+    p1.named_action("f1", cuba_pds::Action::overwrite(q(0), s(1), q(1), s(2)))
+        .expect("static model");
+    p1.named_action("f2", cuba_pds::Action::overwrite(q(3), s(2), q(0), s(1)))
+        .expect("static model");
+    let mut p2 = PdsBuilder::new(4, 7);
+    p2.named_action("b1", cuba_pds::Action::pop(q(0), s(4), q(0)))
+        .expect("static model");
+    p2.named_action("b2", cuba_pds::Action::overwrite(q(1), s(4), q(2), s(5)))
+        .expect("static model");
+    p2.named_action("b3", cuba_pds::Action::push(q(2), s(5), q(3), s(4), s(6)))
+        .expect("static model");
+    CpdsBuilder::new(4, q(0))
+        .thread(p1.build().expect("static model"), [s(1)])
+        .thread(p2.build().expect("static model"), [s(4)])
+        .build()
+        .expect("static model")
+}
+
+/// A visible state that is *not* reachable (useful as a safe property
+/// target): `⟨2|1,5⟩` — thread 1 still at its initial symbol while
+/// thread 2 already holds 5 at shared state 2, which Fig. 1's table
+/// shows never happens.
+pub fn unreachable_visible() -> VisibleState {
+    VisibleState::new(SharedState(2), vec![Some(StackSym(1)), Some(StackSym(5))])
+}
+
+/// A visible state first reachable at context bound 5 (Fig. 1 table):
+/// `⟨1|2,6⟩`. Using it as an error target exercises bug finding at a
+/// non-trivial bound.
+pub fn deep_visible() -> VisibleState {
+    VisibleState::new(SharedState(1), vec![Some(StackSym(2)), Some(StackSym(6))])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn initial_state() {
+        assert_eq!(build().initial_state().to_string(), "<0|1,4>");
+    }
+
+    #[test]
+    fn action_names_preserved() {
+        let cpds = build();
+        assert_eq!(cpds.thread(0).action_name(0), Some("f1"));
+        assert_eq!(cpds.thread(1).action_name(2), Some("b3"));
+    }
+}

@@ -1,0 +1,88 @@
+//! The foo/bar program of Fig. 2 (adapted from Prabhu et al.\[33\]):
+//! two recursive procedures ping-ponging a shared Boolean `x`.
+//!
+//! Both stacks can grow without bound *within a single context*, so
+//! finite context reachability fails (Fig. 4 right) and only the
+//! symbolic engines apply. Ex. 8 shows `R1 ⊊ R2 = R3`. This is also
+//! Table 2's benchmark 6 ("K-Induction").
+
+use cuba_pds::{
+    Cpds, CpdsBuilder, GlobalState, PdsBuilder, SharedState, Stack, StackSym, VisibleState,
+};
+
+/// Shared state `⊥` (x uninitialized).
+pub const BOT: SharedState = SharedState(0);
+/// Shared state for `x = 0`.
+pub const X0: SharedState = SharedState(1);
+/// Shared state for `x = 1`.
+pub const X1: SharedState = SharedState(2);
+
+/// Builds the Fig. 2 CPDS. Stack symbols are the paper's line numbers:
+/// `Σ1 = {2,3,4,5}` (foo), `Σ2 = {6,7,8,9}` (bar).
+pub fn build() -> Cpds {
+    let s = StackSym;
+    let mut p1 = PdsBuilder::new(3, 6);
+    p1.overwrite(BOT, s(2), X0, s(2)).expect("static"); // f0
+    p1.overwrite(BOT, s(2), X1, s(2)).expect("static");
+    for x in [X0, X1] {
+        p1.overwrite(x, s(2), x, s(3)).expect("static"); // f2a
+        p1.overwrite(x, s(2), x, s(4)).expect("static"); // f2b
+        p1.push(x, s(3), x, s(2), s(4)).expect("static"); // f3
+        p1.pop(x, s(5), X1).expect("static"); // f5
+    }
+    p1.overwrite(X1, s(4), X1, s(4)).expect("static"); // f4a
+    p1.overwrite(X0, s(4), X0, s(5)).expect("static"); // f4b
+    let mut p2 = PdsBuilder::new(3, 10);
+    p2.overwrite(BOT, s(6), X0, s(6)).expect("static"); // b0
+    p2.overwrite(BOT, s(6), X1, s(6)).expect("static");
+    for x in [X0, X1] {
+        p2.overwrite(x, s(6), x, s(7)).expect("static"); // b6a
+        p2.overwrite(x, s(6), x, s(8)).expect("static"); // b6b
+        p2.push(x, s(7), x, s(6), s(8)).expect("static"); // b7
+        p2.pop(x, s(9), X0).expect("static"); // b9
+    }
+    p2.overwrite(X0, s(8), X0, s(8)).expect("static"); // b8a
+    p2.overwrite(X1, s(8), X1, s(9)).expect("static"); // b8b
+    CpdsBuilder::new(3, BOT)
+        .thread(p1.build().expect("static"), [s(2)])
+        .thread(p2.build().expect("static"), [s(6)])
+        .build()
+        .expect("static")
+}
+
+/// The Ex. 8 target state `⟨1|4,9⟩`: `x = 1`, foo spinning at its
+/// while loop, bar at its final assignment. Reachable within 2
+/// contexts but not 1.
+pub fn example8_state() -> GlobalState {
+    GlobalState::new(
+        X1,
+        vec![
+            Stack::from_top_down([StackSym(4)]),
+            Stack::from_top_down([StackSym(9)]),
+        ],
+    )
+}
+
+/// A visible state that is unreachable: foo past its loop (top 5,
+/// which requires `x = 0`) while `x` is still `⊥`. Any analysis that
+/// proves this unreachable must handle the unbounded stacks.
+pub fn unreachable_visible() -> VisibleState {
+    VisibleState::new(BOT, vec![Some(StackSym(5)), Some(StackSym(9))])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn initial_state() {
+        assert_eq!(build().initial_state().to_string(), "<0|2,6>");
+    }
+
+    #[test]
+    fn example8_state_shape() {
+        let s = example8_state();
+        assert_eq!(s.to_string(), "<2|4,9>");
+        assert_eq!(s.visible().to_string(), "<2|4,9>");
+    }
+}

@@ -1,0 +1,41 @@
+//! The sequential PDS of App. C Fig. 7, used to exercise pushdown
+//! store automata and `post*` saturation.
+
+use cuba_pds::{Pds, PdsBuilder, PdsConfig, SharedState, Stack, StackSym};
+
+/// Builds the Fig. 7 PDS:
+/// `(q0,σ0)→(q1,σ1σ0)`, `(q1,σ1)→(q2,σ2σ0)`, `(q2,σ2)→(q0,σ1)`,
+/// `(q0,σ1)→(q0,ε)`.
+pub fn build() -> Pds {
+    let q = SharedState;
+    let s = StackSym;
+    let mut b = PdsBuilder::new(3, 3);
+    b.push(q(0), s(0), q(1), s(1), s(0)).expect("static");
+    b.push(q(1), s(1), q(2), s(2), s(0)).expect("static");
+    b.overwrite(q(2), s(2), q(0), s(1)).expect("static");
+    b.pop(q(0), s(1), q(0)).expect("static");
+    b.build().expect("static")
+}
+
+/// The number of control states of the Fig. 7 PDS.
+pub const NUM_SHARED: u32 = 3;
+
+/// The initial configuration `⟨q0|σ0⟩`.
+pub fn initial_config() -> PdsConfig {
+    PdsConfig::new(SharedState(0), Stack::from_top_down([StackSym(0)]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn has_four_actions() {
+        assert_eq!(build().actions().len(), 4);
+    }
+
+    #[test]
+    fn initial() {
+        assert_eq!(initial_config().to_string(), "<0|0>");
+    }
+}

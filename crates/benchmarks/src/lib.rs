@@ -1,0 +1,38 @@
+//! The benchmark programs of the CUBA paper (§6, Table 2) and its
+//! running examples (Fig. 1, Fig. 2, Fig. 7), rebuilt as concurrent
+//! pushdown systems.
+//!
+//! The paper's artifact (C/Java sources put through predicate
+//! abstraction) is no longer available; each model here is
+//! reconstructed from the published descriptions of the original
+//! programs. See `DESIGN.md` §2 for the substitution notes and
+//! [`suite::table2_suite`] for the full Table 2 configuration list.
+//!
+//! # Example
+//!
+//! ```
+//! use cuba_benchmarks::suite::table2_suite;
+//!
+//! let suite = table2_suite();
+//! assert!(suite.iter().any(|b| b.id == "bluetooth-1"));
+//! for bench in &suite {
+//!     assert!(bench.cpds.num_threads() >= 2);
+//! }
+//! ```
+
+pub mod bluetooth;
+pub mod bst;
+pub mod crawler;
+pub mod dekker;
+mod encode;
+pub mod fig1;
+pub mod fig2;
+pub mod fig7;
+pub mod proc2;
+pub mod random;
+pub mod stefan;
+pub mod suite;
+pub mod textfmt;
+
+pub use encode::FieldEnc;
+pub use suite::{Benchmark, Expectation};

@@ -1,0 +1,128 @@
+//! Seeded random CPDS generation for property-based testing.
+//!
+//! The cross-validation property tests (explicit vs symbolic engines,
+//! `T(R) ⊆ Z`, `post*` vs bounded search) need many small systems;
+//! this module produces them deterministically from a seed.
+
+use cuba_pds::{Cpds, CpdsBuilder, PdsBuilder, SharedState, StackSym};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Shape parameters for [`random_cpds`].
+#[derive(Debug, Clone)]
+pub struct RandomCpdsConfig {
+    /// Number of shared states (≥ 1).
+    pub num_shared: u32,
+    /// Number of threads (≥ 1).
+    pub num_threads: usize,
+    /// Stack alphabet size per thread (≥ 1).
+    pub alphabet: u32,
+    /// Actions generated per thread.
+    pub actions_per_thread: usize,
+    /// Probability that an action is a push (the rest splits between
+    /// overwrites and pops). Pushes make FCR violations likely.
+    pub push_probability: f64,
+}
+
+impl Default for RandomCpdsConfig {
+    fn default() -> Self {
+        RandomCpdsConfig {
+            num_shared: 3,
+            num_threads: 2,
+            alphabet: 3,
+            actions_per_thread: 6,
+            push_probability: 0.25,
+        }
+    }
+}
+
+impl RandomCpdsConfig {
+    /// A shape whose instances almost always satisfy FCR: no pushes at
+    /// all (overwrites and pops only), so stacks never grow.
+    pub fn shrinking() -> Self {
+        RandomCpdsConfig {
+            push_probability: 0.0,
+            ..RandomCpdsConfig::default()
+        }
+    }
+}
+
+/// Generates a random CPDS from a seed. The same `(config, seed)`
+/// always yields the same system.
+pub fn random_cpds(config: &RandomCpdsConfig, seed: u64) -> Cpds {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut builder = CpdsBuilder::new(config.num_shared, SharedState(0));
+    for _ in 0..config.num_threads {
+        let mut pds = PdsBuilder::new(config.num_shared, config.alphabet);
+        for _ in 0..config.actions_per_thread {
+            let q = SharedState(rng.gen_range(0..config.num_shared));
+            let q2 = SharedState(rng.gen_range(0..config.num_shared));
+            let top = StackSym(rng.gen_range(0..config.alphabet));
+            let roll: f64 = rng.gen();
+            if roll < config.push_probability {
+                let rho0 = StackSym(rng.gen_range(0..config.alphabet));
+                let rho1 = StackSym(rng.gen_range(0..config.alphabet));
+                pds.push(q, top, q2, rho0, rho1).expect("in range");
+            } else if roll < config.push_probability + 0.5 * (1.0 - config.push_probability) {
+                let s2 = StackSym(rng.gen_range(0..config.alphabet));
+                pds.overwrite(q, top, q2, s2).expect("in range");
+            } else {
+                pds.pop(q, top, q2).expect("in range");
+            }
+        }
+        let initial = StackSym(rng.gen_range(0..config.alphabet));
+        builder = builder.thread(pds.build().expect("in range"), [initial]);
+    }
+    builder.build().expect("valid by construction")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let cfg = RandomCpdsConfig::default();
+        let a = random_cpds(&cfg, 42);
+        let b = random_cpds(&cfg, 42);
+        assert_eq!(a.initial_state(), b.initial_state());
+        for i in 0..a.num_threads() {
+            assert_eq!(a.thread(i).actions(), b.thread(i).actions());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let cfg = RandomCpdsConfig::default();
+        let a = random_cpds(&cfg, 1);
+        let b = random_cpds(&cfg, 2);
+        let same = (0..a.num_threads()).all(|i| a.thread(i).actions() == b.thread(i).actions());
+        assert!(!same);
+    }
+
+    #[test]
+    fn shrinking_systems_satisfy_fcr() {
+        let cfg = RandomCpdsConfig::shrinking();
+        for seed in 0..20 {
+            let cpds = random_cpds(&cfg, seed);
+            assert!(
+                cuba_core::check_fcr(&cpds).holds(),
+                "push-free system must satisfy FCR (seed {seed})"
+            );
+        }
+    }
+
+    #[test]
+    fn respects_shape() {
+        let cfg = RandomCpdsConfig {
+            num_threads: 3,
+            actions_per_thread: 4,
+            ..RandomCpdsConfig::default()
+        };
+        let cpds = random_cpds(&cfg, 7);
+        assert_eq!(cpds.num_threads(), 3);
+        for i in 0..3 {
+            assert_eq!(cpds.thread(i).actions().len(), 4);
+        }
+    }
+}

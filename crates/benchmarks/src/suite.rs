@@ -1,0 +1,232 @@
+//! The Table 2 benchmark registry: every program × thread
+//! configuration of the paper's evaluation, with the paper's reported
+//! outcomes attached for comparison in `EXPERIMENTS.md`.
+
+use cuba_core::Property;
+use cuba_pds::Cpds;
+
+use crate::{bluetooth, bst, crawler, dekker, fig2, proc2, stefan};
+
+/// What the paper's Table 2 reports for a row.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Expectation {
+    /// `Safe?` column (`None` = the paper ran out of memory).
+    pub safe: Option<bool>,
+    /// `FCR?` column.
+    pub fcr: bool,
+    /// `kmax` of `(T(Rk))` (`None` = OOM row).
+    pub paper_kmax_visible: Option<usize>,
+    /// Parenthesized bug bound for unsafe rows.
+    pub paper_bug_k: Option<usize>,
+}
+
+/// One Table 2 row: a CPDS, its property, and the paper's outcomes.
+#[derive(Debug, Clone)]
+pub struct Benchmark {
+    /// Program id, e.g. `"bluetooth-1"`.
+    pub id: &'static str,
+    /// Thread configuration in the paper's notation, e.g. `"1+2"`.
+    pub config: &'static str,
+    /// The system.
+    pub cpds: Cpds,
+    /// The safety property.
+    pub property: Property,
+    /// The paper's reported outcomes.
+    pub expect: Expectation,
+}
+
+impl Benchmark {
+    /// `"{id}/{config}"`, the row label used by the harness.
+    pub fn label(&self) -> String {
+        format!("{}/{}", self.id, self.config)
+    }
+}
+
+fn bluetooth_rows(suite: &mut Vec<Benchmark>) {
+    use bluetooth::Version;
+    let versions = [
+        ("bluetooth-1", Version::V1, None, Some(4usize)),
+        ("bluetooth-2", Version::V2, None, Some(4)),
+        ("bluetooth-3", Version::V3, Some(true), None),
+    ];
+    let configs: [(&'static str, usize, usize, usize); 3] =
+        [("1+1", 1, 1, 6), ("1+2", 1, 2, 6), ("2+1", 2, 1, 7)];
+    for (id, version, safe, bug_k) in versions {
+        for (config, stoppers, adders, kmax) in configs {
+            suite.push(Benchmark {
+                id,
+                config,
+                cpds: bluetooth::build(version, stoppers, adders),
+                property: bluetooth::property(),
+                expect: Expectation {
+                    safe: safe.or(Some(false)),
+                    fcr: true,
+                    paper_kmax_visible: Some(kmax),
+                    paper_bug_k: bug_k,
+                },
+            });
+        }
+    }
+}
+
+/// Builds the full Table 2 suite.
+///
+/// Thread configurations follow the paper's `n+m` notation; the
+/// Bluetooth rows additionally carry the recursive counter thread (see
+/// the module docs of [`bluetooth`]).
+pub fn table2_suite() -> Vec<Benchmark> {
+    let mut suite = Vec::new();
+    bluetooth_rows(&mut suite);
+    // 4: BST-Insert.
+    for (config, ins, srch, kmax) in [("1+1", 1, 1, 2), ("2+1", 2, 1, 3), ("2+2", 2, 2, 4)] {
+        suite.push(Benchmark {
+            id: "bst-insert",
+            config,
+            cpds: bst::build(ins, srch),
+            property: bst::property(ins + srch),
+            expect: Expectation {
+                safe: Some(true),
+                fcr: true,
+                paper_kmax_visible: Some(kmax),
+                paper_bug_k: None,
+            },
+        });
+    }
+    // 5: FileCrawler (1 non-recursive user + 2 crawlers).
+    suite.push(Benchmark {
+        id: "filecrawler",
+        config: "1*+2",
+        cpds: crawler::build(2),
+        property: crawler::property(),
+        expect: Expectation {
+            safe: Some(true),
+            fcr: true,
+            paper_kmax_visible: Some(6),
+            paper_bug_k: None,
+        },
+    });
+    // 6: K-Induction (the Fig. 2 program, FCR fails).
+    suite.push(Benchmark {
+        id: "k-induction",
+        config: "1+1",
+        cpds: fig2::build(),
+        property: Property::never_visible(fig2::unreachable_visible()),
+        expect: Expectation {
+            safe: Some(true),
+            fcr: false,
+            paper_kmax_visible: Some(3),
+            paper_bug_k: None,
+        },
+    });
+    // 7: Proc-2 (2 recursive servers + 2 non-recursive clients).
+    suite.push(Benchmark {
+        id: "proc-2",
+        config: "2+2*",
+        cpds: proc2::build(),
+        property: proc2::property(),
+        expect: Expectation {
+            safe: Some(true),
+            fcr: false,
+            paper_kmax_visible: Some(3),
+            paper_bug_k: None,
+        },
+    });
+    // 8: Stefan-1 with 2, 4 and 8 identical threads; the 8-thread
+    // instance exhausts memory in the paper.
+    for (config, n, kmax, safe) in [
+        ("2", 2usize, Some(2usize), Some(true)),
+        ("4", 4, Some(4), Some(true)),
+        ("8", 8, None, None),
+    ] {
+        suite.push(Benchmark {
+            id: "stefan-1",
+            config,
+            cpds: stefan::build(n),
+            property: stefan::property(n),
+            expect: Expectation {
+                safe,
+                fcr: false,
+                paper_kmax_visible: kmax,
+                paper_bug_k: None,
+            },
+        });
+    }
+    // 9: Dekker (recursion-free).
+    suite.push(Benchmark {
+        id: "dekker",
+        config: "2*",
+        cpds: dekker::build(),
+        property: dekker::property(),
+        expect: Expectation {
+            safe: Some(true),
+            fcr: true,
+            paper_kmax_visible: Some(6),
+            paper_bug_k: None,
+        },
+    });
+    suite
+}
+
+/// The subset of the suite used for the Fig. 5 tool comparison
+/// (suites 1–5 and 9, as in the paper: the others have no JMoped
+/// translation).
+pub fn fig5_suite() -> Vec<Benchmark> {
+    table2_suite()
+        .into_iter()
+        .filter(|b| {
+            matches!(
+                b.id,
+                "bluetooth-1"
+                    | "bluetooth-2"
+                    | "bluetooth-3"
+                    | "bst-insert"
+                    | "filecrawler"
+                    | "dekker"
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_has_all_table2_rows() {
+        let suite = table2_suite();
+        // 3 bluetooth × 3 configs + 3 bst + 1 crawler + 1 k-induction
+        // + 1 proc2 + 3 stefan + 1 dekker = 19 rows.
+        assert_eq!(suite.len(), 19);
+        let ids: std::collections::HashSet<&str> = suite.iter().map(|b| b.id).collect();
+        assert_eq!(ids.len(), 9);
+    }
+
+    #[test]
+    fn labels_are_unique() {
+        let suite = table2_suite();
+        let labels: std::collections::HashSet<String> = suite.iter().map(|b| b.label()).collect();
+        assert_eq!(labels.len(), suite.len());
+    }
+
+    #[test]
+    fn fig5_subset() {
+        let suite = fig5_suite();
+        assert!(suite
+            .iter()
+            .all(|b| !matches!(b.id, "k-induction" | "proc-2" | "stefan-1")));
+        assert_eq!(suite.len(), 14);
+    }
+
+    #[test]
+    fn fcr_expectations_match_reality() {
+        for bench in table2_suite() {
+            let fcr = cuba_core::check_fcr(&bench.cpds).holds();
+            assert_eq!(
+                fcr,
+                bench.expect.fcr,
+                "{}: FCR mismatch with the paper",
+                bench.label()
+            );
+        }
+    }
+}

@@ -1,0 +1,270 @@
+use crate::Span;
+
+/// A complete Boolean program: global declarations plus functions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Program {
+    /// Global variable declarations.
+    pub decls: Vec<Decl>,
+    /// Function definitions.
+    pub funcs: Vec<Func>,
+}
+
+/// A `decl x y z;` declaration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Decl {
+    /// Declared names.
+    pub names: Vec<String>,
+    /// Where the declaration starts.
+    pub span: Span,
+}
+
+/// Function return types (`void` or `bool`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Type {
+    /// No return value.
+    Void,
+    /// One Boolean return value.
+    Bool,
+}
+
+/// A function definition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Func {
+    /// Return type.
+    pub ty: Type,
+    /// Name.
+    pub name: String,
+    /// Parameter names.
+    pub params: Vec<String>,
+    /// Local declarations.
+    pub decls: Vec<Decl>,
+    /// Body statements.
+    pub body: Vec<Stmt>,
+    /// Where the definition starts.
+    pub span: Span,
+}
+
+/// A statement with an optional label.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Stmt {
+    /// Optional label (`l: stmt`).
+    pub label: Option<String>,
+    /// The statement proper.
+    pub kind: StmtKind,
+    /// Where the statement starts.
+    pub span: Span,
+}
+
+/// Statement kinds (Fig. 6).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StmtKind {
+    /// `skip`.
+    Skip,
+    /// `goto l1 l2 …` — nondeterministic jump.
+    Goto(Vec<String>),
+    /// `assume(e)`.
+    Assume(Expr),
+    /// `assert(e)`.
+    Assert(Expr),
+    /// `x1, x2 := e1, e2 [constrain e]` — parallel assignment.
+    Assign {
+        /// Assigned variables.
+        targets: Vec<String>,
+        /// Right-hand sides (same arity).
+        values: Vec<Expr>,
+        /// Optional filter over the *post* state.
+        constrain: Option<Expr>,
+    },
+    /// `x := call f(e1, …)` — call with Boolean result.
+    CallAssign {
+        /// Variable receiving the return value.
+        target: String,
+        /// Callee.
+        func: String,
+        /// Arguments.
+        args: Vec<Expr>,
+    },
+    /// `call f(e1, …)` — void call.
+    Call {
+        /// Callee.
+        func: String,
+        /// Arguments.
+        args: Vec<Expr>,
+    },
+    /// `return [e]`.
+    Return(Option<Expr>),
+    /// `while (e) { … }`.
+    While {
+        /// Loop condition.
+        cond: Expr,
+        /// Loop body.
+        body: Vec<Stmt>,
+    },
+    /// `if (e) { … } else { … }` (else optional).
+    If {
+        /// Branch condition.
+        cond: Expr,
+        /// Then branch.
+        then_branch: Vec<Stmt>,
+        /// Else branch.
+        else_branch: Vec<Stmt>,
+    },
+    /// `thread_create(f)` — only meaningful inside `main`.
+    ThreadCreate(String),
+    /// `atomic { … }` — modeled via the implicit global lock.
+    Atomic(Vec<Stmt>),
+    /// `lock` — acquire the implicit global lock (blocking test&set).
+    Lock,
+    /// `unlock` — release the implicit global lock.
+    Unlock,
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// `&`
+    And,
+    /// `|`
+    Or,
+    /// `^`
+    Xor,
+    /// `=`
+    Eq,
+    /// `!=`
+    Neq,
+}
+
+/// Boolean expressions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Expr {
+    /// `0` or `1`.
+    Const(bool),
+    /// A variable reference.
+    Var(String),
+    /// The nondeterministic choice `*`.
+    Nondet,
+    /// `!e`.
+    Not(Box<Expr>),
+    /// `e1 op e2`.
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+}
+
+impl Expr {
+    /// All possible values of the expression under `lookup`, taking
+    /// every `*` both ways. The result is deduplicated, so it has one
+    /// or two elements.
+    pub fn eval_nondet(&self, lookup: &dyn Fn(&str) -> bool) -> Vec<bool> {
+        let mut out = match self {
+            Expr::Const(b) => vec![*b],
+            Expr::Var(name) => vec![lookup(name)],
+            Expr::Nondet => vec![false, true],
+            Expr::Not(inner) => inner.eval_nondet(lookup).iter().map(|b| !b).collect(),
+            Expr::Bin(op, lhs, rhs) => {
+                let mut vals = Vec::new();
+                for l in lhs.eval_nondet(lookup) {
+                    for r in rhs.eval_nondet(lookup) {
+                        vals.push(match op {
+                            BinOp::And => l && r,
+                            BinOp::Or => l || r,
+                            BinOp::Xor => l ^ r,
+                            BinOp::Eq => l == r,
+                            BinOp::Neq => l != r,
+                        });
+                    }
+                }
+                vals
+            }
+        };
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    /// Variables referenced by the expression.
+    pub fn vars(&self, out: &mut Vec<String>) {
+        match self {
+            Expr::Const(_) | Expr::Nondet => {}
+            Expr::Var(name) => out.push(name.clone()),
+            Expr::Not(inner) => inner.vars(out),
+            Expr::Bin(_, lhs, rhs) => {
+                lhs.vars(out);
+                rhs.vars(out);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn env<'a>(pairs: &'a [(&'a str, bool)]) -> impl Fn(&str) -> bool + 'a {
+        move |name: &str| {
+            pairs
+                .iter()
+                .find(|(n, _)| *n == name)
+                .map(|(_, v)| *v)
+                .unwrap_or(false)
+        }
+    }
+
+    #[test]
+    fn eval_deterministic() {
+        let e = Expr::Bin(
+            BinOp::And,
+            Box::new(Expr::Var("a".into())),
+            Box::new(Expr::Not(Box::new(Expr::Var("b".into())))),
+        );
+        let lookup = env(&[("a", true), ("b", false)]);
+        assert_eq!(e.eval_nondet(&lookup), vec![true]);
+        let lookup = env(&[("a", true), ("b", true)]);
+        assert_eq!(e.eval_nondet(&lookup), vec![false]);
+    }
+
+    #[test]
+    fn eval_nondet_star() {
+        let e = Expr::Bin(
+            BinOp::Or,
+            Box::new(Expr::Nondet),
+            Box::new(Expr::Const(false)),
+        );
+        let lookup = env(&[]);
+        assert_eq!(e.eval_nondet(&lookup), vec![false, true]);
+        // `* | 1` is always true.
+        let e = Expr::Bin(
+            BinOp::Or,
+            Box::new(Expr::Nondet),
+            Box::new(Expr::Const(true)),
+        );
+        assert_eq!(e.eval_nondet(&lookup), vec![true]);
+    }
+
+    #[test]
+    fn eq_and_neq() {
+        let lookup = env(&[("a", true)]);
+        let eq = Expr::Bin(
+            BinOp::Eq,
+            Box::new(Expr::Var("a".into())),
+            Box::new(Expr::Const(true)),
+        );
+        assert_eq!(eq.eval_nondet(&lookup), vec![true]);
+        let neq = Expr::Bin(
+            BinOp::Neq,
+            Box::new(Expr::Var("a".into())),
+            Box::new(Expr::Const(true)),
+        );
+        assert_eq!(neq.eval_nondet(&lookup), vec![false]);
+    }
+
+    #[test]
+    fn vars_collected() {
+        let e = Expr::Bin(
+            BinOp::Xor,
+            Box::new(Expr::Var("x".into())),
+            Box::new(Expr::Not(Box::new(Expr::Var("y".into())))),
+        );
+        let mut vars = Vec::new();
+        e.vars(&mut vars);
+        assert_eq!(vars, vec!["x".to_owned(), "y".to_owned()]);
+    }
+}

@@ -1,0 +1,375 @@
+use std::collections::HashMap;
+
+use crate::ast::{Expr, Func, Stmt, StmtKind};
+use crate::BoolProgError;
+
+/// One control-flow edge of a lowered function.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CfgEdge {
+    /// Source program point.
+    pub from: usize,
+    /// Target program point (ignored for `Return`).
+    pub to: usize,
+    /// The edge's effect.
+    pub effect: Effect,
+}
+
+/// Effects a single CFG edge can have.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Effect {
+    /// No effect (also used for resolved `goto`s).
+    Skip,
+    /// Pass only when the expression can evaluate to `true`.
+    Assume(Expr),
+    /// Pass only when the expression can evaluate to `false`.
+    AssumeNot(Expr),
+    /// Branch to the error state when the expression can be `false`;
+    /// proceed when it can be `true`.
+    Assert(Expr),
+    /// Parallel assignment.
+    Assign {
+        /// Assigned variables.
+        targets: Vec<String>,
+        /// Right-hand sides.
+        values: Vec<Expr>,
+        /// Optional post-state filter.
+        constrain: Option<Expr>,
+    },
+    /// Call `func(args)`; `to` is the return site.
+    Call {
+        /// Callee name.
+        func: String,
+        /// Argument expressions.
+        args: Vec<Expr>,
+    },
+    /// Copy the `$ret` bit into a local/global variable (the synthetic
+    /// edge following a `x := call f(…)`).
+    ReadRet(String),
+    /// Return from the function, optionally publishing a value via
+    /// `$ret`.
+    Return(Option<Expr>),
+    /// Acquire the implicit global lock (blocking test-and-set).
+    Lock,
+    /// Release the implicit global lock.
+    Unlock,
+}
+
+/// A function lowered to program points and effect edges.
+///
+/// Point `0` is the entry; `exit_point` carries the implicit `return`
+/// executed when control falls off the end of the body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FunctionCfg {
+    /// Function name.
+    pub name: String,
+    /// Number of program points.
+    pub num_points: usize,
+    /// All edges.
+    pub edges: Vec<CfgEdge>,
+    /// The implicit-return point.
+    pub exit_point: usize,
+}
+
+struct Lowerer {
+    edges: Vec<CfgEdge>,
+    num_points: usize,
+    labels: HashMap<String, usize>,
+    pending_gotos: Vec<(usize, String, crate::Span)>, // edge idx, label
+}
+
+impl Lowerer {
+    fn fresh(&mut self) -> usize {
+        let p = self.num_points;
+        self.num_points += 1;
+        p
+    }
+
+    fn edge(&mut self, from: usize, to: usize, effect: Effect) -> usize {
+        self.edges.push(CfgEdge { from, to, effect });
+        self.edges.len() - 1
+    }
+
+    /// Lowers `stmts` starting at `entry`; returns the fall-through
+    /// point.
+    fn stmts(&mut self, entry: usize, stmts: &[Stmt]) -> Result<usize, BoolProgError> {
+        let mut current = entry;
+        for s in stmts {
+            if let Some(label) = &s.label {
+                if self.labels.insert(label.clone(), current).is_some() {
+                    return Err(BoolProgError::resolve(
+                        s.span,
+                        format!("duplicate label '{label}'"),
+                    ));
+                }
+            }
+            current = self.stmt(current, s)?;
+        }
+        Ok(current)
+    }
+
+    fn stmt(&mut self, at: usize, s: &Stmt) -> Result<usize, BoolProgError> {
+        match &s.kind {
+            StmtKind::Skip => {
+                let next = self.fresh();
+                self.edge(at, next, Effect::Skip);
+                Ok(next)
+            }
+            StmtKind::Goto(targets) => {
+                for t in targets {
+                    let idx = self.edge(at, usize::MAX, Effect::Skip);
+                    self.pending_gotos.push((idx, t.clone(), s.span));
+                }
+                // Control never falls through a goto; a fresh point
+                // keeps any (unreachable) successor well-formed.
+                Ok(self.fresh())
+            }
+            StmtKind::Assume(e) => {
+                let next = self.fresh();
+                self.edge(at, next, Effect::Assume(e.clone()));
+                Ok(next)
+            }
+            StmtKind::Assert(e) => {
+                let next = self.fresh();
+                self.edge(at, next, Effect::Assert(e.clone()));
+                Ok(next)
+            }
+            StmtKind::Assign {
+                targets,
+                values,
+                constrain,
+            } => {
+                let next = self.fresh();
+                self.edge(
+                    at,
+                    next,
+                    Effect::Assign {
+                        targets: targets.clone(),
+                        values: values.clone(),
+                        constrain: constrain.clone(),
+                    },
+                );
+                Ok(next)
+            }
+            StmtKind::Call { func, args } => {
+                let next = self.fresh();
+                self.edge(
+                    at,
+                    next,
+                    Effect::Call {
+                        func: func.clone(),
+                        args: args.clone(),
+                    },
+                );
+                Ok(next)
+            }
+            StmtKind::CallAssign { target, func, args } => {
+                let recv = self.fresh();
+                self.edge(
+                    at,
+                    recv,
+                    Effect::Call {
+                        func: func.clone(),
+                        args: args.clone(),
+                    },
+                );
+                let next = self.fresh();
+                self.edge(recv, next, Effect::ReadRet(target.clone()));
+                Ok(next)
+            }
+            StmtKind::Return(e) => {
+                self.edge(at, at, Effect::Return(e.clone()));
+                Ok(self.fresh())
+            }
+            StmtKind::While { cond, body } => {
+                let body_entry = self.fresh();
+                let after = self.fresh();
+                self.edge(at, body_entry, Effect::Assume(cond.clone()));
+                self.edge(at, after, Effect::AssumeNot(cond.clone()));
+                let body_end = self.stmts(body_entry, body)?;
+                self.edge(body_end, at, Effect::Skip);
+                Ok(after)
+            }
+            StmtKind::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
+                let then_entry = self.fresh();
+                let else_entry = self.fresh();
+                let after = self.fresh();
+                self.edge(at, then_entry, Effect::Assume(cond.clone()));
+                self.edge(at, else_entry, Effect::AssumeNot(cond.clone()));
+                let then_end = self.stmts(then_entry, then_branch)?;
+                self.edge(then_end, after, Effect::Skip);
+                let else_end = self.stmts(else_entry, else_branch)?;
+                self.edge(else_end, after, Effect::Skip);
+                Ok(after)
+            }
+            StmtKind::ThreadCreate(_) => {
+                // Only meaningful in main, which is never translated to
+                // a PDS; treat as skip so main's CFG stays well-formed.
+                let next = self.fresh();
+                self.edge(at, next, Effect::Skip);
+                Ok(next)
+            }
+            StmtKind::Atomic(body) => {
+                let inner = self.fresh();
+                self.edge(at, inner, Effect::Lock);
+                let body_end = self.stmts(inner, body)?;
+                let next = self.fresh();
+                self.edge(body_end, next, Effect::Unlock);
+                Ok(next)
+            }
+            StmtKind::Lock => {
+                let next = self.fresh();
+                self.edge(at, next, Effect::Lock);
+                Ok(next)
+            }
+            StmtKind::Unlock => {
+                let next = self.fresh();
+                self.edge(at, next, Effect::Unlock);
+                Ok(next)
+            }
+        }
+    }
+}
+
+/// Lowers a function body to a [`FunctionCfg`].
+///
+/// # Errors
+///
+/// Reports duplicate labels and unresolved `goto` targets.
+pub fn lower_function(func: &Func) -> Result<FunctionCfg, BoolProgError> {
+    let mut lowerer = Lowerer {
+        edges: Vec::new(),
+        num_points: 0,
+        labels: HashMap::new(),
+        pending_gotos: Vec::new(),
+    };
+    let entry = lowerer.fresh();
+    debug_assert_eq!(entry, 0);
+    let exit_point = lowerer.stmts(entry, &func.body)?;
+    // Implicit return at the fall-through point.
+    lowerer.edge(exit_point, exit_point, Effect::Return(None));
+    // Patch gotos.
+    for (edge_idx, label, span) in std::mem::take(&mut lowerer.pending_gotos) {
+        match lowerer.labels.get(&label) {
+            Some(&point) => lowerer.edges[edge_idx].to = point,
+            None => {
+                return Err(BoolProgError::resolve(
+                    span,
+                    format!("unknown label '{label}'"),
+                ))
+            }
+        }
+    }
+    Ok(FunctionCfg {
+        name: func.name.clone(),
+        num_points: lowerer.num_points,
+        edges: lowerer.edges,
+        exit_point,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+
+    fn lower(src: &str) -> FunctionCfg {
+        let prog = parse(src).unwrap();
+        lower_function(&prog.funcs[0]).unwrap()
+    }
+
+    #[test]
+    fn straight_line() {
+        let cfg = lower("void f() { skip; skip; }");
+        // entry -> p1 -> p2 (exit), plus the implicit return edge.
+        assert_eq!(cfg.num_points, 3);
+        assert_eq!(cfg.edges.len(), 3);
+        assert!(matches!(cfg.edges[2].effect, Effect::Return(None)));
+        assert_eq!(cfg.exit_point, 2);
+    }
+
+    #[test]
+    fn while_loop_shape() {
+        let cfg = lower("decl x; void f() { while (x) { skip; } }");
+        let assumes = cfg
+            .edges
+            .iter()
+            .filter(|e| matches!(e.effect, Effect::Assume(_)))
+            .count();
+        let assume_nots = cfg
+            .edges
+            .iter()
+            .filter(|e| matches!(e.effect, Effect::AssumeNot(_)))
+            .count();
+        assert_eq!(assumes, 1);
+        assert_eq!(assume_nots, 1);
+        // Back edge to the loop head exists.
+        assert!(cfg.edges.iter().any(|e| e.to == 0 && e.from != 0));
+    }
+
+    #[test]
+    fn goto_patched() {
+        let cfg = lower("void f() { top: skip; goto top; }");
+        // The goto edge targets point 0 (the label of the first stmt).
+        assert!(cfg
+            .edges
+            .iter()
+            .any(|e| e.to == 0 && matches!(e.effect, Effect::Skip) && e.from != 0));
+    }
+
+    #[test]
+    fn unknown_label_rejected() {
+        let prog = parse("void f() { goto nowhere; }").unwrap();
+        assert!(lower_function(&prog.funcs[0]).is_err());
+    }
+
+    #[test]
+    fn duplicate_label_rejected() {
+        let prog = parse("void f() { a: skip; a: skip; }").unwrap();
+        assert!(lower_function(&prog.funcs[0]).is_err());
+    }
+
+    #[test]
+    fn call_assign_gets_read_ret_edge() {
+        let cfg = lower("bool g() { return 1; }");
+        assert!(cfg
+            .edges
+            .iter()
+            .any(|e| matches!(e.effect, Effect::Return(Some(_)))));
+        let cfg = lower_function(
+            &parse("bool g() { return 1; } void f() { decl t; t := call g(); }")
+                .unwrap()
+                .funcs[1],
+        )
+        .unwrap();
+        assert!(cfg
+            .edges
+            .iter()
+            .any(|e| matches!(e.effect, Effect::Call { .. })));
+        assert!(cfg
+            .edges
+            .iter()
+            .any(|e| matches!(&e.effect, Effect::ReadRet(t) if t == "t")));
+    }
+
+    #[test]
+    fn atomic_wraps_lock_unlock() {
+        let cfg = lower("void f() { atomic { skip; } }");
+        assert!(cfg.edges.iter().any(|e| matches!(e.effect, Effect::Lock)));
+        assert!(cfg.edges.iter().any(|e| matches!(e.effect, Effect::Unlock)));
+    }
+
+    #[test]
+    fn if_else_shape() {
+        let cfg = lower("decl x; void f() { if (x) { skip; } else { skip; } }");
+        let joins = cfg
+            .edges
+            .iter()
+            .filter(|e| matches!(e.effect, Effect::Skip))
+            .count();
+        assert!(joins >= 2, "both branches join");
+    }
+}

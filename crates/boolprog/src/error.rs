@@ -1,0 +1,92 @@
+/// A source position (1-based line and column).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Span {
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column.
+    pub col: usize,
+}
+
+impl std::fmt::Display for Span {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// Errors from the Boolean-program frontend.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BoolProgError {
+    /// Lexical error.
+    Lex {
+        /// Where.
+        span: Span,
+        /// What.
+        message: String,
+    },
+    /// Syntax error.
+    Parse {
+        /// Where.
+        span: Span,
+        /// What.
+        message: String,
+    },
+    /// Name-resolution or type error.
+    Resolve {
+        /// Where.
+        span: Span,
+        /// What.
+        message: String,
+    },
+    /// The program is too large to translate (the valuation
+    /// enumeration would explode).
+    TooLarge(String),
+}
+
+impl BoolProgError {
+    pub(crate) fn lex(span: Span, message: impl Into<String>) -> Self {
+        BoolProgError::Lex {
+            span,
+            message: message.into(),
+        }
+    }
+    pub(crate) fn parse(span: Span, message: impl Into<String>) -> Self {
+        BoolProgError::Parse {
+            span,
+            message: message.into(),
+        }
+    }
+    pub(crate) fn resolve(span: Span, message: impl Into<String>) -> Self {
+        BoolProgError::Resolve {
+            span,
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for BoolProgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BoolProgError::Lex { span, message } => write!(f, "lex error at {span}: {message}"),
+            BoolProgError::Parse { span, message } => {
+                write!(f, "parse error at {span}: {message}")
+            }
+            BoolProgError::Resolve { span, message } => {
+                write!(f, "semantic error at {span}: {message}")
+            }
+            BoolProgError::TooLarge(what) => write!(f, "program too large: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for BoolProgError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_positions() {
+        let e = BoolProgError::parse(Span { line: 3, col: 7 }, "expected ';'");
+        assert_eq!(e.to_string(), "parse error at 3:7: expected ';'");
+    }
+}

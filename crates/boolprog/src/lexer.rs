@@ -1,0 +1,256 @@
+use crate::{BoolProgError, Span};
+
+/// Kinds of tokens of the Boolean-program language (Fig. 6).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword.
+    Ident(String),
+    /// `0` or `1`.
+    Const(bool),
+    /// `:=`
+    Assign,
+    /// `:`
+    Colon,
+    /// `;`
+    Semi,
+    /// `,`
+    Comma,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `&`
+    Amp,
+    /// `|`
+    Pipe,
+    /// `^`
+    Caret,
+    /// `=`
+    Eq,
+    /// `!=`
+    Neq,
+    /// `!`
+    Bang,
+    /// `*`
+    Star,
+}
+
+/// A token with its source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// The token kind (and payload for identifiers/constants).
+    pub kind: TokenKind,
+    /// Where the token starts.
+    pub span: Span,
+}
+
+/// Tokenizes Boolean-program source. `//` comments run to end of line.
+///
+/// # Errors
+///
+/// Returns a [`BoolProgError::Lex`] on unexpected characters.
+pub fn tokenize(source: &str) -> Result<Vec<Token>, BoolProgError> {
+    let mut tokens = Vec::new();
+    let mut line = 1usize;
+    let mut col = 1usize;
+    let mut chars = source.chars().peekable();
+    while let Some(&c) = chars.peek() {
+        let span = Span { line, col };
+        let mut bump = |chars: &mut std::iter::Peekable<std::str::Chars>| {
+            let c = chars.next().expect("peeked");
+            if c == '\n' {
+                line += 1;
+                col = 1;
+            } else {
+                col += 1;
+            }
+            c
+        };
+        match c {
+            ' ' | '\t' | '\r' | '\n' => {
+                bump(&mut chars);
+            }
+            '/' => {
+                bump(&mut chars);
+                if chars.peek() == Some(&'/') {
+                    while let Some(&n) = chars.peek() {
+                        if n == '\n' {
+                            break;
+                        }
+                        bump(&mut chars);
+                    }
+                } else {
+                    return Err(BoolProgError::lex(span, "expected '//' comment"));
+                }
+            }
+            'a'..='z' | 'A'..='Z' | '_' | '$' => {
+                let mut ident = String::new();
+                while let Some(&n) = chars.peek() {
+                    if n.is_ascii_alphanumeric() || n == '_' || n == '$' {
+                        ident.push(bump(&mut chars));
+                    } else {
+                        break;
+                    }
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Ident(ident),
+                    span,
+                });
+            }
+            '0' | '1' => {
+                let b = bump(&mut chars) == '1';
+                if let Some(&n) = chars.peek() {
+                    if n.is_ascii_alphanumeric() {
+                        return Err(BoolProgError::lex(span, "constants are 0 or 1"));
+                    }
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Const(b),
+                    span,
+                });
+            }
+            ':' => {
+                bump(&mut chars);
+                if chars.peek() == Some(&'=') {
+                    bump(&mut chars);
+                    tokens.push(Token {
+                        kind: TokenKind::Assign,
+                        span,
+                    });
+                } else {
+                    tokens.push(Token {
+                        kind: TokenKind::Colon,
+                        span,
+                    });
+                }
+            }
+            '!' => {
+                bump(&mut chars);
+                if chars.peek() == Some(&'=') {
+                    bump(&mut chars);
+                    tokens.push(Token {
+                        kind: TokenKind::Neq,
+                        span,
+                    });
+                } else {
+                    tokens.push(Token {
+                        kind: TokenKind::Bang,
+                        span,
+                    });
+                }
+            }
+            _ => {
+                let kind = match c {
+                    ';' => Some(TokenKind::Semi),
+                    ',' => Some(TokenKind::Comma),
+                    '(' => Some(TokenKind::LParen),
+                    ')' => Some(TokenKind::RParen),
+                    '{' => Some(TokenKind::LBrace),
+                    '}' => Some(TokenKind::RBrace),
+                    '&' => Some(TokenKind::Amp),
+                    '|' => Some(TokenKind::Pipe),
+                    '^' => Some(TokenKind::Caret),
+                    '=' => Some(TokenKind::Eq),
+                    '*' => Some(TokenKind::Star),
+                    _ => None,
+                };
+                match kind {
+                    Some(kind) => {
+                        bump(&mut chars);
+                        tokens.push(Token { kind, span });
+                    }
+                    None => {
+                        return Err(BoolProgError::lex(
+                            span,
+                            format!("unexpected character '{c}'"),
+                        ))
+                    }
+                }
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        tokenize(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn basic_tokens() {
+        assert_eq!(
+            kinds("x := !y & 1;"),
+            vec![
+                TokenKind::Ident("x".into()),
+                TokenKind::Assign,
+                TokenKind::Bang,
+                TokenKind::Ident("y".into()),
+                TokenKind::Amp,
+                TokenKind::Const(true),
+                TokenKind::Semi,
+            ]
+        );
+    }
+
+    #[test]
+    fn labels_and_assign_disambiguate() {
+        assert_eq!(
+            kinds("a: b := c"),
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::Colon,
+                TokenKind::Ident("b".into()),
+                TokenKind::Assign,
+                TokenKind::Ident("c".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn neq_and_bang() {
+        assert_eq!(
+            kinds("a != !b"),
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::Neq,
+                TokenKind::Bang,
+                TokenKind::Ident("b".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_skipped() {
+        assert_eq!(
+            kinds("x // all of this ignored ; := \n y"),
+            vec![TokenKind::Ident("x".into()), TokenKind::Ident("y".into())]
+        );
+    }
+
+    #[test]
+    fn positions_tracked() {
+        let tokens = tokenize("ab\n  cd").unwrap();
+        assert_eq!(tokens[0].span, Span { line: 1, col: 1 });
+        assert_eq!(tokens[1].span, Span { line: 2, col: 3 });
+    }
+
+    #[test]
+    fn lex_errors() {
+        assert!(tokenize("#").is_err());
+        assert!(tokenize("0abc").is_err());
+        assert!(tokenize("/x").is_err());
+    }
+
+    #[test]
+    fn nondet_star() {
+        assert_eq!(kinds("x := *;").len(), 4);
+    }
+}

@@ -1,0 +1,479 @@
+use crate::ast::{BinOp, Decl, Expr, Func, Program, Stmt, StmtKind, Type};
+use crate::lexer::{tokenize, Token, TokenKind};
+use crate::{BoolProgError, Span};
+
+/// Parses Boolean-program source into an AST.
+///
+/// # Errors
+///
+/// Returns lexical or syntax errors with source positions.
+pub fn parse(source: &str) -> Result<Program, BoolProgError> {
+    let tokens = tokenize(source)?;
+    let mut parser = Parser { tokens, pos: 0 };
+    parser.program()
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&TokenKind> {
+        self.tokens.get(self.pos).map(|t| &t.kind)
+    }
+
+    fn peek2(&self) -> Option<&TokenKind> {
+        self.tokens.get(self.pos + 1).map(|t| &t.kind)
+    }
+
+    fn span(&self) -> Span {
+        self.tokens
+            .get(self.pos)
+            .map(|t| t.span)
+            .unwrap_or_else(|| self.tokens.last().map(|t| t.span).unwrap_or_default())
+    }
+
+    fn bump(&mut self) -> Option<TokenKind> {
+        let t = self.tokens.get(self.pos).map(|t| t.kind.clone());
+        self.pos += 1;
+        t
+    }
+
+    fn expect(&mut self, kind: &TokenKind, what: &str) -> Result<(), BoolProgError> {
+        if self.peek() == Some(kind) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(BoolProgError::parse(
+                self.span(),
+                format!("expected {what}, found {:?}", self.peek()),
+            ))
+        }
+    }
+
+    fn ident(&mut self, what: &str) -> Result<String, BoolProgError> {
+        match self.peek().cloned() {
+            Some(TokenKind::Ident(name)) => {
+                self.pos += 1;
+                Ok(name)
+            }
+            other => Err(BoolProgError::parse(
+                self.span(),
+                format!("expected {what}, found {other:?}"),
+            )),
+        }
+    }
+
+    fn is_ident(&self, text: &str) -> bool {
+        matches!(self.peek(), Some(TokenKind::Ident(k)) if k == text)
+    }
+
+    fn program(&mut self) -> Result<Program, BoolProgError> {
+        let mut decls = Vec::new();
+        let mut funcs = Vec::new();
+        while self.peek().is_some() {
+            if self.is_ident("decl") {
+                decls.push(self.decl()?);
+            } else if self.is_ident("void") || self.is_ident("bool") {
+                funcs.push(self.func()?);
+            } else {
+                return Err(BoolProgError::parse(
+                    self.span(),
+                    "expected 'decl', 'void' or 'bool' at top level",
+                ));
+            }
+        }
+        Ok(Program { decls, funcs })
+    }
+
+    fn decl(&mut self) -> Result<Decl, BoolProgError> {
+        let span = self.span();
+        self.bump(); // 'decl'
+        let mut names = vec![self.ident("variable name")?];
+        while matches!(self.peek(), Some(TokenKind::Ident(_))) {
+            names.push(self.ident("variable name")?);
+        }
+        self.expect(&TokenKind::Semi, "';' after declaration")?;
+        Ok(Decl { names, span })
+    }
+
+    fn func(&mut self) -> Result<Func, BoolProgError> {
+        let span = self.span();
+        let ty = if self.is_ident("void") {
+            Type::Void
+        } else {
+            Type::Bool
+        };
+        self.bump();
+        let name = self.ident("function name")?;
+        self.expect(&TokenKind::LParen, "'(' after function name")?;
+        let mut params = Vec::new();
+        if !matches!(self.peek(), Some(TokenKind::RParen)) {
+            params.push(self.ident("parameter name")?);
+            while matches!(self.peek(), Some(TokenKind::Comma)) {
+                self.bump();
+                params.push(self.ident("parameter name")?);
+            }
+        }
+        self.expect(&TokenKind::RParen, "')' after parameters")?;
+        self.expect(&TokenKind::LBrace, "'{' to open function body")?;
+        let mut decls = Vec::new();
+        while self.is_ident("decl") {
+            decls.push(self.decl()?);
+        }
+        let body = self.stmt_list()?;
+        self.expect(&TokenKind::RBrace, "'}' to close function body")?;
+        Ok(Func {
+            ty,
+            name,
+            params,
+            decls,
+            body,
+            span,
+        })
+    }
+
+    fn stmt_list(&mut self) -> Result<Vec<Stmt>, BoolProgError> {
+        let mut stmts = Vec::new();
+        while !matches!(self.peek(), Some(TokenKind::RBrace) | None) {
+            stmts.push(self.stmt()?);
+        }
+        Ok(stmts)
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, BoolProgError> {
+        let span = self.span();
+        // Optional label: ident ':' not followed by '='.
+        let label = if matches!(self.peek(), Some(TokenKind::Ident(_)))
+            && self.peek2() == Some(&TokenKind::Colon)
+        {
+            let l = self.ident("label")?;
+            self.bump(); // ':'
+            Some(l)
+        } else {
+            None
+        };
+        let kind = self.stmt_kind()?;
+        // Block statements carry no trailing ';'.
+        if !matches!(
+            kind,
+            StmtKind::While { .. } | StmtKind::If { .. } | StmtKind::Atomic(_)
+        ) {
+            self.expect(&TokenKind::Semi, "';' after statement")?;
+        }
+        Ok(Stmt { label, kind, span })
+    }
+
+    fn stmt_kind(&mut self) -> Result<StmtKind, BoolProgError> {
+        if self.is_ident("skip") {
+            self.bump();
+            return Ok(StmtKind::Skip);
+        }
+        if self.is_ident("goto") {
+            self.bump();
+            let mut targets = vec![self.ident("label")?];
+            while matches!(self.peek(), Some(TokenKind::Ident(_))) {
+                targets.push(self.ident("label")?);
+            }
+            return Ok(StmtKind::Goto(targets));
+        }
+        if self.is_ident("assume") || self.is_ident("assert") {
+            let is_assume = self.is_ident("assume");
+            self.bump();
+            self.expect(&TokenKind::LParen, "'('")?;
+            let e = self.expr()?;
+            self.expect(&TokenKind::RParen, "')'")?;
+            return Ok(if is_assume {
+                StmtKind::Assume(e)
+            } else {
+                StmtKind::Assert(e)
+            });
+        }
+        if self.is_ident("return") {
+            self.bump();
+            if matches!(self.peek(), Some(TokenKind::Semi)) {
+                return Ok(StmtKind::Return(None));
+            }
+            let e = self.expr()?;
+            return Ok(StmtKind::Return(Some(e)));
+        }
+        if self.is_ident("while") {
+            self.bump();
+            self.expect(&TokenKind::LParen, "'('")?;
+            let cond = self.expr()?;
+            self.expect(&TokenKind::RParen, "')'")?;
+            self.expect(&TokenKind::LBrace, "'{'")?;
+            let body = self.stmt_list()?;
+            self.expect(&TokenKind::RBrace, "'}'")?;
+            return Ok(StmtKind::While { cond, body });
+        }
+        if self.is_ident("if") {
+            self.bump();
+            self.expect(&TokenKind::LParen, "'('")?;
+            let cond = self.expr()?;
+            self.expect(&TokenKind::RParen, "')'")?;
+            self.expect(&TokenKind::LBrace, "'{'")?;
+            let then_branch = self.stmt_list()?;
+            self.expect(&TokenKind::RBrace, "'}'")?;
+            let else_branch = if self.is_ident("else") {
+                self.bump();
+                self.expect(&TokenKind::LBrace, "'{'")?;
+                let e = self.stmt_list()?;
+                self.expect(&TokenKind::RBrace, "'}'")?;
+                e
+            } else {
+                Vec::new()
+            };
+            return Ok(StmtKind::If {
+                cond,
+                then_branch,
+                else_branch,
+            });
+        }
+        if self.is_ident("thread_create") {
+            self.bump();
+            self.expect(&TokenKind::LParen, "'('")?;
+            let f = self.ident("function name")?;
+            self.expect(&TokenKind::RParen, "')'")?;
+            return Ok(StmtKind::ThreadCreate(f));
+        }
+        if self.is_ident("atomic") {
+            self.bump();
+            self.expect(&TokenKind::LBrace, "'{'")?;
+            let body = self.stmt_list()?;
+            self.expect(&TokenKind::RBrace, "'}'")?;
+            return Ok(StmtKind::Atomic(body));
+        }
+        if self.is_ident("lock") {
+            self.bump();
+            return Ok(StmtKind::Lock);
+        }
+        if self.is_ident("unlock") {
+            self.bump();
+            return Ok(StmtKind::Unlock);
+        }
+        if self.is_ident("call") {
+            self.bump();
+            let func = self.ident("function name")?;
+            let args = self.call_args()?;
+            return Ok(StmtKind::Call { func, args });
+        }
+        // Assignment forms: targets := values, or x := call f(...).
+        let first = self.ident("statement")?;
+        let mut targets = vec![first];
+        while matches!(self.peek(), Some(TokenKind::Comma)) {
+            self.bump();
+            targets.push(self.ident("assignment target")?);
+        }
+        self.expect(&TokenKind::Assign, "':='")?;
+        if self.is_ident("call") {
+            self.bump();
+            if targets.len() != 1 {
+                return Err(BoolProgError::parse(
+                    self.span(),
+                    "call assignment takes exactly one target",
+                ));
+            }
+            let func = self.ident("function name")?;
+            let args = self.call_args()?;
+            return Ok(StmtKind::CallAssign {
+                target: targets.pop().expect("one target"),
+                func,
+                args,
+            });
+        }
+        let mut values = vec![self.expr()?];
+        while matches!(self.peek(), Some(TokenKind::Comma)) {
+            self.bump();
+            values.push(self.expr()?);
+        }
+        let constrain = if self.is_ident("constrain") {
+            self.bump();
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        if targets.len() != values.len() {
+            return Err(BoolProgError::parse(
+                self.span(),
+                format!(
+                    "parallel assignment arity mismatch: {} targets, {} values",
+                    targets.len(),
+                    values.len()
+                ),
+            ));
+        }
+        Ok(StmtKind::Assign {
+            targets,
+            values,
+            constrain,
+        })
+    }
+
+    fn call_args(&mut self) -> Result<Vec<Expr>, BoolProgError> {
+        self.expect(&TokenKind::LParen, "'('")?;
+        let mut args = Vec::new();
+        if !matches!(self.peek(), Some(TokenKind::RParen)) {
+            args.push(self.expr()?);
+            while matches!(self.peek(), Some(TokenKind::Comma)) {
+                self.bump();
+                args.push(self.expr()?);
+            }
+        }
+        self.expect(&TokenKind::RParen, "')'")?;
+        Ok(args)
+    }
+
+    /// Expressions: unary `!` binds tightest; binary operators are
+    /// left-associative with equal precedence (parenthesize to mix, as
+    /// the grammar in Fig. 6 is ambiguous anyway).
+    fn expr(&mut self) -> Result<Expr, BoolProgError> {
+        let mut lhs = self.unary()?;
+        loop {
+            let op = match self.peek() {
+                Some(TokenKind::Amp) => BinOp::And,
+                Some(TokenKind::Pipe) => BinOp::Or,
+                Some(TokenKind::Caret) => BinOp::Xor,
+                Some(TokenKind::Eq) => BinOp::Eq,
+                Some(TokenKind::Neq) => BinOp::Neq,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.unary()?;
+            lhs = Expr::Bin(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn unary(&mut self) -> Result<Expr, BoolProgError> {
+        match self.peek().cloned() {
+            Some(TokenKind::Bang) => {
+                self.bump();
+                Ok(Expr::Not(Box::new(self.unary()?)))
+            }
+            Some(TokenKind::LParen) => {
+                self.bump();
+                let e = self.expr()?;
+                self.expect(&TokenKind::RParen, "')'")?;
+                Ok(e)
+            }
+            Some(TokenKind::Const(b)) => {
+                self.bump();
+                Ok(Expr::Const(b))
+            }
+            Some(TokenKind::Star) => {
+                self.bump();
+                Ok(Expr::Nondet)
+            }
+            Some(TokenKind::Ident(name)) => {
+                self.bump();
+                Ok(Expr::Var(name))
+            }
+            other => Err(BoolProgError::parse(
+                self.span(),
+                format!("expected expression, found {other:?}"),
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_fig2_style_program() {
+        let src = r#"
+            decl x;
+            void foo() {
+              l2: if (*) { l3: call foo(); }
+              l4: while (x) { skip; }
+              l5: x := 1;
+            }
+            void bar() {
+              l6: if (*) { l7: call bar(); }
+              l8: while (!x) { skip; }
+              l9: x := 0;
+            }
+            void main() {
+              thread_create(foo);
+              thread_create(bar);
+            }
+        "#;
+        let prog = parse(src).unwrap();
+        assert_eq!(prog.decls.len(), 1);
+        assert_eq!(prog.funcs.len(), 3);
+        assert_eq!(prog.funcs[0].name, "foo");
+        assert_eq!(prog.funcs[2].body.len(), 2);
+    }
+
+    #[test]
+    fn parses_parallel_assign_with_constrain() {
+        let src = "void f() { a, b := b, a constrain a != b; }";
+        let prog = parse(src).unwrap();
+        match &prog.funcs[0].body[0].kind {
+            StmtKind::Assign {
+                targets,
+                values,
+                constrain,
+            } => {
+                assert_eq!(targets, &["a", "b"]);
+                assert_eq!(values.len(), 2);
+                assert!(constrain.is_some());
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_call_assign_and_return() {
+        let src = "bool g(p) { return !p; } void f() { decl t; t := call g(1); }";
+        let prog = parse(src).unwrap();
+        assert_eq!(prog.funcs[0].ty, Type::Bool);
+        match &prog.funcs[1].body[0].kind {
+            StmtKind::CallAssign { target, func, args } => {
+                assert_eq!(target, "t");
+                assert_eq!(func, "g");
+                assert_eq!(args.len(), 1);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_goto_with_multiple_targets() {
+        let src = "void f() { a: goto a b; b: skip; }";
+        let prog = parse(src).unwrap();
+        match &prog.funcs[0].body[0].kind {
+            StmtKind::Goto(targets) => assert_eq!(targets, &["a", "b"]),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_atomic_lock_unlock() {
+        let src = "void f() { lock; atomic { skip; }  unlock; }";
+        let prog = parse(src).unwrap();
+        assert_eq!(prog.funcs[0].body.len(), 3);
+        assert!(matches!(prog.funcs[0].body[1].kind, StmtKind::Atomic(_)));
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        let err = parse("void f() { a, b := 1; }").unwrap_err();
+        assert!(err.to_string().contains("arity"));
+    }
+
+    #[test]
+    fn error_positions() {
+        let err = parse("void f() { skip }").unwrap_err(); // missing ';'
+        assert!(err.to_string().contains("expected ';'"));
+    }
+
+    #[test]
+    fn labels_attach_to_statements() {
+        let prog = parse("void f() { here: skip; }").unwrap();
+        assert_eq!(prog.funcs[0].body[0].label.as_deref(), Some("here"));
+    }
+}

@@ -1,0 +1,371 @@
+use std::collections::{HashMap, HashSet};
+
+use crate::ast::{Expr, Func, Program, Stmt, StmtKind, Type};
+use crate::BoolProgError;
+
+/// Name-resolution results: symbol tables the translator consumes.
+#[derive(Debug, Clone)]
+pub struct Resolved {
+    /// Global variable names, in declaration order.
+    pub globals: Vec<String>,
+    /// Function name → index into `program.funcs`.
+    pub func_index: HashMap<String, usize>,
+    /// Per function: local variable names (parameters first).
+    pub locals: Vec<Vec<String>>,
+    /// Thread entry functions, in `thread_create` order inside `main`.
+    pub thread_entries: Vec<String>,
+    /// Whether `lock`/`unlock`/`atomic` appear anywhere.
+    pub uses_lock: bool,
+    /// Whether any call has a Boolean result (needs the `$ret` bit).
+    pub uses_ret: bool,
+}
+
+/// Resolves names and checks static well-formedness.
+///
+/// # Errors
+///
+/// Reports duplicate or undefined variables, unknown callees, arity
+/// mismatches, `return e` in `void` functions, `thread_create` outside
+/// `main` or targeting a function with parameters, and a missing
+/// `main`.
+pub fn resolve(program: &Program) -> Result<Resolved, BoolProgError> {
+    let mut globals = Vec::new();
+    let mut seen_globals = HashSet::new();
+    for d in &program.decls {
+        for n in &d.names {
+            if !seen_globals.insert(n.clone()) {
+                return Err(BoolProgError::resolve(
+                    d.span,
+                    format!("duplicate global variable '{n}'"),
+                ));
+            }
+            globals.push(n.clone());
+        }
+    }
+
+    let mut func_index = HashMap::new();
+    for (i, f) in program.funcs.iter().enumerate() {
+        if func_index.insert(f.name.clone(), i).is_some() {
+            return Err(BoolProgError::resolve(
+                f.span,
+                format!("duplicate function '{}'", f.name),
+            ));
+        }
+    }
+    if !func_index.contains_key("main") {
+        return Err(BoolProgError::resolve(
+            Default::default(),
+            "program has no 'main' function",
+        ));
+    }
+
+    let mut locals = Vec::new();
+    for f in &program.funcs {
+        let mut names: Vec<String> = f.params.clone();
+        let mut seen: HashSet<String> = f.params.iter().cloned().collect();
+        if seen.len() != f.params.len() {
+            return Err(BoolProgError::resolve(f.span, "duplicate parameter name"));
+        }
+        for d in &f.decls {
+            for n in &d.names {
+                if !seen.insert(n.clone()) {
+                    return Err(BoolProgError::resolve(
+                        d.span,
+                        format!("duplicate local variable '{n}'"),
+                    ));
+                }
+                names.push(n.clone());
+            }
+        }
+        locals.push(names);
+    }
+
+    let mut ctx = Ctx {
+        program,
+        globals: &globals,
+        func_index: &func_index,
+        locals: &locals,
+        uses_lock: false,
+        uses_ret: false,
+        thread_entries: Vec::new(),
+    };
+    for (i, f) in program.funcs.iter().enumerate() {
+        ctx.check_func(i, f)?;
+    }
+    let (thread_entries, uses_lock, uses_ret) = (ctx.thread_entries, ctx.uses_lock, ctx.uses_ret);
+
+    Ok(Resolved {
+        globals,
+        func_index,
+        locals,
+        thread_entries,
+        uses_lock,
+        uses_ret,
+    })
+}
+
+struct Ctx<'a> {
+    program: &'a Program,
+    globals: &'a [String],
+    func_index: &'a HashMap<String, usize>,
+    locals: &'a [Vec<String>],
+    uses_lock: bool,
+    uses_ret: bool,
+    thread_entries: Vec<String>,
+}
+
+impl Ctx<'_> {
+    fn check_func(&mut self, idx: usize, f: &Func) -> Result<(), BoolProgError> {
+        self.check_stmts(idx, f, &f.body)
+    }
+
+    fn var_visible(&self, func_idx: usize, name: &str) -> bool {
+        self.globals.iter().any(|g| g == name) || self.locals[func_idx].iter().any(|l| l == name)
+    }
+
+    fn check_expr(
+        &self,
+        func_idx: usize,
+        e: &Expr,
+        span: crate::Span,
+    ) -> Result<(), BoolProgError> {
+        let mut vars = Vec::new();
+        e.vars(&mut vars);
+        for v in vars {
+            if !self.var_visible(func_idx, &v) {
+                return Err(BoolProgError::resolve(
+                    span,
+                    format!("undefined variable '{v}'"),
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    fn check_stmts(
+        &mut self,
+        func_idx: usize,
+        f: &Func,
+        stmts: &[Stmt],
+    ) -> Result<(), BoolProgError> {
+        for s in stmts {
+            self.check_stmt(func_idx, f, s)?;
+        }
+        Ok(())
+    }
+
+    fn check_stmt(&mut self, func_idx: usize, f: &Func, s: &Stmt) -> Result<(), BoolProgError> {
+        match &s.kind {
+            StmtKind::Skip | StmtKind::Goto(_) => Ok(()),
+            StmtKind::Assume(e) | StmtKind::Assert(e) => self.check_expr(func_idx, e, s.span),
+            StmtKind::Assign {
+                targets,
+                values,
+                constrain,
+            } => {
+                for t in targets {
+                    if !self.var_visible(func_idx, t) {
+                        return Err(BoolProgError::resolve(
+                            s.span,
+                            format!("undefined assignment target '{t}'"),
+                        ));
+                    }
+                }
+                for v in values {
+                    self.check_expr(func_idx, v, s.span)?;
+                }
+                if let Some(c) = constrain {
+                    self.check_expr(func_idx, c, s.span)?;
+                }
+                Ok(())
+            }
+            StmtKind::Call { func, args } => self.check_call(func_idx, func, args, None, s),
+            StmtKind::CallAssign { target, func, args } => {
+                if !self.var_visible(func_idx, target) {
+                    return Err(BoolProgError::resolve(
+                        s.span,
+                        format!("undefined call-assignment target '{target}'"),
+                    ));
+                }
+                self.uses_ret = true;
+                self.check_call(func_idx, func, args, Some(target), s)
+            }
+            StmtKind::Return(expr) => match (f.ty, expr) {
+                (Type::Void, Some(_)) => Err(BoolProgError::resolve(
+                    s.span,
+                    "void function returns a value",
+                )),
+                (Type::Bool, None) => Err(BoolProgError::resolve(
+                    s.span,
+                    "bool function returns no value",
+                )),
+                (_, Some(e)) => {
+                    self.uses_ret = true;
+                    self.check_expr(func_idx, e, s.span)
+                }
+                (_, None) => Ok(()),
+            },
+            StmtKind::While { cond, body } => {
+                self.check_expr(func_idx, cond, s.span)?;
+                self.check_stmts(func_idx, f, body)
+            }
+            StmtKind::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
+                self.check_expr(func_idx, cond, s.span)?;
+                self.check_stmts(func_idx, f, then_branch)?;
+                self.check_stmts(func_idx, f, else_branch)
+            }
+            StmtKind::ThreadCreate(target) => {
+                if f.name != "main" {
+                    return Err(BoolProgError::resolve(
+                        s.span,
+                        "thread_create is only supported inside main",
+                    ));
+                }
+                let Some(&ti) = self.func_index.get(target) else {
+                    return Err(BoolProgError::resolve(
+                        s.span,
+                        format!("unknown thread entry '{target}'"),
+                    ));
+                };
+                if !self.program.funcs[ti].params.is_empty() {
+                    return Err(BoolProgError::resolve(
+                        s.span,
+                        "thread entry functions take no parameters",
+                    ));
+                }
+                self.thread_entries.push(target.clone());
+                Ok(())
+            }
+            StmtKind::Atomic(body) => {
+                self.uses_lock = true;
+                self.check_stmts(func_idx, f, body)
+            }
+            StmtKind::Lock | StmtKind::Unlock => {
+                self.uses_lock = true;
+                Ok(())
+            }
+        }
+    }
+
+    fn check_call(
+        &mut self,
+        func_idx: usize,
+        callee: &str,
+        args: &[Expr],
+        ret_target: Option<&str>,
+        s: &Stmt,
+    ) -> Result<(), BoolProgError> {
+        let Some(&ci) = self.func_index.get(callee) else {
+            return Err(BoolProgError::resolve(
+                s.span,
+                format!("unknown function '{callee}'"),
+            ));
+        };
+        let callee_func = &self.program.funcs[ci];
+        if callee_func.params.len() != args.len() {
+            return Err(BoolProgError::resolve(
+                s.span,
+                format!(
+                    "'{callee}' expects {} arguments, got {}",
+                    callee_func.params.len(),
+                    args.len()
+                ),
+            ));
+        }
+        if ret_target.is_some() && callee_func.ty != Type::Bool {
+            return Err(BoolProgError::resolve(
+                s.span,
+                format!("'{callee}' is void and returns nothing"),
+            ));
+        }
+        for a in args {
+            self.check_expr(func_idx, a, s.span)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+
+    fn check(src: &str) -> Result<Resolved, BoolProgError> {
+        resolve(&parse(src).unwrap())
+    }
+
+    #[test]
+    fn resolves_simple_program() {
+        let r = check("decl g; void f() { decl l; l := g; } void main() { thread_create(f); }")
+            .unwrap();
+        assert_eq!(r.globals, vec!["g"]);
+        assert_eq!(r.thread_entries, vec!["f"]);
+        assert!(!r.uses_lock);
+        assert!(!r.uses_ret);
+    }
+
+    #[test]
+    fn undefined_variable_rejected() {
+        let e = check("void f() { x := 1; } void main() { thread_create(f); }").unwrap_err();
+        assert!(e.to_string().contains("undefined"));
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        assert!(check("decl g; decl g; void main() {}").is_err());
+        assert!(check("void f(p) { decl p; } void main() { thread_create(f); }").is_err());
+        assert!(check("void f() {} void f() {} void main() {}").is_err());
+    }
+
+    #[test]
+    fn missing_main_rejected() {
+        let e = check("void f() {}").unwrap_err();
+        assert!(e.to_string().contains("main"));
+    }
+
+    #[test]
+    fn return_type_checked() {
+        assert!(check("void f() { return 1; } void main() { thread_create(f); }").is_err());
+        assert!(check("bool f() { return; } void main() {}").is_err());
+        assert!(check("bool f() { return 1; } void main() {}").is_ok());
+    }
+
+    #[test]
+    fn call_arity_checked() {
+        let e = check(
+            "void f(a, b) { skip; } void g() { call f(1); } void main() { thread_create(g); }",
+        )
+        .unwrap_err();
+        assert!(e.to_string().contains("expects 2"));
+    }
+
+    #[test]
+    fn call_assign_needs_bool_callee() {
+        let e = check(
+            "void f() { skip; } void g() { decl t; t := call f(); } void main() { thread_create(g); }",
+        )
+        .unwrap_err();
+        assert!(e.to_string().contains("void"));
+    }
+
+    #[test]
+    fn thread_create_restrictions() {
+        assert!(check("void f() { thread_create(f); } void main() {}").is_err());
+        assert!(check("void f(p) { skip; } void main() { thread_create(f); }").is_err());
+        assert!(check("void main() { thread_create(nosuch); }").is_err());
+    }
+
+    #[test]
+    fn lock_and_ret_flags() {
+        let r = check(
+            "bool f() { return 1; } void g() { decl t; lock; t := call f(); unlock; } void main() { thread_create(g); }",
+        )
+        .unwrap();
+        assert!(r.uses_lock);
+        assert!(r.uses_ret);
+    }
+}

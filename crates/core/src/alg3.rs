@@ -1,0 +1,394 @@
+use std::collections::HashSet;
+
+use cuba_explore::{ExplicitEngine, ExploreBudget, SubsumptionMode, SymbolicEngine};
+use cuba_pds::{Cpds, VisibleState};
+
+use crate::{
+    check_fcr, compute_z, ConvergenceMethod, CubaError, GeneratorSet, GrowthLog, Property,
+    SequenceEvent, Verdict,
+};
+
+/// Configuration for Algorithm 3 runs.
+#[derive(Debug, Clone)]
+pub struct Alg3Config {
+    /// Exploration budgets.
+    pub budget: ExploreBudget,
+    /// Give up (Undetermined) after this many rounds.
+    pub max_k: usize,
+    /// Skip the FCR pre-check (explicit variant only).
+    pub skip_fcr_check: bool,
+    /// Subsumption mode for the symbolic variant.
+    pub subsumption: SubsumptionMode,
+    /// Also conclude from a collapse of the underlying state sequence
+    /// (`Rk = Rk+1` / no new symbolic states). An extension beyond the
+    /// paper's Alg. 3 that is trivially sound (Lemma 7); disable to
+    /// benchmark the pure generator test.
+    pub use_state_collapse: bool,
+}
+
+impl Default for Alg3Config {
+    fn default() -> Self {
+        Alg3Config {
+            budget: ExploreBudget::default(),
+            max_k: 64,
+            skip_fcr_check: false,
+            subsumption: SubsumptionMode::Exact,
+            use_state_collapse: true,
+        }
+    }
+}
+
+/// Result of an Algorithm 3 run.
+#[derive(Debug, Clone)]
+pub struct Alg3Report {
+    /// The verdict.
+    pub verdict: Verdict,
+    /// Rounds computed.
+    pub rounds: usize,
+    /// Total stored states (global or symbolic).
+    pub states: usize,
+    /// `|T(Rk)|` per bound.
+    pub visible_growth: GrowthLog,
+    /// The precomputed `G ∩ Z` (diagnostics; Ex. 14 prints it).
+    pub g_cap_z: Vec<VisibleState>,
+    /// Plateaus whose generator test failed (bounds `k−1` where the
+    /// algorithm "skipped forward", as in Ex. 14's k = 2).
+    pub rejected_plateaus: Vec<usize>,
+}
+
+/// The core of Alg. 3, generic over how rounds are produced. Each
+/// round supplies the new visible states; the driver checks the
+/// property, the plateau condition
+/// `|T(Rk−2)| < |T(Rk−1)| = |T(Rk)|`, and the generator condition
+/// `G∩Z ⊆ T(Rk)`.
+struct Alg3Driver {
+    property: Property,
+    g_cap_z: Vec<VisibleState>,
+    visible_growth: GrowthLog,
+    rejected_plateaus: Vec<usize>,
+    use_state_collapse: bool,
+}
+
+enum RoundOutcome {
+    Continue,
+    Conclude(Verdict),
+}
+
+impl Alg3Driver {
+    fn new(cpds: &Cpds, property: &Property, use_state_collapse: bool) -> Self {
+        let generators = GeneratorSet::from_cpds(cpds);
+        let z = compute_z(cpds);
+        let g_cap_z = generators.intersect(z.states.iter());
+        Alg3Driver {
+            property: property.clone(),
+            g_cap_z,
+            visible_growth: GrowthLog::new(),
+            rejected_plateaus: Vec::new(),
+            use_state_collapse,
+        }
+    }
+
+    /// Processes round `k` given the newly seen visible states, the
+    /// total visible set, and whether the state sequence collapsed.
+    fn round(
+        &mut self,
+        k: usize,
+        new_visible: &[VisibleState],
+        visible_total: &HashSet<VisibleState>,
+        state_collapsed: bool,
+    ) -> RoundOutcome {
+        let event = self.visible_growth.push(visible_total.len());
+        if let Some(_v) = self.property.find_violation(new_visible.iter()) {
+            return RoundOutcome::Conclude(Verdict::Unsafe { k, witness: None });
+        }
+        if self.use_state_collapse && state_collapsed {
+            return RoundOutcome::Conclude(Verdict::Safe {
+                k: k - 1,
+                method: ConvergenceMethod::RkCollapse,
+            });
+        }
+        // Line 4: a *new* plateau at k−1 triggers the generator test.
+        if k >= 1 && event == SequenceEvent::NewPlateau {
+            if GeneratorSet::missing(&self.g_cap_z, visible_total).is_empty() {
+                return RoundOutcome::Conclude(Verdict::Safe {
+                    k: k - 1,
+                    method: ConvergenceMethod::GeneratorTest,
+                });
+            }
+            self.rejected_plateaus.push(k - 1);
+        }
+        RoundOutcome::Continue
+    }
+}
+
+/// Algorithm 3 over `(T(Rk))` with explicit state sets (needs FCR):
+/// visible-state reachability with stuttering detection via generator
+/// sets (paper §4.1.4).
+///
+/// # Errors
+///
+/// Returns [`CubaError::FcrRequired`] when the FCR check fails, or a
+/// budget error from the engine.
+pub fn alg3_explicit(
+    cpds: &Cpds,
+    property: &Property,
+    config: &Alg3Config,
+) -> Result<Alg3Report, CubaError> {
+    if !config.skip_fcr_check && !check_fcr(cpds).holds() {
+        return Err(CubaError::FcrRequired);
+    }
+    let mut engine = ExplicitEngine::new(cpds.clone(), config.budget);
+    let mut driver = Alg3Driver::new(cpds, property, config.use_state_collapse);
+
+    // Round 0 (initial state).
+    if let RoundOutcome::Conclude(verdict) = driver.round(
+        0,
+        engine.visible_layer(0).to_vec().as_slice(),
+        engine.visible_total(),
+        false,
+    ) {
+        return Ok(finish(verdict, 0, engine.num_states(), driver));
+    }
+    for k in 1..=config.max_k {
+        engine.advance()?;
+        let new_visible = engine.visible_layer(k).to_vec();
+        if let RoundOutcome::Conclude(verdict) = driver.round(
+            k,
+            &new_visible,
+            engine.visible_total(),
+            engine.is_collapsed(),
+        ) {
+            // Attach a witness for refutations: the explicit engine can.
+            let verdict = attach_witness(verdict, &engine, property);
+            return Ok(finish(verdict, k, engine.num_states(), driver));
+        }
+    }
+    Ok(finish(
+        Verdict::Undetermined {
+            reason: format!("no convergence within {} rounds", config.max_k),
+        },
+        config.max_k,
+        engine.num_states(),
+        driver,
+    ))
+}
+
+/// Algorithm 3 over `(T(Sk))` with PSA-backed symbolic state sets (the
+/// paper's fallback when FCR fails, App. E).
+///
+/// # Errors
+///
+/// Returns a budget error when the symbolic state set explodes — the
+/// analogue of the paper's OOM on Stefan-1×8.
+pub fn alg3_symbolic(
+    cpds: &Cpds,
+    property: &Property,
+    config: &Alg3Config,
+) -> Result<Alg3Report, CubaError> {
+    let mut engine = SymbolicEngine::new(cpds.clone(), config.budget, config.subsumption);
+    let mut driver = Alg3Driver::new(cpds, property, config.use_state_collapse);
+
+    if let RoundOutcome::Conclude(verdict) = driver.round(
+        0,
+        engine.visible_layer(0).to_vec().as_slice(),
+        engine.visible_total(),
+        false,
+    ) {
+        return Ok(finish(verdict, 0, engine.num_symbolic_states(), driver));
+    }
+    for k in 1..=config.max_k {
+        engine.advance()?;
+        let new_visible = engine.visible_layer(k).to_vec();
+        if let RoundOutcome::Conclude(mut verdict) = driver.round(
+            k,
+            &new_visible,
+            engine.visible_total(),
+            engine.is_collapsed(),
+        ) {
+            if let Verdict::Safe { method, .. } = &mut verdict {
+                if *method == ConvergenceMethod::RkCollapse {
+                    *method = ConvergenceMethod::SkCollapse;
+                }
+            }
+            let verdict = attach_symbolic_witness(verdict, cpds, property, &config.budget);
+            return Ok(finish(verdict, k, engine.num_symbolic_states(), driver));
+        }
+    }
+    Ok(finish(
+        Verdict::Undetermined {
+            reason: format!("no convergence within {} rounds", config.max_k),
+        },
+        config.max_k,
+        engine.num_symbolic_states(),
+        driver,
+    ))
+}
+
+/// Reconstructs a concrete path for a symbolic refutation with the
+/// bounded witness search (best effort: the refutation stands even
+/// when the reconstruction gives up).
+pub(crate) fn attach_symbolic_witness(
+    verdict: Verdict,
+    cpds: &Cpds,
+    property: &Property,
+    budget: &cuba_explore::ExploreBudget,
+) -> Verdict {
+    match verdict {
+        Verdict::Unsafe { k, witness: None } => {
+            let witness = cuba_explore::bounded_witness_search(
+                cpds,
+                &|v| property.violated_by(v),
+                k,
+                budget,
+            );
+            Verdict::Unsafe { k, witness }
+        }
+        other => other,
+    }
+}
+
+fn attach_witness(verdict: Verdict, engine: &ExplicitEngine, property: &Property) -> Verdict {
+    match verdict {
+        Verdict::Unsafe { k, witness: None } => {
+            let witness = engine
+                .layer(k)
+                .find(|s| property.violated_by(&s.visible()))
+                .and_then(|s| engine.find(s))
+                .map(|id| engine.witness(id));
+            Verdict::Unsafe { k, witness }
+        }
+        other => other,
+    }
+}
+
+fn finish(verdict: Verdict, rounds: usize, states: usize, driver: Alg3Driver) -> Alg3Report {
+    Alg3Report {
+        verdict,
+        rounds,
+        states,
+        visible_growth: driver.visible_growth,
+        g_cap_z: driver.g_cap_z,
+        rejected_plateaus: driver.rejected_plateaus,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{fig1, fig2};
+    use cuba_pds::{SharedState, StackSym};
+
+    fn vis(qq: u32, tops: &[Option<u32>]) -> VisibleState {
+        VisibleState::new(
+            SharedState(qq),
+            tops.iter().map(|t| t.map(StackSym)).collect(),
+        )
+    }
+
+    /// Ex. 14 end-to-end: Alg. 3 rejects the fake plateau at k = 2 and
+    /// concludes safety at the real collapse k = 5 via the generator
+    /// test. `use_state_collapse` is off to exercise the pure paper
+    /// algorithm ((Rk) diverges on Fig. 1, so collapse can't trigger).
+    #[test]
+    fn fig1_example14_collapse_at_5() {
+        let config = Alg3Config {
+            use_state_collapse: false,
+            ..Alg3Config::default()
+        };
+        let report = alg3_explicit(&fig1(), &Property::True, &config).unwrap();
+        match &report.verdict {
+            Verdict::Safe { k, method } => {
+                assert_eq!(*k, 5);
+                assert_eq!(*method, ConvergenceMethod::GeneratorTest);
+            }
+            other => panic!("expected Safe at 5, got {other:?}"),
+        }
+        // The fake plateau at k = 2 was rejected.
+        assert_eq!(report.rejected_plateaus, vec![2]);
+        // G∩Z as computed in Ex. 14.
+        assert_eq!(
+            report.g_cap_z,
+            vec![vis(0, &[Some(1), None]), vis(0, &[Some(1), Some(6)])]
+        );
+        // |T(R0..6)| = 1,3,6,6,7,8,8 (Fig. 1 table).
+        assert_eq!(report.visible_growth.sizes(), &[1, 3, 6, 6, 7, 8, 8]);
+    }
+
+    /// The symbolic variant reproduces the same Fig. 1 run.
+    #[test]
+    fn fig1_symbolic_matches_explicit() {
+        let config = Alg3Config {
+            use_state_collapse: false,
+            ..Alg3Config::default()
+        };
+        let report = alg3_symbolic(&fig1(), &Property::True, &config).unwrap();
+        match &report.verdict {
+            Verdict::Safe { k, method } => {
+                assert_eq!(*k, 5);
+                assert_eq!(*method, ConvergenceMethod::GeneratorTest);
+            }
+            other => panic!("expected Safe at 5, got {other:?}"),
+        }
+        assert_eq!(report.visible_growth.sizes(), &[1, 3, 6, 6, 7, 8, 8]);
+    }
+
+    /// Alg. 3 over T(Sk) handles the FCR-violating Fig. 2.
+    #[test]
+    fn fig2_symbolic_proves_safety() {
+        let report = alg3_symbolic(&fig2(), &Property::True, &Alg3Config::default()).unwrap();
+        match &report.verdict {
+            Verdict::Safe { k, .. } => assert!(*k <= 6),
+            other => panic!("expected Safe, got {other:?}"),
+        }
+    }
+
+    /// Explicit Alg. 3 refuses Fig. 2 (no FCR).
+    #[test]
+    fn fig2_explicit_requires_fcr() {
+        let err = alg3_explicit(&fig2(), &Property::True, &Alg3Config::default()).unwrap_err();
+        assert_eq!(err, CubaError::FcrRequired);
+    }
+
+    /// Bug finding: ⟨1|2,6⟩ first appears at k = 5 (Fig. 1 table), and
+    /// Alg. 3 reports exactly that bound with a replayable witness.
+    #[test]
+    fn fig1_unsafe_at_5_with_witness() {
+        let cpds = fig1();
+        let property = Property::never_visible(vis(1, &[Some(2), Some(6)]));
+        let report = alg3_explicit(&cpds, &property, &Alg3Config::default()).unwrap();
+        match report.verdict {
+            Verdict::Unsafe { k, witness } => {
+                assert_eq!(k, 5);
+                let w = witness.expect("witness available");
+                assert!(w.replay(&cpds));
+                assert!(property.violated_by(&w.end().visible()));
+            }
+            other => panic!("expected Unsafe at 5, got {other:?}"),
+        }
+    }
+
+    /// Alg. 3 is *tight*: for an unreachable target it still stops at
+    /// the minimal convergence bound (k = 5 for Fig. 1), not earlier.
+    #[test]
+    fn alg3_is_tight() {
+        let config = Alg3Config {
+            use_state_collapse: false,
+            ..Alg3Config::default()
+        };
+        let property = Property::never_visible(vis(2, &[Some(1), Some(5)]));
+        let report = alg3_explicit(&fig1(), &property, &config).unwrap();
+        assert!(matches!(report.verdict, Verdict::Safe { k: 5, .. }));
+    }
+
+    /// With the state-collapse extension on, Fig. 2's symbolic run may
+    /// conclude via Sk collapse; the verdict must still be Safe.
+    #[test]
+    fn fig2_sk_collapse_extension() {
+        let config = Alg3Config {
+            use_state_collapse: true,
+            ..Alg3Config::default()
+        };
+        let report = alg3_symbolic(&fig2(), &Property::True, &config).unwrap();
+        assert!(report.verdict.is_safe());
+    }
+}

@@ -1,0 +1,141 @@
+use cuba_explore::{ExploreBudget, SubsumptionMode, SymbolicEngine};
+use cuba_pds::Cpds;
+
+use crate::{CubaError, Property};
+
+/// Configuration of the context-bounded baseline.
+#[derive(Debug, Clone)]
+pub struct CbaConfig {
+    /// The fixed context bound `k` to explore to.
+    pub k: usize,
+    /// Exploration budgets.
+    pub budget: ExploreBudget,
+}
+
+impl CbaConfig {
+    /// Baseline run up to bound `k` with default budgets.
+    pub fn up_to(k: usize) -> Self {
+        CbaConfig {
+            k,
+            budget: ExploreBudget::default(),
+        }
+    }
+}
+
+/// What the baseline can conclude — note the asymmetry: it can refute
+/// but never prove (the paper's central criticism of plain CBA).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CbaVerdict {
+    /// A violation exists within `k` contexts.
+    BugFound {
+        /// The bound at which the bug appeared.
+        k: usize,
+    },
+    /// No violation within the explored bound — **not** a proof.
+    NoBugUpTo {
+        /// The explored bound.
+        k: usize,
+    },
+}
+
+/// Report of a baseline run.
+#[derive(Debug, Clone)]
+pub struct CbaReport {
+    /// The (one-sided) verdict.
+    pub verdict: CbaVerdict,
+    /// Symbolic states stored.
+    pub states: usize,
+    /// Visible states seen.
+    pub visible: usize,
+}
+
+/// Plain context-bounded analysis in the style of Qadeer–Rehof (the
+/// algorithm JMoped builds on): explore `S0 … Sk` symbolically for a
+/// *fixed* bound `k`, checking the property on the way, with no
+/// convergence detection whatsoever. This is the Fig. 5 comparator;
+/// run it "with the same context bound at which Cuba terminates", as
+/// the paper's evaluation does.
+///
+/// # Errors
+///
+/// Returns a budget error when the symbolic state set explodes.
+pub fn cba_baseline(
+    cpds: &Cpds,
+    property: &Property,
+    config: &CbaConfig,
+) -> Result<CbaReport, CubaError> {
+    let mut engine = SymbolicEngine::new(cpds.clone(), config.budget, SubsumptionMode::Exact);
+    if property
+        .find_violation(engine.visible_layer(0).iter())
+        .is_some()
+    {
+        return Ok(CbaReport {
+            verdict: CbaVerdict::BugFound { k: 0 },
+            states: engine.num_symbolic_states(),
+            visible: engine.num_visible(),
+        });
+    }
+    for k in 1..=config.k {
+        engine.advance()?;
+        if property
+            .find_violation(engine.visible_layer(k).iter())
+            .is_some()
+        {
+            return Ok(CbaReport {
+                verdict: CbaVerdict::BugFound { k },
+                states: engine.num_symbolic_states(),
+                visible: engine.num_visible(),
+            });
+        }
+    }
+    Ok(CbaReport {
+        verdict: CbaVerdict::NoBugUpTo { k: config.k },
+        states: engine.num_symbolic_states(),
+        visible: engine.num_visible(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::fig1;
+    use cuba_pds::{SharedState, StackSym, VisibleState};
+
+    fn vis(qq: u32, tops: &[Option<u32>]) -> VisibleState {
+        VisibleState::new(
+            SharedState(qq),
+            tops.iter().map(|t| t.map(StackSym)).collect(),
+        )
+    }
+
+    #[test]
+    fn finds_bug_at_right_bound() {
+        let property = Property::never_visible(vis(1, &[Some(2), Some(6)]));
+        let report = cba_baseline(&fig1(), &property, &CbaConfig::up_to(8)).unwrap();
+        assert_eq!(report.verdict, CbaVerdict::BugFound { k: 5 });
+    }
+
+    #[test]
+    fn cannot_prove_safety() {
+        // Unreachable target: the baseline only reports NoBugUpTo.
+        let property = Property::never_visible(vis(2, &[Some(1), Some(5)]));
+        let report = cba_baseline(&fig1(), &property, &CbaConfig::up_to(6)).unwrap();
+        assert_eq!(report.verdict, CbaVerdict::NoBugUpTo { k: 6 });
+    }
+
+    #[test]
+    fn misses_bug_beyond_bound() {
+        // The ⟨1|2,6⟩ bug needs k = 5; a bound of 3 misses it — the
+        // "slips through" failure mode of CBA the paper fixes.
+        let property = Property::never_visible(vis(1, &[Some(2), Some(6)]));
+        let report = cba_baseline(&fig1(), &property, &CbaConfig::up_to(3)).unwrap();
+        assert_eq!(report.verdict, CbaVerdict::NoBugUpTo { k: 3 });
+    }
+
+    #[test]
+    fn initial_state_bug() {
+        let property = Property::never_visible(vis(0, &[Some(1), Some(4)]));
+        let report = cba_baseline(&fig1(), &property, &CbaConfig::up_to(2)).unwrap();
+        assert_eq!(report.verdict, CbaVerdict::BugFound { k: 0 });
+    }
+}

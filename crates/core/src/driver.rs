@@ -1,0 +1,416 @@
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
+
+use cuba_explore::{ExploreBudget, SubsumptionMode};
+use cuba_pds::Cpds;
+
+use crate::{
+    alg3_explicit, alg3_symbolic, check_fcr, scheme1_explicit, Alg3Config, CubaError, Property,
+    Scheme1Config, Verdict,
+};
+
+/// How the driver picks engines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DriverMode {
+    /// The paper's overall procedure (§6): if FCR holds, run visible
+    /// state reachability and global state reachability concurrently
+    /// and return whichever terminates first; otherwise run the
+    /// symbolic visible-state analysis.
+    #[default]
+    Auto,
+    /// Force `Alg 3(T(Rk)) ∥ Scheme 1(Rk)` (errors without FCR).
+    ExplicitOnly,
+    /// Force `Alg 3(T(Sk))` (always applicable).
+    SymbolicOnly,
+}
+
+/// Which engine produced the verdict.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineUsed {
+    /// Explicit-state `Alg 3(T(Rk))`.
+    Alg3Explicit,
+    /// Explicit-state `Scheme 1(Rk)`.
+    Scheme1Explicit,
+    /// Symbolic `Alg 3(T(Sk))`.
+    Alg3Symbolic,
+    /// Symbolic `Scheme 1(Sk)` (extension).
+    Scheme1Symbolic,
+}
+
+impl std::fmt::Display for EngineUsed {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineUsed::Alg3Explicit => write!(f, "Alg3(T(Rk))"),
+            EngineUsed::Scheme1Explicit => write!(f, "Scheme1(Rk)"),
+            EngineUsed::Alg3Symbolic => write!(f, "Alg3(T(Sk))"),
+            EngineUsed::Scheme1Symbolic => write!(f, "Scheme1(Sk)"),
+        }
+    }
+}
+
+/// Configuration of the [`Cuba`] driver.
+#[derive(Debug, Clone)]
+pub struct CubaConfig {
+    /// Engine selection.
+    pub mode: DriverMode,
+    /// Exploration budgets.
+    pub budget: ExploreBudget,
+    /// Round limit per engine.
+    pub max_k: usize,
+    /// Run the two explicit algorithms on real threads (crossbeam),
+    /// as the paper's procedure forks "two computational threads".
+    /// When `false`, the rounds are fused: each round of the shared
+    /// `(Rk)` computation feeds both convergence tests, which is
+    /// equivalent and cheaper on one core.
+    pub parallel: bool,
+    /// Subsumption mode for symbolic engines.
+    pub subsumption: SubsumptionMode,
+}
+
+impl Default for CubaConfig {
+    fn default() -> Self {
+        CubaConfig {
+            mode: DriverMode::Auto,
+            budget: ExploreBudget::default(),
+            max_k: 64,
+            parallel: false,
+            subsumption: SubsumptionMode::Exact,
+        }
+    }
+}
+
+/// Outcome of a [`Cuba`] run.
+#[derive(Debug, Clone)]
+pub struct CubaOutcome {
+    /// The verdict.
+    pub verdict: Verdict,
+    /// Whether FCR holds for the input (drives engine choice and is
+    /// itself a Table 2 column).
+    pub fcr_holds: bool,
+    /// The engine that produced the verdict.
+    pub engine: EngineUsed,
+    /// Number of stored states in the deciding engine.
+    pub states: usize,
+    /// Rounds computed by the deciding engine.
+    pub rounds: usize,
+    /// Wall-clock duration of the run.
+    pub duration: Duration,
+}
+
+/// The Cuba verifier: the paper's overall procedure (§6).
+///
+/// ```text
+/// Input: a CPDS Pn and a property C
+/// 1: if Pn satisfies FCR then
+/// 2:     Alg 3(T(Rk)) ∥ Scheme 1(Rk)      ▷ two threads
+/// 3: else
+/// 4:     Alg 3(T(Sk))
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cuba {
+    cpds: Cpds,
+    property: Property,
+}
+
+impl Cuba {
+    /// Creates a verifier for the given system and property.
+    pub fn new(cpds: Cpds, property: Property) -> Self {
+        Cuba { cpds, property }
+    }
+
+    /// The system under analysis.
+    pub fn cpds(&self) -> &Cpds {
+        &self.cpds
+    }
+
+    /// The property under analysis.
+    pub fn property(&self) -> &Property {
+        &self.property
+    }
+
+    /// Runs the overall procedure.
+    ///
+    /// # Errors
+    ///
+    /// Propagates budget exhaustion ([`CubaError::Explore`]); an FCR
+    /// mismatch cannot happen here since the driver picks engines by
+    /// the FCR check itself.
+    pub fn run(&self, config: &CubaConfig) -> Result<CubaOutcome, CubaError> {
+        let start = Instant::now();
+        let fcr = check_fcr(&self.cpds);
+        let use_explicit = match config.mode {
+            DriverMode::Auto => fcr.holds(),
+            DriverMode::ExplicitOnly => {
+                if !fcr.holds() {
+                    return Err(CubaError::FcrRequired);
+                }
+                true
+            }
+            DriverMode::SymbolicOnly => false,
+        };
+        let mut outcome = if use_explicit {
+            if config.parallel {
+                self.run_explicit_parallel(config, fcr.holds())?
+            } else {
+                self.run_explicit_fused(config, fcr.holds())?
+            }
+        } else {
+            self.run_symbolic(config, fcr.holds())?
+        };
+        outcome.duration = start.elapsed();
+        Ok(outcome)
+    }
+
+    /// Sequential flavor: one shared `(Rk)` computation; each round
+    /// feeds both the Scheme 1 collapse test and the Alg. 3 plateau +
+    /// generator test. Equivalent to the race on a single core.
+    fn run_explicit_fused(&self, config: &CubaConfig, fcr: bool) -> Result<CubaOutcome, CubaError> {
+        let alg3_config = Alg3Config {
+            budget: config.budget,
+            max_k: config.max_k,
+            skip_fcr_check: true,
+            subsumption: config.subsumption,
+            use_state_collapse: true, // fuses Scheme 1's test in
+        };
+        let report = alg3_explicit(&self.cpds, &self.property, &alg3_config)?;
+        let engine = match &report.verdict {
+            Verdict::Safe {
+                method: crate::ConvergenceMethod::RkCollapse,
+                ..
+            } => EngineUsed::Scheme1Explicit,
+            _ => EngineUsed::Alg3Explicit,
+        };
+        Ok(CubaOutcome {
+            verdict: report.verdict,
+            fcr_holds: fcr,
+            engine,
+            states: report.states,
+            rounds: report.rounds,
+            duration: Duration::ZERO,
+        })
+    }
+
+    /// Parallel flavor: Alg 3(T(Rk)) and Scheme 1(Rk) race on separate
+    /// OS threads (plus nothing else — the symbolic engine is not
+    /// needed under FCR); first conclusive verdict wins.
+    fn run_explicit_parallel(
+        &self,
+        config: &CubaConfig,
+        fcr: bool,
+    ) -> Result<CubaOutcome, CubaError> {
+        let done = AtomicBool::new(false);
+        let alg3_config = Alg3Config {
+            budget: config.budget,
+            max_k: config.max_k,
+            skip_fcr_check: true,
+            subsumption: config.subsumption,
+            use_state_collapse: false, // pure Alg 3 in this arm
+        };
+        let scheme1_config = Scheme1Config {
+            budget: config.budget,
+            max_k: config.max_k,
+            skip_fcr_check: true,
+            subsumption: config.subsumption,
+        };
+
+        let result = crossbeam::thread::scope(|scope| {
+            let alg3_handle = scope.spawn(|_| {
+                let r = run_rounds_with_cancel(&done, || {
+                    alg3_explicit(&self.cpds, &self.property, &alg3_config)
+                });
+                if matches!(&r, Some(Ok(rep)) if !matches!(rep.verdict, Verdict::Undetermined { .. }))
+                {
+                    done.store(true, Ordering::SeqCst);
+                }
+                r.map(|res| {
+                    res.map(|rep| (EngineUsed::Alg3Explicit, rep.verdict, rep.states, rep.rounds))
+                })
+            });
+            let scheme1_handle = scope.spawn(|_| {
+                let r = run_rounds_with_cancel(&done, || {
+                    scheme1_explicit(&self.cpds, &self.property, &scheme1_config)
+                });
+                if matches!(&r, Some(Ok(rep)) if !matches!(rep.verdict, Verdict::Undetermined { .. }))
+                {
+                    done.store(true, Ordering::SeqCst);
+                }
+                r.map(|res| {
+                    res.map(|rep| {
+                        (EngineUsed::Scheme1Explicit, rep.verdict, rep.states, rep.rounds)
+                    })
+                })
+            });
+            let a = alg3_handle.join().expect("alg3 thread panicked");
+            let b = scheme1_handle.join().expect("scheme1 thread panicked");
+            pick_winner(a, b)
+        })
+        .expect("crossbeam scope panicked");
+
+        let (engine, verdict, states, rounds) = result?;
+        Ok(CubaOutcome {
+            verdict,
+            fcr_holds: fcr,
+            engine,
+            states,
+            rounds,
+            duration: Duration::ZERO,
+        })
+    }
+
+    fn run_symbolic(&self, config: &CubaConfig, fcr: bool) -> Result<CubaOutcome, CubaError> {
+        let alg3_config = Alg3Config {
+            budget: config.budget,
+            max_k: config.max_k,
+            skip_fcr_check: true,
+            subsumption: config.subsumption,
+            use_state_collapse: true,
+        };
+        let report = alg3_symbolic(&self.cpds, &self.property, &alg3_config)?;
+        let engine = match &report.verdict {
+            Verdict::Safe {
+                method: crate::ConvergenceMethod::SkCollapse,
+                ..
+            } => EngineUsed::Scheme1Symbolic,
+            _ => EngineUsed::Alg3Symbolic,
+        };
+        Ok(CubaOutcome {
+            verdict: report.verdict,
+            fcr_holds: fcr,
+            engine,
+            states: report.states,
+            rounds: report.rounds,
+            duration: Duration::ZERO,
+        })
+    }
+}
+
+/// Runs `f` unless another arm already finished. The check is
+/// best-effort (the algorithms are round-based and fast per round);
+/// losing the race after finishing is harmless — verdicts agree.
+fn run_rounds_with_cancel<T>(
+    done: &AtomicBool,
+    f: impl FnOnce() -> Result<T, CubaError>,
+) -> Option<Result<T, CubaError>> {
+    if done.load(Ordering::SeqCst) {
+        return None;
+    }
+    Some(f())
+}
+
+type ArmResult = Option<Result<(EngineUsed, Verdict, usize, usize), CubaError>>;
+
+/// Prefers a conclusive verdict; falls back to whatever is available.
+fn pick_winner(
+    a: ArmResult,
+    b: ArmResult,
+) -> Result<(EngineUsed, Verdict, usize, usize), CubaError> {
+    let conclusive = |r: &ArmResult| {
+        matches!(
+            r,
+            Some(Ok((_, v, _, _))) if !matches!(v, Verdict::Undetermined { .. })
+        )
+    };
+    if conclusive(&a) {
+        return a.expect("checked Some");
+    }
+    if conclusive(&b) {
+        return b.expect("checked Some");
+    }
+    match (a, b) {
+        (Some(ra), _) if ra.is_ok() => ra,
+        (_, Some(rb)) => rb,
+        (Some(ra), None) => ra,
+        (None, None) => unreachable!("at least one arm always runs"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{fig1, fig2};
+    use cuba_pds::{SharedState, StackSym, VisibleState};
+
+    fn vis(qq: u32, tops: &[Option<u32>]) -> VisibleState {
+        VisibleState::new(
+            SharedState(qq),
+            tops.iter().map(|t| t.map(StackSym)).collect(),
+        )
+    }
+
+    #[test]
+    fn auto_picks_explicit_for_fig1() {
+        let cuba = Cuba::new(fig1(), Property::True);
+        let outcome = cuba.run(&CubaConfig::default()).unwrap();
+        assert!(outcome.fcr_holds);
+        assert!(outcome.verdict.is_safe());
+        assert!(matches!(
+            outcome.engine,
+            EngineUsed::Alg3Explicit | EngineUsed::Scheme1Explicit
+        ));
+    }
+
+    #[test]
+    fn auto_picks_symbolic_for_fig2() {
+        let cuba = Cuba::new(fig2(), Property::True);
+        let outcome = cuba.run(&CubaConfig::default()).unwrap();
+        assert!(!outcome.fcr_holds);
+        assert!(outcome.verdict.is_safe());
+        assert!(matches!(
+            outcome.engine,
+            EngineUsed::Alg3Symbolic | EngineUsed::Scheme1Symbolic
+        ));
+    }
+
+    #[test]
+    fn parallel_race_agrees_with_fused() {
+        let cuba = Cuba::new(fig1(), Property::True);
+        let fused = cuba.run(&CubaConfig::default()).unwrap();
+        let parallel = cuba
+            .run(&CubaConfig {
+                parallel: true,
+                ..CubaConfig::default()
+            })
+            .unwrap();
+        assert_eq!(fused.verdict.is_safe(), parallel.verdict.is_safe());
+    }
+
+    #[test]
+    fn explicit_only_rejects_fig2() {
+        let cuba = Cuba::new(fig2(), Property::True);
+        let err = cuba
+            .run(&CubaConfig {
+                mode: DriverMode::ExplicitOnly,
+                ..CubaConfig::default()
+            })
+            .unwrap_err();
+        assert_eq!(err, CubaError::FcrRequired);
+    }
+
+    #[test]
+    fn symbolic_only_works_for_fig1() {
+        let cuba = Cuba::new(fig1(), Property::True);
+        let outcome = cuba
+            .run(&CubaConfig {
+                mode: DriverMode::SymbolicOnly,
+                ..CubaConfig::default()
+            })
+            .unwrap();
+        assert!(outcome.verdict.is_safe());
+    }
+
+    #[test]
+    fn unsafe_property_detected_with_bound() {
+        let property = Property::never_visible(vis(1, &[Some(2), Some(6)]));
+        let cuba = Cuba::new(fig1(), property);
+        let outcome = cuba.run(&CubaConfig::default()).unwrap();
+        assert!(matches!(outcome.verdict, Verdict::Unsafe { k: 5, .. }));
+    }
+
+    #[test]
+    fn outcome_records_duration_and_rounds() {
+        let cuba = Cuba::new(fig1(), Property::True);
+        let outcome = cuba.run(&CubaConfig::default()).unwrap();
+        assert!(outcome.rounds >= 5);
+        assert!(outcome.states > 0);
+    }
+}

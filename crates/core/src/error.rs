@@ -1,0 +1,64 @@
+use cuba_explore::ExploreError;
+use cuba_pds::PdsError;
+
+/// Errors raised by the CUBA algorithms.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CubaError {
+    /// An exploration budget was exhausted.
+    Explore(ExploreError),
+    /// The input system is malformed.
+    Model(PdsError),
+    /// An explicit algorithm was asked to run on a system that fails
+    /// the FCR check (its per-round sets may be infinite); use the
+    /// symbolic variants instead (§6 overall procedure).
+    FcrRequired,
+}
+
+impl std::fmt::Display for CubaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CubaError::Explore(e) => write!(f, "exploration failed: {e}"),
+            CubaError::Model(e) => write!(f, "invalid model: {e}"),
+            CubaError::FcrRequired => write!(
+                f,
+                "explicit-state analysis requires finite context reachability"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CubaError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CubaError::Explore(e) => Some(e),
+            CubaError::Model(e) => Some(e),
+            CubaError::FcrRequired => None,
+        }
+    }
+}
+
+impl From<ExploreError> for CubaError {
+    fn from(e: ExploreError) -> Self {
+        CubaError::Explore(e)
+    }
+}
+
+impl From<PdsError> for CubaError {
+    fn from(e: PdsError) -> Self {
+        CubaError::Model(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        use std::error::Error;
+        let e = CubaError::from(ExploreError::StateBudgetExceeded { limit: 7 });
+        assert!(e.to_string().contains("exploration failed"));
+        assert!(e.source().is_some());
+        assert!(CubaError::FcrRequired.source().is_none());
+    }
+}

@@ -1,0 +1,189 @@
+use cuba_automata::{is_language_finite, post_star, Finiteness, Psa};
+use cuba_pds::{Cpds, Pds};
+
+/// Outcome of the finite-context-reachability check (paper §5).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FcrReport {
+    /// Per-thread verdicts: is `R(Q × Σ≤1_i)` finite?
+    pub per_thread: Vec<Finiteness>,
+}
+
+impl FcrReport {
+    /// Whether FCR holds for the whole system (Thm. 17: if every
+    /// thread's `R(Q × Σ≤1_i)` is finite, every `Rk` is finite).
+    pub fn holds(&self) -> bool {
+        self.per_thread.iter().all(|f| *f == Finiteness::Finite)
+    }
+
+    /// Threads whose single-context reachability is infinite.
+    pub fn offending_threads(&self) -> Vec<usize> {
+        self.per_thread
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| **f == Finiteness::Infinite)
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+impl std::fmt::Display for FcrReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.holds() {
+            write!(f, "FCR holds")
+        } else {
+            write!(f, "FCR fails for threads {:?}", self.offending_threads())
+        }
+    }
+}
+
+/// The pushdown store automaton `Ai` used by the FCR check: `post*` of
+/// the initial set `Q × Σ≤1_i` (all shared states, all stacks of size
+/// ≤ 1). Exposed separately so the Fig. 4 reproduction can render it.
+pub fn fcr_psa(pds: &Pds, num_shared: u32) -> Psa {
+    let symbols = pds.used_symbols().into_iter().map(|s| s.0);
+    let init = Psa::all_stacks_leq1(num_shared, symbols);
+    post_star(pds, &init)
+}
+
+/// Decides finite context reachability for a CPDS: builds the PSA for
+/// each thread's `R(Q × Σ≤1_i)` and checks its language finite via
+/// loop detection (§5, Fig. 4). Sufficient, not necessary — the paper
+/// leaves decidability of FCR itself open (§8).
+pub fn check_fcr(cpds: &Cpds) -> FcrReport {
+    let per_thread = cpds
+        .threads()
+        .iter()
+        .map(|pds| {
+            let psa = fcr_psa(pds, cpds.num_shared());
+            is_language_finite(psa.as_nfa())
+        })
+        .collect();
+    FcrReport { per_thread }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cuba_pds::{CpdsBuilder, PdsBuilder, SharedState, StackSym};
+
+    fn q(n: u32) -> SharedState {
+        SharedState(n)
+    }
+    fn s(n: u32) -> StackSym {
+        StackSym(n)
+    }
+
+    fn fig1() -> Cpds {
+        let mut p1 = PdsBuilder::new(4, 3);
+        p1.overwrite(q(0), s(1), q(1), s(2)).unwrap();
+        p1.overwrite(q(3), s(2), q(0), s(1)).unwrap();
+        let mut p2 = PdsBuilder::new(4, 7);
+        p2.pop(q(0), s(4), q(0)).unwrap();
+        p2.overwrite(q(1), s(4), q(2), s(5)).unwrap();
+        p2.push(q(2), s(5), q(3), s(4), s(6)).unwrap();
+        CpdsBuilder::new(4, q(0))
+            .thread(p1.build().unwrap(), [s(1)])
+            .thread(p2.build().unwrap(), [s(4)])
+            .build()
+            .unwrap()
+    }
+
+    fn fig2() -> Cpds {
+        let (bot, x0, x1) = (q(0), q(1), q(2));
+        let mut p1 = PdsBuilder::new(3, 6);
+        p1.overwrite(bot, s(2), x0, s(2)).unwrap();
+        p1.overwrite(bot, s(2), x1, s(2)).unwrap();
+        for x in [x0, x1] {
+            p1.overwrite(x, s(2), x, s(3)).unwrap();
+            p1.overwrite(x, s(2), x, s(4)).unwrap();
+            p1.push(x, s(3), x, s(2), s(4)).unwrap();
+            p1.pop(x, s(5), x1).unwrap();
+        }
+        p1.overwrite(x1, s(4), x1, s(4)).unwrap();
+        p1.overwrite(x0, s(4), x0, s(5)).unwrap();
+        let mut p2 = PdsBuilder::new(3, 10);
+        p2.overwrite(bot, s(6), x0, s(6)).unwrap();
+        p2.overwrite(bot, s(6), x1, s(6)).unwrap();
+        for x in [x0, x1] {
+            p2.overwrite(x, s(6), x, s(7)).unwrap();
+            p2.overwrite(x, s(6), x, s(8)).unwrap();
+            p2.push(x, s(7), x, s(6), s(8)).unwrap();
+            p2.pop(x, s(9), x0).unwrap();
+        }
+        p2.overwrite(x0, s(8), x0, s(8)).unwrap();
+        p2.overwrite(x1, s(8), x1, s(9)).unwrap();
+        CpdsBuilder::new(3, bot)
+            .thread(p1.build().unwrap(), [s(2)])
+            .thread(p2.build().unwrap(), [s(6)])
+            .build()
+            .unwrap()
+    }
+
+    /// Fig. 4 left: the Fig. 1 CPDS satisfies FCR (loop-free PSAs).
+    #[test]
+    fn fig1_satisfies_fcr() {
+        let report = check_fcr(&fig1());
+        assert!(report.holds(), "{report}");
+        assert_eq!(
+            report.per_thread,
+            vec![Finiteness::Finite, Finiteness::Finite]
+        );
+        assert!(report.offending_threads().is_empty());
+    }
+
+    /// Fig. 4 right: the Fig. 2 CPDS does not satisfy FCR (self-loops
+    /// in both threads' PSAs).
+    #[test]
+    fn fig2_violates_fcr() {
+        let report = check_fcr(&fig2());
+        assert!(!report.holds(), "{report}");
+        assert_eq!(report.offending_threads(), vec![0, 1]);
+    }
+
+    /// A recursion that always returns before another call (bounded
+    /// stack within one context) keeps FCR.
+    #[test]
+    fn non_recursive_thread_is_finite() {
+        let mut p = PdsBuilder::new(2, 3);
+        p.overwrite(q(0), s(0), q(1), s(1)).unwrap();
+        p.pop(q(1), s(1), q(0)).unwrap();
+        let cpds = CpdsBuilder::new(2, q(0))
+            .thread(p.build().unwrap(), [s(0)])
+            .build()
+            .unwrap();
+        assert!(check_fcr(&cpds).holds());
+    }
+
+    #[test]
+    fn unbounded_push_within_context_fails_fcr() {
+        let mut p = PdsBuilder::new(1, 1);
+        p.push(q(0), s(0), q(0), s(0), s(0)).unwrap();
+        let cpds = CpdsBuilder::new(1, q(0))
+            .thread(p.build().unwrap(), [s(0)])
+            .build()
+            .unwrap();
+        let report = check_fcr(&cpds);
+        assert!(!report.holds());
+    }
+
+    /// The Fig. 1 stack can grow unboundedly *across* contexts while
+    /// FCR still holds (Ex. 15) — FCR is about one context at a time.
+    #[test]
+    fn fcr_is_per_context_not_global() {
+        let cpds = fig1();
+        assert!(check_fcr(&cpds).holds());
+        // … yet R is infinite: layer k stays non-empty for many k
+        // (checked in cuba-explore's fig1_rk_diverges test).
+    }
+
+    #[test]
+    fn fcr_psa_accepts_short_stacks() {
+        let cpds = fig1();
+        let psa = fcr_psa(cpds.thread(1), cpds.num_shared());
+        // The initial set Q × Σ≤1 itself is accepted.
+        assert!(psa.accepts(q(0), &[]));
+        assert!(psa.accepts(q(2), &[5]));
+        // One push from ⟨2|5⟩ gives ⟨3|46⟩.
+        assert!(psa.accepts(q(3), &[4, 6]));
+    }
+}

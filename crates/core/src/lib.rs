@@ -1,0 +1,156 @@
+//! The CUBA verification algorithms (Liu & Wahl, PLDI 2018).
+//!
+//! Context-unbounded reachability for concurrent pushdown systems is
+//! undecidable; CUBA is a *partial* method that can both refute and
+//! prove safety by watching how the sets of reachable states evolve as
+//! the permitted number of thread contexts `k` grows — the
+//! *observation sequence* paradigm (§3):
+//!
+//! * [`scheme1_explicit`] runs Scheme 1 over the stutter-free sequence
+//!   `(Rk)`: a plateau is a collapse (Lemma 7). Needs finite context
+//!   reachability ([`check_fcr`], §5).
+//! * [`scheme1_symbolic`] is the same over PSA-backed symbolic state
+//!   sets, so it also covers programs without FCR (Ex. 8).
+//! * [`alg3_explicit`] / [`alg3_symbolic`] run Algorithm 3 over the
+//!   finite-domain sequence `(T(Rk))` of *visible* states, separating
+//!   stuttering from convergence with *generator sets* (Def. 10,
+//!   Thm. 11) intersected with the context-insensitive
+//!   overapproximation `Z` (Alg. 2, Lemma 12).
+//! * [`Cuba`] is the top-level procedure of §6: FCR ⇒ race the
+//!   explicit algorithms, otherwise go symbolic.
+//! * [`cba_baseline`] is plain context-bounded analysis (Qadeer–Rehof
+//!   style, bug-finding only) — the JMoped-shaped comparator of Fig. 5.
+//!
+//! # Example
+//!
+//! Prove the Fig. 1 system safe for *any* number of contexts:
+//!
+//! ```
+//! use cuba_core::{alg3_explicit, Alg3Config, Property, Verdict};
+//! use cuba_explore::ExploreBudget;
+//! use cuba_pds::{CpdsBuilder, PdsBuilder, SharedState, StackSym, VisibleState};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let q = |n| SharedState(n);
+//! let s = |n| StackSym(n);
+//! let mut p1 = PdsBuilder::new(4, 3);
+//! p1.overwrite(q(0), s(1), q(1), s(2))?;
+//! p1.overwrite(q(3), s(2), q(0), s(1))?;
+//! let mut p2 = PdsBuilder::new(4, 7);
+//! p2.pop(q(0), s(4), q(0))?;
+//! p2.overwrite(q(1), s(4), q(2), s(5))?;
+//! p2.push(q(2), s(5), q(3), s(4), s(6))?;
+//! let cpds = CpdsBuilder::new(4, q(0))
+//!     .thread(p1.build()?, [s(1)])
+//!     .thread(p2.build()?, [s(4)])
+//!     .build()?;
+//!
+//! // ⟨2|1,5⟩ is never reachable; Alg. 3 proves it in 6 rounds.
+//! let target = VisibleState::new(q(2), vec![Some(s(1)), Some(s(5))]);
+//! let report = alg3_explicit(&cpds, &Property::never_visible(target), &Alg3Config::default())?;
+//! assert!(matches!(report.verdict, Verdict::Safe { k: 5, .. }));
+//! # Ok(())
+//! # }
+//! ```
+
+mod alg3;
+mod cba_baseline;
+mod driver;
+mod error;
+mod fcr;
+mod generator;
+mod overapprox;
+mod property;
+mod scheme1;
+mod sequence;
+#[cfg(test)]
+mod testutil;
+
+pub use alg3::{alg3_explicit, alg3_symbolic, Alg3Config, Alg3Report};
+pub use cba_baseline::{cba_baseline, CbaConfig, CbaReport, CbaVerdict};
+pub use driver::{Cuba, CubaConfig, CubaOutcome, DriverMode, EngineUsed};
+pub use error::CubaError;
+pub use fcr::{check_fcr, fcr_psa, FcrReport};
+pub use generator::GeneratorSet;
+pub use overapprox::{compute_z, thread_abstraction, AbstractTransition, ZReport};
+pub use property::Property;
+pub use scheme1::{scheme1_explicit, scheme1_symbolic, Scheme1Config, Scheme1Report};
+pub use sequence::{GrowthLog, SequenceEvent};
+
+/// The answer of a CUBA analysis.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Verdict {
+    /// The property holds for *every* context bound: the observation
+    /// sequence converged at bound `k` with no violation observed.
+    Safe {
+        /// The collapse bound `kmax` (Table 2's `kmax` columns).
+        k: usize,
+        /// Which convergence rule fired.
+        method: ConvergenceMethod,
+    },
+    /// The property is violated within `k` contexts.
+    Unsafe {
+        /// The context bound revealing the bug (the parenthesized
+        /// numbers in Table 2).
+        k: usize,
+        /// A replayable counterexample, when the engine tracks paths.
+        witness: Option<cuba_explore::Witness>,
+    },
+    /// Neither a violation nor convergence within the round limit.
+    Undetermined {
+        /// Human-readable reason (round limit, budget, …).
+        reason: String,
+    },
+}
+
+impl Verdict {
+    /// Whether this verdict proves the property.
+    pub fn is_safe(&self) -> bool {
+        matches!(self, Verdict::Safe { .. })
+    }
+
+    /// Whether this verdict refutes the property.
+    pub fn is_unsafe(&self) -> bool {
+        matches!(self, Verdict::Unsafe { .. })
+    }
+}
+
+impl std::fmt::Display for Verdict {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Verdict::Safe { k, method } => {
+                write!(
+                    f,
+                    "safe for any resource amount (converged at k={k}, {method})"
+                )
+            }
+            Verdict::Unsafe { k, .. } => {
+                write!(f, "error reachable with resource amount {k}")
+            }
+            Verdict::Undetermined { reason } => write!(f, "undetermined: {reason}"),
+        }
+    }
+}
+
+/// Which rule concluded convergence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConvergenceMethod {
+    /// `Rk = Rk+1` (Scheme 1 over the stutter-free `(Rk)`, Lemma 7).
+    RkCollapse,
+    /// Plateau of `T(Rk)` plus the generator test `G∩Z ⊆ T(Rk)`
+    /// (Algorithm 3, Thm. 11).
+    GeneratorTest,
+    /// No new symbolic states in a round (`Sk+1` adds nothing), the
+    /// symbolic analogue of `Rk = Rk+1`.
+    SkCollapse,
+}
+
+impl std::fmt::Display for ConvergenceMethod {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConvergenceMethod::RkCollapse => write!(f, "Rk collapse"),
+            ConvergenceMethod::GeneratorTest => write!(f, "generator test"),
+            ConvergenceMethod::SkCollapse => write!(f, "Sk collapse"),
+        }
+    }
+}

@@ -1,0 +1,193 @@
+use cuba_pds::{SharedState, StackSym, VisibleState};
+
+/// A safety property over *visible* states (paper §2.2: "Most
+/// reachability properties, including assertions inserted into a
+/// program, are formulated only over visible states").
+///
+/// A property *holds* as long as no reachable visible state violates
+/// it; all CUBA algorithms check every newly discovered visible state
+/// against [`violated_by`](Property::violated_by).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Property {
+    /// Always holds; use to compute reachability sets to convergence
+    /// without a target (the `kmax` columns of Table 2 for safe runs).
+    True,
+    /// Violated when any of the listed visible states is reached
+    /// (assertion failures mapped to distinguished visible states).
+    NeverVisible(Vec<VisibleState>),
+    /// Violated when any of the listed shared states is reached
+    /// (shared-state reachability, e.g. a dedicated error state).
+    NeverShared(Vec<SharedState>),
+    /// Violated when *all* the listed threads simultaneously expose
+    /// the paired top-of-stack symbol — mutual exclusion of "critical"
+    /// program locations ("mutually exclusive local-state
+    /// reachability", Ex. 2).
+    MutualExclusion(Vec<(usize, StackSym)>),
+    /// Violated when every sub-property would be violated… never mind
+    /// conjunctions: violated when *any* sub-property is violated.
+    All(Vec<Property>),
+}
+
+impl Property {
+    /// Shorthand for [`Property::NeverVisible`] with one target.
+    pub fn never_visible(v: VisibleState) -> Self {
+        Property::NeverVisible(vec![v])
+    }
+
+    /// Shorthand for [`Property::NeverShared`] with one target.
+    pub fn never_shared(q: SharedState) -> Self {
+        Property::NeverShared(vec![q])
+    }
+
+    /// Mutual exclusion of two thread locations.
+    pub fn mutex(thread_a: usize, top_a: StackSym, thread_b: usize, top_b: StackSym) -> Self {
+        Property::MutualExclusion(vec![(thread_a, top_a), (thread_b, top_b)])
+    }
+
+    /// Whether the visible state `v` violates the property.
+    pub fn violated_by(&self, v: &VisibleState) -> bool {
+        match self {
+            Property::True => false,
+            Property::NeverVisible(targets) => targets.iter().any(|t| t == v),
+            Property::NeverShared(states) => states.contains(&v.q),
+            Property::MutualExclusion(pins) => pins
+                .iter()
+                .all(|(thread, top)| v.tops.get(*thread).is_some_and(|t| *t == Some(*top))),
+            Property::All(props) => props.iter().any(|p| p.violated_by(v)),
+        }
+    }
+
+    /// First violating visible state among `iter`, if any.
+    pub fn find_violation<'a, I>(&self, iter: I) -> Option<&'a VisibleState>
+    where
+        I: IntoIterator<Item = &'a VisibleState>,
+    {
+        iter.into_iter().find(|v| self.violated_by(v))
+    }
+}
+
+impl std::fmt::Display for Property {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Property::True => write!(f, "true"),
+            Property::NeverVisible(ts) => {
+                write!(f, "never-visible{{")?;
+                for (i, t) in ts.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{t}")?;
+                }
+                write!(f, "}}")
+            }
+            Property::NeverShared(qs) => {
+                write!(f, "never-shared{{")?;
+                for (i, q) in qs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{q}")?;
+                }
+                write!(f, "}}")
+            }
+            Property::MutualExclusion(pins) => {
+                write!(f, "mutex{{")?;
+                for (i, (t, s)) in pins.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "t{t}@{s}")?;
+                }
+                write!(f, "}}")
+            }
+            Property::All(props) => {
+                write!(f, "all{{")?;
+                for (i, p) in props.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{p}")?;
+                }
+                write!(f, "}}")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q(n: u32) -> SharedState {
+        SharedState(n)
+    }
+    fn s(n: u32) -> StackSym {
+        StackSym(n)
+    }
+    fn vis(qq: u32, tops: &[Option<u32>]) -> VisibleState {
+        VisibleState::new(q(qq), tops.iter().map(|t| t.map(StackSym)).collect())
+    }
+
+    #[test]
+    fn true_never_violated() {
+        assert!(!Property::True.violated_by(&vis(0, &[Some(1)])));
+    }
+
+    #[test]
+    fn never_visible_exact_match() {
+        let p = Property::never_visible(vis(1, &[Some(2), None]));
+        assert!(p.violated_by(&vis(1, &[Some(2), None])));
+        assert!(!p.violated_by(&vis(1, &[Some(2), Some(3)])));
+        assert!(!p.violated_by(&vis(0, &[Some(2), None])));
+    }
+
+    #[test]
+    fn never_shared_matches_any_tops() {
+        let p = Property::never_shared(q(3));
+        assert!(p.violated_by(&vis(3, &[None])));
+        assert!(p.violated_by(&vis(3, &[Some(1), Some(2)])));
+        assert!(!p.violated_by(&vis(2, &[Some(1)])));
+    }
+
+    #[test]
+    fn mutex_requires_all_pins() {
+        let p = Property::mutex(0, s(7), 1, s(9));
+        assert!(p.violated_by(&vis(0, &[Some(7), Some(9)])));
+        assert!(!p.violated_by(&vis(0, &[Some(7), Some(8)])));
+        assert!(!p.violated_by(&vis(0, &[Some(7), None])));
+        // Out-of-range thread index never matches.
+        let p2 = Property::MutualExclusion(vec![(5, s(7))]);
+        assert!(!p2.violated_by(&vis(0, &[Some(7)])));
+    }
+
+    #[test]
+    fn all_is_disjunction_of_violations() {
+        let p = Property::All(vec![
+            Property::never_shared(q(1)),
+            Property::never_shared(q(2)),
+        ]);
+        assert!(p.violated_by(&vis(1, &[None])));
+        assert!(p.violated_by(&vis(2, &[None])));
+        assert!(!p.violated_by(&vis(0, &[None])));
+    }
+
+    #[test]
+    fn find_violation_returns_first() {
+        let p = Property::never_shared(q(2));
+        let states = [vis(0, &[None]), vis(2, &[Some(1)]), vis(2, &[None])];
+        assert_eq!(p.find_violation(states.iter()), Some(&states[1]));
+        assert_eq!(Property::True.find_violation(states.iter()), None);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Property::True.to_string(), "true");
+        assert_eq!(
+            Property::mutex(0, s(1), 1, s(2)).to_string(),
+            "mutex{t0@1, t1@2}"
+        );
+        assert!(Property::never_shared(q(1))
+            .to_string()
+            .contains("never-shared"));
+    }
+}

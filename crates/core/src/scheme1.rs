@@ -1,0 +1,322 @@
+use cuba_explore::{ExplicitEngine, ExploreBudget, SubsumptionMode, SymbolicEngine, Witness};
+use cuba_pds::Cpds;
+
+use crate::{check_fcr, ConvergenceMethod, CubaError, GrowthLog, Property, Verdict};
+
+/// Configuration for Scheme 1 runs.
+#[derive(Debug, Clone)]
+pub struct Scheme1Config {
+    /// Exploration budgets.
+    pub budget: ExploreBudget,
+    /// Give up (Undetermined) after this many rounds.
+    pub max_k: usize,
+    /// Skip the FCR pre-check (callers that already checked).
+    pub skip_fcr_check: bool,
+    /// Subsumption mode for the symbolic variant.
+    pub subsumption: SubsumptionMode,
+}
+
+impl Default for Scheme1Config {
+    fn default() -> Self {
+        Scheme1Config {
+            budget: ExploreBudget::default(),
+            max_k: 64,
+            skip_fcr_check: false,
+            subsumption: SubsumptionMode::Exact,
+        }
+    }
+}
+
+/// Result of a Scheme 1 run.
+#[derive(Debug, Clone)]
+pub struct Scheme1Report {
+    /// The verdict.
+    pub verdict: Verdict,
+    /// Rounds computed (largest `k` with `Rk` explored).
+    pub rounds: usize,
+    /// Total states stored (global states for the explicit variant,
+    /// symbolic states for the symbolic one).
+    pub states: usize,
+    /// Sizes `|Rk|` (or `|Sk|`) per bound — the observation log.
+    pub growth: GrowthLog,
+}
+
+/// Scheme 1 over the stutter-free sequence `(Rk)` with explicit state
+/// sets (the paper's `Scheme 1(Rk)`, §4): compute `R1, R2, …` until a
+/// violation appears or a plateau is observed; by Lemma 7 a plateau of
+/// `(Rk)` *is* a collapse, so "safe" answers are sound.
+///
+/// # Errors
+///
+/// Returns [`CubaError::FcrRequired`] when the system fails the FCR
+/// check (the explicit sets may be infinite per round), or a budget
+/// error from the engine.
+pub fn scheme1_explicit(
+    cpds: &Cpds,
+    property: &Property,
+    config: &Scheme1Config,
+) -> Result<Scheme1Report, CubaError> {
+    if !config.skip_fcr_check && !check_fcr(cpds).holds() {
+        return Err(CubaError::FcrRequired);
+    }
+    let mut engine = ExplicitEngine::new(cpds.clone(), config.budget);
+    let mut growth = GrowthLog::new();
+    growth.push(engine.num_states());
+
+    // Check the initial state too (k = 0).
+    if let Some(witness) = violation_witness(&engine, property, 0) {
+        return Ok(Scheme1Report {
+            verdict: Verdict::Unsafe {
+                k: 0,
+                witness: Some(witness),
+            },
+            rounds: 0,
+            states: engine.num_states(),
+            growth,
+        });
+    }
+
+    for k in 1..=config.max_k {
+        engine.advance()?;
+        growth.push(engine.num_states());
+        if let Some(witness) = violation_witness(&engine, property, k) {
+            return Ok(Scheme1Report {
+                verdict: Verdict::Unsafe {
+                    k,
+                    witness: Some(witness),
+                },
+                rounds: k,
+                states: engine.num_states(),
+                growth,
+            });
+        }
+        if engine.is_collapsed() {
+            return Ok(Scheme1Report {
+                verdict: Verdict::Safe {
+                    k: k - 1,
+                    method: ConvergenceMethod::RkCollapse,
+                },
+                rounds: k,
+                states: engine.num_states(),
+                growth,
+            });
+        }
+    }
+    Ok(Scheme1Report {
+        verdict: Verdict::Undetermined {
+            reason: format!("no collapse of (Rk) within {} rounds", config.max_k),
+        },
+        rounds: config.max_k,
+        states: engine.num_states(),
+        growth,
+    })
+}
+
+/// Finds a state in layer `k` whose visible projection violates the
+/// property, and reconstructs its witness path.
+fn violation_witness(engine: &ExplicitEngine, property: &Property, k: usize) -> Option<Witness> {
+    for state in engine.layer(k) {
+        if property.violated_by(&state.visible()) {
+            let id = engine.find(state).expect("layer states are stored");
+            return Some(engine.witness(id));
+        }
+    }
+    None
+}
+
+/// Scheme 1 over symbolic state sets `(Sk)` (PSA-backed): usable when
+/// FCR fails, e.g. the Fig. 2 program of Ex. 8 where `R1 ⊊ R2 = R3`
+/// and every `Rk` is infinite. A round that produces no new symbolic
+/// state soundly implies `Rk+1 ⊆ Rk`; stutter-freeness of `(Rk)`
+/// (Lemma 7) then gives convergence.
+///
+/// # Errors
+///
+/// Returns a budget error when the symbolic state set explodes.
+pub fn scheme1_symbolic(
+    cpds: &Cpds,
+    property: &Property,
+    config: &Scheme1Config,
+) -> Result<Scheme1Report, CubaError> {
+    let mut engine = SymbolicEngine::new(cpds.clone(), config.budget, config.subsumption);
+    let mut growth = GrowthLog::new();
+    growth.push(engine.num_symbolic_states());
+
+    if property
+        .find_violation(engine.visible_layer(0).iter())
+        .is_some()
+    {
+        return Ok(Scheme1Report {
+            verdict: Verdict::Unsafe {
+                k: 0,
+                witness: None,
+            },
+            rounds: 0,
+            states: engine.num_symbolic_states(),
+            growth,
+        });
+    }
+
+    for k in 1..=config.max_k {
+        engine.advance()?;
+        growth.push(engine.num_symbolic_states());
+        if property
+            .find_violation(engine.visible_layer(k).iter())
+            .is_some()
+        {
+            let verdict = crate::alg3::attach_symbolic_witness(
+                Verdict::Unsafe { k, witness: None },
+                cpds,
+                property,
+                &config.budget,
+            );
+            return Ok(Scheme1Report {
+                verdict,
+                rounds: k,
+                states: engine.num_symbolic_states(),
+                growth,
+            });
+        }
+        if engine.is_collapsed() {
+            return Ok(Scheme1Report {
+                verdict: Verdict::Safe {
+                    k: k - 1,
+                    method: ConvergenceMethod::SkCollapse,
+                },
+                rounds: k,
+                states: engine.num_symbolic_states(),
+                growth,
+            });
+        }
+    }
+    Ok(Scheme1Report {
+        verdict: Verdict::Undetermined {
+            reason: format!("no collapse of (Sk) within {} rounds", config.max_k),
+        },
+        rounds: config.max_k,
+        states: engine.num_symbolic_states(),
+        growth,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{fig1, fig2};
+    use cuba_pds::{SharedState, StackSym, VisibleState};
+
+    fn vis(qq: u32, tops: &[Option<u32>]) -> VisibleState {
+        VisibleState::new(
+            SharedState(qq),
+            tops.iter().map(|t| t.map(StackSym)).collect(),
+        )
+    }
+
+    /// Ex. 8 shape on Fig. 2: symbolic Scheme 1 proves convergence even
+    /// though every `Rk` is infinite.
+    #[test]
+    fn fig2_symbolic_scheme1_converges() {
+        let report = scheme1_symbolic(&fig2(), &Property::True, &Scheme1Config::default()).unwrap();
+        match report.verdict {
+            Verdict::Safe { k, method } => {
+                assert_eq!(method, crate::ConvergenceMethod::SkCollapse);
+                assert!(k <= 6, "collapse too late: k={k}");
+            }
+            other => panic!("expected Safe, got {other:?}"),
+        }
+    }
+
+    /// Fig. 2 rejected by the explicit variant: FCR fails.
+    #[test]
+    fn fig2_explicit_scheme1_requires_fcr() {
+        let err =
+            scheme1_explicit(&fig2(), &Property::True, &Scheme1Config::default()).unwrap_err();
+        assert_eq!(err, CubaError::FcrRequired);
+    }
+
+    /// On Fig. 1, (Rk) diverges; Scheme 1(Rk) must come back
+    /// undetermined at the round limit (this is why Alg. 3 exists).
+    #[test]
+    fn fig1_explicit_scheme1_diverges() {
+        let config = Scheme1Config {
+            max_k: 10,
+            ..Scheme1Config::default()
+        };
+        let report = scheme1_explicit(&fig1(), &Property::True, &config).unwrap();
+        assert!(matches!(report.verdict, Verdict::Undetermined { .. }));
+        assert_eq!(report.rounds, 10);
+        // |Rk| strictly grows every round on Fig. 1.
+        let sizes = report.growth.sizes();
+        for w in sizes.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+    }
+
+    /// Unsafe property on Fig. 1: ⟨3|2,4⟩ is reachable at k = 2, and
+    /// Scheme 1 finds it with a replayable witness.
+    #[test]
+    fn fig1_unsafe_with_witness() {
+        let cpds = fig1();
+        let property = Property::never_visible(vis(3, &[Some(2), Some(4)]));
+        let report = scheme1_explicit(&cpds, &property, &Scheme1Config::default()).unwrap();
+        match report.verdict {
+            Verdict::Unsafe { k, witness } => {
+                assert_eq!(k, 2);
+                let w = witness.expect("explicit engine yields witnesses");
+                assert!(w.replay(&cpds));
+                assert!(property.violated_by(&w.end().visible()));
+                assert!(w.num_contexts() <= 2);
+            }
+            other => panic!("expected Unsafe, got {other:?}"),
+        }
+    }
+
+    /// The same bug is found symbolically at the same bound — and the
+    /// bounded witness search attaches a concrete, replayable path.
+    #[test]
+    fn fig1_unsafe_symbolic_same_bound_with_witness() {
+        let cpds = fig1();
+        let property = Property::never_visible(vis(3, &[Some(2), Some(4)]));
+        let report = scheme1_symbolic(&cpds, &property, &Scheme1Config::default()).unwrap();
+        match report.verdict {
+            Verdict::Unsafe { k, witness } => {
+                assert_eq!(k, 2);
+                let w = witness.expect("bounded search reconstructs the path");
+                assert!(w.replay(&cpds));
+                assert!(w.num_contexts() <= 2);
+                assert!(property.violated_by(&w.end().visible()));
+            }
+            other => panic!("expected Unsafe, got {other:?}"),
+        }
+    }
+
+    /// Symbolic refutations on FCR-violating programs also get
+    /// witnesses: an assertion-style target inside Fig. 2.
+    #[test]
+    fn fig2_symbolic_refutation_carries_witness() {
+        let cpds = fig2();
+        // ⟨x=1|4,9⟩ is the Ex. 8 state, reachable within 2 contexts.
+        let property = Property::never_visible(vis(2, &[Some(4), Some(9)]));
+        let report = scheme1_symbolic(&cpds, &property, &Scheme1Config::default()).unwrap();
+        match report.verdict {
+            Verdict::Unsafe { k, witness } => {
+                assert_eq!(k, 2);
+                let w = witness.expect("witness search works without FCR");
+                assert!(w.replay(&cpds));
+                assert!(w.num_contexts() <= 2);
+            }
+            other => panic!("expected Unsafe, got {other:?}"),
+        }
+    }
+
+    /// Violation already in the initial state is reported at k = 0.
+    #[test]
+    fn initial_violation_is_k0() {
+        let cpds = fig1();
+        let property = Property::never_visible(vis(0, &[Some(1), Some(4)]));
+        let report = scheme1_explicit(&cpds, &property, &Scheme1Config::default()).unwrap();
+        assert!(matches!(report.verdict, Verdict::Unsafe { k: 0, .. }));
+        let report = scheme1_symbolic(&cpds, &property, &Scheme1Config::default()).unwrap();
+        assert!(matches!(report.verdict, Verdict::Unsafe { k: 0, .. }));
+    }
+}

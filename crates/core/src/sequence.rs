@@ -1,0 +1,188 @@
+//! Bookkeeping for observation sequences (paper §3, Table 1).
+//!
+//! Observation sequences are monotone (`Ok ⊆ Ok+1`), so their growth
+//! is fully described by the sequence of sizes `|Ok|`. [`GrowthLog`]
+//! records those sizes and answers the Table 1 questions — *plateau*,
+//! *stutter*, *collapse* — as far as they are decidable from a finite
+//! prefix (stuttering and convergence are properties of the entire
+//! infinite sequence; the whole point of Algorithm 3 is to decide them
+//! early with generator sets).
+
+/// What happened at the latest recorded bound.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SequenceEvent {
+    /// The observation grew: `Ok−1 ⊊ Ok`.
+    Grew,
+    /// A fresh plateau started: `Ok−2 ⊊ Ok−1 = Ok`.
+    NewPlateau,
+    /// An ongoing plateau continued: `Ok−2 = Ok−1 = Ok`.
+    OngoingPlateau,
+}
+
+/// Records `|O0|, |O1|, …` for a monotone observation sequence.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct GrowthLog {
+    sizes: Vec<usize>,
+}
+
+impl GrowthLog {
+    /// An empty log.
+    pub fn new() -> Self {
+        GrowthLog::default()
+    }
+
+    /// Records `|Ok|` for the next `k` and classifies the step.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is smaller than the previous record — the
+    /// sequence would not be monotone, which indicates an engine bug.
+    pub fn push(&mut self, size: usize) -> SequenceEvent {
+        if let Some(&last) = self.sizes.last() {
+            assert!(size >= last, "observation sequence must be monotone");
+        }
+        self.sizes.push(size);
+        let n = self.sizes.len();
+        if n >= 2 && self.sizes[n - 1] == self.sizes[n - 2] {
+            if n >= 3 && self.sizes[n - 2] == self.sizes[n - 3] {
+                SequenceEvent::OngoingPlateau
+            } else {
+                SequenceEvent::NewPlateau
+            }
+        } else {
+            SequenceEvent::Grew
+        }
+    }
+
+    /// Number of recorded bounds.
+    pub fn len(&self) -> usize {
+        self.sizes.len()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.sizes.is_empty()
+    }
+
+    /// The recorded sizes.
+    pub fn sizes(&self) -> &[usize] {
+        &self.sizes
+    }
+
+    /// Whether the sequence *plateaus at* `k0` (Table 1):
+    /// `Ok0 = Ok0+1`. Requires both bounds to be recorded.
+    pub fn plateaus_at(&self, k0: usize) -> Option<bool> {
+        if k0 + 1 >= self.sizes.len() {
+            return None;
+        }
+        Some(self.sizes[k0] == self.sizes[k0 + 1])
+    }
+
+    /// Whether, **within the recorded prefix**, the sequence stutters
+    /// at `k0`: it plateaus at `k0` yet grows at some later recorded
+    /// bound. A `false` answer is conclusive only if the sequence is
+    /// known to have collapsed by the end of the log.
+    pub fn stutters_at(&self, k0: usize) -> Option<bool> {
+        let p = self.plateaus_at(k0)?;
+        if !p {
+            return Some(false);
+        }
+        Some((k0 + 1..self.sizes.len() - 1).any(|k| self.sizes[k] < self.sizes[k + 1]))
+    }
+
+    /// The start of the final plateau in the recorded prefix, i.e. the
+    /// smallest `k0` with `Ok0 = … = O(last)`. `None` if the last step
+    /// grew.
+    pub fn final_plateau_start(&self) -> Option<usize> {
+        let n = self.sizes.len();
+        if n < 2 || self.sizes[n - 1] != self.sizes[n - 2] {
+            return None;
+        }
+        let last = self.sizes[n - 1];
+        let mut k0 = n - 1;
+        while k0 > 0 && self.sizes[k0 - 1] == last {
+            k0 -= 1;
+        }
+        Some(k0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Encodes the Fig. 1 visible-state sequence:
+    /// |T(R0..6)| = 1,3,6,6,7,8,8.
+    fn fig1_visible_log() -> GrowthLog {
+        let mut log = GrowthLog::new();
+        for s in [1usize, 3, 6, 6, 7, 8, 8] {
+            log.push(s);
+        }
+        log
+    }
+
+    #[test]
+    fn events_classify_growth_and_plateaus() {
+        let mut log = GrowthLog::new();
+        assert_eq!(log.push(1), SequenceEvent::Grew);
+        assert_eq!(log.push(3), SequenceEvent::Grew);
+        assert_eq!(log.push(6), SequenceEvent::Grew);
+        assert_eq!(log.push(6), SequenceEvent::NewPlateau);
+        assert_eq!(log.push(7), SequenceEvent::Grew);
+        assert_eq!(log.push(8), SequenceEvent::Grew);
+        assert_eq!(log.push(8), SequenceEvent::NewPlateau);
+        assert_eq!(log.push(8), SequenceEvent::OngoingPlateau);
+    }
+
+    /// Table 1, "plateaus at k0": Ok0 = Ok0+1.
+    #[test]
+    fn plateau_detection_matches_fig1() {
+        let log = fig1_visible_log();
+        assert_eq!(log.plateaus_at(2), Some(true)); // T(R2) = T(R3)
+        assert_eq!(log.plateaus_at(3), Some(false));
+        assert_eq!(log.plateaus_at(5), Some(true)); // T(R5) = T(R6)
+        assert_eq!(log.plateaus_at(6), None); // beyond the prefix
+    }
+
+    /// Table 1, "stutters at k0": plateau that later resumes growth.
+    #[test]
+    fn stutter_detection_matches_fig1() {
+        let log = fig1_visible_log();
+        assert_eq!(log.stutters_at(2), Some(true)); // fake plateau
+        assert_eq!(log.stutters_at(0), Some(false)); // grew, no plateau
+                                                     // k0 = 5 is the real collapse: no later growth in the prefix.
+        assert_eq!(log.stutters_at(5), Some(false));
+    }
+
+    #[test]
+    fn final_plateau_start() {
+        let log = fig1_visible_log();
+        assert_eq!(log.final_plateau_start(), Some(5));
+        let mut growing = GrowthLog::new();
+        growing.push(1);
+        growing.push(2);
+        assert_eq!(growing.final_plateau_start(), None);
+        let mut all_flat = GrowthLog::new();
+        for _ in 0..4 {
+            all_flat.push(2);
+        }
+        assert_eq!(all_flat.final_plateau_start(), Some(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "monotone")]
+    fn non_monotone_push_panics() {
+        let mut log = GrowthLog::new();
+        log.push(5);
+        log.push(4);
+    }
+
+    #[test]
+    fn empty_log() {
+        let log = GrowthLog::new();
+        assert!(log.is_empty());
+        assert_eq!(log.len(), 0);
+        assert_eq!(log.plateaus_at(0), None);
+        assert_eq!(log.final_plateau_start(), None);
+    }
+}

@@ -1,0 +1,133 @@
+/// Resource limits for explicit exploration.
+///
+/// A single context of one thread can reach infinitely many states
+/// when finite context reachability (paper §5) fails — e.g. the Fig. 2
+/// program pushes unboundedly without a context switch — so every
+/// explicit search is bounded and exhaustion is reported as
+/// [`ExploreError`] instead of diverging.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExploreBudget {
+    /// Maximum number of distinct global states stored overall.
+    pub max_states: usize,
+    /// Maximum stack depth of any single thread in any stored state.
+    pub max_stack_depth: usize,
+    /// Maximum number of states explored within one context closure.
+    pub max_states_per_context: usize,
+    /// Maximum number of symbolic states stored overall (symbolic
+    /// engine only).
+    pub max_symbolic_states: usize,
+}
+
+impl Default for ExploreBudget {
+    /// Generous defaults suitable for the paper's benchmark sizes.
+    fn default() -> Self {
+        ExploreBudget {
+            max_states: 2_000_000,
+            max_stack_depth: 512,
+            max_states_per_context: 1_000_000,
+            max_symbolic_states: 200_000,
+        }
+    }
+}
+
+impl ExploreBudget {
+    /// A small budget for tests that exercise budget exhaustion.
+    pub fn tiny() -> Self {
+        ExploreBudget {
+            max_states: 200,
+            max_stack_depth: 16,
+            max_states_per_context: 200,
+            max_symbolic_states: 64,
+        }
+    }
+}
+
+/// Exploration failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExploreError {
+    /// The total state budget was exhausted.
+    StateBudgetExceeded {
+        /// The configured limit.
+        limit: usize,
+    },
+    /// A stack grew past the depth budget — the typical signature of a
+    /// thread that violates finite context reachability.
+    StackDepthExceeded {
+        /// The configured limit.
+        limit: usize,
+        /// The thread whose stack overflowed the budget.
+        thread: usize,
+    },
+    /// A single context closure exceeded its state budget.
+    ContextBudgetExceeded {
+        /// The configured limit.
+        limit: usize,
+        /// The thread being closed over.
+        thread: usize,
+    },
+    /// The symbolic state budget was exhausted (the paper's
+    /// out-of-memory case for Stefan-1 with 8 threads).
+    SymbolicBudgetExceeded {
+        /// The configured limit.
+        limit: usize,
+    },
+}
+
+impl std::fmt::Display for ExploreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExploreError::StateBudgetExceeded { limit } => {
+                write!(f, "state budget of {limit} states exceeded")
+            }
+            ExploreError::StackDepthExceeded { limit, thread } => write!(
+                f,
+                "stack depth budget of {limit} exceeded by thread {thread} (likely FCR violation)"
+            ),
+            ExploreError::ContextBudgetExceeded { limit, thread } => write!(
+                f,
+                "per-context budget of {limit} states exceeded by thread {thread} (likely FCR violation)"
+            ),
+            ExploreError::SymbolicBudgetExceeded { limit } => {
+                write!(f, "symbolic state budget of {limit} exceeded")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExploreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_budget_is_generous() {
+        let b = ExploreBudget::default();
+        assert!(b.max_states >= 1_000_000);
+        assert!(b.max_stack_depth >= 256);
+    }
+
+    #[test]
+    fn tiny_budget_is_tiny() {
+        let b = ExploreBudget::tiny();
+        assert!(b.max_states <= 1000);
+    }
+
+    #[test]
+    fn errors_display() {
+        for e in [
+            ExploreError::StateBudgetExceeded { limit: 5 },
+            ExploreError::StackDepthExceeded {
+                limit: 5,
+                thread: 1,
+            },
+            ExploreError::ContextBudgetExceeded {
+                limit: 5,
+                thread: 0,
+            },
+            ExploreError::SymbolicBudgetExceeded { limit: 5 },
+        ] {
+            assert!(e.to_string().contains('5'));
+        }
+    }
+}

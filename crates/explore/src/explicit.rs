@@ -1,0 +1,607 @@
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use cuba_pds::{Cpds, GlobalState, ThreadId, VisibleState};
+
+use crate::{ExploreBudget, ExploreError, Witness, WitnessStep};
+
+/// Summary of one round (one new layer `Rk \ Rk−1`) of exploration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LayerSummary {
+    /// The context bound `k` of the freshly computed layer.
+    pub k: usize,
+    /// Number of global states new at bound `k`.
+    pub new_states: usize,
+    /// Number of visible states new at bound `k`.
+    pub new_visible: usize,
+}
+
+/// Explicit-state layered exploration of `R0 ⊆ R1 ⊆ …` (paper §4).
+///
+/// Each call to [`advance`](ExplicitEngine::advance) computes the next
+/// layer `Rk \ Rk−1` by running every thread to completion (one full
+/// context) from each frontier state — the inductive step in the proof
+/// of Thm. 17. The frontier-only strategy is sound because a path with
+/// `≤ k+1` contexts is a path with `≤ k` contexts followed by one
+/// context (Lemma 7's layering).
+///
+/// Any discovered state yields a replayable [`Witness`] whose context
+/// count is bounded by the state's layer (witnesses are reconstructed
+/// per layer, one context at a time — see [`witness`](Self::witness)).
+#[derive(Debug)]
+pub struct ExplicitEngine {
+    cpds: Cpds,
+    budget: ExploreBudget,
+    states: Vec<GlobalState>,
+    layer_of_state: Vec<u32>,
+    index: HashMap<GlobalState, u32>,
+    /// `layers[k]` = ids of states first reached at context bound `k`.
+    layers: Vec<Vec<u32>>,
+    /// `visible_layers[k]` = visible states first seen at bound `k`.
+    visible_layers: Vec<Vec<VisibleState>>,
+    visible_seen: HashSet<VisibleState>,
+    collapsed: bool,
+}
+
+impl ExplicitEngine {
+    /// Creates an engine positioned at `R0 = {initial state}`.
+    pub fn new(cpds: Cpds, budget: ExploreBudget) -> Self {
+        let init = cpds.initial_state();
+        let visible = init.visible();
+        let mut index = HashMap::new();
+        index.insert(init.clone(), 0u32);
+        let mut visible_seen = HashSet::new();
+        visible_seen.insert(visible.clone());
+        ExplicitEngine {
+            cpds,
+            budget,
+            states: vec![init],
+            layer_of_state: vec![0],
+            index,
+            layers: vec![vec![0]],
+            visible_layers: vec![vec![visible]],
+            visible_seen,
+            collapsed: false,
+        }
+    }
+
+    /// The CPDS being explored.
+    pub fn cpds(&self) -> &Cpds {
+        &self.cpds
+    }
+
+    /// The highest context bound computed so far.
+    pub fn current_k(&self) -> usize {
+        self.layers.len() - 1
+    }
+
+    /// Whether the sequence has collapsed (`Rk = Rk+1`); by Lemma 7
+    /// this means `Rk = R` and further rounds add nothing.
+    pub fn is_collapsed(&self) -> bool {
+        self.collapsed
+    }
+
+    /// Total number of distinct global states found so far.
+    pub fn num_states(&self) -> usize {
+        self.states.len()
+    }
+
+    /// The states first reached at context bound `k` (`Rk \ Rk−1`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if layer `k` has not been computed yet.
+    pub fn layer(&self, k: usize) -> impl Iterator<Item = &GlobalState> + '_ {
+        self.layers[k].iter().map(|&id| &self.states[id as usize])
+    }
+
+    /// The visible states first seen at context bound `k`
+    /// (`T(Rk) \ T(Rk−1)`, the right column of the paper's Fig. 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if layer `k` has not been computed yet.
+    pub fn visible_layer(&self, k: usize) -> &[VisibleState] {
+        &self.visible_layers[k]
+    }
+
+    /// All visible states seen so far, `T(Rk)` for the current `k`.
+    pub fn visible_total(&self) -> &HashSet<VisibleState> {
+        &self.visible_seen
+    }
+
+    /// Number of visible states seen so far, `|T(Rk)|`.
+    pub fn num_visible(&self) -> usize {
+        self.visible_seen.len()
+    }
+
+    /// All states found so far (the extensional `Rk`).
+    pub fn states(&self) -> &[GlobalState] {
+        &self.states
+    }
+
+    /// Looks up the id of a discovered state.
+    pub fn find(&self, state: &GlobalState) -> Option<u32> {
+        self.index.get(state).copied()
+    }
+
+    /// The context bound at which a state id was first reached.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn layer_of(&self, id: u32) -> usize {
+        self.layer_of_state[id as usize] as usize
+    }
+
+    /// Computes the next layer `Rk+1 \ Rk`.
+    ///
+    /// After a collapse this is a cheap no-op returning an empty layer
+    /// summary, so drivers may keep calling it.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`ExploreError`] when a budget is exhausted, which
+    /// on the paper's benchmarks signals an FCR violation — switch to
+    /// the symbolic engine in that case (§6 overall procedure).
+    pub fn advance(&mut self) -> Result<LayerSummary, ExploreError> {
+        let k = self.layers.len();
+        if self.collapsed {
+            self.layers.push(Vec::new());
+            self.visible_layers.push(Vec::new());
+            return Ok(LayerSummary {
+                k,
+                new_states: 0,
+                new_visible: 0,
+            });
+        }
+        let frontier: Vec<u32> = self.layers[k - 1].clone();
+        let mut new_layer: Vec<u32> = Vec::new();
+        let mut new_set: HashSet<u32> = HashSet::new();
+        let mut new_visible: Vec<VisibleState> = Vec::new();
+
+        for &start_id in &frontier {
+            for thread in 0..self.cpds.num_threads() {
+                self.context_closure(
+                    start_id,
+                    thread,
+                    k as u32,
+                    &mut new_layer,
+                    &mut new_set,
+                    &mut new_visible,
+                )?;
+            }
+        }
+
+        if new_layer.is_empty() {
+            self.collapsed = true;
+        }
+        let summary = LayerSummary {
+            k,
+            new_states: new_layer.len(),
+            new_visible: new_visible.len(),
+        };
+        self.layers.push(new_layer);
+        self.visible_layers.push(new_visible);
+        Ok(summary)
+    }
+
+    /// Runs thread `thread` to completion from `start_id` (one full
+    /// context), registering every state not seen before.
+    fn context_closure(
+        &mut self,
+        start_id: u32,
+        thread: usize,
+        layer: u32,
+        new_layer: &mut Vec<u32>,
+        new_set: &mut HashSet<u32>,
+        new_visible: &mut Vec<VisibleState>,
+    ) -> Result<(), ExploreError> {
+        // BFS over →_thread within this context. Entries are state ids;
+        // every state in the closure is stored globally (it is reachable
+        // with the same context count as the closure's results).
+        let mut queue: VecDeque<u32> = VecDeque::new();
+        queue.push_back(start_id);
+        let mut in_context: HashSet<u32> = HashSet::new();
+        in_context.insert(start_id);
+        let mut explored = 0usize;
+
+        while let Some(id) = queue.pop_front() {
+            explored += 1;
+            if explored > self.budget.max_states_per_context {
+                return Err(ExploreError::ContextBudgetExceeded {
+                    limit: self.budget.max_states_per_context,
+                    thread,
+                });
+            }
+            let current = self.states[id as usize].clone();
+            let mut discovered: Vec<GlobalState> = Vec::new();
+            self.cpds
+                .successors_of_thread_into(&current, thread, &mut |succ, _action_idx| {
+                    discovered.push(succ);
+                });
+            for succ in discovered {
+                if succ.stacks[thread].len() > self.budget.max_stack_depth {
+                    return Err(ExploreError::StackDepthExceeded {
+                        limit: self.budget.max_stack_depth,
+                        thread,
+                    });
+                }
+                let succ_id = match self.index.get(&succ) {
+                    Some(&existing) => existing,
+                    None => {
+                        if self.states.len() >= self.budget.max_states {
+                            return Err(ExploreError::StateBudgetExceeded {
+                                limit: self.budget.max_states,
+                            });
+                        }
+                        let new_id = self.states.len() as u32;
+                        let visible = succ.visible();
+                        self.index.insert(succ.clone(), new_id);
+                        self.states.push(succ);
+                        self.layer_of_state.push(layer);
+                        new_layer.push(new_id);
+                        new_set.insert(new_id);
+                        if self.visible_seen.insert(visible.clone()) {
+                            new_visible.push(visible);
+                        }
+                        new_id
+                    }
+                };
+                // Continue the context from states that entered the
+                // current layer (whether in this closure or an earlier
+                // one of the same round). States from older layers were
+                // already run to completion under every thread when
+                // their own layer was the frontier, so stopping there
+                // loses nothing and keeps each round linear.
+                if in_context.insert(succ_id) && new_set.contains(&succ_id) {
+                    queue.push_back(succ_id);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Reconstructs a replayable witness path to a discovered state.
+    ///
+    /// The number of contexts of the returned path is at most the
+    /// layer of the state: every layer-`k` state is, by construction
+    /// of [`advance`](Self::advance), one thread-context away from a
+    /// layer-`k−1` frontier state, so the path is rebuilt one context
+    /// per layer. (Naively chaining discovery-time predecessor links
+    /// would *not* give this bound: a state found by continuing a
+    /// context through an already-known same-layer state would inherit
+    /// that state's unrelated context history.)
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn witness(&self, id: u32) -> Witness {
+        let mut suffix: Vec<WitnessStep> = Vec::new();
+        let mut current = id;
+        while self.layer_of(current) > 0 {
+            let k = self.layer_of(current);
+            let (frontier_id, mut context_steps) = self
+                .context_predecessor(current, k - 1)
+                .expect("layered invariant: one context from the previous frontier");
+            context_steps.extend(std::mem::take(&mut suffix));
+            suffix = context_steps;
+            current = frontier_id;
+        }
+        Witness {
+            start: self.states[current as usize].clone(),
+            steps: suffix,
+        }
+    }
+
+    /// Finds a frontier state of `layer` and a single-context path
+    /// from it to `target_id`, by re-running one context closure with
+    /// local path tracking.
+    fn context_predecessor(&self, target_id: u32, layer: usize) -> Option<(u32, Vec<WitnessStep>)> {
+        let target = &self.states[target_id as usize];
+        for &start_id in &self.layers[layer] {
+            for thread in 0..self.cpds.num_threads() {
+                if let Some(steps) = self.local_context_path(start_id, thread, target) {
+                    return Some((start_id, steps));
+                }
+            }
+        }
+        None
+    }
+
+    /// BFS over thread-`thread` steps from `start_id`, returning the
+    /// step sequence to `target` if reachable within one context.
+    fn local_context_path(
+        &self,
+        start_id: u32,
+        thread: usize,
+        target: &GlobalState,
+    ) -> Option<Vec<WitnessStep>> {
+        let start = &self.states[start_id as usize];
+        if start == target {
+            return Some(Vec::new());
+        }
+        let mut pred: HashMap<GlobalState, (GlobalState, usize)> = HashMap::new();
+        let mut queue: VecDeque<GlobalState> = VecDeque::new();
+        queue.push_back(start.clone());
+        let mut explored = 0usize;
+        while let Some(current) = queue.pop_front() {
+            explored += 1;
+            if explored > self.budget.max_states_per_context {
+                return None;
+            }
+            let mut found = false;
+            let mut next: Vec<(GlobalState, usize)> = Vec::new();
+            self.cpds
+                .successors_of_thread_into(&current, thread, &mut |succ, action_idx| {
+                    next.push((succ, action_idx));
+                });
+            for (succ, action_idx) in next {
+                if &succ != start && !pred.contains_key(&succ) {
+                    pred.insert(succ.clone(), (current.clone(), action_idx));
+                    if &succ == target {
+                        found = true;
+                        break;
+                    }
+                    queue.push_back(succ);
+                }
+            }
+            if found {
+                break;
+            }
+        }
+        pred.contains_key(target).then(|| {
+            let mut rev = Vec::new();
+            let mut cur = target.clone();
+            while &cur != start {
+                let (p, action_idx) = pred[&cur].clone();
+                rev.push(WitnessStep {
+                    thread: ThreadId(thread),
+                    action_idx,
+                    state: cur.clone(),
+                });
+                cur = p;
+            }
+            rev.reverse();
+            rev
+        })
+    }
+
+    /// Runs rounds until collapse or until `max_k` rounds have been
+    /// computed; returns the final context bound reached.
+    ///
+    /// # Errors
+    ///
+    /// Propagates budget exhaustion from [`advance`](Self::advance).
+    pub fn run_until_collapse(&mut self, max_k: usize) -> Result<usize, ExploreError> {
+        while !self.collapsed && self.current_k() < max_k {
+            self.advance()?;
+        }
+        Ok(self.current_k())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cuba_pds::{CpdsBuilder, PdsBuilder, SharedState, Stack, StackSym};
+
+    fn q(n: u32) -> SharedState {
+        SharedState(n)
+    }
+    fn s(n: u32) -> StackSym {
+        StackSym(n)
+    }
+
+    /// The CPDS of Fig. 1.
+    fn fig1() -> Cpds {
+        let mut p1 = PdsBuilder::new(4, 3);
+        p1.overwrite(q(0), s(1), q(1), s(2)).unwrap();
+        p1.overwrite(q(3), s(2), q(0), s(1)).unwrap();
+        let mut p2 = PdsBuilder::new(4, 7);
+        p2.pop(q(0), s(4), q(0)).unwrap();
+        p2.overwrite(q(1), s(4), q(2), s(5)).unwrap();
+        p2.push(q(2), s(5), q(3), s(4), s(6)).unwrap();
+        CpdsBuilder::new(4, q(0))
+            .thread(p1.build().unwrap(), [s(1)])
+            .thread(p2.build().unwrap(), [s(4)])
+            .build()
+            .unwrap()
+    }
+
+    fn gs(qq: u32, w1: &[u32], w2: &[u32]) -> GlobalState {
+        GlobalState::new(
+            q(qq),
+            vec![
+                Stack::from_top_down(w1.iter().map(|&x| s(x))),
+                Stack::from_top_down(w2.iter().map(|&x| s(x))),
+            ],
+        )
+    }
+
+    fn layer_set(engine: &ExplicitEngine, k: usize) -> HashSet<GlobalState> {
+        engine.layer(k).cloned().collect()
+    }
+
+    #[test]
+    fn fig1_layer_zero_is_initial() {
+        let engine = ExplicitEngine::new(fig1(), ExploreBudget::default());
+        assert_eq!(layer_set(&engine, 0), HashSet::from([gs(0, &[1], &[4])]));
+        assert_eq!(engine.num_visible(), 1);
+    }
+
+    /// The exact reachability table of Fig. 1 (left column), k = 1..6.
+    #[test]
+    fn fig1_reachability_table() {
+        let mut engine = ExplicitEngine::new(fig1(), ExploreBudget::default());
+        for _ in 0..6 {
+            engine.advance().unwrap();
+        }
+        assert_eq!(
+            layer_set(&engine, 1),
+            HashSet::from([gs(1, &[2], &[4]), gs(0, &[1], &[])])
+        );
+        assert_eq!(
+            layer_set(&engine, 2),
+            HashSet::from([gs(2, &[2], &[5]), gs(3, &[2], &[4, 6]), gs(1, &[2], &[])])
+        );
+        assert_eq!(
+            layer_set(&engine, 3),
+            HashSet::from([gs(0, &[1], &[4, 6]), gs(1, &[2], &[4, 6])])
+        );
+        assert_eq!(
+            layer_set(&engine, 4),
+            HashSet::from([
+                gs(0, &[1], &[6]),
+                gs(2, &[2], &[5, 6]),
+                gs(3, &[2], &[4, 6, 6])
+            ])
+        );
+        assert_eq!(
+            layer_set(&engine, 5),
+            HashSet::from([
+                gs(0, &[1], &[4, 6, 6]),
+                gs(1, &[2], &[4, 6, 6]),
+                gs(1, &[2], &[6])
+            ])
+        );
+        assert_eq!(
+            layer_set(&engine, 6),
+            HashSet::from([
+                gs(0, &[1], &[6, 6]),
+                gs(2, &[2], &[5, 6, 6]),
+                gs(3, &[2], &[4, 6, 6, 6])
+            ])
+        );
+    }
+
+    /// The visible-state table of Fig. 1 (right column).
+    #[test]
+    fn fig1_visible_table() {
+        let mut engine = ExplicitEngine::new(fig1(), ExploreBudget::default());
+        for _ in 0..6 {
+            engine.advance().unwrap();
+        }
+        let vl = |k: usize| -> HashSet<String> {
+            engine
+                .visible_layer(k)
+                .iter()
+                .map(|v| v.to_string())
+                .collect()
+        };
+        assert_eq!(vl(0), HashSet::from(["<0|1,4>".to_owned()]));
+        assert_eq!(
+            vl(1),
+            HashSet::from(["<1|2,4>".to_owned(), "<0|1,eps>".to_owned()])
+        );
+        assert_eq!(
+            vl(2),
+            HashSet::from([
+                "<2|2,5>".to_owned(),
+                "<3|2,4>".to_owned(),
+                "<1|2,eps>".to_owned()
+            ])
+        );
+        assert_eq!(vl(3), HashSet::new()); // plateau at k = 2
+        assert_eq!(vl(4), HashSet::from(["<0|1,6>".to_owned()]));
+        assert_eq!(vl(5), HashSet::from(["<1|2,6>".to_owned()]));
+        assert_eq!(vl(6), HashSet::new()); // T collapses at k = 5
+    }
+
+    #[test]
+    fn fig1_rk_diverges_but_layers_stay_finite() {
+        let mut engine = ExplicitEngine::new(fig1(), ExploreBudget::default());
+        for _ in 0..20 {
+            let summary = engine.advance().unwrap();
+            // (Rk) never collapses for Fig. 1 (Ex. 15: R is infinite).
+            assert!(
+                summary.new_states > 0,
+                "unexpected collapse at k={}",
+                summary.k
+            );
+        }
+        assert!(!engine.is_collapsed());
+    }
+
+    #[test]
+    fn witness_paths_replay() {
+        let mut engine = ExplicitEngine::new(fig1(), ExploreBudget::default());
+        for _ in 0..4 {
+            engine.advance().unwrap();
+        }
+        let target = gs(0, &[1], &[6]);
+        let id = engine.find(&target).expect("reached at k=4");
+        let w = engine.witness(id);
+        assert!(w.replay(engine.cpds()));
+        assert_eq!(w.end(), &target);
+        assert!(w.num_contexts() <= 4);
+    }
+
+    #[test]
+    fn witness_contexts_bounded_by_layer() {
+        let mut engine = ExplicitEngine::new(fig1(), ExploreBudget::default());
+        for _ in 0..5 {
+            engine.advance().unwrap();
+        }
+        for k in 0..=5usize {
+            for state in engine.layer(k) {
+                let id = engine.find(state).unwrap();
+                let w = engine.witness(id);
+                assert!(w.replay(engine.cpds()));
+                assert!(
+                    w.num_contexts() <= k,
+                    "state {state} in layer {k} got witness with {} contexts",
+                    w.num_contexts()
+                );
+            }
+        }
+    }
+
+    /// A single-thread system that pushes forever within one context
+    /// violates the per-context budget (FCR failure signature).
+    #[test]
+    fn budget_stops_infinite_context() {
+        let mut p = PdsBuilder::new(1, 1);
+        p.push(q(0), s(0), q(0), s(0), s(0)).unwrap();
+        let cpds = CpdsBuilder::new(1, q(0))
+            .thread(p.build().unwrap(), [s(0)])
+            .build()
+            .unwrap();
+        let mut engine = ExplicitEngine::new(cpds, ExploreBudget::tiny());
+        let err = engine.advance().unwrap_err();
+        assert!(matches!(
+            err,
+            ExploreError::StackDepthExceeded { .. } | ExploreError::ContextBudgetExceeded { .. }
+        ));
+    }
+
+    #[test]
+    fn collapse_on_finite_system() {
+        // Two threads that each overwrite once and stop.
+        let mut p = PdsBuilder::new(2, 2);
+        p.overwrite(q(0), s(0), q(1), s(1)).unwrap();
+        let pds = p.build().unwrap();
+        let cpds = CpdsBuilder::new(2, q(0))
+            .threads(&pds, [s(0)], 2)
+            .build()
+            .unwrap();
+        let mut engine = ExplicitEngine::new(cpds, ExploreBudget::default());
+        let k = engine.run_until_collapse(50).unwrap();
+        assert!(engine.is_collapsed());
+        assert!(k <= 3, "collapsed at k={k}");
+        // R = {<0|0,0>, <1|1,0>} — thread 2's action is enabled only at
+        // q1 … which thread 1 reaches first; then thread 2 overwrites.
+        assert_eq!(engine.num_states(), 3);
+        // Advancing after collapse stays a no-op.
+        let summary = engine.advance().unwrap();
+        assert_eq!(summary.new_states, 0);
+    }
+
+    #[test]
+    fn layer_of_reports_first_bound() {
+        let mut engine = ExplicitEngine::new(fig1(), ExploreBudget::default());
+        engine.advance().unwrap();
+        engine.advance().unwrap();
+        let id = engine.find(&gs(1, &[2], &[4])).unwrap();
+        assert_eq!(engine.layer_of(id), 1);
+    }
+}

@@ -1,0 +1,569 @@
+use std::collections::{HashMap, HashSet};
+
+use cuba_automata::{language_subset, post_star, CanonicalDfa, Psa};
+use cuba_pds::{Cpds, GlobalState, SharedState, StackSym, VisibleState};
+
+use crate::{ExploreBudget, ExploreError};
+
+/// A symbolic state `τ = ⟨q|A1,…,An⟩` (paper App. E): the current
+/// shared state plus, per thread, a regular language of possible stack
+/// contents, kept as a *canonical minimal DFA* so that language
+/// equality is structural equality (and symbolic states are hashable).
+///
+/// Its concretization is
+/// `γ(τ) = {⟨q|w1,…,wn⟩ : ∀i wi ∈ L(Ai)}` (Eq. 3).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct SymbolicState {
+    /// The shared state `q`.
+    pub q: SharedState,
+    /// Per-thread stack languages (top-of-stack first).
+    pub stacks: Vec<CanonicalDfa>,
+}
+
+impl SymbolicState {
+    /// The symbolic state whose concretization is exactly `{state}`.
+    pub fn singleton(state: &GlobalState) -> Self {
+        SymbolicState {
+            q: state.q,
+            stacks: state
+                .stacks
+                .iter()
+                .map(|s| {
+                    let word: Vec<u32> = s.iter_top_down().map(|x| x.0).collect();
+                    CanonicalDfa::single_word(&word)
+                })
+                .collect(),
+        }
+    }
+
+    /// Whether `state ∈ γ(τ)`.
+    pub fn contains(&self, state: &GlobalState) -> bool {
+        if state.q != self.q || state.stacks.len() != self.stacks.len() {
+            return false;
+        }
+        state.stacks.iter().zip(&self.stacks).all(|(w, a)| {
+            let word: Vec<u32> = w.iter_top_down().map(|x| x.0).collect();
+            a.accepts(&word)
+        })
+    }
+
+    /// Whether `γ(self) ⊆ γ(other)` (pointwise language containment;
+    /// used by the optional subsumption mode).
+    pub fn subsumed_by(&self, other: &SymbolicState) -> bool {
+        self.q == other.q
+            && self.stacks.len() == other.stacks.len()
+            && self
+                .stacks
+                .iter()
+                .zip(&other.stacks)
+                .all(|(a, b)| a == b || language_subset(&a.to_nfa(), &b.to_nfa()))
+    }
+
+    /// The visible-state projection `T(τ)` (Eq. 4, computed per thread
+    /// by the paper's Alg. 4): the finite set
+    /// `{q} × T(A1) × … × T(An)`.
+    pub fn visible_states(&self) -> Vec<VisibleState> {
+        let mut per_thread: Vec<Vec<Option<StackSym>>> = Vec::with_capacity(self.stacks.len());
+        for a in &self.stacks {
+            let (firsts, eps) = a.first_symbols();
+            let mut tops: Vec<Option<StackSym>> = Vec::new();
+            if eps {
+                tops.push(None);
+            }
+            tops.extend(firsts.into_iter().map(|s| Some(StackSym(s))));
+            if tops.is_empty() {
+                // Empty stack language: γ(τ) is empty, no visible states.
+                return Vec::new();
+            }
+            per_thread.push(tops);
+        }
+        let mut out = Vec::new();
+        let mut tuple: Vec<Option<StackSym>> = vec![None; self.stacks.len()];
+        fn rec(
+            domains: &[Vec<Option<StackSym>>],
+            i: usize,
+            q: SharedState,
+            tuple: &mut Vec<Option<StackSym>>,
+            out: &mut Vec<VisibleState>,
+        ) {
+            if i == domains.len() {
+                out.push(VisibleState::new(q, tuple.clone()));
+                return;
+            }
+            for &choice in &domains[i] {
+                tuple[i] = choice;
+                rec(domains, i + 1, q, tuple, out);
+            }
+        }
+        rec(&per_thread, 0, self.q, &mut tuple, &mut out);
+        out
+    }
+
+    /// Whether `γ(τ)` is empty (some thread's stack language is empty).
+    pub fn is_empty(&self) -> bool {
+        self.stacks.iter().any(|a| a.is_empty_language())
+    }
+}
+
+impl std::fmt::Display for SymbolicState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "<{}|", self.q)?;
+        for (i, a) in self.stacks.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "dfa[{}]", a.num_states())?;
+        }
+        write!(f, ">")
+    }
+}
+
+/// How the symbolic engine deduplicates newly produced symbolic states.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SubsumptionMode {
+    /// Keep a state unless an *identical* (canonical) state exists.
+    /// Cheap; plateau detection means `Sk+1 = Sk` exactly.
+    #[default]
+    Exact,
+    /// Additionally drop states pointwise subsumed by an existing state
+    /// (`γ(new) ⊆ γ(old)`). More work per state, earlier convergence —
+    /// this is the ablation §8 alludes to ("symbolic representations …
+    /// make convergence detection more difficult").
+    Pointwise,
+}
+
+/// Summary of one symbolic round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SymbolicLayerSummary {
+    /// The context bound of the new layer.
+    pub k: usize,
+    /// Symbolic states new at this bound.
+    pub new_symbolic: usize,
+    /// Visible states new at this bound.
+    pub new_visible: usize,
+}
+
+/// Symbolic layered exploration of `S0, S1, …` with PSA-based context
+/// steps (the paper's third approach, Alg. 3(T(Sk)), App. E).
+///
+/// One context of thread `i` from `τ = ⟨q|A1,…,An⟩`:
+///
+/// 1. build the P-automaton accepting `{⟨q|w⟩ : w ∈ L(Ai)}`,
+/// 2. saturate with `post*` over `Δi`,
+/// 3. for every shared state `q'` with non-empty stack language,
+///    emit `⟨q'|A1,…,post*|q',…,An⟩` — the other threads' stacks are
+///    unchanged, merely re-associated with the new shared state.
+///
+/// Collapse (`no new symbolic states in a round`) soundly implies
+/// `Rk+1 ⊆ Rk` and hence, by Lemma 7, convergence of `(Rk)`.
+#[derive(Debug)]
+pub struct SymbolicEngine {
+    cpds: Cpds,
+    budget: ExploreBudget,
+    mode: SubsumptionMode,
+    states: Vec<SymbolicState>,
+    index: HashMap<SymbolicState, u32>,
+    /// Ids grouped by shared state, for pointwise subsumption lookups.
+    by_shared: HashMap<SharedState, Vec<u32>>,
+    layers: Vec<Vec<u32>>,
+    visible_layers: Vec<Vec<VisibleState>>,
+    visible_seen: HashSet<VisibleState>,
+    collapsed: bool,
+}
+
+impl SymbolicEngine {
+    /// Creates an engine positioned at `S0 = {singleton(initial)}`.
+    pub fn new(cpds: Cpds, budget: ExploreBudget, mode: SubsumptionMode) -> Self {
+        let init = SymbolicState::singleton(&cpds.initial_state());
+        let visible = cpds.initial_state().visible();
+        let mut index = HashMap::new();
+        index.insert(init.clone(), 0u32);
+        let mut by_shared: HashMap<SharedState, Vec<u32>> = HashMap::new();
+        by_shared.insert(init.q, vec![0]);
+        let mut visible_seen = HashSet::new();
+        visible_seen.insert(visible.clone());
+        SymbolicEngine {
+            cpds,
+            budget,
+            mode,
+            states: vec![init],
+            index,
+            by_shared,
+            layers: vec![vec![0]],
+            visible_layers: vec![vec![visible]],
+            visible_seen,
+            collapsed: false,
+        }
+    }
+
+    /// The CPDS being explored.
+    pub fn cpds(&self) -> &Cpds {
+        &self.cpds
+    }
+
+    /// The highest context bound computed so far.
+    pub fn current_k(&self) -> usize {
+        self.layers.len() - 1
+    }
+
+    /// Whether a round added no symbolic states (so `Rk` collapsed).
+    pub fn is_collapsed(&self) -> bool {
+        self.collapsed
+    }
+
+    /// Total number of symbolic states stored.
+    pub fn num_symbolic_states(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Symbolic states first produced at context bound `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if layer `k` has not been computed yet.
+    pub fn layer(&self, k: usize) -> impl Iterator<Item = &SymbolicState> + '_ {
+        self.layers[k].iter().map(|&id| &self.states[id as usize])
+    }
+
+    /// Visible states first seen at context bound `k`
+    /// (`T(Sk) \ T(Sk−1)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if layer `k` has not been computed yet.
+    pub fn visible_layer(&self, k: usize) -> &[VisibleState] {
+        &self.visible_layers[k]
+    }
+
+    /// All visible states seen so far (`T(Sk)` at the current bound).
+    pub fn visible_total(&self) -> &HashSet<VisibleState> {
+        &self.visible_seen
+    }
+
+    /// Number of visible states seen so far.
+    pub fn num_visible(&self) -> usize {
+        self.visible_seen.len()
+    }
+
+    /// Whether a concrete global state is covered by any stored
+    /// symbolic state (i.e. is context-bounded reachable at the
+    /// current bound). Used in cross-validation tests.
+    pub fn covers(&self, state: &GlobalState) -> bool {
+        self.states.iter().any(|s| s.contains(state))
+    }
+
+    /// Computes the next layer `Sk+1 \ Sk`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExploreError::SymbolicBudgetExceeded`] when the
+    /// symbolic state budget is exhausted — the analogue of the
+    /// paper's out-of-memory outcome on Stefan-1 with 8 threads.
+    pub fn advance(&mut self) -> Result<SymbolicLayerSummary, ExploreError> {
+        let k = self.layers.len();
+        if self.collapsed {
+            self.layers.push(Vec::new());
+            self.visible_layers.push(Vec::new());
+            return Ok(SymbolicLayerSummary {
+                k,
+                new_symbolic: 0,
+                new_visible: 0,
+            });
+        }
+        let frontier: Vec<u32> = self.layers[k - 1].clone();
+        let mut new_layer: Vec<u32> = Vec::new();
+        let mut new_visible: Vec<VisibleState> = Vec::new();
+
+        for &tau_id in &frontier {
+            for thread in 0..self.cpds.num_threads() {
+                let successors = self.context_post(tau_id, thread);
+                for tau2 in successors {
+                    self.register(tau2, &mut new_layer, &mut new_visible)?;
+                }
+            }
+        }
+
+        if new_layer.is_empty() {
+            self.collapsed = true;
+        }
+        let summary = SymbolicLayerSummary {
+            k,
+            new_symbolic: new_layer.len(),
+            new_visible: new_visible.len(),
+        };
+        self.layers.push(new_layer);
+        self.visible_layers.push(new_visible);
+        Ok(summary)
+    }
+
+    /// One full context of `thread` from symbolic state `tau_id`.
+    fn context_post(&self, tau_id: u32, thread: usize) -> Vec<SymbolicState> {
+        let tau = &self.states[tau_id as usize];
+        let num_controls = self.cpds.num_shared();
+        let stack_nfa = tau.stacks[thread].to_nfa();
+        let init = match Psa::from_stack_nfa(num_controls, tau.q, &stack_nfa) {
+            Ok(p) => p,
+            Err(_) => return Vec::new(),
+        };
+        let saturated = post_star(self.cpds.thread(thread), &init);
+        let mut out = Vec::new();
+        for q2 in saturated.nonempty_controls() {
+            let lang = saturated.stack_language(q2);
+            let canon = CanonicalDfa::from_nfa(&lang);
+            if canon.is_empty_language() {
+                continue;
+            }
+            let mut stacks = tau.stacks.clone();
+            stacks[thread] = canon;
+            out.push(SymbolicState { q: q2, stacks });
+        }
+        out
+    }
+
+    /// Stores a successor unless deduplicated/subsumed.
+    fn register(
+        &mut self,
+        tau: SymbolicState,
+        new_layer: &mut Vec<u32>,
+        new_visible: &mut Vec<VisibleState>,
+    ) -> Result<(), ExploreError> {
+        if tau.is_empty() || self.index.contains_key(&tau) {
+            return Ok(());
+        }
+        if self.mode == SubsumptionMode::Pointwise {
+            if let Some(ids) = self.by_shared.get(&tau.q) {
+                if ids
+                    .iter()
+                    .any(|&id| tau.subsumed_by(&self.states[id as usize]))
+                {
+                    return Ok(());
+                }
+            }
+        }
+        if self.states.len() >= self.budget.max_symbolic_states {
+            return Err(ExploreError::SymbolicBudgetExceeded {
+                limit: self.budget.max_symbolic_states,
+            });
+        }
+        let id = self.states.len() as u32;
+        for v in tau.visible_states() {
+            if self.visible_seen.insert(v.clone()) {
+                new_visible.push(v);
+            }
+        }
+        self.index.insert(tau.clone(), id);
+        self.by_shared.entry(tau.q).or_default().push(id);
+        self.states.push(tau);
+        new_layer.push(id);
+        Ok(())
+    }
+
+    /// Runs rounds until collapse or `max_k`; returns the final bound.
+    ///
+    /// # Errors
+    ///
+    /// Propagates budget exhaustion from [`advance`](Self::advance).
+    pub fn run_until_collapse(&mut self, max_k: usize) -> Result<usize, ExploreError> {
+        while !self.collapsed && self.current_k() < max_k {
+            self.advance()?;
+        }
+        Ok(self.current_k())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cuba_pds::{CpdsBuilder, PdsBuilder, Stack};
+
+    fn q(n: u32) -> SharedState {
+        SharedState(n)
+    }
+    fn s(n: u32) -> StackSym {
+        StackSym(n)
+    }
+
+    /// The CPDS of Fig. 1.
+    fn fig1() -> Cpds {
+        let mut p1 = PdsBuilder::new(4, 3);
+        p1.overwrite(q(0), s(1), q(1), s(2)).unwrap();
+        p1.overwrite(q(3), s(2), q(0), s(1)).unwrap();
+        let mut p2 = PdsBuilder::new(4, 7);
+        p2.pop(q(0), s(4), q(0)).unwrap();
+        p2.overwrite(q(1), s(4), q(2), s(5)).unwrap();
+        p2.push(q(2), s(5), q(3), s(4), s(6)).unwrap();
+        CpdsBuilder::new(4, q(0))
+            .thread(p1.build().unwrap(), [s(1)])
+            .thread(p2.build().unwrap(), [s(4)])
+            .build()
+            .unwrap()
+    }
+
+    /// The CPDS of Fig. 2 (foo/bar; does not satisfy FCR).
+    /// Q = {⊥,0,1} encoded as {0,1,2}; Σ1 = {2,3,4,5}, Σ2 = {6,7,8,9}.
+    fn fig2() -> Cpds {
+        let bot = q(0);
+        let x0 = q(1);
+        let x1 = q(2);
+        let mut p1 = PdsBuilder::new(3, 6);
+        p1.overwrite(bot, s(2), x0, s(2)).unwrap(); // f0 (x := 0)
+        p1.overwrite(bot, s(2), x1, s(2)).unwrap(); // f0 (x := 1)
+        for x in [x0, x1] {
+            p1.overwrite(x, s(2), x, s(3)).unwrap(); // f2a
+            p1.overwrite(x, s(2), x, s(4)).unwrap(); // f2b
+            p1.push(x, s(3), x, s(2), s(4)).unwrap(); // f3
+            p1.pop(x, s(5), x1).unwrap(); // f5 (x := 1, return)
+        }
+        p1.overwrite(x1, s(4), x1, s(4)).unwrap(); // f4a spin while x
+        p1.overwrite(x0, s(4), x0, s(5)).unwrap(); // f4b exit loop
+        let mut p2 = PdsBuilder::new(3, 10);
+        p2.overwrite(bot, s(6), x0, s(6)).unwrap(); // b0
+        p2.overwrite(bot, s(6), x1, s(6)).unwrap(); // b0
+        for x in [x0, x1] {
+            p2.overwrite(x, s(6), x, s(7)).unwrap(); // b6a
+            p2.overwrite(x, s(6), x, s(8)).unwrap(); // b6b
+            p2.push(x, s(7), x, s(6), s(8)).unwrap(); // b7
+            p2.pop(x, s(9), x0).unwrap(); // b9 (x := 0, return)
+        }
+        p2.overwrite(x0, s(8), x0, s(8)).unwrap(); // b8a spin while !x
+        p2.overwrite(x1, s(8), x1, s(9)).unwrap(); // b8b exit loop
+        CpdsBuilder::new(3, bot)
+            .thread(p1.build().unwrap(), [s(2)])
+            .thread(p2.build().unwrap(), [s(6)])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn singleton_contains_exactly_its_state() {
+        let cpds = fig1();
+        let init = cpds.initial_state();
+        let tau = SymbolicState::singleton(&init);
+        assert!(tau.contains(&init));
+        let other = GlobalState::new(q(1), init.stacks.clone());
+        assert!(!tau.contains(&other));
+        assert!(!tau.is_empty());
+        assert_eq!(tau.visible_states(), vec![init.visible()]);
+    }
+
+    #[test]
+    fn symbolic_matches_explicit_on_fig1() {
+        let cpds = fig1();
+        let mut sym = SymbolicEngine::new(
+            cpds.clone(),
+            ExploreBudget::default(),
+            SubsumptionMode::Exact,
+        );
+        let mut exp = crate::ExplicitEngine::new(cpds, ExploreBudget::default());
+        for _ in 0..6 {
+            sym.advance().unwrap();
+            exp.advance().unwrap();
+            // T(Sk) must equal T(Rk) at every bound.
+            assert_eq!(
+                sym.visible_total(),
+                exp.visible_total(),
+                "visible mismatch at k={}",
+                sym.current_k()
+            );
+        }
+        // Every concrete state of R6 is covered symbolically.
+        for state in exp.states() {
+            assert!(sym.covers(state), "symbolic misses {state}");
+        }
+    }
+
+    #[test]
+    fn symbolic_handles_fig2_where_explicit_cannot() {
+        let cpds = fig2();
+        // Explicit exploration must hit its budget (no FCR)…
+        let mut exp = crate::ExplicitEngine::new(cpds.clone(), ExploreBudget::tiny());
+        assert!(exp.advance().is_err());
+        // …while the symbolic engine computes rounds without trouble.
+        let mut sym = SymbolicEngine::new(cpds, ExploreBudget::default(), SubsumptionMode::Exact);
+        for _ in 0..3 {
+            sym.advance().unwrap();
+        }
+        assert!(sym.num_visible() > 1);
+    }
+
+    #[test]
+    fn fig2_collapses_like_example8() {
+        // Ex. 8: R1 ⊊ R2 and R2 = R3 — the symbolic sequence collapses
+        // by a small bound even though stacks are unbounded.
+        let cpds = fig2();
+        let mut sym = SymbolicEngine::new(cpds, ExploreBudget::default(), SubsumptionMode::Exact);
+        let k = sym.run_until_collapse(8).unwrap();
+        assert!(sym.is_collapsed(), "expected collapse, got k={k}");
+        assert!(k <= 6, "collapse bound too large: {k}");
+    }
+
+    #[test]
+    fn covers_example8_state() {
+        // ⟨1|4,9⟩ in the paper's encoding is ⟨x=1|4,9⟩ = our ⟨2|4,9⟩,
+        // reachable within two contexts.
+        let cpds = fig2();
+        let mut sym = SymbolicEngine::new(cpds, ExploreBudget::default(), SubsumptionMode::Exact);
+        sym.advance().unwrap();
+        sym.advance().unwrap();
+        let state = GlobalState::new(
+            q(2),
+            vec![Stack::from_top_down([s(4)]), Stack::from_top_down([s(9)])],
+        );
+        assert!(sym.covers(&state));
+    }
+
+    #[test]
+    fn pointwise_subsumption_never_grows_slower_than_exact() {
+        let cpds = fig1();
+        let mut exact = SymbolicEngine::new(
+            cpds.clone(),
+            ExploreBudget::default(),
+            SubsumptionMode::Exact,
+        );
+        let mut pw =
+            SymbolicEngine::new(cpds, ExploreBudget::default(), SubsumptionMode::Pointwise);
+        for _ in 0..5 {
+            exact.advance().unwrap();
+            pw.advance().unwrap();
+            assert_eq!(pw.visible_total(), exact.visible_total());
+            assert!(pw.num_symbolic_states() <= exact.num_symbolic_states());
+        }
+    }
+
+    #[test]
+    fn symbolic_budget_error() {
+        let cpds = fig2();
+        let mut sym = SymbolicEngine::new(
+            cpds,
+            ExploreBudget {
+                max_symbolic_states: 3,
+                ..ExploreBudget::default()
+            },
+            SubsumptionMode::Exact,
+        );
+        let mut got_err = false;
+        for _ in 0..4 {
+            if sym.advance().is_err() {
+                got_err = true;
+                break;
+            }
+        }
+        assert!(got_err);
+    }
+
+    #[test]
+    fn advancing_after_collapse_is_noop() {
+        // Single thread, single overwrite: collapses immediately.
+        let mut p = PdsBuilder::new(2, 1);
+        p.overwrite(q(0), s(0), q(1), s(0)).unwrap();
+        let cpds = CpdsBuilder::new(2, q(0))
+            .thread(p.build().unwrap(), [s(0)])
+            .build()
+            .unwrap();
+        let mut sym = SymbolicEngine::new(cpds, ExploreBudget::default(), SubsumptionMode::Exact);
+        sym.run_until_collapse(10).unwrap();
+        assert!(sym.is_collapsed());
+        let summary = sym.advance().unwrap();
+        assert_eq!(summary.new_symbolic, 0);
+    }
+}

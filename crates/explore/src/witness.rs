@@ -1,0 +1,216 @@
+use cuba_pds::{Cpds, GlobalState, ThreadId};
+
+/// One step of a witness path: thread `thread` fired action
+/// `action_idx` (an index into that thread's `Δi`), reaching `state`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WitnessStep {
+    /// The thread that triggered the step.
+    pub thread: ThreadId,
+    /// Index of the fired action in the thread's program.
+    pub action_idx: usize,
+    /// The global state reached by the step.
+    pub state: GlobalState,
+}
+
+/// A concrete counterexample path from the initial state, as produced
+/// by [`ExplicitEngine::witness`](crate::ExplicitEngine::witness).
+/// Compare Ex. 8 of the paper, which exhibits such a path to
+/// `⟨1|4,9⟩` using two contexts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Witness {
+    /// The initial state the path starts from.
+    pub start: GlobalState,
+    /// The steps in order.
+    pub steps: Vec<WitnessStep>,
+}
+
+impl Witness {
+    /// The final state of the path (the witnessed state).
+    pub fn end(&self) -> &GlobalState {
+        self.steps.last().map(|s| &s.state).unwrap_or(&self.start)
+    }
+
+    /// Number of contexts used: the number of maximal runs of steps by
+    /// the same thread.
+    pub fn num_contexts(&self) -> usize {
+        let mut contexts = 0;
+        let mut last: Option<ThreadId> = None;
+        for step in &self.steps {
+            if last != Some(step.thread) {
+                contexts += 1;
+                last = Some(step.thread);
+            }
+        }
+        contexts
+    }
+
+    /// Number of steps.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Whether the path is empty (the witnessed state is initial).
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// Validates the path against the CPDS semantics: every step must
+    /// be a real successor of its predecessor, triggered by the stated
+    /// thread and action. Returns `false` on the first invalid step.
+    pub fn replay(&self, cpds: &Cpds) -> bool {
+        let mut current = self.start.clone();
+        for step in &self.steps {
+            let mut ok = false;
+            cpds.successors_of_thread_into(&current, step.thread.0, &mut |succ, idx| {
+                if idx == step.action_idx && succ == step.state {
+                    ok = true;
+                }
+            });
+            if !ok {
+                return false;
+            }
+            current = step.state.clone();
+        }
+        true
+    }
+}
+
+impl std::fmt::Display for Witness {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.start)?;
+        let mut last: Option<ThreadId> = None;
+        for step in &self.steps {
+            if last.is_some() && last != Some(step.thread) {
+                write!(f, " ◦")?; // context switch, as drawn in Thm. 11
+            }
+            last = Some(step.thread);
+            write!(
+                f,
+                " -[t{}:a{}]-> {}",
+                step.thread, step.action_idx, step.state
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cuba_pds::{CpdsBuilder, PdsBuilder, SharedState, Stack, StackSym};
+
+    fn q(n: u32) -> SharedState {
+        SharedState(n)
+    }
+    fn s(n: u32) -> StackSym {
+        StackSym(n)
+    }
+
+    fn two_thread_cpds() -> Cpds {
+        let mut p1 = PdsBuilder::new(2, 2);
+        p1.overwrite(q(0), s(0), q(1), s(1)).unwrap();
+        let mut p2 = PdsBuilder::new(2, 2);
+        p2.overwrite(q(1), s(0), q(0), s(1)).unwrap();
+        CpdsBuilder::new(2, q(0))
+            .thread(p1.build().unwrap(), [s(0)])
+            .thread(p2.build().unwrap(), [s(0)])
+            .build()
+            .unwrap()
+    }
+
+    fn state(qq: u32, w1: &[u32], w2: &[u32]) -> GlobalState {
+        GlobalState::new(
+            q(qq),
+            vec![
+                Stack::from_top_down(w1.iter().map(|&x| s(x))),
+                Stack::from_top_down(w2.iter().map(|&x| s(x))),
+            ],
+        )
+    }
+
+    #[test]
+    fn replay_accepts_valid_path() {
+        let cpds = two_thread_cpds();
+        let w = Witness {
+            start: state(0, &[0], &[0]),
+            steps: vec![
+                WitnessStep {
+                    thread: ThreadId(0),
+                    action_idx: 0,
+                    state: state(1, &[1], &[0]),
+                },
+                WitnessStep {
+                    thread: ThreadId(1),
+                    action_idx: 0,
+                    state: state(0, &[1], &[1]),
+                },
+            ],
+        };
+        assert!(w.replay(&cpds));
+        assert_eq!(w.num_contexts(), 2);
+        assert_eq!(w.len(), 2);
+        assert_eq!(w.end(), &state(0, &[1], &[1]));
+    }
+
+    #[test]
+    fn replay_rejects_wrong_state() {
+        let cpds = two_thread_cpds();
+        let w = Witness {
+            start: state(0, &[0], &[0]),
+            steps: vec![WitnessStep {
+                thread: ThreadId(0),
+                action_idx: 0,
+                state: state(0, &[1], &[0]), // wrong q
+            }],
+        };
+        assert!(!w.replay(&cpds));
+    }
+
+    #[test]
+    fn replay_rejects_wrong_thread() {
+        let cpds = two_thread_cpds();
+        let w = Witness {
+            start: state(0, &[0], &[0]),
+            steps: vec![WitnessStep {
+                thread: ThreadId(1), // thread 2 is not enabled at q0
+                action_idx: 0,
+                state: state(1, &[1], &[0]),
+            }],
+        };
+        assert!(!w.replay(&cpds));
+    }
+
+    #[test]
+    fn empty_witness() {
+        let w = Witness {
+            start: state(0, &[0], &[0]),
+            steps: vec![],
+        };
+        assert!(w.is_empty());
+        assert_eq!(w.num_contexts(), 0);
+        assert!(w.replay(&two_thread_cpds()));
+        assert_eq!(w.end(), &state(0, &[0], &[0]));
+    }
+
+    #[test]
+    fn display_marks_context_switches() {
+        let w = Witness {
+            start: state(0, &[0], &[0]),
+            steps: vec![
+                WitnessStep {
+                    thread: ThreadId(0),
+                    action_idx: 0,
+                    state: state(1, &[1], &[0]),
+                },
+                WitnessStep {
+                    thread: ThreadId(1),
+                    action_idx: 0,
+                    state: state(0, &[1], &[1]),
+                },
+            ],
+        };
+        let text = w.to_string();
+        assert!(text.contains("◦"));
+        assert!(text.starts_with("<0|0,0>"));
+    }
+}

@@ -1,0 +1,139 @@
+use crate::{SharedState, StackSym};
+
+/// Errors raised while constructing or validating pushdown systems.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PdsError {
+    /// A shared state id is `>= num_shared`.
+    SharedStateOutOfRange {
+        /// The offending state.
+        state: SharedState,
+        /// The number of shared states of the system.
+        num_shared: u32,
+    },
+    /// A stack symbol id is `>= alphabet_size`.
+    SymbolOutOfRange {
+        /// The offending symbol.
+        sym: StackSym,
+        /// The alphabet size of the thread.
+        alphabet_size: u32,
+    },
+    /// An action with an empty-stack left-hand side tried to push two
+    /// symbols; the model only allows `w' ∈ Σ≤1` from the empty stack
+    /// (paper §2.1, case (b)).
+    PushFromEmptyStack,
+    /// A CPDS was built from threads that disagree on the number of
+    /// shared states.
+    MismatchedSharedCount {
+        /// `num_shared` expected by the CPDS.
+        expected: u32,
+        /// `num_shared` found in the offending thread.
+        found: u32,
+        /// Index of the offending thread.
+        thread: usize,
+    },
+    /// A CPDS must have at least one thread.
+    NoThreads,
+    /// A thread index was out of range.
+    ThreadOutOfRange {
+        /// The offending index.
+        thread: usize,
+        /// The number of threads.
+        num_threads: usize,
+    },
+    /// An initial stack mentions a symbol outside the thread's alphabet.
+    InitialStackSymbolOutOfRange {
+        /// Index of the offending thread.
+        thread: usize,
+        /// The offending symbol.
+        sym: StackSym,
+    },
+}
+
+impl std::fmt::Display for PdsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PdsError::SharedStateOutOfRange { state, num_shared } => write!(
+                f,
+                "shared state {state} out of range (system has {num_shared} shared states)"
+            ),
+            PdsError::SymbolOutOfRange { sym, alphabet_size } => write!(
+                f,
+                "stack symbol {sym} out of range (alphabet size is {alphabet_size})"
+            ),
+            PdsError::PushFromEmptyStack => {
+                write!(
+                    f,
+                    "actions from the empty stack may write at most one symbol"
+                )
+            }
+            PdsError::MismatchedSharedCount {
+                expected,
+                found,
+                thread,
+            } => write!(
+                f,
+                "thread {thread} has {found} shared states, expected {expected}"
+            ),
+            PdsError::NoThreads => write!(f, "a CPDS must have at least one thread"),
+            PdsError::ThreadOutOfRange {
+                thread,
+                num_threads,
+            } => write!(
+                f,
+                "thread index {thread} out of range ({num_threads} threads)"
+            ),
+            PdsError::InitialStackSymbolOutOfRange { thread, sym } => write!(
+                f,
+                "initial stack of thread {thread} uses out-of-range symbol {sym}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PdsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase_start() {
+        let errors: Vec<PdsError> = vec![
+            PdsError::SharedStateOutOfRange {
+                state: SharedState(9),
+                num_shared: 3,
+            },
+            PdsError::SymbolOutOfRange {
+                sym: StackSym(7),
+                alphabet_size: 2,
+            },
+            PdsError::PushFromEmptyStack,
+            PdsError::MismatchedSharedCount {
+                expected: 2,
+                found: 3,
+                thread: 1,
+            },
+            PdsError::NoThreads,
+            PdsError::ThreadOutOfRange {
+                thread: 4,
+                num_threads: 2,
+            },
+            PdsError::InitialStackSymbolOutOfRange {
+                thread: 0,
+                sym: StackSym(5),
+            },
+        ];
+        for e in errors {
+            let msg = e.to_string();
+            assert!(!msg.is_empty());
+            assert!(msg.chars().next().unwrap().is_lowercase());
+            assert!(!msg.ends_with('.'));
+        }
+    }
+
+    #[test]
+    fn error_trait_object() {
+        let e: Box<dyn std::error::Error> = Box::new(PdsError::NoThreads);
+        assert!(e.to_string().contains("at least one thread"));
+    }
+}

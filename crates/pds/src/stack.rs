@@ -1,0 +1,211 @@
+use crate::StackSym;
+
+/// A thread's call stack, a word `w ∈ Σ*`.
+///
+/// The paper writes stacks top-first (`w = σ1…σz` with `σ1` the top);
+/// internally the top is stored at the *end* of the vector so that push
+/// and pop are O(1). All display output and the
+/// [`iter_top_down`](Stack::iter_top_down) iterator use paper order.
+#[derive(
+    Debug,
+    Clone,
+    Default,
+    PartialEq,
+    Eq,
+    PartialOrd,
+    Ord,
+    Hash,
+    serde::Serialize,
+    serde::Deserialize,
+)]
+pub struct Stack {
+    /// Bottom-first storage; `syms.last()` is the top of the stack.
+    syms: Vec<StackSym>,
+}
+
+impl Stack {
+    /// The empty stack `ε`.
+    pub fn new() -> Self {
+        Stack { syms: Vec::new() }
+    }
+
+    /// Builds a stack from symbols listed top-first, the paper's order:
+    /// `Stack::from_top_down([a, b])` has `a` on top of `b`.
+    pub fn from_top_down<I: IntoIterator<Item = StackSym>>(syms: I) -> Self {
+        let mut v: Vec<StackSym> = syms.into_iter().collect();
+        v.reverse();
+        Stack { syms: v }
+    }
+
+    /// The top symbol `T(w)`, or `None` for the empty stack.
+    pub fn top(&self) -> Option<StackSym> {
+        self.syms.last().copied()
+    }
+
+    /// Number of symbols on the stack, `|w|`.
+    pub fn len(&self) -> usize {
+        self.syms.len()
+    }
+
+    /// Whether the stack is the empty word `ε`.
+    pub fn is_empty(&self) -> bool {
+        self.syms.is_empty()
+    }
+
+    /// Pushes `sym` on top of the stack.
+    pub fn push(&mut self, sym: StackSym) {
+        self.syms.push(sym);
+    }
+
+    /// Pops and returns the top symbol, or `None` if the stack is empty.
+    pub fn pop(&mut self) -> Option<StackSym> {
+        self.syms.pop()
+    }
+
+    /// Replaces the top symbol by `sym`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stack is empty; callers check enabledness first.
+    pub fn overwrite_top(&mut self, sym: StackSym) {
+        let top = self
+            .syms
+            .last_mut()
+            .expect("overwrite_top on an empty stack");
+        *top = sym;
+    }
+
+    /// Iterates over the symbols top-first (paper order `σ1…σz`).
+    pub fn iter_top_down(&self) -> impl Iterator<Item = StackSym> + '_ {
+        self.syms.iter().rev().copied()
+    }
+
+    /// Iterates over the symbols bottom-first (storage order).
+    pub fn iter_bottom_up(&self) -> impl Iterator<Item = StackSym> + '_ {
+        self.syms.iter().copied()
+    }
+
+    /// Removes the *bottom* symbol, keeping the rest of the stack.
+    ///
+    /// This is the operation used in the proof of Lemma 16 (case b); it
+    /// is exposed for tests and for the finiteness analysis.
+    pub fn drop_bottom(&mut self) -> Option<StackSym> {
+        if self.syms.is_empty() {
+            None
+        } else {
+            Some(self.syms.remove(0))
+        }
+    }
+
+    /// The bottom symbol, or `None` for the empty stack.
+    pub fn bottom(&self) -> Option<StackSym> {
+        self.syms.first().copied()
+    }
+}
+
+impl FromIterator<StackSym> for Stack {
+    /// Collects symbols given *top-first* (paper order).
+    fn from_iter<I: IntoIterator<Item = StackSym>>(iter: I) -> Self {
+        Stack::from_top_down(iter)
+    }
+}
+
+impl Extend<StackSym> for Stack {
+    /// Pushes each symbol in turn (the last extended symbol ends on top).
+    fn extend<I: IntoIterator<Item = StackSym>>(&mut self, iter: I) {
+        self.syms.extend(iter);
+    }
+}
+
+impl std::fmt::Display for Stack {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.is_empty() {
+            return write!(f, "eps");
+        }
+        for sym in self.iter_top_down() {
+            write!(f, "{sym}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(n: u32) -> StackSym {
+        StackSym(n)
+    }
+
+    #[test]
+    fn empty_stack() {
+        let st = Stack::new();
+        assert!(st.is_empty());
+        assert_eq!(st.len(), 0);
+        assert_eq!(st.top(), None);
+        assert_eq!(st.to_string(), "eps");
+    }
+
+    #[test]
+    fn from_top_down_puts_first_symbol_on_top() {
+        let st = Stack::from_top_down([s(4), s(6), s(6)]);
+        assert_eq!(st.top(), Some(s(4)));
+        assert_eq!(st.bottom(), Some(s(6)));
+        assert_eq!(st.to_string(), "466");
+    }
+
+    #[test]
+    fn push_pop_roundtrip() {
+        let mut st = Stack::from_top_down([s(1)]);
+        st.push(s(2));
+        assert_eq!(st.top(), Some(s(2)));
+        assert_eq!(st.len(), 2);
+        assert_eq!(st.pop(), Some(s(2)));
+        assert_eq!(st.pop(), Some(s(1)));
+        assert_eq!(st.pop(), None);
+    }
+
+    #[test]
+    fn overwrite_top_replaces_only_top() {
+        let mut st = Stack::from_top_down([s(5), s(6)]);
+        st.overwrite_top(s(4));
+        assert_eq!(st.to_string(), "46");
+    }
+
+    #[test]
+    #[should_panic(expected = "overwrite_top on an empty stack")]
+    fn overwrite_empty_panics() {
+        Stack::new().overwrite_top(s(0));
+    }
+
+    #[test]
+    fn drop_bottom_keeps_upper_frames() {
+        let mut st = Stack::from_top_down([s(1), s(2), s(3)]);
+        assert_eq!(st.drop_bottom(), Some(s(3)));
+        assert_eq!(st.to_string(), "12");
+        assert_eq!(st.top(), Some(s(1)));
+    }
+
+    #[test]
+    fn iter_orders_are_reverses() {
+        let st = Stack::from_top_down([s(1), s(2), s(3)]);
+        let down: Vec<_> = st.iter_top_down().collect();
+        let mut up: Vec<_> = st.iter_bottom_up().collect();
+        up.reverse();
+        assert_eq!(down, up);
+        assert_eq!(down, vec![s(1), s(2), s(3)]);
+    }
+
+    #[test]
+    fn collect_uses_paper_order() {
+        let st: Stack = [s(7), s(8)].into_iter().collect();
+        assert_eq!(st.top(), Some(s(7)));
+    }
+
+    #[test]
+    fn extend_pushes_in_sequence() {
+        let mut st = Stack::new();
+        st.extend([s(1), s(2)]);
+        assert_eq!(st.top(), Some(s(2)));
+    }
+}

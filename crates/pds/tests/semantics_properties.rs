@@ -1,0 +1,149 @@
+//! Property tests of the PDS/CPDS step semantics (§2.1–2.2).
+
+use cuba_pds::{
+    Action, Cpds, CpdsBuilder, GlobalState, PdsBuilder, PdsConfig, Rhs, SharedState, Stack,
+    StackSym,
+};
+use proptest::prelude::*;
+
+fn arb_stack() -> impl Strategy<Value = Stack> {
+    proptest::collection::vec(0u32..4, 0..6)
+        .prop_map(|syms| Stack::from_top_down(syms.into_iter().map(StackSym)))
+}
+
+fn arb_action() -> impl Strategy<Value = Action> {
+    (
+        0u32..3,
+        proptest::option::of(0u32..4),
+        0u32..3,
+        0u32..4,
+        0u32..4,
+        0u32..4,
+    )
+        .prop_map(|(q, top, q2, kind, s1, s2)| {
+            let q = SharedState(q);
+            let q2 = SharedState(q2);
+            match (top, kind % 3) {
+                (Some(t), 0) => Action::pop(q, StackSym(t), q2),
+                (Some(t), 1) => Action::overwrite(q, StackSym(t), q2, StackSym(s1)),
+                (Some(t), _) => Action::push(q, StackSym(t), q2, StackSym(s1), StackSym(s2)),
+                (None, 0) => Action::from_empty(q, q2, None),
+                (None, _) => Action::from_empty(q, q2, Some(StackSym(s1))),
+            }
+        })
+}
+
+fn arb_pds() -> impl Strategy<Value = cuba_pds::Pds> {
+    proptest::collection::vec(arb_action(), 1..10).prop_map(|actions| {
+        let mut b = PdsBuilder::new(3, 4);
+        for a in actions {
+            b.action(a).expect("generated in range");
+        }
+        b.build().expect("in range")
+    })
+}
+
+proptest! {
+    /// Stack effects: a step changes the stack size by at most one,
+    /// and only according to its action kind.
+    #[test]
+    fn step_changes_stack_by_at_most_one(pds in arb_pds(), q in 0u32..3, stack in arb_stack()) {
+        let config = PdsConfig::new(SharedState(q), stack);
+        let before = config.stack.len();
+        for succ in pds.successors(&config) {
+            let after = succ.stack.len();
+            prop_assert!(
+                (before as isize - after as isize).abs() <= 1,
+                "stack jumped from {} to {}", before, after
+            );
+        }
+    }
+
+    /// Enabledness: a successor exists only if some action matches the
+    /// current (shared state, top) pair exactly.
+    #[test]
+    fn successors_match_enabled_actions(pds in arb_pds(), q in 0u32..3, stack in arb_stack()) {
+        let config = PdsConfig::new(SharedState(q), stack);
+        let n_enabled = pds.actions_from(config.q, config.stack.top()).len();
+        prop_assert_eq!(pds.successors(&config).len(), n_enabled);
+    }
+
+    /// Below-top stack content is never touched by a step.
+    #[test]
+    fn step_preserves_stack_below_top(pds in arb_pds(), q in 0u32..3, stack in arb_stack()) {
+        let config = PdsConfig::new(SharedState(q), stack);
+        let tail: Vec<StackSym> = config.stack.iter_top_down().skip(1).collect();
+        for succ in pds.successors(&config) {
+            let succ_all: Vec<StackSym> = succ.stack.iter_top_down().collect();
+            prop_assert!(
+                succ_all.ends_with(&tail),
+                "below-top content changed: {:?} vs tail {:?}", succ_all, tail
+            );
+        }
+    }
+
+    /// CPDS asynchrony: a thread-i step leaves all other stacks
+    /// untouched and matches the thread's own PDS step.
+    #[test]
+    fn cpds_steps_are_asynchronous(
+        pds in arb_pds(),
+        q in 0u32..3,
+        s1 in arb_stack(),
+        s2 in arb_stack(),
+    ) {
+        let cpds: Cpds = CpdsBuilder::new(3, SharedState(0))
+            .thread(pds.clone(), [])
+            .thread(pds.clone(), [])
+            .build()
+            .unwrap();
+        let state = GlobalState::new(SharedState(q), vec![s1.clone(), s2.clone()]);
+        for i in 0..2usize {
+            for succ in cpds.successors_of_thread(&state, i) {
+                prop_assert_eq!(&succ.stacks[1 - i], &state.stacks[1 - i]);
+                // The moved component is a legal sequential step.
+                let thread_cfg = PdsConfig::new(state.q, state.stacks[i].clone());
+                let expected: Vec<PdsConfig> = pds.successors(&thread_cfg);
+                let got = PdsConfig::new(succ.q, succ.stacks[i].clone());
+                prop_assert!(expected.contains(&got));
+            }
+        }
+    }
+
+    /// The visible projection commutes with steps on the untouched
+    /// threads: `T` of an unmoved stack is stable.
+    #[test]
+    fn visible_projection_of_unmoved_threads_is_stable(
+        pds in arb_pds(),
+        q in 0u32..3,
+        s1 in arb_stack(),
+        s2 in arb_stack(),
+    ) {
+        let cpds = CpdsBuilder::new(3, SharedState(0))
+            .thread(pds.clone(), [])
+            .thread(pds, [])
+            .build()
+            .unwrap();
+        let state = GlobalState::new(SharedState(q), vec![s1, s2]);
+        let before = state.visible();
+        for succ in cpds.successors_of_thread(&state, 0) {
+            let after = succ.visible();
+            prop_assert_eq!(after.tops[1], before.tops[1]);
+        }
+    }
+
+    /// Rhs arity is consistent with the action constructors.
+    #[test]
+    fn action_rhs_arity(a in arb_action()) {
+        match a.kind() {
+            cuba_pds::ActionKind::Pop | cuba_pds::ActionKind::EmptyOverwrite =>
+                prop_assert_eq!(a.rhs.len(), 0),
+            cuba_pds::ActionKind::Overwrite | cuba_pds::ActionKind::EmptyPush =>
+                prop_assert_eq!(a.rhs.len(), 1),
+            cuba_pds::ActionKind::Push => {
+                prop_assert_eq!(a.rhs.len(), 2);
+                let is_two = matches!(a.rhs, Rhs::Two { .. });
+                prop_assert!(is_two);
+            }
+        }
+    }
+}

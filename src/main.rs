@@ -1,0 +1,153 @@
+//! `cuba` — command-line verifier for concurrent pushdown systems and
+//! concurrent Boolean programs.
+//!
+//! ```text
+//! cuba verify <file> [options]
+//!     <file>           .bp (Boolean program) or .cpds (text format)
+//!     --engine auto|explicit|symbolic    (default: auto = the paper's §6 procedure)
+//!     --max-k <n>      round limit (default 64)
+//!     --parallel       race the explicit algorithms on real threads
+//!     --never-shared <q>   property: shared state q unreachable
+//!                          (default for .bp: no assertion fails;
+//!                           default for .cpds: compute reachability to convergence)
+//! cuba fcr <file>      run only the finite-context-reachability check
+//! cuba info <file>     print model statistics
+//! ```
+
+use std::process::ExitCode;
+
+use cuba::benchmarks::textfmt;
+use cuba::boolprog;
+use cuba::core::{check_fcr, Cuba, CubaConfig, DriverMode, Property, Verdict};
+use cuba::pds::{Cpds, SharedState};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(code) => code,
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn usage() -> String {
+    "usage: cuba <verify|fcr|info> <file.bp|file.cpds> [--engine auto|explicit|symbolic] \
+     [--max-k N] [--parallel] [--never-shared Q]"
+        .to_owned()
+}
+
+fn run(args: &[String]) -> Result<ExitCode, String> {
+    let Some(command) = args.first() else {
+        return Err(usage());
+    };
+    let Some(path) = args.get(1) else {
+        return Err(usage());
+    };
+    let (cpds, default_property) = load(path)?;
+
+    match command.as_str() {
+        "info" => {
+            println!("file: {path}");
+            println!("threads: {}", cpds.num_threads());
+            println!("shared states: {}", cpds.num_shared());
+            for (i, t) in cpds.threads().iter().enumerate() {
+                println!(
+                    "thread {}: {} actions, {} stack symbols, initial stack {}",
+                    i,
+                    t.actions().len(),
+                    t.used_symbols().len(),
+                    cpds.initial_stack(i)
+                );
+            }
+            println!("initial state: {}", cpds.initial_state());
+            Ok(ExitCode::SUCCESS)
+        }
+        "fcr" => {
+            let report = check_fcr(&cpds);
+            println!("{report}");
+            for (i, v) in report.per_thread.iter().enumerate() {
+                println!("  thread {i}: R(Q x Sigma<=1) is {v}");
+            }
+            Ok(ExitCode::SUCCESS)
+        }
+        "verify" => {
+            let mut config = CubaConfig::default();
+            let mut property = default_property;
+            let mut i = 2;
+            while i < args.len() {
+                match args[i].as_str() {
+                    "--engine" => {
+                        i += 1;
+                        config.mode = match args.get(i).map(|s| s.as_str()) {
+                            Some("auto") => DriverMode::Auto,
+                            Some("explicit") => DriverMode::ExplicitOnly,
+                            Some("symbolic") => DriverMode::SymbolicOnly,
+                            other => return Err(format!("bad --engine {other:?}")),
+                        };
+                    }
+                    "--max-k" => {
+                        i += 1;
+                        config.max_k = args
+                            .get(i)
+                            .and_then(|s| s.parse().ok())
+                            .ok_or("bad --max-k value")?;
+                    }
+                    "--parallel" => config.parallel = true,
+                    "--never-shared" => {
+                        i += 1;
+                        let q: u32 = args
+                            .get(i)
+                            .and_then(|s| s.parse().ok())
+                            .ok_or("bad --never-shared value")?;
+                        property = Property::never_shared(SharedState(q));
+                    }
+                    other => return Err(format!("unknown option '{other}'")),
+                }
+                i += 1;
+            }
+            let outcome = Cuba::new(cpds, property)
+                .run(&config)
+                .map_err(|e| e.to_string())?;
+            println!("{}", outcome.verdict);
+            println!(
+                "engine: {}, rounds: {}, states: {}, fcr: {}, time: {:?}",
+                outcome.engine, outcome.rounds, outcome.states, outcome.fcr_holds, outcome.duration
+            );
+            if let Verdict::Unsafe {
+                witness: Some(w), ..
+            } = &outcome.verdict
+            {
+                println!(
+                    "counterexample ({} steps, {} contexts):",
+                    w.len(),
+                    w.num_contexts()
+                );
+                println!("  {w}");
+            }
+            Ok(match outcome.verdict {
+                Verdict::Safe { .. } => ExitCode::SUCCESS,
+                Verdict::Unsafe { .. } => ExitCode::from(1),
+                Verdict::Undetermined { .. } => ExitCode::from(3),
+            })
+        }
+        other => Err(format!("unknown command '{other}'\n{}", usage())),
+    }
+}
+
+/// Loads a model by extension: `.bp` Boolean program or `.cpds` text.
+fn load(path: &str) -> Result<(Cpds, Property), String> {
+    let source = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    if path.ends_with(".bp") {
+        let program = boolprog::parse(&source).map_err(|e| format!("{path}: {e}"))?;
+        let translated = boolprog::translate(&program).map_err(|e| format!("{path}: {e}"))?;
+        let property = translated.error_free_property();
+        Ok((translated.cpds, property))
+    } else if path.ends_with(".cpds") {
+        let cpds = textfmt::parse_cpds(&source).map_err(|e| format!("{path}: {e}"))?;
+        Ok((cpds, Property::True))
+    } else {
+        Err(format!("{path}: unknown extension (expected .bp or .cpds)"))
+    }
+}

@@ -1,0 +1,87 @@
+//! Integration tests of the `cuba` command-line interface, driven
+//! against the shipped sample inputs.
+
+use std::process::Command;
+
+fn cuba(args: &[&str]) -> (String, String, Option<i32>) {
+    let out = Command::new(env!("CARGO_BIN_EXE_cuba"))
+        .args(args)
+        .current_dir(env!("CARGO_MANIFEST_DIR"))
+        .output()
+        .expect("binary runs");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.code(),
+    )
+}
+
+#[test]
+fn verify_safe_cpds_exits_zero() {
+    let (stdout, _, code) = cuba(&["verify", "samples/fig1.cpds"]);
+    assert_eq!(code, Some(0));
+    assert!(stdout.contains("safe for any resource amount"));
+    assert!(stdout.contains("k=5"));
+}
+
+#[test]
+fn verify_unsafe_bp_exits_one_with_witness() {
+    let (stdout, _, code) = cuba(&["verify", "samples/ticket.bp"]);
+    assert_eq!(code, Some(1));
+    assert!(stdout.contains("error reachable"));
+    assert!(stdout.contains("counterexample"));
+}
+
+#[test]
+fn fcr_reports_per_thread() {
+    let (stdout, _, code) = cuba(&["fcr", "samples/fig2.bp"]);
+    assert_eq!(code, Some(0));
+    assert!(stdout.contains("FCR fails"));
+    assert!(stdout.contains("thread 0"));
+    assert!(stdout.contains("infinite"));
+}
+
+#[test]
+fn info_prints_model_shape() {
+    let (stdout, _, code) = cuba(&["info", "samples/fig1.cpds"]);
+    assert_eq!(code, Some(0));
+    assert!(stdout.contains("threads: 2"));
+    assert!(stdout.contains("initial state: <0|1,4>"));
+}
+
+#[test]
+fn symbolic_engine_flag() {
+    let (stdout, _, code) = cuba(&["verify", "samples/fig2.bp", "--engine", "symbolic"]);
+    assert_eq!(code, Some(0));
+    assert!(stdout.contains("safe for any resource amount"));
+}
+
+#[test]
+fn explicit_engine_rejects_non_fcr_input() {
+    let (_, stderr, code) = cuba(&["verify", "samples/fig2.bp", "--engine", "explicit"]);
+    assert_eq!(code, Some(2));
+    assert!(stderr.contains("finite context reachability"));
+}
+
+#[test]
+fn never_shared_property_override() {
+    // Shared state 3 of fig1 is reachable (⟨3|2,46⟩ at k = 2).
+    let (stdout, _, code) = cuba(&["verify", "samples/fig1.cpds", "--never-shared", "3"]);
+    assert_eq!(code, Some(1));
+    assert!(stdout.contains("resource amount 2"));
+}
+
+#[test]
+fn bad_usage_is_reported() {
+    let (_, stderr, code) = cuba(&["verify"]);
+    assert_eq!(code, Some(2));
+    assert!(stderr.contains("usage"));
+
+    let (_, stderr, code) = cuba(&["frobnicate", "samples/fig1.cpds"]);
+    assert_eq!(code, Some(2));
+    assert!(stderr.contains("unknown command"));
+
+    let (_, stderr, code) = cuba(&["verify", "README.md"]);
+    assert_eq!(code, Some(2));
+    assert!(stderr.contains("unknown extension"));
+}

@@ -1,0 +1,196 @@
+//! Property-based cross-validation of the independent engines and
+//! the paper's lemmas on randomly generated systems:
+//!
+//! * explicit `T(Rk)` = symbolic `T(Sk)` at every bound,
+//! * Lemma 12: `T(Rk) ⊆ Z`,
+//! * layered monotonicity and stutter-freeness of `(Rk)` (Lemma 7),
+//! * witnesses replay and respect their layer's context bound,
+//! * Scheme 1 and Alg. 3 agree whenever both conclude.
+
+use std::collections::HashSet;
+
+use cuba::benchmarks::random::{random_cpds, RandomCpdsConfig};
+use cuba::core::{
+    alg3_explicit, check_fcr, compute_z, scheme1_explicit, Alg3Config, Property, Scheme1Config,
+    Verdict,
+};
+use cuba::explore::{ExplicitEngine, ExploreBudget, SubsumptionMode, SymbolicEngine};
+use proptest::prelude::*;
+
+fn small_budget() -> ExploreBudget {
+    ExploreBudget {
+        max_states: 60_000,
+        max_stack_depth: 40,
+        max_states_per_context: 30_000,
+        max_symbolic_states: 4_000,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 24, ..ProptestConfig::default()
+    })]
+
+    /// The central cross-validation: two independent engines must see
+    /// the same visible states at every context bound.
+    #[test]
+    fn explicit_and_symbolic_visible_sets_agree(seed in 0u64..2_000) {
+        let cfg = RandomCpdsConfig::shrinking();
+        let cpds = random_cpds(&cfg, seed);
+        let mut explicit = ExplicitEngine::new(cpds.clone(), small_budget());
+        let mut symbolic =
+            SymbolicEngine::new(cpds, small_budget(), SubsumptionMode::Exact);
+        for _ in 0..4 {
+            let e = explicit.advance();
+            let s = symbolic.advance();
+            prop_assume!(e.is_ok() && s.is_ok());
+            prop_assert_eq!(explicit.visible_total(), symbolic.visible_total());
+        }
+    }
+
+    /// Lemma 12: every reachable visible state lies in Z.
+    #[test]
+    fn visible_reachability_is_inside_z(seed in 0u64..2_000, pushy in proptest::bool::ANY) {
+        let cfg = if pushy {
+            RandomCpdsConfig { push_probability: 0.2, ..RandomCpdsConfig::default() }
+        } else {
+            RandomCpdsConfig::shrinking()
+        };
+        let cpds = random_cpds(&cfg, seed);
+        let z = compute_z(&cpds);
+        let mut engine = ExplicitEngine::new(cpds, small_budget());
+        for _ in 0..4 {
+            if engine.advance().is_err() {
+                break; // FCR violation hit the budget — fine, Z was
+                       // still an overapproximation of what we saw.
+            }
+        }
+        for v in engine.visible_total() {
+            prop_assert!(z.states.contains(v), "Z misses {}", v);
+        }
+    }
+
+    /// Monotone layers; collapse is permanent (Lemma 7's consequence).
+    #[test]
+    fn layers_are_monotone_and_collapse_sticks(seed in 0u64..2_000) {
+        let cpds = random_cpds(&RandomCpdsConfig::shrinking(), seed);
+        let mut engine = ExplicitEngine::new(cpds, small_budget());
+        let mut collapsed_at = None;
+        let mut previous = 1usize;
+        for k in 1..=6 {
+            let summary = engine.advance().unwrap();
+            prop_assert!(engine.num_states() >= previous);
+            previous = engine.num_states();
+            if summary.new_states == 0 && collapsed_at.is_none() {
+                collapsed_at = Some(k);
+            }
+            if let Some(c) = collapsed_at {
+                if k > c {
+                    prop_assert_eq!(summary.new_states, 0, "collapse must be permanent");
+                }
+            }
+        }
+    }
+
+    /// Witness paths replay and use no more contexts than their layer.
+    #[test]
+    fn witnesses_replay_within_bounds(seed in 0u64..2_000) {
+        let cpds = random_cpds(&RandomCpdsConfig::shrinking(), seed);
+        let mut engine = ExplicitEngine::new(cpds.clone(), small_budget());
+        for _ in 0..3 {
+            engine.advance().unwrap();
+        }
+        for k in 0..=3usize {
+            for state in engine.layer(k).cloned().collect::<Vec<_>>() {
+                let id = engine.find(&state).unwrap();
+                let w = engine.witness(id);
+                prop_assert!(w.replay(&cpds), "invalid witness for {}", state);
+                prop_assert!(w.num_contexts() <= k);
+            }
+        }
+    }
+
+    /// When both explicit algorithms conclude, they agree on safety.
+    #[test]
+    fn scheme1_and_alg3_agree(seed in 0u64..500) {
+        let cpds = random_cpds(&RandomCpdsConfig::shrinking(), seed);
+        prop_assume!(check_fcr(&cpds).holds());
+        // Pick a target from the finite visible domain: reachable for
+        // some seeds, unreachable for others.
+        let target = cpds.all_visible_states().into_iter().last().unwrap();
+        let property = Property::never_visible(target);
+        let s1 = scheme1_explicit(&cpds, &property, &Scheme1Config {
+            budget: small_budget(), max_k: 12, ..Scheme1Config::default()
+        });
+        let a3 = alg3_explicit(&cpds, &property, &Alg3Config {
+            budget: small_budget(), max_k: 12, ..Alg3Config::default()
+        });
+        prop_assume!(s1.is_ok() && a3.is_ok());
+        let (s1, a3) = (s1.unwrap(), a3.unwrap());
+        match (&s1.verdict, &a3.verdict) {
+            (Verdict::Safe { .. }, Verdict::Unsafe { .. })
+            | (Verdict::Unsafe { .. }, Verdict::Safe { .. }) => {
+                prop_assert!(false, "conflicting verdicts: {:?} vs {:?}", s1.verdict, a3.verdict);
+            }
+            (Verdict::Unsafe { k: k1, .. }, Verdict::Unsafe { k: k2, .. }) => {
+                // Both tight: the minimal bug bound is unique.
+                prop_assert_eq!(k1, k2);
+            }
+            _ => {}
+        }
+    }
+
+    /// The symbolic engine covers exactly the explicitly reached
+    /// global states (sampled), not more, on shrink-only systems.
+    #[test]
+    fn symbolic_covers_explicit_states(seed in 0u64..1_000) {
+        let cpds = random_cpds(&RandomCpdsConfig::shrinking(), seed);
+        let mut explicit = ExplicitEngine::new(cpds.clone(), small_budget());
+        let mut symbolic = SymbolicEngine::new(cpds, small_budget(), SubsumptionMode::Exact);
+        for _ in 0..3 {
+            explicit.advance().unwrap();
+            symbolic.advance().unwrap();
+        }
+        for state in explicit.states().iter().take(200) {
+            prop_assert!(symbolic.covers(state), "symbolic misses {}", state);
+        }
+    }
+}
+
+/// Deterministic companion: visible sets also agree on a pushy system
+/// that the explicit engine can still handle (no FCR guarantee, tiny
+/// depth) — exercises pushes through both pipelines.
+#[test]
+fn pushy_agreement_specific_seeds() {
+    let cfg = RandomCpdsConfig {
+        push_probability: 0.25,
+        actions_per_thread: 5,
+        ..RandomCpdsConfig::default()
+    };
+    let mut checked = 0;
+    for seed in 0..40u64 {
+        let cpds = random_cpds(&cfg, seed);
+        if !check_fcr(&cpds).holds() {
+            continue;
+        }
+        let mut explicit = ExplicitEngine::new(cpds.clone(), small_budget());
+        let mut symbolic = SymbolicEngine::new(cpds, small_budget(), SubsumptionMode::Exact);
+        let mut ok = true;
+        for _ in 0..4 {
+            if explicit.advance().is_err() || symbolic.advance().is_err() {
+                ok = false;
+                break;
+            }
+            let e: HashSet<_> = explicit.visible_total().clone();
+            let s: HashSet<_> = symbolic.visible_total().clone();
+            assert_eq!(e, s, "divergence at seed {seed}");
+        }
+        if ok {
+            checked += 1;
+        }
+    }
+    assert!(
+        checked >= 5,
+        "need enough FCR systems with pushes, got {checked}"
+    );
+}
