@@ -2,42 +2,37 @@
 //! minimization and canonicalization preserve languages; containment
 //! and equality agree with sampling; `post*`/`pre*` satisfy the
 //! reachability duality; the finiteness test agrees with bounded
-//! enumeration.
+//! enumeration. Instances come from the in-tree deterministic
+//! generator (`cuba_pds::rng`); each test sweeps a fixed seed range.
 
 use cuba_automata::{
     bounded_reach, intersect, is_language_finite, language_equal, language_subset, post_star,
     pre_star, CanonicalDfa, Dfa, Finiteness, Label, Nfa, Psa, StateId,
 };
+use cuba_pds::rng::SplitMix64;
 use cuba_pds::{Pds, PdsBuilder, PdsConfig, SharedState, Stack, StackSym};
-use proptest::prelude::*;
 
-/// Strategy: a random NFA over symbols 0..3 with up to 6 states.
-fn arb_nfa() -> impl Strategy<Value = Nfa> {
-    let states = 1u32..6;
-    (
-        states,
-        proptest::collection::vec((0u32..6, 0u32..4, 0u32..6), 0..16),
-        proptest::collection::vec(0u32..6, 1..3),
-        proptest::collection::vec(0u32..6, 1..3),
-        proptest::collection::vec((0u32..6, 0u32..6), 0..3),
-    )
-        .prop_map(|(n, edges, initials, finals, eps_edges)| {
-            let n = n.max(1);
-            let mut nfa = Nfa::with_states(n);
-            for s in initials {
-                nfa.set_initial(StateId(s % n));
-            }
-            for s in finals {
-                nfa.set_final(StateId(s % n));
-            }
-            for (src, sym, dst) in edges {
-                nfa.add_transition(StateId(src % n), Label::Sym(sym), StateId(dst % n));
-            }
-            for (src, dst) in eps_edges {
-                nfa.add_transition(StateId(src % n), Label::Eps, StateId(dst % n));
-            }
-            nfa
-        })
+/// A random NFA over symbols 0..3 with up to 6 states.
+fn gen_nfa(rng: &mut SplitMix64) -> Nfa {
+    let n = 1 + rng.gen_u32(5);
+    let mut nfa = Nfa::with_states(n);
+    for _ in 0..1 + rng.gen_usize(2) {
+        nfa.set_initial(StateId(rng.gen_u32(n)));
+    }
+    for _ in 0..1 + rng.gen_usize(2) {
+        nfa.set_final(StateId(rng.gen_u32(n)));
+    }
+    for _ in 0..rng.gen_usize(16) {
+        nfa.add_transition(
+            StateId(rng.gen_u32(n)),
+            Label::Sym(rng.gen_u32(4)),
+            StateId(rng.gen_u32(n)),
+        );
+    }
+    for _ in 0..rng.gen_usize(3) {
+        nfa.add_transition(StateId(rng.gen_u32(n)), Label::Eps, StateId(rng.gen_u32(n)));
+    }
+    nfa
 }
 
 /// All words over {0..3} up to length 4 — a complete probe set for the
@@ -61,134 +56,162 @@ fn probe_words() -> Vec<Vec<u32>> {
     out
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+const NFA_CASES: u64 = 64;
 
-    #[test]
-    fn determinization_preserves_language(nfa in arb_nfa()) {
+#[test]
+fn determinization_preserves_language() {
+    for seed in 0..NFA_CASES {
+        let nfa = gen_nfa(&mut SplitMix64::new(seed));
         let dfa = Dfa::determinize(&nfa);
         for w in probe_words() {
-            prop_assert_eq!(dfa.accepts(&w), nfa.accepts(&w), "word {:?}", w);
+            assert_eq!(dfa.accepts(&w), nfa.accepts(&w), "seed {seed}, word {w:?}");
         }
     }
+}
 
-    #[test]
-    fn minimization_preserves_language(nfa in arb_nfa()) {
+#[test]
+fn minimization_preserves_language() {
+    for seed in 0..NFA_CASES {
+        let nfa = gen_nfa(&mut SplitMix64::new(seed));
         let dfa = Dfa::determinize(&nfa);
         let min = cuba_automata::minimize(&dfa);
-        prop_assert!(min.num_states() <= dfa.num_states().max(1));
+        assert!(min.num_states() <= dfa.num_states().max(1));
         for w in probe_words() {
-            prop_assert_eq!(min.accepts(&w), dfa.accepts(&w), "word {:?}", w);
+            assert_eq!(min.accepts(&w), dfa.accepts(&w), "seed {seed}, word {w:?}");
         }
     }
+}
 
-    #[test]
-    fn canonicalization_is_language_identity(a in arb_nfa(), b in arb_nfa()) {
+#[test]
+fn canonicalization_is_language_identity() {
+    for seed in 0..NFA_CASES {
+        let mut rng = SplitMix64::new(seed);
+        let a = gen_nfa(&mut rng);
+        let b = gen_nfa(&mut rng);
         let ca = CanonicalDfa::from_nfa(&a);
         let cb = CanonicalDfa::from_nfa(&b);
         let equal_by_canon = ca == cb;
         let equal_by_check = language_equal(&a, &b);
-        prop_assert_eq!(equal_by_canon, equal_by_check);
+        assert_eq!(equal_by_canon, equal_by_check, "seed {seed}");
         // And canonicalization itself preserves the language.
         for w in probe_words().into_iter().take(80) {
-            prop_assert_eq!(ca.accepts(&w), a.accepts(&w), "word {:?}", w);
+            assert_eq!(ca.accepts(&w), a.accepts(&w), "seed {seed}, word {w:?}");
         }
     }
+}
 
-    #[test]
-    fn canonicalization_is_idempotent(a in arb_nfa()) {
+#[test]
+fn canonicalization_is_idempotent() {
+    for seed in 0..NFA_CASES {
+        let a = gen_nfa(&mut SplitMix64::new(seed));
         let c1 = CanonicalDfa::from_nfa(&a);
         let c2 = CanonicalDfa::from_dfa(&c1.to_dfa());
-        prop_assert_eq!(c1, c2);
+        assert_eq!(c1, c2, "seed {seed}");
     }
+}
 
-    #[test]
-    fn subset_agrees_with_sampling(a in arb_nfa(), b in arb_nfa()) {
-        let subset = language_subset(&a, &b);
-        if subset {
+#[test]
+fn subset_agrees_with_sampling() {
+    for seed in 0..NFA_CASES {
+        let mut rng = SplitMix64::new(seed);
+        let a = gen_nfa(&mut rng);
+        let b = gen_nfa(&mut rng);
+        if language_subset(&a, &b) {
             for w in probe_words() {
                 if a.accepts(&w) {
-                    prop_assert!(b.accepts(&w), "claimed subset but {:?} ∈ A \\ B", w);
+                    assert!(
+                        b.accepts(&w),
+                        "seed {seed}: claimed subset but {w:?} ∈ A \\ B"
+                    );
                 }
             }
-        } else {
-            // There must exist a separating word; sampling may miss
-            // long ones, so only check the converse when short words
-            // separate.
-            let separated = probe_words().iter().any(|w| a.accepts(w) && !b.accepts(w));
-            let _ = separated; // long separators are possible; no assert
         }
+        // No converse check: a separating word may be longer than the
+        // probe set covers.
     }
+}
 
-    #[test]
-    fn intersection_is_conjunction(a in arb_nfa(), b in arb_nfa()) {
+#[test]
+fn intersection_is_conjunction() {
+    for seed in 0..NFA_CASES {
+        let mut rng = SplitMix64::new(seed);
+        let a = gen_nfa(&mut rng);
+        let b = gen_nfa(&mut rng);
         let i = intersect(&a, &b);
         for w in probe_words() {
-            prop_assert_eq!(i.accepts(&w), a.accepts(&w) && b.accepts(&w), "word {:?}", w);
-        }
-    }
-
-    #[test]
-    fn finite_languages_have_bounded_words(nfa in arb_nfa()) {
-        // If the test says finite, sampling many words must terminate
-        // below the theoretical length bound (#states).
-        if is_language_finite(&nfa) == Finiteness::Finite {
-            let words = nfa.sample_words(200);
-            for w in &words {
-                prop_assert!(
-                    w.len() < nfa.num_states() as usize + 1,
-                    "finite language contains word longer than the state count: {:?}", w
-                );
-            }
-        } else {
-            // Infinite language: pumping must show up in samples.
-            let words = nfa.sample_words(200);
-            prop_assert!(
-                words.iter().any(|w| w.len() >= nfa.num_states() as usize),
-                "claimed infinite but all samples are short"
+            assert_eq!(
+                i.accepts(&w),
+                a.accepts(&w) && b.accepts(&w),
+                "seed {seed}, word {w:?}"
             );
         }
     }
 }
 
-/// Strategy: a small random PDS over 3 shared states and 3 symbols.
-fn arb_pds() -> impl Strategy<Value = Pds> {
-    proptest::collection::vec((0u32..3, 0u32..3, 0u32..3, 0u32..4, 0u32..3, 0u32..3), 1..8)
-        .prop_map(|actions| {
-            let mut b = PdsBuilder::new(3, 3);
-            for (q, sym, q2, kind, s1, s2) in actions {
-                let _ = match kind {
-                    0 => b.pop(SharedState(q), StackSym(sym), SharedState(q2)),
-                    1 => b.overwrite(SharedState(q), StackSym(sym), SharedState(q2), StackSym(s1)),
-                    2 => b.push(
-                        SharedState(q),
-                        StackSym(sym),
-                        SharedState(q2),
-                        StackSym(s1),
-                        StackSym(s2),
-                    ),
-                    _ => b.from_empty(SharedState(q), SharedState(q2), Some(StackSym(s1))),
-                };
+#[test]
+fn finite_languages_have_bounded_words() {
+    for seed in 0..NFA_CASES {
+        let nfa = gen_nfa(&mut SplitMix64::new(seed));
+        if is_language_finite(&nfa) == Finiteness::Finite {
+            // If the test says finite, sampled words must stay below
+            // the theoretical length bound (#states).
+            let words = nfa.sample_words(200);
+            for w in &words {
+                assert!(
+                    w.len() < nfa.num_states() as usize + 1,
+                    "seed {seed}: finite language contains word longer than the state count: {w:?}"
+                );
             }
-            b.build().expect("all ids in range")
-        })
+        } else {
+            // Infinite language: pumping must show up in samples.
+            let words = nfa.sample_words(200);
+            assert!(
+                words.iter().any(|w| w.len() >= nfa.num_states() as usize),
+                "seed {seed}: claimed infinite but all samples are short"
+            );
+        }
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+/// A small random PDS over 3 shared states and 3 symbols.
+fn gen_pds(rng: &mut SplitMix64) -> Pds {
+    let n = 1 + rng.gen_usize(7);
+    let mut b = PdsBuilder::new(3, 3);
+    for _ in 0..n {
+        let q = SharedState(rng.gen_u32(3));
+        let sym = StackSym(rng.gen_u32(3));
+        let q2 = SharedState(rng.gen_u32(3));
+        let s1 = StackSym(rng.gen_u32(3));
+        let s2 = StackSym(rng.gen_u32(3));
+        let _ = match rng.gen_u32(4) {
+            0 => b.pop(q, sym, q2),
+            1 => b.overwrite(q, sym, q2, s1),
+            2 => b.push(q, sym, q2, s1, s2),
+            _ => b.from_empty(q, q2, Some(s1)),
+        };
+    }
+    b.build().expect("all ids in range")
+}
 
-    /// Soundness + completeness of post* against explicit search.
-    #[test]
-    fn post_star_agrees_with_bounded_search(pds in arb_pds(), q0 in 0u32..3, sym0 in 0u32..3) {
+const PDS_CASES: u64 = 48;
+
+/// Soundness + completeness of post* against explicit search.
+#[test]
+fn post_star_agrees_with_bounded_search() {
+    for seed in 0..PDS_CASES {
+        let mut rng = SplitMix64::new(seed);
+        let pds = gen_pds(&mut rng);
+        let q0 = rng.gen_u32(3);
+        let sym0 = rng.gen_u32(3);
         let init = PdsConfig::new(SharedState(q0), Stack::from_top_down([StackSym(sym0)]));
         let psa = post_star(&pds, &Psa::accepting_configs(3, [&init]).unwrap());
         // Everything explicitly reachable is accepted.
         let reached = bounded_reach(&pds, &init, 6);
         for c in &reached {
-            prop_assert!(psa.accepts_config(c), "post* misses {}", c);
+            assert!(psa.accepts_config(c), "seed {seed}: post* misses {c}");
         }
-        // Everything accepted with a short stack is explicitly reachable
-        // (deep search bound covers stacks ≤ 3 symbols).
+        // Everything accepted with a short stack is explicitly
+        // reachable (deep search bound covers stacks ≤ 3 symbols).
         let deep: std::collections::HashSet<_> =
             bounded_reach(&pds, &init, 14).into_iter().collect();
         for q in 0..3u32 {
@@ -199,30 +222,41 @@ proptest! {
                         SharedState(q),
                         Stack::from_top_down(word.iter().map(|&x| StackSym(x))),
                     );
-                    prop_assert!(deep.contains(&c), "post* invents {}", c);
+                    assert!(deep.contains(&c), "seed {seed}: post* invents {c}");
                 }
             }
         }
     }
+}
 
-    /// The duality s' ∈ post*(s) ⟺ s ∈ pre*(s') on sampled pairs.
-    #[test]
-    fn post_pre_duality(pds in arb_pds(), q0 in 0u32..3, sym0 in 0u32..3) {
+/// The duality s' ∈ post*(s) ⟺ s ∈ pre*(s') on sampled pairs.
+#[test]
+fn post_pre_duality() {
+    for seed in 0..PDS_CASES {
+        let mut rng = SplitMix64::new(seed);
+        let pds = gen_pds(&mut rng);
+        let q0 = rng.gen_u32(3);
+        let sym0 = rng.gen_u32(3);
         let start = PdsConfig::new(SharedState(q0), Stack::from_top_down([StackSym(sym0)]));
         for target in bounded_reach(&pds, &start, 4).into_iter().take(6) {
             let pre = pre_star(&pds, &Psa::accepting_configs(3, [&target]).unwrap());
-            prop_assert!(
+            assert!(
                 pre.accepts_config(&start),
-                "{} reachable from {} but pre* disagrees", target, start
+                "seed {seed}: {target} reachable from {start} but pre* disagrees"
             );
         }
     }
+}
 
-    /// post* output always satisfies the PSA structural invariants.
-    #[test]
-    fn post_star_preserves_invariants(pds in arb_pds(), q0 in 0u32..3) {
+/// post* output always satisfies the PSA structural invariants.
+#[test]
+fn post_star_preserves_invariants() {
+    for seed in 0..PDS_CASES {
+        let mut rng = SplitMix64::new(seed);
+        let pds = gen_pds(&mut rng);
+        let q0 = rng.gen_u32(3);
         let init = PdsConfig::new(SharedState(q0), Stack::new());
         let psa = post_star(&pds, &Psa::accepting_configs(3, [&init]).unwrap());
-        prop_assert!(psa.validate().is_ok());
+        assert!(psa.validate().is_ok(), "seed {seed}");
     }
 }

@@ -1,0 +1,84 @@
+//! Batch verification of the full Table 2 suite through
+//! [`Portfolio::run_suite`]: the service-shaped entry point — many
+//! `(Cpds, Property)` problems, bounded parallelism, results in input
+//! order.
+//!
+//! ```text
+//! cargo run --release -p cuba-bench --bin batch [workers]
+//! ```
+//!
+//! Runs the suite once sequentially and once with `workers` problems
+//! in flight (default: available parallelism), comparing wall-clock.
+
+use std::time::Instant;
+
+use cuba_bench::render_table;
+use cuba_benchmarks::suite::{table2_problems, table2_suite};
+use cuba_core::{Portfolio, SessionConfig, Verdict};
+use cuba_explore::ExploreBudget;
+
+fn portfolio() -> Portfolio {
+    Portfolio::auto().with_config(SessionConfig {
+        budget: ExploreBudget {
+            // Same cap as the table2 harness: keeps the OOM row
+            // (stefan-1/8) bounded.
+            max_symbolic_states: 20_000,
+            ..ExploreBudget::default()
+        },
+        max_k: 32,
+        ..SessionConfig::new()
+    })
+}
+
+fn main() {
+    let workers: usize = std::env::args()
+        .nth(1)
+        .and_then(|w| w.parse().ok())
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4)
+        });
+
+    let labels: Vec<String> = table2_suite().iter().map(|b| b.label()).collect();
+
+    let sequential_start = Instant::now();
+    let _ = portfolio().run_suite(table2_problems(), 1);
+    let sequential = sequential_start.elapsed();
+
+    let batch_start = Instant::now();
+    let results = portfolio().run_suite(table2_problems(), workers);
+    let batch = batch_start.elapsed();
+
+    let mut rows = Vec::new();
+    for (label, result) in labels.iter().zip(&results) {
+        let (verdict, engine, k) = match result {
+            Ok(o) => (
+                match &o.verdict {
+                    Verdict::Safe { .. } => "safe".to_owned(),
+                    Verdict::Unsafe { .. } => "unsafe".to_owned(),
+                    Verdict::Undetermined { .. } => "undetermined".to_owned(),
+                },
+                o.engine.to_string(),
+                match &o.verdict {
+                    Verdict::Safe { k, .. } | Verdict::Unsafe { k, .. } => k.to_string(),
+                    Verdict::Undetermined { .. } => "-".to_owned(),
+                },
+            ),
+            Err(e) => (format!("error: {e}"), "-".into(), "-".into()),
+        };
+        rows.push(vec![label.clone(), verdict, k, engine]);
+    }
+    println!("Batch verification of the Table 2 suite\n");
+    print!(
+        "{}",
+        render_table(&["program/threads", "verdict", "k", "engine"], &rows)
+    );
+    println!(
+        "\nsequential: {:.2}s, {} workers: {:.2}s ({:.1}x)",
+        sequential.as_secs_f64(),
+        workers,
+        batch.as_secs_f64(),
+        sequential.as_secs_f64() / batch.as_secs_f64().max(1e-9),
+    );
+}

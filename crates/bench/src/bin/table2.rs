@@ -11,7 +11,7 @@
 use cuba_bench::{fmt_mb, measure, render_table, CountingAlloc, RunRecord};
 use cuba_benchmarks::suite::table2_suite;
 use cuba_core::{
-    check_fcr, scheme1_explicit, scheme1_symbolic, Cuba, CubaConfig, Scheme1Config, Verdict,
+    check_fcr, scheme1_explicit, scheme1_symbolic, Portfolio, Scheme1Config, SessionConfig, Verdict,
 };
 use cuba_explore::ExploreBudget;
 
@@ -30,18 +30,22 @@ fn harness_budget() -> ExploreBudget {
 fn main() {
     let mut rows = Vec::new();
     let mut records = Vec::new();
+    // The §6 race portfolio: explicit arms ∥ CBA refuter under FCR,
+    // symbolic arms otherwise. Rows run one at a time so the counting
+    // allocator attributes peak memory per row.
+    let portfolio = Portfolio::auto().with_config(SessionConfig {
+        budget: harness_budget(),
+        max_k: 32,
+        ..SessionConfig::new()
+    });
     for bench in table2_suite() {
         let label = bench.label();
         let fcr = check_fcr(&bench.cpds).holds();
-        let config = CubaConfig {
-            budget: harness_budget(),
-            max_k: 32,
-            ..CubaConfig::default()
-        };
 
-        // Main run: the Cuba driver (visible-state convergence).
-        let cuba = Cuba::new(bench.cpds.clone(), bench.property.clone());
-        let (outcome, seconds, peak) = measure(Some(&ALLOC), || cuba.run(&config));
+        // Main run: the portfolio race (visible-state convergence).
+        let (outcome, seconds, peak) = measure(Some(&ALLOC), || {
+            portfolio.run(bench.cpds.clone(), bench.property.clone())
+        });
 
         // Secondary run: Scheme 1 for the (Rk) kmax column, bounded by
         // the bound the main run needed (the paper interrupts the
@@ -139,7 +143,7 @@ fn main() {
     );
 
     std::fs::create_dir_all("results").ok();
-    let json = serde_json::to_string_pretty(&records).expect("records serialize");
+    let json = cuba_bench::records_to_json(&records);
     std::fs::write("results/table2.json", json).ok();
     println!("\nwrote results/table2.json");
 }

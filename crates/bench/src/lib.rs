@@ -75,7 +75,7 @@ unsafe impl GlobalAlloc for CountingAlloc {
 }
 
 /// One measured run, serializable for EXPERIMENTS.md generation.
-#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone)]
 pub struct RunRecord {
     /// Benchmark row label, e.g. `bluetooth-3/2+1`.
     pub label: String,
@@ -94,6 +94,119 @@ pub struct RunRecord {
     /// Peak heap bytes during the run (0 when the counting allocator
     /// is not installed).
     pub peak_bytes: usize,
+}
+
+impl RunRecord {
+    /// Serializes the record as one JSON object (the workspace builds
+    /// offline, so JSON is emitted by hand instead of through serde).
+    pub fn to_json(&self) -> String {
+        let mut obj = JsonObject::new();
+        obj.string("label", &self.label);
+        obj.bool("fcr", self.fcr);
+        obj.string("verdict", &self.verdict);
+        match self.k {
+            Some(k) => obj.number("k", k as f64),
+            None => obj.null("k"),
+        };
+        obj.string("engine", &self.engine);
+        obj.number("states", self.states as f64);
+        obj.number("seconds", self.seconds);
+        obj.number("peak_bytes", self.peak_bytes as f64);
+        obj.finish()
+    }
+}
+
+/// Serializes a slice of records as a pretty-printed JSON array.
+pub fn records_to_json(records: &[RunRecord]) -> String {
+    let mut out = String::from("[\n");
+    for (i, r) in records.iter().enumerate() {
+        out.push_str("  ");
+        out.push_str(&r.to_json());
+        if i + 1 < records.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push(']');
+    out
+}
+
+/// Minimal JSON object writer: escapes strings, formats numbers the
+/// standard way, keeps insertion order.
+#[derive(Debug, Default)]
+pub struct JsonObject {
+    fields: Vec<(String, String)>,
+}
+
+impl JsonObject {
+    /// An empty object.
+    pub fn new() -> Self {
+        JsonObject::default()
+    }
+
+    /// Adds a string field.
+    pub fn string(&mut self, key: &str, value: &str) -> &mut Self {
+        self.raw(key, json_escape(value));
+        self
+    }
+
+    /// Adds a boolean field.
+    pub fn bool(&mut self, key: &str, value: bool) -> &mut Self {
+        self.raw(key, value.to_string());
+        self
+    }
+
+    /// Adds a numeric field (integers render without a fraction).
+    pub fn number(&mut self, key: &str, value: f64) -> &mut Self {
+        let text = if value.fract() == 0.0 && value.abs() < 1e15 {
+            format!("{}", value as i64)
+        } else {
+            format!("{value}")
+        };
+        self.raw(key, text);
+        self
+    }
+
+    /// Adds an explicit `null` field.
+    pub fn null(&mut self, key: &str) -> &mut Self {
+        self.raw(key, "null".to_owned());
+        self
+    }
+
+    /// Adds a field whose value is already rendered JSON.
+    pub fn raw(&mut self, key: &str, rendered: String) -> &mut Self {
+        self.fields.push((key.to_owned(), rendered));
+        self
+    }
+
+    /// Renders the object.
+    pub fn finish(&self) -> String {
+        let body: Vec<String> = self
+            .fields
+            .iter()
+            .map(|(k, v)| format!("{}:{}", json_escape(k), v))
+            .collect();
+        format!("{{{}}}", body.join(","))
+    }
+}
+
+/// Escapes a string for JSON output (quotes included).
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
 }
 
 /// Runs a closure, measuring wall-clock time and (optionally) peak
@@ -196,9 +309,18 @@ mod tests {
             seconds: 0.1,
             peak_bytes: 1024,
         };
-        let json = serde_json::to_string(&r).unwrap();
+        let json = r.to_json();
         assert!(json.contains("\"k\":5"));
-        let back: RunRecord = serde_json::from_str(&json).unwrap();
-        assert_eq!(back.label, "x/1");
+        assert!(json.contains("\"label\":\"x/1\""));
+        assert!(json.contains("\"fcr\":true"));
+        let none = RunRecord { k: None, ..r };
+        assert!(none.to_json().contains("\"k\":null"));
+    }
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        let arr = records_to_json(&[]);
+        assert_eq!(arr, "[\n]");
     }
 }

@@ -4,9 +4,8 @@
 //! `T(R) ⊆ Z`, `post*` vs bounded search) need many small systems;
 //! this module produces them deterministically from a seed.
 
+use cuba_pds::rng::SplitMix64;
 use cuba_pds::{Cpds, CpdsBuilder, PdsBuilder, SharedState, StackSym};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Shape parameters for [`random_cpds`].
 #[derive(Debug, Clone)]
@@ -50,27 +49,27 @@ impl RandomCpdsConfig {
 /// Generates a random CPDS from a seed. The same `(config, seed)`
 /// always yields the same system.
 pub fn random_cpds(config: &RandomCpdsConfig, seed: u64) -> Cpds {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::new(seed);
     let mut builder = CpdsBuilder::new(config.num_shared, SharedState(0));
     for _ in 0..config.num_threads {
         let mut pds = PdsBuilder::new(config.num_shared, config.alphabet);
         for _ in 0..config.actions_per_thread {
-            let q = SharedState(rng.gen_range(0..config.num_shared));
-            let q2 = SharedState(rng.gen_range(0..config.num_shared));
-            let top = StackSym(rng.gen_range(0..config.alphabet));
-            let roll: f64 = rng.gen();
+            let q = SharedState(rng.gen_u32(config.num_shared));
+            let q2 = SharedState(rng.gen_u32(config.num_shared));
+            let top = StackSym(rng.gen_u32(config.alphabet));
+            let roll: f64 = rng.gen_f64();
             if roll < config.push_probability {
-                let rho0 = StackSym(rng.gen_range(0..config.alphabet));
-                let rho1 = StackSym(rng.gen_range(0..config.alphabet));
+                let rho0 = StackSym(rng.gen_u32(config.alphabet));
+                let rho1 = StackSym(rng.gen_u32(config.alphabet));
                 pds.push(q, top, q2, rho0, rho1).expect("in range");
             } else if roll < config.push_probability + 0.5 * (1.0 - config.push_probability) {
-                let s2 = StackSym(rng.gen_range(0..config.alphabet));
+                let s2 = StackSym(rng.gen_u32(config.alphabet));
                 pds.overwrite(q, top, q2, s2).expect("in range");
             } else {
                 pds.pop(q, top, q2).expect("in range");
             }
         }
-        let initial = StackSym(rng.gen_range(0..config.alphabet));
+        let initial = StackSym(rng.gen_u32(config.alphabet));
         builder = builder.thread(pds.build().expect("in range"), [initial]);
     }
     builder.build().expect("valid by construction")

@@ -167,6 +167,17 @@ pub fn table2_suite() -> Vec<Benchmark> {
     suite
 }
 
+/// The suite as a plain list of `(Cpds, Property)` problems, the
+/// shape [`Portfolio::run_suite`](cuba_core::Portfolio::run_suite)
+/// consumes; zipped positionally with [`table2_suite`] for labels and
+/// expectations.
+pub fn table2_problems() -> Vec<(Cpds, Property)> {
+    table2_suite()
+        .into_iter()
+        .map(|b| (b.cpds, b.property))
+        .collect()
+}
+
 /// The subset of the suite used for the Fig. 5 tool comparison
 /// (suites 1–5 and 9, as in the paper: the others have no JMoped
 /// translation).

@@ -323,8 +323,8 @@ mod roundtrip_properties {
             };
             let cpds = random_cpds(&cfg, seed);
             let printed = print_cpds(&cpds);
-            let parsed = parse_cpds(&printed)
-                .unwrap_or_else(|e| panic!("seed {seed}: {e}\n{printed}"));
+            let parsed =
+                parse_cpds(&printed).unwrap_or_else(|e| panic!("seed {seed}: {e}\n{printed}"));
             assert_eq!(parsed.num_shared(), cpds.num_shared());
             assert_eq!(parsed.q_init(), cpds.q_init());
             assert_eq!(parsed.initial_state(), cpds.initial_state());

@@ -3,9 +3,10 @@ use std::collections::HashSet;
 use cuba_explore::{ExplicitEngine, ExploreBudget, SubsumptionMode, SymbolicEngine};
 use cuba_pds::{Cpds, VisibleState};
 
+use crate::engine::{Applicability, Backend, Engine, RoundCtx, RoundInfo, RoundOutcome};
 use crate::{
-    check_fcr, compute_z, ConvergenceMethod, CubaError, GeneratorSet, GrowthLog, Property,
-    SequenceEvent, Verdict,
+    check_fcr, compute_z, ConvergenceMethod, CubaError, EngineUsed, GeneratorSet, GrowthLog,
+    Property, SequenceEvent, Verdict,
 };
 
 /// Configuration for Algorithm 3 runs.
@@ -56,22 +57,18 @@ pub struct Alg3Report {
     pub rejected_plateaus: Vec<usize>,
 }
 
-/// The core of Alg. 3, generic over how rounds are produced. Each
-/// round supplies the new visible states; the driver checks the
+/// The round logic of Alg. 3, independent of how rounds are produced.
+/// Each round supplies the new visible states; the driver checks the
 /// property, the plateau condition
 /// `|T(Rk−2)| < |T(Rk−1)| = |T(Rk)|`, and the generator condition
 /// `G∩Z ⊆ T(Rk)`.
+#[derive(Debug)]
 struct Alg3Driver {
     property: Property,
     g_cap_z: Vec<VisibleState>,
     visible_growth: GrowthLog,
     rejected_plateaus: Vec<usize>,
     use_state_collapse: bool,
-}
-
-enum RoundOutcome {
-    Continue,
-    Conclude(Verdict),
 }
 
 impl Alg3Driver {
@@ -90,40 +87,242 @@ impl Alg3Driver {
 
     /// Processes round `k` given the newly seen visible states, the
     /// total visible set, and whether the state sequence collapsed.
+    /// Returns the sequence event and the verdict, if any.
     fn round(
         &mut self,
         k: usize,
         new_visible: &[VisibleState],
         visible_total: &HashSet<VisibleState>,
         state_collapsed: bool,
-    ) -> RoundOutcome {
+    ) -> (SequenceEvent, Option<Verdict>) {
         let event = self.visible_growth.push(visible_total.len());
         if let Some(_v) = self.property.find_violation(new_visible.iter()) {
-            return RoundOutcome::Conclude(Verdict::Unsafe { k, witness: None });
+            return (event, Some(Verdict::Unsafe { k, witness: None }));
         }
         if self.use_state_collapse && state_collapsed {
-            return RoundOutcome::Conclude(Verdict::Safe {
-                k: k - 1,
-                method: ConvergenceMethod::RkCollapse,
-            });
+            return (
+                event,
+                Some(Verdict::Safe {
+                    k: k - 1,
+                    method: ConvergenceMethod::RkCollapse,
+                }),
+            );
         }
         // Line 4: a *new* plateau at k−1 triggers the generator test.
         if k >= 1 && event == SequenceEvent::NewPlateau {
             if GeneratorSet::missing(&self.g_cap_z, visible_total).is_empty() {
-                return RoundOutcome::Conclude(Verdict::Safe {
-                    k: k - 1,
-                    method: ConvergenceMethod::GeneratorTest,
-                });
+                return (
+                    event,
+                    Some(Verdict::Safe {
+                        k: k - 1,
+                        method: ConvergenceMethod::GeneratorTest,
+                    }),
+                );
             }
             self.rejected_plateaus.push(k - 1);
         }
-        RoundOutcome::Continue
+        (event, None)
+    }
+}
+
+/// Algorithm 3 as a resumable round-stepper (one struct for both
+/// state representations — see [`Alg3Engine::explicit`] and
+/// [`Alg3Engine::symbolic`]).
+///
+/// Each [`step`](Engine::step) computes one more bound of `(T(Rk))`
+/// (resp. `(T(Sk))`) and applies the paper's plateau + generator
+/// tests; the monolithic [`alg3_explicit`]/[`alg3_symbolic`] loops
+/// delegate here.
+#[derive(Debug)]
+pub struct Alg3Engine {
+    cpds: Cpds,
+    property: Property,
+    budget: ExploreBudget,
+    max_k: usize,
+    backend: Backend,
+    driver: Alg3Driver,
+    next_k: usize,
+    verdict: Option<Verdict>,
+}
+
+impl Alg3Engine {
+    /// Algorithm 3 over `(T(Rk))` with explicit state sets (paper
+    /// §4.1.4). Performs the FCR pre-check unless the config skips it.
+    ///
+    /// # Errors
+    ///
+    /// [`CubaError::FcrRequired`] when the FCR check fails.
+    pub fn explicit(
+        cpds: &Cpds,
+        property: &Property,
+        config: &Alg3Config,
+    ) -> Result<Self, CubaError> {
+        if !config.skip_fcr_check && !check_fcr(cpds).holds() {
+            return Err(CubaError::FcrRequired);
+        }
+        let backend = Backend::Explicit(ExplicitEngine::new(cpds.clone(), config.budget.clone()));
+        Ok(Self::with_backend(cpds, property, config, backend))
+    }
+
+    /// Algorithm 3 over `(T(Sk))` with PSA-backed symbolic state sets
+    /// (the paper's fallback when FCR fails, App. E).
+    pub fn symbolic(cpds: &Cpds, property: &Property, config: &Alg3Config) -> Self {
+        let backend = Backend::Symbolic(SymbolicEngine::new(
+            cpds.clone(),
+            config.budget.clone(),
+            config.subsumption,
+        ));
+        Self::with_backend(cpds, property, config, backend)
+    }
+
+    fn with_backend(
+        cpds: &Cpds,
+        property: &Property,
+        config: &Alg3Config,
+        backend: Backend,
+    ) -> Self {
+        Alg3Engine {
+            cpds: cpds.clone(),
+            property: property.clone(),
+            budget: config.budget.clone(),
+            max_k: config.max_k,
+            driver: Alg3Driver::new(cpds, property, config.use_state_collapse),
+            backend,
+            next_k: 0,
+            verdict: None,
+        }
+    }
+
+    fn conclude(&mut self, round: Option<RoundInfo>, verdict: Verdict) -> RoundOutcome {
+        self.verdict = Some(verdict.clone());
+        RoundOutcome::Concluded { round, verdict }
+    }
+
+    /// Consumes the engine into the classic report.
+    pub fn into_report(self) -> Alg3Report {
+        let rounds = self.rounds();
+        Alg3Report {
+            verdict: self.verdict.unwrap_or_else(|| Verdict::Undetermined {
+                reason: "engine not run to conclusion".to_owned(),
+            }),
+            rounds,
+            states: self.backend.states(),
+            visible_growth: self.driver.visible_growth,
+            g_cap_z: self.driver.g_cap_z,
+            rejected_plateaus: self.driver.rejected_plateaus,
+        }
+    }
+}
+
+impl Engine for Alg3Engine {
+    fn id(&self) -> EngineUsed {
+        // The fused variant attributes an Rk/Sk-collapse conclusion to
+        // the Scheme 1 rule it borrowed, as the paper's race would.
+        let collapse = matches!(
+            &self.verdict,
+            Some(Verdict::Safe {
+                method: ConvergenceMethod::RkCollapse | ConvergenceMethod::SkCollapse,
+                ..
+            })
+        );
+        match (self.backend.is_symbolic(), collapse) {
+            (false, false) => EngineUsed::Alg3Explicit,
+            (false, true) => EngineUsed::Scheme1Explicit,
+            (true, false) => EngineUsed::Alg3Symbolic,
+            (true, true) => EngineUsed::Scheme1Symbolic,
+        }
+    }
+
+    fn applicability(&self, cpds: &Cpds) -> Applicability {
+        if self.backend.is_symbolic() || check_fcr(cpds).holds() {
+            Applicability::Applicable
+        } else {
+            Applicability::Inapplicable(
+                "explicit-state Algorithm 3 requires finite context reachability",
+            )
+        }
+    }
+
+    fn step(&mut self, ctx: &mut RoundCtx) -> Result<RoundOutcome, CubaError> {
+        if let Some(verdict) = &self.verdict {
+            return Ok(RoundOutcome::Concluded {
+                round: None,
+                verdict: verdict.clone(),
+            });
+        }
+        ctx.interrupt.check().map_err(CubaError::Explore)?;
+        if self.next_k > self.max_k {
+            let verdict = Verdict::Undetermined {
+                reason: format!("no convergence within {} rounds", self.max_k),
+            };
+            return Ok(self.conclude(None, verdict));
+        }
+        let k = self.next_k;
+        let collapsed = if k > 0 {
+            self.backend.advance()?;
+            self.backend.is_collapsed()
+        } else {
+            false
+        };
+        let new_visible = self.backend.visible_layer(k).to_vec();
+        let (event, maybe_verdict) =
+            self.driver
+                .round(k, &new_visible, self.backend.visible_total(), collapsed);
+        self.next_k += 1;
+        let info = RoundInfo {
+            k,
+            states: self.backend.states(),
+            event,
+        };
+        match maybe_verdict {
+            None => Ok(RoundOutcome::Continue(info)),
+            Some(mut verdict) => {
+                if self.backend.is_symbolic() {
+                    if let Verdict::Safe { method, .. } = &mut verdict {
+                        if *method == ConvergenceMethod::RkCollapse {
+                            *method = ConvergenceMethod::SkCollapse;
+                        }
+                    }
+                    verdict =
+                        attach_symbolic_witness(verdict, &self.cpds, &self.property, &self.budget);
+                } else if let Some(explicit) = self.backend.as_explicit() {
+                    verdict = attach_witness(verdict, explicit, &self.property);
+                }
+                Ok(self.conclude(Some(info), verdict))
+            }
+        }
+    }
+
+    fn rounds(&self) -> usize {
+        self.next_k.saturating_sub(1).min(self.max_k)
+    }
+
+    fn states(&self) -> usize {
+        self.backend.states()
+    }
+
+    fn growth(&self) -> &GrowthLog {
+        &self.driver.visible_growth
+    }
+
+    fn verdict(&self) -> Option<&Verdict> {
+        self.verdict.as_ref()
+    }
+}
+
+/// Drives an [`Alg3Engine`] to conclusion.
+fn run_to_conclusion(mut engine: Alg3Engine) -> Result<Alg3Report, CubaError> {
+    let mut ctx = RoundCtx::new();
+    loop {
+        if let RoundOutcome::Concluded { .. } = engine.step(&mut ctx)? {
+            return Ok(engine.into_report());
+        }
     }
 }
 
 /// Algorithm 3 over `(T(Rk))` with explicit state sets (needs FCR):
 /// visible-state reachability with stuttering detection via generator
-/// sets (paper §4.1.4).
+/// sets (paper §4.1.4). Delegates to [`Alg3Engine`].
 ///
 /// # Errors
 ///
@@ -134,47 +333,12 @@ pub fn alg3_explicit(
     property: &Property,
     config: &Alg3Config,
 ) -> Result<Alg3Report, CubaError> {
-    if !config.skip_fcr_check && !check_fcr(cpds).holds() {
-        return Err(CubaError::FcrRequired);
-    }
-    let mut engine = ExplicitEngine::new(cpds.clone(), config.budget);
-    let mut driver = Alg3Driver::new(cpds, property, config.use_state_collapse);
-
-    // Round 0 (initial state).
-    if let RoundOutcome::Conclude(verdict) = driver.round(
-        0,
-        engine.visible_layer(0).to_vec().as_slice(),
-        engine.visible_total(),
-        false,
-    ) {
-        return Ok(finish(verdict, 0, engine.num_states(), driver));
-    }
-    for k in 1..=config.max_k {
-        engine.advance()?;
-        let new_visible = engine.visible_layer(k).to_vec();
-        if let RoundOutcome::Conclude(verdict) = driver.round(
-            k,
-            &new_visible,
-            engine.visible_total(),
-            engine.is_collapsed(),
-        ) {
-            // Attach a witness for refutations: the explicit engine can.
-            let verdict = attach_witness(verdict, &engine, property);
-            return Ok(finish(verdict, k, engine.num_states(), driver));
-        }
-    }
-    Ok(finish(
-        Verdict::Undetermined {
-            reason: format!("no convergence within {} rounds", config.max_k),
-        },
-        config.max_k,
-        engine.num_states(),
-        driver,
-    ))
+    run_to_conclusion(Alg3Engine::explicit(cpds, property, config)?)
 }
 
 /// Algorithm 3 over `(T(Sk))` with PSA-backed symbolic state sets (the
-/// paper's fallback when FCR fails, App. E).
+/// paper's fallback when FCR fails, App. E). Delegates to
+/// [`Alg3Engine`].
 ///
 /// # Errors
 ///
@@ -185,43 +349,7 @@ pub fn alg3_symbolic(
     property: &Property,
     config: &Alg3Config,
 ) -> Result<Alg3Report, CubaError> {
-    let mut engine = SymbolicEngine::new(cpds.clone(), config.budget, config.subsumption);
-    let mut driver = Alg3Driver::new(cpds, property, config.use_state_collapse);
-
-    if let RoundOutcome::Conclude(verdict) = driver.round(
-        0,
-        engine.visible_layer(0).to_vec().as_slice(),
-        engine.visible_total(),
-        false,
-    ) {
-        return Ok(finish(verdict, 0, engine.num_symbolic_states(), driver));
-    }
-    for k in 1..=config.max_k {
-        engine.advance()?;
-        let new_visible = engine.visible_layer(k).to_vec();
-        if let RoundOutcome::Conclude(mut verdict) = driver.round(
-            k,
-            &new_visible,
-            engine.visible_total(),
-            engine.is_collapsed(),
-        ) {
-            if let Verdict::Safe { method, .. } = &mut verdict {
-                if *method == ConvergenceMethod::RkCollapse {
-                    *method = ConvergenceMethod::SkCollapse;
-                }
-            }
-            let verdict = attach_symbolic_witness(verdict, cpds, property, &config.budget);
-            return Ok(finish(verdict, k, engine.num_symbolic_states(), driver));
-        }
-    }
-    Ok(finish(
-        Verdict::Undetermined {
-            reason: format!("no convergence within {} rounds", config.max_k),
-        },
-        config.max_k,
-        engine.num_symbolic_states(),
-        driver,
-    ))
+    run_to_conclusion(Alg3Engine::symbolic(cpds, property, config))
 }
 
 /// Reconstructs a concrete path for a symbolic refutation with the
@@ -235,19 +363,19 @@ pub(crate) fn attach_symbolic_witness(
 ) -> Verdict {
     match verdict {
         Verdict::Unsafe { k, witness: None } => {
-            let witness = cuba_explore::bounded_witness_search(
-                cpds,
-                &|v| property.violated_by(v),
-                k,
-                budget,
-            );
+            let witness =
+                cuba_explore::bounded_witness_search(cpds, &|v| property.violated_by(v), k, budget);
             Verdict::Unsafe { k, witness }
         }
         other => other,
     }
 }
 
-fn attach_witness(verdict: Verdict, engine: &ExplicitEngine, property: &Property) -> Verdict {
+pub(crate) fn attach_witness(
+    verdict: Verdict,
+    engine: &ExplicitEngine,
+    property: &Property,
+) -> Verdict {
     match verdict {
         Verdict::Unsafe { k, witness: None } => {
             let witness = engine
@@ -258,17 +386,6 @@ fn attach_witness(verdict: Verdict, engine: &ExplicitEngine, property: &Property
             Verdict::Unsafe { k, witness }
         }
         other => other,
-    }
-}
-
-fn finish(verdict: Verdict, rounds: usize, states: usize, driver: Alg3Driver) -> Alg3Report {
-    Alg3Report {
-        verdict,
-        rounds,
-        states,
-        visible_growth: driver.visible_growth,
-        g_cap_z: driver.g_cap_z,
-        rejected_plateaus: driver.rejected_plateaus,
     }
 }
 
@@ -390,5 +507,50 @@ mod tests {
         };
         let report = alg3_symbolic(&fig2(), &Property::True, &config).unwrap();
         assert!(report.verdict.is_safe());
+    }
+
+    /// Round-stepping surface: the engine yields one RoundOutcome per
+    /// bound with the Fig. 1 event pattern, repeats its verdict after
+    /// conclusion, and reports the same data as the monolithic run.
+    #[test]
+    fn engine_steps_match_fig1_events() {
+        let config = Alg3Config {
+            use_state_collapse: false,
+            ..Alg3Config::default()
+        };
+        let mut engine = Alg3Engine::explicit(&fig1(), &Property::True, &config).unwrap();
+        let mut ctx = RoundCtx::new();
+        let mut events = Vec::new();
+        let verdict = loop {
+            match engine.step(&mut ctx).unwrap() {
+                RoundOutcome::Continue(info) => events.push((info.k, info.event)),
+                RoundOutcome::Concluded { round, verdict } => {
+                    let info = round.expect("concluded on a computed round");
+                    events.push((info.k, info.event));
+                    break verdict;
+                }
+            }
+        };
+        assert!(matches!(verdict, Verdict::Safe { k: 5, .. }));
+        assert_eq!(
+            events,
+            vec![
+                (0, SequenceEvent::Grew),
+                (1, SequenceEvent::Grew),
+                (2, SequenceEvent::Grew),
+                (3, SequenceEvent::NewPlateau), // the fake plateau (Ex. 14)
+                (4, SequenceEvent::Grew),
+                (5, SequenceEvent::Grew),
+                (6, SequenceEvent::NewPlateau), // the real collapse
+            ]
+        );
+        // Stepping a concluded engine repeats the verdict, computes
+        // nothing, and stays side-effect free.
+        let rounds = engine.rounds();
+        match engine.step(&mut ctx).unwrap() {
+            RoundOutcome::Concluded { round: None, .. } => {}
+            other => panic!("expected repeated conclusion, got {other:?}"),
+        }
+        assert_eq!(engine.rounds(), rounds);
     }
 }

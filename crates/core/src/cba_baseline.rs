@@ -1,7 +1,8 @@
 use cuba_explore::{ExploreBudget, SubsumptionMode, SymbolicEngine};
 use cuba_pds::Cpds;
 
-use crate::{CubaError, Property};
+use crate::engine::{Applicability, Engine, RoundCtx, RoundInfo, RoundOutcome};
+use crate::{CubaError, EngineUsed, GrowthLog, Property, Verdict};
 
 /// Configuration of the context-bounded baseline.
 #[derive(Debug, Clone)]
@@ -50,11 +51,150 @@ pub struct CbaReport {
 }
 
 /// Plain context-bounded analysis in the style of Qadeer–Rehof (the
-/// algorithm JMoped builds on): explore `S0 … Sk` symbolically for a
-/// *fixed* bound `k`, checking the property on the way, with no
-/// convergence detection whatsoever. This is the Fig. 5 comparator;
-/// run it "with the same context bound at which Cuba terminates", as
-/// the paper's evaluation does.
+/// algorithm JMoped builds on) as a resumable round-stepper: explore
+/// `S0 … Sk` symbolically for a *fixed* bound `k`, checking the
+/// property on the way, with no convergence detection whatsoever.
+///
+/// As a portfolio arm this is the cheap *refuter* of the §6 race: it
+/// can win with `Unsafe`, and "concludes" `Undetermined` once the
+/// bound is exhausted — CBA proves nothing (Fig. 5's comparator).
+#[derive(Debug)]
+pub struct CbaEngine {
+    cpds: Cpds,
+    property: Property,
+    budget: ExploreBudget,
+    bound: usize,
+    backend: SymbolicEngine,
+    growth: GrowthLog,
+    next_k: usize,
+    verdict: Option<Verdict>,
+}
+
+impl CbaEngine {
+    /// A baseline engine exploring up to `config.k` contexts.
+    pub fn new(cpds: &Cpds, property: &Property, config: &CbaConfig) -> Self {
+        CbaEngine {
+            cpds: cpds.clone(),
+            property: property.clone(),
+            budget: config.budget.clone(),
+            bound: config.k,
+            backend: SymbolicEngine::new(
+                cpds.clone(),
+                config.budget.clone(),
+                SubsumptionMode::Exact,
+            ),
+            growth: GrowthLog::new(),
+            next_k: 0,
+            verdict: None,
+        }
+    }
+
+    fn conclude(&mut self, round: Option<RoundInfo>, verdict: Verdict) -> RoundOutcome {
+        self.verdict = Some(verdict.clone());
+        RoundOutcome::Concluded { round, verdict }
+    }
+
+    /// The system under analysis.
+    pub fn cpds(&self) -> &Cpds {
+        &self.cpds
+    }
+
+    /// Visible states seen so far.
+    pub fn num_visible(&self) -> usize {
+        self.backend.num_visible()
+    }
+
+    /// Consumes the engine into the classic report. An engine that
+    /// did not run to conclusion reports `NoBugUpTo` only for the
+    /// rounds it actually explored — never for the configured bound.
+    pub fn into_report(self) -> CbaReport {
+        let explored = self.rounds();
+        let verdict = match &self.verdict {
+            Some(Verdict::Unsafe { k, .. }) => CbaVerdict::BugFound { k: *k },
+            _ => CbaVerdict::NoBugUpTo { k: explored },
+        };
+        CbaReport {
+            verdict,
+            states: self.backend.num_symbolic_states(),
+            visible: self.backend.num_visible(),
+        }
+    }
+}
+
+impl Engine for CbaEngine {
+    fn id(&self) -> EngineUsed {
+        EngineUsed::CbaBaseline
+    }
+
+    fn applicability(&self, _cpds: &Cpds) -> Applicability {
+        Applicability::Applicable
+    }
+
+    fn step(&mut self, ctx: &mut RoundCtx) -> Result<RoundOutcome, CubaError> {
+        if let Some(verdict) = &self.verdict {
+            return Ok(RoundOutcome::Concluded {
+                round: None,
+                verdict: verdict.clone(),
+            });
+        }
+        ctx.interrupt.check().map_err(CubaError::Explore)?;
+        if self.next_k > self.bound {
+            let verdict = Verdict::Undetermined {
+                reason: format!(
+                    "no violation within {} contexts (context-bounded analysis cannot prove safety)",
+                    self.bound
+                ),
+            };
+            return Ok(self.conclude(None, verdict));
+        }
+        let k = self.next_k;
+        if k > 0 {
+            self.backend.advance()?;
+        }
+        let event = self.growth.push(self.backend.num_symbolic_states());
+        self.next_k += 1;
+        let info = RoundInfo {
+            k,
+            states: self.backend.num_symbolic_states(),
+            event,
+        };
+        if self
+            .property
+            .find_violation(self.backend.visible_layer(k).iter())
+            .is_some()
+        {
+            let verdict = crate::alg3::attach_symbolic_witness(
+                Verdict::Unsafe { k, witness: None },
+                &self.cpds,
+                &self.property,
+                &self.budget,
+            );
+            return Ok(self.conclude(Some(info), verdict));
+        }
+        Ok(RoundOutcome::Continue(info))
+    }
+
+    fn rounds(&self) -> usize {
+        self.next_k.saturating_sub(1).min(self.bound)
+    }
+
+    fn states(&self) -> usize {
+        self.backend.num_symbolic_states()
+    }
+
+    fn growth(&self) -> &GrowthLog {
+        &self.growth
+    }
+
+    fn verdict(&self) -> Option<&Verdict> {
+        self.verdict.as_ref()
+    }
+}
+
+/// Plain context-bounded analysis for a fixed bound (the Fig. 5
+/// comparator; run it "with the same context bound at which Cuba
+/// terminates", as the paper's evaluation does). Delegates to
+/// [`CbaEngine`].
 ///
 /// # Errors
 ///
@@ -64,35 +204,13 @@ pub fn cba_baseline(
     property: &Property,
     config: &CbaConfig,
 ) -> Result<CbaReport, CubaError> {
-    let mut engine = SymbolicEngine::new(cpds.clone(), config.budget, SubsumptionMode::Exact);
-    if property
-        .find_violation(engine.visible_layer(0).iter())
-        .is_some()
-    {
-        return Ok(CbaReport {
-            verdict: CbaVerdict::BugFound { k: 0 },
-            states: engine.num_symbolic_states(),
-            visible: engine.num_visible(),
-        });
-    }
-    for k in 1..=config.k {
-        engine.advance()?;
-        if property
-            .find_violation(engine.visible_layer(k).iter())
-            .is_some()
-        {
-            return Ok(CbaReport {
-                verdict: CbaVerdict::BugFound { k },
-                states: engine.num_symbolic_states(),
-                visible: engine.num_visible(),
-            });
+    let mut engine = CbaEngine::new(cpds, property, config);
+    let mut ctx = RoundCtx::new();
+    loop {
+        if let RoundOutcome::Concluded { .. } = engine.step(&mut ctx)? {
+            return Ok(engine.into_report());
         }
     }
-    Ok(CbaReport {
-        verdict: CbaVerdict::NoBugUpTo { k: config.k },
-        states: engine.num_symbolic_states(),
-        visible: engine.num_visible(),
-    })
 }
 
 #[cfg(test)]
@@ -137,5 +255,35 @@ mod tests {
         let property = Property::never_visible(vis(0, &[Some(1), Some(4)]));
         let report = cba_baseline(&fig1(), &property, &CbaConfig::up_to(2)).unwrap();
         assert_eq!(report.verdict, CbaVerdict::BugFound { k: 0 });
+    }
+
+    /// As an engine, the baseline's exhaustion is `Undetermined`: a
+    /// portfolio never lets plain CBA claim safety.
+    #[test]
+    fn engine_exhaustion_is_undetermined() {
+        let property = Property::never_visible(vis(2, &[Some(1), Some(5)]));
+        let mut engine = CbaEngine::new(&fig1(), &property, &CbaConfig::up_to(3));
+        let mut ctx = RoundCtx::new();
+        let verdict = loop {
+            if let RoundOutcome::Concluded { verdict, .. } = engine.step(&mut ctx).unwrap() {
+                break verdict;
+            }
+        };
+        assert!(matches!(verdict, Verdict::Undetermined { .. }));
+        // And as a refuter it attaches a witness when it wins.
+        let buggy = Property::never_visible(vis(1, &[Some(2), Some(6)]));
+        let mut engine = CbaEngine::new(&fig1(), &buggy, &CbaConfig::up_to(8));
+        let verdict = loop {
+            if let RoundOutcome::Concluded { verdict, .. } = engine.step(&mut ctx).unwrap() {
+                break verdict;
+            }
+        };
+        match verdict {
+            Verdict::Unsafe { k: 5, witness } => {
+                let w = witness.expect("refuter reconstructs a path");
+                assert!(w.replay(engine.cpds()));
+            }
+            other => panic!("expected Unsafe at 5, got {other:?}"),
+        }
     }
 }

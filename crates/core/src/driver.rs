@@ -1,12 +1,11 @@
-use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
 
-use cuba_explore::{ExploreBudget, SubsumptionMode};
+use cuba_explore::{CancelToken, ExploreBudget, SubsumptionMode};
 use cuba_pds::Cpds;
 
 use crate::{
-    alg3_explicit, alg3_symbolic, check_fcr, scheme1_explicit, Alg3Config, CubaError, Property,
-    Scheme1Config, Verdict,
+    check_fcr, AnalysisSession, CubaError, EngineKind, Property, SessionConfig, SessionEvent,
+    Verdict,
 };
 
 /// How the driver picks engines.
@@ -35,6 +34,8 @@ pub enum EngineUsed {
     Alg3Symbolic,
     /// Symbolic `Scheme 1(Sk)` (extension).
     Scheme1Symbolic,
+    /// The context-bounded baseline refuter (Qadeer–Rehof style).
+    CbaBaseline,
 }
 
 impl std::fmt::Display for EngineUsed {
@@ -44,6 +45,7 @@ impl std::fmt::Display for EngineUsed {
             EngineUsed::Scheme1Explicit => write!(f, "Scheme1(Rk)"),
             EngineUsed::Alg3Symbolic => write!(f, "Alg3(T(Sk))"),
             EngineUsed::Scheme1Symbolic => write!(f, "Scheme1(Sk)"),
+            EngineUsed::CbaBaseline => write!(f, "CBA"),
         }
     }
 }
@@ -57,14 +59,19 @@ pub struct CubaConfig {
     pub budget: ExploreBudget,
     /// Round limit per engine.
     pub max_k: usize,
-    /// Run the two explicit algorithms on real threads (crossbeam),
-    /// as the paper's procedure forks "two computational threads".
-    /// When `false`, the rounds are fused: each round of the shared
-    /// `(Rk)` computation feeds both convergence tests, which is
-    /// equivalent and cheaper on one core.
+    /// Run the explicit algorithms on real OS threads, as the paper's
+    /// procedure forks "two computational threads". When `false`, the
+    /// arms advance round-robin on one core through the same bounds,
+    /// which is equivalent and cheaper.
     pub parallel: bool,
     /// Subsumption mode for symbolic engines.
     pub subsumption: SubsumptionMode,
+    /// Wall-clock limit for the whole run; long rounds abort
+    /// cooperatively (the verdict becomes `Undetermined`).
+    pub timeout: Option<Duration>,
+    /// External cancellation token, if the caller wants to stop the
+    /// run from another thread.
+    pub cancel: Option<CancelToken>,
 }
 
 impl Default for CubaConfig {
@@ -75,6 +82,8 @@ impl Default for CubaConfig {
             max_k: 64,
             parallel: false,
             subsumption: SubsumptionMode::Exact,
+            timeout: None,
+            cancel: None,
         }
     }
 }
@@ -97,7 +106,8 @@ pub struct CubaOutcome {
     pub duration: Duration,
 }
 
-/// The Cuba verifier: the paper's overall procedure (§6).
+/// The Cuba verifier: the paper's overall procedure (§6), as a thin
+/// compatibility wrapper over [`AnalysisSession`].
 ///
 /// ```text
 /// Input: a CPDS Pn and a property C
@@ -106,6 +116,10 @@ pub struct CubaOutcome {
 /// 3: else
 /// 4:     Alg 3(T(Sk))
 /// ```
+///
+/// New code that wants round streaming, cancellation, extra engines
+/// (e.g. the CBA refuter arm) or batch verification should use
+/// [`AnalysisSession`] / [`Portfolio`](crate::Portfolio) directly.
 #[derive(Debug, Clone)]
 pub struct Cuba {
     cpds: Cpds,
@@ -128,199 +142,110 @@ impl Cuba {
         &self.property
     }
 
-    /// Runs the overall procedure.
+    /// The engine lineup implied by a [`DriverMode`] for this system.
     ///
     /// # Errors
     ///
-    /// Propagates budget exhaustion ([`CubaError::Explore`]); an FCR
-    /// mismatch cannot happen here since the driver picks engines by
-    /// the FCR check itself.
-    pub fn run(&self, config: &CubaConfig) -> Result<CubaOutcome, CubaError> {
-        let start = Instant::now();
-        let fcr = check_fcr(&self.cpds);
+    /// [`CubaError::FcrRequired`] for `ExplicitOnly` without FCR.
+    fn lineup(&self, config: &CubaConfig, fcr: bool) -> Result<Vec<EngineKind>, CubaError> {
         let use_explicit = match config.mode {
-            DriverMode::Auto => fcr.holds(),
+            DriverMode::Auto => fcr,
             DriverMode::ExplicitOnly => {
-                if !fcr.holds() {
+                if !fcr {
                     return Err(CubaError::FcrRequired);
                 }
                 true
             }
             DriverMode::SymbolicOnly => false,
         };
-        let mut outcome = if use_explicit {
+        Ok(if use_explicit {
             if config.parallel {
-                self.run_explicit_parallel(config, fcr.holds())?
+                // The literal two-thread race of §6.
+                vec![EngineKind::Alg3Explicit, EngineKind::Scheme1Explicit]
             } else {
-                self.run_explicit_fused(config, fcr.holds())?
+                // One fused arm: the shared `(Rk)` computation feeds
+                // both convergence tests (the Scheme 1 collapse test
+                // is folded into Algorithm 3), exactly the classic
+                // sequential driver.
+                vec![EngineKind::Alg3Explicit]
             }
         } else {
-            self.run_symbolic(config, fcr.holds())?
+            vec![EngineKind::Alg3Symbolic]
+        })
+    }
+
+    fn session_config(&self, config: &CubaConfig) -> SessionConfig {
+        SessionConfig {
+            budget: config.budget.clone(),
+            max_k: config.max_k,
+            subsumption: config.subsumption,
+            timeout: config.timeout,
+            cancel: config.cancel.clone(),
+        }
+    }
+
+    /// Opens a streaming session for this problem under the driver's
+    /// engine-selection rules.
+    ///
+    /// # Errors
+    ///
+    /// [`CubaError::FcrRequired`] for `ExplicitOnly` without FCR.
+    pub fn session(&self, config: &CubaConfig) -> Result<AnalysisSession, CubaError> {
+        let fcr = check_fcr(&self.cpds).holds();
+        let lineup = self.lineup(config, fcr)?;
+        AnalysisSession::new(
+            self.cpds.clone(),
+            self.property.clone(),
+            &lineup,
+            &self.session_config(config),
+        )
+    }
+
+    /// Runs the overall procedure.
+    ///
+    /// # Errors
+    ///
+    /// Propagates budget exhaustion ([`CubaError::Explore`]); an FCR
+    /// mismatch cannot happen in `Auto` mode since the driver picks
+    /// engines by the FCR check itself.
+    pub fn run(&self, config: &CubaConfig) -> Result<CubaOutcome, CubaError> {
+        self.run_with(config, |_| {})
+    }
+
+    /// Runs the overall procedure, streaming [`SessionEvent`]s to the
+    /// callback (round completions, engine conclusions, the verdict).
+    ///
+    /// # Errors
+    ///
+    /// As for [`run`](Self::run).
+    pub fn run_with(
+        &self,
+        config: &CubaConfig,
+        mut on_event: impl FnMut(&SessionEvent),
+    ) -> Result<CubaOutcome, CubaError> {
+        let start = Instant::now();
+        let fcr = check_fcr(&self.cpds).holds();
+        let lineup = self.lineup(config, fcr)?;
+        let session_config = self.session_config(config);
+        let mut outcome = if config.parallel && lineup.len() > 1 {
+            crate::Portfolio::fixed(lineup)
+                .with_config(session_config)
+                .run_parallel(
+                    self.cpds.clone(),
+                    self.property.clone(),
+                    Some(&mut on_event),
+                )?
+        } else {
+            AnalysisSession::new(
+                self.cpds.clone(),
+                self.property.clone(),
+                &lineup,
+                &session_config,
+            )?
+            .run_with(on_event)?
         };
         outcome.duration = start.elapsed();
         Ok(outcome)
-    }
-
-    /// Sequential flavor: one shared `(Rk)` computation; each round
-    /// feeds both the Scheme 1 collapse test and the Alg. 3 plateau +
-    /// generator test. Equivalent to the race on a single core.
-    fn run_explicit_fused(&self, config: &CubaConfig, fcr: bool) -> Result<CubaOutcome, CubaError> {
-        let alg3_config = Alg3Config {
-            budget: config.budget,
-            max_k: config.max_k,
-            skip_fcr_check: true,
-            subsumption: config.subsumption,
-            use_state_collapse: true, // fuses Scheme 1's test in
-        };
-        let report = alg3_explicit(&self.cpds, &self.property, &alg3_config)?;
-        let engine = match &report.verdict {
-            Verdict::Safe {
-                method: crate::ConvergenceMethod::RkCollapse,
-                ..
-            } => EngineUsed::Scheme1Explicit,
-            _ => EngineUsed::Alg3Explicit,
-        };
-        Ok(CubaOutcome {
-            verdict: report.verdict,
-            fcr_holds: fcr,
-            engine,
-            states: report.states,
-            rounds: report.rounds,
-            duration: Duration::ZERO,
-        })
-    }
-
-    /// Parallel flavor: Alg 3(T(Rk)) and Scheme 1(Rk) race on separate
-    /// OS threads (plus nothing else — the symbolic engine is not
-    /// needed under FCR); first conclusive verdict wins.
-    fn run_explicit_parallel(
-        &self,
-        config: &CubaConfig,
-        fcr: bool,
-    ) -> Result<CubaOutcome, CubaError> {
-        let done = AtomicBool::new(false);
-        let alg3_config = Alg3Config {
-            budget: config.budget,
-            max_k: config.max_k,
-            skip_fcr_check: true,
-            subsumption: config.subsumption,
-            use_state_collapse: false, // pure Alg 3 in this arm
-        };
-        let scheme1_config = Scheme1Config {
-            budget: config.budget,
-            max_k: config.max_k,
-            skip_fcr_check: true,
-            subsumption: config.subsumption,
-        };
-
-        let result = crossbeam::thread::scope(|scope| {
-            let alg3_handle = scope.spawn(|_| {
-                let r = run_rounds_with_cancel(&done, || {
-                    alg3_explicit(&self.cpds, &self.property, &alg3_config)
-                });
-                if matches!(&r, Some(Ok(rep)) if !matches!(rep.verdict, Verdict::Undetermined { .. }))
-                {
-                    done.store(true, Ordering::SeqCst);
-                }
-                r.map(|res| {
-                    res.map(|rep| (EngineUsed::Alg3Explicit, rep.verdict, rep.states, rep.rounds))
-                })
-            });
-            let scheme1_handle = scope.spawn(|_| {
-                let r = run_rounds_with_cancel(&done, || {
-                    scheme1_explicit(&self.cpds, &self.property, &scheme1_config)
-                });
-                if matches!(&r, Some(Ok(rep)) if !matches!(rep.verdict, Verdict::Undetermined { .. }))
-                {
-                    done.store(true, Ordering::SeqCst);
-                }
-                r.map(|res| {
-                    res.map(|rep| {
-                        (EngineUsed::Scheme1Explicit, rep.verdict, rep.states, rep.rounds)
-                    })
-                })
-            });
-            let a = alg3_handle.join().expect("alg3 thread panicked");
-            let b = scheme1_handle.join().expect("scheme1 thread panicked");
-            pick_winner(a, b)
-        })
-        .expect("crossbeam scope panicked");
-
-        let (engine, verdict, states, rounds) = result?;
-        Ok(CubaOutcome {
-            verdict,
-            fcr_holds: fcr,
-            engine,
-            states,
-            rounds,
-            duration: Duration::ZERO,
-        })
-    }
-
-    fn run_symbolic(&self, config: &CubaConfig, fcr: bool) -> Result<CubaOutcome, CubaError> {
-        let alg3_config = Alg3Config {
-            budget: config.budget,
-            max_k: config.max_k,
-            skip_fcr_check: true,
-            subsumption: config.subsumption,
-            use_state_collapse: true,
-        };
-        let report = alg3_symbolic(&self.cpds, &self.property, &alg3_config)?;
-        let engine = match &report.verdict {
-            Verdict::Safe {
-                method: crate::ConvergenceMethod::SkCollapse,
-                ..
-            } => EngineUsed::Scheme1Symbolic,
-            _ => EngineUsed::Alg3Symbolic,
-        };
-        Ok(CubaOutcome {
-            verdict: report.verdict,
-            fcr_holds: fcr,
-            engine,
-            states: report.states,
-            rounds: report.rounds,
-            duration: Duration::ZERO,
-        })
-    }
-}
-
-/// Runs `f` unless another arm already finished. The check is
-/// best-effort (the algorithms are round-based and fast per round);
-/// losing the race after finishing is harmless — verdicts agree.
-fn run_rounds_with_cancel<T>(
-    done: &AtomicBool,
-    f: impl FnOnce() -> Result<T, CubaError>,
-) -> Option<Result<T, CubaError>> {
-    if done.load(Ordering::SeqCst) {
-        return None;
-    }
-    Some(f())
-}
-
-type ArmResult = Option<Result<(EngineUsed, Verdict, usize, usize), CubaError>>;
-
-/// Prefers a conclusive verdict; falls back to whatever is available.
-fn pick_winner(
-    a: ArmResult,
-    b: ArmResult,
-) -> Result<(EngineUsed, Verdict, usize, usize), CubaError> {
-    let conclusive = |r: &ArmResult| {
-        matches!(
-            r,
-            Some(Ok((_, v, _, _))) if !matches!(v, Verdict::Undetermined { .. })
-        )
-    };
-    if conclusive(&a) {
-        return a.expect("checked Some");
-    }
-    if conclusive(&b) {
-        return b.expect("checked Some");
-    }
-    match (a, b) {
-        (Some(ra), _) if ra.is_ok() => ra,
-        (_, Some(rb)) => rb,
-        (Some(ra), None) => ra,
-        (None, None) => unreachable!("at least one arm always runs"),
     }
 }
 
@@ -412,5 +337,41 @@ mod tests {
         let outcome = cuba.run(&CubaConfig::default()).unwrap();
         assert!(outcome.rounds >= 5);
         assert!(outcome.states > 0);
+    }
+
+    /// The wrapper streams events: one RoundCompleted per bound from
+    /// the fused arm, then the conclusion and the verdict.
+    #[test]
+    fn run_with_streams_rounds() {
+        let cuba = Cuba::new(fig1(), Property::True);
+        let mut rounds = Vec::new();
+        let mut saw_verdict = false;
+        let outcome = cuba
+            .run_with(&CubaConfig::default(), |event| match event {
+                SessionEvent::RoundCompleted { k, .. } => rounds.push(*k),
+                SessionEvent::Verdict { .. } => saw_verdict = true,
+                _ => {}
+            })
+            .unwrap();
+        assert!(outcome.verdict.is_safe());
+        assert_eq!(rounds, vec![0, 1, 2, 3, 4, 5, 6]);
+        assert!(saw_verdict);
+    }
+
+    /// A driver-level timeout turns the verdict Undetermined instead
+    /// of erroring out.
+    #[test]
+    fn timeout_yields_undetermined() {
+        let cuba = Cuba::new(fig2(), Property::True);
+        let outcome = cuba
+            .run(&CubaConfig {
+                timeout: Some(Duration::ZERO),
+                ..CubaConfig::default()
+            })
+            .unwrap();
+        match outcome.verdict {
+            Verdict::Undetermined { reason } => assert!(reason.contains("deadline")),
+            other => panic!("expected Undetermined, got {other:?}"),
+        }
     }
 }

@@ -1,0 +1,331 @@
+//! The pluggable [`Engine`] abstraction.
+//!
+//! CUBA's §6 procedure is a *race of engines* over observation
+//! sequences: run `Alg 3(T(Rk))` and `Scheme 1(Rk)` concurrently under
+//! FCR, fall back to the symbolic engines otherwise, and let a
+//! context-bounded refuter hunt for bugs on the side. To race engines,
+//! pause them, or stream their per-round observations, each algorithm
+//! must be a *resumable round-stepper* instead of a monolithic
+//! `for k in 0..max_k` loop. This module defines the common trait; the
+//! concrete engines live with their algorithms
+//! ([`Alg3Engine`](crate::Alg3Engine),
+//! [`Scheme1Engine`](crate::Scheme1Engine),
+//! [`CbaEngine`](crate::CbaEngine)) and the original free functions
+//! (`alg3_explicit` & co.) remain as thin loops over `step`.
+
+use cuba_explore::{Interrupt, SubsumptionMode};
+use cuba_pds::Cpds;
+
+use crate::{
+    Alg3Config, Alg3Engine, CbaConfig, CbaEngine, CubaError, EngineUsed, GrowthLog, Scheme1Config,
+    Scheme1Engine, SequenceEvent, Verdict,
+};
+
+/// Whether an engine can analyze a given system at all.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Applicability {
+    /// The engine accepts the system.
+    Applicable,
+    /// The engine cannot run on this system, with the reason (e.g. the
+    /// explicit-state engines require finite context reachability).
+    Inapplicable(&'static str),
+}
+
+impl Applicability {
+    /// Whether the engine accepts the system.
+    pub fn is_applicable(&self) -> bool {
+        matches!(self, Applicability::Applicable)
+    }
+}
+
+/// Per-step context handed to [`Engine::step`] by the driver loop:
+/// carries the cooperative interruption sources so a session can stop
+/// an engine *between* rounds even when the engine's own budget has no
+/// interrupt wired in (mid-round interruption goes through
+/// [`ExploreBudget::interrupt`](cuba_explore::ExploreBudget)).
+#[derive(Debug, Clone, Default)]
+pub struct RoundCtx {
+    /// Polled at the start of every step.
+    pub interrupt: Interrupt,
+}
+
+impl RoundCtx {
+    /// A context that never interrupts.
+    pub fn new() -> Self {
+        RoundCtx::default()
+    }
+
+    /// A context polling the given interruption sources.
+    pub fn with_interrupt(interrupt: Interrupt) -> Self {
+        RoundCtx { interrupt }
+    }
+}
+
+/// What one computed round looked like.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RoundInfo {
+    /// The context bound `k` of the round.
+    pub k: usize,
+    /// Total states stored by the engine after the round (global
+    /// states for explicit engines, symbolic states otherwise).
+    pub states: usize,
+    /// How the engine's observation sequence moved (§3, Table 1).
+    pub event: SequenceEvent,
+}
+
+/// Result of one [`Engine::step`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RoundOutcome {
+    /// A round was computed; the engine can step again.
+    Continue(RoundInfo),
+    /// The engine is done. `round` is the final computed round, or
+    /// `None` when the engine concluded without computing one (round
+    /// limit hit, or `step` called after a previous conclusion).
+    Concluded {
+        /// The final round, if this step computed one.
+        round: Option<RoundInfo>,
+        /// The verdict. `Undetermined` marks exhaustion (round limit,
+        /// or a refuter that ran out of bounds) — a portfolio treats
+        /// it as "this arm is out of the race", not as an answer.
+        verdict: Verdict,
+    },
+}
+
+impl RoundOutcome {
+    /// The verdict, when this outcome concluded the engine.
+    pub fn verdict(&self) -> Option<&Verdict> {
+        match self {
+            RoundOutcome::Continue(_) => None,
+            RoundOutcome::Concluded { verdict, .. } => Some(verdict),
+        }
+    }
+
+    /// The round info, when a round was computed.
+    pub fn round(&self) -> Option<&RoundInfo> {
+        match self {
+            RoundOutcome::Continue(info) => Some(info),
+            RoundOutcome::Concluded { round, .. } => round.as_ref(),
+        }
+    }
+}
+
+/// A resumable CUBA analysis engine: one observation-sequence
+/// algorithm, advanced one context bound per [`step`](Engine::step).
+///
+/// Engines are `Send` so a [`Portfolio`](crate::Portfolio) can race
+/// them on OS threads. `step` after a conclusion is a cheap no-op
+/// repeating the verdict, so drivers need no extra bookkeeping.
+pub trait Engine: Send {
+    /// Which algorithm/representation this engine runs. May depend on
+    /// the conclusion: the fused explicit engine reports
+    /// `Scheme1Explicit` when the `Rk`-collapse rule fired, matching
+    /// the attribution of the paper's race.
+    fn id(&self) -> EngineUsed;
+
+    /// Human-readable engine name (the paper's notation).
+    fn name(&self) -> &'static str {
+        match self.id() {
+            EngineUsed::Alg3Explicit => "Alg3(T(Rk))",
+            EngineUsed::Scheme1Explicit => "Scheme1(Rk)",
+            EngineUsed::Alg3Symbolic => "Alg3(T(Sk))",
+            EngineUsed::Scheme1Symbolic => "Scheme1(Sk)",
+            EngineUsed::CbaBaseline => "CBA",
+        }
+    }
+
+    /// Whether this engine can analyze `cpds` (the explicit engines
+    /// require finite context reachability, §5).
+    fn applicability(&self, cpds: &Cpds) -> Applicability;
+
+    /// Computes the next round of the engine's observation sequence.
+    ///
+    /// # Errors
+    ///
+    /// Budget exhaustion or interruption, as [`CubaError::Explore`].
+    /// An errored engine must not be stepped again.
+    fn step(&mut self, ctx: &mut RoundCtx) -> Result<RoundOutcome, CubaError>;
+
+    /// Rounds computed so far (the largest processed `k`).
+    fn rounds(&self) -> usize;
+
+    /// States stored by the engine (global or symbolic).
+    fn states(&self) -> usize;
+
+    /// The engine's observation log (sizes per bound).
+    fn growth(&self) -> &GrowthLog;
+
+    /// The verdict, once concluded.
+    fn verdict(&self) -> Option<&Verdict>;
+}
+
+/// Shared backend of the concrete engines: the explicit layered
+/// exploration of `(Rk)` or the PSA-backed symbolic one of `(Sk)`,
+/// under one interface so each algorithm is written once.
+#[derive(Debug)]
+pub(crate) enum Backend {
+    /// Explicit `(Rk)` layers (requires FCR for termination).
+    Explicit(cuba_explore::ExplicitEngine),
+    /// Symbolic `(Sk)` layers (always applicable).
+    Symbolic(cuba_explore::SymbolicEngine),
+}
+
+impl Backend {
+    pub(crate) fn advance(&mut self) -> Result<(), cuba_explore::ExploreError> {
+        match self {
+            Backend::Explicit(e) => e.advance().map(|_| ()),
+            Backend::Symbolic(e) => e.advance().map(|_| ()),
+        }
+    }
+
+    pub(crate) fn visible_layer(&self, k: usize) -> &[cuba_pds::VisibleState] {
+        match self {
+            Backend::Explicit(e) => e.visible_layer(k),
+            Backend::Symbolic(e) => e.visible_layer(k),
+        }
+    }
+
+    pub(crate) fn visible_total(&self) -> &std::collections::HashSet<cuba_pds::VisibleState> {
+        match self {
+            Backend::Explicit(e) => e.visible_total(),
+            Backend::Symbolic(e) => e.visible_total(),
+        }
+    }
+
+    pub(crate) fn is_collapsed(&self) -> bool {
+        match self {
+            Backend::Explicit(e) => e.is_collapsed(),
+            Backend::Symbolic(e) => e.is_collapsed(),
+        }
+    }
+
+    /// Stored states: global states (explicit) or symbolic states.
+    pub(crate) fn states(&self) -> usize {
+        match self {
+            Backend::Explicit(e) => e.num_states(),
+            Backend::Symbolic(e) => e.num_symbolic_states(),
+        }
+    }
+
+    pub(crate) fn is_symbolic(&self) -> bool {
+        matches!(self, Backend::Symbolic(_))
+    }
+
+    pub(crate) fn as_explicit(&self) -> Option<&cuba_explore::ExplicitEngine> {
+        match self {
+            Backend::Explicit(e) => Some(e),
+            Backend::Symbolic(_) => None,
+        }
+    }
+}
+
+/// The engine lineup vocabulary: which algorithm over which state
+/// representation. A [`Portfolio`](crate::Portfolio) is described as a
+/// list of kinds; [`build_engine`] instantiates them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EngineKind {
+    /// Algorithm 3 over `(T(Rk))` — explicit, needs FCR.
+    Alg3Explicit,
+    /// Scheme 1 over `(Rk)` — explicit, needs FCR.
+    Scheme1Explicit,
+    /// Algorithm 3 over `(T(Sk))` — symbolic, always applicable.
+    Alg3Symbolic,
+    /// Scheme 1 over `(Sk)` — symbolic, always applicable.
+    Scheme1Symbolic,
+    /// Context-bounded refuter (Qadeer–Rehof-style CBA): explores up
+    /// to the session's round limit, can refute but never prove.
+    CbaRefuter,
+}
+
+impl std::fmt::Display for EngineKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            EngineKind::Alg3Explicit => "alg3-explicit",
+            EngineKind::Scheme1Explicit => "scheme1-explicit",
+            EngineKind::Alg3Symbolic => "alg3-symbolic",
+            EngineKind::Scheme1Symbolic => "scheme1-symbolic",
+            EngineKind::CbaRefuter => "cba-refuter",
+        };
+        write!(f, "{name}")
+    }
+}
+
+impl EngineKind {
+    /// Whether the kind requires finite context reachability.
+    pub fn needs_fcr(&self) -> bool {
+        matches!(self, EngineKind::Alg3Explicit | EngineKind::Scheme1Explicit)
+    }
+}
+
+/// Build parameters shared by every engine in a session.
+#[derive(Debug, Clone)]
+pub struct EngineParams {
+    /// Exploration budget (its interrupt is the session's).
+    pub budget: cuba_explore::ExploreBudget,
+    /// Round limit per engine.
+    pub max_k: usize,
+    /// Subsumption mode for symbolic engines.
+    pub subsumption: SubsumptionMode,
+    /// Fuse the state-collapse test into Algorithm 3 arms
+    /// (`use_state_collapse`). Sessions disable this when a dedicated
+    /// Scheme 1 arm of the same representation runs alongside.
+    pub fuse_collapse: bool,
+    /// Skip the per-engine FCR pre-check (sessions check once).
+    pub skip_fcr_check: bool,
+}
+
+impl Default for EngineParams {
+    fn default() -> Self {
+        EngineParams {
+            budget: cuba_explore::ExploreBudget::default(),
+            max_k: 64,
+            subsumption: SubsumptionMode::Exact,
+            fuse_collapse: true,
+            skip_fcr_check: false,
+        }
+    }
+}
+
+/// Instantiates an engine of the given kind for a problem.
+///
+/// # Errors
+///
+/// [`CubaError::FcrRequired`] when an explicit kind is requested for a
+/// system without FCR (and the pre-check is not skipped).
+pub fn build_engine(
+    kind: EngineKind,
+    cpds: &Cpds,
+    property: &crate::Property,
+    params: &EngineParams,
+) -> Result<Box<dyn Engine>, CubaError> {
+    let alg3 = || Alg3Config {
+        budget: params.budget.clone(),
+        max_k: params.max_k,
+        skip_fcr_check: params.skip_fcr_check,
+        subsumption: params.subsumption,
+        use_state_collapse: params.fuse_collapse,
+    };
+    let scheme1 = || Scheme1Config {
+        budget: params.budget.clone(),
+        max_k: params.max_k,
+        skip_fcr_check: params.skip_fcr_check,
+        subsumption: params.subsumption,
+    };
+    Ok(match kind {
+        EngineKind::Alg3Explicit => Box::new(Alg3Engine::explicit(cpds, property, &alg3())?),
+        EngineKind::Scheme1Explicit => {
+            Box::new(Scheme1Engine::explicit(cpds, property, &scheme1())?)
+        }
+        EngineKind::Alg3Symbolic => Box::new(Alg3Engine::symbolic(cpds, property, &alg3())),
+        EngineKind::Scheme1Symbolic => {
+            Box::new(Scheme1Engine::symbolic(cpds, property, &scheme1()))
+        }
+        EngineKind::CbaRefuter => Box::new(CbaEngine::new(
+            cpds,
+            property,
+            &CbaConfig {
+                k: params.max_k,
+                budget: params.budget.clone(),
+            },
+        )),
+    })
+}

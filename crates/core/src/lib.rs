@@ -16,18 +16,24 @@
 //!   stuttering from convergence with *generator sets* (Def. 10,
 //!   Thm. 11) intersected with the context-insensitive
 //!   overapproximation `Z` (Alg. 2, Lemma 12).
-//! * [`Cuba`] is the top-level procedure of §6: FCR ⇒ race the
-//!   explicit algorithms, otherwise go symbolic.
+//! * [`Portfolio`] / [`AnalysisSession`] implement the top-level
+//!   procedure of §6 as a *race of engines*: under FCR the explicit
+//!   arms run alongside a context-bounded refuter, otherwise the
+//!   symbolic arms race — streaming per-round [`SessionEvent`]s, with
+//!   cooperative cancellation and wall-clock deadlines.
+//! * [`Cuba`] is a thin blocking wrapper over a session, kept for
+//!   compatibility.
 //! * [`cba_baseline`] is plain context-bounded analysis (Qadeer–Rehof
-//!   style, bug-finding only) — the JMoped-shaped comparator of Fig. 5.
+//!   style, bug-finding only) — the JMoped-shaped comparator of
+//!   Fig. 5, and the refuter arm of the default portfolio.
 //!
 //! # Example
 //!
-//! Prove the Fig. 1 system safe for *any* number of contexts:
+//! Prove the Fig. 1 system safe for *any* number of contexts, watching
+//! the observation sequence round by round:
 //!
 //! ```
-//! use cuba_core::{alg3_explicit, Alg3Config, Property, Verdict};
-//! use cuba_explore::ExploreBudget;
+//! use cuba_core::{Portfolio, Property, SessionEvent, Verdict};
 //! use cuba_pds::{CpdsBuilder, PdsBuilder, SharedState, StackSym, VisibleState};
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -45,37 +51,82 @@
 //!     .thread(p2.build()?, [s(4)])
 //!     .build()?;
 //!
-//! // ⟨2|1,5⟩ is never reachable; Alg. 3 proves it in 6 rounds.
+//! // ⟨2|1,5⟩ is never reachable; the §6 race proves it at k = 5.
 //! let target = VisibleState::new(q(2), vec![Some(s(1)), Some(s(5))]);
-//! let report = alg3_explicit(&cpds, &Property::never_visible(target), &Alg3Config::default())?;
-//! assert!(matches!(report.verdict, Verdict::Safe { k: 5, .. }));
+//! let property = Property::never_visible(target);
+//!
+//! // Stream the race: one RoundCompleted per engine per bound.
+//! let mut session = Portfolio::auto().session(cpds, property)?;
+//! let mut rounds = 0;
+//! for event in &mut session {
+//!     if let SessionEvent::RoundCompleted { .. } = event {
+//!         rounds += 1;
+//!     }
+//! }
+//! let outcome = session.into_outcome()?;
+//! assert!(matches!(outcome.verdict, Verdict::Safe { k: 5, .. }));
+//! assert!(rounds >= 7); // the winning arm computed bounds 0..=6
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! Sessions take a [`SessionConfig`] with a wall-clock `timeout` and a
+//! [`CancelToken`](cuba_explore::CancelToken), both honored *inside*
+//! long rounds; [`Portfolio::run_suite`] verifies a batch of problems
+//! with bounded parallelism.
+//!
+//! # Migration note
+//!
+//! The pre-session entry points remain and behave identically — they
+//! now delegate to the [`Engine`] round-steppers:
+//!
+//! * [`alg3_explicit`]/[`alg3_symbolic`] drive an [`Alg3Engine`],
+//! * [`scheme1_explicit`]/[`scheme1_symbolic`] a [`Scheme1Engine`],
+//! * [`cba_baseline`] a [`CbaEngine`],
+//! * [`Cuba::run`] opens a single-problem [`AnalysisSession`] (one
+//!   fused explicit arm, or the two-thread race with
+//!   `parallel: true`).
+//!
+//! New code that wants streaming, cancellation, deadlines, custom
+//! lineups, or batch verification should use [`Portfolio`] and
+//! [`AnalysisSession`] directly.
 
 mod alg3;
 mod cba_baseline;
 mod driver;
+mod engine;
 mod error;
+mod events;
 mod fcr;
 mod generator;
 mod overapprox;
+mod portfolio;
 mod property;
 mod scheme1;
 mod sequence;
+mod session;
 #[cfg(test)]
 mod testutil;
 
-pub use alg3::{alg3_explicit, alg3_symbolic, Alg3Config, Alg3Report};
-pub use cba_baseline::{cba_baseline, CbaConfig, CbaReport, CbaVerdict};
+pub use alg3::{alg3_explicit, alg3_symbolic, Alg3Config, Alg3Engine, Alg3Report};
+pub use cba_baseline::{cba_baseline, CbaConfig, CbaEngine, CbaReport, CbaVerdict};
 pub use driver::{Cuba, CubaConfig, CubaOutcome, DriverMode, EngineUsed};
+pub use engine::{
+    build_engine, Applicability, Engine, EngineKind, EngineParams, RoundCtx, RoundInfo,
+    RoundOutcome,
+};
 pub use error::CubaError;
+pub use events::SessionEvent;
 pub use fcr::{check_fcr, fcr_psa, FcrReport};
 pub use generator::GeneratorSet;
 pub use overapprox::{compute_z, thread_abstraction, AbstractTransition, ZReport};
+pub use portfolio::{Lineup, Portfolio};
 pub use property::Property;
-pub use scheme1::{scheme1_explicit, scheme1_symbolic, Scheme1Config, Scheme1Report};
+pub use scheme1::{
+    scheme1_explicit, scheme1_symbolic, Scheme1Config, Scheme1Engine, Scheme1Report,
+};
 pub use sequence::{GrowthLog, SequenceEvent};
+pub use session::{AnalysisSession, SessionConfig};
 
 /// The answer of a CUBA analysis.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -1,0 +1,486 @@
+//! The portfolio scheduler: the paper's §6 race as a first-class,
+//! configurable object, plus batch verification.
+//!
+//! ```text
+//! Input: a CPDS Pn and a property C
+//! 1: if Pn satisfies FCR then
+//! 2:     Alg 3(T(Rk)) ∥ Scheme 1(Rk) ∥ CBA refuter
+//! 3: else
+//! 4:     Alg 3(T(Sk)) ∥ Scheme 1(Sk)
+//! ```
+//!
+//! The CBA arm is the Qadeer–Rehof-style context-bounded refuter
+//! (Fig. 5's comparator): it can only win the race with a bug, never
+//! with a proof. Arms run round-robin on one core
+//! ([`Portfolio::run`]) or on OS threads ([`Portfolio::run_parallel`]);
+//! [`Portfolio::run_suite`] verifies many problems with bounded
+//! parallelism — the service-shaped entry point the benchmark
+//! harnesses build on.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::sync::Mutex;
+
+use cuba_pds::Cpds;
+
+use crate::engine::EngineKind;
+use crate::{
+    check_fcr, AnalysisSession, CubaError, CubaOutcome, Property, SessionConfig, SessionEvent,
+    Verdict,
+};
+
+/// How a portfolio picks its engine lineup for a problem.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Lineup {
+    /// The paper's §6 policy, decided per problem by the FCR check:
+    /// explicit arms plus a CBA refuter under FCR, symbolic arms
+    /// otherwise.
+    Auto,
+    /// A fixed lineup (arms needing FCR are dropped per problem when
+    /// the system lacks it).
+    Fixed(Vec<EngineKind>),
+}
+
+/// A reusable analysis portfolio: a lineup policy plus a
+/// [`SessionConfig`].
+#[derive(Debug, Clone)]
+pub struct Portfolio {
+    lineup: Lineup,
+    config: SessionConfig,
+}
+
+impl Default for Portfolio {
+    fn default() -> Self {
+        Portfolio::auto()
+    }
+}
+
+impl Portfolio {
+    /// The paper's §6 portfolio with default configuration.
+    pub fn auto() -> Self {
+        Portfolio {
+            lineup: Lineup::Auto,
+            config: SessionConfig::new(),
+        }
+    }
+
+    /// A portfolio with a fixed engine lineup.
+    pub fn fixed(kinds: impl Into<Vec<EngineKind>>) -> Self {
+        Portfolio {
+            lineup: Lineup::Fixed(kinds.into()),
+            config: SessionConfig::new(),
+        }
+    }
+
+    /// Replaces the session configuration.
+    pub fn with_config(mut self, config: SessionConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// The session configuration.
+    pub fn config(&self) -> &SessionConfig {
+        &self.config
+    }
+
+    /// The concrete lineup this portfolio fields for a system.
+    pub fn lineup_for(&self, cpds: &Cpds) -> Vec<EngineKind> {
+        match &self.lineup {
+            Lineup::Auto => {
+                if check_fcr(cpds).holds() {
+                    vec![
+                        EngineKind::Alg3Explicit,
+                        EngineKind::Scheme1Explicit,
+                        EngineKind::CbaRefuter,
+                    ]
+                } else {
+                    vec![EngineKind::Alg3Symbolic, EngineKind::Scheme1Symbolic]
+                }
+            }
+            Lineup::Fixed(kinds) => kinds.clone(),
+        }
+    }
+
+    /// Opens a streaming session for one problem.
+    ///
+    /// # Errors
+    ///
+    /// [`CubaError::FcrRequired`] when no arm applies to the system.
+    pub fn session(&self, cpds: Cpds, property: Property) -> Result<AnalysisSession, CubaError> {
+        let lineup = self.lineup_for(&cpds);
+        AnalysisSession::new(cpds, property, &lineup, &self.config)
+    }
+
+    /// Runs the race round-robin on the current thread.
+    ///
+    /// # Errors
+    ///
+    /// The first hard engine error when no arm produced an answer.
+    pub fn run(&self, cpds: Cpds, property: Property) -> Result<CubaOutcome, CubaError> {
+        self.session(cpds, property)?.run()
+    }
+
+    /// Runs the race round-robin, streaming events to a callback.
+    ///
+    /// # Errors
+    ///
+    /// As for [`run`](Self::run).
+    pub fn run_with(
+        &self,
+        cpds: Cpds,
+        property: Property,
+        on_event: impl FnMut(&SessionEvent),
+    ) -> Result<CubaOutcome, CubaError> {
+        self.session(cpds, property)?.run_with(on_event)
+    }
+
+    /// Runs the race on OS threads — the literal "two computational
+    /// threads" of §6, generalized to the whole lineup. The first
+    /// conclusive arm cancels the others through the shared token;
+    /// events from all arms are forwarded to the callback (in arrival
+    /// order) when one is given.
+    ///
+    /// # Errors
+    ///
+    /// As for [`run`](Self::run).
+    pub fn run_parallel(
+        &self,
+        cpds: Cpds,
+        property: Property,
+        mut on_event: Option<&mut dyn FnMut(&SessionEvent)>,
+    ) -> Result<CubaOutcome, CubaError> {
+        let start = std::time::Instant::now();
+        let fcr_holds = check_fcr(&cpds).holds();
+        let lineup: Vec<EngineKind> = self
+            .lineup_for(&cpds)
+            .into_iter()
+            .filter(|kind| fcr_holds || !kind.needs_fcr())
+            .collect();
+        if lineup.is_empty() {
+            return Err(CubaError::FcrRequired);
+        }
+
+        // Every arm polls the shared race token as an extra source
+        // (no single-arm session fires it by itself — sessions only
+        // fire their own internal token); the first conclusive arm
+        // fires it below and the others stop mid-round. The caller's
+        // own token, if any, stays in the config and is polled too.
+        let race = cuba_explore::CancelToken::new();
+
+        let (events_tx, events_rx) = mpsc::channel::<SessionEvent>();
+        let reports: Mutex<Vec<ParallelArmReport>> = Mutex::new(Vec::new());
+
+        std::thread::scope(|scope| {
+            for kind in &lineup {
+                // One single-arm session per thread: reuses the exact
+                // round/event bookkeeping of the sequential path. The
+                // fuse decision still sees the whole lineup, so Alg. 3
+                // arms run pure whenever a Scheme 1 arm races.
+                let session = AnalysisSession::with_fuse_lineup(
+                    cpds.clone(),
+                    property.clone(),
+                    std::slice::from_ref(kind),
+                    &lineup,
+                    Some(race.clone()),
+                    &self.config,
+                );
+                let events_tx = events_tx.clone();
+                let reports = &reports;
+                let race = &race;
+                scope.spawn(move || {
+                    let report = match session {
+                        Ok(mut session) => {
+                            while let Some(event) = session.next_event() {
+                                let _ = events_tx.send(event);
+                            }
+                            // The first conclusive arm stops the race.
+                            let conclusive = matches!(
+                                session.outcome(),
+                                Some(Ok(o)) if !matches!(o.verdict, Verdict::Undetermined { .. })
+                            );
+                            if conclusive {
+                                race.cancel();
+                            }
+                            match session.outcome() {
+                                Some(Ok(outcome)) => ParallelArmReport {
+                                    engine: outcome.engine,
+                                    result: Ok(outcome.verdict.clone()),
+                                    rounds: outcome.rounds,
+                                    states: outcome.states,
+                                },
+                                Some(Err(e)) => ParallelArmReport {
+                                    engine: arm_engine_placeholder(*kind),
+                                    result: Err(e.clone()),
+                                    rounds: 0,
+                                    states: 0,
+                                },
+                                None => ParallelArmReport {
+                                    engine: arm_engine_placeholder(*kind),
+                                    result: Err(CubaError::Explore(
+                                        cuba_explore::ExploreError::Cancelled,
+                                    )),
+                                    rounds: 0,
+                                    states: 0,
+                                },
+                            }
+                        }
+                        Err(e) => ParallelArmReport {
+                            engine: arm_engine_placeholder(*kind),
+                            result: Err(e),
+                            rounds: 0,
+                            states: 0,
+                        },
+                    };
+                    reports.lock().expect("no poisoned arm").push(report);
+                });
+            }
+            drop(events_tx);
+            // Forward events as they arrive (or just drain them).
+            while let Ok(event) = events_rx.recv() {
+                if let Some(callback) = on_event.as_deref_mut() {
+                    callback(&event);
+                }
+            }
+        });
+
+        let reports = reports.into_inner().expect("threads joined");
+        pick_parallel_winner(reports, fcr_holds, start.elapsed())
+    }
+
+    /// Batch verification: runs the portfolio over every problem with
+    /// at most `parallelism` problems in flight (each problem's arms
+    /// run round-robin within its worker). Results come back in input
+    /// order.
+    pub fn run_suite(
+        &self,
+        problems: Vec<(Cpds, Property)>,
+        parallelism: usize,
+    ) -> Vec<Result<CubaOutcome, CubaError>> {
+        let n = problems.len();
+        let workers = parallelism.max(1).min(n.max(1));
+        let next = AtomicUsize::new(0);
+        let problems: Vec<Mutex<Option<(Cpds, Property)>>> =
+            problems.into_iter().map(|p| Mutex::new(Some(p))).collect();
+        let results: Vec<Mutex<Option<Result<CubaOutcome, CubaError>>>> =
+            (0..n).map(|_| Mutex::new(None)).collect();
+
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let index = next.fetch_add(1, Ordering::Relaxed);
+                    if index >= n {
+                        break;
+                    }
+                    let (cpds, property) = problems[index]
+                        .lock()
+                        .expect("problem slot")
+                        .take()
+                        .expect("each slot is claimed once");
+                    let result = self.run(cpds, property);
+                    *results[index].lock().expect("result slot") = Some(result);
+                });
+            }
+        });
+
+        results
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("workers joined")
+                    .expect("every index was processed")
+            })
+            .collect()
+    }
+}
+
+/// The engine id an arm would report before running (used when an arm
+/// dies during construction and has no engine to ask).
+fn arm_engine_placeholder(kind: EngineKind) -> crate::EngineUsed {
+    match kind {
+        EngineKind::Alg3Explicit => crate::EngineUsed::Alg3Explicit,
+        EngineKind::Scheme1Explicit => crate::EngineUsed::Scheme1Explicit,
+        EngineKind::Alg3Symbolic => crate::EngineUsed::Alg3Symbolic,
+        EngineKind::Scheme1Symbolic => crate::EngineUsed::Scheme1Symbolic,
+        EngineKind::CbaRefuter => crate::EngineUsed::CbaBaseline,
+    }
+}
+
+/// Winner selection across joined arms, mirroring the sequential
+/// session's preference: conclusive > undetermined > interruption >
+/// hard error.
+fn pick_parallel_winner(
+    reports: Vec<impl std::borrow::Borrow<ParallelArmReport>>,
+    fcr_holds: bool,
+    duration: std::time::Duration,
+) -> Result<CubaOutcome, CubaError> {
+    let reports: Vec<&ParallelArmReport> = reports.iter().map(|r| r.borrow()).collect();
+    let outcome_from = |r: &ParallelArmReport, verdict: Verdict| CubaOutcome {
+        verdict,
+        fcr_holds,
+        engine: r.engine,
+        states: r.states,
+        rounds: r.rounds,
+        duration,
+    };
+    if let Some(r) = reports
+        .iter()
+        .find(|r| matches!(&r.result, Ok(v) if !matches!(v, Verdict::Undetermined { .. })))
+    {
+        let Ok(v) = &r.result else { unreachable!() };
+        return Ok(outcome_from(r, v.clone()));
+    }
+    if let Some(r) = reports
+        .iter()
+        .filter(|r| r.result.is_ok())
+        .max_by_key(|r| r.rounds)
+    {
+        let Ok(v) = &r.result else { unreachable!() };
+        return Ok(outcome_from(r, v.clone()));
+    }
+    if let Some(r) = reports
+        .iter()
+        .find(|r| matches!(&r.result, Err(CubaError::Explore(e)) if e.is_interruption()))
+    {
+        let Err(CubaError::Explore(e)) = &r.result else {
+            unreachable!()
+        };
+        return Ok(outcome_from(
+            r,
+            Verdict::Undetermined {
+                reason: e.to_string(),
+            },
+        ));
+    }
+    let error = reports
+        .iter()
+        .find_map(|r| r.result.as_ref().err().cloned())
+        .unwrap_or(CubaError::Explore(cuba_explore::ExploreError::Cancelled));
+    Err(error)
+}
+
+/// Per-arm summary collected by [`Portfolio::run_parallel`].
+struct ParallelArmReport {
+    engine: crate::EngineUsed,
+    result: Result<Verdict, CubaError>,
+    rounds: usize,
+    states: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{fig1, fig2};
+    use crate::EngineUsed;
+    use cuba_pds::{SharedState, StackSym, VisibleState};
+
+    fn vis(qq: u32, tops: &[Option<u32>]) -> VisibleState {
+        VisibleState::new(
+            SharedState(qq),
+            tops.iter().map(|t| t.map(StackSym)).collect(),
+        )
+    }
+
+    /// The §6 lineup: explicit arms + CBA refuter under FCR, symbolic
+    /// arms otherwise.
+    #[test]
+    fn auto_lineup_follows_fcr() {
+        let portfolio = Portfolio::auto();
+        assert_eq!(
+            portfolio.lineup_for(&fig1()),
+            vec![
+                EngineKind::Alg3Explicit,
+                EngineKind::Scheme1Explicit,
+                EngineKind::CbaRefuter
+            ]
+        );
+        assert_eq!(
+            portfolio.lineup_for(&fig2()),
+            vec![EngineKind::Alg3Symbolic, EngineKind::Scheme1Symbolic]
+        );
+    }
+
+    /// Acceptance: the portfolio path reproduces the seed verdicts on
+    /// both running examples (Safe k=5 behavior preserved on Fig. 1).
+    #[test]
+    fn portfolio_reproduces_seed_verdicts() {
+        let outcome = Portfolio::auto().run(fig1(), Property::True).unwrap();
+        assert!(matches!(outcome.verdict, Verdict::Safe { k: 5, .. }));
+        assert!(outcome.fcr_holds);
+
+        let outcome = Portfolio::auto().run(fig2(), Property::True).unwrap();
+        assert!(outcome.verdict.is_safe());
+        assert!(!outcome.fcr_holds);
+    }
+
+    /// The parallel race agrees with the round-robin race.
+    #[test]
+    fn parallel_race_agrees_with_round_robin() {
+        let portfolio = Portfolio::auto();
+        let sequential = portfolio.run(fig1(), Property::True).unwrap();
+        let parallel = portfolio
+            .run_parallel(fig1(), Property::True, None)
+            .unwrap();
+        assert_eq!(sequential.verdict.is_safe(), parallel.verdict.is_safe(),);
+
+        let property = Property::never_visible(vis(1, &[Some(2), Some(6)]));
+        let sequential = portfolio.run(fig1(), property.clone()).unwrap();
+        let parallel = portfolio.run_parallel(fig1(), property, None).unwrap();
+        match (&sequential.verdict, &parallel.verdict) {
+            (Verdict::Unsafe { k: k1, .. }, Verdict::Unsafe { k: k2, .. }) => {
+                assert_eq!(k1, k2, "bug bound must not depend on scheduling");
+            }
+            other => panic!("expected two Unsafe verdicts, got {other:?}"),
+        }
+    }
+
+    /// The CBA refuter can win the race with a bug but never decides a
+    /// safe run (its exhaustion is Undetermined).
+    #[test]
+    fn cba_arm_never_proves() {
+        let portfolio = Portfolio::fixed(vec![EngineKind::CbaRefuter]);
+        let safe = portfolio.run(fig1(), Property::True).unwrap();
+        assert!(matches!(safe.verdict, Verdict::Undetermined { .. }));
+        assert_eq!(safe.engine, EngineUsed::CbaBaseline);
+
+        let property = Property::never_visible(vis(1, &[Some(2), Some(6)]));
+        let unsafe_outcome = portfolio.run(fig1(), property).unwrap();
+        assert!(matches!(
+            unsafe_outcome.verdict,
+            Verdict::Unsafe { k: 5, .. }
+        ));
+    }
+
+    /// Batch verification over both running examples with parallelism.
+    #[test]
+    fn run_suite_preserves_order_and_verdicts() {
+        let problems = vec![
+            (fig1(), Property::True),
+            (fig2(), Property::True),
+            (fig1(), Property::never_visible(vis(1, &[Some(2), Some(6)]))),
+            (fig1(), Property::never_visible(vis(2, &[Some(1), Some(5)]))),
+        ];
+        let results = Portfolio::auto().run_suite(problems, 3);
+        assert_eq!(results.len(), 4);
+        assert!(matches!(
+            results[0].as_ref().unwrap().verdict,
+            Verdict::Safe { k: 5, .. }
+        ));
+        assert!(results[1].as_ref().unwrap().verdict.is_safe());
+        assert!(matches!(
+            results[2].as_ref().unwrap().verdict,
+            Verdict::Unsafe { k: 5, .. }
+        ));
+        assert!(matches!(
+            results[3].as_ref().unwrap().verdict,
+            Verdict::Safe { k: 5, .. }
+        ));
+    }
+
+    /// run_suite with parallelism 1 degrades to a plain loop.
+    #[test]
+    fn run_suite_sequential_fallback() {
+        let results = Portfolio::auto().run_suite(vec![(fig1(), Property::True)], 1);
+        assert_eq!(results.len(), 1);
+        assert!(results[0].as_ref().unwrap().verdict.is_safe());
+    }
+}

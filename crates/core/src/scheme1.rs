@@ -1,7 +1,8 @@
 use cuba_explore::{ExplicitEngine, ExploreBudget, SubsumptionMode, SymbolicEngine, Witness};
 use cuba_pds::Cpds;
 
-use crate::{check_fcr, ConvergenceMethod, CubaError, GrowthLog, Property, Verdict};
+use crate::engine::{Applicability, Backend, Engine, RoundCtx, RoundInfo, RoundOutcome};
+use crate::{check_fcr, ConvergenceMethod, CubaError, EngineUsed, GrowthLog, Property, Verdict};
 
 /// Configuration for Scheme 1 runs.
 #[derive(Debug, Clone)]
@@ -41,10 +42,235 @@ pub struct Scheme1Report {
     pub growth: GrowthLog,
 }
 
+/// Scheme 1 as a resumable round-stepper over the stutter-free state
+/// sequence `(Rk)` (explicit) or `(Sk)` (symbolic): compute rounds
+/// until a violation appears or a plateau is observed; by Lemma 7 a
+/// plateau of `(Rk)` *is* a collapse, so "safe" answers are sound.
+///
+/// The monolithic [`scheme1_explicit`]/[`scheme1_symbolic`] loops
+/// delegate here.
+#[derive(Debug)]
+pub struct Scheme1Engine {
+    cpds: Cpds,
+    property: Property,
+    budget: ExploreBudget,
+    max_k: usize,
+    backend: Backend,
+    growth: GrowthLog,
+    next_k: usize,
+    verdict: Option<Verdict>,
+}
+
+impl Scheme1Engine {
+    /// Scheme 1 over `(Rk)` with explicit state sets (the paper's
+    /// `Scheme 1(Rk)`, §4). Performs the FCR pre-check unless the
+    /// config skips it.
+    ///
+    /// # Errors
+    ///
+    /// [`CubaError::FcrRequired`] when the system fails the FCR check
+    /// (the explicit sets may be infinite per round).
+    pub fn explicit(
+        cpds: &Cpds,
+        property: &Property,
+        config: &Scheme1Config,
+    ) -> Result<Self, CubaError> {
+        if !config.skip_fcr_check && !check_fcr(cpds).holds() {
+            return Err(CubaError::FcrRequired);
+        }
+        let backend = Backend::Explicit(ExplicitEngine::new(cpds.clone(), config.budget.clone()));
+        Ok(Self::with_backend(cpds, property, config, backend))
+    }
+
+    /// Scheme 1 over symbolic state sets `(Sk)` (PSA-backed): usable
+    /// when FCR fails, e.g. the Fig. 2 program of Ex. 8 where
+    /// `R1 ⊊ R2 = R3` and every `Rk` is infinite. A round that
+    /// produces no new symbolic state soundly implies `Rk+1 ⊆ Rk`;
+    /// stutter-freeness of `(Rk)` (Lemma 7) then gives convergence.
+    pub fn symbolic(cpds: &Cpds, property: &Property, config: &Scheme1Config) -> Self {
+        let backend = Backend::Symbolic(SymbolicEngine::new(
+            cpds.clone(),
+            config.budget.clone(),
+            config.subsumption,
+        ));
+        Self::with_backend(cpds, property, config, backend)
+    }
+
+    fn with_backend(
+        cpds: &Cpds,
+        property: &Property,
+        config: &Scheme1Config,
+        backend: Backend,
+    ) -> Self {
+        Scheme1Engine {
+            cpds: cpds.clone(),
+            property: property.clone(),
+            budget: config.budget.clone(),
+            max_k: config.max_k,
+            backend,
+            growth: GrowthLog::new(),
+            next_k: 0,
+            verdict: None,
+        }
+    }
+
+    fn conclude(&mut self, round: Option<RoundInfo>, verdict: Verdict) -> RoundOutcome {
+        self.verdict = Some(verdict.clone());
+        RoundOutcome::Concluded { round, verdict }
+    }
+
+    /// The violation verdict for layer `k`, if any, with a witness
+    /// (parent links for the explicit backend, bounded search for the
+    /// symbolic one).
+    fn violation_at(&self, k: usize) -> Option<Verdict> {
+        match &self.backend {
+            Backend::Explicit(engine) => {
+                let witness = explicit_violation_witness(engine, &self.property, k)?;
+                Some(Verdict::Unsafe {
+                    k,
+                    witness: Some(witness),
+                })
+            }
+            Backend::Symbolic(engine) => {
+                self.property
+                    .find_violation(engine.visible_layer(k).iter())?;
+                Some(crate::alg3::attach_symbolic_witness(
+                    Verdict::Unsafe { k, witness: None },
+                    &self.cpds,
+                    &self.property,
+                    &self.budget,
+                ))
+            }
+        }
+    }
+
+    /// Consumes the engine into the classic report.
+    pub fn into_report(self) -> Scheme1Report {
+        let rounds = self.rounds();
+        Scheme1Report {
+            verdict: self.verdict.unwrap_or_else(|| Verdict::Undetermined {
+                reason: "engine not run to conclusion".to_owned(),
+            }),
+            rounds,
+            states: self.backend.states(),
+            growth: self.growth,
+        }
+    }
+}
+
+impl Engine for Scheme1Engine {
+    fn id(&self) -> EngineUsed {
+        if self.backend.is_symbolic() {
+            EngineUsed::Scheme1Symbolic
+        } else {
+            EngineUsed::Scheme1Explicit
+        }
+    }
+
+    fn applicability(&self, cpds: &Cpds) -> Applicability {
+        if self.backend.is_symbolic() || check_fcr(cpds).holds() {
+            Applicability::Applicable
+        } else {
+            Applicability::Inapplicable(
+                "explicit-state Scheme 1 requires finite context reachability",
+            )
+        }
+    }
+
+    fn step(&mut self, ctx: &mut RoundCtx) -> Result<RoundOutcome, CubaError> {
+        if let Some(verdict) = &self.verdict {
+            return Ok(RoundOutcome::Concluded {
+                round: None,
+                verdict: verdict.clone(),
+            });
+        }
+        ctx.interrupt.check().map_err(CubaError::Explore)?;
+        let (sequence, collapse_rule) = if self.backend.is_symbolic() {
+            ("(Sk)", ConvergenceMethod::SkCollapse)
+        } else {
+            ("(Rk)", ConvergenceMethod::RkCollapse)
+        };
+        if self.next_k > self.max_k {
+            let verdict = Verdict::Undetermined {
+                reason: format!("no collapse of {sequence} within {} rounds", self.max_k),
+            };
+            return Ok(self.conclude(None, verdict));
+        }
+        let k = self.next_k;
+        let collapsed = if k > 0 {
+            self.backend.advance()?;
+            self.backend.is_collapsed()
+        } else {
+            false
+        };
+        let event = self.growth.push(self.backend.states());
+        self.next_k += 1;
+        let info = RoundInfo {
+            k,
+            states: self.backend.states(),
+            event,
+        };
+        if let Some(verdict) = self.violation_at(k) {
+            return Ok(self.conclude(Some(info), verdict));
+        }
+        if collapsed {
+            let verdict = Verdict::Safe {
+                k: k - 1,
+                method: collapse_rule,
+            };
+            return Ok(self.conclude(Some(info), verdict));
+        }
+        Ok(RoundOutcome::Continue(info))
+    }
+
+    fn rounds(&self) -> usize {
+        self.next_k.saturating_sub(1).min(self.max_k)
+    }
+
+    fn states(&self) -> usize {
+        self.backend.states()
+    }
+
+    fn growth(&self) -> &GrowthLog {
+        &self.growth
+    }
+
+    fn verdict(&self) -> Option<&Verdict> {
+        self.verdict.as_ref()
+    }
+}
+
+/// Finds a state in layer `k` whose visible projection violates the
+/// property, and reconstructs its witness path.
+fn explicit_violation_witness(
+    engine: &ExplicitEngine,
+    property: &Property,
+    k: usize,
+) -> Option<Witness> {
+    for state in engine.layer(k) {
+        if property.violated_by(&state.visible()) {
+            let id = engine.find(state).expect("layer states are stored");
+            return Some(engine.witness(id));
+        }
+    }
+    None
+}
+
+/// Drives a [`Scheme1Engine`] to conclusion.
+fn run_to_conclusion(mut engine: Scheme1Engine) -> Result<Scheme1Report, CubaError> {
+    let mut ctx = RoundCtx::new();
+    loop {
+        if let RoundOutcome::Concluded { .. } = engine.step(&mut ctx)? {
+            return Ok(engine.into_report());
+        }
+    }
+}
+
 /// Scheme 1 over the stutter-free sequence `(Rk)` with explicit state
 /// sets (the paper's `Scheme 1(Rk)`, §4): compute `R1, R2, …` until a
 /// violation appears or a plateau is observed; by Lemma 7 a plateau of
-/// `(Rk)` *is* a collapse, so "safe" answers are sound.
+/// `(Rk)` *is* a collapse, so "safe" answers are sound. Delegates to
+/// [`Scheme1Engine`].
 ///
 /// # Errors
 ///
@@ -56,79 +282,11 @@ pub fn scheme1_explicit(
     property: &Property,
     config: &Scheme1Config,
 ) -> Result<Scheme1Report, CubaError> {
-    if !config.skip_fcr_check && !check_fcr(cpds).holds() {
-        return Err(CubaError::FcrRequired);
-    }
-    let mut engine = ExplicitEngine::new(cpds.clone(), config.budget);
-    let mut growth = GrowthLog::new();
-    growth.push(engine.num_states());
-
-    // Check the initial state too (k = 0).
-    if let Some(witness) = violation_witness(&engine, property, 0) {
-        return Ok(Scheme1Report {
-            verdict: Verdict::Unsafe {
-                k: 0,
-                witness: Some(witness),
-            },
-            rounds: 0,
-            states: engine.num_states(),
-            growth,
-        });
-    }
-
-    for k in 1..=config.max_k {
-        engine.advance()?;
-        growth.push(engine.num_states());
-        if let Some(witness) = violation_witness(&engine, property, k) {
-            return Ok(Scheme1Report {
-                verdict: Verdict::Unsafe {
-                    k,
-                    witness: Some(witness),
-                },
-                rounds: k,
-                states: engine.num_states(),
-                growth,
-            });
-        }
-        if engine.is_collapsed() {
-            return Ok(Scheme1Report {
-                verdict: Verdict::Safe {
-                    k: k - 1,
-                    method: ConvergenceMethod::RkCollapse,
-                },
-                rounds: k,
-                states: engine.num_states(),
-                growth,
-            });
-        }
-    }
-    Ok(Scheme1Report {
-        verdict: Verdict::Undetermined {
-            reason: format!("no collapse of (Rk) within {} rounds", config.max_k),
-        },
-        rounds: config.max_k,
-        states: engine.num_states(),
-        growth,
-    })
-}
-
-/// Finds a state in layer `k` whose visible projection violates the
-/// property, and reconstructs its witness path.
-fn violation_witness(engine: &ExplicitEngine, property: &Property, k: usize) -> Option<Witness> {
-    for state in engine.layer(k) {
-        if property.violated_by(&state.visible()) {
-            let id = engine.find(state).expect("layer states are stored");
-            return Some(engine.witness(id));
-        }
-    }
-    None
+    run_to_conclusion(Scheme1Engine::explicit(cpds, property, config)?)
 }
 
 /// Scheme 1 over symbolic state sets `(Sk)` (PSA-backed): usable when
-/// FCR fails, e.g. the Fig. 2 program of Ex. 8 where `R1 ⊊ R2 = R3`
-/// and every `Rk` is infinite. A round that produces no new symbolic
-/// state soundly implies `Rk+1 ⊆ Rk`; stutter-freeness of `(Rk)`
-/// (Lemma 7) then gives convergence.
+/// FCR fails. Delegates to [`Scheme1Engine`].
 ///
 /// # Errors
 ///
@@ -138,71 +296,14 @@ pub fn scheme1_symbolic(
     property: &Property,
     config: &Scheme1Config,
 ) -> Result<Scheme1Report, CubaError> {
-    let mut engine = SymbolicEngine::new(cpds.clone(), config.budget, config.subsumption);
-    let mut growth = GrowthLog::new();
-    growth.push(engine.num_symbolic_states());
-
-    if property
-        .find_violation(engine.visible_layer(0).iter())
-        .is_some()
-    {
-        return Ok(Scheme1Report {
-            verdict: Verdict::Unsafe {
-                k: 0,
-                witness: None,
-            },
-            rounds: 0,
-            states: engine.num_symbolic_states(),
-            growth,
-        });
-    }
-
-    for k in 1..=config.max_k {
-        engine.advance()?;
-        growth.push(engine.num_symbolic_states());
-        if property
-            .find_violation(engine.visible_layer(k).iter())
-            .is_some()
-        {
-            let verdict = crate::alg3::attach_symbolic_witness(
-                Verdict::Unsafe { k, witness: None },
-                cpds,
-                property,
-                &config.budget,
-            );
-            return Ok(Scheme1Report {
-                verdict,
-                rounds: k,
-                states: engine.num_symbolic_states(),
-                growth,
-            });
-        }
-        if engine.is_collapsed() {
-            return Ok(Scheme1Report {
-                verdict: Verdict::Safe {
-                    k: k - 1,
-                    method: ConvergenceMethod::SkCollapse,
-                },
-                rounds: k,
-                states: engine.num_symbolic_states(),
-                growth,
-            });
-        }
-    }
-    Ok(Scheme1Report {
-        verdict: Verdict::Undetermined {
-            reason: format!("no collapse of (Sk) within {} rounds", config.max_k),
-        },
-        rounds: config.max_k,
-        states: engine.num_symbolic_states(),
-        growth,
-    })
+    run_to_conclusion(Scheme1Engine::symbolic(cpds, property, config))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::testutil::{fig1, fig2};
+    use crate::SequenceEvent;
     use cuba_pds::{SharedState, StackSym, VisibleState};
 
     fn vis(qq: u32, tops: &[Option<u32>]) -> VisibleState {
@@ -318,5 +419,35 @@ mod tests {
         assert!(matches!(report.verdict, Verdict::Unsafe { k: 0, .. }));
         let report = scheme1_symbolic(&cpds, &property, &Scheme1Config::default()).unwrap();
         assert!(matches!(report.verdict, Verdict::Unsafe { k: 0, .. }));
+    }
+
+    /// Round-stepping surface: the diverging Fig. 1 run yields one
+    /// `Continue` per bound, then concludes Undetermined exactly at
+    /// the round limit (with no final round computed).
+    #[test]
+    fn engine_steps_until_round_limit() {
+        let config = Scheme1Config {
+            max_k: 4,
+            ..Scheme1Config::default()
+        };
+        let mut engine = Scheme1Engine::explicit(&fig1(), &Property::True, &config).unwrap();
+        let mut ctx = RoundCtx::new();
+        for expected_k in 0..=4usize {
+            match engine.step(&mut ctx).unwrap() {
+                RoundOutcome::Continue(info) => {
+                    assert_eq!(info.k, expected_k);
+                    assert_eq!(info.event, SequenceEvent::Grew);
+                }
+                other => panic!("expected Continue at k={expected_k}, got {other:?}"),
+            }
+        }
+        match engine.step(&mut ctx).unwrap() {
+            RoundOutcome::Concluded {
+                round: None,
+                verdict: Verdict::Undetermined { .. },
+            } => {}
+            other => panic!("expected Undetermined conclusion, got {other:?}"),
+        }
+        assert_eq!(engine.rounds(), 4);
     }
 }

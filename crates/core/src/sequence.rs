@@ -183,6 +183,52 @@ mod tests {
         assert!(log.is_empty());
         assert_eq!(log.len(), 0);
         assert_eq!(log.plateaus_at(0), None);
+        assert_eq!(log.stutters_at(0), None);
         assert_eq!(log.final_plateau_start(), None);
+        assert_eq!(log.sizes(), &[] as &[usize]);
+    }
+
+    /// The earliest possible plateau: `|O0| = |O1|`. The first push is
+    /// always `Grew` (there is no predecessor to plateau against), the
+    /// second classifies as a fresh plateau at k = 1.
+    #[test]
+    fn first_plateau_at_k1() {
+        let mut log = GrowthLog::new();
+        assert_eq!(log.push(2), SequenceEvent::Grew);
+        assert_eq!(log.push(2), SequenceEvent::NewPlateau);
+        assert_eq!(log.plateaus_at(0), Some(true));
+        assert_eq!(log.final_plateau_start(), Some(0));
+        // Not a stutter within this prefix: no later growth recorded.
+        assert_eq!(log.stutters_at(0), Some(false));
+        // Growth resuming turns it into a stutter.
+        assert_eq!(log.push(3), SequenceEvent::Grew);
+        assert_eq!(log.stutters_at(0), Some(true));
+        assert_eq!(log.final_plateau_start(), None);
+    }
+
+    /// A single recorded bound answers no plateau/stutter questions.
+    #[test]
+    fn single_entry_log() {
+        let mut log = GrowthLog::new();
+        log.push(1);
+        assert_eq!(log.len(), 1);
+        assert_eq!(log.plateaus_at(0), None);
+        assert_eq!(log.stutters_at(0), None);
+        assert_eq!(log.final_plateau_start(), None);
+    }
+
+    /// Equal sizes forever: the plateau starts at 0 and every bound
+    /// plateaus, with no stutter anywhere.
+    #[test]
+    fn all_flat_log_never_stutters() {
+        let mut log = GrowthLog::new();
+        for _ in 0..5 {
+            log.push(7);
+        }
+        for k0 in 0..3 {
+            assert_eq!(log.plateaus_at(k0), Some(true));
+            assert_eq!(log.stutters_at(k0), Some(false));
+        }
+        assert_eq!(log.final_plateau_start(), Some(0));
     }
 }

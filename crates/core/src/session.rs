@@ -1,0 +1,623 @@
+//! Streaming analysis sessions: a set of [`Engine`]s racing
+//! round-robin over one problem, yielding [`SessionEvent`]s.
+//!
+//! A session owns its engines and advances them one round at a time,
+//! in lineup order. The first *conclusive* verdict (Safe/Unsafe)
+//! decides the session and cancels the remaining arms via the shared
+//! [`CancelToken`]; `Undetermined` conclusions and engine failures
+//! merely retire an arm. This is the single-core rendition of the
+//! paper's §6 race — equivalent to the two-thread version because all
+//! arms advance through the same bounds in lockstep.
+
+use std::collections::VecDeque;
+use std::time::{Duration, Instant};
+
+use cuba_explore::{CancelToken, ExploreBudget, Interrupt, SubsumptionMode};
+use cuba_pds::Cpds;
+
+use crate::engine::{build_engine, Engine, EngineKind, EngineParams, RoundCtx, RoundOutcome};
+use crate::{check_fcr, CubaError, CubaOutcome, Property, SessionEvent, Verdict};
+
+/// Configuration of an [`AnalysisSession`] (and of the
+/// [`Portfolio`](crate::Portfolio) scheduler built on top of it).
+#[derive(Debug, Clone, Default)]
+pub struct SessionConfig {
+    /// Exploration budget handed to every engine.
+    pub budget: ExploreBudget,
+    /// Round limit per engine (also the bound of CBA refuter arms).
+    pub max_k: usize,
+    /// Subsumption mode for symbolic engines.
+    pub subsumption: SubsumptionMode,
+    /// Wall-clock limit for the whole session. Checked between rounds
+    /// *and* inside long rounds (threaded into the engines'
+    /// [`ExploreBudget::interrupt`]).
+    pub timeout: Option<Duration>,
+    /// External cancellation. The session always creates a token; when
+    /// one is supplied here it is used directly, so the caller can
+    /// cancel from another thread.
+    pub cancel: Option<CancelToken>,
+}
+
+impl SessionConfig {
+    /// Defaults matching [`CubaConfig`](crate::CubaConfig): generous
+    /// budget, 64 rounds, exact subsumption, no timeout.
+    pub fn new() -> Self {
+        SessionConfig {
+            budget: ExploreBudget::default(),
+            max_k: 64,
+            subsumption: SubsumptionMode::Exact,
+            timeout: None,
+            cancel: None,
+        }
+    }
+}
+
+/// One racing arm of a session.
+struct Arm {
+    engine: Box<dyn Engine>,
+    /// Set once the arm concluded (any verdict) or failed.
+    retired: bool,
+    /// The error that retired the arm, if it failed.
+    error: Option<CubaError>,
+}
+
+/// A streaming analysis of one `(Cpds, Property)` problem by a lineup
+/// of engines.
+///
+/// Use it as an iterator of [`SessionEvent`]s (then read
+/// [`outcome`](Self::outcome)), or call [`run`](Self::run) /
+/// [`run_with`](Self::run_with) to drain it in one go.
+pub struct AnalysisSession {
+    arms: Vec<Arm>,
+    ctx: RoundCtx,
+    cancel: CancelToken,
+    fcr_holds: bool,
+    start: Instant,
+    /// Round-robin cursor into `arms`.
+    cursor: usize,
+    pending: VecDeque<SessionEvent>,
+    outcome: Option<Result<CubaOutcome, CubaError>>,
+    /// Set once the final `Verdict` event has been queued.
+    decided: bool,
+}
+
+impl AnalysisSession {
+    /// Builds a session racing the given engine lineup.
+    ///
+    /// Arms whose kind requires FCR are dropped when the system lacks
+    /// it; if that empties the lineup the session refuses to start.
+    ///
+    /// # Errors
+    ///
+    /// [`CubaError::FcrRequired`] when no arm is applicable.
+    pub fn new(
+        cpds: Cpds,
+        property: Property,
+        lineup: &[EngineKind],
+        config: &SessionConfig,
+    ) -> Result<Self, CubaError> {
+        Self::with_fuse_lineup(cpds, property, lineup, lineup, None, config)
+    }
+
+    /// As [`new`](Self::new), but the fuse-collapse sibling check runs
+    /// against `fuse_lineup` instead of `lineup`, and an extra cancel
+    /// token can be wired in. This lets
+    /// [`Portfolio::run_parallel`](crate::Portfolio::run_parallel)
+    /// split a lineup into single-arm sessions that (a) still run the
+    /// Alg. 3 arms *pure* (no duplicated Scheme 1 collapse test, no
+    /// misattributed conclusions) whenever a dedicated Scheme 1 arm
+    /// races elsewhere, and (b) poll the shared race token alongside
+    /// the caller's own token.
+    pub(crate) fn with_fuse_lineup(
+        cpds: Cpds,
+        property: Property,
+        lineup: &[EngineKind],
+        fuse_lineup: &[EngineKind],
+        extra_cancel: Option<CancelToken>,
+        config: &SessionConfig,
+    ) -> Result<Self, CubaError> {
+        let fcr_holds = check_fcr(&cpds).holds();
+        let kinds: Vec<EngineKind> = lineup
+            .iter()
+            .copied()
+            .filter(|kind| fcr_holds || !kind.needs_fcr())
+            .collect();
+        if kinds.is_empty() {
+            return Err(CubaError::FcrRequired);
+        }
+
+        // The session's own race token (fired on a conclusive verdict)
+        // plus, separately, the caller's external token: the session
+        // must never fire a token it does not own — callers share
+        // theirs across independent sessions.
+        let cancel = CancelToken::new();
+        let mut interrupt = Interrupt::none().with_cancel(cancel.clone());
+        if let Some(external) = &config.cancel {
+            interrupt = interrupt.with_cancel(external.clone());
+        }
+        if let Some(extra) = extra_cancel {
+            interrupt = interrupt.with_cancel(extra);
+        }
+        if let Some(timeout) = config.timeout {
+            interrupt = interrupt.with_timeout(timeout);
+        }
+        let params = EngineParams {
+            budget: config.budget.clone().with_interrupt(interrupt.clone()),
+            max_k: config.max_k,
+            subsumption: config.subsumption,
+            // Fuse the Scheme 1 collapse test into an Algorithm 3 arm
+            // only when no dedicated Scheme 1 arm of the same
+            // representation races alongside.
+            fuse_collapse: true,
+            skip_fcr_check: true,
+        };
+        let mut arms = Vec::with_capacity(kinds.len());
+        for kind in &kinds {
+            let fuse = match kind {
+                EngineKind::Alg3Explicit => !fuse_lineup.contains(&EngineKind::Scheme1Explicit),
+                EngineKind::Alg3Symbolic => !fuse_lineup.contains(&EngineKind::Scheme1Symbolic),
+                _ => true,
+            };
+            let params = EngineParams {
+                fuse_collapse: fuse,
+                ..params.clone()
+            };
+            arms.push(Arm {
+                engine: build_engine(*kind, &cpds, &property, &params)?,
+                retired: false,
+                error: None,
+            });
+        }
+        Ok(AnalysisSession {
+            arms,
+            ctx: RoundCtx::with_interrupt(interrupt),
+            cancel,
+            fcr_holds,
+            start: Instant::now(),
+            cursor: 0,
+            pending: VecDeque::new(),
+            outcome: None,
+            decided: false,
+        })
+    }
+
+    /// The session's cancellation token: cancel it (from any thread)
+    /// to stop this session cooperatively, mid-round included. The
+    /// session fires it itself when an arm concludes conclusively; an
+    /// external token passed via [`SessionConfig::cancel`] is polled
+    /// too but never fired by the session.
+    pub fn cancel_token(&self) -> CancelToken {
+        self.cancel.clone()
+    }
+
+    /// Whether FCR holds for the problem under analysis.
+    pub fn fcr_holds(&self) -> bool {
+        self.fcr_holds
+    }
+
+    /// The session outcome, once the event stream is drained.
+    pub fn outcome(&self) -> Option<&Result<CubaOutcome, CubaError>> {
+        self.outcome.as_ref()
+    }
+
+    /// Takes the outcome out of a drained session.
+    pub fn into_outcome(self) -> Result<CubaOutcome, CubaError> {
+        self.outcome.unwrap_or(Err(CubaError::Explore(
+            cuba_explore::ExploreError::Cancelled,
+        )))
+    }
+
+    /// Produces the next event, stepping one engine if none is queued.
+    /// `None` once the stream is exhausted (outcome available).
+    pub fn next_event(&mut self) -> Option<SessionEvent> {
+        loop {
+            if let Some(event) = self.pending.pop_front() {
+                return Some(event);
+            }
+            if self.decided {
+                return None;
+            }
+            self.step_once();
+        }
+    }
+
+    /// Steps the next active arm, queueing the resulting events, or
+    /// finalizes the session when no arm remains.
+    fn step_once(&mut self) {
+        let Some(index) = self.next_active_arm() else {
+            self.finalize();
+            return;
+        };
+        let arm = &mut self.arms[index];
+        let id = arm.engine.id();
+        match arm.engine.step(&mut self.ctx) {
+            Ok(RoundOutcome::Continue(info)) => {
+                self.pending.push_back(SessionEvent::RoundCompleted {
+                    engine: id,
+                    k: info.k,
+                    states: info.states,
+                    event: info.event,
+                });
+                self.cursor = index + 1;
+            }
+            Ok(RoundOutcome::Concluded { round, verdict }) => {
+                arm.retired = true;
+                // `id()` may change with the conclusion (the fused
+                // engine attributes collapses to Scheme 1).
+                let id = arm.engine.id();
+                let rounds = arm.engine.rounds();
+                let states = arm.engine.states();
+                if let Some(info) = round {
+                    self.pending.push_back(SessionEvent::RoundCompleted {
+                        engine: id,
+                        k: info.k,
+                        states: info.states,
+                        event: info.event,
+                    });
+                }
+                self.pending.push_back(SessionEvent::EngineConcluded {
+                    engine: id,
+                    verdict: verdict.clone(),
+                    rounds,
+                    states,
+                });
+                if !matches!(verdict, Verdict::Undetermined { .. }) {
+                    self.decide(Ok(CubaOutcome {
+                        verdict,
+                        fcr_holds: self.fcr_holds,
+                        engine: id,
+                        states,
+                        rounds,
+                        duration: self.start.elapsed(),
+                    }));
+                }
+                self.cursor = index + 1;
+            }
+            Err(error) => {
+                arm.retired = true;
+                arm.error = Some(error.clone());
+                self.pending
+                    .push_back(SessionEvent::EngineFailed { engine: id, error });
+                self.cursor = index + 1;
+            }
+        }
+    }
+
+    /// The next non-retired arm at or after the cursor (wrapping).
+    fn next_active_arm(&self) -> Option<usize> {
+        let n = self.arms.len();
+        (0..n)
+            .map(|offset| (self.cursor + offset) % n)
+            .find(|&i| !self.arms[i].retired)
+    }
+
+    /// All arms are retired: pick the best available answer.
+    ///
+    /// Preference order mirrors the old driver's `pick_winner`:
+    /// a conclusive verdict (handled in `step_once`), then an
+    /// `Undetermined` conclusion, then interruption, then the first
+    /// hard error.
+    fn finalize(&mut self) {
+        // An Undetermined conclusion from the arm that got furthest.
+        let undetermined = self
+            .arms
+            .iter()
+            .filter(|arm| arm.error.is_none())
+            .filter(|arm| arm.engine.verdict().is_some())
+            .max_by_key(|arm| arm.engine.rounds());
+        if let Some(arm) = undetermined {
+            let verdict = arm.engine.verdict().expect("filtered above").clone();
+            let outcome = CubaOutcome {
+                verdict,
+                fcr_holds: self.fcr_holds,
+                engine: arm.engine.id(),
+                states: arm.engine.states(),
+                rounds: arm.engine.rounds(),
+                duration: self.start.elapsed(),
+            };
+            self.decide(Ok(outcome));
+            return;
+        }
+        // Interruption beats hard errors: the session was told to
+        // stop, which is an Undetermined answer, not a failure.
+        let interrupted = self.arms.iter().find_map(|arm| match &arm.error {
+            Some(CubaError::Explore(e)) if e.is_interruption() => Some(e.clone()),
+            _ => None,
+        });
+        if let Some(reason) = interrupted {
+            let best = self
+                .arms
+                .iter()
+                .max_by_key(|arm| arm.engine.rounds())
+                .expect("sessions have at least one arm");
+            let outcome = CubaOutcome {
+                verdict: Verdict::Undetermined {
+                    reason: reason.to_string(),
+                },
+                fcr_holds: self.fcr_holds,
+                engine: best.engine.id(),
+                states: best.engine.states(),
+                rounds: best.engine.rounds(),
+                duration: self.start.elapsed(),
+            };
+            self.decide(Ok(outcome));
+            return;
+        }
+        let error = self
+            .arms
+            .iter()
+            .find_map(|arm| arm.error.clone())
+            .unwrap_or(CubaError::Explore(cuba_explore::ExploreError::Cancelled));
+        self.outcome = Some(Err(error));
+        self.decided = true;
+    }
+
+    /// Records the outcome and queues the final event. A *conclusive*
+    /// verdict also fires the shared cancel token, stopping sibling
+    /// arms mid-round — including arms of other single-arm sessions
+    /// racing on the same token ([`Portfolio::run_parallel`]
+    /// (crate::Portfolio::run_parallel)). Undetermined outcomes leave
+    /// the token alone so a retiring refuter cannot kill the race.
+    fn decide(&mut self, outcome: Result<CubaOutcome, CubaError>) {
+        if let Ok(o) = &outcome {
+            self.pending
+                .push_back(SessionEvent::Verdict { outcome: o.clone() });
+            if !matches!(o.verdict, Verdict::Undetermined { .. }) {
+                self.cancel.cancel();
+            }
+        }
+        self.outcome = Some(outcome);
+        self.decided = true;
+    }
+
+    /// Drains the stream, discarding events.
+    ///
+    /// # Errors
+    ///
+    /// The first hard engine error when no arm produced an answer.
+    pub fn run(mut self) -> Result<CubaOutcome, CubaError> {
+        while self.next_event().is_some() {}
+        self.into_outcome()
+    }
+
+    /// Drains the stream through a callback.
+    ///
+    /// # Errors
+    ///
+    /// As for [`run`](Self::run).
+    pub fn run_with(
+        mut self,
+        mut on_event: impl FnMut(&SessionEvent),
+    ) -> Result<CubaOutcome, CubaError> {
+        while let Some(event) = self.next_event() {
+            on_event(&event);
+        }
+        self.into_outcome()
+    }
+}
+
+impl Iterator for AnalysisSession {
+    type Item = SessionEvent;
+
+    fn next(&mut self) -> Option<SessionEvent> {
+        self.next_event()
+    }
+}
+
+impl std::fmt::Debug for AnalysisSession {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AnalysisSession")
+            .field("arms", &self.arms.len())
+            .field("decided", &self.decided)
+            .field("fcr_holds", &self.fcr_holds)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{fig1, fig2};
+    use crate::{ConvergenceMethod, EngineUsed};
+    use cuba_pds::{SharedState, StackSym, VisibleState};
+
+    fn vis(qq: u32, tops: &[Option<u32>]) -> VisibleState {
+        VisibleState::new(
+            SharedState(qq),
+            tops.iter().map(|t| t.map(StackSym)).collect(),
+        )
+    }
+
+    fn explicit_race() -> Vec<EngineKind> {
+        vec![
+            EngineKind::Alg3Explicit,
+            EngineKind::Scheme1Explicit,
+            EngineKind::CbaRefuter,
+        ]
+    }
+
+    /// The streaming acceptance shape: at least one RoundCompleted per
+    /// bound 0..=5 for the winning engine, and a final Verdict event
+    /// agreeing with the outcome.
+    #[test]
+    fn fig1_streams_rounds_and_verdict() {
+        let mut session = AnalysisSession::new(
+            fig1(),
+            Property::True,
+            &explicit_race(),
+            &SessionConfig::new(),
+        )
+        .unwrap();
+        let mut alg3_rounds = Vec::new();
+        let mut last = None;
+        for event in &mut session {
+            if let SessionEvent::RoundCompleted {
+                engine: EngineUsed::Alg3Explicit,
+                k,
+                ..
+            } = &event
+            {
+                alg3_rounds.push(*k);
+            }
+            last = Some(event);
+        }
+        assert_eq!(alg3_rounds, vec![0, 1, 2, 3, 4, 5, 6]);
+        let outcome = session.outcome().unwrap().as_ref().unwrap();
+        assert!(matches!(
+            outcome.verdict,
+            Verdict::Safe {
+                k: 5,
+                method: ConvergenceMethod::GeneratorTest
+            }
+        ));
+        assert_eq!(outcome.engine, EngineUsed::Alg3Explicit);
+        assert!(outcome.fcr_holds);
+        match last {
+            Some(SessionEvent::Verdict { outcome: o }) => {
+                assert_eq!(o.verdict, outcome.verdict);
+            }
+            other => panic!("expected final Verdict event, got {other:?}"),
+        }
+    }
+
+    /// Explicit-only lineups refuse FCR-violating systems.
+    #[test]
+    fn explicit_lineup_requires_fcr() {
+        let err = AnalysisSession::new(
+            fig2(),
+            Property::True,
+            &[EngineKind::Alg3Explicit, EngineKind::Scheme1Explicit],
+            &SessionConfig::new(),
+        )
+        .unwrap_err();
+        assert_eq!(err, CubaError::FcrRequired);
+    }
+
+    /// Inapplicable arms are dropped, applicable ones keep racing.
+    #[test]
+    fn mixed_lineup_drops_explicit_arms_without_fcr() {
+        let lineup = [
+            EngineKind::Alg3Explicit,
+            EngineKind::Alg3Symbolic,
+            EngineKind::Scheme1Symbolic,
+        ];
+        let session =
+            AnalysisSession::new(fig2(), Property::True, &lineup, &SessionConfig::new()).unwrap();
+        let outcome = session.run().unwrap();
+        assert!(outcome.verdict.is_safe());
+        assert!(!outcome.fcr_holds);
+    }
+
+    /// A pre-cancelled token stops the session before any round; the
+    /// outcome is Undetermined, not an error.
+    #[test]
+    fn cancellation_before_first_round() {
+        let cancel = CancelToken::new();
+        cancel.cancel();
+        let config = SessionConfig {
+            cancel: Some(cancel),
+            ..SessionConfig::new()
+        };
+        let session =
+            AnalysisSession::new(fig1(), Property::True, &explicit_race(), &config).unwrap();
+        let outcome = session.run().unwrap();
+        match outcome.verdict {
+            Verdict::Undetermined { reason } => assert!(reason.contains("cancelled")),
+            other => panic!("expected Undetermined, got {other:?}"),
+        }
+    }
+
+    /// An expired deadline interrupts *mid-round*: Fig. 2's first
+    /// explicit context closure diverges, so without the in-loop poll
+    /// this test would spin until the budget, not the deadline.
+    #[test]
+    fn deadline_interrupts_mid_round() {
+        let config = SessionConfig {
+            timeout: Some(Duration::from_millis(30)),
+            // A budget big enough that Fig. 2's diverging closure
+            // would outlive the deadline many times over.
+            budget: ExploreBudget {
+                max_states: 50_000_000,
+                max_states_per_context: 50_000_000,
+                max_stack_depth: 1_000_000,
+                ..ExploreBudget::default()
+            },
+            ..SessionConfig::new()
+        };
+        // Force the *explicit* engine onto the FCR-violating system by
+        // building it directly (the session would drop it).
+        let alg3_config = crate::Alg3Config {
+            budget: config
+                .budget
+                .clone()
+                .with_interrupt(Interrupt::none().with_timeout(Duration::from_millis(30))),
+            skip_fcr_check: true,
+            ..crate::Alg3Config::default()
+        };
+        let start = Instant::now();
+        let mut engine =
+            crate::Alg3Engine::explicit(&fig2(), &Property::True, &alg3_config).unwrap();
+        let mut ctx = RoundCtx::new();
+        // Round 0 is the initial state; round 1 diverges.
+        engine.step(&mut ctx).unwrap();
+        let err = loop {
+            match engine.step(&mut ctx) {
+                Ok(_) => continue,
+                Err(e) => break e,
+            }
+        };
+        assert_eq!(
+            err,
+            CubaError::Explore(cuba_explore::ExploreError::DeadlineExceeded)
+        );
+        assert!(
+            start.elapsed() < Duration::from_secs(5),
+            "deadline was not honored promptly: {:?}",
+            start.elapsed()
+        );
+    }
+
+    /// Session-level deadline: all arms retire with DeadlineExceeded
+    /// and the session reports Undetermined.
+    #[test]
+    fn session_deadline_yields_undetermined() {
+        let config = SessionConfig {
+            timeout: Some(Duration::from_millis(1)),
+            ..SessionConfig::new()
+        };
+        // Fig. 1 rounds are fast, but the deadline has already passed
+        // by the first poll.
+        std::thread::sleep(Duration::from_millis(5));
+        let session =
+            AnalysisSession::new(fig1(), Property::True, &explicit_race(), &config).unwrap();
+        let outcome = session.run().unwrap();
+        match outcome.verdict {
+            Verdict::Undetermined { reason } => assert!(reason.contains("deadline")),
+            other => panic!("expected Undetermined, got {other:?}"),
+        }
+    }
+
+    /// An unsafe problem is refuted through the session with the same
+    /// bound and a replayable witness, whichever arm wins.
+    #[test]
+    fn unsafe_verdict_with_witness_through_session() {
+        let cpds = fig1();
+        let property = Property::never_visible(vis(1, &[Some(2), Some(6)]));
+        let session = AnalysisSession::new(
+            cpds.clone(),
+            property,
+            &explicit_race(),
+            &SessionConfig::new(),
+        )
+        .unwrap();
+        let outcome = session.run().unwrap();
+        match outcome.verdict {
+            Verdict::Unsafe { k, witness } => {
+                assert_eq!(k, 5);
+                let w = witness.expect("witness attached");
+                assert!(w.replay(&cpds));
+            }
+            other => panic!("expected Unsafe at 5, got {other:?}"),
+        }
+    }
+}

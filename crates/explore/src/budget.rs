@@ -1,11 +1,126 @@
-/// Resource limits for explicit exploration.
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A shared, cloneable cancellation flag.
+///
+/// Cloned handles observe the same flag, so a session (or a portfolio
+/// arm that has already concluded) can ask every other engine to stop
+/// *mid-round*: the exploration engines poll the token from their
+/// inner loops and abort with [`ExploreError::Cancelled`].
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// Requests cancellation. Idempotent; wakes nobody — engines
+    /// observe the flag at their next poll point.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Relaxed)
+    }
+
+    /// Whether two handles share the same underlying flag.
+    pub fn same_as(&self, other: &CancelToken) -> bool {
+        Arc::ptr_eq(&self.flag, &other.flag)
+    }
+}
+
+/// Cooperative interruption: an optional [`CancelToken`] plus an
+/// optional wall-clock deadline.
+///
+/// Threaded through [`ExploreBudget`] into the engines so that *long
+/// rounds* abort cooperatively — previously a caller could only give
+/// up between rounds, which is useless exactly when a single context
+/// closure explodes.
+#[derive(Debug, Clone, Default)]
+pub struct Interrupt {
+    /// Any fired token interrupts; multiple sources compose (e.g. a
+    /// session-internal race token plus a caller's ctrl-C token).
+    cancels: Vec<CancelToken>,
+    deadline: Option<Instant>,
+}
+
+impl Interrupt {
+    /// No interruption: engines run to completion or budget.
+    pub fn none() -> Self {
+        Interrupt::default()
+    }
+
+    /// Additionally interrupt when `token` is cancelled.
+    pub fn with_cancel(mut self, token: CancelToken) -> Self {
+        self.cancels.push(token);
+        self
+    }
+
+    /// Interrupt when the wall clock passes `deadline`.
+    pub fn with_deadline(mut self, deadline: Instant) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Interrupt `timeout` from now.
+    pub fn with_timeout(self, timeout: Duration) -> Self {
+        self.with_deadline(Instant::now() + timeout)
+    }
+
+    /// The registered cancellation tokens.
+    pub fn cancel_tokens(&self) -> &[CancelToken] {
+        &self.cancels
+    }
+
+    /// The deadline, if any.
+    pub fn deadline(&self) -> Option<Instant> {
+        self.deadline
+    }
+
+    /// Whether any interruption source is configured.
+    pub fn is_armed(&self) -> bool {
+        !self.cancels.is_empty() || self.deadline.is_some()
+    }
+
+    /// Polls every source.
+    ///
+    /// # Errors
+    ///
+    /// [`ExploreError::Cancelled`] when a token fired,
+    /// [`ExploreError::DeadlineExceeded`] when the wall clock passed
+    /// the deadline.
+    pub fn check(&self) -> Result<(), ExploreError> {
+        if self.cancels.iter().any(CancelToken::is_cancelled) {
+            return Err(ExploreError::Cancelled);
+        }
+        if let Some(deadline) = self.deadline {
+            if Instant::now() >= deadline {
+                return Err(ExploreError::DeadlineExceeded);
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Resource limits for exploration, plus the cooperative
+/// [`Interrupt`].
 ///
 /// A single context of one thread can reach infinitely many states
 /// when finite context reachability (paper §5) fails — e.g. the Fig. 2
 /// program pushes unboundedly without a context switch — so every
 /// explicit search is bounded and exhaustion is reported as
 /// [`ExploreError`] instead of diverging.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+///
+/// Equality compares the numeric limits only; the interrupt handle is
+/// runtime wiring, not configuration.
+#[derive(Debug, Clone)]
 pub struct ExploreBudget {
     /// Maximum number of distinct global states stored overall.
     pub max_states: usize,
@@ -16,21 +131,41 @@ pub struct ExploreBudget {
     /// Maximum number of symbolic states stored overall (symbolic
     /// engine only).
     pub max_symbolic_states: usize,
+    /// Cooperative cancellation/deadline, polled from the engines'
+    /// inner loops so even a diverging round stops promptly.
+    pub interrupt: Interrupt,
 }
+
+impl PartialEq for ExploreBudget {
+    fn eq(&self, other: &Self) -> bool {
+        self.max_states == other.max_states
+            && self.max_stack_depth == other.max_stack_depth
+            && self.max_states_per_context == other.max_states_per_context
+            && self.max_symbolic_states == other.max_symbolic_states
+    }
+}
+
+impl Eq for ExploreBudget {}
 
 impl Default for ExploreBudget {
     /// Generous defaults suitable for the paper's benchmark sizes.
     fn default() -> Self {
+        ExploreBudget::generous()
+    }
+}
+
+impl ExploreBudget {
+    /// Generous defaults suitable for the paper's benchmark sizes.
+    pub fn generous() -> Self {
         ExploreBudget {
             max_states: 2_000_000,
             max_stack_depth: 512,
             max_states_per_context: 1_000_000,
             max_symbolic_states: 200_000,
+            interrupt: Interrupt::none(),
         }
     }
-}
 
-impl ExploreBudget {
     /// A small budget for tests that exercise budget exhaustion.
     pub fn tiny() -> Self {
         ExploreBudget {
@@ -38,7 +173,14 @@ impl ExploreBudget {
             max_stack_depth: 16,
             max_states_per_context: 200,
             max_symbolic_states: 64,
+            interrupt: Interrupt::none(),
         }
+    }
+
+    /// Replaces the interrupt wiring, keeping the numeric limits.
+    pub fn with_interrupt(mut self, interrupt: Interrupt) -> Self {
+        self.interrupt = interrupt;
+        self
     }
 }
 
@@ -71,6 +213,22 @@ pub enum ExploreError {
         /// The configured limit.
         limit: usize,
     },
+    /// A [`CancelToken`] fired: another portfolio arm concluded, or
+    /// the caller gave up.
+    Cancelled,
+    /// The wall-clock deadline passed mid-exploration.
+    DeadlineExceeded,
+}
+
+impl ExploreError {
+    /// Whether the error is a cooperative interruption (cancellation
+    /// or deadline) rather than a genuine resource exhaustion.
+    pub fn is_interruption(&self) -> bool {
+        matches!(
+            self,
+            ExploreError::Cancelled | ExploreError::DeadlineExceeded
+        )
+    }
 }
 
 impl std::fmt::Display for ExploreError {
@@ -90,6 +248,8 @@ impl std::fmt::Display for ExploreError {
             ExploreError::SymbolicBudgetExceeded { limit } => {
                 write!(f, "symbolic state budget of {limit} exceeded")
             }
+            ExploreError::Cancelled => write!(f, "exploration cancelled"),
+            ExploreError::DeadlineExceeded => write!(f, "wall-clock deadline exceeded"),
         }
     }
 }
@@ -129,5 +289,40 @@ mod tests {
         ] {
             assert!(e.to_string().contains('5'));
         }
+        assert!(ExploreError::Cancelled.to_string().contains("cancelled"));
+        assert!(ExploreError::DeadlineExceeded
+            .to_string()
+            .contains("deadline"));
+    }
+
+    #[test]
+    fn equality_ignores_interrupt() {
+        let plain = ExploreBudget::default();
+        let wired = ExploreBudget::default()
+            .with_interrupt(Interrupt::none().with_cancel(CancelToken::new()));
+        assert_eq!(plain, wired);
+    }
+
+    #[test]
+    fn cancel_token_is_shared() {
+        let token = CancelToken::new();
+        let clone = token.clone();
+        assert!(token.same_as(&clone));
+        assert!(!token.is_cancelled());
+        clone.cancel();
+        assert!(token.is_cancelled());
+
+        let interrupt = Interrupt::none().with_cancel(token);
+        assert_eq!(interrupt.check(), Err(ExploreError::Cancelled));
+    }
+
+    #[test]
+    fn deadline_trips_after_expiry() {
+        let interrupt = Interrupt::none().with_deadline(Instant::now() - Duration::from_millis(1));
+        assert_eq!(interrupt.check(), Err(ExploreError::DeadlineExceeded));
+        let future = Interrupt::none().with_timeout(Duration::from_secs(3600));
+        assert_eq!(future.check(), Ok(()));
+        assert!(future.is_armed());
+        assert!(!Interrupt::none().is_armed());
     }
 }

@@ -4,6 +4,12 @@ use cuba_pds::{Cpds, GlobalState, ThreadId, VisibleState};
 
 use crate::{ExploreBudget, ExploreError, Witness, WitnessStep};
 
+/// How often (in explored states) the inner loops poll the
+/// [`Interrupt`](crate::Interrupt): frequent enough that cancellation
+/// is prompt, rare enough that the `Instant::now()` deadline reads
+/// stay invisible in profiles.
+pub(crate) const INTERRUPT_POLL_PERIOD: usize = 64;
+
 /// Summary of one round (one new layer `Rk \ Rk−1`) of exploration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct LayerSummary {
@@ -144,6 +150,7 @@ impl ExplicitEngine {
     /// on the paper's benchmarks signals an FCR violation — switch to
     /// the symbolic engine in that case (§6 overall procedure).
     pub fn advance(&mut self) -> Result<LayerSummary, ExploreError> {
+        self.budget.interrupt.check()?;
         let k = self.layers.len();
         if self.collapsed {
             self.layers.push(Vec::new());
@@ -212,6 +219,11 @@ impl ExplicitEngine {
                     limit: self.budget.max_states_per_context,
                     thread,
                 });
+            }
+            // Poll inside the closure so a diverging context (FCR
+            // violation) still honors cancellation and deadlines.
+            if explored.is_multiple_of(INTERRUPT_POLL_PERIOD) {
+                self.budget.interrupt.check()?;
             }
             let current = self.states[id as usize].clone();
             let mut discovered: Vec<GlobalState> = Vec::new();

@@ -52,8 +52,8 @@ mod search;
 mod symbolic;
 mod witness;
 
-pub use budget::{ExploreBudget, ExploreError};
-pub use search::bounded_witness_search;
+pub use budget::{CancelToken, ExploreBudget, ExploreError, Interrupt};
 pub use explicit::{ExplicitEngine, LayerSummary};
+pub use search::bounded_witness_search;
 pub use symbolic::{SubsumptionMode, SymbolicEngine, SymbolicState};
 pub use witness::{Witness, WitnessStep};

@@ -75,6 +75,13 @@ fn probe(
         if arena.len() > budget.max_states {
             return None;
         }
+        // Interruption makes the reconstruction give up; the
+        // refutation it decorates remains valid without a path.
+        if node_idx.is_multiple_of(crate::explicit::INTERRUPT_POLL_PERIOD)
+            && budget.interrupt.check().is_err()
+        {
+            return None;
+        }
         let (state, contexts, steps_left, active) = {
             let n = &arena[node_idx];
             (n.state.clone(), n.contexts, n.steps_left, n.thread)
@@ -184,15 +191,9 @@ mod tests {
     #[test]
     fn finds_deep_target_within_bound() {
         let cpds = fig1();
-        let target =
-            cuba_pds::VisibleState::new(q(1), vec![Some(s(2)), Some(s(6))]);
-        let w = bounded_witness_search(
-            &cpds,
-            &|v| v == &target,
-            5,
-            &ExploreBudget::default(),
-        )
-        .expect("reachable within 5 contexts");
+        let target = cuba_pds::VisibleState::new(q(1), vec![Some(s(2)), Some(s(6))]);
+        let w = bounded_witness_search(&cpds, &|v| v == &target, 5, &ExploreBudget::default())
+            .expect("reachable within 5 contexts");
         assert!(w.replay(&cpds));
         assert!(w.num_contexts() <= 5);
         assert_eq!(w.end().visible(), target);
@@ -201,29 +202,21 @@ mod tests {
     #[test]
     fn respects_context_bound() {
         let cpds = fig1();
-        let target =
-            cuba_pds::VisibleState::new(q(1), vec![Some(s(2)), Some(s(6))]);
+        let target = cuba_pds::VisibleState::new(q(1), vec![Some(s(2)), Some(s(6))]);
         // The target needs 5 contexts; with 4 it must not be found.
-        assert!(bounded_witness_search(
-            &cpds,
-            &|v| v == &target,
-            4,
-            &ExploreBudget::default()
-        )
-        .is_none());
+        assert!(
+            bounded_witness_search(&cpds, &|v| v == &target, 4, &ExploreBudget::default())
+                .is_none()
+        );
     }
 
     #[test]
     fn initial_violation_yields_empty_witness() {
         let cpds = fig1();
         let init_visible = cpds.initial_state().visible();
-        let w = bounded_witness_search(
-            &cpds,
-            &|v| v == &init_visible,
-            0,
-            &ExploreBudget::default(),
-        )
-        .unwrap();
+        let w =
+            bounded_witness_search(&cpds, &|v| v == &init_visible, 0, &ExploreBudget::default())
+                .unwrap();
         assert!(w.is_empty());
     }
 
@@ -238,13 +231,8 @@ mod tests {
             .thread(p.build().unwrap(), [s(0)])
             .build()
             .unwrap();
-        let w = bounded_witness_search(
-            &cpds,
-            &|v| v.q == q(1),
-            1,
-            &ExploreBudget::default(),
-        )
-        .expect("one overwrite reaches q1");
+        let w = bounded_witness_search(&cpds, &|v| v.q == q(1), 1, &ExploreBudget::default())
+            .expect("one overwrite reaches q1");
         assert!(w.replay(&cpds));
         assert_eq!(w.len(), 1);
     }

@@ -260,6 +260,7 @@ impl SymbolicEngine {
     /// symbolic state budget is exhausted — the analogue of the
     /// paper's out-of-memory outcome on Stefan-1 with 8 threads.
     pub fn advance(&mut self) -> Result<SymbolicLayerSummary, ExploreError> {
+        self.budget.interrupt.check()?;
         let k = self.layers.len();
         if self.collapsed {
             self.layers.push(Vec::new());
@@ -276,6 +277,9 @@ impl SymbolicEngine {
 
         for &tau_id in &frontier {
             for thread in 0..self.cpds.num_threads() {
+                // One `post*` saturation per (state, thread) pair is
+                // the finest interruption granularity available here.
+                self.budget.interrupt.check()?;
                 let successors = self.context_post(tau_id, thread);
                 for tau2 in successors {
                     self.register(tau2, &mut new_layer, &mut new_visible)?;

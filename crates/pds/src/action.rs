@@ -6,9 +6,7 @@ use crate::{SharedState, StackSym};
 /// becomes the new top of the stack and `ρ1` overwrites the old top
 /// (modelling a procedure call where the *callee* frame `ρ0` is pushed
 /// and the caller's program counter advances to `ρ1`).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Rhs {
     /// `w' = ε`: pop the top symbol (procedure return).
     Empty,
@@ -60,9 +58,7 @@ pub enum ActionKind {
 ///
 /// Construct actions through [`PdsBuilder`](crate::PdsBuilder), which
 /// validates ranges, or directly when ids are known to be in range.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Action {
     /// Source shared state `q`.
     pub q: SharedState,

@@ -41,6 +41,7 @@ mod action;
 mod cpds;
 mod error;
 mod pds;
+pub mod rng;
 mod stack;
 mod state;
 
@@ -56,21 +57,15 @@ pub use state::{GlobalState, PdsConfig, ThreadVisible, VisibleState};
 /// Shared states are dense integers `0..num_shared` of the owning
 /// [`Pds`]/[`Cpds`]; human-readable names, when present, live in the
 /// system's name tables rather than in the id.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct SharedState(pub u32);
 
 /// Identifier of a stack symbol, an element of some thread's alphabet `Σi`.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct StackSym(pub u32);
 
 /// Index of a thread within a [`Cpds`] (0-based).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ThreadId(pub usize);
 
 impl std::fmt::Display for SharedState {

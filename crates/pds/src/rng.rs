@@ -1,0 +1,102 @@
+//! A tiny deterministic pseudo-random number generator.
+//!
+//! The workspace builds without network access, so external PRNG
+//! crates are unavailable; this SplitMix64 generator covers the two
+//! in-tree uses — seeded random model generation
+//! (`cuba_benchmarks::random`) and property-style tests — with stable
+//! cross-platform output. SplitMix64 passes BigCrush and is the
+//! recommended seeder for the xoshiro family; its statistical quality
+//! is far beyond what model fuzzing needs.
+
+/// A seeded SplitMix64 generator.
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a seed. The same seed always yields
+    /// the same sequence.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// The next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// A uniformly distributed `u32` in `[0, bound)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    pub fn gen_u32(&mut self, bound: u32) -> u32 {
+        assert!(bound > 0, "gen_u32 bound must be positive");
+        // Lemire-style rejection-free reduction is overkill here; the
+        // modulo bias for bounds ≪ 2^64 is negligible for test data.
+        (self.next_u64() % u64::from(bound)) as u32
+    }
+
+    /// A uniformly distributed `usize` in `[0, bound)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    pub fn gen_usize(&mut self, bound: usize) -> usize {
+        assert!(bound > 0, "gen_usize bound must be positive");
+        (self.next_u64() % bound as u64) as usize
+    }
+
+    /// A uniform `f64` in `[0, 1)`.
+    pub fn gen_f64(&mut self) -> f64 {
+        // 53 mantissa bits of the raw output.
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// A fair coin flip.
+    pub fn gen_bool(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        let mut a = SplitMix64::new(7);
+        let mut b = SplitMix64::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn bounds_respected() {
+        let mut rng = SplitMix64::new(1);
+        for _ in 0..1000 {
+            assert!(rng.gen_u32(7) < 7);
+            assert!(rng.gen_usize(3) < 3);
+            let f = rng.gen_f64();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn spread_is_reasonable() {
+        let mut rng = SplitMix64::new(42);
+        let mut counts = [0usize; 4];
+        for _ in 0..4000 {
+            counts[rng.gen_usize(4)] += 1;
+        }
+        for c in counts {
+            assert!((800..1200).contains(&c), "skewed counts: {counts:?}");
+        }
+    }
+}

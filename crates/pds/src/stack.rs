@@ -6,18 +6,7 @@ use crate::StackSym;
 /// internally the top is stored at the *end* of the vector so that push
 /// and pop are O(1). All display output and the
 /// [`iter_top_down`](Stack::iter_top_down) iterator use paper order.
-#[derive(
-    Debug,
-    Clone,
-    Default,
-    PartialEq,
-    Eq,
-    PartialOrd,
-    Ord,
-    Hash,
-    serde::Serialize,
-    serde::Deserialize,
-)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Stack {
     /// Bottom-first storage; `syms.last()` is the top of the stack.
     syms: Vec<StackSym>,

@@ -1,9 +1,7 @@
 use crate::{SharedState, Stack, StackSym};
 
 /// A state `⟨q|w⟩` of a sequential [`Pds`](crate::Pds).
-#[derive(
-    Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
-)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct PdsConfig {
     /// The shared state `q`.
     pub q: SharedState,
@@ -34,9 +32,7 @@ impl std::fmt::Display for PdsConfig {
 
 /// A thread-visible state `(q, T(w))`: the shared state plus the top
 /// symbol of one thread's stack (paper §2.2).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ThreadVisible {
     /// The shared state.
     pub q: SharedState,
@@ -54,9 +50,7 @@ impl std::fmt::Display for ThreadVisible {
 }
 
 /// A global state `⟨q|w1,…,wn⟩` of a [`Cpds`](crate::Cpds).
-#[derive(
-    Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
-)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct GlobalState {
     /// The shared state `q`.
     pub q: SharedState,
@@ -124,9 +118,7 @@ impl std::fmt::Display for GlobalState {
 /// thread's top-of-stack (or `ε`). The domain of visible states is
 /// finite, which makes the observation sequence `(T(Rk))` convergent
 /// (paper §4.1).
-#[derive(
-    Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
-)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct VisibleState {
     /// The shared state.
     pub q: SharedState,

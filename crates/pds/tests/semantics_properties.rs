@@ -1,96 +1,110 @@
-//! Property tests of the PDS/CPDS step semantics (§2.1–2.2).
+//! Property tests of the PDS/CPDS step semantics (§2.1–2.2), driven
+//! by the in-tree deterministic generator (`cuba_pds::rng`) instead of
+//! an external property-testing framework: each test fixes a seed
+//! range and checks the invariant on every generated instance.
 
+use cuba_pds::rng::SplitMix64;
 use cuba_pds::{
-    Action, Cpds, CpdsBuilder, GlobalState, PdsBuilder, PdsConfig, Rhs, SharedState, Stack,
-    StackSym,
+    Action, ActionKind, Cpds, CpdsBuilder, GlobalState, PdsBuilder, PdsConfig, Rhs, SharedState,
+    Stack, StackSym,
 };
-use proptest::prelude::*;
 
-fn arb_stack() -> impl Strategy<Value = Stack> {
-    proptest::collection::vec(0u32..4, 0..6)
-        .prop_map(|syms| Stack::from_top_down(syms.into_iter().map(StackSym)))
+fn gen_stack(rng: &mut SplitMix64) -> Stack {
+    let len = rng.gen_usize(6);
+    Stack::from_top_down((0..len).map(|_| StackSym(rng.gen_u32(4))))
 }
 
-fn arb_action() -> impl Strategy<Value = Action> {
-    (
-        0u32..3,
-        proptest::option::of(0u32..4),
-        0u32..3,
-        0u32..4,
-        0u32..4,
-        0u32..4,
-    )
-        .prop_map(|(q, top, q2, kind, s1, s2)| {
-            let q = SharedState(q);
-            let q2 = SharedState(q2);
-            match (top, kind % 3) {
-                (Some(t), 0) => Action::pop(q, StackSym(t), q2),
-                (Some(t), 1) => Action::overwrite(q, StackSym(t), q2, StackSym(s1)),
-                (Some(t), _) => Action::push(q, StackSym(t), q2, StackSym(s1), StackSym(s2)),
-                (None, 0) => Action::from_empty(q, q2, None),
-                (None, _) => Action::from_empty(q, q2, Some(StackSym(s1))),
-            }
-        })
+fn gen_action(rng: &mut SplitMix64) -> Action {
+    let q = SharedState(rng.gen_u32(3));
+    let q2 = SharedState(rng.gen_u32(3));
+    let top = if rng.gen_usize(5) == 0 {
+        None
+    } else {
+        Some(StackSym(rng.gen_u32(4)))
+    };
+    let kind = rng.gen_u32(4) % 3;
+    let s1 = StackSym(rng.gen_u32(4));
+    let s2 = StackSym(rng.gen_u32(4));
+    match (top, kind) {
+        (Some(t), 0) => Action::pop(q, t, q2),
+        (Some(t), 1) => Action::overwrite(q, t, q2, s1),
+        (Some(t), _) => Action::push(q, t, q2, s1, s2),
+        (None, 0) => Action::from_empty(q, q2, None),
+        (None, _) => Action::from_empty(q, q2, Some(s1)),
+    }
 }
 
-fn arb_pds() -> impl Strategy<Value = cuba_pds::Pds> {
-    proptest::collection::vec(arb_action(), 1..10).prop_map(|actions| {
-        let mut b = PdsBuilder::new(3, 4);
-        for a in actions {
-            b.action(a).expect("generated in range");
-        }
-        b.build().expect("in range")
-    })
+fn gen_pds(rng: &mut SplitMix64) -> cuba_pds::Pds {
+    let n = 1 + rng.gen_usize(9);
+    let mut b = PdsBuilder::new(3, 4);
+    for _ in 0..n {
+        b.action(gen_action(rng)).expect("generated in range");
+    }
+    b.build().expect("in range")
 }
 
-proptest! {
-    /// Stack effects: a step changes the stack size by at most one,
-    /// and only according to its action kind.
-    #[test]
-    fn step_changes_stack_by_at_most_one(pds in arb_pds(), q in 0u32..3, stack in arb_stack()) {
-        let config = PdsConfig::new(SharedState(q), stack);
+const CASES: u64 = 128;
+
+/// Stack effects: a step changes the stack size by at most one, and
+/// only according to its action kind.
+#[test]
+fn step_changes_stack_by_at_most_one() {
+    for seed in 0..CASES {
+        let mut rng = SplitMix64::new(seed);
+        let pds = gen_pds(&mut rng);
+        let config = PdsConfig::new(SharedState(rng.gen_u32(3)), gen_stack(&mut rng));
         let before = config.stack.len();
         for succ in pds.successors(&config) {
             let after = succ.stack.len();
-            prop_assert!(
+            assert!(
                 (before as isize - after as isize).abs() <= 1,
-                "stack jumped from {} to {}", before, after
+                "seed {seed}: stack jumped from {before} to {after}"
             );
         }
     }
+}
 
-    /// Enabledness: a successor exists only if some action matches the
-    /// current (shared state, top) pair exactly.
-    #[test]
-    fn successors_match_enabled_actions(pds in arb_pds(), q in 0u32..3, stack in arb_stack()) {
-        let config = PdsConfig::new(SharedState(q), stack);
+/// Enabledness: a successor exists only if some action matches the
+/// current (shared state, top) pair exactly.
+#[test]
+fn successors_match_enabled_actions() {
+    for seed in 0..CASES {
+        let mut rng = SplitMix64::new(seed);
+        let pds = gen_pds(&mut rng);
+        let config = PdsConfig::new(SharedState(rng.gen_u32(3)), gen_stack(&mut rng));
         let n_enabled = pds.actions_from(config.q, config.stack.top()).len();
-        prop_assert_eq!(pds.successors(&config).len(), n_enabled);
+        assert_eq!(pds.successors(&config).len(), n_enabled, "seed {seed}");
     }
+}
 
-    /// Below-top stack content is never touched by a step.
-    #[test]
-    fn step_preserves_stack_below_top(pds in arb_pds(), q in 0u32..3, stack in arb_stack()) {
-        let config = PdsConfig::new(SharedState(q), stack);
+/// Below-top stack content is never touched by a step.
+#[test]
+fn step_preserves_stack_below_top() {
+    for seed in 0..CASES {
+        let mut rng = SplitMix64::new(seed);
+        let pds = gen_pds(&mut rng);
+        let config = PdsConfig::new(SharedState(rng.gen_u32(3)), gen_stack(&mut rng));
         let tail: Vec<StackSym> = config.stack.iter_top_down().skip(1).collect();
         for succ in pds.successors(&config) {
             let succ_all: Vec<StackSym> = succ.stack.iter_top_down().collect();
-            prop_assert!(
+            assert!(
                 succ_all.ends_with(&tail),
-                "below-top content changed: {:?} vs tail {:?}", succ_all, tail
+                "seed {seed}: below-top content changed: {succ_all:?} vs tail {tail:?}"
             );
         }
     }
+}
 
-    /// CPDS asynchrony: a thread-i step leaves all other stacks
-    /// untouched and matches the thread's own PDS step.
-    #[test]
-    fn cpds_steps_are_asynchronous(
-        pds in arb_pds(),
-        q in 0u32..3,
-        s1 in arb_stack(),
-        s2 in arb_stack(),
-    ) {
+/// CPDS asynchrony: a thread-i step leaves all other stacks untouched
+/// and matches the thread's own PDS step.
+#[test]
+fn cpds_steps_are_asynchronous() {
+    for seed in 0..CASES {
+        let mut rng = SplitMix64::new(seed);
+        let pds = gen_pds(&mut rng);
+        let q = rng.gen_u32(3);
+        let s1 = gen_stack(&mut rng);
+        let s2 = gen_stack(&mut rng);
         let cpds: Cpds = CpdsBuilder::new(3, SharedState(0))
             .thread(pds.clone(), [])
             .thread(pds.clone(), [])
@@ -99,25 +113,27 @@ proptest! {
         let state = GlobalState::new(SharedState(q), vec![s1.clone(), s2.clone()]);
         for i in 0..2usize {
             for succ in cpds.successors_of_thread(&state, i) {
-                prop_assert_eq!(&succ.stacks[1 - i], &state.stacks[1 - i]);
+                assert_eq!(&succ.stacks[1 - i], &state.stacks[1 - i], "seed {seed}");
                 // The moved component is a legal sequential step.
                 let thread_cfg = PdsConfig::new(state.q, state.stacks[i].clone());
                 let expected: Vec<PdsConfig> = pds.successors(&thread_cfg);
                 let got = PdsConfig::new(succ.q, succ.stacks[i].clone());
-                prop_assert!(expected.contains(&got));
+                assert!(expected.contains(&got), "seed {seed}");
             }
         }
     }
+}
 
-    /// The visible projection commutes with steps on the untouched
-    /// threads: `T` of an unmoved stack is stable.
-    #[test]
-    fn visible_projection_of_unmoved_threads_is_stable(
-        pds in arb_pds(),
-        q in 0u32..3,
-        s1 in arb_stack(),
-        s2 in arb_stack(),
-    ) {
+/// The visible projection commutes with steps on the untouched
+/// threads: `T` of an unmoved stack is stable.
+#[test]
+fn visible_projection_of_unmoved_threads_is_stable() {
+    for seed in 0..CASES {
+        let mut rng = SplitMix64::new(seed);
+        let pds = gen_pds(&mut rng);
+        let q = rng.gen_u32(3);
+        let s1 = gen_stack(&mut rng);
+        let s2 = gen_stack(&mut rng);
         let cpds = CpdsBuilder::new(3, SharedState(0))
             .thread(pds.clone(), [])
             .thread(pds, [])
@@ -127,22 +143,23 @@ proptest! {
         let before = state.visible();
         for succ in cpds.successors_of_thread(&state, 0) {
             let after = succ.visible();
-            prop_assert_eq!(after.tops[1], before.tops[1]);
+            assert_eq!(after.tops[1], before.tops[1], "seed {seed}");
         }
     }
+}
 
-    /// Rhs arity is consistent with the action constructors.
-    #[test]
-    fn action_rhs_arity(a in arb_action()) {
+/// Rhs arity is consistent with the action constructors.
+#[test]
+fn action_rhs_arity() {
+    for seed in 0..CASES * 4 {
+        let mut rng = SplitMix64::new(seed);
+        let a = gen_action(&mut rng);
         match a.kind() {
-            cuba_pds::ActionKind::Pop | cuba_pds::ActionKind::EmptyOverwrite =>
-                prop_assert_eq!(a.rhs.len(), 0),
-            cuba_pds::ActionKind::Overwrite | cuba_pds::ActionKind::EmptyPush =>
-                prop_assert_eq!(a.rhs.len(), 1),
-            cuba_pds::ActionKind::Push => {
-                prop_assert_eq!(a.rhs.len(), 2);
-                let is_two = matches!(a.rhs, Rhs::Two { .. });
-                prop_assert!(is_two);
+            ActionKind::Pop | ActionKind::EmptyOverwrite => assert_eq!(a.rhs.len(), 0),
+            ActionKind::Overwrite | ActionKind::EmptyPush => assert_eq!(a.rhs.len(), 1),
+            ActionKind::Push => {
+                assert_eq!(a.rhs.len(), 2);
+                assert!(matches!(a.rhs, Rhs::Two { .. }));
             }
         }
     }

@@ -14,22 +14,29 @@
 //! # Quickstart
 //!
 //! Verify the paper's Fig. 1 example for an unbounded number of thread
-//! contexts:
+//! contexts through the §6 engine portfolio (explicit arms ∥ CBA
+//! refuter under FCR, symbolic arms otherwise):
 //!
 //! ```
 //! use cuba::benchmarks::fig1;
-//! use cuba::core::{Cuba, CubaConfig, Property, Verdict};
+//! use cuba::core::{Portfolio, Property, Verdict};
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
 //! let cpds = fig1::build();
 //! // "error" state 3 paired with thread 1 back at its initial symbol
 //! // is unreachable; pick any property expressible over visible states.
 //! let property = Property::never_visible(fig1::unreachable_visible());
-//! let outcome = Cuba::new(cpds, property).run(&CubaConfig::default())?;
+//! let outcome = Portfolio::auto().run(cpds, property)?;
 //! assert!(matches!(outcome.verdict, Verdict::Safe { .. }));
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! For round-by-round streaming, cancellation, deadlines and batch
+//! verification, open an [`AnalysisSession`](core::AnalysisSession)
+//! via [`Portfolio::session`](core::Portfolio::session) or use
+//! [`Portfolio::run_suite`](core::Portfolio::run_suite); the classic
+//! blocking driver remains as [`Cuba`](core::Cuba).
 
 pub use cuba_automata as automata;
 pub use cuba_benchmarks as benchmarks;

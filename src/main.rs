@@ -4,9 +4,14 @@
 //! ```text
 //! cuba verify <file> [options]
 //!     <file>           .bp (Boolean program) or .cpds (text format)
-//!     --engine auto|explicit|symbolic    (default: auto = the paper's §6 procedure)
+//!     --engine auto|explicit|symbolic    (default: auto = the paper's §6 portfolio:
+//!                                         explicit arms ∥ CBA refuter under FCR,
+//!                                         symbolic arms otherwise)
 //!     --max-k <n>      round limit (default 64)
-//!     --parallel       race the explicit algorithms on real threads
+//!     --parallel       race the engine arms on real OS threads
+//!     --timeout <s>    wall-clock limit in seconds (verdict: undetermined)
+//!     --trace          stream per-round events to stderr
+//!     --json           emit one machine-readable JSON object on stdout
 //!     --never-shared <q>   property: shared state q unreachable
 //!                          (default for .bp: no assertion fails;
 //!                           default for .cpds: compute reachability to convergence)
@@ -15,11 +20,16 @@
 //! ```
 
 use std::process::ExitCode;
+use std::time::Duration;
 
 use cuba::benchmarks::textfmt;
 use cuba::boolprog;
-use cuba::core::{check_fcr, Cuba, CubaConfig, DriverMode, Property, Verdict};
+use cuba::core::{
+    check_fcr, CubaOutcome, EngineKind, Lineup, Portfolio, Property, SessionConfig, SessionEvent,
+    Verdict,
+};
 use cuba::pds::{Cpds, SharedState};
+use cuba_bench::json_escape as json_string;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -34,106 +44,298 @@ fn main() -> ExitCode {
 
 fn usage() -> String {
     "usage: cuba <verify|fcr|info> <file.bp|file.cpds> [--engine auto|explicit|symbolic] \
-     [--max-k N] [--parallel] [--never-shared Q]"
+     [--max-k N] [--parallel] [--timeout SECS] [--trace] [--json] [--never-shared Q]"
         .to_owned()
+}
+
+/// Options of `cuba verify`.
+struct VerifyOptions {
+    lineup: Lineup,
+    max_k: usize,
+    parallel: bool,
+    timeout: Option<Duration>,
+    trace: bool,
+    json: bool,
+    never_shared: Option<SharedState>,
+}
+
+impl Default for VerifyOptions {
+    fn default() -> Self {
+        VerifyOptions {
+            lineup: Lineup::Auto,
+            max_k: 64,
+            parallel: false,
+            timeout: None,
+            trace: false,
+            json: false,
+            never_shared: None,
+        }
+    }
 }
 
 fn run(args: &[String]) -> Result<ExitCode, String> {
     let Some(command) = args.first() else {
         return Err(usage());
     };
-    let Some(path) = args.get(1) else {
-        return Err(usage());
-    };
-    let (cpds, default_property) = load(path)?;
-
+    // Validate the subcommand (and its options) *before* touching the
+    // model file: `cuba bogus file.bp` must not parse the file first,
+    // and `cuba info file --bogus` must not silently ignore options.
     match command.as_str() {
-        "info" => {
-            println!("file: {path}");
-            println!("threads: {}", cpds.num_threads());
-            println!("shared states: {}", cpds.num_shared());
-            for (i, t) in cpds.threads().iter().enumerate() {
-                println!(
-                    "thread {}: {} actions, {} stack symbols, initial stack {}",
-                    i,
-                    t.actions().len(),
-                    t.used_symbols().len(),
-                    cpds.initial_stack(i)
-                );
-            }
-            println!("initial state: {}", cpds.initial_state());
-            Ok(ExitCode::SUCCESS)
-        }
-        "fcr" => {
-            let report = check_fcr(&cpds);
-            println!("{report}");
-            for (i, v) in report.per_thread.iter().enumerate() {
-                println!("  thread {i}: R(Q x Sigma<=1) is {v}");
+        "info" | "fcr" => {
+            let path = sole_path(args)?;
+            let (cpds, _) = load(path)?;
+            if command == "info" {
+                print_info(path, &cpds);
+            } else {
+                print_fcr(&cpds);
             }
             Ok(ExitCode::SUCCESS)
         }
         "verify" => {
-            let mut config = CubaConfig::default();
-            let mut property = default_property;
-            let mut i = 2;
-            while i < args.len() {
-                match args[i].as_str() {
-                    "--engine" => {
-                        i += 1;
-                        config.mode = match args.get(i).map(|s| s.as_str()) {
-                            Some("auto") => DriverMode::Auto,
-                            Some("explicit") => DriverMode::ExplicitOnly,
-                            Some("symbolic") => DriverMode::SymbolicOnly,
-                            other => return Err(format!("bad --engine {other:?}")),
-                        };
-                    }
-                    "--max-k" => {
-                        i += 1;
-                        config.max_k = args
-                            .get(i)
-                            .and_then(|s| s.parse().ok())
-                            .ok_or("bad --max-k value")?;
-                    }
-                    "--parallel" => config.parallel = true,
-                    "--never-shared" => {
-                        i += 1;
-                        let q: u32 = args
-                            .get(i)
-                            .and_then(|s| s.parse().ok())
-                            .ok_or("bad --never-shared value")?;
-                        property = Property::never_shared(SharedState(q));
-                    }
-                    other => return Err(format!("unknown option '{other}'")),
-                }
-                i += 1;
-            }
-            let outcome = Cuba::new(cpds, property)
-                .run(&config)
-                .map_err(|e| e.to_string())?;
-            println!("{}", outcome.verdict);
-            println!(
-                "engine: {}, rounds: {}, states: {}, fcr: {}, time: {:?}",
-                outcome.engine, outcome.rounds, outcome.states, outcome.fcr_holds, outcome.duration
-            );
-            if let Verdict::Unsafe {
-                witness: Some(w), ..
-            } = &outcome.verdict
-            {
-                println!(
-                    "counterexample ({} steps, {} contexts):",
-                    w.len(),
-                    w.num_contexts()
-                );
-                println!("  {w}");
-            }
-            Ok(match outcome.verdict {
-                Verdict::Safe { .. } => ExitCode::SUCCESS,
-                Verdict::Unsafe { .. } => ExitCode::from(1),
-                Verdict::Undetermined { .. } => ExitCode::from(3),
-            })
+            let Some(path) = args.get(1) else {
+                return Err(usage());
+            };
+            let options = parse_verify_options(&args[2..])?;
+            let (cpds, default_property) = load(path)?;
+            let property = match options.never_shared {
+                Some(q) => Property::never_shared(q),
+                None => default_property,
+            };
+            verify(cpds, property, &options)
         }
         other => Err(format!("unknown command '{other}'\n{}", usage())),
     }
+}
+
+/// `info`/`fcr` take exactly one argument: the model file.
+fn sole_path(args: &[String]) -> Result<&str, String> {
+    let Some(path) = args.get(1) else {
+        return Err(usage());
+    };
+    if let Some(extra) = args.get(2) {
+        return Err(format!(
+            "'{}' takes no options, found '{extra}'\n{}",
+            args[0],
+            usage()
+        ));
+    }
+    Ok(path)
+}
+
+fn parse_verify_options(args: &[String]) -> Result<VerifyOptions, String> {
+    let mut options = VerifyOptions::default();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--engine" => {
+                i += 1;
+                options.lineup = match args.get(i).map(|s| s.as_str()) {
+                    Some("auto") => Lineup::Auto,
+                    Some("explicit") => {
+                        Lineup::Fixed(vec![EngineKind::Alg3Explicit, EngineKind::Scheme1Explicit])
+                    }
+                    Some("symbolic") => {
+                        Lineup::Fixed(vec![EngineKind::Alg3Symbolic, EngineKind::Scheme1Symbolic])
+                    }
+                    other => return Err(format!("bad --engine {other:?}")),
+                };
+            }
+            "--max-k" => {
+                i += 1;
+                options.max_k = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .ok_or("bad --max-k value")?;
+            }
+            "--timeout" => {
+                i += 1;
+                options.timeout = args
+                    .get(i)
+                    .and_then(|s| s.parse::<f64>().ok())
+                    .and_then(|s| Duration::try_from_secs_f64(s).ok())
+                    .map(Some)
+                    .ok_or("bad --timeout value (seconds)")?;
+            }
+            "--parallel" => options.parallel = true,
+            "--trace" => options.trace = true,
+            "--json" => options.json = true,
+            "--never-shared" => {
+                i += 1;
+                let q: u32 = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .ok_or("bad --never-shared value")?;
+                options.never_shared = Some(SharedState(q));
+            }
+            other => return Err(format!("unknown option '{other}'")),
+        }
+        i += 1;
+    }
+    Ok(options)
+}
+
+fn verify(cpds: Cpds, property: Property, options: &VerifyOptions) -> Result<ExitCode, String> {
+    let portfolio = match &options.lineup {
+        Lineup::Auto => Portfolio::auto(),
+        Lineup::Fixed(kinds) => Portfolio::fixed(kinds.clone()),
+    }
+    .with_config(SessionConfig {
+        max_k: options.max_k,
+        timeout: options.timeout,
+        ..SessionConfig::new()
+    });
+
+    // Stream events: --trace prints them; --json collects the
+    // per-round growth log either way.
+    let mut round_log: Vec<(String, usize, usize, &'static str)> = Vec::new();
+    let trace = options.trace;
+    let mut on_event = |event: &SessionEvent| {
+        if trace {
+            eprintln!("[trace] {event}");
+        }
+        if let SessionEvent::RoundCompleted {
+            engine,
+            k,
+            states,
+            event,
+        } = event
+        {
+            let tag = match event {
+                cuba::core::SequenceEvent::Grew => "grew",
+                cuba::core::SequenceEvent::NewPlateau => "new-plateau",
+                cuba::core::SequenceEvent::OngoingPlateau => "plateau",
+            };
+            round_log.push((engine.to_string(), *k, *states, tag));
+        }
+    };
+
+    let result = if options.parallel {
+        portfolio.run_parallel(cpds, property, Some(&mut on_event))
+    } else {
+        portfolio.run_with(cpds, property, &mut on_event)
+    };
+    let outcome = result.map_err(|e| e.to_string())?;
+
+    if options.json {
+        println!("{}", outcome_json(&outcome, &round_log));
+    } else {
+        print_outcome(&outcome);
+    }
+    Ok(match outcome.verdict {
+        Verdict::Safe { .. } => ExitCode::SUCCESS,
+        Verdict::Unsafe { .. } => ExitCode::from(1),
+        Verdict::Undetermined { .. } => ExitCode::from(3),
+    })
+}
+
+fn print_outcome(outcome: &CubaOutcome) {
+    println!("{}", outcome.verdict);
+    println!(
+        "engine: {}, rounds: {}, states: {}, fcr: {}, time: {:?}",
+        outcome.engine, outcome.rounds, outcome.states, outcome.fcr_holds, outcome.duration
+    );
+    if let Verdict::Unsafe {
+        witness: Some(w), ..
+    } = &outcome.verdict
+    {
+        println!(
+            "counterexample ({} steps, {} contexts):",
+            w.len(),
+            w.num_contexts()
+        );
+        println!("  {w}");
+    }
+}
+
+fn print_info(path: &str, cpds: &Cpds) {
+    println!("file: {path}");
+    println!("threads: {}", cpds.num_threads());
+    println!("shared states: {}", cpds.num_shared());
+    for (i, t) in cpds.threads().iter().enumerate() {
+        println!(
+            "thread {}: {} actions, {} stack symbols, initial stack {}",
+            i,
+            t.actions().len(),
+            t.used_symbols().len(),
+            cpds.initial_stack(i)
+        );
+    }
+    println!("initial state: {}", cpds.initial_state());
+}
+
+fn print_fcr(cpds: &Cpds) {
+    let report = check_fcr(cpds);
+    println!("{report}");
+    for (i, v) in report.per_thread.iter().enumerate() {
+        println!("  thread {i}: R(Q x Sigma<=1) is {v}");
+    }
+}
+
+/// Renders the verify outcome as one JSON object, so benchmark
+/// drivers stop scraping the human-readable stdout.
+fn outcome_json(
+    outcome: &CubaOutcome,
+    round_log: &[(String, usize, usize, &'static str)],
+) -> String {
+    let mut out = String::from("{");
+    let (verdict, k) = match &outcome.verdict {
+        Verdict::Safe { k, .. } => ("safe", Some(*k)),
+        Verdict::Unsafe { k, .. } => ("unsafe", Some(*k)),
+        Verdict::Undetermined { .. } => ("undetermined", None),
+    };
+    push_field(&mut out, "verdict", &json_string(verdict));
+    match k {
+        Some(k) => push_field(&mut out, "k", &k.to_string()),
+        None => push_field(&mut out, "k", "null"),
+    }
+    if let Verdict::Safe { method, .. } = &outcome.verdict {
+        push_field(&mut out, "method", &json_string(&method.to_string()));
+    }
+    if let Verdict::Undetermined { reason } = &outcome.verdict {
+        push_field(&mut out, "reason", &json_string(reason));
+    }
+    push_field(
+        &mut out,
+        "engine",
+        &json_string(&outcome.engine.to_string()),
+    );
+    push_field(&mut out, "rounds", &outcome.rounds.to_string());
+    push_field(&mut out, "states", &outcome.states.to_string());
+    push_field(&mut out, "fcr", &outcome.fcr_holds.to_string());
+    push_field(
+        &mut out,
+        "duration_ms",
+        &outcome.duration.as_millis().to_string(),
+    );
+    if let Verdict::Unsafe {
+        witness: Some(w), ..
+    } = &outcome.verdict
+    {
+        push_field(&mut out, "witness_steps", &w.len().to_string());
+        push_field(&mut out, "witness_contexts", &w.num_contexts().to_string());
+    }
+    let rounds: Vec<String> = round_log
+        .iter()
+        .map(|(engine, k, states, event)| {
+            format!(
+                "{{\"engine\":{},\"k\":{k},\"states\":{states},\"event\":{}}}",
+                json_string(engine),
+                json_string(event)
+            )
+        })
+        .collect();
+    push_field(&mut out, "growth", &format!("[{}]", rounds.join(",")));
+    out.push('}');
+    out
+}
+
+fn push_field(out: &mut String, key: &str, rendered: &str) {
+    if out.len() > 1 {
+        out.push(',');
+    }
+    out.push_str(&json_string(key));
+    out.push(':');
+    out.push_str(rendered);
 }
 
 /// Loads a model by extension: `.bp` Boolean program or `.cpds` text.

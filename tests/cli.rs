@@ -85,3 +85,86 @@ fn bad_usage_is_reported() {
     assert_eq!(code, Some(2));
     assert!(stderr.contains("unknown extension"));
 }
+
+#[test]
+fn unknown_command_is_rejected_before_loading_the_file() {
+    // The file does not exist: a bad subcommand must be reported
+    // without ever trying to open (let alone parse) the model.
+    let (_, stderr, code) = cuba(&["bogus", "does-not-exist.bp"]);
+    assert_eq!(code, Some(2));
+    assert!(stderr.contains("unknown command"));
+    assert!(!stderr.contains("does-not-exist"));
+
+    // Same for a bad option: rejected before the file is read.
+    let (_, stderr, code) = cuba(&["verify", "does-not-exist.bp", "--bogus"]);
+    assert_eq!(code, Some(2));
+    assert!(stderr.contains("unknown option"));
+    assert!(!stderr.contains("does-not-exist"));
+}
+
+#[test]
+fn info_and_fcr_reject_trailing_options() {
+    let (_, stderr, code) = cuba(&["info", "samples/fig1.cpds", "--json"]);
+    assert_eq!(code, Some(2));
+    assert!(stderr.contains("takes no options"));
+
+    let (_, stderr, code) = cuba(&["fcr", "samples/fig2.bp", "extra-arg"]);
+    assert_eq!(code, Some(2));
+    assert!(stderr.contains("takes no options"));
+}
+
+#[test]
+fn json_output_is_machine_readable() {
+    let (stdout, _, code) = cuba(&["verify", "samples/fig1.cpds", "--json"]);
+    assert_eq!(code, Some(0));
+    let line = stdout.trim();
+    assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+    assert!(line.contains("\"verdict\":\"safe\""));
+    assert!(line.contains("\"k\":5"));
+    assert!(line.contains("\"fcr\":true"));
+    assert!(line.contains("\"duration_ms\":"));
+    // The per-round growth log: one entry per computed bound of the
+    // winning engine, k = 0..=6 on Fig. 1.
+    assert!(line.contains("\"growth\":["));
+    assert!(line.contains("\"event\":\"new-plateau\""));
+    for k in 0..=6 {
+        assert!(line.contains(&format!("\"k\":{k}")), "missing round {k}");
+    }
+
+    // Unsafe runs report the witness size.
+    let (stdout, _, code) = cuba(&["verify", "samples/ticket.bp", "--json"]);
+    assert_eq!(code, Some(1));
+    assert!(stdout.contains("\"verdict\":\"unsafe\""));
+    assert!(stdout.contains("\"witness_steps\":"));
+}
+
+#[test]
+fn trace_streams_rounds_to_stderr() {
+    let (stdout, stderr, code) = cuba(&["verify", "samples/fig1.cpds", "--trace"]);
+    assert_eq!(code, Some(0));
+    assert!(stdout.contains("safe for any resource amount"));
+    assert!(stderr.contains("[trace]"));
+    assert!(stderr.contains("round k=5"));
+    assert!(stderr.contains("concluded"));
+}
+
+#[test]
+fn timeout_yields_undetermined_exit_code() {
+    // A zero-second deadline trips before the first round; the
+    // verdict is undetermined (exit 3), not an error (exit 2).
+    let (stdout, _, code) = cuba(&["verify", "samples/fig2.bp", "--timeout", "0"]);
+    assert_eq!(code, Some(3));
+    assert!(stdout.contains("undetermined"));
+
+    let (_, stderr, code) = cuba(&["verify", "samples/fig1.cpds", "--timeout", "abc"]);
+    assert_eq!(code, Some(2));
+    assert!(stderr.contains("bad --timeout"));
+}
+
+#[test]
+fn parallel_flag_agrees_with_round_robin() {
+    let (stdout, _, code) = cuba(&["verify", "samples/fig1.cpds", "--parallel"]);
+    assert_eq!(code, Some(0));
+    assert!(stdout.contains("safe for any resource amount"));
+    assert!(stdout.contains("k=5"));
+}

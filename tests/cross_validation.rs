@@ -6,6 +6,10 @@
 //! * layered monotonicity and stutter-freeness of `(Rk)` (Lemma 7),
 //! * witnesses replay and respect their layer's context bound,
 //! * Scheme 1 and Alg. 3 agree whenever both conclude.
+//!
+//! Systems come from the seeded generator in
+//! `cuba::benchmarks::random`; each test sweeps a fixed seed range so
+//! failures are directly reproducible.
 
 use std::collections::HashSet;
 
@@ -15,7 +19,6 @@ use cuba::core::{
     Verdict,
 };
 use cuba::explore::{ExplicitEngine, ExploreBudget, SubsumptionMode, SymbolicEngine};
-use proptest::prelude::*;
 
 fn small_budget() -> ExploreBudget {
     ExploreBudget {
@@ -23,36 +26,41 @@ fn small_budget() -> ExploreBudget {
         max_stack_depth: 40,
         max_states_per_context: 30_000,
         max_symbolic_states: 4_000,
+        ..ExploreBudget::default()
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig {
-        cases: 24, ..ProptestConfig::default()
-    })]
-
-    /// The central cross-validation: two independent engines must see
-    /// the same visible states at every context bound.
-    #[test]
-    fn explicit_and_symbolic_visible_sets_agree(seed in 0u64..2_000) {
+/// The central cross-validation: two independent engines must see the
+/// same visible states at every context bound.
+#[test]
+fn explicit_and_symbolic_visible_sets_agree() {
+    for seed in 0..24u64 {
         let cfg = RandomCpdsConfig::shrinking();
         let cpds = random_cpds(&cfg, seed);
         let mut explicit = ExplicitEngine::new(cpds.clone(), small_budget());
-        let mut symbolic =
-            SymbolicEngine::new(cpds, small_budget(), SubsumptionMode::Exact);
+        let mut symbolic = SymbolicEngine::new(cpds, small_budget(), SubsumptionMode::Exact);
         for _ in 0..4 {
-            let e = explicit.advance();
-            let s = symbolic.advance();
-            prop_assume!(e.is_ok() && s.is_ok());
-            prop_assert_eq!(explicit.visible_total(), symbolic.visible_total());
+            if explicit.advance().is_err() || symbolic.advance().is_err() {
+                break;
+            }
+            assert_eq!(
+                explicit.visible_total(),
+                symbolic.visible_total(),
+                "seed {seed}"
+            );
         }
     }
+}
 
-    /// Lemma 12: every reachable visible state lies in Z.
-    #[test]
-    fn visible_reachability_is_inside_z(seed in 0u64..2_000, pushy in proptest::bool::ANY) {
-        let cfg = if pushy {
-            RandomCpdsConfig { push_probability: 0.2, ..RandomCpdsConfig::default() }
+/// Lemma 12: every reachable visible state lies in Z.
+#[test]
+fn visible_reachability_is_inside_z() {
+    for seed in 0..24u64 {
+        let cfg = if seed % 2 == 0 {
+            RandomCpdsConfig {
+                push_probability: 0.2,
+                ..RandomCpdsConfig::default()
+            }
         } else {
             RandomCpdsConfig::shrinking()
         };
@@ -66,35 +74,42 @@ proptest! {
             }
         }
         for v in engine.visible_total() {
-            prop_assert!(z.states.contains(v), "Z misses {}", v);
+            assert!(z.states.contains(v), "seed {seed}: Z misses {v}");
         }
     }
+}
 
-    /// Monotone layers; collapse is permanent (Lemma 7's consequence).
-    #[test]
-    fn layers_are_monotone_and_collapse_sticks(seed in 0u64..2_000) {
+/// Monotone layers; collapse is permanent (Lemma 7's consequence).
+#[test]
+fn layers_are_monotone_and_collapse_sticks() {
+    for seed in 0..24u64 {
         let cpds = random_cpds(&RandomCpdsConfig::shrinking(), seed);
         let mut engine = ExplicitEngine::new(cpds, small_budget());
         let mut collapsed_at = None;
         let mut previous = 1usize;
         for k in 1..=6 {
             let summary = engine.advance().unwrap();
-            prop_assert!(engine.num_states() >= previous);
+            assert!(engine.num_states() >= previous, "seed {seed}");
             previous = engine.num_states();
             if summary.new_states == 0 && collapsed_at.is_none() {
                 collapsed_at = Some(k);
             }
             if let Some(c) = collapsed_at {
                 if k > c {
-                    prop_assert_eq!(summary.new_states, 0, "collapse must be permanent");
+                    assert_eq!(
+                        summary.new_states, 0,
+                        "seed {seed}: collapse must be permanent"
+                    );
                 }
             }
         }
     }
+}
 
-    /// Witness paths replay and use no more contexts than their layer.
-    #[test]
-    fn witnesses_replay_within_bounds(seed in 0u64..2_000) {
+/// Witness paths replay and use no more contexts than their layer.
+#[test]
+fn witnesses_replay_within_bounds() {
+    for seed in 0..24u64 {
         let cpds = random_cpds(&RandomCpdsConfig::shrinking(), seed);
         let mut engine = ExplicitEngine::new(cpds.clone(), small_budget());
         for _ in 0..3 {
@@ -104,46 +119,71 @@ proptest! {
             for state in engine.layer(k).cloned().collect::<Vec<_>>() {
                 let id = engine.find(&state).unwrap();
                 let w = engine.witness(id);
-                prop_assert!(w.replay(&cpds), "invalid witness for {}", state);
-                prop_assert!(w.num_contexts() <= k);
+                assert!(w.replay(&cpds), "seed {seed}: invalid witness for {state}");
+                assert!(w.num_contexts() <= k, "seed {seed}");
             }
         }
     }
+}
 
-    /// When both explicit algorithms conclude, they agree on safety.
-    #[test]
-    fn scheme1_and_alg3_agree(seed in 0u64..500) {
+/// When both explicit algorithms conclude, they agree on safety.
+#[test]
+fn scheme1_and_alg3_agree() {
+    let mut checked = 0;
+    for seed in 0..60u64 {
         let cpds = random_cpds(&RandomCpdsConfig::shrinking(), seed);
-        prop_assume!(check_fcr(&cpds).holds());
+        if !check_fcr(&cpds).holds() {
+            continue;
+        }
         // Pick a target from the finite visible domain: reachable for
         // some seeds, unreachable for others.
         let target = cpds.all_visible_states().into_iter().last().unwrap();
         let property = Property::never_visible(target);
-        let s1 = scheme1_explicit(&cpds, &property, &Scheme1Config {
-            budget: small_budget(), max_k: 12, ..Scheme1Config::default()
-        });
-        let a3 = alg3_explicit(&cpds, &property, &Alg3Config {
-            budget: small_budget(), max_k: 12, ..Alg3Config::default()
-        });
-        prop_assume!(s1.is_ok() && a3.is_ok());
-        let (s1, a3) = (s1.unwrap(), a3.unwrap());
+        let s1 = scheme1_explicit(
+            &cpds,
+            &property,
+            &Scheme1Config {
+                budget: small_budget(),
+                max_k: 12,
+                ..Scheme1Config::default()
+            },
+        );
+        let a3 = alg3_explicit(
+            &cpds,
+            &property,
+            &Alg3Config {
+                budget: small_budget(),
+                max_k: 12,
+                ..Alg3Config::default()
+            },
+        );
+        let (Ok(s1), Ok(a3)) = (s1, a3) else {
+            continue;
+        };
+        checked += 1;
         match (&s1.verdict, &a3.verdict) {
             (Verdict::Safe { .. }, Verdict::Unsafe { .. })
             | (Verdict::Unsafe { .. }, Verdict::Safe { .. }) => {
-                prop_assert!(false, "conflicting verdicts: {:?} vs {:?}", s1.verdict, a3.verdict);
+                panic!(
+                    "seed {seed}: conflicting verdicts: {:?} vs {:?}",
+                    s1.verdict, a3.verdict
+                );
             }
             (Verdict::Unsafe { k: k1, .. }, Verdict::Unsafe { k: k2, .. }) => {
                 // Both tight: the minimal bug bound is unique.
-                prop_assert_eq!(k1, k2);
+                assert_eq!(k1, k2, "seed {seed}");
             }
             _ => {}
         }
     }
+    assert!(checked >= 10, "too few conclusive runs: {checked}");
+}
 
-    /// The symbolic engine covers exactly the explicitly reached
-    /// global states (sampled), not more, on shrink-only systems.
-    #[test]
-    fn symbolic_covers_explicit_states(seed in 0u64..1_000) {
+/// The symbolic engine covers exactly the explicitly reached global
+/// states (sampled), not more, on shrink-only systems.
+#[test]
+fn symbolic_covers_explicit_states() {
+    for seed in 0..16u64 {
         let cpds = random_cpds(&RandomCpdsConfig::shrinking(), seed);
         let mut explicit = ExplicitEngine::new(cpds.clone(), small_budget());
         let mut symbolic = SymbolicEngine::new(cpds, small_budget(), SubsumptionMode::Exact);
@@ -152,7 +192,10 @@ proptest! {
             symbolic.advance().unwrap();
         }
         for state in explicit.states().iter().take(200) {
-            prop_assert!(symbolic.covers(state), "symbolic misses {}", state);
+            assert!(
+                symbolic.covers(state),
+                "seed {seed}: symbolic misses {state}"
+            );
         }
     }
 }
