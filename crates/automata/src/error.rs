@@ -43,6 +43,24 @@ impl std::fmt::Display for AutomataError {
 
 impl std::error::Error for AutomataError {}
 
+/// Raised by the `*_guarded` saturation entry points
+/// ([`post_star_guarded`](crate::post_star_guarded),
+/// [`pre_star_guarded`](crate::pre_star_guarded)) when the caller's
+/// poll callback asked the loop to stop. Carries no reason — the
+/// caller decided to interrupt and knows why (deadline, cancellation,
+/// …); this type only signals that the returned automaton was
+/// abandoned mid-saturation and must not be used.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SaturationInterrupted;
+
+impl std::fmt::Display for SaturationInterrupted {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "saturation interrupted by the caller's poll callback")
+    }
+}
+
+impl std::error::Error for SaturationInterrupted {}
+
 #[cfg(test)]
 mod tests {
     use super::*;

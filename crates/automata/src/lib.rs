@@ -51,11 +51,11 @@ mod psa;
 pub use canonical::CanonicalDfa;
 pub use dfa::Dfa;
 pub use dot::{nfa_to_dot, psa_to_dot};
-pub use error::AutomataError;
+pub use error::{AutomataError, SaturationInterrupted};
 pub use finiteness::{is_language_finite, Finiteness};
 pub use minimize::minimize;
 pub use nfa::{Label, Nfa, StateId};
 pub use ops::{intersect, language_equal, language_subset};
-pub use poststar::{bounded_reach, post_star, post_star_from_config};
-pub use prestar::pre_star;
+pub use poststar::{bounded_reach, post_star, post_star_from_config, post_star_guarded};
+pub use prestar::{pre_star, pre_star_guarded};
 pub use psa::Psa;

@@ -2,7 +2,40 @@ use std::collections::{HashMap, HashSet, VecDeque};
 
 use cuba_pds::{Pds, Rhs, SharedState, StackSym};
 
-use crate::{Label, Nfa, Psa, StateId};
+use crate::{Label, Nfa, Psa, SaturationInterrupted, StateId};
+
+/// How many transition insertions a saturation loop performs between
+/// two invocations of the caller's poll callback. Small enough that a
+/// deadline is observed promptly even inside one pathological `post*`
+/// call, large enough that polling cost (an atomic load or two plus an
+/// `Instant::now`) stays invisible next to the insertion work.
+pub(crate) const SATURATION_POLL_EVERY: usize = 64;
+
+/// The mutable saturation state: the automaton under construction, the
+/// worklist, and the cooperative-interruption bookkeeping shared by
+/// `post*` and `pre*`.
+struct Saturator<'a> {
+    psa: Psa,
+    work: VecDeque<(StateId, Label, StateId)>,
+    inserted: usize,
+    poll: &'a mut dyn FnMut() -> bool,
+    interrupted: bool,
+}
+
+impl Saturator<'_> {
+    /// Inserts a transition, enqueues it when new, and polls the
+    /// interruption callback every [`SATURATION_POLL_EVERY`]
+    /// insertions.
+    fn add(&mut self, src: StateId, label: Label, dst: StateId) {
+        if self.psa.nfa.add_transition(src, label, dst) {
+            self.work.push_back((src, label, dst));
+            self.inserted += 1;
+            if self.inserted.is_multiple_of(SATURATION_POLL_EVERY) && !(self.poll)() {
+                self.interrupted = true;
+            }
+        }
+    }
+}
 
 /// Computes `post*(L(init))`: the PSA accepting all configurations
 /// reachable in `pds` from a configuration accepted by `init`
@@ -23,12 +56,42 @@ use crate::{Label, Nfa, Psa, StateId};
 /// Panics if `init` violates the PSA invariants (debug builds check
 /// [`Psa::validate`]).
 pub fn post_star(pds: &Pds, init: &Psa) -> Psa {
+    match post_star_guarded(pds, init, &mut || true) {
+        Ok(psa) => psa,
+        Err(SaturationInterrupted) => unreachable!("an always-true poll never interrupts"),
+    }
+}
+
+/// As [`post_star`], but polls `poll` every few transition insertions
+/// and aborts the saturation when it returns `false`.
+///
+/// This is the cooperative-interruption hook for callers with
+/// deadlines or cancellation tokens (the symbolic engine's context
+/// steps): a single pathological `post*` call performs work bounded
+/// only by the automaton size, which can dwarf any per-round deadline
+/// check made *between* saturations.
+///
+/// # Errors
+///
+/// [`SaturationInterrupted`] when `poll` returned `false`; the
+/// partially saturated automaton is discarded.
+pub fn post_star_guarded(
+    pds: &Pds,
+    init: &Psa,
+    poll: &mut dyn FnMut() -> bool,
+) -> Result<Psa, SaturationInterrupted> {
     debug_assert!(
         init.validate().is_ok(),
         "post_star input must be a valid PSA"
     );
-    let mut psa = init.clone();
-    let sink = psa.sink();
+    let mut sat = Saturator {
+        psa: init.clone(),
+        work: init.nfa.transitions().collect(),
+        inserted: 0,
+        poll,
+        interrupted: false,
+    };
+    let sink = sat.psa.sink();
 
     // Rule indexes.
     let mut rules_by_lhs: HashMap<(u32, u32), Vec<usize>> = HashMap::new();
@@ -46,33 +109,22 @@ pub fn post_star(pds: &Pds, init: &Psa) -> Psa {
     // ε-predecessors: eps_preds[s] = controls/states p with (p, ε, s).
     let mut eps_preds: HashMap<u32, HashSet<u32>> = HashMap::new();
 
-    let mut work: VecDeque<(StateId, Label, StateId)> = psa.nfa.transitions().collect();
-    // `add` inserts a transition and enqueues it when new.
-    fn add(
-        psa: &mut Psa,
-        work: &mut VecDeque<(StateId, Label, StateId)>,
-        src: StateId,
-        label: Label,
-        dst: StateId,
-    ) {
-        if psa.nfa.add_transition(src, label, dst) {
-            work.push_back((src, label, dst));
-        }
-    }
-
     // Which empty-stack triggers already fired, to avoid re-firing.
     let mut fired_empty: HashSet<u32> = HashSet::new();
 
-    while let Some((src, label, dst)) = work.pop_front() {
+    while let Some((src, label, dst)) = sat.work.pop_front() {
+        if sat.interrupted {
+            return Err(SaturationInterrupted);
+        }
         // Backward ε-propagation: anything src can do, its
         // ε-predecessors can do.
         if let Some(preds) = eps_preds.get(&src.0) {
             for &p in &preds.clone() {
-                add(&mut psa, &mut work, StateId(p), label, dst);
+                sat.add(StateId(p), label, dst);
             }
         }
         match label {
-            Label::Sym(gamma) if psa.is_control(src) => {
+            Label::Sym(gamma) if sat.psa.is_control(src) => {
                 let p = src.0;
                 if let Some(rule_ids) = rules_by_lhs.get(&(p, gamma)) {
                     for &ri in rule_ids {
@@ -80,17 +132,17 @@ pub fn post_star(pds: &Pds, init: &Psa) -> Psa {
                         let p2 = StateId(a.q_post.0);
                         match a.rhs {
                             Rhs::Empty => {
-                                add(&mut psa, &mut work, p2, Label::Eps, dst);
+                                sat.add(p2, Label::Eps, dst);
                             }
                             Rhs::One(sym2) => {
-                                add(&mut psa, &mut work, p2, Label::Sym(sym2.0), dst);
+                                sat.add(p2, Label::Sym(sym2.0), dst);
                             }
                             Rhs::Two { top, below } => {
                                 let m = *mid
                                     .entry((a.q_post.0, top.0))
-                                    .or_insert_with(|| psa.nfa.add_state());
-                                add(&mut psa, &mut work, p2, Label::Sym(top.0), m);
-                                add(&mut psa, &mut work, m, Label::Sym(below.0), dst);
+                                    .or_insert_with(|| sat.psa.nfa.add_state());
+                                sat.add(p2, Label::Sym(top.0), m);
+                                sat.add(m, Label::Sym(below.0), dst);
                             }
                         }
                     }
@@ -99,21 +151,19 @@ pub fn post_star(pds: &Pds, init: &Psa) -> Psa {
             Label::Eps => {
                 eps_preds.entry(dst.0).or_default().insert(src.0);
                 // Forward ε-elimination: copy dst's current out-edges.
-                let outs: Vec<(Label, StateId)> = psa.nfa.transitions_from(dst).collect();
+                let outs: Vec<(Label, StateId)> = sat.psa.nfa.transitions_from(dst).collect();
                 for (l, t) in outs {
-                    add(&mut psa, &mut work, src, l, t);
+                    sat.add(src, l, t);
                 }
                 // Empty-stack rules fire once ⟨q|ε⟩ is accepted.
-                if dst == sink && psa.is_control(src) && fired_empty.insert(src.0) {
+                if dst == sink && sat.psa.is_control(src) && fired_empty.insert(src.0) {
                     if let Some(rule_ids) = empty_rules_by_q.get(&src.0) {
                         for &ri in rule_ids {
                             let a = &pds.actions()[ri];
                             let p2 = StateId(a.q_post.0);
                             match a.rhs {
-                                Rhs::Empty => add(&mut psa, &mut work, p2, Label::Eps, sink),
-                                Rhs::One(sym2) => {
-                                    add(&mut psa, &mut work, p2, Label::Sym(sym2.0), sink)
-                                }
+                                Rhs::Empty => sat.add(p2, Label::Eps, sink),
+                                Rhs::One(sym2) => sat.add(p2, Label::Sym(sym2.0), sink),
                                 Rhs::Two { .. } => {
                                     unreachable!("empty-stack pushes of two symbols are rejected")
                                 }
@@ -128,11 +178,14 @@ pub fn post_star(pds: &Pds, init: &Psa) -> Psa {
             }
         }
     }
+    if sat.interrupted {
+        return Err(SaturationInterrupted);
+    }
     debug_assert!(
-        psa.validate().is_ok(),
+        sat.psa.validate().is_ok(),
         "post_star must preserve PSA invariants"
     );
-    psa
+    Ok(sat.psa)
 }
 
 /// Convenience: the `post*` PSA from a single configuration.
@@ -302,6 +355,70 @@ mod tests {
         let init = cfg(0, &[0]);
         let psa = post_star_from_config(&pds, 3, &init).unwrap();
         assert!(psa.accepts_config(&init));
+    }
+
+    /// A saturation large enough to cross the poll interval: a long
+    /// overwrite chain fanned out from every shared state.
+    fn wide_pds(controls: u32, chain: u32) -> Pds {
+        let mut b = PdsBuilder::new(controls, chain + 1);
+        for qq in 0..controls {
+            for i in 0..chain {
+                b.overwrite(q(qq), s(i), q((qq + 1) % controls), s(i + 1))
+                    .unwrap();
+            }
+        }
+        b.build().unwrap()
+    }
+
+    /// The guarded saturation polls at least once on a big input, and a
+    /// poll answering `false` aborts the loop early instead of running
+    /// the saturation to completion.
+    #[test]
+    fn guarded_post_star_polls_and_aborts() {
+        let pds = wide_pds(4, 200);
+        // Seed with symbol 0 only, so the chain rules insert ~200
+        // genuinely new transitions (seeding all symbols would make
+        // every rule conclusion a duplicate and nothing would poll).
+        let init = Psa::all_stacks_leq1(4, [0]);
+
+        let mut polls = 0usize;
+        let full = post_star_guarded(&pds, &init, &mut || {
+            polls += 1;
+            true
+        })
+        .unwrap();
+        assert!(polls > 0, "saturation never polled");
+        assert_eq!(
+            full.as_nfa().transitions().count(),
+            post_star(&pds, &init).as_nfa().transitions().count()
+        );
+
+        // Abort on the very first poll: far fewer insertions happen
+        // than the full saturation performs.
+        let mut calls = 0usize;
+        let err = post_star_guarded(&pds, &init, &mut || {
+            calls += 1;
+            false
+        })
+        .unwrap_err();
+        assert_eq!(err, SaturationInterrupted);
+        assert_eq!(calls, 1, "aborts on the first refusing poll");
+    }
+
+    /// `pre_star_guarded` honors the same protocol.
+    #[test]
+    fn guarded_pre_star_polls_and_aborts() {
+        let pds = wide_pds(4, 200);
+        let target = Psa::all_stacks_leq1(4, [199]);
+        let mut polls = 0usize;
+        let ok = crate::pre_star_guarded(&pds, &target, &mut || {
+            polls += 1;
+            true
+        });
+        assert!(ok.is_ok());
+        assert!(polls > 0);
+        let err = crate::pre_star_guarded(&pds, &target, &mut || false).unwrap_err();
+        assert_eq!(err, SaturationInterrupted);
     }
 
     #[test]

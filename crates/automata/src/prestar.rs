@@ -2,7 +2,8 @@ use std::collections::BTreeSet;
 
 use cuba_pds::{Pds, Rhs};
 
-use crate::{Label, Psa, StateId};
+use crate::poststar::SATURATION_POLL_EVERY;
+use crate::{Label, Psa, SaturationInterrupted, StateId};
 
 /// Computes `pre*(L(target))`: the PSA accepting all configurations
 /// from which `pds` can reach a configuration accepted by `target`.
@@ -20,9 +21,33 @@ use crate::{Label, Psa, StateId};
 /// of `⟨q|ε⟩` whenever `⟨q'|w'⟩` is accepted. Iterates to fixpoint
 /// (naive but robust with ε-transitions present).
 pub fn pre_star(pds: &Pds, target: &Psa) -> Psa {
+    match pre_star_guarded(pds, target, &mut || true) {
+        Ok(psa) => psa,
+        Err(SaturationInterrupted) => unreachable!("an always-true poll never interrupts"),
+    }
+}
+
+/// As [`pre_star`], but polls `poll` every few transition insertions
+/// (and once per fixpoint pass) and aborts when it returns `false` —
+/// the backward twin of
+/// [`post_star_guarded`](crate::post_star_guarded).
+///
+/// # Errors
+///
+/// [`SaturationInterrupted`] when `poll` returned `false`; the
+/// partially saturated automaton is discarded.
+pub fn pre_star_guarded(
+    pds: &Pds,
+    target: &Psa,
+    poll: &mut dyn FnMut() -> bool,
+) -> Result<Psa, SaturationInterrupted> {
     let mut psa = target.clone();
     let sink = psa.sink();
+    let mut inserted: usize = 0;
     loop {
+        if !poll() {
+            return Err(SaturationInterrupted);
+        }
         let mut changed = false;
         for a in pds.actions() {
             // States reachable from q' reading w'.
@@ -34,29 +59,35 @@ pub fn pre_star(pds: &Pds, target: &Psa) -> Psa {
                 Rhs::Two { top, below } => vec![top.0, below.0],
             };
             let reach = psa.nfa.run(&start, &word);
+            let mut record = |added: bool| -> Result<(), SaturationInterrupted> {
+                if added {
+                    changed = true;
+                    inserted += 1;
+                    if inserted.is_multiple_of(SATURATION_POLL_EVERY) && !poll() {
+                        return Err(SaturationInterrupted);
+                    }
+                }
+                Ok(())
+            };
             match a.top {
                 Some(gamma) => {
                     for &s in &reach {
-                        if psa
-                            .nfa
-                            .add_transition(StateId(a.q.0), Label::Sym(gamma.0), StateId(s))
-                        {
-                            changed = true;
-                        }
+                        let added =
+                            psa.nfa
+                                .add_transition(StateId(a.q.0), Label::Sym(gamma.0), StateId(s));
+                        record(added)?;
                     }
                 }
                 None => {
                     // ⟨q|ε⟩ → ⟨q'|w'⟩: accept ⟨q|ε⟩ iff ⟨q'|w'⟩ accepted.
-                    if reach.iter().any(|&s| psa.nfa.is_final(StateId(s)))
-                        && psa.nfa.add_transition(StateId(a.q.0), Label::Eps, sink)
-                    {
-                        changed = true;
-                    }
+                    let added = reach.iter().any(|&s| psa.nfa.is_final(StateId(s)))
+                        && psa.nfa.add_transition(StateId(a.q.0), Label::Eps, sink);
+                    record(added)?;
                 }
             }
         }
         if !changed {
-            return psa;
+            return Ok(psa);
         }
     }
 }

@@ -1,20 +1,29 @@
 //! Batch verification of the full Table 2 suite through
 //! [`Portfolio::run_suite`]: the service-shaped entry point — many
-//! `(Cpds, Property)` problems, bounded parallelism, results in input
-//! order.
+//! `(Cpds, Property)` problems, bounded parallelism, suite-level
+//! caching of FCR/`G∩Z`, results in input order.
 //!
 //! ```text
-//! cargo run --release -p cuba-bench --bin batch [workers]
+//! cargo run --release -p cuba-bench --bin batch [workers] [--json] [--baseline FILE]
 //! ```
 //!
-//! Runs the suite once sequentially and once with `workers` problems
-//! in flight (default: available parallelism), comparing wall-clock.
+//! * no flags — runs the suite once sequentially and once with
+//!   `workers` problems in flight (default: available parallelism),
+//!   comparing wall-clock.
+//! * `--json` — runs the suite once and emits one JSON object per
+//!   problem (verdict, winning engine, rounds, total round
+//!   wall-clock) as a JSON array on stdout: the bench-regression
+//!   record CI archives per PR.
+//! * `--baseline FILE` — additionally diffs the fresh verdicts
+//!   against a committed baseline (`BENCH_baseline.json`) and exits
+//!   nonzero on any verdict change. Timing fields are informational
+//!   and never compared.
 
 use std::time::Instant;
 
-use cuba_bench::render_table;
+use cuba_bench::{render_table, JsonObject};
 use cuba_benchmarks::suite::{table2_problems, table2_suite};
-use cuba_core::{Portfolio, SessionConfig, Verdict};
+use cuba_core::{CubaError, CubaOutcome, Portfolio, SessionConfig, Verdict};
 use cuba_explore::ExploreBudget;
 
 fn portfolio() -> Portfolio {
@@ -30,16 +39,166 @@ fn portfolio() -> Portfolio {
     })
 }
 
-fn main() {
-    let workers: usize = std::env::args()
-        .nth(1)
-        .and_then(|w| w.parse().ok())
-        .unwrap_or_else(|| {
-            std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(4)
-        });
+fn verdict_string(result: &Result<CubaOutcome, CubaError>) -> String {
+    match result {
+        Ok(o) => match &o.verdict {
+            Verdict::Safe { .. } => "safe".to_owned(),
+            Verdict::Unsafe { .. } => "unsafe".to_owned(),
+            Verdict::Undetermined { .. } => "undetermined".to_owned(),
+        },
+        Err(_) => "error".to_owned(),
+    }
+}
 
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut workers: Option<usize> = None;
+    let mut json = false;
+    let mut baseline: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--json" => json = true,
+            "--baseline" => {
+                i += 1;
+                match args.get(i) {
+                    Some(path) => baseline = Some(path.clone()),
+                    None => {
+                        eprintln!("--baseline needs a file argument");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            other => match other.parse::<usize>() {
+                Ok(n) => workers = Some(n),
+                Err(_) => {
+                    eprintln!("unknown argument '{other}'");
+                    std::process::exit(2);
+                }
+            },
+        }
+        i += 1;
+    }
+    let workers = workers.unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+    });
+
+    if json || baseline.is_some() {
+        run_json(workers, baseline.as_deref());
+    } else {
+        run_comparison(workers);
+    }
+}
+
+/// The bench-regression record: run once (suite-cached), emit JSON,
+/// optionally gate against a committed baseline.
+fn run_json(workers: usize, baseline: Option<&str>) {
+    let labels: Vec<String> = table2_suite().iter().map(|b| b.label()).collect();
+    let results = portfolio().run_suite(table2_problems(), workers);
+
+    let mut lines = Vec::new();
+    for (label, result) in labels.iter().zip(&results) {
+        let mut obj = JsonObject::new();
+        obj.string("label", label);
+        obj.string("verdict", &verdict_string(result));
+        match result {
+            Ok(o) => {
+                match &o.verdict {
+                    Verdict::Safe { k, .. } | Verdict::Unsafe { k, .. } => {
+                        obj.number("k", *k as f64)
+                    }
+                    Verdict::Undetermined { .. } => obj.null("k"),
+                };
+                obj.bool("fcr", o.fcr_holds);
+                obj.string("engine", &o.engine.to_string());
+                obj.number("rounds", o.rounds as f64);
+                obj.number("round_wall_us", o.round_wall.as_micros() as f64);
+                obj.number("duration_ms", o.duration.as_millis() as f64);
+            }
+            Err(e) => {
+                obj.string("reason", &e.to_string());
+            }
+        }
+        lines.push(obj.finish());
+    }
+    println!("[");
+    for (i, line) in lines.iter().enumerate() {
+        let comma = if i + 1 < lines.len() { "," } else { "" };
+        println!("  {line}{comma}");
+    }
+    println!("]");
+
+    if let Some(path) = baseline {
+        let expected = match std::fs::read_to_string(path) {
+            Ok(text) => parse_verdicts(&text),
+            Err(e) => {
+                eprintln!("cannot read baseline {path}: {e}");
+                std::process::exit(2);
+            }
+        };
+        let fresh: Vec<(String, String)> = labels
+            .iter()
+            .zip(&results)
+            .map(|(label, result)| (label.clone(), verdict_string(result)))
+            .collect();
+        let mut changed = false;
+        for (label, verdict) in &fresh {
+            match expected.iter().find(|(l, _)| l == label) {
+                Some((_, want)) if want == verdict => {}
+                Some((_, want)) => {
+                    changed = true;
+                    eprintln!("VERDICT CHANGE {label}: baseline={want}, now={verdict}");
+                }
+                None => {
+                    changed = true;
+                    eprintln!("NEW PROBLEM {label}: verdict={verdict} (not in baseline)");
+                }
+            }
+        }
+        for (label, want) in &expected {
+            if !fresh.iter().any(|(l, _)| l == label) {
+                changed = true;
+                eprintln!("MISSING PROBLEM {label}: baseline={want}, gone from suite");
+            }
+        }
+        if changed {
+            eprintln!("bench regression gate FAILED against {path}");
+            std::process::exit(1);
+        }
+        eprintln!(
+            "bench regression gate OK: {} verdicts match {path}",
+            fresh.len()
+        );
+    }
+}
+
+/// Extracts `(label, verdict)` pairs from a baseline file written by
+/// `--json` (one object per line; the workspace builds offline, so the
+/// reader is hand-rolled like the writer).
+fn parse_verdicts(text: &str) -> Vec<(String, String)> {
+    text.lines()
+        .filter_map(|line| {
+            Some((
+                extract_string(line, "label")?,
+                extract_string(line, "verdict")?,
+            ))
+        })
+        .collect()
+}
+
+/// Pulls the string value of `"key":"…"` out of one JSON line. Labels
+/// and verdicts never contain escapes, so a quote ends the value.
+fn extract_string(line: &str, key: &str) -> Option<String> {
+    let marker = format!("\"{key}\":\"");
+    let start = line.find(&marker)? + marker.len();
+    let end = line[start..].find('"')?;
+    Some(line[start..start + end].to_owned())
+}
+
+/// The original mode: sequential vs parallel wall-clock comparison.
+fn run_comparison(workers: usize) {
     let labels: Vec<String> = table2_suite().iter().map(|b| b.label()).collect();
 
     let sequential_start = Instant::now();
@@ -54,11 +213,7 @@ fn main() {
     for (label, result) in labels.iter().zip(&results) {
         let (verdict, engine, k) = match result {
             Ok(o) => (
-                match &o.verdict {
-                    Verdict::Safe { .. } => "safe".to_owned(),
-                    Verdict::Unsafe { .. } => "unsafe".to_owned(),
-                    Verdict::Undetermined { .. } => "undetermined".to_owned(),
-                },
+                verdict_string(result),
                 o.engine.to_string(),
                 match &o.verdict {
                     Verdict::Safe { k, .. } | Verdict::Unsafe { k, .. } => k.to_string(),

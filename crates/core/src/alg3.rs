@@ -25,6 +25,11 @@ pub struct Alg3Config {
     /// paper's Alg. 3 that is trivially sound (Lemma 7); disable to
     /// benchmark the pure generator test.
     pub use_state_collapse: bool,
+    /// A precomputed `G ∩ Z` for this system, shared by a
+    /// [`SuiteCache`](crate::SuiteCache) across the problems of a
+    /// suite ("one system, many properties"). `None` computes it from
+    /// scratch; `G ∩ Z` depends only on the CPDS, never the property.
+    pub g_cap_z: Option<std::sync::Arc<Vec<VisibleState>>>,
 }
 
 impl Default for Alg3Config {
@@ -35,6 +40,7 @@ impl Default for Alg3Config {
             skip_fcr_check: false,
             subsumption: SubsumptionMode::Exact,
             use_state_collapse: true,
+            g_cap_z: None,
         }
     }
 }
@@ -65,23 +71,30 @@ pub struct Alg3Report {
 #[derive(Debug)]
 struct Alg3Driver {
     property: Property,
-    g_cap_z: Vec<VisibleState>,
+    /// Shared with the suite cache when one is in play — iterated
+    /// only, so the share is zero-copy.
+    g_cap_z: std::sync::Arc<Vec<VisibleState>>,
     visible_growth: GrowthLog,
     rejected_plateaus: Vec<usize>,
     use_state_collapse: bool,
 }
 
 impl Alg3Driver {
-    fn new(cpds: &Cpds, property: &Property, use_state_collapse: bool) -> Self {
-        let generators = GeneratorSet::from_cpds(cpds);
-        let z = compute_z(cpds);
-        let g_cap_z = generators.intersect(z.states.iter());
+    fn new(cpds: &Cpds, property: &Property, config: &Alg3Config) -> Self {
+        let g_cap_z = match &config.g_cap_z {
+            Some(shared) => shared.clone(),
+            None => {
+                let generators = GeneratorSet::from_cpds(cpds);
+                let z = compute_z(cpds);
+                std::sync::Arc::new(generators.intersect(z.states.iter()))
+            }
+        };
         Alg3Driver {
             property: property.clone(),
             g_cap_z,
             visible_growth: GrowthLog::new(),
             rejected_plateaus: Vec::new(),
-            use_state_collapse,
+            use_state_collapse: config.use_state_collapse,
         }
     }
 
@@ -142,6 +155,8 @@ pub struct Alg3Engine {
     backend: Backend,
     driver: Alg3Driver,
     next_k: usize,
+    /// `states()` after the previous round, for `delta_states`.
+    prev_states: usize,
     verdict: Option<Verdict>,
 }
 
@@ -186,9 +201,10 @@ impl Alg3Engine {
             property: property.clone(),
             budget: config.budget.clone(),
             max_k: config.max_k,
-            driver: Alg3Driver::new(cpds, property, config.use_state_collapse),
+            driver: Alg3Driver::new(cpds, property, config),
             backend,
             next_k: 0,
+            prev_states: 0,
             verdict: None,
         }
     }
@@ -208,7 +224,7 @@ impl Alg3Engine {
             rounds,
             states: self.backend.states(),
             visible_growth: self.driver.visible_growth,
-            g_cap_z: self.driver.g_cap_z,
+            g_cap_z: self.driver.g_cap_z.as_ref().clone(),
             rejected_plateaus: self.driver.rejected_plateaus,
         }
     }
@@ -257,6 +273,7 @@ impl Engine for Alg3Engine {
             };
             return Ok(self.conclude(None, verdict));
         }
+        let started = std::time::Instant::now();
         let k = self.next_k;
         let collapsed = if k > 0 {
             self.backend.advance()?;
@@ -269,11 +286,15 @@ impl Engine for Alg3Engine {
             self.driver
                 .round(k, &new_visible, self.backend.visible_total(), collapsed);
         self.next_k += 1;
+        let states = self.backend.states();
         let info = RoundInfo {
             k,
-            states: self.backend.states(),
+            states,
+            delta_states: states.saturating_sub(self.prev_states),
+            elapsed: started.elapsed().max(std::time::Duration::from_nanos(1)),
             event,
         };
+        self.prev_states = states;
         match maybe_verdict {
             None => Ok(RoundOutcome::Continue(info)),
             Some(mut verdict) => {

@@ -1,0 +1,236 @@
+//! Suite-level sharing of per-system analysis artifacts.
+//!
+//! A batch of verification problems often holds *one system, many
+//! properties*: every portfolio run then re-decides finite context
+//! reachability (§5) and rebuilds the generator intersection `G ∩ Z`
+//! (Alg. 2 / Def. 10) for the same CPDS. Both artifacts depend only on
+//! the system — never on the property — so
+//! [`Portfolio::run_suite`](crate::Portfolio::run_suite) shares them
+//! through a [`SuiteCache`]: one [`SystemArtifacts`] per distinct
+//! system, keyed by a structural fingerprint, each artifact computed
+//! lazily at most once.
+
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use cuba_pds::{Cpds, Rhs, VisibleState};
+
+use crate::{check_fcr, compute_z, FcrReport, GeneratorSet};
+
+/// Lazily computed, property-independent artifacts of one system.
+///
+/// Shared (via `Arc`) between every session analyzing the same CPDS:
+/// the first session to need an artifact computes it, later ones reuse
+/// it. Thread-safe — suite workers race on the `OnceLock`s, not on the
+/// computation results.
+#[derive(Debug, Default)]
+pub struct SystemArtifacts {
+    fcr: OnceLock<FcrReport>,
+    g_cap_z: OnceLock<Arc<Vec<VisibleState>>>,
+}
+
+impl SystemArtifacts {
+    /// Empty artifacts: everything computed on first use.
+    pub fn new() -> Self {
+        SystemArtifacts::default()
+    }
+
+    /// The FCR report for `cpds`, computed at most once.
+    pub fn fcr(&self, cpds: &Cpds) -> &FcrReport {
+        self.fcr.get_or_init(|| check_fcr(cpds))
+    }
+
+    /// The generator intersection `G ∩ Z` for `cpds` (the convergence
+    /// certificate candidates of Algorithm 3), computed at most once.
+    pub fn g_cap_z(&self, cpds: &Cpds) -> Arc<Vec<VisibleState>> {
+        self.g_cap_z
+            .get_or_init(|| {
+                let generators = GeneratorSet::from_cpds(cpds);
+                let z = compute_z(cpds);
+                Arc::new(generators.intersect(z.states.iter()))
+            })
+            .clone()
+    }
+}
+
+/// A structural fingerprint of a CPDS: shared-state count, initial
+/// state, and per thread the initial stack and the full action list.
+/// Two structurally identical systems (however they were built)
+/// collide on purpose — that is the cache key.
+pub fn fingerprint(cpds: &Cpds) -> u64 {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    cpds.num_shared().hash(&mut h);
+    cpds.initial_state().q.0.hash(&mut h);
+    cpds.num_threads().hash(&mut h);
+    for (i, pds) in cpds.threads().iter().enumerate() {
+        for sym in cpds.initial_stack(i).iter_top_down() {
+            sym.0.hash(&mut h);
+        }
+        u32::MAX.hash(&mut h); // stack/action separator
+        for a in pds.actions() {
+            a.q.0.hash(&mut h);
+            a.top.map(|s| s.0).hash(&mut h);
+            a.q_post.0.hash(&mut h);
+            match a.rhs {
+                Rhs::Empty => 0u8.hash(&mut h),
+                Rhs::One(s) => {
+                    1u8.hash(&mut h);
+                    s.0.hash(&mut h);
+                }
+                Rhs::Two { top, below } => {
+                    2u8.hash(&mut h);
+                    top.0.hash(&mut h);
+                    below.0.hash(&mut h);
+                }
+            }
+        }
+    }
+    h.finish()
+}
+
+/// Structural equality of two systems — the confirmation step behind
+/// the fingerprint, so a 64-bit hash collision can never hand one
+/// system the artifacts (and hence the verdict machinery) of another.
+fn same_system(a: &Cpds, b: &Cpds) -> bool {
+    a.num_shared() == b.num_shared()
+        && a.q_init() == b.q_init()
+        && a.num_threads() == b.num_threads()
+        && (0..a.num_threads()).all(|i| {
+            a.initial_stack(i) == b.initial_stack(i)
+                && a.thread(i).actions() == b.thread(i).actions()
+        })
+}
+
+/// A cache of [`SystemArtifacts`] keyed by CPDS fingerprint (with a
+/// structural-equality check on hits), shared by the workers of one
+/// (or several) [`run_suite`] calls.
+///
+/// [`run_suite`]: crate::Portfolio::run_suite
+/// Systems sharing one fingerprint (almost always exactly one;
+/// colliding distinct systems each get their own entry).
+type Bucket = Vec<(Cpds, Arc<SystemArtifacts>)>;
+
+#[derive(Debug, Default)]
+pub struct SuiteCache {
+    map: Mutex<HashMap<u64, Bucket>>,
+    hits: AtomicUsize,
+    misses: AtomicUsize,
+}
+
+impl SuiteCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        SuiteCache::default()
+    }
+
+    /// The artifacts slot for `cpds`, created empty on first sight.
+    pub fn artifacts(&self, cpds: &Cpds) -> Arc<SystemArtifacts> {
+        let key = fingerprint(cpds);
+        let mut map = self.map.lock().expect("suite cache lock");
+        let bucket = map.entry(key).or_default();
+        if let Some((_, artifacts)) = bucket.iter().find(|(known, _)| same_system(known, cpds)) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return artifacts.clone();
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let artifacts = Arc::new(SystemArtifacts::new());
+        bucket.push((cpds.clone(), artifacts.clone()));
+        artifacts
+    }
+
+    /// Distinct systems seen so far.
+    pub fn len(&self) -> usize {
+        self.map
+            .lock()
+            .expect("suite cache lock")
+            .values()
+            .map(Vec::len)
+            .sum()
+    }
+
+    /// Whether no system has been seen yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Lookups that found an existing slot.
+    pub fn hits(&self) -> usize {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that created a fresh slot.
+    pub fn misses(&self) -> usize {
+        self.misses.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{fig1, fig2};
+
+    /// Identical systems share a slot; different systems do not.
+    #[test]
+    fn fingerprint_distinguishes_systems() {
+        assert_eq!(fingerprint(&fig1()), fingerprint(&fig1()));
+        assert_ne!(fingerprint(&fig1()), fingerprint(&fig2()));
+    }
+
+    /// The FCR report and `G ∩ Z` are computed once per system and
+    /// agree with the uncached entry points.
+    #[test]
+    fn artifacts_match_uncached_results() {
+        let cache = SuiteCache::new();
+        let cpds = fig1();
+        let a1 = cache.artifacts(&cpds);
+        let a2 = cache.artifacts(&fig1());
+        assert!(Arc::ptr_eq(&a1, &a2), "same system, same slot");
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 1);
+
+        assert_eq!(a1.fcr(&cpds).holds(), check_fcr(&cpds).holds());
+        let gz = a1.g_cap_z(&cpds);
+        let generators = GeneratorSet::from_cpds(&cpds);
+        let z = compute_z(&cpds);
+        assert_eq!(*gz, generators.intersect(z.states.iter()));
+        // Second call reuses the same Arc.
+        assert!(Arc::ptr_eq(&gz, &a1.g_cap_z(&cpds)));
+
+        assert!(!cache.artifacts(&fig2()).fcr(&fig2()).holds());
+        assert_eq!(cache.len(), 2);
+    }
+
+    /// A hit requires structural equality, not just a matching
+    /// fingerprint: colliding distinct systems get distinct slots (the
+    /// bucket is a list), so a 64-bit collision can never leak one
+    /// system's verdict machinery to another.
+    #[test]
+    fn hits_require_structural_equality() {
+        assert!(same_system(&fig1(), &fig1()));
+        assert!(!same_system(&fig1(), &fig2()));
+
+        // Simulate a fingerprint collision: seed fig2's entry into the
+        // bucket fig1 will hash to. The fig1 lookup must reject it by
+        // structural comparison and open a fresh slot.
+        let cache = SuiteCache::new();
+        let foreign = Arc::new(SystemArtifacts::new());
+        cache
+            .map
+            .lock()
+            .unwrap()
+            .entry(fingerprint(&fig1()))
+            .or_default()
+            .push((fig2(), foreign.clone()));
+        let a = cache.artifacts(&fig1());
+        assert!(
+            !Arc::ptr_eq(&a, &foreign),
+            "a colliding system must not share artifacts"
+        );
+        assert_eq!(cache.len(), 2);
+        // A repeat lookup of fig1 hits its own slot.
+        assert!(Arc::ptr_eq(&a, &cache.artifacts(&fig1())));
+        assert!(a.fcr(&fig1()).holds());
+    }
+}

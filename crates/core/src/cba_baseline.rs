@@ -67,6 +67,8 @@ pub struct CbaEngine {
     backend: SymbolicEngine,
     growth: GrowthLog,
     next_k: usize,
+    /// Symbolic states after the previous round, for `delta_states`.
+    prev_states: usize,
     verdict: Option<Verdict>,
 }
 
@@ -85,6 +87,7 @@ impl CbaEngine {
             ),
             growth: GrowthLog::new(),
             next_k: 0,
+            prev_states: 0,
             verdict: None,
         }
     }
@@ -147,17 +150,22 @@ impl Engine for CbaEngine {
             };
             return Ok(self.conclude(None, verdict));
         }
+        let started = std::time::Instant::now();
         let k = self.next_k;
         if k > 0 {
             self.backend.advance()?;
         }
         let event = self.growth.push(self.backend.num_symbolic_states());
         self.next_k += 1;
+        let states = self.backend.num_symbolic_states();
         let info = RoundInfo {
             k,
-            states: self.backend.num_symbolic_states(),
+            states,
+            delta_states: states.saturating_sub(self.prev_states),
+            elapsed: started.elapsed().max(std::time::Duration::from_nanos(1)),
             event,
         };
+        self.prev_states = states;
         if self
             .property
             .find_violation(self.backend.visible_layer(k).iter())

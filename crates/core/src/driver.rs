@@ -104,6 +104,10 @@ pub struct CubaOutcome {
     pub rounds: usize,
     /// Wall-clock duration of the run.
     pub duration: Duration,
+    /// Wall-clock spent inside completed rounds, summed over *all*
+    /// arms — the cost-accounting view of the race (scheduling
+    /// overhead and FCR/G∩Z precomputation excluded).
+    pub round_wall: Duration,
 }
 
 /// The Cuba verifier: the paper's overall procedure (§6), as a thin
@@ -181,6 +185,7 @@ impl Cuba {
             subsumption: config.subsumption,
             timeout: config.timeout,
             cancel: config.cancel.clone(),
+            schedule: crate::SchedulePolicy::default(),
         }
     }
 

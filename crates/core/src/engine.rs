@@ -61,7 +61,9 @@ impl RoundCtx {
     }
 }
 
-/// What one computed round looked like.
+/// What one computed round looked like, including its cost — the raw
+/// material of budget-aware scheduling
+/// ([`SchedulePolicy`](crate::SchedulePolicy)).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RoundInfo {
     /// The context bound `k` of the round.
@@ -69,6 +71,13 @@ pub struct RoundInfo {
     /// Total states stored by the engine after the round (global
     /// states for explicit engines, symbolic states otherwise).
     pub states: usize,
+    /// States added by this round (`states` minus the previous
+    /// round's; the whole initial frontier for `k = 0`). The frontier
+    /// delta a [`SchedulePolicy`](crate::SchedulePolicy) watches.
+    pub delta_states: usize,
+    /// Wall-clock time the engine spent computing this round. Always
+    /// nonzero (clamped to ≥ 1 ns so downstream rates are finite).
+    pub elapsed: std::time::Duration,
     /// How the engine's observation sequence moved (§3, Table 1).
     pub event: SequenceEvent,
 }
@@ -271,6 +280,10 @@ pub struct EngineParams {
     pub fuse_collapse: bool,
     /// Skip the per-engine FCR pre-check (sessions check once).
     pub skip_fcr_check: bool,
+    /// A precomputed `G ∩ Z` shared across sessions on the same
+    /// system ([`SuiteCache`](crate::SuiteCache)); `None` lets each
+    /// Algorithm 3 engine compute its own.
+    pub g_cap_z: Option<std::sync::Arc<Vec<cuba_pds::VisibleState>>>,
 }
 
 impl Default for EngineParams {
@@ -281,6 +294,7 @@ impl Default for EngineParams {
             subsumption: SubsumptionMode::Exact,
             fuse_collapse: true,
             skip_fcr_check: false,
+            g_cap_z: None,
         }
     }
 }
@@ -303,6 +317,7 @@ pub fn build_engine(
         skip_fcr_check: params.skip_fcr_check,
         subsumption: params.subsumption,
         use_state_collapse: params.fuse_collapse,
+        g_cap_z: params.g_cap_z.clone(),
     };
     let scheme1 = || Scheme1Config {
         budget: params.budget.clone(),

@@ -19,6 +19,11 @@ pub enum SessionEvent {
         k: usize,
         /// States stored by that engine after the round.
         states: usize,
+        /// States the round added (the frontier delta a
+        /// [`SchedulePolicy`](crate::SchedulePolicy) watches).
+        delta_states: usize,
+        /// Wall-clock cost of the round (nonzero).
+        elapsed: std::time::Duration,
         /// How the engine's observation sequence moved (Table 1).
         event: SequenceEvent,
     },
@@ -58,6 +63,8 @@ impl std::fmt::Display for SessionEvent {
                 engine,
                 k,
                 states,
+                delta_states,
+                elapsed,
                 event,
             } => {
                 let tag = match event {
@@ -65,7 +72,10 @@ impl std::fmt::Display for SessionEvent {
                     SequenceEvent::NewPlateau => "new plateau",
                     SequenceEvent::OngoingPlateau => "plateau",
                 };
-                write!(f, "{engine}: round k={k} done, {states} states ({tag})")
+                write!(
+                    f,
+                    "{engine}: round k={k} done, {states} states (+{delta_states}, {tag}, {elapsed:?})"
+                )
             }
             SessionEvent::EngineConcluded {
                 engine,

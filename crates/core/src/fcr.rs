@@ -45,11 +45,23 @@ pub fn fcr_psa(pds: &Pds, num_shared: u32) -> Psa {
     post_star(pds, &init)
 }
 
+/// How many full [`check_fcr`] computations this process has run.
+/// Instruments the suite-level cache: a cached batch must decide FCR
+/// once per distinct system, not once per session (see
+/// [`SuiteCache`](crate::SuiteCache)).
+static FCR_CHECKS: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
+
+/// Process-wide count of [`check_fcr`] computations performed so far.
+pub fn fcr_checks_performed() -> usize {
+    FCR_CHECKS.load(std::sync::atomic::Ordering::Relaxed)
+}
+
 /// Decides finite context reachability for a CPDS: builds the PSA for
 /// each thread's `R(Q × Σ≤1_i)` and checks its language finite via
 /// loop detection (§5, Fig. 4). Sufficient, not necessary — the paper
 /// leaves decidability of FCR itself open (§8).
 pub fn check_fcr(cpds: &Cpds) -> FcrReport {
+    FCR_CHECKS.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
     let per_thread = cpds
         .threads()
         .iter()

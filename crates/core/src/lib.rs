@@ -19,8 +19,11 @@
 //! * [`Portfolio`] / [`AnalysisSession`] implement the top-level
 //!   procedure of §6 as a *race of engines*: under FCR the explicit
 //!   arms run alongside a context-bounded refuter, otherwise the
-//!   symbolic arms race — streaming per-round [`SessionEvent`]s, with
-//!   cooperative cancellation and wall-clock deadlines.
+//!   symbolic arms race — streaming per-round [`SessionEvent`]s (with
+//!   per-round cost accounting), with cooperative cancellation and
+//!   wall-clock deadlines. Turns are distributed by a pluggable
+//!   [`SchedulePolicy`] (cost-aware by default); batches share
+//!   per-system artifacts through a [`SuiteCache`].
 //! * [`Cuba`] is a thin blocking wrapper over a session, kept for
 //!   compatibility.
 //! * [`cba_baseline`] is plain context-bounded analysis (Qadeer–Rehof
@@ -92,6 +95,7 @@
 //! [`AnalysisSession`] directly.
 
 mod alg3;
+mod cache;
 mod cba_baseline;
 mod driver;
 mod engine;
@@ -102,6 +106,7 @@ mod generator;
 mod overapprox;
 mod portfolio;
 mod property;
+mod schedule;
 mod scheme1;
 mod sequence;
 mod session;
@@ -109,6 +114,7 @@ mod session;
 mod testutil;
 
 pub use alg3::{alg3_explicit, alg3_symbolic, Alg3Config, Alg3Engine, Alg3Report};
+pub use cache::{fingerprint, SuiteCache, SystemArtifacts};
 pub use cba_baseline::{cba_baseline, CbaConfig, CbaEngine, CbaReport, CbaVerdict};
 pub use driver::{Cuba, CubaConfig, CubaOutcome, DriverMode, EngineUsed};
 pub use engine::{
@@ -117,11 +123,14 @@ pub use engine::{
 };
 pub use error::CubaError;
 pub use events::SessionEvent;
-pub use fcr::{check_fcr, fcr_psa, FcrReport};
+pub use fcr::{check_fcr, fcr_checks_performed, fcr_psa, FcrReport};
 pub use generator::GeneratorSet;
 pub use overapprox::{compute_z, thread_abstraction, AbstractTransition, ZReport};
 pub use portfolio::{Lineup, Portfolio};
 pub use property::Property;
+pub use schedule::{
+    ArmView, FrontierAwareScheduler, FrontierConfig, RoundRobinScheduler, SchedulePolicy, Scheduler,
+};
 pub use scheme1::{
     scheme1_explicit, scheme1_symbolic, Scheme1Config, Scheme1Engine, Scheme1Report,
 };

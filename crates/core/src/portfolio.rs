@@ -19,14 +19,15 @@
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
 
 use cuba_pds::Cpds;
 
 use crate::engine::EngineKind;
 use crate::{
-    check_fcr, AnalysisSession, CubaError, CubaOutcome, Property, SessionConfig, SessionEvent,
-    Verdict,
+    AnalysisSession, CubaError, CubaOutcome, Property, SchedulePolicy, SessionConfig, SessionEvent,
+    SuiteCache, SystemArtifacts, Verdict,
 };
 
 /// How a portfolio picks its engine lineup for a problem.
@@ -85,9 +86,15 @@ impl Portfolio {
 
     /// The concrete lineup this portfolio fields for a system.
     pub fn lineup_for(&self, cpds: &Cpds) -> Vec<EngineKind> {
+        self.lineup_with(cpds, &SystemArtifacts::new())
+    }
+
+    /// As [`lineup_for`](Self::lineup_for), but reusing a cached FCR
+    /// verdict instead of re-deciding it.
+    fn lineup_with(&self, cpds: &Cpds, artifacts: &SystemArtifacts) -> Vec<EngineKind> {
         match &self.lineup {
             Lineup::Auto => {
-                if check_fcr(cpds).holds() {
+                if artifacts.fcr(cpds).holds() {
                     vec![
                         EngineKind::Alg3Explicit,
                         EngineKind::Scheme1Explicit,
@@ -107,8 +114,23 @@ impl Portfolio {
     ///
     /// [`CubaError::FcrRequired`] when no arm applies to the system.
     pub fn session(&self, cpds: Cpds, property: Property) -> Result<AnalysisSession, CubaError> {
-        let lineup = self.lineup_for(&cpds);
-        AnalysisSession::new(cpds, property, &lineup, &self.config)
+        self.session_with(cpds, property, &Arc::new(SystemArtifacts::new()))
+    }
+
+    /// Opens a streaming session reusing cached per-system artifacts
+    /// (FCR verdict, `G ∩ Z`) — see [`SuiteCache`].
+    ///
+    /// # Errors
+    ///
+    /// As for [`session`](Self::session).
+    pub fn session_with(
+        &self,
+        cpds: Cpds,
+        property: Property,
+        artifacts: &Arc<SystemArtifacts>,
+    ) -> Result<AnalysisSession, CubaError> {
+        let lineup = self.lineup_with(&cpds, artifacts);
+        AnalysisSession::with_artifacts(cpds, property, &lineup, &self.config, artifacts)
     }
 
     /// Runs the race round-robin on the current thread.
@@ -150,9 +172,10 @@ impl Portfolio {
         mut on_event: Option<&mut dyn FnMut(&SessionEvent)>,
     ) -> Result<CubaOutcome, CubaError> {
         let start = std::time::Instant::now();
-        let fcr_holds = check_fcr(&cpds).holds();
+        let artifacts = Arc::new(SystemArtifacts::new());
+        let fcr_holds = artifacts.fcr(&cpds).holds();
         let lineup: Vec<EngineKind> = self
-            .lineup_for(&cpds)
+            .lineup_with(&cpds, &artifacts)
             .into_iter()
             .filter(|kind| fcr_holds || !kind.needs_fcr())
             .collect();
@@ -169,9 +192,18 @@ impl Portfolio {
 
         let (events_tx, events_rx) = mpsc::channel::<SessionEvent>();
         let reports: Mutex<Vec<ParallelArmReport>> = Mutex::new(Vec::new());
+        // Shared cost board for frontier-aware self-parking: each arm
+        // publishes its state count after every round and parks itself
+        // while it balloons past the leanest active sibling.
+        let board: Vec<AtomicUsize> = lineup.iter().map(|_| AtomicUsize::new(0)).collect();
+        let active = AtomicUsize::new(lineup.len());
+        let frontier = match &self.config.schedule {
+            SchedulePolicy::FrontierAware(config) => Some(config.clone()),
+            SchedulePolicy::RoundRobin => None,
+        };
 
         std::thread::scope(|scope| {
-            for kind in &lineup {
+            for (arm_index, kind) in lineup.iter().enumerate() {
                 // One single-arm session per thread: reuses the exact
                 // round/event bookkeeping of the sequential path. The
                 // fuse decision still sees the whole lineup, so Alg. 3
@@ -183,16 +215,33 @@ impl Portfolio {
                     &lineup,
                     Some(race.clone()),
                     &self.config,
+                    &artifacts,
                 );
                 let events_tx = events_tx.clone();
                 let reports = &reports;
                 let race = &race;
+                let board = &board;
+                let active = &active;
+                let frontier = frontier.clone();
                 scope.spawn(move || {
                     let report = match session {
                         Ok(mut session) => {
                             while let Some(event) = session.next_event() {
+                                if let SessionEvent::RoundCompleted { states, .. } = &event {
+                                    board[arm_index].store(*states, Ordering::Relaxed);
+                                }
                                 let _ = events_tx.send(event);
+                                if let Some(config) = &frontier {
+                                    park_while_ballooning(arm_index, board, active, race, config);
+                                }
                             }
+                            // Clear this arm's board entry *before*
+                            // leaving the race: a retired arm's stale
+                            // state count must never serve as the
+                            // "leanest sibling" for the parking test,
+                            // or the survivors could park forever.
+                            board[arm_index].store(0, Ordering::Relaxed);
+                            active.fetch_sub(1, Ordering::Relaxed);
                             // The first conclusive arm stops the race.
                             let conclusive = matches!(
                                 session.outcome(),
@@ -207,12 +256,14 @@ impl Portfolio {
                                     result: Ok(outcome.verdict.clone()),
                                     rounds: outcome.rounds,
                                     states: outcome.states,
+                                    round_wall: outcome.round_wall,
                                 },
                                 Some(Err(e)) => ParallelArmReport {
                                     engine: arm_engine_placeholder(*kind),
                                     result: Err(e.clone()),
                                     rounds: 0,
                                     states: 0,
+                                    round_wall: Duration::ZERO,
                                 },
                                 None => ParallelArmReport {
                                     engine: arm_engine_placeholder(*kind),
@@ -221,15 +272,21 @@ impl Portfolio {
                                     )),
                                     rounds: 0,
                                     states: 0,
+                                    round_wall: Duration::ZERO,
                                 },
                             }
                         }
-                        Err(e) => ParallelArmReport {
-                            engine: arm_engine_placeholder(*kind),
-                            result: Err(e),
-                            rounds: 0,
-                            states: 0,
-                        },
+                        Err(e) => {
+                            board[arm_index].store(0, Ordering::Relaxed);
+                            active.fetch_sub(1, Ordering::Relaxed);
+                            ParallelArmReport {
+                                engine: arm_engine_placeholder(*kind),
+                                result: Err(e),
+                                rounds: 0,
+                                states: 0,
+                                round_wall: Duration::ZERO,
+                            }
+                        }
                     };
                     reports.lock().expect("no poisoned arm").push(report);
                 });
@@ -249,12 +306,31 @@ impl Portfolio {
 
     /// Batch verification: runs the portfolio over every problem with
     /// at most `parallelism` problems in flight (each problem's arms
-    /// run round-robin within its worker). Results come back in input
+    /// are scheduled within its worker). Results come back in input
     /// order.
+    ///
+    /// Problems sharing a system (same CPDS, many properties) share
+    /// the FCR verdict and the built `G ∩ Z` through a fresh
+    /// [`SuiteCache`]; use
+    /// [`run_suite_cached`](Self::run_suite_cached) to keep the cache
+    /// warm across calls.
     pub fn run_suite(
         &self,
         problems: Vec<(Cpds, Property)>,
         parallelism: usize,
+    ) -> Vec<Result<CubaOutcome, CubaError>> {
+        self.run_suite_cached(problems, parallelism, &SuiteCache::new())
+    }
+
+    /// As [`run_suite`](Self::run_suite), with a caller-owned
+    /// [`SuiteCache`] — the service-shaped entry point: a long-lived
+    /// cache turns repeated batches over the same systems into
+    /// lookups instead of recomputation.
+    pub fn run_suite_cached(
+        &self,
+        problems: Vec<(Cpds, Property)>,
+        parallelism: usize,
+        cache: &SuiteCache,
     ) -> Vec<Result<CubaOutcome, CubaError>> {
         let n = problems.len();
         let workers = parallelism.max(1).min(n.max(1));
@@ -276,7 +352,10 @@ impl Portfolio {
                         .expect("problem slot")
                         .take()
                         .expect("each slot is claimed once");
-                    let result = self.run(cpds, property);
+                    let artifacts = cache.artifacts(&cpds);
+                    let result = self
+                        .session_with(cpds, property, &artifacts)
+                        .and_then(AnalysisSession::run);
                     *results[index].lock().expect("result slot") = Some(result);
                 });
             }
@@ -290,6 +369,39 @@ impl Portfolio {
                     .expect("every index was processed")
             })
             .collect()
+    }
+}
+
+/// Frontier-aware self-parking for threaded arms: while this arm's
+/// published state count balloons past `balloon_ratio` times the
+/// leanest active sibling's, sleep instead of stepping — the threaded
+/// analogue of the sequential scheduler's demote/park. The arm resumes
+/// when the imbalance clears, the race is decided, or it is the last
+/// arm standing (so parking never loses a verdict).
+fn park_while_ballooning(
+    arm_index: usize,
+    board: &[AtomicUsize],
+    active: &AtomicUsize,
+    race: &cuba_explore::CancelToken,
+    config: &crate::FrontierConfig,
+) {
+    loop {
+        if race.is_cancelled() || active.load(Ordering::Relaxed) <= 1 {
+            return;
+        }
+        let own = board[arm_index].load(Ordering::Relaxed);
+        let min_other = board
+            .iter()
+            .enumerate()
+            .filter(|&(i, slot)| i != arm_index && slot.load(Ordering::Relaxed) > 0)
+            .map(|(_, slot)| slot.load(Ordering::Relaxed))
+            .min();
+        let Some(min_other) = min_other else { return };
+        let floor = min_other.max(config.park_floor);
+        if own as f64 <= config.balloon_ratio * floor as f64 {
+            return;
+        }
+        std::thread::sleep(Duration::from_micros(500));
     }
 }
 
@@ -314,6 +426,9 @@ fn pick_parallel_winner(
     duration: std::time::Duration,
 ) -> Result<CubaOutcome, CubaError> {
     let reports: Vec<&ParallelArmReport> = reports.iter().map(|r| r.borrow()).collect();
+    // Cost accounting sums over every arm: losers' rounds were still
+    // paid for.
+    let round_wall: Duration = reports.iter().map(|r| r.round_wall).sum();
     let outcome_from = |r: &ParallelArmReport, verdict: Verdict| CubaOutcome {
         verdict,
         fcr_holds,
@@ -321,6 +436,7 @@ fn pick_parallel_winner(
         states: r.states,
         rounds: r.rounds,
         duration,
+        round_wall,
     };
     if let Some(r) = reports
         .iter()
@@ -364,6 +480,7 @@ struct ParallelArmReport {
     result: Result<Verdict, CubaError>,
     rounds: usize,
     states: usize,
+    round_wall: Duration,
 }
 
 #[cfg(test)]

@@ -1,0 +1,545 @@
+//! Budget-aware arm scheduling for [`AnalysisSession`]s.
+//!
+//! The paper's §6 race advances every arm through the same bounds in
+//! lockstep, which is wasteful in both directions: an arm whose
+//! observation sequence is about to plateau (the likely winner) waits
+//! for its siblings, while an arm whose symbolic state count balloons
+//! burns most of the wall-clock without ever getting closer to a
+//! verdict. With per-round cost accounting in
+//! [`RoundInfo`](crate::RoundInfo) (`elapsed`, `delta_states`) the
+//! scheduler can see both situations and act:
+//!
+//! * [`SchedulePolicy::RoundRobin`] — the original lockstep behavior.
+//! * [`SchedulePolicy::FrontierAware`] (the default) — grants extra
+//!   consecutive turns to the most promising arm (plateauing
+//!   observation sequence first, then smallest `delta_states/elapsed`
+//!   trend), demotes an arm whose stored states balloon past a
+//!   configurable ratio of the leanest sibling, and eventually parks
+//!   it. Parking is never fatal: a parked arm is resumed as soon as
+//!   every other arm has retired, so no verdict reachable under
+//!   round-robin is lost.
+//!
+//! The policy is pluggable behind the [`Scheduler`] trait: sessions
+//! build a boxed scheduler from the policy in their
+//! [`SessionConfig`](crate::SessionConfig) and consult it before every
+//! step.
+//!
+//! [`AnalysisSession`]: crate::AnalysisSession
+
+use crate::RoundInfo;
+
+/// What a [`Scheduler`] is allowed to know about an arm when picking
+/// the next one to step.
+#[derive(Debug, Clone, Copy)]
+pub struct ArmView {
+    /// The arm concluded or failed; it must not be scheduled again.
+    pub retired: bool,
+    /// States currently stored by the arm's engine.
+    pub states: usize,
+    /// Rounds the arm has computed.
+    pub rounds: usize,
+    /// Whether the arm is a refuter (CBA): it can win with a bug but
+    /// never proves, so a plateau never lets it conclude — granting it
+    /// bonus turns on a safe instance only delays the provers.
+    pub refuter: bool,
+}
+
+/// An arm-picking strategy for a session's race.
+///
+/// The session calls [`next_arm`](Scheduler::next_arm) before every
+/// step and [`record`](Scheduler::record) after every completed round,
+/// so implementations see the full per-round cost stream.
+pub trait Scheduler: Send {
+    /// Picks the index of the next arm to step, or `None` when no
+    /// schedulable arm remains (every arm retired). Implementations
+    /// must never return a retired arm and must keep every non-retired
+    /// arm reachable (no permanent starvation), or verdicts reachable
+    /// under round-robin would be lost.
+    fn next_arm(&mut self, arms: &[ArmView]) -> Option<usize>;
+
+    /// Records a completed round of arm `index`.
+    fn record(&mut self, index: usize, info: &RoundInfo);
+
+    /// Whether the arm is currently parked (diagnostics only).
+    fn is_parked(&self, index: usize) -> bool {
+        let _ = index;
+        false
+    }
+}
+
+/// Tuning of the [`FrontierAware`](SchedulePolicy::FrontierAware)
+/// policy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrontierConfig {
+    /// How many recent rounds feed the per-arm trend.
+    pub window: usize,
+    /// Extra consecutive turns per cycle for the leading arm.
+    pub bonus_turns: usize,
+    /// How many rounds the leader may run ahead of the most-behind
+    /// active arm before its bonus is withheld (bounds the damage of a
+    /// mispicked leader).
+    pub max_lead: usize,
+    /// An arm is ballooning when its stored states exceed this ratio
+    /// of the leanest active sibling's (and [`Self::park_floor`]).
+    pub balloon_ratio: f64,
+    /// Ballooning is ignored below this absolute state count.
+    pub park_floor: usize,
+    /// Consecutive ballooning evaluations before the arm is parked
+    /// outright (before that it is demoted to every other cycle).
+    pub park_after: usize,
+}
+
+impl Default for FrontierConfig {
+    fn default() -> Self {
+        FrontierConfig {
+            window: 3,
+            bonus_turns: 3,
+            max_lead: 6,
+            balloon_ratio: 8.0,
+            park_floor: 256,
+            park_after: 2,
+        }
+    }
+}
+
+/// How a session distributes turns over its racing arms.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SchedulePolicy {
+    /// The paper's lockstep: every active arm advances through the
+    /// same bounds in lineup order.
+    RoundRobin,
+    /// Cost-aware scheduling: bonus turns for the most promising arm,
+    /// demotion/parking for ballooning ones. The default.
+    FrontierAware(FrontierConfig),
+}
+
+impl Default for SchedulePolicy {
+    fn default() -> Self {
+        SchedulePolicy::FrontierAware(FrontierConfig::default())
+    }
+}
+
+impl SchedulePolicy {
+    /// The frontier-aware policy with default tuning.
+    pub fn frontier_aware() -> Self {
+        SchedulePolicy::default()
+    }
+
+    /// Instantiates the scheduler implementing this policy.
+    pub fn scheduler(&self) -> Box<dyn Scheduler> {
+        match self {
+            SchedulePolicy::RoundRobin => Box::new(RoundRobinScheduler::new()),
+            SchedulePolicy::FrontierAware(config) => {
+                Box::new(FrontierAwareScheduler::new(config.clone()))
+            }
+        }
+    }
+
+    /// The CLI spelling of the policy (`--schedule <name>`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            SchedulePolicy::RoundRobin => "round-robin",
+            SchedulePolicy::FrontierAware(_) => "frontier",
+        }
+    }
+}
+
+impl std::fmt::Display for SchedulePolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+/// The original lockstep scheduler: next non-retired arm after the
+/// cursor, wrapping.
+#[derive(Debug, Default)]
+pub struct RoundRobinScheduler {
+    cursor: usize,
+}
+
+impl RoundRobinScheduler {
+    /// A fresh scheduler starting at the first arm.
+    pub fn new() -> Self {
+        RoundRobinScheduler::default()
+    }
+}
+
+impl Scheduler for RoundRobinScheduler {
+    fn next_arm(&mut self, arms: &[ArmView]) -> Option<usize> {
+        let n = arms.len();
+        let pick = (0..n)
+            .map(|offset| (self.cursor + offset) % n)
+            .find(|&i| !arms[i].retired)?;
+        self.cursor = pick + 1;
+        Some(pick)
+    }
+
+    fn record(&mut self, _index: usize, _info: &RoundInfo) {}
+}
+
+/// Per-arm bookkeeping of the frontier-aware scheduler.
+#[derive(Debug, Default, Clone)]
+struct ArmStats {
+    /// Recent `(delta_states, elapsed_secs, plateaued)` rounds, newest
+    /// last, capped at `config.window`.
+    recent: Vec<(usize, f64, bool)>,
+    /// Consecutive cycles the arm was seen ballooning.
+    strikes: usize,
+    /// The arm is parked: no turns while any sibling is active.
+    parked: bool,
+}
+
+impl ArmStats {
+    /// `delta_states` per second over the window; `None` until the
+    /// window is full (no bonus before there is evidence).
+    fn trend(&self, window: usize) -> Option<f64> {
+        if self.recent.len() < window {
+            return None;
+        }
+        let states: usize = self.recent.iter().map(|r| r.0).sum();
+        let secs: f64 = self.recent.iter().map(|r| r.1).sum();
+        Some(states as f64 / secs.max(1e-12))
+    }
+
+    /// Whether the latest recorded round was a plateau.
+    fn plateaued(&self) -> bool {
+        self.recent.last().is_some_and(|r| r.2)
+    }
+}
+
+/// The budget-aware scheduler: weighted cycles with a leader bonus and
+/// balloon demotion/parking. Deterministic given the recorded round
+/// stream (modulo wall-clock jitter in the trend tie-breaks, which the
+/// plateau priority and the index tie-break keep from mattering on
+/// close calls).
+#[derive(Debug)]
+pub struct FrontierAwareScheduler {
+    config: FrontierConfig,
+    stats: Vec<ArmStats>,
+    /// Planned turns for the current cycle, next turn last (popped).
+    plan: Vec<usize>,
+    /// Cycles planned so far (demoted arms run every other cycle).
+    cycles: usize,
+}
+
+impl FrontierAwareScheduler {
+    /// A fresh scheduler with the given tuning.
+    pub fn new(config: FrontierConfig) -> Self {
+        FrontierAwareScheduler {
+            config,
+            stats: Vec::new(),
+            plan: Vec::new(),
+            cycles: 0,
+        }
+    }
+
+    fn ensure_stats(&mut self, n: usize) {
+        if self.stats.len() < n {
+            self.stats.resize(n, ArmStats::default());
+        }
+    }
+
+    /// Re-evaluates ballooning and plans the next cycle of turns.
+    fn plan_cycle(&mut self, arms: &[ArmView]) {
+        self.cycles += 1;
+        let active: Vec<usize> = (0..arms.len()).filter(|&i| !arms[i].retired).collect();
+        if active.is_empty() {
+            return;
+        }
+
+        // Balloon evaluation against the leanest active sibling.
+        let min_states = active
+            .iter()
+            .map(|&i| arms[i].states)
+            .min()
+            .unwrap_or(0)
+            .max(self.config.park_floor);
+        for &i in &active {
+            let ballooning = arms[i].states as f64 > self.config.balloon_ratio * min_states as f64;
+            if ballooning {
+                self.stats[i].strikes += 1;
+                if self.stats[i].strikes >= self.config.park_after {
+                    self.stats[i].parked = true;
+                }
+            } else {
+                self.stats[i].strikes = 0;
+                self.stats[i].parked = false;
+            }
+        }
+        // Never park everyone: if no active arm is schedulable, unpark
+        // them all — a parked arm resumes once it is the only hope.
+        if active.iter().all(|&i| self.stats[i].parked) {
+            for &i in &active {
+                self.stats[i].parked = false;
+                self.stats[i].strikes = 0;
+            }
+        }
+
+        // One turn per schedulable arm; demoted (struck but not yet
+        // parked) arms only run every other cycle.
+        let mut cycle: Vec<usize> = Vec::new();
+        for &i in &active {
+            if self.stats[i].parked {
+                continue;
+            }
+            if self.stats[i].strikes > 0 && self.cycles.is_multiple_of(2) {
+                continue;
+            }
+            cycle.push(i);
+        }
+        if cycle.is_empty() {
+            // All survivors demoted this cycle: run them anyway.
+            cycle.extend(active.iter().filter(|&&i| !self.stats[i].parked));
+        }
+
+        // Leader bonus: a plateauing prover first, else the prover
+        // with the smallest delta/elapsed trend; ties fall to the
+        // earliest arm (lineup order is preference order). Withheld
+        // when the leader is already `max_lead` rounds ahead.
+        let min_rounds = active.iter().map(|&i| arms[i].rounds).min().unwrap_or(0);
+        let mut leader: Option<usize> = None;
+        let mut best = (u8::MAX, f64::INFINITY);
+        for &i in &cycle {
+            if arms[i].refuter || arms[i].rounds >= min_rounds + self.config.max_lead {
+                continue;
+            }
+            let stats = &self.stats[i];
+            // No bonus without evidence: a full trend window or a
+            // recorded plateau.
+            let trend = stats.trend(self.config.window);
+            if trend.is_none() && !stats.plateaued() {
+                continue;
+            }
+            let key = (
+                if stats.plateaued() { 0u8 } else { 1u8 },
+                trend.unwrap_or(f64::INFINITY),
+            );
+            // Strictly-less keeps the earliest arm on ties: lineup
+            // order is preference order (Alg. 3 before Scheme 1).
+            if key < best {
+                best = key;
+                leader = Some(i);
+            }
+        }
+        if let Some(leader) = leader {
+            for _ in 0..self.config.bonus_turns {
+                cycle.push(leader);
+            }
+        }
+
+        // Popped from the back.
+        cycle.reverse();
+        self.plan = cycle;
+    }
+}
+
+impl Scheduler for FrontierAwareScheduler {
+    fn next_arm(&mut self, arms: &[ArmView]) -> Option<usize> {
+        self.ensure_stats(arms.len());
+        loop {
+            // Serve the plan, skipping entries gone stale (retired
+            // since planning).
+            while let Some(i) = self.plan.pop() {
+                if !arms[i].retired {
+                    return Some(i);
+                }
+            }
+            if arms.iter().all(|a| a.retired) {
+                return None;
+            }
+            self.plan_cycle(arms);
+            if self.plan.is_empty() {
+                // Defensive: with at least one non-retired arm the
+                // planner always emits a turn, but never loop forever.
+                return (0..arms.len()).find(|&i| !arms[i].retired);
+            }
+        }
+    }
+
+    fn record(&mut self, index: usize, info: &RoundInfo) {
+        self.ensure_stats(index + 1);
+        let stats = &mut self.stats[index];
+        let plateaued = matches!(
+            info.event,
+            crate::SequenceEvent::NewPlateau | crate::SequenceEvent::OngoingPlateau
+        );
+        stats
+            .recent
+            .push((info.delta_states, info.elapsed.as_secs_f64(), plateaued));
+        let window = self.config.window;
+        if stats.recent.len() > window {
+            let drop = stats.recent.len() - window;
+            stats.recent.drain(..drop);
+        }
+    }
+
+    fn is_parked(&self, index: usize) -> bool {
+        self.stats.get(index).is_some_and(|s| s.parked)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SequenceEvent;
+    use std::time::Duration;
+
+    fn info(k: usize, states: usize, delta: usize, event: SequenceEvent) -> RoundInfo {
+        RoundInfo {
+            k,
+            states,
+            delta_states: delta,
+            elapsed: Duration::from_micros(100),
+            event,
+        }
+    }
+
+    fn view(states: usize, rounds: usize, refuter: bool) -> ArmView {
+        ArmView {
+            retired: false,
+            states,
+            rounds,
+            refuter,
+        }
+    }
+
+    /// Round-robin cycles arms in order, skipping retired ones.
+    #[test]
+    fn round_robin_skips_retired() {
+        let mut rr = RoundRobinScheduler::new();
+        let mut arms = vec![view(1, 0, false), view(1, 0, false), view(1, 0, false)];
+        assert_eq!(rr.next_arm(&arms), Some(0));
+        assert_eq!(rr.next_arm(&arms), Some(1));
+        arms[2].retired = true;
+        assert_eq!(rr.next_arm(&arms), Some(0));
+        arms[0].retired = true;
+        arms[1].retired = true;
+        assert_eq!(rr.next_arm(&arms), None);
+    }
+
+    /// Drives both schedulers over a synthetic race: arm 0 plateaus
+    /// (the likely winner), arm 1's states balloon every round. The
+    /// frontier-aware scheduler must park the ballooning arm;
+    /// round-robin must keep stepping it.
+    #[test]
+    fn frontier_aware_parks_ballooning_arm_round_robin_does_not() {
+        let config = FrontierConfig::default();
+        let mut fa = FrontierAwareScheduler::new(config.clone());
+        let mut rr = RoundRobinScheduler::new();
+
+        let mut fa_turns = [0usize; 2];
+        let mut rr_turns = [0usize; 2];
+        for (sched, turns) in [
+            (&mut fa as &mut dyn Scheduler, &mut fa_turns),
+            (&mut rr as &mut dyn Scheduler, &mut rr_turns),
+        ] {
+            // Arm 0: lean, plateauing. Arm 1: balloons 10x per round.
+            let mut states = [100usize, 100usize];
+            let mut rounds = [0usize, 0usize];
+            for _ in 0..60 {
+                let arms = [
+                    view(states[0], rounds[0], false),
+                    view(states[1], rounds[1], false),
+                ];
+                let Some(i) = sched.next_arm(&arms) else {
+                    break;
+                };
+                turns[i] += 1;
+                let (delta, event) = if i == 0 {
+                    (0, SequenceEvent::OngoingPlateau)
+                } else {
+                    let grown = states[1].saturating_mul(10);
+                    let delta = grown - states[1];
+                    states[1] = grown;
+                    (delta, SequenceEvent::Grew)
+                };
+                rounds[i] += 1;
+                sched.record(i, &info(rounds[i], states[i], delta, event));
+            }
+        }
+
+        // Round-robin alternates: the ballooning arm gets half the
+        // turns, and is never parked.
+        assert_eq!(rr_turns[0], rr_turns[1]);
+        assert!(!rr.is_parked(1));
+
+        // Frontier-aware parks arm 1 and starves it of further turns.
+        assert!(fa.is_parked(1), "ballooning arm was not parked");
+        assert!(!fa.is_parked(0));
+        assert!(
+            fa_turns[1] < fa_turns[0] / 2,
+            "parked arm kept its turns: {fa_turns:?}"
+        );
+    }
+
+    /// A parked arm is resumed once every sibling retires: parking
+    /// never loses a verdict that round-robin would reach.
+    #[test]
+    fn parked_arm_resumes_when_alone() {
+        let mut fa = FrontierAwareScheduler::new(FrontierConfig {
+            park_after: 1,
+            ..FrontierConfig::default()
+        });
+        let mut arms = [view(100, 3, false), view(1_000_000, 3, false)];
+        // Force a balloon evaluation by exhausting the first plan.
+        for _ in 0..10 {
+            let i = fa.next_arm(&arms).unwrap();
+            assert_eq!(i, 0, "ballooning arm scheduled while sibling active");
+            fa.record(i, &info(0, arms[i].states, 10, SequenceEvent::Grew));
+        }
+        assert!(fa.is_parked(1));
+        arms[0].retired = true;
+        assert_eq!(fa.next_arm(&arms), Some(1), "parked arm must resume");
+    }
+
+    /// The leader bonus goes to the plateauing prover, never to a
+    /// refuter, and respects the lead cap.
+    #[test]
+    fn bonus_prefers_plateauing_prover() {
+        let config = FrontierConfig::default();
+        let mut fa = FrontierAwareScheduler::new(config.clone());
+        let mut rounds = [0usize; 3];
+        let mut turns = [0usize; 3];
+        // Arm 0: prover, plateauing. Arm 1: prover, growing fast.
+        // Arm 2: refuter, tiny deltas (tempting trend, must not lead).
+        // (24 turns ≈ the horizon of a real race: in a session the
+        // plateauing leader concludes before the lead cap rotates the
+        // bonus away from it.)
+        for _ in 0..24 {
+            let arms = [
+                view(500, rounds[0], false),
+                view(500, rounds[1], false),
+                view(500, rounds[2], true),
+            ];
+            let Some(i) = fa.next_arm(&arms) else { break };
+            turns[i] += 1;
+            rounds[i] += 1;
+            let (delta, event) = match i {
+                0 => (0, SequenceEvent::OngoingPlateau),
+                1 => (200, SequenceEvent::Grew),
+                _ => (1, SequenceEvent::Grew),
+            };
+            fa.record(i, &info(rounds[i], 500, delta, event));
+        }
+        assert!(
+            turns[0] > turns[1] && turns[0] > turns[2],
+            "plateauing prover did not lead: {turns:?}"
+        );
+        // The lead cap kept the leader within reach of the others.
+        assert!(
+            rounds[0]
+                <= rounds.iter().copied().min().unwrap() + config.max_lead + config.bonus_turns,
+            "lead cap violated: {rounds:?}"
+        );
+    }
+
+    /// Policy plumbing: names, default, and scheduler construction.
+    #[test]
+    fn policy_surface() {
+        assert_eq!(SchedulePolicy::RoundRobin.name(), "round-robin");
+        assert_eq!(SchedulePolicy::default().name(), "frontier");
+        assert_eq!(SchedulePolicy::frontier_aware(), SchedulePolicy::default());
+        let mut s = SchedulePolicy::RoundRobin.scheduler();
+        assert_eq!(s.next_arm(&[view(1, 0, false)]), Some(0));
+    }
+}

@@ -58,6 +58,8 @@ pub struct Scheme1Engine {
     backend: Backend,
     growth: GrowthLog,
     next_k: usize,
+    /// `states()` after the previous round, for `delta_states`.
+    prev_states: usize,
     verdict: Option<Verdict>,
 }
 
@@ -110,6 +112,7 @@ impl Scheme1Engine {
             backend,
             growth: GrowthLog::new(),
             next_k: 0,
+            prev_states: 0,
             verdict: None,
         }
     }
@@ -196,6 +199,7 @@ impl Engine for Scheme1Engine {
             };
             return Ok(self.conclude(None, verdict));
         }
+        let started = std::time::Instant::now();
         let k = self.next_k;
         let collapsed = if k > 0 {
             self.backend.advance()?;
@@ -205,11 +209,15 @@ impl Engine for Scheme1Engine {
         };
         let event = self.growth.push(self.backend.states());
         self.next_k += 1;
+        let states = self.backend.states();
         let info = RoundInfo {
             k,
-            states: self.backend.states(),
+            states,
+            delta_states: states.saturating_sub(self.prev_states),
+            elapsed: started.elapsed().max(std::time::Duration::from_nanos(1)),
             event,
         };
+        self.prev_states = states;
         if let Some(verdict) = self.violation_at(k) {
             return Ok(self.conclude(Some(info), verdict));
         }

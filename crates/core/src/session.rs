@@ -10,13 +10,15 @@
 //! arms advance through the same bounds in lockstep.
 
 use std::collections::VecDeque;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use cuba_explore::{CancelToken, ExploreBudget, Interrupt, SubsumptionMode};
 use cuba_pds::Cpds;
 
 use crate::engine::{build_engine, Engine, EngineKind, EngineParams, RoundCtx, RoundOutcome};
-use crate::{check_fcr, CubaError, CubaOutcome, Property, SessionEvent, Verdict};
+use crate::schedule::{ArmView, SchedulePolicy, Scheduler};
+use crate::{CubaError, CubaOutcome, EngineUsed, Property, SessionEvent, SystemArtifacts, Verdict};
 
 /// Configuration of an [`AnalysisSession`] (and of the
 /// [`Portfolio`](crate::Portfolio) scheduler built on top of it).
@@ -36,6 +38,10 @@ pub struct SessionConfig {
     /// one is supplied here it is used directly, so the caller can
     /// cancel from another thread.
     pub cancel: Option<CancelToken>,
+    /// How turns are distributed over the racing arms (see
+    /// [`SchedulePolicy`]); defaults to the cost-aware
+    /// [`FrontierAware`](SchedulePolicy::FrontierAware) policy.
+    pub schedule: SchedulePolicy,
 }
 
 impl SessionConfig {
@@ -48,6 +54,7 @@ impl SessionConfig {
             subsumption: SubsumptionMode::Exact,
             timeout: None,
             cancel: None,
+            schedule: SchedulePolicy::default(),
         }
     }
 }
@@ -73,8 +80,10 @@ pub struct AnalysisSession {
     cancel: CancelToken,
     fcr_holds: bool,
     start: Instant,
-    /// Round-robin cursor into `arms`.
-    cursor: usize,
+    /// Distributes turns over the arms per the configured policy.
+    scheduler: Box<dyn Scheduler>,
+    /// Total wall-clock spent inside completed rounds, all arms.
+    round_wall: Duration,
     pending: VecDeque<SessionEvent>,
     outcome: Option<Result<CubaOutcome, CubaError>>,
     /// Set once the final `Verdict` event has been queued.
@@ -96,7 +105,26 @@ impl AnalysisSession {
         lineup: &[EngineKind],
         config: &SessionConfig,
     ) -> Result<Self, CubaError> {
-        Self::with_fuse_lineup(cpds, property, lineup, lineup, None, config)
+        let artifacts = Arc::new(SystemArtifacts::new());
+        Self::with_fuse_lineup(cpds, property, lineup, lineup, None, config, &artifacts)
+    }
+
+    /// As [`new`](Self::new), but reusing cached per-system artifacts
+    /// (FCR verdict, `G ∩ Z`) from a
+    /// [`SuiteCache`](crate::SuiteCache) — the "one system, many
+    /// properties" entry point.
+    ///
+    /// # Errors
+    ///
+    /// As for [`new`](Self::new).
+    pub fn with_artifacts(
+        cpds: Cpds,
+        property: Property,
+        lineup: &[EngineKind],
+        config: &SessionConfig,
+        artifacts: &Arc<SystemArtifacts>,
+    ) -> Result<Self, CubaError> {
+        Self::with_fuse_lineup(cpds, property, lineup, lineup, None, config, artifacts)
     }
 
     /// As [`new`](Self::new), but the fuse-collapse sibling check runs
@@ -115,8 +143,9 @@ impl AnalysisSession {
         fuse_lineup: &[EngineKind],
         extra_cancel: Option<CancelToken>,
         config: &SessionConfig,
+        artifacts: &Arc<SystemArtifacts>,
     ) -> Result<Self, CubaError> {
-        let fcr_holds = check_fcr(&cpds).holds();
+        let fcr_holds = artifacts.fcr(&cpds).holds();
         let kinds: Vec<EngineKind> = lineup
             .iter()
             .copied()
@@ -141,6 +170,13 @@ impl AnalysisSession {
         if let Some(timeout) = config.timeout {
             interrupt = interrupt.with_timeout(timeout);
         }
+        // Share the cached G∩Z with every Alg. 3 arm — but only once
+        // the lineup actually contains one, so purely symbolic or
+        // refuter lineups never pay for it.
+        let g_cap_z = kinds
+            .iter()
+            .any(|k| matches!(k, EngineKind::Alg3Explicit | EngineKind::Alg3Symbolic))
+            .then(|| artifacts.g_cap_z(&cpds));
         let params = EngineParams {
             budget: config.budget.clone().with_interrupt(interrupt.clone()),
             max_k: config.max_k,
@@ -150,6 +186,7 @@ impl AnalysisSession {
             // representation races alongside.
             fuse_collapse: true,
             skip_fcr_check: true,
+            g_cap_z,
         };
         let mut arms = Vec::with_capacity(kinds.len());
         for kind in &kinds {
@@ -174,7 +211,8 @@ impl AnalysisSession {
             cancel,
             fcr_holds,
             start: Instant::now(),
-            cursor: 0,
+            scheduler: config.schedule.scheduler(),
+            round_wall: Duration::ZERO,
             pending: VecDeque::new(),
             outcome: None,
             decided: false,
@@ -221,10 +259,20 @@ impl AnalysisSession {
         }
     }
 
-    /// Steps the next active arm, queueing the resulting events, or
-    /// finalizes the session when no arm remains.
+    /// Steps the arm picked by the schedule policy, queueing the
+    /// resulting events, or finalizes the session when no arm remains.
     fn step_once(&mut self) {
-        let Some(index) = self.next_active_arm() else {
+        let views: Vec<ArmView> = self
+            .arms
+            .iter()
+            .map(|arm| ArmView {
+                retired: arm.retired,
+                states: arm.engine.states(),
+                rounds: arm.engine.rounds(),
+                refuter: arm.engine.id() == EngineUsed::CbaBaseline,
+            })
+            .collect();
+        let Some(index) = self.scheduler.next_arm(&views) else {
             self.finalize();
             return;
         };
@@ -232,13 +280,9 @@ impl AnalysisSession {
         let id = arm.engine.id();
         match arm.engine.step(&mut self.ctx) {
             Ok(RoundOutcome::Continue(info)) => {
-                self.pending.push_back(SessionEvent::RoundCompleted {
-                    engine: id,
-                    k: info.k,
-                    states: info.states,
-                    event: info.event,
-                });
-                self.cursor = index + 1;
+                self.scheduler.record(index, &info);
+                self.round_wall += info.elapsed;
+                self.pending.push_back(round_event(id, &info));
             }
             Ok(RoundOutcome::Concluded { round, verdict }) => {
                 arm.retired = true;
@@ -248,12 +292,9 @@ impl AnalysisSession {
                 let rounds = arm.engine.rounds();
                 let states = arm.engine.states();
                 if let Some(info) = round {
-                    self.pending.push_back(SessionEvent::RoundCompleted {
-                        engine: id,
-                        k: info.k,
-                        states: info.states,
-                        event: info.event,
-                    });
+                    self.scheduler.record(index, &info);
+                    self.round_wall += info.elapsed;
+                    self.pending.push_back(round_event(id, &info));
                 }
                 self.pending.push_back(SessionEvent::EngineConcluded {
                     engine: id,
@@ -269,26 +310,17 @@ impl AnalysisSession {
                         states,
                         rounds,
                         duration: self.start.elapsed(),
+                        round_wall: self.round_wall,
                     }));
                 }
-                self.cursor = index + 1;
             }
             Err(error) => {
                 arm.retired = true;
                 arm.error = Some(error.clone());
                 self.pending
                     .push_back(SessionEvent::EngineFailed { engine: id, error });
-                self.cursor = index + 1;
             }
         }
-    }
-
-    /// The next non-retired arm at or after the cursor (wrapping).
-    fn next_active_arm(&self) -> Option<usize> {
-        let n = self.arms.len();
-        (0..n)
-            .map(|offset| (self.cursor + offset) % n)
-            .find(|&i| !self.arms[i].retired)
     }
 
     /// All arms are retired: pick the best available answer.
@@ -314,6 +346,7 @@ impl AnalysisSession {
                 states: arm.engine.states(),
                 rounds: arm.engine.rounds(),
                 duration: self.start.elapsed(),
+                round_wall: self.round_wall,
             };
             self.decide(Ok(outcome));
             return;
@@ -339,6 +372,7 @@ impl AnalysisSession {
                 states: best.engine.states(),
                 rounds: best.engine.rounds(),
                 duration: self.start.elapsed(),
+                round_wall: self.round_wall,
             };
             self.decide(Ok(outcome));
             return;
@@ -393,6 +427,18 @@ impl AnalysisSession {
             on_event(&event);
         }
         self.into_outcome()
+    }
+}
+
+/// Builds the `RoundCompleted` event for a computed round.
+fn round_event(engine: EngineUsed, info: &crate::RoundInfo) -> SessionEvent {
+    SessionEvent::RoundCompleted {
+        engine,
+        k: info.k,
+        states: info.states,
+        delta_states: info.delta_states,
+        elapsed: info.elapsed,
+        event: info.event,
     }
 }
 
@@ -581,13 +627,14 @@ mod tests {
     /// and the session reports Undetermined.
     #[test]
     fn session_deadline_yields_undetermined() {
+        // A zero timeout: the deadline (set at session construction)
+        // has passed by the first poll, whatever the build profile —
+        // in release mode even a few-millisecond deadline can lose
+        // the race against Fig. 1's microsecond rounds.
         let config = SessionConfig {
-            timeout: Some(Duration::from_millis(1)),
+            timeout: Some(Duration::ZERO),
             ..SessionConfig::new()
         };
-        // Fig. 1 rounds are fast, but the deadline has already passed
-        // by the first poll.
-        std::thread::sleep(Duration::from_millis(5));
         let session =
             AnalysisSession::new(fig1(), Property::True, &explicit_race(), &config).unwrap();
         let outcome = session.run().unwrap();

@@ -1,6 +1,6 @@
 use std::collections::{HashMap, HashSet};
 
-use cuba_automata::{language_subset, post_star, CanonicalDfa, Psa};
+use cuba_automata::{language_subset, post_star_guarded, CanonicalDfa, Psa};
 use cuba_pds::{Cpds, GlobalState, SharedState, StackSym, VisibleState};
 
 use crate::{ExploreBudget, ExploreError};
@@ -277,10 +277,8 @@ impl SymbolicEngine {
 
         for &tau_id in &frontier {
             for thread in 0..self.cpds.num_threads() {
-                // One `post*` saturation per (state, thread) pair is
-                // the finest interruption granularity available here.
                 self.budget.interrupt.check()?;
-                let successors = self.context_post(tau_id, thread);
+                let successors = self.context_post(tau_id, thread)?;
                 for tau2 in successors {
                     self.register(tau2, &mut new_layer, &mut new_visible)?;
                 }
@@ -301,15 +299,32 @@ impl SymbolicEngine {
     }
 
     /// One full context of `thread` from symbolic state `tau_id`.
-    fn context_post(&self, tau_id: u32, thread: usize) -> Vec<SymbolicState> {
+    ///
+    /// The `post*` saturation itself polls the budget's interrupt
+    /// every few transition insertions, so even a single pathological
+    /// context step cannot overshoot a deadline by more than a poll
+    /// interval.
+    fn context_post(&self, tau_id: u32, thread: usize) -> Result<Vec<SymbolicState>, ExploreError> {
         let tau = &self.states[tau_id as usize];
         let num_controls = self.cpds.num_shared();
         let stack_nfa = tau.stacks[thread].to_nfa();
         let init = match Psa::from_stack_nfa(num_controls, tau.q, &stack_nfa) {
             Ok(p) => p,
-            Err(_) => return Vec::new(),
+            Err(_) => return Ok(Vec::new()),
         };
-        let saturated = post_star(self.cpds.thread(thread), &init);
+        let mut why: Option<ExploreError> = None;
+        let saturated = post_star_guarded(self.cpds.thread(thread), &init, &mut || match self
+            .budget
+            .interrupt
+            .check()
+        {
+            Ok(()) => true,
+            Err(e) => {
+                why = Some(e);
+                false
+            }
+        })
+        .map_err(|_| why.take().unwrap_or(ExploreError::Cancelled))?;
         let mut out = Vec::new();
         for q2 in saturated.nonempty_controls() {
             let lang = saturated.stack_language(q2);
@@ -321,7 +336,7 @@ impl SymbolicEngine {
             stacks[thread] = canon;
             out.push(SymbolicState { q: q2, stacks });
         }
-        out
+        Ok(out)
     }
 
     /// Stores a successor unless deduplicated/subsumed.

@@ -9,9 +9,14 @@
 //!                                         symbolic arms otherwise)
 //!     --max-k <n>      round limit (default 64)
 //!     --parallel       race the engine arms on real OS threads
+//!     --schedule frontier|round-robin    arm scheduling policy (default: frontier =
+//!                                         cost-aware: bonus turns for the plateauing
+//!                                         arm, parking for ballooning ones)
 //!     --timeout <s>    wall-clock limit in seconds (verdict: undetermined)
 //!     --trace          stream per-round events to stderr
 //!     --json           emit one machine-readable JSON object on stdout
+//!                      (includes per-arm growth logs with per-round
+//!                       state deltas and wall-clock)
 //!     --never-shared <q>   property: shared state q unreachable
 //!                          (default for .bp: no assertion fails;
 //!                           default for .cpds: compute reachability to convergence)
@@ -25,8 +30,8 @@ use std::time::Duration;
 use cuba::benchmarks::textfmt;
 use cuba::boolprog;
 use cuba::core::{
-    check_fcr, CubaOutcome, EngineKind, Lineup, Portfolio, Property, SessionConfig, SessionEvent,
-    Verdict,
+    check_fcr, CubaOutcome, EngineKind, Lineup, Portfolio, Property, SchedulePolicy, SessionConfig,
+    SessionEvent, Verdict,
 };
 use cuba::pds::{Cpds, SharedState};
 use cuba_bench::json_escape as json_string;
@@ -44,7 +49,8 @@ fn main() -> ExitCode {
 
 fn usage() -> String {
     "usage: cuba <verify|fcr|info> <file.bp|file.cpds> [--engine auto|explicit|symbolic] \
-     [--max-k N] [--parallel] [--timeout SECS] [--trace] [--json] [--never-shared Q]"
+     [--max-k N] [--parallel] [--schedule frontier|round-robin] [--timeout SECS] [--trace] \
+     [--json] [--never-shared Q]"
         .to_owned()
 }
 
@@ -53,6 +59,7 @@ struct VerifyOptions {
     lineup: Lineup,
     max_k: usize,
     parallel: bool,
+    schedule: SchedulePolicy,
     timeout: Option<Duration>,
     trace: bool,
     json: bool,
@@ -65,6 +72,7 @@ impl Default for VerifyOptions {
             lineup: Lineup::Auto,
             max_k: 64,
             parallel: false,
+            schedule: SchedulePolicy::default(),
             timeout: None,
             trace: false,
             json: false,
@@ -157,6 +165,14 @@ fn parse_verify_options(args: &[String]) -> Result<VerifyOptions, String> {
                     .ok_or("bad --timeout value (seconds)")?;
             }
             "--parallel" => options.parallel = true,
+            "--schedule" => {
+                i += 1;
+                options.schedule = match args.get(i).map(|s| s.as_str()) {
+                    Some("frontier") => SchedulePolicy::frontier_aware(),
+                    Some("round-robin") => SchedulePolicy::RoundRobin,
+                    other => return Err(format!("bad --schedule {other:?}")),
+                };
+            }
             "--trace" => options.trace = true,
             "--json" => options.json = true,
             "--never-shared" => {
@@ -182,12 +198,14 @@ fn verify(cpds: Cpds, property: Property, options: &VerifyOptions) -> Result<Exi
     .with_config(SessionConfig {
         max_k: options.max_k,
         timeout: options.timeout,
+        schedule: options.schedule.clone(),
         ..SessionConfig::new()
     });
 
     // Stream events: --trace prints them; --json collects the
-    // per-round growth log either way.
-    let mut round_log: Vec<(String, usize, usize, &'static str)> = Vec::new();
+    // per-round growth log (all arms, not just the winner's) either
+    // way.
+    let mut round_log: Vec<RoundRecord> = Vec::new();
     let trace = options.trace;
     let mut on_event = |event: &SessionEvent| {
         if trace {
@@ -197,6 +215,8 @@ fn verify(cpds: Cpds, property: Property, options: &VerifyOptions) -> Result<Exi
             engine,
             k,
             states,
+            delta_states,
+            elapsed,
             event,
         } = event
         {
@@ -205,7 +225,14 @@ fn verify(cpds: Cpds, property: Property, options: &VerifyOptions) -> Result<Exi
                 cuba::core::SequenceEvent::NewPlateau => "new-plateau",
                 cuba::core::SequenceEvent::OngoingPlateau => "plateau",
             };
-            round_log.push((engine.to_string(), *k, *states, tag));
+            round_log.push(RoundRecord {
+                engine: engine.to_string(),
+                k: *k,
+                states: *states,
+                delta_states: *delta_states,
+                elapsed: *elapsed,
+                tag,
+            });
         }
     };
 
@@ -217,7 +244,7 @@ fn verify(cpds: Cpds, property: Property, options: &VerifyOptions) -> Result<Exi
     let outcome = result.map_err(|e| e.to_string())?;
 
     if options.json {
-        println!("{}", outcome_json(&outcome, &round_log));
+        println!("{}", outcome_json(&outcome, &round_log, &options.schedule));
     } else {
         print_outcome(&outcome);
     }
@@ -271,11 +298,36 @@ fn print_fcr(cpds: &Cpds) {
     }
 }
 
+/// One completed round, as collected from the event stream.
+struct RoundRecord {
+    engine: String,
+    k: usize,
+    states: usize,
+    delta_states: usize,
+    elapsed: Duration,
+    tag: &'static str,
+}
+
+impl RoundRecord {
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"engine\":{},\"k\":{},\"states\":{},\"delta_states\":{},\"elapsed_us\":{},\"event\":{}}}",
+            json_string(&self.engine),
+            self.k,
+            self.states,
+            self.delta_states,
+            self.elapsed.as_micros(),
+            json_string(self.tag)
+        )
+    }
+}
+
 /// Renders the verify outcome as one JSON object, so benchmark
 /// drivers stop scraping the human-readable stdout.
 fn outcome_json(
     outcome: &CubaOutcome,
-    round_log: &[(String, usize, usize, &'static str)],
+    round_log: &[RoundRecord],
+    schedule: &SchedulePolicy,
 ) -> String {
     let mut out = String::from("{");
     let (verdict, k) = match &outcome.verdict {
@@ -302,10 +354,16 @@ fn outcome_json(
     push_field(&mut out, "rounds", &outcome.rounds.to_string());
     push_field(&mut out, "states", &outcome.states.to_string());
     push_field(&mut out, "fcr", &outcome.fcr_holds.to_string());
+    push_field(&mut out, "schedule", &json_string(schedule.name()));
     push_field(
         &mut out,
         "duration_ms",
         &outcome.duration.as_millis().to_string(),
+    );
+    push_field(
+        &mut out,
+        "round_wall_us",
+        &outcome.round_wall.as_micros().to_string(),
     );
     if let Verdict::Unsafe {
         witness: Some(w), ..
@@ -314,17 +372,35 @@ fn outcome_json(
         push_field(&mut out, "witness_steps", &w.len().to_string());
         push_field(&mut out, "witness_contexts", &w.num_contexts().to_string());
     }
-    let rounds: Vec<String> = round_log
+    let rounds: Vec<String> = round_log.iter().map(RoundRecord::to_json).collect();
+    push_field(&mut out, "growth", &format!("[{}]", rounds.join(",")));
+    // Per-arm growth logs: the same rounds grouped by engine, so the
+    // partial progress of *losing* arms survives in diagnostics (the
+    // interleaved `growth` array loses per-arm shape once arms advance
+    // at different rates under the frontier-aware scheduler).
+    let mut arm_order: Vec<&str> = Vec::new();
+    for record in round_log {
+        if !arm_order.contains(&record.engine.as_str()) {
+            arm_order.push(&record.engine);
+        }
+    }
+    let arms: Vec<String> = arm_order
         .iter()
-        .map(|(engine, k, states, event)| {
+        .map(|engine| {
+            let log: Vec<String> = round_log
+                .iter()
+                .filter(|r| r.engine == *engine)
+                .map(RoundRecord::to_json)
+                .collect();
             format!(
-                "{{\"engine\":{},\"k\":{k},\"states\":{states},\"event\":{}}}",
+                "{{\"engine\":{},\"rounds\":{},\"log\":[{}]}}",
                 json_string(engine),
-                json_string(event)
+                log.len(),
+                log.join(",")
             )
         })
         .collect();
-    push_field(&mut out, "growth", &format!("[{}]", rounds.join(",")));
+    push_field(&mut out, "arms", &format!("[{}]", arms.join(",")));
     out.push('}');
     out
 }

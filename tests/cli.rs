@@ -138,6 +138,32 @@ fn json_output_is_machine_readable() {
     assert!(stdout.contains("\"witness_steps\":"));
 }
 
+/// `--schedule` selects the arm scheduling policy; both spellings
+/// verify Fig. 1 and the JSON reports the policy plus the per-arm
+/// growth logs with per-round costs.
+#[test]
+fn schedule_flag_and_per_arm_logs() {
+    for (name, flag) in [("frontier", "frontier"), ("round-robin", "round-robin")] {
+        let (stdout, _, code) =
+            cuba(&["verify", "samples/fig1.cpds", "--schedule", flag, "--json"]);
+        assert_eq!(code, Some(0), "--schedule {flag}");
+        let line = stdout.trim();
+        assert!(line.contains(&format!("\"schedule\":\"{name}\"")));
+        // Per-arm growth logs: every arm of the §6 race appears with
+        // its own (possibly partial) log, each round carrying its
+        // cost.
+        assert!(line.contains("\"arms\":["));
+        assert!(line.contains("\"log\":["));
+        assert!(line.contains("\"delta_states\":"));
+        assert!(line.contains("\"elapsed_us\":"));
+        assert!(line.contains("\"round_wall_us\":"));
+    }
+
+    let (_, stderr, code) = cuba(&["verify", "samples/fig1.cpds", "--schedule", "fastest"]);
+    assert_eq!(code, Some(2));
+    assert!(stderr.contains("bad --schedule"));
+}
+
 #[test]
 fn trace_streams_rounds_to_stderr() {
     let (stdout, stderr, code) = cuba(&["verify", "samples/fig1.cpds", "--trace"]);
