@@ -10,10 +10,14 @@
 //! * no flags — runs the suite once sequentially and once with
 //!   `workers` problems in flight (default: available parallelism),
 //!   comparing wall-clock.
-//! * `--json` — runs the suite once and emits one JSON object per
-//!   problem (verdict, winning engine, rounds, total round
-//!   wall-clock) as a JSON array on stdout: the bench-regression
-//!   record CI archives per PR.
+//! * `--json` — runs the suite once (through a [`SuiteCache`]) and
+//!   emits one JSON object per problem (verdict, winning engine,
+//!   rounds, total round wall-clock, suite-cache hit/miss, and the
+//!   explored-vs-replayed round counters of the shared-layer path) as
+//!   a JSON array on stdout: the bench-regression record CI archives
+//!   per PR. The suite includes a multi-property block
+//!   (`fig1-multi/*`: one system, three properties) so the gate
+//!   covers layer sharing.
 //! * `--baseline FILE` — additionally diffs the fresh verdicts
 //!   against a committed baseline (`BENCH_baseline.json`) and exits
 //!   nonzero on any verdict change. Timing fields are informational
@@ -22,9 +26,11 @@
 use std::time::Instant;
 
 use cuba_bench::{render_table, JsonObject};
+use cuba_benchmarks::fig1;
 use cuba_benchmarks::suite::{table2_problems, table2_suite};
-use cuba_core::{CubaError, CubaOutcome, Portfolio, SessionConfig, Verdict};
+use cuba_core::{CubaError, CubaOutcome, Portfolio, Property, SessionConfig, SuiteCache, Verdict};
 use cuba_explore::ExploreBudget;
+use cuba_pds::{Cpds, SharedState, StackSym, VisibleState};
 
 fn portfolio() -> Portfolio {
     Portfolio::auto().with_config(SessionConfig {
@@ -92,17 +98,63 @@ fn main() {
     }
 }
 
+/// The multi-property block: one system (Fig. 1), several properties
+/// — the suite entries that exercise shared-layer replay in the gate.
+fn multi_property_problems() -> Vec<(String, Cpds, Property)> {
+    let vis = |q: u32, tops: &[u32]| {
+        VisibleState::new(
+            SharedState(q),
+            tops.iter().map(|&t| Some(StackSym(t))).collect(),
+        )
+    };
+    vec![
+        (
+            "fig1-multi/p0-true".to_owned(),
+            fig1::build(),
+            Property::True,
+        ),
+        (
+            // ⟨1|2,6⟩ first appears at k = 5 (Fig. 1 table): unsafe@5.
+            "fig1-multi/p1-bug".to_owned(),
+            fig1::build(),
+            Property::never_visible(vis(1, &[2, 6])),
+        ),
+        (
+            // ⟨2|1,5⟩ is unreachable: safe at the convergence bound.
+            "fig1-multi/p2-unreach".to_owned(),
+            fig1::build(),
+            Property::never_visible(vis(2, &[1, 5])),
+        ),
+    ]
+}
+
 /// The bench-regression record: run once (suite-cached), emit JSON,
 /// optionally gate against a committed baseline.
 fn run_json(workers: usize, baseline: Option<&str>) {
-    let labels: Vec<String> = table2_suite().iter().map(|b| b.label()).collect();
-    let results = portfolio().run_suite(table2_problems(), workers);
+    let mut labels: Vec<String> = table2_suite().iter().map(|b| b.label()).collect();
+    let mut problems = table2_problems();
+    for (label, cpds, property) in multi_property_problems() {
+        labels.push(label);
+        problems.push((cpds, property));
+    }
+    // Record per-problem cache hit/miss by warming the artifact slots
+    // in input order *before* the (parallel) run — under concurrent
+    // workers the in-run lookup order is nondeterministic, so probing
+    // up front is the only way the emitted field stays truthful and
+    // stable across regenerations.
+    let cache = SuiteCache::new();
+    let cache_hits: Vec<bool> = problems
+        .iter()
+        .map(|(cpds, _)| cache.lookup(cpds).1)
+        .collect();
+    let results = portfolio().run_suite_cached(problems, workers, &cache);
 
     let mut lines = Vec::new();
-    for (label, result) in labels.iter().zip(&results) {
+    for ((label, result), cache_hit) in labels.iter().zip(&results).zip(&cache_hits) {
         let mut obj = JsonObject::new();
         obj.string("label", label);
         obj.string("verdict", &verdict_string(result));
+        obj.string("cache", if *cache_hit { "hit" } else { "miss" });
         match result {
             Ok(o) => {
                 match &o.verdict {
@@ -114,6 +166,8 @@ fn run_json(workers: usize, baseline: Option<&str>) {
                 obj.bool("fcr", o.fcr_holds);
                 obj.string("engine", &o.engine.to_string());
                 obj.number("rounds", o.rounds as f64);
+                obj.number("rounds_explored", o.rounds_explored as f64);
+                obj.number("rounds_replayed", o.rounds_replayed as f64);
                 obj.number("round_wall_us", o.round_wall.as_micros() as f64);
                 obj.number("duration_ms", o.duration.as_millis() as f64);
             }
@@ -123,6 +177,15 @@ fn run_json(workers: usize, baseline: Option<&str>) {
         }
         lines.push(obj.finish());
     }
+    // Derive the summary from the per-problem probe (the run itself
+    // hits the pre-warmed slots again, which would double-count).
+    let misses = cache_hits.iter().filter(|hit| !**hit).count();
+    eprintln!(
+        "suite cache: {} hits, {} misses, {} distinct systems",
+        cache_hits.len() - misses,
+        misses,
+        cache.len()
+    );
     println!("[");
     for (i, line) in lines.iter().enumerate() {
         let comma = if i + 1 < lines.len() { "," } else { "" };

@@ -1,6 +1,4 @@
-use std::collections::HashSet;
-
-use cuba_explore::{ExplicitEngine, ExploreBudget, SubsumptionMode, SymbolicEngine};
+use cuba_explore::{ExplicitEngine, ExploreBudget, LayerView, SubsumptionMode};
 use cuba_pds::{Cpds, VisibleState};
 
 use crate::engine::{Applicability, Backend, Engine, RoundCtx, RoundInfo, RoundOutcome};
@@ -98,21 +96,19 @@ impl Alg3Driver {
         }
     }
 
-    /// Processes round `k` given the newly seen visible states, the
-    /// total visible set, and whether the state sequence collapsed.
-    /// Returns the sequence event and the verdict, if any.
-    fn round(
-        &mut self,
-        k: usize,
-        new_visible: &[VisibleState],
-        visible_total: &HashSet<VisibleState>,
-        state_collapsed: bool,
-    ) -> (SequenceEvent, Option<Verdict>) {
-        let event = self.visible_growth.push(visible_total.len());
-        if let Some(_v) = self.property.find_violation(new_visible.iter()) {
+    /// Processes round `k` from its bound-indexed [`LayerView`]: the
+    /// newly seen visible states, the cumulative `|T(Rk)|`, and
+    /// whether the state sequence had collapsed by `k`. Returns the
+    /// sequence event and the verdict, if any. All queries are
+    /// bound-indexed, so a replayed round produces byte-identical
+    /// results to a live one.
+    fn round(&mut self, view: &LayerView, backend: &Backend) -> (SequenceEvent, Option<Verdict>) {
+        let k = view.k;
+        let event = self.visible_growth.push(view.visible);
+        if let Some(_v) = self.property.find_violation(view.new_visible.iter()) {
             return (event, Some(Verdict::Unsafe { k, witness: None }));
         }
-        if self.use_state_collapse && state_collapsed {
+        if self.use_state_collapse && view.collapsed {
             return (
                 event,
                 Some(Verdict::Safe {
@@ -121,9 +117,11 @@ impl Alg3Driver {
                 }),
             );
         }
-        // Line 4: a *new* plateau at k−1 triggers the generator test.
+        // Line 4: a *new* plateau at k−1 triggers the generator test
+        // `G∩Z ⊆ T(Rk)`, evaluated against the first-seen bounds so it
+        // stays exact when the shared layers run deeper than `k`.
         if k >= 1 && event == SequenceEvent::NewPlateau {
-            if GeneratorSet::missing(&self.g_cap_z, visible_total).is_empty() {
+            if backend.missing_by(&self.g_cap_z, k).is_empty() {
                 return (
                     event,
                     Some(Verdict::Safe {
@@ -155,14 +153,18 @@ pub struct Alg3Engine {
     backend: Backend,
     driver: Alg3Driver,
     next_k: usize,
-    /// `states()` after the previous round, for `delta_states`.
-    prev_states: usize,
+    /// `states` at the last computed bound (bound-indexed, so shared
+    /// layers running deeper do not inflate this engine's report).
+    /// Doubles as the previous round's count when computing
+    /// `delta_states`.
+    states: usize,
     verdict: Option<Verdict>,
 }
 
 impl Alg3Engine {
     /// Algorithm 3 over `(T(Rk))` with explicit state sets (paper
-    /// §4.1.4). Performs the FCR pre-check unless the config skips it.
+    /// §4.1.4), on a private explorer. Performs the FCR pre-check
+    /// unless the config skips it.
     ///
     /// # Errors
     ///
@@ -172,21 +174,47 @@ impl Alg3Engine {
         property: &Property,
         config: &Alg3Config,
     ) -> Result<Self, CubaError> {
-        if !config.skip_fcr_check && !check_fcr(cpds).holds() {
-            return Err(CubaError::FcrRequired);
-        }
-        let backend = Backend::Explicit(ExplicitEngine::new(cpds.clone(), config.budget.clone()));
-        Ok(Self::with_backend(cpds, property, config, backend))
+        Self::explicit_with(cpds, property, config, || {
+            Backend::explicit(cpds, config.budget.clone())
+        })
     }
 
     /// Algorithm 3 over `(T(Sk))` with PSA-backed symbolic state sets
-    /// (the paper's fallback when FCR fails, App. E).
+    /// (the paper's fallback when FCR fails, App. E), on a private
+    /// explorer.
     pub fn symbolic(cpds: &Cpds, property: &Property, config: &Alg3Config) -> Self {
-        let backend = Backend::Symbolic(SymbolicEngine::new(
-            cpds.clone(),
-            config.budget.clone(),
-            config.subsumption,
-        ));
+        Self::symbolic_with(
+            cpds,
+            property,
+            config,
+            Backend::symbolic(cpds, config.budget.clone(), config.subsumption),
+        )
+    }
+
+    /// As [`explicit`](Self::explicit), borrowing a (possibly shared)
+    /// explicit backend. The backend is supplied lazily so a failing
+    /// FCR pre-check never constructs (or caches) an explorer for a
+    /// system the engine refuses to analyze.
+    pub(crate) fn explicit_with(
+        cpds: &Cpds,
+        property: &Property,
+        config: &Alg3Config,
+        backend: impl FnOnce() -> Backend,
+    ) -> Result<Self, CubaError> {
+        if !config.skip_fcr_check && !check_fcr(cpds).holds() {
+            return Err(CubaError::FcrRequired);
+        }
+        Ok(Self::with_backend(cpds, property, config, backend()))
+    }
+
+    /// As [`symbolic`](Self::symbolic), borrowing a (possibly shared)
+    /// symbolic backend.
+    pub(crate) fn symbolic_with(
+        cpds: &Cpds,
+        property: &Property,
+        config: &Alg3Config,
+        backend: Backend,
+    ) -> Self {
         Self::with_backend(cpds, property, config, backend)
     }
 
@@ -204,7 +232,7 @@ impl Alg3Engine {
             driver: Alg3Driver::new(cpds, property, config),
             backend,
             next_k: 0,
-            prev_states: 0,
+            states: 0,
             verdict: None,
         }
     }
@@ -222,7 +250,7 @@ impl Alg3Engine {
                 reason: "engine not run to conclusion".to_owned(),
             }),
             rounds,
-            states: self.backend.states(),
+            states: self.states,
             visible_growth: self.driver.visible_growth,
             g_cap_z: self.driver.g_cap_z.as_ref().clone(),
             rejected_plateaus: self.driver.rejected_plateaus,
@@ -275,26 +303,26 @@ impl Engine for Alg3Engine {
         }
         let started = std::time::Instant::now();
         let k = self.next_k;
-        let collapsed = if k > 0 {
-            self.backend.advance()?;
-            self.backend.is_collapsed()
-        } else {
-            false
-        };
-        let new_visible = self.backend.visible_layer(k).to_vec();
-        let (event, maybe_verdict) =
-            self.driver
-                .round(k, &new_visible, self.backend.visible_total(), collapsed);
+        let interrupt = self.budget.interrupt.merged(&ctx.interrupt);
+        let live = self.backend.ensure(k, &interrupt)?;
+        let view = self.backend.view(k);
+        let replayed = k > 0 && !live;
+        let (event, maybe_verdict) = self.driver.round(&view, &self.backend);
         self.next_k += 1;
-        let states = self.backend.states();
+        let states = view.states;
         let info = RoundInfo {
             k,
             states,
-            delta_states: states.saturating_sub(self.prev_states),
+            delta_states: if replayed {
+                0
+            } else {
+                states.saturating_sub(self.states)
+            },
             elapsed: started.elapsed().max(std::time::Duration::from_nanos(1)),
             event,
+            replayed,
         };
-        self.prev_states = states;
+        self.states = states;
         match maybe_verdict {
             None => Ok(RoundOutcome::Continue(info)),
             Some(mut verdict) => {
@@ -306,8 +334,11 @@ impl Engine for Alg3Engine {
                     }
                     verdict =
                         attach_symbolic_witness(verdict, &self.cpds, &self.property, &self.budget);
-                } else if let Some(explicit) = self.backend.as_explicit() {
-                    verdict = attach_witness(verdict, explicit, &self.property);
+                } else {
+                    verdict = self
+                        .backend
+                        .with_explicit(|e| attach_witness(verdict.clone(), e, &self.property))
+                        .unwrap_or(verdict);
                 }
                 Ok(self.conclude(Some(info), verdict))
             }
@@ -319,7 +350,15 @@ impl Engine for Alg3Engine {
     }
 
     fn states(&self) -> usize {
-        self.backend.states()
+        self.states
+    }
+
+    fn store_key(&self) -> Option<usize> {
+        Some(self.backend.store_key())
+    }
+
+    fn frontier(&self) -> usize {
+        self.backend.depth()
     }
 
     fn growth(&self) -> &GrowthLog {

@@ -15,6 +15,7 @@ use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
+use cuba_explore::{ExploreBudget, Interrupt, SharedExplorer, SubsumptionMode};
 use cuba_pds::{Cpds, Rhs, VisibleState};
 
 use crate::{check_fcr, compute_z, FcrReport, GeneratorSet};
@@ -25,10 +26,20 @@ use crate::{check_fcr, compute_z, FcrReport, GeneratorSet};
 /// the first session to need an artifact computes it, later ones reuse
 /// it. Thread-safe — suite workers race on the `OnceLock`s, not on the
 /// computation results.
+///
+/// Besides the FCR verdict and `G ∩ Z`, the artifacts hold the
+/// system's **shared explorers** — one per backend — so every engine
+/// analyzing the system (across properties, sessions, and threads)
+/// consumes *one* layered exploration: the first checker to need a
+/// bound pays for it, everyone else replays it
+/// ([`SharedExplorer`]).
 #[derive(Debug, Default)]
 pub struct SystemArtifacts {
     fcr: OnceLock<FcrReport>,
     g_cap_z: OnceLock<Arc<Vec<VisibleState>>>,
+    explicit_explorer: OnceLock<Arc<SharedExplorer>>,
+    symbolic_exact: OnceLock<Arc<SharedExplorer>>,
+    symbolic_pointwise: OnceLock<Arc<SharedExplorer>>,
 }
 
 impl SystemArtifacts {
@@ -53,6 +64,64 @@ impl SystemArtifacts {
             })
             .clone()
     }
+
+    /// The system's shared explicit `(Rk)` explorer, created on first
+    /// use with `budget`'s resource caps (the interrupt is stripped —
+    /// each caller passes its own per request, so one session's
+    /// cancellation never gets baked into the shared exploration).
+    /// Later callers share the explorer regardless of their own caps;
+    /// suites are expected to run one portfolio configuration.
+    pub fn explicit_explorer(&self, cpds: &Cpds, budget: &ExploreBudget) -> Arc<SharedExplorer> {
+        self.explicit_explorer
+            .get_or_init(|| Arc::new(SharedExplorer::explicit(cpds.clone(), sanitized(budget))))
+            .clone()
+    }
+
+    /// The system's shared symbolic `(Sk)` explorer for the given
+    /// subsumption mode (modes produce different state sequences, so
+    /// each gets its own slot). Budget semantics as for
+    /// [`explicit_explorer`](Self::explicit_explorer).
+    pub fn symbolic_explorer(
+        &self,
+        cpds: &Cpds,
+        budget: &ExploreBudget,
+        mode: SubsumptionMode,
+    ) -> Arc<SharedExplorer> {
+        let slot = match mode {
+            SubsumptionMode::Exact => &self.symbolic_exact,
+            SubsumptionMode::Pointwise => &self.symbolic_pointwise,
+        };
+        slot.get_or_init(|| {
+            Arc::new(SharedExplorer::symbolic(
+                cpds.clone(),
+                sanitized(budget),
+                mode,
+            ))
+        })
+        .clone()
+    }
+
+    /// The explicit explorer, if any engine has created it yet
+    /// (instrumentation: layer-sharing tests read its counters).
+    pub fn explicit_explorer_if_started(&self) -> Option<Arc<SharedExplorer>> {
+        self.explicit_explorer.get().cloned()
+    }
+
+    /// The symbolic explorer for `mode`, if started.
+    pub fn symbolic_explorer_if_started(
+        &self,
+        mode: SubsumptionMode,
+    ) -> Option<Arc<SharedExplorer>> {
+        match mode {
+            SubsumptionMode::Exact => self.symbolic_exact.get().cloned(),
+            SubsumptionMode::Pointwise => self.symbolic_pointwise.get().cloned(),
+        }
+    }
+}
+
+/// The caps of `budget` with the caller's interrupt wiring removed.
+fn sanitized(budget: &ExploreBudget) -> ExploreBudget {
+    budget.clone().with_interrupt(Interrupt::none())
 }
 
 /// A structural fingerprint of a CPDS: shared-state count, initial
@@ -109,8 +178,12 @@ fn same_system(a: &Cpds, b: &Cpds) -> bool {
 ///
 /// [`run_suite`]: crate::Portfolio::run_suite
 /// Systems sharing one fingerprint (almost always exactly one;
-/// colliding distinct systems each get their own entry).
-type Bucket = Vec<(Cpds, Arc<SystemArtifacts>)>;
+/// colliding distinct systems each get their own entry). Entries keep
+/// the confirming system behind an `Arc` and the collision probe
+/// compares *borrowed* systems field by field, so a lookup — hit or
+/// miss probe — never deep-clones a CPDS; only the one retained copy
+/// per distinct system is ever made.
+type Bucket = Vec<(Arc<Cpds>, Arc<SystemArtifacts>)>;
 
 #[derive(Debug, Default)]
 pub struct SuiteCache {
@@ -127,17 +200,23 @@ impl SuiteCache {
 
     /// The artifacts slot for `cpds`, created empty on first sight.
     pub fn artifacts(&self, cpds: &Cpds) -> Arc<SystemArtifacts> {
+        self.lookup(cpds).0
+    }
+
+    /// As [`artifacts`](Self::artifacts), also reporting whether the
+    /// slot already existed (`true` = hit).
+    pub fn lookup(&self, cpds: &Cpds) -> (Arc<SystemArtifacts>, bool) {
         let key = fingerprint(cpds);
         let mut map = self.map.lock().expect("suite cache lock");
         let bucket = map.entry(key).or_default();
         if let Some((_, artifacts)) = bucket.iter().find(|(known, _)| same_system(known, cpds)) {
             self.hits.fetch_add(1, Ordering::Relaxed);
-            return artifacts.clone();
+            return (artifacts.clone(), true);
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
         let artifacts = Arc::new(SystemArtifacts::new());
-        bucket.push((cpds.clone(), artifacts.clone()));
-        artifacts
+        bucket.push((Arc::new(cpds.clone()), artifacts.clone()));
+        (artifacts, false)
     }
 
     /// Distinct systems seen so far.
@@ -222,7 +301,7 @@ mod tests {
             .unwrap()
             .entry(fingerprint(&fig1()))
             .or_default()
-            .push((fig2(), foreign.clone()));
+            .push((Arc::new(fig2()), foreign.clone()));
         let a = cache.artifacts(&fig1());
         assert!(
             !Arc::ptr_eq(&a, &foreign),

@@ -164,6 +164,8 @@ impl Engine for CbaEngine {
             delta_states: states.saturating_sub(self.prev_states),
             elapsed: started.elapsed().max(std::time::Duration::from_nanos(1)),
             event,
+            // The refuter owns its exploration; nothing is replayed.
+            replayed: false,
         };
         self.prev_states = states;
         if self

@@ -108,6 +108,12 @@ pub struct CubaOutcome {
     /// arms — the cost-accounting view of the race (scheduling
     /// overhead and FCR/G∩Z precomputation excluded).
     pub round_wall: Duration,
+    /// Rounds whose layer was explored *live* by this run, summed over
+    /// all arms. With layer sharing ("one system, many properties") a
+    /// warm run replays instead of exploring.
+    pub rounds_explored: usize,
+    /// Rounds replayed from a shared explorer's existing layers.
+    pub rounds_replayed: usize,
 }
 
 /// The Cuba verifier: the paper's overall procedure (§6), as a thin

@@ -68,18 +68,27 @@ impl RoundCtx {
 pub struct RoundInfo {
     /// The context bound `k` of the round.
     pub k: usize,
-    /// Total states stored by the engine after the round (global
-    /// states for explicit engines, symbolic states otherwise).
+    /// Total states stored at bound `k` (global states for explicit
+    /// engines, symbolic states otherwise).
     pub states: usize,
     /// States added by this round (`states` minus the previous
     /// round's; the whole initial frontier for `k = 0`). The frontier
     /// delta a [`SchedulePolicy`](crate::SchedulePolicy) watches.
+    /// Zero for replayed rounds — the shared explorer already held the
+    /// layer, so this engine computed nothing.
     pub delta_states: usize,
     /// Wall-clock time the engine spent computing this round. Always
-    /// nonzero (clamped to ≥ 1 ns so downstream rates are finite).
+    /// nonzero (clamped to ≥ 1 ns so downstream rates are finite);
+    /// ≈ 0 for replayed rounds.
     pub elapsed: std::time::Duration,
     /// How the engine's observation sequence moved (§3, Table 1).
     pub event: SequenceEvent,
+    /// Whether the layer was *replayed* from a shared explorer that
+    /// had already computed it (for a prior property, or for a sibling
+    /// arm of the same race) instead of explored live. Schedulers must
+    /// exclude replays from plateau/balloon accounting — a replay's
+    /// zero cost says nothing about the arm's real frontier behavior.
+    pub replayed: bool,
 }
 
 /// Result of one [`Engine::step`].
@@ -160,6 +169,19 @@ pub trait Engine: Send {
     /// States stored by the engine (global or symbolic).
     fn states(&self) -> usize;
 
+    /// Identity of the engine's shared exploration store, when it
+    /// borrows one — arms reporting the same key consume one layered
+    /// exploration (see [`ArmView`](crate::ArmView)).
+    fn store_key(&self) -> Option<usize> {
+        None
+    }
+
+    /// Deepest bound the engine's store already holds (0 when the
+    /// engine owns its exploration outright).
+    fn frontier(&self) -> usize {
+        0
+    }
+
     /// The engine's observation log (sizes per bound).
     fn growth(&self) -> &GrowthLog;
 
@@ -167,63 +189,99 @@ pub trait Engine: Send {
     fn verdict(&self) -> Option<&Verdict>;
 }
 
-/// Shared backend of the concrete engines: the explicit layered
-/// exploration of `(Rk)` or the PSA-backed symbolic one of `(Sk)`,
-/// under one interface so each algorithm is written once.
-#[derive(Debug)]
-pub(crate) enum Backend {
-    /// Explicit `(Rk)` layers (requires FCR for termination).
-    Explicit(cuba_explore::ExplicitEngine),
-    /// Symbolic `(Sk)` layers (always applicable).
-    Symbolic(cuba_explore::SymbolicEngine),
+/// Shared backend handle of the concrete engines: an `Arc`-shared
+/// [`SharedExplorer`](cuba_explore::SharedExplorer) over the explicit
+/// `(Rk)` or symbolic `(Sk)` layers, under one interface so each
+/// algorithm is written once — and so any number of property checkers
+/// can consume one exploration.
+#[derive(Debug, Clone)]
+pub(crate) struct Backend {
+    shared: std::sync::Arc<cuba_explore::SharedExplorer>,
 }
 
 impl Backend {
-    pub(crate) fn advance(&mut self) -> Result<(), cuba_explore::ExploreError> {
-        match self {
-            Backend::Explicit(e) => e.advance().map(|_| ()),
-            Backend::Symbolic(e) => e.advance().map(|_| ()),
-        }
+    /// A handle over an existing (possibly suite-shared) explorer.
+    pub(crate) fn new(shared: std::sync::Arc<cuba_explore::SharedExplorer>) -> Self {
+        Backend { shared }
     }
 
-    pub(crate) fn visible_layer(&self, k: usize) -> &[cuba_pds::VisibleState] {
-        match self {
-            Backend::Explicit(e) => e.visible_layer(k),
-            Backend::Symbolic(e) => e.visible_layer(k),
-        }
+    /// A private explicit explorer (unshared entry points).
+    pub(crate) fn explicit(cpds: &Cpds, budget: cuba_explore::ExploreBudget) -> Self {
+        Backend::new(std::sync::Arc::new(cuba_explore::SharedExplorer::explicit(
+            cpds.clone(),
+            budget,
+        )))
     }
 
-    pub(crate) fn visible_total(&self) -> &std::collections::HashSet<cuba_pds::VisibleState> {
-        match self {
-            Backend::Explicit(e) => e.visible_total(),
-            Backend::Symbolic(e) => e.visible_total(),
-        }
+    /// A private symbolic explorer (unshared entry points).
+    pub(crate) fn symbolic(
+        cpds: &Cpds,
+        budget: cuba_explore::ExploreBudget,
+        mode: SubsumptionMode,
+    ) -> Self {
+        Backend::new(std::sync::Arc::new(cuba_explore::SharedExplorer::symbolic(
+            cpds.clone(),
+            budget,
+            mode,
+        )))
     }
 
-    pub(crate) fn is_collapsed(&self) -> bool {
-        match self {
-            Backend::Explicit(e) => e.is_collapsed(),
-            Backend::Symbolic(e) => e.is_collapsed(),
-        }
+    /// Makes layer `k` available under the caller's interrupt; `true`
+    /// when this call computed at least one new layer (live round).
+    pub(crate) fn ensure(
+        &self,
+        k: usize,
+        interrupt: &Interrupt,
+    ) -> Result<bool, cuba_explore::ExploreError> {
+        self.shared.ensure_layer(k, interrupt)
     }
 
-    /// Stored states: global states (explicit) or symbolic states.
-    pub(crate) fn states(&self) -> usize {
-        match self {
-            Backend::Explicit(e) => e.num_states(),
-            Backend::Symbolic(e) => e.num_symbolic_states(),
-        }
+    /// The bound-indexed snapshot of layer `k`.
+    pub(crate) fn view(&self, k: usize) -> cuba_explore::LayerView {
+        self.shared.view(k)
+    }
+
+    /// The generators of `targets` *not* seen by bound `k` — the
+    /// membership test `G∩Z ⊆ T(Rk)`, evaluated bound-indexed so it
+    /// stays exact when the shared layers run deeper than `k`.
+    pub(crate) fn missing_by(
+        &self,
+        targets: &[cuba_pds::VisibleState],
+        k: usize,
+    ) -> Vec<cuba_pds::VisibleState> {
+        self.shared.with_store(|store| {
+            targets
+                .iter()
+                .filter(|v| !store.seen_by(v, k))
+                .cloned()
+                .collect()
+        })
     }
 
     pub(crate) fn is_symbolic(&self) -> bool {
-        matches!(self, Backend::Symbolic(_))
+        self.shared.is_symbolic()
     }
 
-    pub(crate) fn as_explicit(&self) -> Option<&cuba_explore::ExplicitEngine> {
-        match self {
-            Backend::Explicit(e) => Some(e),
-            Backend::Symbolic(_) => None,
-        }
+    /// Runs a closure over the explicit engine (witness
+    /// reconstruction); `None` for symbolic backends.
+    pub(crate) fn with_explicit<R>(
+        &self,
+        f: impl FnOnce(&cuba_explore::ExplicitEngine) -> R,
+    ) -> Option<R> {
+        self.shared.with_explicit(f)
+    }
+
+    /// Pointer identity of the shared explorer (the [`ArmView`]
+    /// store key).
+    ///
+    /// [`ArmView`]: crate::ArmView
+    pub(crate) fn store_key(&self) -> usize {
+        std::sync::Arc::as_ptr(&self.shared) as usize
+    }
+
+    /// Deepest bound the explorer already holds.
+    pub(crate) fn depth(&self) -> usize {
+        self.shared.depth()
     }
 }
 
@@ -284,6 +342,12 @@ pub struct EngineParams {
     /// system ([`SuiteCache`](crate::SuiteCache)); `None` lets each
     /// Algorithm 3 engine compute its own.
     pub g_cap_z: Option<std::sync::Arc<Vec<cuba_pds::VisibleState>>>,
+    /// Per-system artifacts holding the *shared explorers*: when set,
+    /// engines of matching backend borrow the system's layered
+    /// exploration instead of starting their own — the "one system,
+    /// many properties" hinge. `None` gives every engine a private
+    /// explorer (the pre-sharing behavior).
+    pub artifacts: Option<std::sync::Arc<crate::SystemArtifacts>>,
 }
 
 impl Default for EngineParams {
@@ -295,6 +359,7 @@ impl Default for EngineParams {
             fuse_collapse: true,
             skip_fcr_check: false,
             g_cap_z: None,
+            artifacts: None,
         }
     }
 }
@@ -325,15 +390,43 @@ pub fn build_engine(
         skip_fcr_check: params.skip_fcr_check,
         subsumption: params.subsumption,
     };
+    // With artifacts in play every engine of a backend borrows the
+    // system's shared explorer; without, each engine explores alone.
+    let explicit_backend = || match &params.artifacts {
+        Some(artifacts) => Backend::new(artifacts.explicit_explorer(cpds, &params.budget)),
+        None => Backend::explicit(cpds, params.budget.clone()),
+    };
+    let symbolic_backend = || match &params.artifacts {
+        Some(artifacts) => {
+            Backend::new(artifacts.symbolic_explorer(cpds, &params.budget, params.subsumption))
+        }
+        None => Backend::symbolic(cpds, params.budget.clone(), params.subsumption),
+    };
     Ok(match kind {
-        EngineKind::Alg3Explicit => Box::new(Alg3Engine::explicit(cpds, property, &alg3())?),
-        EngineKind::Scheme1Explicit => {
-            Box::new(Scheme1Engine::explicit(cpds, property, &scheme1())?)
-        }
-        EngineKind::Alg3Symbolic => Box::new(Alg3Engine::symbolic(cpds, property, &alg3())),
-        EngineKind::Scheme1Symbolic => {
-            Box::new(Scheme1Engine::symbolic(cpds, property, &scheme1()))
-        }
+        EngineKind::Alg3Explicit => Box::new(Alg3Engine::explicit_with(
+            cpds,
+            property,
+            &alg3(),
+            explicit_backend,
+        )?),
+        EngineKind::Scheme1Explicit => Box::new(Scheme1Engine::explicit_with(
+            cpds,
+            property,
+            &scheme1(),
+            explicit_backend,
+        )?),
+        EngineKind::Alg3Symbolic => Box::new(Alg3Engine::symbolic_with(
+            cpds,
+            property,
+            &alg3(),
+            symbolic_backend(),
+        )),
+        EngineKind::Scheme1Symbolic => Box::new(Scheme1Engine::symbolic_with(
+            cpds,
+            property,
+            &scheme1(),
+            symbolic_backend(),
+        )),
         EngineKind::CbaRefuter => Box::new(CbaEngine::new(
             cpds,
             property,

@@ -22,10 +22,14 @@ pub enum SessionEvent {
         /// States the round added (the frontier delta a
         /// [`SchedulePolicy`](crate::SchedulePolicy) watches).
         delta_states: usize,
-        /// Wall-clock cost of the round (nonzero).
+        /// Wall-clock cost of the round (nonzero; ≈ 0 for replays).
         elapsed: std::time::Duration,
         /// How the engine's observation sequence moved (Table 1).
         event: SequenceEvent,
+        /// Whether the round replayed a layer a shared explorer had
+        /// already computed (for an earlier property or a sibling arm)
+        /// instead of exploring it live.
+        replayed: bool,
     },
     /// An engine reached a verdict (possibly `Undetermined` — for a
     /// refuter arm or a round-limited run, that just means "out of the
@@ -66,15 +70,17 @@ impl std::fmt::Display for SessionEvent {
                 delta_states,
                 elapsed,
                 event,
+                replayed,
             } => {
                 let tag = match event {
                     SequenceEvent::Grew => "grew",
                     SequenceEvent::NewPlateau => "new plateau",
                     SequenceEvent::OngoingPlateau => "plateau",
                 };
+                let mode = if *replayed { ", replayed" } else { "" };
                 write!(
                     f,
-                    "{engine}: round k={k} done, {states} states (+{delta_states}, {tag}, {elapsed:?})"
+                    "{engine}: round k={k} done, {states} states (+{delta_states}, {tag}, {elapsed:?}{mode})"
                 )
             }
             SessionEvent::EngineConcluded {

@@ -1,4 +1,4 @@
-use std::collections::{BTreeSet, HashSet};
+use std::collections::BTreeSet;
 
 use cuba_pds::{Cpds, SharedState, StackSym, VisibleState};
 
@@ -65,16 +65,6 @@ impl GeneratorSet {
         out.sort();
         out.dedup();
         out
-    }
-
-    /// Checks the Alg. 3 line-4 condition `G ∩ Z ⊆ T(Rk)` given a
-    /// precomputed `G ∩ Z` and the current set of reached visible
-    /// states. Returns the missing generators (empty = test passed).
-    pub fn missing<'a>(
-        g_cap_z: &'a [VisibleState],
-        reached: &HashSet<VisibleState>,
-    ) -> Vec<&'a VisibleState> {
-        g_cap_z.iter().filter(|v| !reached.contains(v)).collect()
     }
 
     /// Per-thread pop-target sets (diagnostics).
@@ -155,17 +145,6 @@ mod tests {
             gz,
             vec![vis(0, &[Some(1), None]), vis(0, &[Some(1), Some(6)])]
         );
-    }
-
-    #[test]
-    fn missing_generators() {
-        let gz = vec![vis(0, &[Some(1), None]), vis(0, &[Some(1), Some(6)])];
-        let mut reached: HashSet<VisibleState> = HashSet::new();
-        reached.insert(vis(0, &[Some(1), None]));
-        let missing = GeneratorSet::missing(&gz, &reached);
-        assert_eq!(missing, vec![&gz[1]]);
-        reached.insert(vis(0, &[Some(1), Some(6)]));
-        assert!(GeneratorSet::missing(&gz, &reached).is_empty());
     }
 
     #[test]

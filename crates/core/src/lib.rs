@@ -23,7 +23,13 @@
 //!   per-round cost accounting), with cooperative cancellation and
 //!   wall-clock deadlines. Turns are distributed by a pluggable
 //!   [`SchedulePolicy`] (cost-aware by default); batches share
-//!   per-system artifacts through a [`SuiteCache`].
+//!   per-system artifacts through a [`SuiteCache`]. Exploration is
+//!   decoupled from property checking: the layers `(Rk)`/`(Sk)` live
+//!   in shared, demand-driven explorers
+//!   ([`SharedExplorer`](cuba_explore::SharedExplorer), held by
+//!   [`SystemArtifacts`]), so any number of properties of one system
+//!   replay a single saturation and only deeper bounds are computed
+//!   live ("one system, many properties").
 //! * [`Cuba`] is a thin blocking wrapper over a session, kept for
 //!   compatibility.
 //! * [`cba_baseline`] is plain context-bounded analysis (Qadeer–Rehof

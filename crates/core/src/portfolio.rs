@@ -169,13 +169,30 @@ impl Portfolio {
         &self,
         cpds: Cpds,
         property: Property,
+        on_event: Option<&mut dyn FnMut(&SessionEvent)>,
+    ) -> Result<CubaOutcome, CubaError> {
+        self.run_parallel_with(cpds, property, on_event, &Arc::new(SystemArtifacts::new()))
+    }
+
+    /// As [`run_parallel`](Self::run_parallel), reusing cached
+    /// per-system artifacts — so even the threaded race shares one
+    /// layered exploration per backend with every other consumer of
+    /// the same system (suite batches, earlier properties).
+    ///
+    /// # Errors
+    ///
+    /// As for [`run`](Self::run).
+    pub fn run_parallel_with(
+        &self,
+        cpds: Cpds,
+        property: Property,
         mut on_event: Option<&mut dyn FnMut(&SessionEvent)>,
+        artifacts: &Arc<SystemArtifacts>,
     ) -> Result<CubaOutcome, CubaError> {
         let start = std::time::Instant::now();
-        let artifacts = Arc::new(SystemArtifacts::new());
         let fcr_holds = artifacts.fcr(&cpds).holds();
         let lineup: Vec<EngineKind> = self
-            .lineup_with(&cpds, &artifacts)
+            .lineup_with(&cpds, artifacts)
             .into_iter()
             .filter(|kind| fcr_holds || !kind.needs_fcr())
             .collect();
@@ -215,7 +232,7 @@ impl Portfolio {
                     &lineup,
                     Some(race.clone()),
                     &self.config,
-                    &artifacts,
+                    artifacts,
                 );
                 let events_tx = events_tx.clone();
                 let reports = &reports;
@@ -257,6 +274,8 @@ impl Portfolio {
                                     rounds: outcome.rounds,
                                     states: outcome.states,
                                     round_wall: outcome.round_wall,
+                                    rounds_explored: outcome.rounds_explored,
+                                    rounds_replayed: outcome.rounds_replayed,
                                 },
                                 Some(Err(e)) => ParallelArmReport {
                                     engine: arm_engine_placeholder(*kind),
@@ -264,6 +283,8 @@ impl Portfolio {
                                     rounds: 0,
                                     states: 0,
                                     round_wall: Duration::ZERO,
+                                    rounds_explored: 0,
+                                    rounds_replayed: 0,
                                 },
                                 None => ParallelArmReport {
                                     engine: arm_engine_placeholder(*kind),
@@ -273,6 +294,8 @@ impl Portfolio {
                                     rounds: 0,
                                     states: 0,
                                     round_wall: Duration::ZERO,
+                                    rounds_explored: 0,
+                                    rounds_replayed: 0,
                                 },
                             }
                         }
@@ -285,6 +308,8 @@ impl Portfolio {
                                 rounds: 0,
                                 states: 0,
                                 round_wall: Duration::ZERO,
+                                rounds_explored: 0,
+                                rounds_replayed: 0,
                             }
                         }
                     };
@@ -429,6 +454,8 @@ fn pick_parallel_winner(
     // Cost accounting sums over every arm: losers' rounds were still
     // paid for.
     let round_wall: Duration = reports.iter().map(|r| r.round_wall).sum();
+    let rounds_explored: usize = reports.iter().map(|r| r.rounds_explored).sum();
+    let rounds_replayed: usize = reports.iter().map(|r| r.rounds_replayed).sum();
     let outcome_from = |r: &ParallelArmReport, verdict: Verdict| CubaOutcome {
         verdict,
         fcr_holds,
@@ -437,6 +464,8 @@ fn pick_parallel_winner(
         rounds: r.rounds,
         duration,
         round_wall,
+        rounds_explored,
+        rounds_replayed,
     };
     if let Some(r) = reports
         .iter()
@@ -481,6 +510,8 @@ struct ParallelArmReport {
     rounds: usize,
     states: usize,
     round_wall: Duration,
+    rounds_explored: usize,
+    rounds_replayed: usize,
 }
 
 #[cfg(test)]

@@ -34,7 +34,7 @@ use crate::RoundInfo;
 pub struct ArmView {
     /// The arm concluded or failed; it must not be scheduled again.
     pub retired: bool,
-    /// States currently stored by the arm's engine.
+    /// States stored at the arm's current bound.
     pub states: usize,
     /// Rounds the arm has computed.
     pub rounds: usize,
@@ -42,6 +42,15 @@ pub struct ArmView {
     /// never proves, so a plateau never lets it conclude — granting it
     /// bonus turns on a safe instance only delays the provers.
     pub refuter: bool,
+    /// Identity of the arm's shared exploration store, when it borrows
+    /// one ([`SharedExplorer`](cuba_explore::SharedExplorer)). Arms
+    /// sharing a store replay each other's layers for free, which
+    /// changes what scheduling can save: stepping a laggard costs
+    /// ≈ nothing, racing a leader ahead costs live exploration.
+    pub store: Option<usize>,
+    /// Deepest bound the arm's store already holds: the arm's next
+    /// step is a free replay iff `rounds < frontier`.
+    pub frontier: usize,
 }
 
 /// An arm-picking strategy for a session's race.
@@ -180,9 +189,15 @@ impl Scheduler for RoundRobinScheduler {
 /// Per-arm bookkeeping of the frontier-aware scheduler.
 #[derive(Debug, Default, Clone)]
 struct ArmStats {
-    /// Recent `(delta_states, elapsed_secs, plateaued)` rounds, newest
-    /// last, capped at `config.window`.
-    recent: Vec<(usize, f64, bool)>,
+    /// Recent `(delta_states, elapsed_secs)` of *live* rounds, newest
+    /// last, capped at `config.window`. Replayed rounds never enter:
+    /// their ≈ 0 cost and zero delta would fake a perfect trend.
+    recent: Vec<(usize, f64)>,
+    /// Whether the latest recorded round observed a plateau. Sequence
+    /// information is valid for replays too — a replayed plateau is
+    /// the same plateau a live round would have seen — so this updates
+    /// on every round; only the *cost* samples are live-only.
+    last_plateaued: bool,
     /// Consecutive cycles the arm was seen ballooning.
     strikes: usize,
     /// The arm is parked: no turns while any sibling is active.
@@ -203,7 +218,7 @@ impl ArmStats {
 
     /// Whether the latest recorded round was a plateau.
     fn plateaued(&self) -> bool {
-        self.recent.last().is_some_and(|r| r.2)
+        self.last_plateaued
     }
 }
 
@@ -247,15 +262,41 @@ impl FrontierAwareScheduler {
             return;
         }
 
-        // Balloon evaluation against the leanest active sibling.
-        let min_states = active
-            .iter()
-            .map(|&i| arms[i].states)
-            .min()
-            .unwrap_or(0)
-            .max(self.config.park_floor);
+        // Balloon evaluation against the leanest active sibling, at
+        // *store* granularity: arms sharing an exploration store hold
+        // the same states at different cursors, so comparing them to
+        // each other would flag the deeper sibling as "ballooning" for
+        // merely being ahead. Each arm is judged by its store's
+        // deepest state count instead (its own, when unshared).
+        let effective = |i: usize| -> usize {
+            match arms[i].store {
+                None => arms[i].states,
+                Some(store) => active
+                    .iter()
+                    .filter(|&&j| arms[j].store == Some(store))
+                    .map(|&j| arms[j].states)
+                    .max()
+                    .unwrap_or(arms[i].states),
+            }
+        };
+        // Provers are judged against other *provers* only: a lean
+        // refuter (CBA explores tiny per-bound slices) must not get
+        // the provers demoted — it can win with a bug but can never
+        // conclude safety, so throttling provers in its favor turns a
+        // safe instance into a crawl through the refuter's bound
+        // budget. Refuters balloon against anyone.
+        let min_over = |refuters_too: bool| {
+            active
+                .iter()
+                .filter(|&&i| refuters_too || !arms[i].refuter)
+                .map(|&i| effective(i))
+                .min()
+                .unwrap_or(0)
+                .max(self.config.park_floor)
+        };
         for &i in &active {
-            let ballooning = arms[i].states as f64 > self.config.balloon_ratio * min_states as f64;
+            let min_states = min_over(arms[i].refuter);
+            let ballooning = effective(i) as f64 > self.config.balloon_ratio * min_states as f64;
             if ballooning {
                 self.stats[i].strikes += 1;
                 if self.stats[i].strikes >= self.config.park_after {
@@ -270,6 +311,21 @@ impl FrontierAwareScheduler {
         // them all — a parked arm resumes once it is the only hope.
         if active.iter().all(|&i| self.stats[i].parked) {
             for &i in &active {
+                self.stats[i].parked = false;
+                self.stats[i].strikes = 0;
+            }
+        }
+        // Never bench every prover in favor of refuters alone: a
+        // refuter can win with a bug but cannot prove, so on a safe
+        // instance a provers-parked race would crawl through the
+        // refuter's whole bound budget before anyone could conclude.
+        let provers: Vec<usize> = active
+            .iter()
+            .copied()
+            .filter(|&i| !arms[i].refuter)
+            .collect();
+        if !provers.is_empty() && provers.iter().all(|&i| self.stats[i].parked) {
+            for &i in &provers {
                 self.stats[i].parked = false;
                 self.stats[i].strikes = 0;
             }
@@ -295,12 +351,38 @@ impl FrontierAwareScheduler {
         // Leader bonus: a plateauing prover first, else the prover
         // with the smallest delta/elapsed trend; ties fall to the
         // earliest arm (lineup order is preference order). Withheld
-        // when the leader is already `max_lead` rounds ahead.
+        // when the leader is already `max_lead` rounds ahead — and,
+        // under layer sharing, from a leader about to explore *live*
+        // while a same-store prover sits at or behind its bound: that
+        // sibling replays the store's layers for free and may conclude
+        // at a shallower bound, so racing the store deeper — even from
+        // a tie — would pay for layers nobody may need, with no
+        // compensating saving (the sibling's rounds cost ≈ nothing
+        // either way). Same-store provers therefore advance the live
+        // frontier in lockstep; bonus turns remain for replay catch-up
+        // and for arms whose store nobody else consumes.
         let min_rounds = active.iter().map(|&i| arms[i].rounds).min().unwrap_or(0);
+        let speculative_blocked = |i: usize| -> bool {
+            let Some(store) = arms[i].store else {
+                return false;
+            };
+            if arms[i].rounds < arms[i].frontier {
+                return false; // next steps replay existing layers
+            }
+            active.iter().any(|&j| {
+                j != i
+                    && !arms[j].refuter
+                    && arms[j].store == Some(store)
+                    && arms[j].rounds <= arms[i].rounds
+            })
+        };
         let mut leader: Option<usize> = None;
         let mut best = (u8::MAX, f64::INFINITY);
         for &i in &cycle {
-            if arms[i].refuter || arms[i].rounds >= min_rounds + self.config.max_lead {
+            if arms[i].refuter
+                || arms[i].rounds >= min_rounds + self.config.max_lead
+                || speculative_blocked(i)
+            {
                 continue;
             }
             let stats = &self.stats[i];
@@ -359,13 +441,21 @@ impl Scheduler for FrontierAwareScheduler {
     fn record(&mut self, index: usize, info: &RoundInfo) {
         self.ensure_stats(index + 1);
         let stats = &mut self.stats[index];
-        let plateaued = matches!(
+        // Sequence information (grew/plateau) is exact for replays
+        // too; the arm's growth log is byte-identical either way.
+        stats.last_plateaued = matches!(
             info.event,
             crate::SequenceEvent::NewPlateau | crate::SequenceEvent::OngoingPlateau
         );
+        // Cost samples come from live rounds only: a replay's ≈ 0
+        // elapsed and zero delta would fake a perfect trend and
+        // corrupt the balloon/lead accounting.
+        if info.replayed {
+            return;
+        }
         stats
             .recent
-            .push((info.delta_states, info.elapsed.as_secs_f64(), plateaued));
+            .push((info.delta_states, info.elapsed.as_secs_f64()));
         let window = self.config.window;
         if stats.recent.len() > window {
             let drop = stats.recent.len() - window;
@@ -391,6 +481,7 @@ mod tests {
             delta_states: delta,
             elapsed: Duration::from_micros(100),
             event,
+            replayed: false,
         }
     }
 
@@ -400,6 +491,8 @@ mod tests {
             states,
             rounds,
             refuter,
+            store: None,
+            frontier: 0,
         }
     }
 

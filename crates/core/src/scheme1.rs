@@ -1,4 +1,4 @@
-use cuba_explore::{ExplicitEngine, ExploreBudget, SubsumptionMode, SymbolicEngine, Witness};
+use cuba_explore::{ExplicitEngine, ExploreBudget, LayerView, SubsumptionMode, Witness};
 use cuba_pds::Cpds;
 
 use crate::engine::{Applicability, Backend, Engine, RoundCtx, RoundInfo, RoundOutcome};
@@ -58,15 +58,16 @@ pub struct Scheme1Engine {
     backend: Backend,
     growth: GrowthLog,
     next_k: usize,
-    /// `states()` after the previous round, for `delta_states`.
-    prev_states: usize,
+    /// `states` at the last computed bound (bound-indexed). Doubles as
+    /// the previous round's count when computing `delta_states`.
+    states: usize,
     verdict: Option<Verdict>,
 }
 
 impl Scheme1Engine {
     /// Scheme 1 over `(Rk)` with explicit state sets (the paper's
-    /// `Scheme 1(Rk)`, §4). Performs the FCR pre-check unless the
-    /// config skips it.
+    /// `Scheme 1(Rk)`, §4), on a private explorer. Performs the FCR
+    /// pre-check unless the config skips it.
     ///
     /// # Errors
     ///
@@ -77,11 +78,9 @@ impl Scheme1Engine {
         property: &Property,
         config: &Scheme1Config,
     ) -> Result<Self, CubaError> {
-        if !config.skip_fcr_check && !check_fcr(cpds).holds() {
-            return Err(CubaError::FcrRequired);
-        }
-        let backend = Backend::Explicit(ExplicitEngine::new(cpds.clone(), config.budget.clone()));
-        Ok(Self::with_backend(cpds, property, config, backend))
+        Self::explicit_with(cpds, property, config, || {
+            Backend::explicit(cpds, config.budget.clone())
+        })
     }
 
     /// Scheme 1 over symbolic state sets `(Sk)` (PSA-backed): usable
@@ -90,11 +89,38 @@ impl Scheme1Engine {
     /// produces no new symbolic state soundly implies `Rk+1 ⊆ Rk`;
     /// stutter-freeness of `(Rk)` (Lemma 7) then gives convergence.
     pub fn symbolic(cpds: &Cpds, property: &Property, config: &Scheme1Config) -> Self {
-        let backend = Backend::Symbolic(SymbolicEngine::new(
-            cpds.clone(),
-            config.budget.clone(),
-            config.subsumption,
-        ));
+        Self::symbolic_with(
+            cpds,
+            property,
+            config,
+            Backend::symbolic(cpds, config.budget.clone(), config.subsumption),
+        )
+    }
+
+    /// As [`explicit`](Self::explicit), borrowing a (possibly shared)
+    /// explicit backend. The backend is supplied lazily so a failing
+    /// FCR pre-check never constructs (or caches) an explorer for a
+    /// system the engine refuses to analyze.
+    pub(crate) fn explicit_with(
+        cpds: &Cpds,
+        property: &Property,
+        config: &Scheme1Config,
+        backend: impl FnOnce() -> Backend,
+    ) -> Result<Self, CubaError> {
+        if !config.skip_fcr_check && !check_fcr(cpds).holds() {
+            return Err(CubaError::FcrRequired);
+        }
+        Ok(Self::with_backend(cpds, property, config, backend()))
+    }
+
+    /// As [`symbolic`](Self::symbolic), borrowing a (possibly shared)
+    /// symbolic backend.
+    pub(crate) fn symbolic_with(
+        cpds: &Cpds,
+        property: &Property,
+        config: &Scheme1Config,
+        backend: Backend,
+    ) -> Self {
         Self::with_backend(cpds, property, config, backend)
     }
 
@@ -112,7 +138,7 @@ impl Scheme1Engine {
             backend,
             growth: GrowthLog::new(),
             next_k: 0,
-            prev_states: 0,
+            states: 0,
             verdict: None,
         }
     }
@@ -125,25 +151,24 @@ impl Scheme1Engine {
     /// The violation verdict for layer `k`, if any, with a witness
     /// (parent links for the explicit backend, bounded search for the
     /// symbolic one).
-    fn violation_at(&self, k: usize) -> Option<Verdict> {
-        match &self.backend {
-            Backend::Explicit(engine) => {
-                let witness = explicit_violation_witness(engine, &self.property, k)?;
-                Some(Verdict::Unsafe {
-                    k,
-                    witness: Some(witness),
-                })
-            }
-            Backend::Symbolic(engine) => {
-                self.property
-                    .find_violation(engine.visible_layer(k).iter())?;
-                Some(crate::alg3::attach_symbolic_witness(
-                    Verdict::Unsafe { k, witness: None },
-                    &self.cpds,
-                    &self.property,
-                    &self.budget,
-                ))
-            }
+    fn violation_at(&self, view: &LayerView) -> Option<Verdict> {
+        let k = view.k;
+        if self.backend.is_symbolic() {
+            self.property.find_violation(view.new_visible.iter())?;
+            Some(crate::alg3::attach_symbolic_witness(
+                Verdict::Unsafe { k, witness: None },
+                &self.cpds,
+                &self.property,
+                &self.budget,
+            ))
+        } else {
+            let witness = self
+                .backend
+                .with_explicit(|e| explicit_violation_witness(e, &self.property, k))??;
+            Some(Verdict::Unsafe {
+                k,
+                witness: Some(witness),
+            })
         }
     }
 
@@ -155,7 +180,7 @@ impl Scheme1Engine {
                 reason: "engine not run to conclusion".to_owned(),
             }),
             rounds,
-            states: self.backend.states(),
+            states: self.states,
             growth: self.growth,
         }
     }
@@ -201,27 +226,30 @@ impl Engine for Scheme1Engine {
         }
         let started = std::time::Instant::now();
         let k = self.next_k;
-        let collapsed = if k > 0 {
-            self.backend.advance()?;
-            self.backend.is_collapsed()
-        } else {
-            false
-        };
-        let event = self.growth.push(self.backend.states());
+        let interrupt = self.budget.interrupt.merged(&ctx.interrupt);
+        let live = self.backend.ensure(k, &interrupt)?;
+        let view = self.backend.view(k);
+        let replayed = k > 0 && !live;
+        let event = self.growth.push(view.states);
         self.next_k += 1;
-        let states = self.backend.states();
+        let states = view.states;
         let info = RoundInfo {
             k,
             states,
-            delta_states: states.saturating_sub(self.prev_states),
+            delta_states: if replayed {
+                0
+            } else {
+                states.saturating_sub(self.states)
+            },
             elapsed: started.elapsed().max(std::time::Duration::from_nanos(1)),
             event,
+            replayed,
         };
-        self.prev_states = states;
-        if let Some(verdict) = self.violation_at(k) {
+        self.states = states;
+        if let Some(verdict) = self.violation_at(&view) {
             return Ok(self.conclude(Some(info), verdict));
         }
-        if collapsed {
+        if view.collapsed {
             let verdict = Verdict::Safe {
                 k: k - 1,
                 method: collapse_rule,
@@ -236,7 +264,15 @@ impl Engine for Scheme1Engine {
     }
 
     fn states(&self) -> usize {
-        self.backend.states()
+        self.states
+    }
+
+    fn store_key(&self) -> Option<usize> {
+        Some(self.backend.store_key())
+    }
+
+    fn frontier(&self) -> usize {
+        self.backend.depth()
     }
 
     fn growth(&self) -> &GrowthLog {

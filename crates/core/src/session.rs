@@ -84,6 +84,10 @@ pub struct AnalysisSession {
     scheduler: Box<dyn Scheduler>,
     /// Total wall-clock spent inside completed rounds, all arms.
     round_wall: Duration,
+    /// Rounds computed live (layers explored by this session's arms).
+    rounds_explored: usize,
+    /// Rounds replayed from layers a shared explorer already held.
+    rounds_replayed: usize,
     pending: VecDeque<SessionEvent>,
     outcome: Option<Result<CubaOutcome, CubaError>>,
     /// Set once the final `Verdict` event has been queued.
@@ -187,6 +191,10 @@ impl AnalysisSession {
             fuse_collapse: true,
             skip_fcr_check: true,
             g_cap_z,
+            // Arms borrow the system's shared explorers: one `(Rk)`
+            // and/or `(Sk)` exploration per system, however many arms,
+            // sessions, and properties consume it.
+            artifacts: Some(artifacts.clone()),
         };
         let mut arms = Vec::with_capacity(kinds.len());
         for kind in &kinds {
@@ -213,6 +221,8 @@ impl AnalysisSession {
             start: Instant::now(),
             scheduler: config.schedule.scheduler(),
             round_wall: Duration::ZERO,
+            rounds_explored: 0,
+            rounds_replayed: 0,
             pending: VecDeque::new(),
             outcome: None,
             decided: false,
@@ -270,6 +280,8 @@ impl AnalysisSession {
                 states: arm.engine.states(),
                 rounds: arm.engine.rounds(),
                 refuter: arm.engine.id() == EngineUsed::CbaBaseline,
+                store: arm.engine.store_key(),
+                frontier: arm.engine.frontier(),
             })
             .collect();
         let Some(index) = self.scheduler.next_arm(&views) else {
@@ -280,9 +292,7 @@ impl AnalysisSession {
         let id = arm.engine.id();
         match arm.engine.step(&mut self.ctx) {
             Ok(RoundOutcome::Continue(info)) => {
-                self.scheduler.record(index, &info);
-                self.round_wall += info.elapsed;
-                self.pending.push_back(round_event(id, &info));
+                self.note_round(index, id, &info);
             }
             Ok(RoundOutcome::Concluded { round, verdict }) => {
                 arm.retired = true;
@@ -292,9 +302,7 @@ impl AnalysisSession {
                 let rounds = arm.engine.rounds();
                 let states = arm.engine.states();
                 if let Some(info) = round {
-                    self.scheduler.record(index, &info);
-                    self.round_wall += info.elapsed;
-                    self.pending.push_back(round_event(id, &info));
+                    self.note_round(index, id, &info);
                 }
                 self.pending.push_back(SessionEvent::EngineConcluded {
                     engine: id,
@@ -311,6 +319,8 @@ impl AnalysisSession {
                         rounds,
                         duration: self.start.elapsed(),
                         round_wall: self.round_wall,
+                        rounds_explored: self.rounds_explored,
+                        rounds_replayed: self.rounds_replayed,
                     }));
                 }
             }
@@ -321,6 +331,19 @@ impl AnalysisSession {
                     .push_back(SessionEvent::EngineFailed { engine: id, error });
             }
         }
+    }
+
+    /// Books a completed round: scheduler feedback, cost accounting,
+    /// the explored/replayed counters, and the streamed event.
+    fn note_round(&mut self, index: usize, id: EngineUsed, info: &crate::RoundInfo) {
+        self.scheduler.record(index, info);
+        self.round_wall += info.elapsed;
+        if info.replayed {
+            self.rounds_replayed += 1;
+        } else {
+            self.rounds_explored += 1;
+        }
+        self.pending.push_back(round_event(id, info));
     }
 
     /// All arms are retired: pick the best available answer.
@@ -347,6 +370,8 @@ impl AnalysisSession {
                 rounds: arm.engine.rounds(),
                 duration: self.start.elapsed(),
                 round_wall: self.round_wall,
+                rounds_explored: self.rounds_explored,
+                rounds_replayed: self.rounds_replayed,
             };
             self.decide(Ok(outcome));
             return;
@@ -373,6 +398,8 @@ impl AnalysisSession {
                 rounds: best.engine.rounds(),
                 duration: self.start.elapsed(),
                 round_wall: self.round_wall,
+                rounds_explored: self.rounds_explored,
+                rounds_replayed: self.rounds_replayed,
             };
             self.decide(Ok(outcome));
             return;
@@ -439,6 +466,7 @@ fn round_event(engine: EngineUsed, info: &crate::RoundInfo) -> SessionEvent {
         delta_states: info.delta_states,
         elapsed: info.elapsed,
         event: info.event,
+        replayed: info.replayed,
     }
 }
 

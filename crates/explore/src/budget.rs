@@ -89,6 +89,24 @@ impl Interrupt {
         !self.cancels.is_empty() || self.deadline.is_some()
     }
 
+    /// Composes two interrupts: any token of either fires, and the
+    /// earlier of the two deadlines wins. Used by a
+    /// [`SharedExplorer`](crate::SharedExplorer) to layer a caller's
+    /// interrupt on top of the explorer's own baseline.
+    pub fn merged(&self, other: &Interrupt) -> Interrupt {
+        let mut cancels = self.cancels.clone();
+        for token in &other.cancels {
+            if !cancels.iter().any(|t| t.same_as(token)) {
+                cancels.push(token.clone());
+            }
+        }
+        let deadline = match (self.deadline, other.deadline) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+        Interrupt { cancels, deadline }
+    }
+
     /// Polls every source.
     ///
     /// # Errors

@@ -2,7 +2,7 @@ use std::collections::{HashMap, HashSet, VecDeque};
 
 use cuba_pds::{Cpds, GlobalState, ThreadId, VisibleState};
 
-use crate::{ExploreBudget, ExploreError, Witness, WitnessStep};
+use crate::{ExploreBudget, ExploreError, Interrupt, LayerStore, Witness, WitnessStep};
 
 /// How often (in explored states) the inner loops poll the
 /// [`Interrupt`](crate::Interrupt): frequent enough that cancellation
@@ -40,12 +40,9 @@ pub struct ExplicitEngine {
     states: Vec<GlobalState>,
     layer_of_state: Vec<u32>,
     index: HashMap<GlobalState, u32>,
-    /// `layers[k]` = ids of states first reached at context bound `k`.
-    layers: Vec<Vec<u32>>,
-    /// `visible_layers[k]` = visible states first seen at bound `k`.
-    visible_layers: Vec<Vec<VisibleState>>,
-    visible_seen: HashSet<VisibleState>,
-    collapsed: bool,
+    /// The property-independent layer record (shared vocabulary with
+    /// the symbolic engine; see [`LayerStore`]).
+    store: LayerStore,
 }
 
 impl ExplicitEngine {
@@ -55,18 +52,13 @@ impl ExplicitEngine {
         let visible = init.visible();
         let mut index = HashMap::new();
         index.insert(init.clone(), 0u32);
-        let mut visible_seen = HashSet::new();
-        visible_seen.insert(visible.clone());
         ExplicitEngine {
             cpds,
             budget,
             states: vec![init],
             layer_of_state: vec![0],
             index,
-            layers: vec![vec![0]],
-            visible_layers: vec![vec![visible]],
-            visible_seen,
-            collapsed: false,
+            store: LayerStore::new(visible),
         }
     }
 
@@ -77,13 +69,25 @@ impl ExplicitEngine {
 
     /// The highest context bound computed so far.
     pub fn current_k(&self) -> usize {
-        self.layers.len() - 1
+        self.store.current_k()
     }
 
     /// Whether the sequence has collapsed (`Rk = Rk+1`); by Lemma 7
     /// this means `Rk = R` and further rounds add nothing.
     pub fn is_collapsed(&self) -> bool {
-        self.collapsed
+        self.store.is_collapsed()
+    }
+
+    /// The bound-indexed layer record.
+    pub fn store(&self) -> &LayerStore {
+        &self.store
+    }
+
+    /// Replaces the interrupt wiring of the engine's budget (a
+    /// [`SharedExplorer`](crate::SharedExplorer) installs each caller's
+    /// interrupt for the duration of its request).
+    pub fn set_interrupt(&mut self, interrupt: Interrupt) {
+        self.budget.interrupt = interrupt;
     }
 
     /// Total number of distinct global states found so far.
@@ -97,7 +101,10 @@ impl ExplicitEngine {
     ///
     /// Panics if layer `k` has not been computed yet.
     pub fn layer(&self, k: usize) -> impl Iterator<Item = &GlobalState> + '_ {
-        self.layers[k].iter().map(|&id| &self.states[id as usize])
+        self.store
+            .layer_ids(k)
+            .iter()
+            .map(|&id| &self.states[id as usize])
     }
 
     /// The visible states first seen at context bound `k`
@@ -107,17 +114,17 @@ impl ExplicitEngine {
     ///
     /// Panics if layer `k` has not been computed yet.
     pub fn visible_layer(&self, k: usize) -> &[VisibleState] {
-        &self.visible_layers[k]
+        self.store.visible_layer(k)
     }
 
     /// All visible states seen so far, `T(Rk)` for the current `k`.
-    pub fn visible_total(&self) -> &HashSet<VisibleState> {
-        &self.visible_seen
+    pub fn visible_total(&self) -> impl Iterator<Item = &VisibleState> + '_ {
+        self.store.visible_iter()
     }
 
     /// Number of visible states seen so far, `|T(Rk)|`.
     pub fn num_visible(&self) -> usize {
-        self.visible_seen.len()
+        self.store.num_visible()
     }
 
     /// All states found so far (the extensional `Rk`).
@@ -144,6 +151,14 @@ impl ExplicitEngine {
     /// After a collapse this is a cheap no-op returning an empty layer
     /// summary, so drivers may keep calling it.
     ///
+    /// The round is *transactional*: on any error (budget exhaustion,
+    /// cancellation, deadline) every state and visible-state
+    /// registration of the failed round is rolled back, so the engine
+    /// is left exactly at the previous bound and `advance` may be
+    /// retried — the guarantee that lets a
+    /// [`SharedExplorer`](crate::SharedExplorer) survive one caller's
+    /// interruption without poisoning the layers for everyone else.
+    ///
     /// # Errors
     ///
     /// Returns an [`ExploreError`] when a budget is exhausted, which
@@ -151,56 +166,67 @@ impl ExplicitEngine {
     /// the symbolic engine in that case (§6 overall procedure).
     pub fn advance(&mut self) -> Result<LayerSummary, ExploreError> {
         self.budget.interrupt.check()?;
-        let k = self.layers.len();
-        if self.collapsed {
-            self.layers.push(Vec::new());
-            self.visible_layers.push(Vec::new());
+        let k = self.store.current_k() + 1;
+        if self.store.is_collapsed() {
+            self.store
+                .push_layer(Vec::new(), Vec::new(), self.states.len());
             return Ok(LayerSummary {
                 k,
                 new_states: 0,
                 new_visible: 0,
             });
         }
-        let frontier: Vec<u32> = self.layers[k - 1].clone();
+        let frontier: Vec<u32> = self.store.layer_ids(k - 1).to_vec();
+        let round_start = self.states.len() as u32;
         let mut new_layer: Vec<u32> = Vec::new();
-        let mut new_set: HashSet<u32> = HashSet::new();
         let mut new_visible: Vec<VisibleState> = Vec::new();
 
         for &start_id in &frontier {
             for thread in 0..self.cpds.num_threads() {
-                self.context_closure(
+                if let Err(e) = self.context_closure(
                     start_id,
                     thread,
                     k as u32,
+                    round_start,
                     &mut new_layer,
-                    &mut new_set,
                     &mut new_visible,
-                )?;
+                ) {
+                    self.rollback(round_start, &new_visible);
+                    return Err(e);
+                }
             }
         }
 
-        if new_layer.is_empty() {
-            self.collapsed = true;
-        }
         let summary = LayerSummary {
             k,
             new_states: new_layer.len(),
             new_visible: new_visible.len(),
         };
-        self.layers.push(new_layer);
-        self.visible_layers.push(new_visible);
+        self.store
+            .push_layer(new_layer, new_visible, self.states.len());
         Ok(summary)
     }
 
+    /// Removes every state (ids `round_start..`) and visible state
+    /// registered by a failed round.
+    fn rollback(&mut self, round_start: u32, new_visible: &[VisibleState]) {
+        for state in self.states.drain(round_start as usize..) {
+            self.index.remove(&state);
+        }
+        self.layer_of_state.truncate(round_start as usize);
+        self.store.rollback_round(new_visible);
+    }
+
     /// Runs thread `thread` to completion from `start_id` (one full
-    /// context), registering every state not seen before.
+    /// context), registering every state not seen before. States of
+    /// this round carry ids `≥ round_start`.
     fn context_closure(
         &mut self,
         start_id: u32,
         thread: usize,
         layer: u32,
+        round_start: u32,
         new_layer: &mut Vec<u32>,
-        new_set: &mut HashSet<u32>,
         new_visible: &mut Vec<VisibleState>,
     ) -> Result<(), ExploreError> {
         // BFS over →_thread within this context. Entries are state ids;
@@ -252,8 +278,7 @@ impl ExplicitEngine {
                         self.states.push(succ);
                         self.layer_of_state.push(layer);
                         new_layer.push(new_id);
-                        new_set.insert(new_id);
-                        if self.visible_seen.insert(visible.clone()) {
+                        if self.store.record_visible(visible.clone()) {
                             new_visible.push(visible);
                         }
                         new_id
@@ -261,11 +286,13 @@ impl ExplicitEngine {
                 };
                 // Continue the context from states that entered the
                 // current layer (whether in this closure or an earlier
-                // one of the same round). States from older layers were
-                // already run to completion under every thread when
-                // their own layer was the frontier, so stopping there
-                // loses nothing and keeps each round linear.
-                if in_context.insert(succ_id) && new_set.contains(&succ_id) {
+                // one of the same round — ids are append-only, so
+                // `id ≥ round_start` is exactly that test). States from
+                // older layers were already run to completion under
+                // every thread when their own layer was the frontier,
+                // so stopping there loses nothing and keeps each round
+                // linear.
+                if in_context.insert(succ_id) && succ_id >= round_start {
                     queue.push_back(succ_id);
                 }
             }
@@ -310,7 +337,7 @@ impl ExplicitEngine {
     /// local path tracking.
     fn context_predecessor(&self, target_id: u32, layer: usize) -> Option<(u32, Vec<WitnessStep>)> {
         let target = &self.states[target_id as usize];
-        for &start_id in &self.layers[layer] {
+        for &start_id in self.store.layer_ids(layer) {
             for thread in 0..self.cpds.num_threads() {
                 if let Some(steps) = self.local_context_path(start_id, thread, target) {
                     return Some((start_id, steps));
@@ -385,7 +412,7 @@ impl ExplicitEngine {
     ///
     /// Propagates budget exhaustion from [`advance`](Self::advance).
     pub fn run_until_collapse(&mut self, max_k: usize) -> Result<usize, ExploreError> {
-        while !self.collapsed && self.current_k() < max_k {
+        while !self.is_collapsed() && self.current_k() < max_k {
             self.advance()?;
         }
         Ok(self.current_k())
@@ -396,6 +423,7 @@ impl ExplicitEngine {
 mod tests {
     use super::*;
     use cuba_pds::{CpdsBuilder, PdsBuilder, SharedState, Stack, StackSym};
+    use std::collections::HashSet;
 
     fn q(n: u32) -> SharedState {
         SharedState(n)

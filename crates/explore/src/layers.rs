@@ -1,0 +1,245 @@
+//! The property-independent layer store shared by both exploration
+//! backends.
+//!
+//! CUBA's observation sequences (`(Rk)`, `(Sk)`, and their visible
+//! projections) are a function of the *system* alone — a property only
+//! inspects them. [`LayerStore`] is exactly that system-side record:
+//! append-only layers of state ids, the per-bound *new* visible
+//! states, the first-seen bound of every visible state, cumulative
+//! growth logs, and collapse detection. [`ExplicitEngine`] and
+//! [`SymbolicEngine`] both maintain one, which is what lets a
+//! [`SharedExplorer`] replay already-computed bounds for any number of
+//! property checkers.
+//!
+//! [`ExplicitEngine`]: crate::ExplicitEngine
+//! [`SymbolicEngine`]: crate::SymbolicEngine
+//! [`SharedExplorer`]: crate::SharedExplorer
+
+use std::collections::HashMap;
+
+use cuba_pds::VisibleState;
+
+/// Append-only record of a layered exploration: which state ids were
+/// first reached at each context bound, which visible states were
+/// first seen there, cumulative sizes per bound, and where (if
+/// anywhere) the sequence collapsed.
+///
+/// All queries are *bound-indexed*, so a checker replaying bound `k`
+/// sees exactly the data a fresh engine would have produced at `k`,
+/// even when the store has since been extended past `k`.
+#[derive(Debug)]
+pub struct LayerStore {
+    /// `layers[k]` = ids of states first reached at context bound `k`.
+    layers: Vec<Vec<u32>>,
+    /// `visible_layers[k]` = visible states first seen at bound `k`.
+    visible_layers: Vec<Vec<VisibleState>>,
+    /// The bound at which each visible state was first seen.
+    first_seen: HashMap<VisibleState, u32>,
+    /// Cumulative stored states after each bound (the `|Rk|`/`|Sk|`
+    /// growth log).
+    state_counts: Vec<usize>,
+    /// Cumulative visible states after each bound (the `|T(Rk)|`
+    /// growth log).
+    visible_counts: Vec<usize>,
+    /// First bound whose layer came up empty (`Rk = Rk−1`), if any.
+    collapsed_at: Option<usize>,
+}
+
+impl LayerStore {
+    /// A store positioned at layer 0 = `{initial state}` (id 0) with
+    /// the given visible projection.
+    pub fn new(initial_visible: VisibleState) -> Self {
+        let mut first_seen = HashMap::new();
+        first_seen.insert(initial_visible.clone(), 0u32);
+        LayerStore {
+            layers: vec![vec![0]],
+            visible_layers: vec![vec![initial_visible]],
+            first_seen,
+            state_counts: vec![1],
+            visible_counts: vec![1],
+            collapsed_at: None,
+        }
+    }
+
+    /// The highest context bound recorded so far.
+    pub fn current_k(&self) -> usize {
+        self.layers.len() - 1
+    }
+
+    /// Ids of the states first reached at bound `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if layer `k` has not been computed yet.
+    pub fn layer_ids(&self, k: usize) -> &[u32] {
+        &self.layers[k]
+    }
+
+    /// Visible states first seen at bound `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if layer `k` has not been computed yet.
+    pub fn visible_layer(&self, k: usize) -> &[VisibleState] {
+        &self.visible_layers[k]
+    }
+
+    /// Number of distinct visible states seen so far (any bound).
+    pub fn num_visible(&self) -> usize {
+        self.first_seen.len()
+    }
+
+    /// Iterates over every visible state seen so far.
+    pub fn visible_iter(&self) -> impl Iterator<Item = &VisibleState> + '_ {
+        self.first_seen.keys()
+    }
+
+    /// Whether `v` has been seen at any computed bound.
+    pub fn seen(&self, v: &VisibleState) -> bool {
+        self.first_seen.contains_key(v)
+    }
+
+    /// Whether `v` was seen at bound `k` or earlier — the membership
+    /// test `v ∈ T(Rk)` that stays correct after the store grows
+    /// past `k`.
+    pub fn seen_by(&self, v: &VisibleState, k: usize) -> bool {
+        self.first_seen.get(v).is_some_and(|&b| b as usize <= k)
+    }
+
+    /// The bound at which `v` was first seen, if any.
+    pub fn first_seen_bound(&self, v: &VisibleState) -> Option<usize> {
+        self.first_seen.get(v).map(|&b| b as usize)
+    }
+
+    /// Cumulative stored states at bound `k` (`|Rk|` resp. `|Sk|`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if layer `k` has not been computed yet.
+    pub fn state_count_at(&self, k: usize) -> usize {
+        self.state_counts[k]
+    }
+
+    /// Cumulative visible states at bound `k` (`|T(Rk)|`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if layer `k` has not been computed yet.
+    pub fn visible_count_at(&self, k: usize) -> usize {
+        self.visible_counts[k]
+    }
+
+    /// Whether the sequence has collapsed at any computed bound.
+    pub fn is_collapsed(&self) -> bool {
+        self.collapsed_at.is_some()
+    }
+
+    /// The first bound whose layer was empty, if any.
+    pub fn collapsed_at(&self) -> Option<usize> {
+        self.collapsed_at
+    }
+
+    /// Whether the collapse had happened by bound `k` — what a checker
+    /// replaying bound `k` observes as "this round added nothing".
+    pub fn collapsed_by(&self, k: usize) -> bool {
+        self.collapsed_at.is_some_and(|c| c <= k)
+    }
+
+    /// Records a visible state seen while computing the *next* layer.
+    /// Returns `true` when it is new (the caller then owes it to the
+    /// round's `new_visible` list, and back to
+    /// [`rollback_round`](Self::rollback_round) on failure).
+    pub fn record_visible(&mut self, v: VisibleState) -> bool {
+        let bound = self.layers.len() as u32;
+        match self.first_seen.entry(v) {
+            std::collections::hash_map::Entry::Occupied(_) => false,
+            std::collections::hash_map::Entry::Vacant(slot) => {
+                slot.insert(bound);
+                true
+            }
+        }
+    }
+
+    /// Undoes the visible-state registrations of a failed round, so an
+    /// interrupted `advance` leaves the store exactly as it was — the
+    /// transactional guarantee a [`SharedExplorer`] needs to let one
+    /// caller's deadline not poison the exploration for everyone else.
+    ///
+    /// [`SharedExplorer`]: crate::SharedExplorer
+    pub fn rollback_round(&mut self, new_visible: &[VisibleState]) {
+        for v in new_visible {
+            self.first_seen.remove(v);
+        }
+    }
+
+    /// Seals the freshly computed layer: the ids first reached at the
+    /// new bound, the visible states first seen there, and the total
+    /// stored states after the round. An empty id layer at `k ≥ 1`
+    /// marks the collapse.
+    pub fn push_layer(
+        &mut self,
+        ids: Vec<u32>,
+        new_visible: Vec<VisibleState>,
+        total_states: usize,
+    ) {
+        if ids.is_empty() && self.collapsed_at.is_none() {
+            self.collapsed_at = Some(self.layers.len());
+        }
+        self.layers.push(ids);
+        self.visible_layers.push(new_visible);
+        self.state_counts.push(total_states);
+        self.visible_counts.push(self.first_seen.len());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cuba_pds::{SharedState, StackSym};
+
+    fn vis(q: u32, top: u32) -> VisibleState {
+        VisibleState::new(SharedState(q), vec![Some(StackSym(top))])
+    }
+
+    #[test]
+    fn bound_indexed_queries_survive_growth() {
+        let mut store = LayerStore::new(vis(0, 1));
+        assert!(store.record_visible(vis(1, 2)));
+        assert!(!store.record_visible(vis(1, 2)), "duplicates rejected");
+        store.push_layer(vec![1, 2], vec![vis(1, 2)], 3);
+        store.push_layer(vec![3], vec![], 4);
+
+        assert_eq!(store.current_k(), 2);
+        assert_eq!(store.visible_count_at(0), 1);
+        assert_eq!(store.visible_count_at(1), 2);
+        assert_eq!(store.state_count_at(2), 4);
+        assert!(store.seen_by(&vis(1, 2), 1));
+        assert!(!store.seen_by(&vis(1, 2), 0));
+        assert_eq!(store.first_seen_bound(&vis(0, 1)), Some(0));
+        assert!(!store.is_collapsed());
+    }
+
+    #[test]
+    fn empty_layer_is_the_collapse_and_sticks() {
+        let mut store = LayerStore::new(vis(0, 1));
+        store.push_layer(vec![1], vec![], 2);
+        store.push_layer(Vec::new(), Vec::new(), 2);
+        assert_eq!(store.collapsed_at(), Some(2));
+        assert!(store.collapsed_by(2));
+        assert!(!store.collapsed_by(1));
+        // Padding layers past the collapse keep the original bound.
+        store.push_layer(Vec::new(), Vec::new(), 2);
+        assert_eq!(store.collapsed_at(), Some(2));
+    }
+
+    #[test]
+    fn rollback_removes_round_registrations() {
+        let mut store = LayerStore::new(vis(0, 1));
+        assert!(store.record_visible(vis(2, 3)));
+        store.rollback_round(&[vis(2, 3)]);
+        assert!(!store.seen(&vis(2, 3)));
+        assert_eq!(store.num_visible(), 1);
+        // The next round can re-register it.
+        assert!(store.record_visible(vis(2, 3)));
+    }
+}

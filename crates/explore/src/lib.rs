@@ -48,12 +48,16 @@
 
 mod budget;
 mod explicit;
+mod layers;
 mod search;
+mod shared;
 mod symbolic;
 mod witness;
 
 pub use budget::{CancelToken, ExploreBudget, ExploreError, Interrupt};
 pub use explicit::{ExplicitEngine, LayerSummary};
+pub use layers::LayerStore;
 pub use search::bounded_witness_search;
+pub use shared::{LayerView, SharedExplorer};
 pub use symbolic::{SubsumptionMode, SymbolicEngine, SymbolicState};
 pub use witness::{Witness, WitnessStep};

@@ -1,0 +1,297 @@
+//! Shareable, demand-driven exploration: one explorer per system,
+//! many property checkers.
+//!
+//! The layered sequences `(Rk)`/`(Sk)` depend only on the system, so a
+//! [`SharedExplorer`] wraps one backend engine behind a mutex and
+//! extends its [`LayerStore`] *on demand*: the first checker that asks
+//! for bound `k` pays for the missing layers, every later checker
+//! replays them for free. Callers pass their own [`Interrupt`] per
+//! request; a round aborted by one caller's deadline is rolled back
+//! (see [`ExplicitEngine::advance`]) and can be re-driven by anyone
+//! else, so interruption never poisons the shared layers.
+//!
+//! [`ExplicitEngine::advance`]: crate::ExplicitEngine::advance
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use cuba_pds::{Cpds, VisibleState};
+
+use crate::{
+    ExplicitEngine, ExploreBudget, ExploreError, Interrupt, LayerStore, SubsumptionMode,
+    SymbolicEngine,
+};
+
+/// The backend an explorer drives.
+#[derive(Debug)]
+enum BackendImpl {
+    Explicit(ExplicitEngine),
+    Symbolic(SymbolicEngine),
+}
+
+impl BackendImpl {
+    fn store(&self) -> &LayerStore {
+        match self {
+            BackendImpl::Explicit(e) => e.store(),
+            BackendImpl::Symbolic(e) => e.store(),
+        }
+    }
+
+    fn set_interrupt(&mut self, interrupt: Interrupt) {
+        match self {
+            BackendImpl::Explicit(e) => e.set_interrupt(interrupt),
+            BackendImpl::Symbolic(e) => e.set_interrupt(interrupt),
+        }
+    }
+
+    fn advance(&mut self) -> Result<(), ExploreError> {
+        match self {
+            BackendImpl::Explicit(e) => e.advance().map(|_| ()),
+            BackendImpl::Symbolic(e) => e.advance().map(|_| ()),
+        }
+    }
+}
+
+/// A bound-indexed snapshot of one layer, as a fresh engine would have
+/// reported it at bound `k` — the unit a property checker consumes.
+#[derive(Debug, Clone)]
+pub struct LayerView {
+    /// The context bound of the layer.
+    pub k: usize,
+    /// Visible states first seen at bound `k`.
+    pub new_visible: Vec<VisibleState>,
+    /// Cumulative stored states at bound `k` (`|Rk|` resp. `|Sk|`).
+    pub states: usize,
+    /// Cumulative visible states at bound `k` (`|T(Rk)|`).
+    pub visible: usize,
+    /// Whether the sequence had collapsed by bound `k`.
+    pub collapsed: bool,
+}
+
+/// One system's exploration, shared by any number of property
+/// checkers (across engines of one session, across sessions of a
+/// suite, and across threads of a parallel race).
+///
+/// The explorer owns the backend's resource budget; each
+/// [`ensure_layer`](Self::ensure_layer) call layers the *caller's*
+/// interrupt on top, so cancellation and deadlines stay per-caller
+/// while the computed layers are shared.
+#[derive(Debug)]
+pub struct SharedExplorer {
+    inner: Mutex<BackendImpl>,
+    /// The interrupt baked into the creation budget, reinstalled after
+    /// every request (private explorers keep their own wiring live).
+    base_interrupt: Interrupt,
+    symbolic: bool,
+    /// Pre-collapse layers computed live — the "explored exactly once"
+    /// instrumentation counter.
+    rounds_explored: AtomicUsize,
+}
+
+impl SharedExplorer {
+    /// A shared explorer over the explicit `(Rk)` layers.
+    pub fn explicit(cpds: Cpds, budget: ExploreBudget) -> Self {
+        let base_interrupt = budget.interrupt.clone();
+        SharedExplorer {
+            inner: Mutex::new(BackendImpl::Explicit(ExplicitEngine::new(cpds, budget))),
+            base_interrupt,
+            symbolic: false,
+            rounds_explored: AtomicUsize::new(0),
+        }
+    }
+
+    /// A shared explorer over the symbolic `(Sk)` layers.
+    pub fn symbolic(cpds: Cpds, budget: ExploreBudget, mode: SubsumptionMode) -> Self {
+        let base_interrupt = budget.interrupt.clone();
+        SharedExplorer {
+            inner: Mutex::new(BackendImpl::Symbolic(SymbolicEngine::new(
+                cpds, budget, mode,
+            ))),
+            symbolic: true,
+            base_interrupt,
+            rounds_explored: AtomicUsize::new(0),
+        }
+    }
+
+    /// Whether this explorer drives the symbolic backend.
+    pub fn is_symbolic(&self) -> bool {
+        self.symbolic
+    }
+
+    /// The deepest bound currently available for replay.
+    pub fn depth(&self) -> usize {
+        self.lock().store().current_k()
+    }
+
+    /// Pre-collapse layers computed live since creation. With `N`
+    /// properties sharing the explorer this stays the depth of the
+    /// deepest demand, not `N ×` it.
+    pub fn rounds_explored(&self) -> usize {
+        self.rounds_explored.load(Ordering::Relaxed)
+    }
+
+    /// Makes layer `k` available, computing missing layers under the
+    /// caller's interrupt. Returns `true` when this call computed at
+    /// least one new layer (a *live* round for the caller), `false`
+    /// when everything up to `k` was already there (a replay).
+    ///
+    /// # Errors
+    ///
+    /// Budget exhaustion of the explorer's shared budget, or the
+    /// caller's own cancellation/deadline. Interrupted rounds are
+    /// rolled back; the layers stay valid and extendable.
+    pub fn ensure_layer(&self, k: usize, interrupt: &Interrupt) -> Result<bool, ExploreError> {
+        let mut inner = self.lock();
+        if inner.store().current_k() >= k {
+            return Ok(false);
+        }
+        inner.set_interrupt(self.base_interrupt.merged(interrupt));
+        let mut result = Ok(true);
+        while inner.store().current_k() < k {
+            let live = !inner.store().is_collapsed();
+            if let Err(e) = inner.advance() {
+                result = Err(e);
+                break;
+            }
+            if live {
+                self.rounds_explored.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        inner.set_interrupt(self.base_interrupt.clone());
+        result
+    }
+
+    /// The bound-indexed snapshot of layer `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if layer `k` has not been computed yet (call
+    /// [`ensure_layer`](Self::ensure_layer) first).
+    pub fn view(&self, k: usize) -> LayerView {
+        let inner = self.lock();
+        let store = inner.store();
+        LayerView {
+            k,
+            new_visible: store.visible_layer(k).to_vec(),
+            states: store.state_count_at(k),
+            visible: store.visible_count_at(k),
+            collapsed: store.collapsed_by(k),
+        }
+    }
+
+    /// Runs a closure over the layer record (bound-indexed queries,
+    /// e.g. the generator membership test `g ∈ T(Rk)`).
+    pub fn with_store<R>(&self, f: impl FnOnce(&LayerStore) -> R) -> R {
+        f(self.lock().store())
+    }
+
+    /// Runs a closure over the explicit backend (witness
+    /// reconstruction); `None` for symbolic explorers.
+    pub fn with_explicit<R>(&self, f: impl FnOnce(&ExplicitEngine) -> R) -> Option<R> {
+        match &*self.lock() {
+            BackendImpl::Explicit(e) => Some(f(e)),
+            BackendImpl::Symbolic(_) => None,
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, BackendImpl> {
+        // Rounds are transactional only for *errors* (rolled back and
+        // retryable); a panic mid-round leaves half-registered states
+        // that a re-driven layer would silently omit — which could
+        // turn into a wrong "safe" verdict downstream. Propagate the
+        // poison and fail loudly instead.
+        self.inner
+            .lock()
+            .expect("shared explorer poisoned by a panic mid-round; its layers are unusable")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CancelToken;
+    use cuba_pds::{CpdsBuilder, PdsBuilder, SharedState, StackSym};
+
+    fn q(n: u32) -> SharedState {
+        SharedState(n)
+    }
+    fn s(n: u32) -> StackSym {
+        StackSym(n)
+    }
+
+    /// The CPDS of Fig. 1.
+    fn fig1() -> Cpds {
+        let mut p1 = PdsBuilder::new(4, 3);
+        p1.overwrite(q(0), s(1), q(1), s(2)).unwrap();
+        p1.overwrite(q(3), s(2), q(0), s(1)).unwrap();
+        let mut p2 = PdsBuilder::new(4, 7);
+        p2.pop(q(0), s(4), q(0)).unwrap();
+        p2.overwrite(q(1), s(4), q(2), s(5)).unwrap();
+        p2.push(q(2), s(5), q(3), s(4), s(6)).unwrap();
+        CpdsBuilder::new(4, q(0))
+            .thread(p1.build().unwrap(), [s(1)])
+            .thread(p2.build().unwrap(), [s(4)])
+            .build()
+            .unwrap()
+    }
+
+    /// Demanding the same bound twice explores once and replays once.
+    #[test]
+    fn second_demand_is_a_replay() {
+        let explorer = SharedExplorer::explicit(fig1(), ExploreBudget::default());
+        let none = Interrupt::none();
+        assert!(explorer.ensure_layer(3, &none).unwrap(), "first is live");
+        assert_eq!(explorer.rounds_explored(), 3);
+        assert!(!explorer.ensure_layer(3, &none).unwrap(), "second replays");
+        assert!(!explorer.ensure_layer(1, &none).unwrap(), "shallower too");
+        assert_eq!(explorer.rounds_explored(), 3, "no recomputation");
+        // A deeper demand extends from where the store left off.
+        assert!(explorer.ensure_layer(5, &none).unwrap());
+        assert_eq!(explorer.rounds_explored(), 5);
+        assert_eq!(explorer.depth(), 5);
+    }
+
+    /// A cancelled caller's round is rolled back; a later caller with
+    /// no interrupt re-drives the same layer successfully and the
+    /// layer contents match an unshared engine's.
+    #[test]
+    fn interruption_rolls_back_and_is_retryable() {
+        let explorer = SharedExplorer::explicit(fig1(), ExploreBudget::default());
+        let cancelled = CancelToken::new();
+        cancelled.cancel();
+        let err = explorer
+            .ensure_layer(2, &Interrupt::none().with_cancel(cancelled))
+            .unwrap_err();
+        assert_eq!(err, ExploreError::Cancelled);
+        assert_eq!(explorer.depth(), 0, "failed rounds leave no layers");
+
+        assert!(explorer.ensure_layer(2, &Interrupt::none()).unwrap());
+        let mut reference = ExplicitEngine::new(fig1(), ExploreBudget::default());
+        reference.advance().unwrap();
+        reference.advance().unwrap();
+        let view = explorer.view(2);
+        assert_eq!(view.states, reference.num_states());
+        assert_eq!(view.visible, reference.num_visible());
+        let mut shared_visible = view.new_visible.clone();
+        let mut reference_visible = reference.visible_layer(2).to_vec();
+        shared_visible.sort_by_key(|v| v.to_string());
+        reference_visible.sort_by_key(|v| v.to_string());
+        assert_eq!(shared_visible, reference_visible);
+    }
+
+    /// Views are bound-indexed: extending the store past `k` does not
+    /// change what a checker sees at `k`.
+    #[test]
+    fn views_are_stable_under_growth() {
+        let explorer = SharedExplorer::explicit(fig1(), ExploreBudget::default());
+        let none = Interrupt::none();
+        explorer.ensure_layer(2, &none).unwrap();
+        let before = explorer.view(2);
+        explorer.ensure_layer(6, &none).unwrap();
+        let after = explorer.view(2);
+        assert_eq!(before.states, after.states);
+        assert_eq!(before.visible, after.visible);
+        assert_eq!(before.new_visible, after.new_visible);
+        assert_eq!(before.collapsed, after.collapsed);
+    }
+}

@@ -1,9 +1,9 @@
-use std::collections::{HashMap, HashSet};
+use std::collections::HashMap;
 
 use cuba_automata::{language_subset, post_star_guarded, CanonicalDfa, Psa};
 use cuba_pds::{Cpds, GlobalState, SharedState, StackSym, VisibleState};
 
-use crate::{ExploreBudget, ExploreError};
+use crate::{ExploreBudget, ExploreError, Interrupt, LayerStore};
 
 /// A symbolic state `τ = ⟨q|A1,…,An⟩` (paper App. E): the current
 /// shared state plus, per thread, a regular language of possible stack
@@ -165,10 +165,9 @@ pub struct SymbolicEngine {
     index: HashMap<SymbolicState, u32>,
     /// Ids grouped by shared state, for pointwise subsumption lookups.
     by_shared: HashMap<SharedState, Vec<u32>>,
-    layers: Vec<Vec<u32>>,
-    visible_layers: Vec<Vec<VisibleState>>,
-    visible_seen: HashSet<VisibleState>,
-    collapsed: bool,
+    /// The property-independent layer record (shared vocabulary with
+    /// the explicit engine; see [`LayerStore`]).
+    store: LayerStore,
 }
 
 impl SymbolicEngine {
@@ -180,8 +179,6 @@ impl SymbolicEngine {
         index.insert(init.clone(), 0u32);
         let mut by_shared: HashMap<SharedState, Vec<u32>> = HashMap::new();
         by_shared.insert(init.q, vec![0]);
-        let mut visible_seen = HashSet::new();
-        visible_seen.insert(visible.clone());
         SymbolicEngine {
             cpds,
             budget,
@@ -189,10 +186,7 @@ impl SymbolicEngine {
             states: vec![init],
             index,
             by_shared,
-            layers: vec![vec![0]],
-            visible_layers: vec![vec![visible]],
-            visible_seen,
-            collapsed: false,
+            store: LayerStore::new(visible),
         }
     }
 
@@ -203,12 +197,24 @@ impl SymbolicEngine {
 
     /// The highest context bound computed so far.
     pub fn current_k(&self) -> usize {
-        self.layers.len() - 1
+        self.store.current_k()
     }
 
     /// Whether a round added no symbolic states (so `Rk` collapsed).
     pub fn is_collapsed(&self) -> bool {
-        self.collapsed
+        self.store.is_collapsed()
+    }
+
+    /// The bound-indexed layer record.
+    pub fn store(&self) -> &LayerStore {
+        &self.store
+    }
+
+    /// Replaces the interrupt wiring of the engine's budget (a
+    /// [`SharedExplorer`](crate::SharedExplorer) installs each caller's
+    /// interrupt for the duration of its request).
+    pub fn set_interrupt(&mut self, interrupt: Interrupt) {
+        self.budget.interrupt = interrupt;
     }
 
     /// Total number of symbolic states stored.
@@ -222,7 +228,10 @@ impl SymbolicEngine {
     ///
     /// Panics if layer `k` has not been computed yet.
     pub fn layer(&self, k: usize) -> impl Iterator<Item = &SymbolicState> + '_ {
-        self.layers[k].iter().map(|&id| &self.states[id as usize])
+        self.store
+            .layer_ids(k)
+            .iter()
+            .map(|&id| &self.states[id as usize])
     }
 
     /// Visible states first seen at context bound `k`
@@ -232,17 +241,17 @@ impl SymbolicEngine {
     ///
     /// Panics if layer `k` has not been computed yet.
     pub fn visible_layer(&self, k: usize) -> &[VisibleState] {
-        &self.visible_layers[k]
+        self.store.visible_layer(k)
     }
 
     /// All visible states seen so far (`T(Sk)` at the current bound).
-    pub fn visible_total(&self) -> &HashSet<VisibleState> {
-        &self.visible_seen
+    pub fn visible_total(&self) -> impl Iterator<Item = &VisibleState> + '_ {
+        self.store.visible_iter()
     }
 
     /// Number of visible states seen so far.
     pub fn num_visible(&self) -> usize {
-        self.visible_seen.len()
+        self.store.num_visible()
     }
 
     /// Whether a concrete global state is covered by any stored
@@ -261,41 +270,62 @@ impl SymbolicEngine {
     /// paper's out-of-memory outcome on Stefan-1 with 8 threads.
     pub fn advance(&mut self) -> Result<SymbolicLayerSummary, ExploreError> {
         self.budget.interrupt.check()?;
-        let k = self.layers.len();
-        if self.collapsed {
-            self.layers.push(Vec::new());
-            self.visible_layers.push(Vec::new());
+        let k = self.store.current_k() + 1;
+        if self.store.is_collapsed() {
+            self.store
+                .push_layer(Vec::new(), Vec::new(), self.states.len());
             return Ok(SymbolicLayerSummary {
                 k,
                 new_symbolic: 0,
                 new_visible: 0,
             });
         }
-        let frontier: Vec<u32> = self.layers[k - 1].clone();
+        let frontier: Vec<u32> = self.store.layer_ids(k - 1).to_vec();
+        let round_start = self.states.len() as u32;
         let mut new_layer: Vec<u32> = Vec::new();
         let mut new_visible: Vec<VisibleState> = Vec::new();
 
         for &tau_id in &frontier {
             for thread in 0..self.cpds.num_threads() {
-                self.budget.interrupt.check()?;
-                let successors = self.context_post(tau_id, thread)?;
-                for tau2 in successors {
-                    self.register(tau2, &mut new_layer, &mut new_visible)?;
+                let step = self
+                    .budget
+                    .interrupt
+                    .check()
+                    .and_then(|()| self.context_post(tau_id, thread))
+                    .and_then(|successors| {
+                        for tau2 in successors {
+                            self.register(tau2, &mut new_layer, &mut new_visible)?;
+                        }
+                        Ok(())
+                    });
+                if let Err(e) = step {
+                    self.rollback(round_start, &new_visible);
+                    return Err(e);
                 }
             }
         }
 
-        if new_layer.is_empty() {
-            self.collapsed = true;
-        }
         let summary = SymbolicLayerSummary {
             k,
             new_symbolic: new_layer.len(),
             new_visible: new_visible.len(),
         };
-        self.layers.push(new_layer);
-        self.visible_layers.push(new_visible);
+        self.store
+            .push_layer(new_layer, new_visible, self.states.len());
         Ok(summary)
+    }
+
+    /// Removes every symbolic state (ids `round_start..`) and visible
+    /// state registered by a failed round, leaving the engine exactly
+    /// at the previous bound so `advance` may be retried.
+    fn rollback(&mut self, round_start: u32, new_visible: &[VisibleState]) {
+        for state in self.states.drain(round_start as usize..) {
+            self.index.remove(&state);
+            if let Some(ids) = self.by_shared.get_mut(&state.q) {
+                ids.retain(|&id| id < round_start);
+            }
+        }
+        self.store.rollback_round(new_visible);
     }
 
     /// One full context of `thread` from symbolic state `tau_id`.
@@ -366,7 +396,7 @@ impl SymbolicEngine {
         }
         let id = self.states.len() as u32;
         for v in tau.visible_states() {
-            if self.visible_seen.insert(v.clone()) {
+            if self.store.record_visible(v.clone()) {
                 new_visible.push(v);
             }
         }
@@ -383,7 +413,7 @@ impl SymbolicEngine {
     ///
     /// Propagates budget exhaustion from [`advance`](Self::advance).
     pub fn run_until_collapse(&mut self, max_k: usize) -> Result<usize, ExploreError> {
-        while !self.collapsed && self.current_k() < max_k {
+        while !self.is_collapsed() && self.current_k() < max_k {
             self.advance()?;
         }
         Ok(self.current_k())
@@ -478,12 +508,9 @@ mod tests {
             sym.advance().unwrap();
             exp.advance().unwrap();
             // T(Sk) must equal T(Rk) at every bound.
-            assert_eq!(
-                sym.visible_total(),
-                exp.visible_total(),
-                "visible mismatch at k={}",
-                sym.current_k()
-            );
+            let sv: std::collections::HashSet<_> = sym.visible_total().cloned().collect();
+            let ev: std::collections::HashSet<_> = exp.visible_total().cloned().collect();
+            assert_eq!(sv, ev, "visible mismatch at k={}", sym.current_k());
         }
         // Every concrete state of R6 is covered symbolically.
         for state in exp.states() {
@@ -544,7 +571,9 @@ mod tests {
         for _ in 0..5 {
             exact.advance().unwrap();
             pw.advance().unwrap();
-            assert_eq!(pw.visible_total(), exact.visible_total());
+            let pv: std::collections::HashSet<_> = pw.visible_total().cloned().collect();
+            let xv: std::collections::HashSet<_> = exact.visible_total().cloned().collect();
+            assert_eq!(pv, xv);
             assert!(pw.num_symbolic_states() <= exact.num_symbolic_states());
         }
     }

@@ -15,25 +15,38 @@
 //!     --timeout <s>    wall-clock limit in seconds (verdict: undetermined)
 //!     --trace          stream per-round events to stderr
 //!     --json           emit one machine-readable JSON object on stdout
-//!                      (includes per-arm growth logs with per-round
-//!                       state deltas and wall-clock)
+//!                      per property (includes per-arm growth logs with
+//!                      per-round state deltas/wall-clock and the
+//!                      explored-vs-replayed shared-exploration counters)
 //!     --never-shared <q>   property: shared state q unreachable
 //!                          (default for .bp: no assertion fails;
 //!                           default for .cpds: compute reachability to convergence)
+//!     --property <spec>    a property to verify; repeatable — all
+//!                          properties of one invocation share a single
+//!                          layered exploration per backend ("one
+//!                          system, many properties"). Specs:
+//!                            true
+//!                            never-shared:<q>
+//!                            never-visible:<q>|<t1>,<t2>,...   ('-' = empty stack)
+//!                            mutex:<thread>@<sym>,<thread>@<sym>
 //! cuba fcr <file>      run only the finite-context-reachability check
 //! cuba info <file>     print model statistics
 //! ```
+//!
+//! With several properties the exit code is the *worst* verdict:
+//! any unsafe → 1, else any undetermined → 3, else 0.
 
 use std::process::ExitCode;
+use std::sync::Arc;
 use std::time::Duration;
 
 use cuba::benchmarks::textfmt;
 use cuba::boolprog;
 use cuba::core::{
     check_fcr, CubaOutcome, EngineKind, Lineup, Portfolio, Property, SchedulePolicy, SessionConfig,
-    SessionEvent, Verdict,
+    SessionEvent, SystemArtifacts, Verdict,
 };
-use cuba::pds::{Cpds, SharedState};
+use cuba::pds::{Cpds, SharedState, StackSym, VisibleState};
 use cuba_bench::json_escape as json_string;
 
 fn main() -> ExitCode {
@@ -50,7 +63,7 @@ fn main() -> ExitCode {
 fn usage() -> String {
     "usage: cuba <verify|fcr|info> <file.bp|file.cpds> [--engine auto|explicit|symbolic] \
      [--max-k N] [--parallel] [--schedule frontier|round-robin] [--timeout SECS] [--trace] \
-     [--json] [--never-shared Q]"
+     [--json] [--never-shared Q] [--property SPEC]..."
         .to_owned()
 }
 
@@ -64,6 +77,9 @@ struct VerifyOptions {
     trace: bool,
     json: bool,
     never_shared: Option<SharedState>,
+    /// Repeated `--property` specs, verified in order over one shared
+    /// exploration of the system.
+    properties: Vec<(String, Property)>,
 }
 
 impl Default for VerifyOptions {
@@ -77,8 +93,67 @@ impl Default for VerifyOptions {
             trace: false,
             json: false,
             never_shared: None,
+            properties: Vec::new(),
         }
     }
+}
+
+/// Parses one `--property` spec (see the module docs for the grammar).
+fn parse_property(spec: &str) -> Result<Property, String> {
+    if spec == "true" {
+        return Ok(Property::True);
+    }
+    if let Some(rest) = spec.strip_prefix("never-shared:") {
+        let q: u32 = rest
+            .parse()
+            .map_err(|_| format!("bad never-shared state '{rest}'"))?;
+        return Ok(Property::never_shared(SharedState(q)));
+    }
+    if let Some(rest) = spec.strip_prefix("never-visible:") {
+        let (q, tops) = rest
+            .split_once('|')
+            .ok_or_else(|| format!("never-visible needs '<q>|<tops>', got '{rest}'"))?;
+        let q: u32 = q.parse().map_err(|_| format!("bad shared state '{q}'"))?;
+        let tops: Vec<Option<StackSym>> = tops
+            .split(',')
+            .map(|t| {
+                if t == "-" {
+                    Ok(None)
+                } else {
+                    t.parse::<u32>()
+                        .map(|n| Some(StackSym(n)))
+                        .map_err(|_| format!("bad top-of-stack '{t}' (number or '-')"))
+                }
+            })
+            .collect::<Result<_, String>>()?;
+        return Ok(Property::never_visible(VisibleState::new(
+            SharedState(q),
+            tops,
+        )));
+    }
+    if let Some(rest) = spec.strip_prefix("mutex:") {
+        let pins: Vec<(usize, StackSym)> = rest
+            .split(',')
+            .map(|pin| {
+                let (thread, sym) = pin
+                    .split_once('@')
+                    .ok_or_else(|| format!("mutex pin needs '<thread>@<sym>', got '{pin}'"))?;
+                let thread: usize = thread
+                    .parse()
+                    .map_err(|_| format!("bad thread index '{thread}'"))?;
+                let sym: u32 = sym.parse().map_err(|_| format!("bad symbol '{sym}'"))?;
+                Ok((thread, StackSym(sym)))
+            })
+            .collect::<Result<_, String>>()?;
+        if pins.is_empty() {
+            return Err("mutex needs at least one pin".to_owned());
+        }
+        return Ok(Property::MutualExclusion(pins));
+    }
+    Err(format!(
+        "bad --property '{spec}' (expected true, never-shared:<q>, \
+         never-visible:<q>|<tops>, or mutex:<t>@<s>,...)"
+    ))
 }
 
 fn run(args: &[String]) -> Result<ExitCode, String> {
@@ -105,11 +180,17 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
             };
             let options = parse_verify_options(&args[2..])?;
             let (cpds, default_property) = load(path)?;
-            let property = match options.never_shared {
-                Some(q) => Property::never_shared(q),
-                None => default_property,
-            };
-            verify(cpds, property, &options)
+            // The property worklist: every `--property`, then the
+            // legacy `--never-shared`, then (if nothing was given) the
+            // file's default property.
+            let mut properties = options.properties.clone();
+            if let Some(q) = options.never_shared {
+                properties.push((format!("never-shared:{}", q.0), Property::never_shared(q)));
+            }
+            if properties.is_empty() {
+                properties.push(("default".to_owned(), default_property));
+            }
+            verify(cpds, properties, &options)
         }
         other => Err(format!("unknown command '{other}'\n{}", usage())),
     }
@@ -183,6 +264,12 @@ fn parse_verify_options(args: &[String]) -> Result<VerifyOptions, String> {
                     .ok_or("bad --never-shared value")?;
                 options.never_shared = Some(SharedState(q));
             }
+            "--property" => {
+                i += 1;
+                let spec = args.get(i).ok_or("--property needs a spec argument")?;
+                let property = parse_property(spec)?;
+                options.properties.push((spec.clone(), property));
+            }
             other => return Err(format!("unknown option '{other}'")),
         }
         i += 1;
@@ -190,7 +277,11 @@ fn parse_verify_options(args: &[String]) -> Result<VerifyOptions, String> {
     Ok(options)
 }
 
-fn verify(cpds: Cpds, property: Property, options: &VerifyOptions) -> Result<ExitCode, String> {
+fn verify(
+    cpds: Cpds,
+    properties: Vec<(String, Property)>,
+    options: &VerifyOptions,
+) -> Result<ExitCode, String> {
     let portfolio = match &options.lineup {
         Lineup::Auto => Portfolio::auto(),
         Lineup::Fixed(kinds) => Portfolio::fixed(kinds.clone()),
@@ -202,57 +293,85 @@ fn verify(cpds: Cpds, property: Property, options: &VerifyOptions) -> Result<Exi
         ..SessionConfig::new()
     });
 
-    // Stream events: --trace prints them; --json collects the
-    // per-round growth log (all arms, not just the winner's) either
-    // way.
-    let mut round_log: Vec<RoundRecord> = Vec::new();
-    let trace = options.trace;
-    let mut on_event = |event: &SessionEvent| {
-        if trace {
-            eprintln!("[trace] {event}");
-        }
-        if let SessionEvent::RoundCompleted {
-            engine,
-            k,
-            states,
-            delta_states,
-            elapsed,
-            event,
-        } = event
-        {
-            let tag = match event {
-                cuba::core::SequenceEvent::Grew => "grew",
-                cuba::core::SequenceEvent::NewPlateau => "new-plateau",
-                cuba::core::SequenceEvent::OngoingPlateau => "plateau",
-            };
-            round_log.push(RoundRecord {
-                engine: engine.to_string(),
-                k: *k,
-                states: *states,
-                delta_states: *delta_states,
-                elapsed: *elapsed,
-                tag,
-            });
-        }
-    };
+    // One set of per-system artifacts for the whole invocation: every
+    // property replays the same layered exploration per backend ("one
+    // system, many properties"); only deeper bounds are computed live.
+    let artifacts = Arc::new(SystemArtifacts::new());
+    let many = properties.len() > 1;
+    let mut exit = ExitCode::SUCCESS;
+    let mut saw_unsafe = false;
+    let mut saw_undetermined = false;
 
-    let result = if options.parallel {
-        portfolio.run_parallel(cpds, property, Some(&mut on_event))
-    } else {
-        portfolio.run_with(cpds, property, &mut on_event)
-    };
-    let outcome = result.map_err(|e| e.to_string())?;
+    for (spec, property) in properties {
+        // Stream events: --trace prints them; --json collects the
+        // per-round growth log (all arms, not just the winner's)
+        // either way.
+        let mut round_log: Vec<RoundRecord> = Vec::new();
+        let trace = options.trace;
+        let mut on_event = |event: &SessionEvent| {
+            if trace {
+                eprintln!("[trace] {event}");
+            }
+            if let SessionEvent::RoundCompleted {
+                engine,
+                k,
+                states,
+                delta_states,
+                elapsed,
+                event,
+                replayed,
+            } = event
+            {
+                let tag = match event {
+                    cuba::core::SequenceEvent::Grew => "grew",
+                    cuba::core::SequenceEvent::NewPlateau => "new-plateau",
+                    cuba::core::SequenceEvent::OngoingPlateau => "plateau",
+                };
+                round_log.push(RoundRecord {
+                    engine: engine.to_string(),
+                    k: *k,
+                    states: *states,
+                    delta_states: *delta_states,
+                    elapsed: *elapsed,
+                    tag,
+                    replayed: *replayed,
+                });
+            }
+        };
 
-    if options.json {
-        println!("{}", outcome_json(&outcome, &round_log, &options.schedule));
-    } else {
-        print_outcome(&outcome);
+        let result = if options.parallel {
+            portfolio.run_parallel_with(cpds.clone(), property, Some(&mut on_event), &artifacts)
+        } else {
+            portfolio
+                .session_with(cpds.clone(), property, &artifacts)
+                .and_then(|session| session.run_with(&mut on_event))
+        };
+        let outcome = result.map_err(|e| e.to_string())?;
+
+        if options.json {
+            println!(
+                "{}",
+                outcome_json(&outcome, &round_log, &options.schedule, &spec)
+            );
+        } else {
+            if many {
+                println!("property {spec}:");
+            }
+            print_outcome(&outcome);
+        }
+        match outcome.verdict {
+            Verdict::Safe { .. } => {}
+            Verdict::Unsafe { .. } => saw_unsafe = true,
+            Verdict::Undetermined { .. } => saw_undetermined = true,
+        }
     }
-    Ok(match outcome.verdict {
-        Verdict::Safe { .. } => ExitCode::SUCCESS,
-        Verdict::Unsafe { .. } => ExitCode::from(1),
-        Verdict::Undetermined { .. } => ExitCode::from(3),
-    })
+    // The worst verdict decides: any unsafe → 1, else undetermined → 3.
+    if saw_unsafe {
+        exit = ExitCode::from(1);
+    } else if saw_undetermined {
+        exit = ExitCode::from(3);
+    }
+    Ok(exit)
 }
 
 fn print_outcome(outcome: &CubaOutcome) {
@@ -306,18 +425,20 @@ struct RoundRecord {
     delta_states: usize,
     elapsed: Duration,
     tag: &'static str,
+    replayed: bool,
 }
 
 impl RoundRecord {
     fn to_json(&self) -> String {
         format!(
-            "{{\"engine\":{},\"k\":{},\"states\":{},\"delta_states\":{},\"elapsed_us\":{},\"event\":{}}}",
+            "{{\"engine\":{},\"k\":{},\"states\":{},\"delta_states\":{},\"elapsed_us\":{},\"event\":{},\"replayed\":{}}}",
             json_string(&self.engine),
             self.k,
             self.states,
             self.delta_states,
             self.elapsed.as_micros(),
-            json_string(self.tag)
+            json_string(self.tag),
+            self.replayed
         )
     }
 }
@@ -328,6 +449,7 @@ fn outcome_json(
     outcome: &CubaOutcome,
     round_log: &[RoundRecord],
     schedule: &SchedulePolicy,
+    property: &str,
 ) -> String {
     let mut out = String::from("{");
     let (verdict, k) = match &outcome.verdict {
@@ -335,6 +457,7 @@ fn outcome_json(
         Verdict::Unsafe { k, .. } => ("unsafe", Some(*k)),
         Verdict::Undetermined { .. } => ("undetermined", None),
     };
+    push_field(&mut out, "property", &json_string(property));
     push_field(&mut out, "verdict", &json_string(verdict));
     match k {
         Some(k) => push_field(&mut out, "k", &k.to_string()),
@@ -364,6 +487,16 @@ fn outcome_json(
         &mut out,
         "round_wall_us",
         &outcome.round_wall.as_micros().to_string(),
+    );
+    push_field(
+        &mut out,
+        "rounds_explored",
+        &outcome.rounds_explored.to_string(),
+    );
+    push_field(
+        &mut out,
+        "rounds_replayed",
+        &outcome.rounds_replayed.to_string(),
     );
     if let Verdict::Unsafe {
         witness: Some(w), ..

@@ -164,6 +164,63 @@ fn schedule_flag_and_per_arm_logs() {
     assert!(stderr.contains("bad --schedule"));
 }
 
+/// Repeated `--property`: one invocation, many properties, one JSON
+/// record per property — sharing a single layered exploration, so
+/// later records replay instead of exploring. The exit code is the
+/// worst verdict (unsafe → 1).
+#[test]
+fn repeated_property_flag_shares_exploration() {
+    let (stdout, _, code) = cuba(&[
+        "verify",
+        "samples/fig1.cpds",
+        "--property",
+        "true",
+        "--property",
+        "never-visible:1|2,6",
+        "--property",
+        "never-shared:2",
+        "--json",
+    ]);
+    assert_eq!(code, Some(1), "unsafe dominates the exit code");
+    let lines: Vec<&str> = stdout.trim().lines().collect();
+    assert_eq!(lines.len(), 3, "one JSON record per property");
+    assert!(lines[0].contains("\"property\":\"true\""));
+    assert!(lines[0].contains("\"verdict\":\"safe\""));
+    assert!(lines[1].contains("\"property\":\"never-visible:1|2,6\""));
+    assert!(lines[1].contains("\"verdict\":\"unsafe\""));
+    assert!(lines[1].contains("\"k\":5"));
+    assert!(lines[2].contains("\"verdict\":\"unsafe\""));
+    assert!(lines[2].contains("\"k\":2"));
+    // Shared-exploration counters: the first property explores, the
+    // later ones mostly replay (every record carries both fields).
+    for line in &lines {
+        assert!(line.contains("\"rounds_explored\":"));
+        assert!(line.contains("\"rounds_replayed\":"));
+    }
+    assert!(
+        lines[1].contains("\"replayed\":true"),
+        "the second property's growth log must contain replayed rounds"
+    );
+
+    // Human-readable output labels each property.
+    let (stdout, _, code) = cuba(&[
+        "verify",
+        "samples/fig1.cpds",
+        "--property",
+        "true",
+        "--property",
+        "never-shared:2",
+    ]);
+    assert_eq!(code, Some(1));
+    assert!(stdout.contains("property true:"));
+    assert!(stdout.contains("property never-shared:2:"));
+
+    // Bad specs are rejected up front.
+    let (_, stderr, code) = cuba(&["verify", "samples/fig1.cpds", "--property", "sometimes"]);
+    assert_eq!(code, Some(2));
+    assert!(stderr.contains("bad --property"));
+}
+
 #[test]
 fn trace_streams_rounds_to_stderr() {
     let (stdout, stderr, code) = cuba(&["verify", "samples/fig1.cpds", "--trace"]);
