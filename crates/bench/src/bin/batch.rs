@@ -4,7 +4,7 @@
 //! caching of FCR/`G∩Z`, results in input order.
 //!
 //! ```text
-//! cargo run --release -p cuba-bench --bin batch [workers] [--json] [--baseline FILE]
+//! cargo run --release -p cuba-bench --bin batch [workers] [--json] [--baseline FILE] [--gate-timing]
 //! ```
 //!
 //! * no flags — runs the suite once sequentially and once with
@@ -21,11 +21,17 @@
 //! * `--baseline FILE` — additionally diffs the fresh verdicts
 //!   against a committed baseline (`BENCH_baseline.json`) and exits
 //!   nonzero on any verdict change. Timing fields are informational
-//!   and never compared.
+//!   and never compared by default.
+//! * `--gate-timing` — opt-in timing-regression gate on top of
+//!   `--baseline`: a problem fails the gate only when its fresh
+//!   `round_wall_us` is **more than 5×** the baseline's *and* the
+//!   absolute slowdown exceeds half a second — a deliberately
+//!   generous threshold, so CI noise can never flake the (always-on)
+//!   verdict gating it rides along with.
 
 use std::time::Instant;
 
-use cuba_bench::{render_table, JsonObject};
+use cuba_bench::{json_escape, json_unescape, render_table, JsonObject};
 use cuba_benchmarks::fig1;
 use cuba_benchmarks::suite::{table2_problems, table2_suite};
 use cuba_core::{CubaError, CubaOutcome, Portfolio, Property, SessionConfig, SuiteCache, Verdict};
@@ -61,6 +67,7 @@ fn main() {
     let mut workers: Option<usize> = None;
     let mut json = false;
     let mut baseline: Option<String> = None;
+    let mut gate_timing = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -75,6 +82,7 @@ fn main() {
                     }
                 }
             }
+            "--gate-timing" => gate_timing = true,
             other => match other.parse::<usize>() {
                 Ok(n) => workers = Some(n),
                 Err(_) => {
@@ -85,6 +93,10 @@ fn main() {
         }
         i += 1;
     }
+    if gate_timing && baseline.is_none() {
+        eprintln!("--gate-timing needs --baseline FILE to compare against");
+        std::process::exit(2);
+    }
     let workers = workers.unwrap_or_else(|| {
         std::thread::available_parallelism()
             .map(|n| n.get())
@@ -92,7 +104,7 @@ fn main() {
     });
 
     if json || baseline.is_some() {
-        run_json(workers, baseline.as_deref());
+        run_json(workers, baseline.as_deref(), gate_timing);
     } else {
         run_comparison(workers);
     }
@@ -130,7 +142,7 @@ fn multi_property_problems() -> Vec<(String, Cpds, Property)> {
 
 /// The bench-regression record: run once (suite-cached), emit JSON,
 /// optionally gate against a committed baseline.
-fn run_json(workers: usize, baseline: Option<&str>) {
+fn run_json(workers: usize, baseline: Option<&str>, gate_timing: bool) {
     let mut labels: Vec<String> = table2_suite().iter().map(|b| b.label()).collect();
     let mut problems = table2_problems();
     for (label, cpds, property) in multi_property_problems() {
@@ -195,7 +207,7 @@ fn run_json(workers: usize, baseline: Option<&str>) {
 
     if let Some(path) = baseline {
         let expected = match std::fs::read_to_string(path) {
-            Ok(text) => parse_verdicts(&text),
+            Ok(text) => parse_baseline(&text),
             Err(e) => {
                 eprintln!("cannot read baseline {path}: {e}");
                 std::process::exit(2);
@@ -208,11 +220,14 @@ fn run_json(workers: usize, baseline: Option<&str>) {
             .collect();
         let mut changed = false;
         for (label, verdict) in &fresh {
-            match expected.iter().find(|(l, _)| l == label) {
-                Some((_, want)) if want == verdict => {}
-                Some((_, want)) => {
+            match expected.iter().find(|entry| &entry.label == label) {
+                Some(entry) if &entry.verdict == verdict => {}
+                Some(entry) => {
                     changed = true;
-                    eprintln!("VERDICT CHANGE {label}: baseline={want}, now={verdict}");
+                    eprintln!(
+                        "VERDICT CHANGE {label}: baseline={}, now={verdict}",
+                        entry.verdict
+                    );
                 }
                 None => {
                     changed = true;
@@ -220,10 +235,13 @@ fn run_json(workers: usize, baseline: Option<&str>) {
                 }
             }
         }
-        for (label, want) in &expected {
-            if !fresh.iter().any(|(l, _)| l == label) {
+        for entry in &expected {
+            if !fresh.iter().any(|(l, _)| *l == entry.label) {
                 changed = true;
-                eprintln!("MISSING PROBLEM {label}: baseline={want}, gone from suite");
+                eprintln!(
+                    "MISSING PROBLEM {}: baseline={}, gone from suite",
+                    entry.label, entry.verdict
+                );
             }
         }
         if changed {
@@ -234,30 +252,91 @@ fn run_json(workers: usize, baseline: Option<&str>) {
             "bench regression gate OK: {} verdicts match {path}",
             fresh.len()
         );
+
+        if gate_timing {
+            let mut slow = false;
+            for (label, result) in labels.iter().zip(&results) {
+                let (Ok(outcome), Some(entry)) =
+                    (result, expected.iter().find(|entry| &entry.label == label))
+                else {
+                    continue;
+                };
+                let Some(baseline_us) = entry.round_wall_us else {
+                    continue; // older baselines lack the field
+                };
+                let fresh_us = outcome.round_wall.as_micros() as f64;
+                if timing_regressed(baseline_us, fresh_us) {
+                    slow = true;
+                    eprintln!(
+                        "TIMING REGRESSION {label}: round_wall_us baseline={baseline_us}, \
+                         now={fresh_us} (>{TIMING_RATIO}x and >{TIMING_FLOOR_US}us slower)"
+                    );
+                }
+            }
+            if slow {
+                eprintln!("timing regression gate FAILED against {path}");
+                std::process::exit(1);
+            }
+            eprintln!("timing regression gate OK against {path}");
+        }
     }
 }
 
-/// Extracts `(label, verdict)` pairs from a baseline file written by
-/// `--json` (one object per line; the workspace builds offline, so the
-/// reader is hand-rolled like the writer).
-fn parse_verdicts(text: &str) -> Vec<(String, String)> {
+/// One baseline record, as scanned from a `--json` line.
+struct BaselineEntry {
+    label: String,
+    verdict: String,
+    round_wall_us: Option<f64>,
+}
+
+/// Extracts the records from a baseline file written by `--json` (one
+/// object per line; the workspace builds offline, so the reader is
+/// hand-rolled like the writer).
+fn parse_baseline(text: &str) -> Vec<BaselineEntry> {
     text.lines()
         .filter_map(|line| {
-            Some((
-                extract_string(line, "label")?,
-                extract_string(line, "verdict")?,
-            ))
+            Some(BaselineEntry {
+                label: extract_string(line, "label")?,
+                verdict: extract_string(line, "verdict")?,
+                round_wall_us: extract_number(line, "round_wall_us"),
+            })
         })
         .collect()
 }
 
-/// Pulls the string value of `"key":"…"` out of one JSON line. Labels
-/// and verdicts never contain escapes, so a quote ends the value.
+/// Pulls the string value of `"key":"…"` out of one JSON line,
+/// decoding escapes — a problem name may contain quotes or
+/// backslashes, so the scanner must invert [`json_escape`] rather
+/// than stop at the first `"`.
 fn extract_string(line: &str, key: &str) -> Option<String> {
-    let marker = format!("\"{key}\":\"");
+    let marker = format!("{}:", json_escape(key));
     let start = line.find(&marker)? + marker.len();
-    let end = line[start..].find('"')?;
-    Some(line[start..start + end].to_owned())
+    json_unescape(&line[start..]).map(|(value, _)| value)
+}
+
+/// Pulls the numeric value of `"key":N` out of one JSON line.
+fn extract_number(line: &str, key: &str) -> Option<f64> {
+    let marker = format!("{}:", json_escape(key));
+    let start = line.find(&marker)? + marker.len();
+    let rest = &line[start..];
+    let end = rest
+        .find(|c: char| !c.is_ascii_digit() && !matches!(c, '.' | '-' | '+' | 'e' | 'E'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// The opt-in timing gate's slowdown ratio: fresh must exceed
+/// `TIMING_RATIO ×` baseline to count.
+const TIMING_RATIO: f64 = 5.0;
+/// …and the absolute floor: the slowdown must also exceed this many
+/// microseconds, so sub-millisecond problems can never flake the gate
+/// on scheduler noise.
+const TIMING_FLOOR_US: f64 = 500_000.0;
+
+/// Whether a fresh `round_wall_us` regresses against the baseline
+/// under the generous opt-in thresholds.
+fn timing_regressed(baseline_us: f64, fresh_us: f64) -> bool {
+    fresh_us > TIMING_RATIO * baseline_us && fresh_us - baseline_us > TIMING_FLOOR_US
 }
 
 /// The original mode: sequential vs parallel wall-clock comparison.
@@ -299,4 +378,66 @@ fn run_comparison(workers: usize) {
         batch.as_secs_f64(),
         sequential.as_secs_f64() / batch.as_secs_f64().max(1e-9),
     );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Regression: the baseline scanner must decode JSON escapes — a
+    /// quoted/escaped problem name round-trips through writer and
+    /// reader unchanged, and the value ends at the *unescaped* quote.
+    #[test]
+    fn baseline_scanner_decodes_escaped_names() {
+        let nasty = r#"bench "quoted"\weird/name"#;
+        let line = format!(
+            "{{\"label\":{},\"verdict\":{},\"round_wall_us\":1234}}",
+            json_escape(nasty),
+            json_escape("safe")
+        );
+        assert_eq!(extract_string(&line, "label").as_deref(), Some(nasty));
+        assert_eq!(extract_string(&line, "verdict").as_deref(), Some("safe"));
+        assert_eq!(extract_number(&line, "round_wall_us"), Some(1234.0));
+
+        let entries = parse_baseline(&line);
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].label, nasty);
+        assert_eq!(entries[0].verdict, "safe");
+        assert_eq!(entries[0].round_wall_us, Some(1234.0));
+    }
+
+    /// The pre-hardening scanner stopped at the first quote; make sure
+    /// plain names and missing fields still behave.
+    #[test]
+    fn baseline_scanner_plain_and_missing_fields() {
+        let line = r#"{"label":"fig1-multi/p0-true","verdict":"unsafe","k":5}"#;
+        assert_eq!(
+            extract_string(line, "label").as_deref(),
+            Some("fig1-multi/p0-true")
+        );
+        assert_eq!(extract_number(line, "k"), Some(5.0));
+        assert_eq!(extract_number(line, "round_wall_us"), None);
+        assert_eq!(extract_string(line, "absent"), None);
+        // A numeric field is not a string field and vice versa.
+        assert_eq!(extract_string(line, "k"), None);
+        // Lines without records are skipped, not misparsed.
+        assert!(parse_baseline("[\n]\n").is_empty());
+    }
+
+    /// The timing gate fires only past *both* thresholds: the 5×
+    /// ratio and the absolute half-second floor.
+    #[test]
+    fn timing_gate_is_generous() {
+        // Microsecond noise on tiny problems: never a regression,
+        // whatever the ratio.
+        assert!(!timing_regressed(100.0, 10_000.0));
+        assert!(!timing_regressed(0.0, 499_999.0));
+        // Big but proportionate growth: fine.
+        assert!(!timing_regressed(1_000_000.0, 4_000_000.0));
+        // Past 5× and past the floor: regression.
+        assert!(timing_regressed(200_000.0, 1_200_001.0));
+        assert!(timing_regressed(0.0, 500_001.0));
+        // Exactly at the ratio boundary: fine (strictly greater).
+        assert!(!timing_regressed(200_000.0, 1_000_000.0));
+    }
 }

@@ -209,6 +209,47 @@ pub fn json_escape(s: &str) -> String {
     out
 }
 
+/// Decodes the JSON string literal at the *start* of `input` (the
+/// opening quote must be `input`'s first character): the inverse of
+/// [`json_escape`], for scanners that read the records the harness
+/// binaries write. Returns the decoded contents and the number of
+/// input bytes consumed, closing quote included — so a caller can
+/// keep scanning the rest of the line. `None` on anything that is not
+/// a complete, valid string literal.
+pub fn json_unescape(input: &str) -> Option<(String, usize)> {
+    let mut chars = input.char_indices();
+    if chars.next()? != (0, '"') {
+        return None;
+    }
+    let mut out = String::new();
+    while let Some((i, c)) = chars.next() {
+        match c {
+            '"' => return Some((out, i + 1)),
+            '\\' => match chars.next()?.1 {
+                '"' => out.push('"'),
+                '\\' => out.push('\\'),
+                '/' => out.push('/'),
+                'n' => out.push('\n'),
+                'r' => out.push('\r'),
+                't' => out.push('\t'),
+                'b' => out.push('\u{0008}'),
+                'f' => out.push('\u{000c}'),
+                'u' => {
+                    let mut code = 0u32;
+                    for _ in 0..4 {
+                        code = code * 16 + chars.next()?.1.to_digit(16)?;
+                    }
+                    out.push(char::from_u32(code)?);
+                }
+                _ => return None,
+            },
+            c if (c as u32) < 0x20 => return None, // raw control byte
+            c => out.push(c),
+        }
+    }
+    None // unterminated
+}
+
 /// Runs a closure, measuring wall-clock time and (optionally) peak
 /// heap via the given allocator reference.
 pub fn measure<T>(alloc: Option<&CountingAlloc>, f: impl FnOnce() -> T) -> (T, f64, usize) {
@@ -322,5 +363,44 @@ mod tests {
         assert_eq!(json_escape("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
         let arr = records_to_json(&[]);
         assert_eq!(arr, "[\n]");
+    }
+
+    /// `json_unescape` inverts `json_escape` on every escape class the
+    /// writer produces, and reports how far it read.
+    #[test]
+    fn json_unescape_inverts_escape() {
+        for nasty in [
+            "plain",
+            "",
+            "quote\" backslash\\ newline\n tab\t cr\r",
+            "control\u{0001}byte",
+            "unicode ⟨1|2,6⟩",
+        ] {
+            let escaped = json_escape(nasty);
+            let (decoded, used) = json_unescape(&escaped).expect("round trip");
+            assert_eq!(decoded, nasty);
+            assert_eq!(used, escaped.len(), "consumed the whole literal");
+        }
+        // Trailing input is left for the caller.
+        let (decoded, used) = json_unescape("\"ab\\\"c\",\"rest\"").unwrap();
+        assert_eq!(decoded, "ab\"c");
+        assert_eq!(used, 7);
+        // Solidus and \uXXXX escapes other writers may emit.
+        assert_eq!(json_unescape("\"a\\/b\"").unwrap().0, "a/b");
+        assert_eq!(json_unescape("\"\\u2329x\"").unwrap().0, "\u{2329}x");
+    }
+
+    #[test]
+    fn json_unescape_rejects_malformed_literals() {
+        for bad in [
+            "no-quote",
+            "\"unterminated",
+            "\"bad escape \\q\"",
+            "\"bad unicode \\u12GZ\"",
+            "\"raw control \u{0002}\"",
+            "",
+        ] {
+            assert!(json_unescape(bad).is_none(), "{bad:?} must be rejected");
+        }
     }
 }

@@ -53,6 +53,12 @@ impl SystemArtifacts {
         self.fcr.get_or_init(|| check_fcr(cpds))
     }
 
+    /// The FCR report, if any session has decided it yet — a read-only
+    /// probe for status reporting (never triggers the check).
+    pub fn fcr_if_checked(&self) -> Option<&FcrReport> {
+        self.fcr.get()
+    }
+
     /// The generator intersection `G ∩ Z` for `cpds` (the convergence
     /// certificate candidates of Algorithm 3), computed at most once.
     pub fn g_cap_z(&self, cpds: &Cpds) -> Arc<Vec<VisibleState>> {
@@ -243,6 +249,79 @@ impl SuiteCache {
     pub fn misses(&self) -> usize {
         self.misses.load(Ordering::Relaxed)
     }
+
+    /// A point-in-time summary of the cache (the broker-facing
+    /// `healthz` numbers).
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            systems: self.len(),
+            hits: self.hits(),
+            misses: self.misses(),
+        }
+    }
+
+    /// Evicts one system's slot, identified by its fingerprint and
+    /// the exact artifacts `Arc` (so a fingerprint collision can never
+    /// evict an innocent neighbor). Returns whether a slot was
+    /// removed. Holders of the `Arc` keep their artifacts alive and
+    /// usable — eviction only stops *new* lookups from sharing them —
+    /// which is what lets a long-lived service bound its registry
+    /// without invalidating in-flight sessions.
+    pub fn remove(&self, fingerprint: u64, artifacts: &Arc<SystemArtifacts>) -> bool {
+        let mut map = self.map.lock().expect("suite cache lock");
+        let Some(bucket) = map.get_mut(&fingerprint) else {
+            return false;
+        };
+        let before = bucket.len();
+        bucket.retain(|(_, a)| !Arc::ptr_eq(a, artifacts));
+        let removed = bucket.len() < before;
+        if bucket.is_empty() {
+            map.remove(&fingerprint);
+        }
+        removed
+    }
+
+    /// A snapshot of every cached system and its artifacts, in
+    /// unspecified order — the broker-facing view behind a service's
+    /// `/systems` endpoint. Entries are `Arc` clones: cheap, and safe
+    /// to inspect while other workers keep analyzing.
+    pub fn entries(&self) -> Vec<CacheEntry> {
+        let map = self.map.lock().expect("suite cache lock");
+        let mut entries: Vec<CacheEntry> = map
+            .iter()
+            .flat_map(|(&fingerprint, bucket)| {
+                bucket.iter().map(move |(system, artifacts)| CacheEntry {
+                    fingerprint,
+                    system: system.clone(),
+                    artifacts: artifacts.clone(),
+                })
+            })
+            .collect();
+        entries.sort_by_key(|e| e.fingerprint);
+        entries
+    }
+}
+
+/// Counter snapshot of a [`SuiteCache`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Distinct systems cached.
+    pub systems: usize,
+    /// Lookups that found an existing slot.
+    pub hits: usize,
+    /// Lookups that created a fresh slot.
+    pub misses: usize,
+}
+
+/// One cached system, as reported by [`SuiteCache::entries`].
+#[derive(Debug, Clone)]
+pub struct CacheEntry {
+    /// The structural fingerprint the system is keyed by.
+    pub fingerprint: u64,
+    /// The retained copy of the system.
+    pub system: Arc<Cpds>,
+    /// Its per-system artifacts (FCR, `G ∩ Z`, shared explorers).
+    pub artifacts: Arc<SystemArtifacts>,
 }
 
 #[cfg(test)]
@@ -279,6 +358,57 @@ mod tests {
 
         assert!(!cache.artifacts(&fig2()).fcr(&fig2()).holds());
         assert_eq!(cache.len(), 2);
+    }
+
+    /// Eviction removes exactly the named slot: later lookups open a
+    /// fresh one, the evicted `Arc` stays usable, and a mismatched
+    /// artifacts pointer (collision safety) removes nothing.
+    #[test]
+    fn remove_evicts_one_slot() {
+        let cache = SuiteCache::new();
+        let a1 = cache.artifacts(&fig1());
+        let _ = cache.artifacts(&fig2());
+        let key = fingerprint(&fig1());
+
+        assert!(!cache.remove(key, &Arc::new(SystemArtifacts::new())));
+        assert_eq!(cache.len(), 2, "wrong Arc evicts nothing");
+        assert!(cache.remove(key, &a1));
+        assert!(!cache.remove(key, &a1), "second removal is a no-op");
+        assert_eq!(cache.len(), 1, "only fig1's slot went away");
+
+        // The evicted artifacts still work; new lookups get a fresh slot.
+        assert!(a1.fcr(&fig1()).holds());
+        let a1_again = cache.artifacts(&fig1());
+        assert!(!Arc::ptr_eq(&a1, &a1_again));
+        assert_eq!(cache.len(), 2);
+    }
+
+    /// `entries()` snapshots every cached system with its fingerprint
+    /// and artifacts; `stats()` mirrors the counters.
+    #[test]
+    fn entries_snapshot_the_cache() {
+        let cache = SuiteCache::new();
+        assert!(cache.entries().is_empty());
+        let a1 = cache.artifacts(&fig1());
+        let _ = cache.artifacts(&fig2());
+        let _ = cache.artifacts(&fig1());
+
+        let entries = cache.entries();
+        assert_eq!(entries.len(), 2);
+        let fig1_entry = entries
+            .iter()
+            .find(|e| e.fingerprint == fingerprint(&fig1()))
+            .expect("fig1 cached");
+        assert!(Arc::ptr_eq(&fig1_entry.artifacts, &a1));
+        assert!(same_system(&fig1_entry.system, &fig1()));
+        assert_eq!(
+            cache.stats(),
+            CacheStats {
+                systems: 2,
+                hits: 1,
+                misses: 2
+            }
+        );
     }
 
     /// A hit requires structural equality, not just a matching

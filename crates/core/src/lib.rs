@@ -120,7 +120,7 @@ mod session;
 mod testutil;
 
 pub use alg3::{alg3_explicit, alg3_symbolic, Alg3Config, Alg3Engine, Alg3Report};
-pub use cache::{fingerprint, SuiteCache, SystemArtifacts};
+pub use cache::{fingerprint, CacheEntry, CacheStats, SuiteCache, SystemArtifacts};
 pub use cba_baseline::{cba_baseline, CbaConfig, CbaEngine, CbaReport, CbaVerdict};
 pub use driver::{Cuba, CubaConfig, CubaOutcome, DriverMode, EngineUsed};
 pub use engine::{

@@ -64,6 +64,77 @@ impl Property {
     {
         iter.into_iter().find(|v| self.violated_by(v))
     }
+
+    /// Parses a property spec — the grammar shared by the CLI's
+    /// `--property` flag and the serve API's `property` query
+    /// parameter:
+    ///
+    /// ```text
+    /// true
+    /// never-shared:<q>
+    /// never-visible:<q>|<t1>,<t2>,...     ('-' = empty stack)
+    /// mutex:<thread>@<sym>,<thread>@<sym>,...
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message naming the offending part of the spec.
+    pub fn parse(spec: &str) -> Result<Property, String> {
+        if spec == "true" {
+            return Ok(Property::True);
+        }
+        if let Some(rest) = spec.strip_prefix("never-shared:") {
+            let q: u32 = rest
+                .parse()
+                .map_err(|_| format!("bad never-shared state '{rest}'"))?;
+            return Ok(Property::never_shared(SharedState(q)));
+        }
+        if let Some(rest) = spec.strip_prefix("never-visible:") {
+            let (q, tops) = rest
+                .split_once('|')
+                .ok_or_else(|| format!("never-visible needs '<q>|<tops>', got '{rest}'"))?;
+            let q: u32 = q.parse().map_err(|_| format!("bad shared state '{q}'"))?;
+            let tops: Vec<Option<StackSym>> = tops
+                .split(',')
+                .map(|t| {
+                    if t == "-" {
+                        Ok(None)
+                    } else {
+                        t.parse::<u32>()
+                            .map(|n| Some(StackSym(n)))
+                            .map_err(|_| format!("bad top-of-stack '{t}' (number or '-')"))
+                    }
+                })
+                .collect::<Result<_, String>>()?;
+            return Ok(Property::never_visible(VisibleState::new(
+                SharedState(q),
+                tops,
+            )));
+        }
+        if let Some(rest) = spec.strip_prefix("mutex:") {
+            let pins: Vec<(usize, StackSym)> = rest
+                .split(',')
+                .map(|pin| {
+                    let (thread, sym) = pin
+                        .split_once('@')
+                        .ok_or_else(|| format!("mutex pin needs '<thread>@<sym>', got '{pin}'"))?;
+                    let thread: usize = thread
+                        .parse()
+                        .map_err(|_| format!("bad thread index '{thread}'"))?;
+                    let sym: u32 = sym.parse().map_err(|_| format!("bad symbol '{sym}'"))?;
+                    Ok((thread, StackSym(sym)))
+                })
+                .collect::<Result<_, String>>()?;
+            if pins.is_empty() {
+                return Err("mutex needs at least one pin".to_owned());
+            }
+            return Ok(Property::MutualExclusion(pins));
+        }
+        Err(format!(
+            "bad property '{spec}' (expected true, never-shared:<q>, \
+             never-visible:<q>|<tops>, or mutex:<t>@<s>,...)"
+        ))
+    }
 }
 
 impl std::fmt::Display for Property {
@@ -177,6 +248,42 @@ mod tests {
         let states = [vis(0, &[None]), vis(2, &[Some(1)]), vis(2, &[None])];
         assert_eq!(p.find_violation(states.iter()), Some(&states[1]));
         assert_eq!(Property::True.find_violation(states.iter()), None);
+    }
+
+    #[test]
+    fn parse_accepts_the_cli_grammar() {
+        assert_eq!(Property::parse("true").unwrap(), Property::True);
+        assert_eq!(
+            Property::parse("never-shared:3").unwrap(),
+            Property::never_shared(q(3))
+        );
+        assert_eq!(
+            Property::parse("never-visible:1|2,6").unwrap(),
+            Property::never_visible(VisibleState::new(q(1), vec![Some(s(2)), Some(s(6))]))
+        );
+        assert_eq!(
+            Property::parse("never-visible:0|-,5").unwrap(),
+            Property::never_visible(VisibleState::new(q(0), vec![None, Some(s(5))]))
+        );
+        assert_eq!(
+            Property::parse("mutex:0@7,1@9").unwrap(),
+            Property::mutex(0, s(7), 1, s(9))
+        );
+    }
+
+    #[test]
+    fn parse_rejects_malformed_specs() {
+        for bad in [
+            "",
+            "bogus",
+            "never-shared:x",
+            "never-visible:1",
+            "never-visible:1|a",
+            "mutex:",
+            "mutex:0-7",
+        ] {
+            assert!(Property::parse(bad).is_err(), "{bad:?} must be rejected");
+        }
     }
 
     #[test]

@@ -58,6 +58,6 @@ pub use budget::{CancelToken, ExploreBudget, ExploreError, Interrupt};
 pub use explicit::{ExplicitEngine, LayerSummary};
 pub use layers::LayerStore;
 pub use search::bounded_witness_search;
-pub use shared::{LayerView, SharedExplorer};
+pub use shared::{LayerSubscription, LayerView, SharedExplorer};
 pub use symbolic::{SubsumptionMode, SymbolicEngine, SymbolicState};
 pub use witness::{Witness, WitnessStep};

@@ -13,7 +13,8 @@
 //! [`ExplicitEngine::advance`]: crate::ExplicitEngine::advance
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{mpsc, Mutex};
+use std::time::Duration;
 
 use cuba_pds::{Cpds, VisibleState};
 
@@ -68,6 +69,41 @@ pub struct LayerView {
     pub collapsed: bool,
 }
 
+/// A push subscription to a [`SharedExplorer`]: the receiving half of
+/// an unbounded channel that gets one [`LayerView`] per layer of the
+/// shared exploration — first every layer already computed when the
+/// subscription was opened (catch-up), then each freshly explored
+/// layer the moment any caller's
+/// [`ensure_layer`](SharedExplorer::ensure_layer) computes it.
+///
+/// Consumers (streaming service clients, event-driven checkers) are
+/// thereby *notified* of progress instead of polling: with `N`
+/// subscribers and one exploration, every layer is delivered exactly
+/// once to each subscriber, in bound order, whoever paid for it.
+/// Dropping the subscription unregisters it on the explorer's next
+/// notification sweep.
+#[derive(Debug)]
+pub struct LayerSubscription {
+    rx: mpsc::Receiver<LayerView>,
+}
+
+impl LayerSubscription {
+    /// The next layer, if one is already queued (never blocks).
+    pub fn try_next(&self) -> Option<LayerView> {
+        self.rx.try_recv().ok()
+    }
+
+    /// The next layer, waiting up to `timeout` for one to be pushed.
+    pub fn next_timeout(&self, timeout: Duration) -> Option<LayerView> {
+        self.rx.recv_timeout(timeout).ok()
+    }
+
+    /// Drains every queued layer (never blocks).
+    pub fn drain(&self) -> Vec<LayerView> {
+        std::iter::from_fn(|| self.try_next()).collect()
+    }
+}
+
 /// One system's exploration, shared by any number of property
 /// checkers (across engines of one session, across sessions of a
 /// suite, and across threads of a parallel race).
@@ -86,6 +122,10 @@ pub struct SharedExplorer {
     /// Pre-collapse layers computed live — the "explored exactly once"
     /// instrumentation counter.
     rounds_explored: AtomicUsize,
+    /// Push subscribers; locked strictly *after* `inner` (subscribe
+    /// snapshots the store and registers atomically, notification
+    /// happens while the computing caller still holds the store).
+    subscribers: Mutex<Vec<mpsc::Sender<LayerView>>>,
 }
 
 impl SharedExplorer {
@@ -97,6 +137,7 @@ impl SharedExplorer {
             base_interrupt,
             symbolic: false,
             rounds_explored: AtomicUsize::new(0),
+            subscribers: Mutex::new(Vec::new()),
         }
     }
 
@@ -110,6 +151,7 @@ impl SharedExplorer {
             symbolic: true,
             base_interrupt,
             rounds_explored: AtomicUsize::new(0),
+            subscribers: Mutex::new(Vec::new()),
         }
     }
 
@@ -156,9 +198,43 @@ impl SharedExplorer {
             if live {
                 self.rounds_explored.fetch_add(1, Ordering::Relaxed);
             }
+            // Push the fresh layer to every subscriber while the store
+            // lock is still held, so deliveries are in bound order and
+            // never raced by a concurrent subscribe()'s catch-up.
+            let new_k = inner.store().current_k();
+            self.notify(build_view(inner.store(), new_k));
         }
         inner.set_interrupt(self.base_interrupt.clone());
         result
+    }
+
+    /// Opens a push subscription: the receiver first gets every layer
+    /// computed so far (catch-up, in bound order — layer 0, the
+    /// initial state, always exists), then one [`LayerView`] per
+    /// freshly explored layer, pushed by whichever caller's
+    /// [`ensure_layer`](Self::ensure_layer) computes it.
+    pub fn subscribe(&self) -> LayerSubscription {
+        let inner = self.lock();
+        let (tx, rx) = mpsc::channel();
+        let store = inner.store();
+        for k in 0..=store.current_k() {
+            let _ = tx.send(build_view(store, k));
+        }
+        self.subscribers
+            .lock()
+            .expect("subscriber registry")
+            .push(tx);
+        LayerSubscription { rx }
+    }
+
+    /// Sends `view` to every live subscriber, dropping closed ones.
+    /// Callers hold the `inner` lock (see the field's ordering note).
+    fn notify(&self, view: LayerView) {
+        let mut subs = self.subscribers.lock().expect("subscriber registry");
+        if subs.is_empty() {
+            return;
+        }
+        subs.retain(|tx| tx.send(view.clone()).is_ok());
     }
 
     /// The bound-indexed snapshot of layer `k`.
@@ -168,15 +244,7 @@ impl SharedExplorer {
     /// Panics if layer `k` has not been computed yet (call
     /// [`ensure_layer`](Self::ensure_layer) first).
     pub fn view(&self, k: usize) -> LayerView {
-        let inner = self.lock();
-        let store = inner.store();
-        LayerView {
-            k,
-            new_visible: store.visible_layer(k).to_vec(),
-            states: store.state_count_at(k),
-            visible: store.visible_count_at(k),
-            collapsed: store.collapsed_by(k),
-        }
+        build_view(self.lock().store(), k)
     }
 
     /// Runs a closure over the layer record (bound-indexed queries,
@@ -203,6 +271,17 @@ impl SharedExplorer {
         self.inner
             .lock()
             .expect("shared explorer poisoned by a panic mid-round; its layers are unusable")
+    }
+}
+
+/// The bound-indexed snapshot of layer `k` of a (locked) store.
+fn build_view(store: &LayerStore, k: usize) -> LayerView {
+    LayerView {
+        k,
+        new_visible: store.visible_layer(k).to_vec(),
+        states: store.state_count_at(k),
+        visible: store.visible_count_at(k),
+        collapsed: store.collapsed_by(k),
     }
 }
 
@@ -277,6 +356,81 @@ mod tests {
         shared_visible.sort_by_key(|v| v.to_string());
         reference_visible.sort_by_key(|v| v.to_string());
         assert_eq!(shared_visible, reference_visible);
+    }
+
+    /// A subscriber opened before exploration sees layer 0 (catch-up)
+    /// and then each freshly explored layer exactly once, in bound
+    /// order, regardless of which caller paid for it.
+    #[test]
+    fn subscription_pushes_each_fresh_layer_once() {
+        let explorer = SharedExplorer::explicit(fig1(), ExploreBudget::default());
+        let sub = explorer.subscribe();
+        let none = Interrupt::none();
+        assert_eq!(sub.drain().iter().map(|v| v.k).collect::<Vec<_>>(), [0]);
+
+        explorer.ensure_layer(3, &none).unwrap();
+        // A replaying caller pushes nothing new.
+        explorer.ensure_layer(2, &none).unwrap();
+        explorer.ensure_layer(5, &none).unwrap();
+        let views = sub.drain();
+        assert_eq!(
+            views.iter().map(|v| v.k).collect::<Vec<_>>(),
+            [1, 2, 3, 4, 5],
+            "one delivery per fresh layer, in bound order"
+        );
+        // Pushed views match the bound-indexed replay views.
+        for view in &views {
+            let replay = explorer.view(view.k);
+            assert_eq!(view.states, replay.states);
+            assert_eq!(view.visible, replay.visible);
+            assert_eq!(view.new_visible, replay.new_visible);
+            assert_eq!(view.collapsed, replay.collapsed);
+        }
+    }
+
+    /// A late subscriber catches up on every already-computed layer
+    /// before receiving live pushes; a dropped subscription simply
+    /// stops receiving (and is pruned on the next notification).
+    #[test]
+    fn late_subscribers_catch_up() {
+        let explorer = SharedExplorer::explicit(fig1(), ExploreBudget::default());
+        let none = Interrupt::none();
+        explorer.ensure_layer(4, &none).unwrap();
+
+        let early = explorer.subscribe();
+        drop(explorer.subscribe()); // dropped before any notification
+        assert_eq!(
+            early.drain().iter().map(|v| v.k).collect::<Vec<_>>(),
+            [0, 1, 2, 3, 4],
+            "catch-up delivers the full history"
+        );
+        explorer.ensure_layer(6, &none).unwrap();
+        assert_eq!(early.try_next().map(|v| v.k), Some(5));
+        assert_eq!(
+            early
+                .next_timeout(std::time::Duration::from_secs(1))
+                .map(|v| v.k),
+            Some(6)
+        );
+        assert!(early.try_next().is_none());
+    }
+
+    /// An interrupted (rolled-back) round notifies nobody: subscribers
+    /// only ever see layers that are actually part of the store.
+    #[test]
+    fn rolled_back_rounds_are_not_pushed() {
+        let explorer = SharedExplorer::explicit(fig1(), ExploreBudget::default());
+        let sub = explorer.subscribe();
+        let _ = sub.drain();
+        let cancelled = CancelToken::new();
+        cancelled.cancel();
+        explorer
+            .ensure_layer(2, &Interrupt::none().with_cancel(cancelled))
+            .unwrap_err();
+        assert!(sub.try_next().is_none(), "no layer, no notification");
+
+        explorer.ensure_layer(1, &Interrupt::none()).unwrap();
+        assert_eq!(sub.try_next().map(|v| v.k), Some(1));
     }
 
     /// Views are bound-indexed: extending the store past `k` does not

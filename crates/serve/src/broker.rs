@@ -1,0 +1,406 @@
+//! The session broker: the shared state every connection of the
+//! service operates on — a long-lived [`SuiteCache`] (so concurrent
+//! clients asking about the same CPDS share one saturation per
+//! backend, FIFO-bounded so the registry cannot grow without limit),
+//! the base portfolio configuration, the bounded analysis-slot pool
+//! (analysis work queues for a slot; control endpoints never do),
+//! service counters, and the shutdown machinery (a draining flag plus
+//! the abort [`CancelToken`] wired into every session's interrupt).
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
+
+use cuba_core::{fingerprint, Lineup, Portfolio, SessionConfig, SuiteCache, SystemArtifacts};
+use cuba_explore::CancelToken;
+use cuba_pds::Cpds;
+
+use crate::ServeConfig;
+
+/// How the service should wind down.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShutdownMode {
+    /// Stop accepting, let in-flight sessions run to their verdicts.
+    Graceful,
+    /// Additionally fire the abort token: in-flight explorations stop
+    /// at their next interrupt poll and their sessions conclude
+    /// `Undetermined` (interrupted rounds roll back, so the shared
+    /// layers stay valid for a later restart).
+    Abort,
+}
+
+/// Shared per-service state (one [`Broker`] per [`Server`]).
+///
+/// [`Server`]: crate::Server
+#[derive(Debug)]
+pub struct Broker {
+    /// Per-system artifacts, shared across every request for the
+    /// lifetime of the service: the registry behind `/systems`.
+    pub cache: SuiteCache,
+    config: ServeConfig,
+    /// Fired on [`ShutdownMode::Abort`]; polled by every session.
+    abort: CancelToken,
+    draining: AtomicBool,
+    started: Instant,
+    requests_total: AtomicUsize,
+    sessions_active: AtomicUsize,
+    sessions_total: AtomicUsize,
+    suites_total: AtomicUsize,
+    /// Free analysis slots (the bounded pool): `/analyze` and
+    /// `/suite` handlers block here, control endpoints never touch it.
+    slots: Mutex<usize>,
+    slots_cv: Condvar,
+    /// Live connections (any endpoint), for the accept-time cap and
+    /// the drain-on-shutdown wait.
+    connections: Mutex<usize>,
+    connections_cv: Condvar,
+    /// Cached systems in arrival order — the FIFO eviction queue
+    /// bounding the registry at `config.max_systems`.
+    tracked: Mutex<VecDeque<(u64, Arc<SystemArtifacts>)>>,
+}
+
+impl Broker {
+    /// A fresh broker for one service instance.
+    pub fn new(config: ServeConfig) -> Self {
+        let slots = config.workers.max(1);
+        Broker {
+            cache: SuiteCache::new(),
+            config,
+            abort: CancelToken::new(),
+            draining: AtomicBool::new(false),
+            started: Instant::now(),
+            requests_total: AtomicUsize::new(0),
+            sessions_active: AtomicUsize::new(0),
+            sessions_total: AtomicUsize::new(0),
+            suites_total: AtomicUsize::new(0),
+            slots: Mutex::new(slots),
+            slots_cv: Condvar::new(),
+            connections: Mutex::new(0),
+            connections_cv: Condvar::new(),
+            tracked: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// Claims one analysis slot, blocking while all `workers` slots
+    /// are busy — the bounded pool that queues analysis work without
+    /// ever queueing `/healthz` or `/shutdown` behind it.
+    pub fn acquire_slot(&self) -> SlotGuard<'_> {
+        let mut free = self.slots.lock().expect("slot count");
+        while *free == 0 {
+            free = self.slots_cv.wait(free).expect("slot count");
+        }
+        *free -= 1;
+        SlotGuard { broker: self }
+    }
+
+    /// Registers one accepted connection, or reports that the live
+    /// cap is reached (the acceptor then answers 503 instead of
+    /// spawning a handler). Every `true` must be paired with exactly
+    /// one [`connection_closed`](Self::connection_closed) — the
+    /// handler thread does this through a drop guard, so a panicking
+    /// handler still balances the count.
+    pub fn try_open_connection(&self) -> bool {
+        let mut live = self.connections.lock().expect("connection count");
+        if *live >= self.config.max_connections.max(1) {
+            return false;
+        }
+        *live += 1;
+        true
+    }
+
+    /// Balances one [`try_open_connection`](Self::try_open_connection)
+    /// and wakes a draining shutdown.
+    pub fn connection_closed(&self) {
+        let mut live = self.connections.lock().expect("connection count");
+        *live = live.saturating_sub(1);
+        self.connections_cv.notify_all();
+    }
+
+    /// Blocks until every live connection has finished — the drain
+    /// step of a shutdown.
+    pub fn wait_connections_drained(&self) {
+        let mut live = self.connections.lock().expect("connection count");
+        while *live > 0 {
+            live = self.connections_cv.wait(live).expect("connection count");
+        }
+    }
+
+    /// Live connections right now.
+    pub fn connections_active(&self) -> usize {
+        *self.connections.lock().expect("connection count")
+    }
+
+    /// The per-system artifacts for `cpds` from the long-lived cache,
+    /// keeping the registry FIFO-bounded at `max_systems`: when a new
+    /// system would exceed the cap, the oldest cached system is
+    /// evicted (in-flight sessions holding its `Arc` are unaffected;
+    /// the next request for it simply re-explores).
+    pub fn artifacts_for(&self, cpds: &Cpds) -> Arc<SystemArtifacts> {
+        let artifacts = self.cache.artifacts(cpds);
+        let key = fingerprint(cpds);
+        let mut tracked = self.tracked.lock().expect("eviction queue");
+        if !tracked.iter().any(|(_, a)| Arc::ptr_eq(a, &artifacts)) {
+            tracked.push_back((key, artifacts.clone()));
+        }
+        let cap = self.config.max_systems.max(1);
+        while tracked.len() > cap {
+            let (old_key, old) = tracked.pop_front().expect("len > cap ≥ 1");
+            self.cache.remove(old_key, &old);
+        }
+        artifacts
+    }
+
+    /// The service configuration.
+    pub fn config(&self) -> &ServeConfig {
+        &self.config
+    }
+
+    /// The portfolio a request runs under: the service's base session
+    /// configuration with the abort token wired in, plus the
+    /// request's own overrides.
+    pub fn portfolio(&self, lineup: Option<Lineup>, max_k: Option<usize>) -> Portfolio {
+        let session = SessionConfig {
+            max_k: max_k.unwrap_or(self.config.session.max_k),
+            cancel: Some(self.abort.clone()),
+            ..self.config.session.clone()
+        };
+        let lineup = lineup.unwrap_or_else(|| self.config.lineup.clone());
+        match lineup {
+            Lineup::Auto => Portfolio::auto(),
+            Lineup::Fixed(kinds) => Portfolio::fixed(kinds),
+        }
+        .with_config(session)
+    }
+
+    /// Whether the service has begun shutting down.
+    pub fn is_draining(&self) -> bool {
+        self.draining.load(Ordering::Relaxed)
+    }
+
+    /// Initiates shutdown (idempotent). Callers still owe the
+    /// acceptor a wake-up connection — see [`Server::run`].
+    ///
+    /// [`Server::run`]: crate::Server::run
+    pub fn initiate_shutdown(&self, mode: ShutdownMode) {
+        self.draining.store(true, Ordering::Relaxed);
+        if mode == ShutdownMode::Abort {
+            self.abort.cancel();
+        }
+    }
+
+    /// Milliseconds since the broker was created.
+    pub fn uptime_ms(&self) -> u128 {
+        self.started.elapsed().as_millis()
+    }
+
+    /// Counts one accepted request.
+    pub fn count_request(&self) {
+        self.requests_total.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Requests accepted so far.
+    pub fn requests_total(&self) -> usize {
+        self.requests_total.load(Ordering::Relaxed)
+    }
+
+    /// Marks one streaming session as started; the guard un-marks it.
+    pub fn session_started(&self) -> SessionGuard<'_> {
+        self.sessions_active.fetch_add(1, Ordering::Relaxed);
+        self.sessions_total.fetch_add(1, Ordering::Relaxed);
+        SessionGuard { broker: self }
+    }
+
+    /// Streaming sessions currently in flight.
+    pub fn sessions_active(&self) -> usize {
+        self.sessions_active.load(Ordering::Relaxed)
+    }
+
+    /// Streaming sessions started since boot.
+    pub fn sessions_total(&self) -> usize {
+        self.sessions_total.load(Ordering::Relaxed)
+    }
+
+    /// Counts one `/suite` batch.
+    pub fn count_suite(&self) {
+        self.suites_total.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// `/suite` batches run since boot.
+    pub fn suites_total(&self) -> usize {
+        self.suites_total.load(Ordering::Relaxed)
+    }
+}
+
+/// RAII guard pairing [`Broker::session_started`] with its decrement,
+/// so a panicking handler can never leak an "active" session.
+#[derive(Debug)]
+pub struct SessionGuard<'a> {
+    broker: &'a Broker,
+}
+
+impl Drop for SessionGuard<'_> {
+    fn drop(&mut self) {
+        self.broker.sessions_active.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// RAII guard for one analysis slot; dropping it (normally or by
+/// panic) frees the slot and wakes one queued analysis request.
+#[derive(Debug)]
+pub struct SlotGuard<'a> {
+    broker: &'a Broker,
+}
+
+impl Drop for SlotGuard<'_> {
+    fn drop(&mut self) {
+        let mut free = self.broker.slots.lock().expect("slot count");
+        *free += 1;
+        self.broker.slots_cv.notify_one();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_guards() {
+        let broker = Broker::new(ServeConfig::default());
+        assert_eq!(broker.sessions_active(), 0);
+        {
+            let _one = broker.session_started();
+            let _two = broker.session_started();
+            assert_eq!(broker.sessions_active(), 2);
+            assert_eq!(broker.sessions_total(), 2);
+        }
+        assert_eq!(broker.sessions_active(), 0);
+        assert_eq!(broker.sessions_total(), 2);
+        broker.count_request();
+        broker.count_suite();
+        assert_eq!(broker.requests_total(), 1);
+        assert_eq!(broker.suites_total(), 1);
+    }
+
+    #[test]
+    fn shutdown_modes() {
+        let broker = Broker::new(ServeConfig::default());
+        assert!(!broker.is_draining());
+        broker.initiate_shutdown(ShutdownMode::Graceful);
+        assert!(broker.is_draining());
+        // Graceful never fires the abort token…
+        let probe = broker.portfolio(None, None);
+        let cancel = probe.config().cancel.clone().expect("abort token wired in");
+        assert!(!cancel.is_cancelled());
+        // …abort does, and every session's config polls the same flag.
+        broker.initiate_shutdown(ShutdownMode::Abort);
+        assert!(cancel.is_cancelled());
+    }
+
+    /// The slot pool bounds concurrent analyses at `workers`, blocks
+    /// the overflow, and frees on drop (panic included via RAII).
+    #[test]
+    fn analysis_slots_are_bounded_and_released() {
+        let broker = Broker::new(ServeConfig {
+            workers: 2,
+            ..ServeConfig::default()
+        });
+        let first = broker.acquire_slot();
+        let second = broker.acquire_slot();
+        // Third acquirer must block until a slot frees.
+        let acquired = std::sync::atomic::AtomicBool::new(false);
+        std::thread::scope(|scope| {
+            scope.spawn(|| {
+                let _third = broker.acquire_slot();
+                acquired.store(true, Ordering::SeqCst);
+            });
+            std::thread::sleep(std::time::Duration::from_millis(50));
+            assert!(!acquired.load(Ordering::SeqCst), "pool is full");
+            drop(first);
+            // The scope joins the thread: it must now get the slot.
+        });
+        assert!(acquired.load(Ordering::SeqCst));
+        drop(second);
+        let _refilled = (broker.acquire_slot(), broker.acquire_slot());
+    }
+
+    /// Connections are capped and drained: over-cap opens are
+    /// refused, and the drain wait returns once every open is closed.
+    #[test]
+    fn connection_cap_and_drain() {
+        let broker = Broker::new(ServeConfig {
+            max_connections: 2,
+            ..ServeConfig::default()
+        });
+        assert!(broker.try_open_connection(), "first");
+        assert!(broker.try_open_connection(), "second");
+        assert!(!broker.try_open_connection(), "cap reached");
+        assert_eq!(broker.connections_active(), 2);
+        broker.connection_closed();
+        assert!(broker.try_open_connection(), "slot freed");
+        broker.connection_closed();
+        broker.connection_closed();
+        broker.wait_connections_drained(); // returns immediately at 0
+        assert_eq!(broker.connections_active(), 0);
+    }
+
+    /// The registry is FIFO-bounded: the oldest system is evicted
+    /// when a new one would exceed `max_systems`, and re-requesting
+    /// an evicted system re-admits it.
+    #[test]
+    fn artifacts_registry_evicts_fifo() {
+        use cuba_pds::{CpdsBuilder, PdsBuilder, SharedState, StackSym};
+        let system = |shared: u32| {
+            let mut p = PdsBuilder::new(shared, 2);
+            p.overwrite(
+                SharedState(0),
+                StackSym(1),
+                SharedState(shared - 1),
+                StackSym(1),
+            )
+            .unwrap();
+            CpdsBuilder::new(shared, SharedState(0))
+                .thread(p.build().unwrap(), [StackSym(1)])
+                .build()
+                .unwrap()
+        };
+        let broker = Broker::new(ServeConfig {
+            max_systems: 2,
+            ..ServeConfig::default()
+        });
+        let first = broker.artifacts_for(&system(2));
+        let _second = broker.artifacts_for(&system(3));
+        assert_eq!(broker.cache.len(), 2);
+        // A third distinct system evicts the oldest (system(2)).
+        let _third = broker.artifacts_for(&system(4));
+        assert_eq!(broker.cache.len(), 2);
+        let fingerprints: Vec<u64> = broker
+            .cache
+            .entries()
+            .iter()
+            .map(|e| e.fingerprint)
+            .collect();
+        assert!(!fingerprints.contains(&cuba_core::fingerprint(&system(2))));
+        // A re-request re-admits it with a fresh slot; the old Arc
+        // (in-flight sessions) stays usable.
+        let readmitted = broker.artifacts_for(&system(2));
+        assert!(!Arc::ptr_eq(&first, &readmitted));
+        assert_eq!(broker.cache.len(), 2);
+        // Hits never grow the queue: repeats are not re-tracked.
+        for _ in 0..5 {
+            let again = broker.artifacts_for(&system(2));
+            assert!(Arc::ptr_eq(&again, &readmitted));
+        }
+        assert_eq!(broker.cache.len(), 2);
+    }
+
+    #[test]
+    fn portfolio_applies_overrides() {
+        let broker = Broker::new(ServeConfig::default());
+        assert_eq!(
+            broker.portfolio(None, None).config().max_k,
+            ServeConfig::default().session.max_k
+        );
+        assert_eq!(broker.portfolio(None, Some(7)).config().max_k, 7);
+    }
+}

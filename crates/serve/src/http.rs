@@ -1,0 +1,392 @@
+//! A dependency-free HTTP/1.1 subset: exactly what the analysis
+//! service needs, nothing more.
+//!
+//! One request per connection (`Connection: close` on every
+//! response): the service's interesting responses are NDJSON streams
+//! terminated by connection close, so keep-alive would buy nothing
+//! and cost correctness. Request bodies require `Content-Length`
+//! (no chunked uploads); responses either carry `Content-Length`
+//! ([`write_response`]) or stream until close ([`write_stream_head`]).
+
+use std::io::{BufRead, Write};
+
+/// Upper bounds keeping one slow or hostile connection from pinning a
+/// worker: request line ≤ 8 KiB, ≤ 64 headers of ≤ 8 KiB each, body ≤
+/// 4 MiB (a generous bound for model files).
+const MAX_LINE: usize = 8 * 1024;
+const MAX_HEADERS: usize = 64;
+const MAX_BODY: usize = 4 * 1024 * 1024;
+
+/// A parsed request.
+#[derive(Debug, Clone, Default)]
+pub struct Request {
+    /// The method verb, uppercased as received (`GET`, `POST`, …).
+    pub method: String,
+    /// The percent-decoded path, query string excluded.
+    pub path: String,
+    /// Query parameters in request order, percent-decoded.
+    pub query: Vec<(String, String)>,
+    /// Header `(name, value)` pairs; names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// The raw body (`Content-Length` bytes).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First value of query parameter `key`, if present.
+    pub fn query_first(&self, key: &str) -> Option<&str> {
+        self.query
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Every value of the (repeatable) query parameter `key`.
+    pub fn query_all(&self, key: &str) -> Vec<&str> {
+        self.query
+            .iter()
+            .filter(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+            .collect()
+    }
+
+    /// The value of header `name` (case-insensitive), if present.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(k, _)| *k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The body as UTF-8.
+    ///
+    /// # Errors
+    ///
+    /// [`HttpError::BadRequest`] on invalid UTF-8.
+    pub fn body_utf8(&self) -> Result<&str, HttpError> {
+        std::str::from_utf8(&self.body)
+            .map_err(|_| HttpError::BadRequest("request body is not valid UTF-8".into()))
+    }
+}
+
+/// Request-reading failures, each mapping to a response status.
+#[derive(Debug)]
+pub enum HttpError {
+    /// The peer connected but sent nothing (e.g. the shutdown wake-up
+    /// probe): close quietly, no response owed.
+    Empty,
+    /// Malformed request: answer 400 with the message.
+    BadRequest(String),
+    /// Body or header limits exceeded: answer 413.
+    TooLarge,
+    /// The socket failed mid-read: nothing sensible to answer.
+    Io(std::io::Error),
+}
+
+impl HttpError {
+    /// The `(status, reason)` line this error maps to, if a response
+    /// is owed at all.
+    pub fn status(&self) -> Option<(u16, &'static str)> {
+        match self {
+            HttpError::Empty | HttpError::Io(_) => None,
+            HttpError::BadRequest(_) => Some((400, "Bad Request")),
+            HttpError::TooLarge => Some((413, "Payload Too Large")),
+        }
+    }
+
+    /// The human-readable message for the error body.
+    pub fn message(&self) -> String {
+        match self {
+            HttpError::Empty => "empty request".into(),
+            HttpError::BadRequest(m) => m.clone(),
+            HttpError::TooLarge => "request exceeds the size limits".into(),
+            HttpError::Io(e) => e.to_string(),
+        }
+    }
+}
+
+impl From<std::io::Error> for HttpError {
+    fn from(e: std::io::Error) -> Self {
+        HttpError::Io(e)
+    }
+}
+
+/// Reads one CRLF- (or LF-) terminated line, bounded by [`MAX_LINE`].
+/// `None` on a clean EOF *before any byte*; EOF mid-line is a
+/// truncated request, never silently treated as a terminator (a
+/// half-sent `POST /shutdown` must not shut anything down).
+fn read_line(reader: &mut impl BufRead) -> Result<Option<String>, HttpError> {
+    let mut raw = Vec::new();
+    let mut byte = [0u8; 1];
+    loop {
+        match reader.read(&mut byte)? {
+            0 if raw.is_empty() => return Ok(None),
+            0 => {
+                return Err(HttpError::BadRequest(
+                    "truncated request (EOF before end of line)".into(),
+                ))
+            }
+            _ => {
+                if byte[0] == b'\n' {
+                    break;
+                }
+                raw.push(byte[0]);
+                if raw.len() > MAX_LINE {
+                    return Err(HttpError::TooLarge);
+                }
+            }
+        }
+    }
+    if raw.last() == Some(&b'\r') {
+        raw.pop();
+    }
+    String::from_utf8(raw)
+        .map(Some)
+        .map_err(|_| HttpError::BadRequest("header line is not UTF-8".into()))
+}
+
+/// Parses one HTTP/1.x request from `reader`.
+///
+/// # Errors
+///
+/// See [`HttpError`]; an immediately-closed connection is
+/// [`HttpError::Empty`].
+pub fn read_request(reader: &mut impl BufRead) -> Result<Request, HttpError> {
+    let Some(request_line) = read_line(reader)? else {
+        return Err(HttpError::Empty);
+    };
+    if request_line.is_empty() {
+        return Err(HttpError::Empty);
+    }
+    let mut parts = request_line.split(' ');
+    let (Some(method), Some(target), Some(version)) = (parts.next(), parts.next(), parts.next())
+    else {
+        return Err(HttpError::BadRequest(format!(
+            "malformed request line '{request_line}'"
+        )));
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::BadRequest(format!(
+            "unsupported protocol '{version}'"
+        )));
+    }
+    let (path, query_string) = match target.split_once('?') {
+        Some((p, q)) => (p, Some(q)),
+        None => (target, None),
+    };
+    let mut request = Request {
+        method: method.to_owned(),
+        path: percent_decode(path)?,
+        query: query_string
+            .map(parse_query)
+            .transpose()?
+            .unwrap_or_default(),
+        ..Request::default()
+    };
+
+    loop {
+        let line = read_line(reader)?.ok_or_else(|| {
+            HttpError::BadRequest("truncated request (EOF inside the header block)".into())
+        })?;
+        if line.is_empty() {
+            break;
+        }
+        if request.headers.len() >= MAX_HEADERS {
+            return Err(HttpError::TooLarge);
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(HttpError::BadRequest(format!("malformed header '{line}'")));
+        };
+        request
+            .headers
+            .push((name.trim().to_ascii_lowercase(), value.trim().to_owned()));
+    }
+
+    if let Some(length) = request.header("content-length") {
+        let length: usize = length
+            .parse()
+            .map_err(|_| HttpError::BadRequest(format!("bad content-length '{length}'")))?;
+        if length > MAX_BODY {
+            return Err(HttpError::TooLarge);
+        }
+        let mut body = vec![0u8; length];
+        reader.read_exact(&mut body)?;
+        request.body = body;
+    } else if request.header("transfer-encoding").is_some() {
+        return Err(HttpError::BadRequest(
+            "chunked request bodies are not supported; send Content-Length".into(),
+        ));
+    }
+    Ok(request)
+}
+
+/// Splits and percent-decodes a query string.
+fn parse_query(query: &str) -> Result<Vec<(String, String)>, HttpError> {
+    query
+        .split('&')
+        .filter(|pair| !pair.is_empty())
+        .map(|pair| {
+            let (key, value) = pair.split_once('=').unwrap_or((pair, ""));
+            Ok((percent_decode(key)?, percent_decode(value)?))
+        })
+        .collect()
+}
+
+/// Percent-decodes a path or query component (`%2C` → `,`). `+` is
+/// left alone: the service's specs use it nowhere and curl does not
+/// form-encode query strings.
+fn percent_decode(text: &str) -> Result<String, HttpError> {
+    let bytes = text.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'%' {
+            let hex = bytes
+                .get(i + 1..i + 3)
+                .and_then(|h| std::str::from_utf8(h).ok())
+                .and_then(|h| u8::from_str_radix(h, 16).ok())
+                .ok_or_else(|| HttpError::BadRequest(format!("bad percent escape in '{text}'")))?;
+            out.push(hex);
+            i += 3;
+        } else {
+            out.push(bytes[i]);
+            i += 1;
+        }
+    }
+    String::from_utf8(out).map_err(|_| HttpError::BadRequest("escape decodes to non-UTF-8".into()))
+}
+
+/// Writes a complete response with `Content-Length` and
+/// `Connection: close`.
+pub fn write_response(
+    stream: &mut impl Write,
+    status: u16,
+    reason: &str,
+    content_type: &str,
+    body: &[u8],
+) -> std::io::Result<()> {
+    write!(
+        stream,
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    )?;
+    stream.write_all(body)?;
+    stream.flush()
+}
+
+/// Writes the head of a streaming response: no `Content-Length`, the
+/// body runs until the connection closes (HTTP/1.1 framing by
+/// close-delimiting). Callers then write NDJSON lines and flush.
+pub fn write_stream_head(stream: &mut impl Write, content_type: &str) -> std::io::Result<()> {
+    write!(
+        stream,
+        "HTTP/1.1 200 OK\r\nContent-Type: {content_type}\r\nConnection: close\r\nX-Accel-Buffering: no\r\n\r\n"
+    )?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse(raw: &str) -> Result<Request, HttpError> {
+        read_request(&mut BufReader::new(raw.as_bytes()))
+    }
+
+    #[test]
+    fn parses_request_line_query_headers_and_body() {
+        let request = parse(
+            "POST /analyze?property=never-visible:1%7C2,6&property=true&max_k=9 HTTP/1.1\r\n\
+             Host: localhost\r\nContent-Length: 5\r\n\r\nhello",
+        )
+        .unwrap();
+        assert_eq!(request.method, "POST");
+        assert_eq!(request.path, "/analyze");
+        assert_eq!(
+            request.query_all("property"),
+            vec!["never-visible:1|2,6", "true"]
+        );
+        assert_eq!(request.query_first("max_k"), Some("9"));
+        assert_eq!(request.query_first("absent"), None);
+        assert_eq!(request.header("HOST"), Some("localhost"));
+        assert_eq!(request.body_utf8().unwrap(), "hello");
+    }
+
+    #[test]
+    fn lf_only_lines_and_missing_body_are_fine() {
+        let request = parse("GET /healthz HTTP/1.1\nHost: x\n\n").unwrap();
+        assert_eq!(request.method, "GET");
+        assert_eq!(request.path, "/healthz");
+        assert!(request.body.is_empty());
+    }
+
+    /// A half-sent request must never be acted on: EOF mid-line or
+    /// mid-header-block is a 400, not an implicit terminator.
+    #[test]
+    fn rejects_truncated_requests() {
+        assert!(matches!(
+            parse("POST /shutdown HTTP/1.1"),
+            Err(HttpError::BadRequest(_))
+        ));
+        assert!(matches!(
+            parse("POST /shutdown HTTP/1.1\r\nHost: x\r\n"),
+            Err(HttpError::BadRequest(_))
+        ));
+        assert!(matches!(
+            parse("POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nshort"),
+            Err(HttpError::Io(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_garbage_and_empty_connections() {
+        assert!(matches!(parse(""), Err(HttpError::Empty)));
+        assert!(matches!(
+            parse("GARBAGE\r\n\r\n"),
+            Err(HttpError::BadRequest(_))
+        ));
+        assert!(matches!(
+            parse("GET / SPDY/3\r\n\r\n"),
+            Err(HttpError::BadRequest(_))
+        ));
+        assert!(matches!(
+            parse("POST / HTTP/1.1\r\nContent-Length: nope\r\n\r\n"),
+            Err(HttpError::BadRequest(_))
+        ));
+        assert!(matches!(
+            parse("POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"),
+            Err(HttpError::BadRequest(_))
+        ));
+        assert!(matches!(
+            parse("POST / HTTP/1.1\r\nContent-Length: 99999999999\r\n\r\n"),
+            Err(HttpError::TooLarge)
+        ));
+    }
+
+    #[test]
+    fn percent_decoding_round_trips_the_spec_alphabet() {
+        assert_eq!(percent_decode("a%40b%7Cc%2Cd").unwrap(), "a@b|c,d");
+        assert_eq!(percent_decode("plain").unwrap(), "plain");
+        assert!(percent_decode("%zz").is_err());
+        assert!(percent_decode("%f").is_err());
+    }
+
+    #[test]
+    fn responses_are_close_delimited() {
+        let mut out = Vec::new();
+        write_response(&mut out, 404, "Not Found", "application/json", b"{}").unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 404 Not Found\r\n"));
+        assert!(text.contains("Content-Length: 2\r\n"));
+        assert!(text.contains("Connection: close\r\n"));
+        assert!(text.ends_with("\r\n\r\n{}"));
+
+        let mut out = Vec::new();
+        write_stream_head(&mut out, "application/x-ndjson").unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(!text.contains("Content-Length"));
+    }
+}

@@ -31,6 +31,19 @@
 //!                            mutex:<thread>@<sym>,<thread>@<sym>
 //! cuba fcr <file>      run only the finite-context-reachability check
 //! cuba info <file>     print model statistics
+//! cuba serve [options] run the HTTP analysis service (cuba-serve)
+//!     --addr <a>       bind address (default 127.0.0.1:0 = ephemeral;
+//!                      the bound address is printed on stdout)
+//!     --workers <n>    bounded worker pool size (default: CPUs, max 8)
+//!     --max-k <n>      default round limit for served sessions
+//!     --timeout <s>    default wall-clock limit per served session
+//!     --schedule frontier|round-robin    arm scheduling policy
+//!
+//!     Endpoints: POST /analyze (NDJSON event stream; repeatable
+//!     property= query params, body = model source, format=cpds|bp),
+//!     POST /suite, GET /systems, GET /healthz, POST /shutdown
+//!     (mode=graceful|abort). Concurrent clients asking about one
+//!     system share a single layered exploration per backend.
 //! ```
 //!
 //! With several properties the exit code is the *worst* verdict:
@@ -46,7 +59,7 @@ use cuba::core::{
     check_fcr, CubaOutcome, EngineKind, Lineup, Portfolio, Property, SchedulePolicy, SessionConfig,
     SessionEvent, SystemArtifacts, Verdict,
 };
-use cuba::pds::{Cpds, SharedState, StackSym, VisibleState};
+use cuba::pds::{Cpds, SharedState};
 use cuba_bench::json_escape as json_string;
 
 fn main() -> ExitCode {
@@ -63,7 +76,8 @@ fn main() -> ExitCode {
 fn usage() -> String {
     "usage: cuba <verify|fcr|info> <file.bp|file.cpds> [--engine auto|explicit|symbolic] \
      [--max-k N] [--parallel] [--schedule frontier|round-robin] [--timeout SECS] [--trace] \
-     [--json] [--never-shared Q] [--property SPEC]..."
+     [--json] [--never-shared Q] [--property SPEC]...\n   or: cuba serve [--addr ADDR] \
+     [--workers N] [--max-k N] [--timeout SECS] [--schedule frontier|round-robin]"
         .to_owned()
 }
 
@@ -98,62 +112,10 @@ impl Default for VerifyOptions {
     }
 }
 
-/// Parses one `--property` spec (see the module docs for the grammar).
+/// Parses one `--property` spec (the grammar lives in
+/// [`Property::parse`], shared with the serve API).
 fn parse_property(spec: &str) -> Result<Property, String> {
-    if spec == "true" {
-        return Ok(Property::True);
-    }
-    if let Some(rest) = spec.strip_prefix("never-shared:") {
-        let q: u32 = rest
-            .parse()
-            .map_err(|_| format!("bad never-shared state '{rest}'"))?;
-        return Ok(Property::never_shared(SharedState(q)));
-    }
-    if let Some(rest) = spec.strip_prefix("never-visible:") {
-        let (q, tops) = rest
-            .split_once('|')
-            .ok_or_else(|| format!("never-visible needs '<q>|<tops>', got '{rest}'"))?;
-        let q: u32 = q.parse().map_err(|_| format!("bad shared state '{q}'"))?;
-        let tops: Vec<Option<StackSym>> = tops
-            .split(',')
-            .map(|t| {
-                if t == "-" {
-                    Ok(None)
-                } else {
-                    t.parse::<u32>()
-                        .map(|n| Some(StackSym(n)))
-                        .map_err(|_| format!("bad top-of-stack '{t}' (number or '-')"))
-                }
-            })
-            .collect::<Result<_, String>>()?;
-        return Ok(Property::never_visible(VisibleState::new(
-            SharedState(q),
-            tops,
-        )));
-    }
-    if let Some(rest) = spec.strip_prefix("mutex:") {
-        let pins: Vec<(usize, StackSym)> = rest
-            .split(',')
-            .map(|pin| {
-                let (thread, sym) = pin
-                    .split_once('@')
-                    .ok_or_else(|| format!("mutex pin needs '<thread>@<sym>', got '{pin}'"))?;
-                let thread: usize = thread
-                    .parse()
-                    .map_err(|_| format!("bad thread index '{thread}'"))?;
-                let sym: u32 = sym.parse().map_err(|_| format!("bad symbol '{sym}'"))?;
-                Ok((thread, StackSym(sym)))
-            })
-            .collect::<Result<_, String>>()?;
-        if pins.is_empty() {
-            return Err("mutex needs at least one pin".to_owned());
-        }
-        return Ok(Property::MutualExclusion(pins));
-    }
-    Err(format!(
-        "bad --property '{spec}' (expected true, never-shared:<q>, \
-         never-visible:<q>|<tops>, or mutex:<t>@<s>,...)"
-    ))
+    Property::parse(spec).map_err(|message| format!("bad --property: {message}"))
 }
 
 fn run(args: &[String]) -> Result<ExitCode, String> {
@@ -192,8 +154,71 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
             }
             verify(cpds, properties, &options)
         }
+        "serve" => serve(&args[1..]),
         other => Err(format!("unknown command '{other}'\n{}", usage())),
     }
+}
+
+/// `cuba serve`: boots the HTTP analysis service and blocks until a
+/// `POST /shutdown` request stops it.
+fn serve(args: &[String]) -> Result<ExitCode, String> {
+    let mut config = cuba_serve::ServeConfig::default();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--addr" => {
+                i += 1;
+                config.addr = args
+                    .get(i)
+                    .cloned()
+                    .ok_or("--addr needs an address argument")?;
+            }
+            "--workers" => {
+                i += 1;
+                config.workers = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .filter(|n| *n > 0)
+                    .ok_or("bad --workers value")?;
+            }
+            "--max-k" => {
+                i += 1;
+                config.session.max_k = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .ok_or("bad --max-k value")?;
+            }
+            "--timeout" => {
+                i += 1;
+                config.session.timeout = args
+                    .get(i)
+                    .and_then(|s| s.parse::<f64>().ok())
+                    .and_then(|s| Duration::try_from_secs_f64(s).ok())
+                    .map(Some)
+                    .ok_or("bad --timeout value (seconds)")?;
+            }
+            "--schedule" => {
+                i += 1;
+                config.session.schedule = match args.get(i).map(|s| s.as_str()) {
+                    Some("frontier") => SchedulePolicy::frontier_aware(),
+                    Some("round-robin") => SchedulePolicy::RoundRobin,
+                    other => return Err(format!("bad --schedule {other:?}")),
+                };
+            }
+            other => return Err(format!("unknown option '{other}'")),
+        }
+        i += 1;
+    }
+    let workers = config.workers;
+    let server = cuba_serve::Server::bind(config).map_err(|e| format!("bind: {e}"))?;
+    let addr = server.local_addr().map_err(|e| e.to_string())?;
+    // Scripts scrape this line for the ephemeral port; keep it stable.
+    println!("cuba-serve listening on http://{addr} ({workers} workers)");
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    server.run().map_err(|e| format!("serve: {e}"))?;
+    println!("cuba-serve drained and shut down");
+    Ok(ExitCode::SUCCESS)
 }
 
 /// `info`/`fcr` take exactly one argument: the model file.
