@@ -4,62 +4,38 @@
 //! caching of FCR/`G∩Z`, results in input order.
 //!
 //! ```text
-//! cargo run --release -p cuba-bench --bin batch [workers] [--json] [--baseline FILE] [--gate-timing]
+//! cargo run --release -p cuba-bench --bin batch [workers] [--json] [--baseline FILE]
 //! ```
 //!
 //! * no flags — runs the suite once sequentially and once with
 //!   `workers` problems in flight (default: available parallelism),
 //!   comparing wall-clock.
-//! * `--json` — runs the suite once (through a [`SuiteCache`]) and
+//! * `--json` — runs the suite once (through a
+//!   [`SuiteCache`](cuba_core::SuiteCache)) and
 //!   emits one JSON object per problem (verdict, winning engine,
 //!   rounds, total round wall-clock, suite-cache hit/miss, and the
 //!   explored-vs-replayed round counters of the shared-layer path) as
-//!   a JSON array on stdout: the bench-regression record CI archives
-//!   per PR. The suite includes a multi-property block
-//!   (`fig1-multi/*`: one system, three properties) so the gate
-//!   covers layer sharing.
+//!   a JSON array on stdout. The suite is
+//!   [`cuba_bench::harness::bench_suite`]: every Table 2 row plus the
+//!   multi-property `fig1-multi/*` block, so the record covers layer
+//!   sharing.
 //! * `--baseline FILE` — additionally diffs the fresh verdicts
-//!   against a committed baseline (`BENCH_baseline.json`) and exits
-//!   nonzero on any verdict change. Timing fields are informational
-//!   and never compared by default.
-//! * `--gate-timing` — opt-in timing-regression gate on top of
-//!   `--baseline`: a problem fails the gate only when its fresh
-//!   `round_wall_us` is **more than 5×** the baseline's *and* the
-//!   absolute slowdown exceeds half a second — a deliberately
-//!   generous threshold, so CI noise can never flake the (always-on)
-//!   verdict gating it rides along with.
+//!   against a committed baseline (`BENCH_baseline.json`) through
+//!   [`cuba_bench::compare`] and exits nonzero on any verdict change
+//!   (error↔error counts as unchanged; error on one side only is a
+//!   hard failure). Timing fields are informational here — the
+//!   noise-aware timing gate is `cuba bench --compare FILE --gate`,
+//!   which measures N samples per workload instead of one.
 
 use std::time::Instant;
 
-use cuba_bench::{json_escape, json_unescape, render_table, JsonObject};
-use cuba_benchmarks::fig1;
-use cuba_benchmarks::suite::{table2_problems, table2_suite};
-use cuba_core::{CubaError, CubaOutcome, Portfolio, Property, SessionConfig, SuiteCache, Verdict};
-use cuba_explore::ExploreBudget;
-use cuba_pds::{Cpds, SharedState, StackSym, VisibleState};
+use cuba_bench::compare::{self, Thresholds};
+use cuba_bench::harness::{bench_config, bench_suite, run_iteration, verdict_word};
+use cuba_bench::{render_table, JsonObject};
+use cuba_core::{Portfolio, SchedulePolicy, Verdict};
 
 fn portfolio() -> Portfolio {
-    Portfolio::auto().with_config(SessionConfig {
-        budget: ExploreBudget {
-            // Same cap as the table2 harness: keeps the OOM row
-            // (stefan-1/8) bounded.
-            max_symbolic_states: 20_000,
-            ..ExploreBudget::default()
-        },
-        max_k: 32,
-        ..SessionConfig::new()
-    })
-}
-
-fn verdict_string(result: &Result<CubaOutcome, CubaError>) -> String {
-    match result {
-        Ok(o) => match &o.verdict {
-            Verdict::Safe { .. } => "safe".to_owned(),
-            Verdict::Unsafe { .. } => "unsafe".to_owned(),
-            Verdict::Undetermined { .. } => "undetermined".to_owned(),
-        },
-        Err(_) => "error".to_owned(),
-    }
+    Portfolio::auto().with_config(bench_config(SchedulePolicy::default()))
 }
 
 fn main() {
@@ -67,7 +43,6 @@ fn main() {
     let mut workers: Option<usize> = None;
     let mut json = false;
     let mut baseline: Option<String> = None;
-    let mut gate_timing = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -82,7 +57,6 @@ fn main() {
                     }
                 }
             }
-            "--gate-timing" => gate_timing = true,
             other => match other.parse::<usize>() {
                 Ok(n) => workers = Some(n),
                 Err(_) => {
@@ -93,10 +67,6 @@ fn main() {
         }
         i += 1;
     }
-    if gate_timing && baseline.is_none() {
-        eprintln!("--gate-timing needs --baseline FILE to compare against");
-        std::process::exit(2);
-    }
     let workers = workers.unwrap_or_else(|| {
         std::thread::available_parallelism()
             .map(|n| n.get())
@@ -104,68 +74,23 @@ fn main() {
     });
 
     if json || baseline.is_some() {
-        run_json(workers, baseline.as_deref(), gate_timing);
+        run_json(workers, baseline.as_deref());
     } else {
         run_comparison(workers);
     }
 }
 
-/// The multi-property block: one system (Fig. 1), several properties
-/// — the suite entries that exercise shared-layer replay in the gate.
-fn multi_property_problems() -> Vec<(String, Cpds, Property)> {
-    let vis = |q: u32, tops: &[u32]| {
-        VisibleState::new(
-            SharedState(q),
-            tops.iter().map(|&t| Some(StackSym(t))).collect(),
-        )
-    };
-    vec![
-        (
-            "fig1-multi/p0-true".to_owned(),
-            fig1::build(),
-            Property::True,
-        ),
-        (
-            // ⟨1|2,6⟩ first appears at k = 5 (Fig. 1 table): unsafe@5.
-            "fig1-multi/p1-bug".to_owned(),
-            fig1::build(),
-            Property::never_visible(vis(1, &[2, 6])),
-        ),
-        (
-            // ⟨2|1,5⟩ is unreachable: safe at the convergence bound.
-            "fig1-multi/p2-unreach".to_owned(),
-            fig1::build(),
-            Property::never_visible(vis(2, &[1, 5])),
-        ),
-    ]
-}
-
 /// The bench-regression record: run once (suite-cached), emit JSON,
-/// optionally gate against a committed baseline.
-fn run_json(workers: usize, baseline: Option<&str>, gate_timing: bool) {
-    let mut labels: Vec<String> = table2_suite().iter().map(|b| b.label()).collect();
-    let mut problems = table2_problems();
-    for (label, cpds, property) in multi_property_problems() {
-        labels.push(label);
-        problems.push((cpds, property));
-    }
-    // Record per-problem cache hit/miss by warming the artifact slots
-    // in input order *before* the (parallel) run — under concurrent
-    // workers the in-run lookup order is nondeterministic, so probing
-    // up front is the only way the emitted field stays truthful and
-    // stable across regenerations.
-    let cache = SuiteCache::new();
-    let cache_hits: Vec<bool> = problems
-        .iter()
-        .map(|(cpds, _)| cache.lookup(cpds).1)
-        .collect();
-    let results = portfolio().run_suite_cached(problems, workers, &cache);
+/// optionally gate verdicts against a committed baseline.
+fn run_json(workers: usize, baseline: Option<&str>) {
+    let problems = bench_suite();
+    let (results, cache_hits) = run_iteration(&portfolio(), &problems, workers);
 
     let mut lines = Vec::new();
-    for ((label, result), cache_hit) in labels.iter().zip(&results).zip(&cache_hits) {
+    for (((label, _, _), result), cache_hit) in problems.iter().zip(&results).zip(&cache_hits) {
         let mut obj = JsonObject::new();
         obj.string("label", label);
-        obj.string("verdict", &verdict_string(result));
+        obj.string("verdict", &verdict_word(result));
         obj.string("cache", if *cache_hit { "hit" } else { "miss" });
         match result {
             Ok(o) => {
@@ -189,173 +114,70 @@ fn run_json(workers: usize, baseline: Option<&str>, gate_timing: bool) {
         }
         lines.push(obj.finish());
     }
-    // Derive the summary from the per-problem probe (the run itself
-    // hits the pre-warmed slots again, which would double-count).
     let misses = cache_hits.iter().filter(|hit| !**hit).count();
     eprintln!(
-        "suite cache: {} hits, {} misses, {} distinct systems",
+        "suite cache: {} hits, {} misses",
         cache_hits.len() - misses,
         misses,
-        cache.len()
     );
-    println!("[");
-    for (i, line) in lines.iter().enumerate() {
-        let comma = if i + 1 < lines.len() { "," } else { "" };
-        println!("  {line}{comma}");
-    }
-    println!("]");
+    let record = format!(
+        "[\n{}\n]",
+        lines
+            .iter()
+            .map(|line| format!("  {line}"))
+            .collect::<Vec<_>>()
+            .join(",\n")
+    );
+    println!("{record}");
 
     if let Some(path) = baseline {
         let expected = match std::fs::read_to_string(path) {
-            Ok(text) => parse_baseline(&text),
+            Ok(text) => compare::parse_records(&text),
             Err(e) => {
                 eprintln!("cannot read baseline {path}: {e}");
                 std::process::exit(2);
             }
         };
-        let fresh: Vec<(String, String)> = labels
-            .iter()
-            .zip(&results)
-            .map(|(label, result)| (label.clone(), verdict_string(result)))
-            .collect();
-        let mut changed = false;
-        for (label, verdict) in &fresh {
-            match expected.iter().find(|entry| &entry.label == label) {
-                Some(entry) if &entry.verdict == verdict => {}
-                Some(entry) => {
-                    changed = true;
-                    eprintln!(
-                        "VERDICT CHANGE {label}: baseline={}, now={verdict}",
-                        entry.verdict
-                    );
-                }
-                None => {
-                    changed = true;
-                    eprintln!("NEW PROBLEM {label}: verdict={verdict} (not in baseline)");
-                }
-            }
-        }
-        for entry in &expected {
-            if !fresh.iter().any(|(l, _)| *l == entry.label) {
-                changed = true;
+        let fresh = compare::parse_records(&record);
+        let report = compare::compare(&expected, &fresh, &Thresholds::default());
+        for row in &report.rows {
+            if row.fails_verdicts() {
                 eprintln!(
-                    "MISSING PROBLEM {}: baseline={}, gone from suite",
-                    entry.label, entry.verdict
+                    "VERDICT CHANGE {}: {}",
+                    row.label,
+                    compare::class_word(&row.status)
                 );
             }
         }
-        if changed {
+        if !report.verdicts_ok() {
             eprintln!("bench regression gate FAILED against {path}");
             std::process::exit(1);
         }
         eprintln!(
             "bench regression gate OK: {} verdicts match {path}",
-            fresh.len()
+            report.rows.len()
         );
-
-        if gate_timing {
-            let mut slow = false;
-            for (label, result) in labels.iter().zip(&results) {
-                let (Ok(outcome), Some(entry)) =
-                    (result, expected.iter().find(|entry| &entry.label == label))
-                else {
-                    continue;
-                };
-                let Some(baseline_us) = entry.round_wall_us else {
-                    continue; // older baselines lack the field
-                };
-                let fresh_us = outcome.round_wall.as_micros() as f64;
-                if timing_regressed(baseline_us, fresh_us) {
-                    slow = true;
-                    eprintln!(
-                        "TIMING REGRESSION {label}: round_wall_us baseline={baseline_us}, \
-                         now={fresh_us} (>{TIMING_RATIO}x and >{TIMING_FLOOR_US}us slower)"
-                    );
-                }
-            }
-            if slow {
-                eprintln!("timing regression gate FAILED against {path}");
-                std::process::exit(1);
-            }
-            eprintln!("timing regression gate OK against {path}");
-        }
     }
-}
-
-/// One baseline record, as scanned from a `--json` line.
-struct BaselineEntry {
-    label: String,
-    verdict: String,
-    round_wall_us: Option<f64>,
-}
-
-/// Extracts the records from a baseline file written by `--json` (one
-/// object per line; the workspace builds offline, so the reader is
-/// hand-rolled like the writer).
-fn parse_baseline(text: &str) -> Vec<BaselineEntry> {
-    text.lines()
-        .filter_map(|line| {
-            Some(BaselineEntry {
-                label: extract_string(line, "label")?,
-                verdict: extract_string(line, "verdict")?,
-                round_wall_us: extract_number(line, "round_wall_us"),
-            })
-        })
-        .collect()
-}
-
-/// Pulls the string value of `"key":"…"` out of one JSON line,
-/// decoding escapes — a problem name may contain quotes or
-/// backslashes, so the scanner must invert [`json_escape`] rather
-/// than stop at the first `"`.
-fn extract_string(line: &str, key: &str) -> Option<String> {
-    let marker = format!("{}:", json_escape(key));
-    let start = line.find(&marker)? + marker.len();
-    json_unescape(&line[start..]).map(|(value, _)| value)
-}
-
-/// Pulls the numeric value of `"key":N` out of one JSON line.
-fn extract_number(line: &str, key: &str) -> Option<f64> {
-    let marker = format!("{}:", json_escape(key));
-    let start = line.find(&marker)? + marker.len();
-    let rest = &line[start..];
-    let end = rest
-        .find(|c: char| !c.is_ascii_digit() && !matches!(c, '.' | '-' | '+' | 'e' | 'E'))
-        .unwrap_or(rest.len());
-    rest[..end].parse().ok()
-}
-
-/// The opt-in timing gate's slowdown ratio: fresh must exceed
-/// `TIMING_RATIO ×` baseline to count.
-const TIMING_RATIO: f64 = 5.0;
-/// …and the absolute floor: the slowdown must also exceed this many
-/// microseconds, so sub-millisecond problems can never flake the gate
-/// on scheduler noise.
-const TIMING_FLOOR_US: f64 = 500_000.0;
-
-/// Whether a fresh `round_wall_us` regresses against the baseline
-/// under the generous opt-in thresholds.
-fn timing_regressed(baseline_us: f64, fresh_us: f64) -> bool {
-    fresh_us > TIMING_RATIO * baseline_us && fresh_us - baseline_us > TIMING_FLOOR_US
 }
 
 /// The original mode: sequential vs parallel wall-clock comparison.
 fn run_comparison(workers: usize) {
-    let labels: Vec<String> = table2_suite().iter().map(|b| b.label()).collect();
+    let problems = bench_suite();
+    let labels: Vec<&str> = problems.iter().map(|(l, _, _)| l.as_str()).collect();
 
     let sequential_start = Instant::now();
-    let _ = portfolio().run_suite(table2_problems(), 1);
+    let _ = run_iteration(&portfolio(), &problems, 1);
     let sequential = sequential_start.elapsed();
 
     let batch_start = Instant::now();
-    let results = portfolio().run_suite(table2_problems(), workers);
+    let (results, _) = run_iteration(&portfolio(), &problems, workers);
     let batch = batch_start.elapsed();
 
     let mut rows = Vec::new();
     for (label, result) in labels.iter().zip(&results) {
         let (verdict, engine, k) = match result {
             Ok(o) => (
-                verdict_string(result),
+                verdict_word(result),
                 o.engine.to_string(),
                 match &o.verdict {
                     Verdict::Safe { k, .. } | Verdict::Unsafe { k, .. } => k.to_string(),
@@ -364,7 +186,7 @@ fn run_comparison(workers: usize) {
             ),
             Err(e) => (format!("error: {e}"), "-".into(), "-".into()),
         };
-        rows.push(vec![label.clone(), verdict, k, engine]);
+        rows.push(vec![label.to_string(), verdict, k, engine]);
     }
     println!("Batch verification of the Table 2 suite\n");
     print!(
@@ -378,66 +200,4 @@ fn run_comparison(workers: usize) {
         batch.as_secs_f64(),
         sequential.as_secs_f64() / batch.as_secs_f64().max(1e-9),
     );
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    /// Regression: the baseline scanner must decode JSON escapes — a
-    /// quoted/escaped problem name round-trips through writer and
-    /// reader unchanged, and the value ends at the *unescaped* quote.
-    #[test]
-    fn baseline_scanner_decodes_escaped_names() {
-        let nasty = r#"bench "quoted"\weird/name"#;
-        let line = format!(
-            "{{\"label\":{},\"verdict\":{},\"round_wall_us\":1234}}",
-            json_escape(nasty),
-            json_escape("safe")
-        );
-        assert_eq!(extract_string(&line, "label").as_deref(), Some(nasty));
-        assert_eq!(extract_string(&line, "verdict").as_deref(), Some("safe"));
-        assert_eq!(extract_number(&line, "round_wall_us"), Some(1234.0));
-
-        let entries = parse_baseline(&line);
-        assert_eq!(entries.len(), 1);
-        assert_eq!(entries[0].label, nasty);
-        assert_eq!(entries[0].verdict, "safe");
-        assert_eq!(entries[0].round_wall_us, Some(1234.0));
-    }
-
-    /// The pre-hardening scanner stopped at the first quote; make sure
-    /// plain names and missing fields still behave.
-    #[test]
-    fn baseline_scanner_plain_and_missing_fields() {
-        let line = r#"{"label":"fig1-multi/p0-true","verdict":"unsafe","k":5}"#;
-        assert_eq!(
-            extract_string(line, "label").as_deref(),
-            Some("fig1-multi/p0-true")
-        );
-        assert_eq!(extract_number(line, "k"), Some(5.0));
-        assert_eq!(extract_number(line, "round_wall_us"), None);
-        assert_eq!(extract_string(line, "absent"), None);
-        // A numeric field is not a string field and vice versa.
-        assert_eq!(extract_string(line, "k"), None);
-        // Lines without records are skipped, not misparsed.
-        assert!(parse_baseline("[\n]\n").is_empty());
-    }
-
-    /// The timing gate fires only past *both* thresholds: the 5×
-    /// ratio and the absolute half-second floor.
-    #[test]
-    fn timing_gate_is_generous() {
-        // Microsecond noise on tiny problems: never a regression,
-        // whatever the ratio.
-        assert!(!timing_regressed(100.0, 10_000.0));
-        assert!(!timing_regressed(0.0, 499_999.0));
-        // Big but proportionate growth: fine.
-        assert!(!timing_regressed(1_000_000.0, 4_000_000.0));
-        // Past 5× and past the floor: regression.
-        assert!(timing_regressed(200_000.0, 1_200_001.0));
-        assert!(timing_regressed(0.0, 500_001.0));
-        // Exactly at the ratio boundary: fine (strictly greater).
-        assert!(!timing_regressed(200_000.0, 1_000_000.0));
-    }
 }

@@ -9,6 +9,11 @@ use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 
+pub mod compare;
+pub mod harness;
+pub mod stats;
+pub mod tune;
+
 /// A wrapper around the system allocator that tracks current and peak
 /// heap usage. Install it in a harness binary with:
 ///

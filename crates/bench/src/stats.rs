@@ -1,0 +1,220 @@
+//! Robust summary statistics for the in-tree bench harness.
+//!
+//! The container builds fully offline, so criterion is unavailable;
+//! this module supplies the statistical core a timing harness needs —
+//! medians, interpolated quantiles, the median absolute deviation
+//! (MAD), and Tukey-fence outlier rejection — over plain `f64` slices.
+//! Everything is deterministic: sorting is total (`f64::total_cmp`)
+//! and no randomness is involved, so the same samples always produce
+//! the same summary.
+//!
+//! The robust estimators are chosen over mean/standard deviation on
+//! purpose: CI runner timings are heavy-tailed (scheduler
+//! preemptions, cache-cold first iterations), and a single stall can
+//! drag a mean arbitrarily far while the median and MAD barely move.
+
+/// Converts a MAD to the standard deviation of the underlying normal:
+/// `σ ≈ 1.4826 × MAD`. Used to express noise thresholds in familiar
+/// sigma units.
+pub const MAD_TO_SIGMA: f64 = 1.4826;
+
+/// Returns a sorted copy of `xs` (total order, NaN last).
+fn sorted(xs: &[f64]) -> Vec<f64> {
+    let mut v = xs.to_vec();
+    v.sort_by(f64::total_cmp);
+    v
+}
+
+/// The interpolated `q`-quantile of `xs` (`0.0 ≤ q ≤ 1.0`), using the
+/// linear interpolation rule (type 7, the R/NumPy default): the
+/// quantile of `n` sorted samples sits at rank `q·(n−1)`, interpolated
+/// between its neighbors.
+///
+/// Returns `NaN` on an empty slice.
+pub fn quantile(xs: &[f64], q: f64) -> f64 {
+    if xs.is_empty() {
+        return f64::NAN;
+    }
+    let v = sorted(xs);
+    let q = q.clamp(0.0, 1.0);
+    let rank = q * (v.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        return v[lo];
+    }
+    let frac = rank - lo as f64;
+    v[lo] + (v[hi] - v[lo]) * frac
+}
+
+/// The median of `xs` (`NaN` on an empty slice).
+pub fn median(xs: &[f64]) -> f64 {
+    quantile(xs, 0.5)
+}
+
+/// The median absolute deviation of `xs`: the median of
+/// `|x − median(xs)|`. A robust spread estimate — one wild outlier in
+/// a window of five leaves it unchanged, where a standard deviation
+/// would explode. `NaN` on an empty slice, `0.0` on a singleton.
+pub fn mad(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return f64::NAN;
+    }
+    let m = median(xs);
+    let deviations: Vec<f64> = xs.iter().map(|x| (x - m).abs()).collect();
+    median(&deviations)
+}
+
+/// Splits `xs` into `(kept, rejected)` by the Tukey fences: a sample
+/// is an outlier when it falls outside `[q25 − k·IQR, q75 + k·IQR]`
+/// with the conventional `k = 1.5`. With fewer than 4 samples the
+/// fences are meaningless and everything is kept.
+pub fn iqr_partition(xs: &[f64]) -> (Vec<f64>, Vec<f64>) {
+    if xs.len() < 4 {
+        return (xs.to_vec(), Vec::new());
+    }
+    let q25 = quantile(xs, 0.25);
+    let q75 = quantile(xs, 0.75);
+    let iqr = q75 - q25;
+    let lo = q25 - 1.5 * iqr;
+    let hi = q75 + 1.5 * iqr;
+    xs.iter().partition(|&&x| (lo..=hi).contains(&x))
+}
+
+/// A robust summary of one sample set, computed over the
+/// outlier-rejected samples (the rejected count is reported, never
+/// silently dropped).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Summary {
+    /// Samples given.
+    pub n: usize,
+    /// Samples rejected by the IQR fences.
+    pub rejected: usize,
+    /// Median of the kept samples.
+    pub median: f64,
+    /// MAD of the kept samples.
+    pub mad: f64,
+    /// 25% / 75% quantiles of the kept samples.
+    pub q25: f64,
+    pub q75: f64,
+    /// Extremes of the kept samples.
+    pub min: f64,
+    pub max: f64,
+}
+
+impl Summary {
+    /// Summarizes `xs` after IQR outlier rejection. Returns `None` on
+    /// an empty slice.
+    pub fn of(xs: &[f64]) -> Option<Summary> {
+        if xs.is_empty() {
+            return None;
+        }
+        let (kept, rejected) = iqr_partition(xs);
+        let v = sorted(&kept);
+        Some(Summary {
+            n: xs.len(),
+            rejected: rejected.len(),
+            median: median(&v),
+            mad: mad(&v),
+            q25: quantile(&v, 0.25),
+            q75: quantile(&v, 0.75),
+            min: v[0],
+            max: v[v.len() - 1],
+        })
+    }
+
+    /// The MAD expressed as a normal-equivalent standard deviation.
+    pub fn sigma(&self) -> f64 {
+        self.mad * MAD_TO_SIGMA
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cuba_pds::rng::SplitMix64;
+
+    #[test]
+    fn quantiles_interpolate() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(quantile(&xs, 0.0), 1.0);
+        assert_eq!(quantile(&xs, 1.0), 4.0);
+        assert_eq!(median(&xs), 2.5);
+        assert_eq!(quantile(&xs, 0.25), 1.75);
+        assert_eq!(quantile(&xs, 0.75), 3.25);
+        // Order must not matter.
+        assert_eq!(median(&[3.0, 1.0, 4.0, 2.0]), 2.5);
+        // Singleton and empty edges.
+        assert_eq!(median(&[7.0]), 7.0);
+        assert!(median(&[]).is_nan());
+    }
+
+    #[test]
+    fn mad_is_robust_to_one_outlier() {
+        let clean = [10.0, 11.0, 12.0, 13.0, 14.0];
+        let spiked = [10.0, 11.0, 12.0, 13.0, 10_000.0];
+        assert_eq!(mad(&clean), 1.0);
+        // The spike moves the MAD by at most one rank step, never to
+        // the outlier's scale (a standard deviation would be ≈ 4000).
+        assert!(mad(&spiked) <= 2.0, "mad = {}", mad(&spiked));
+        assert_eq!(mad(&[5.0]), 0.0);
+    }
+
+    #[test]
+    fn iqr_rejects_planted_outliers() {
+        // A tight cluster plus two wild stalls: the fences must drop
+        // exactly the stalls.
+        let xs = [100.0, 101.0, 99.0, 102.0, 98.0, 100.5, 950.0, 1200.0];
+        let (kept, rejected) = iqr_partition(&xs);
+        assert_eq!(kept.len(), 6);
+        assert_eq!(rejected.len(), 2);
+        assert!(rejected.contains(&950.0) && rejected.contains(&1200.0));
+        // Tiny sample sets are never filtered.
+        let (kept, rejected) = iqr_partition(&[1.0, 1000.0, 2.0]);
+        assert_eq!(kept.len(), 3);
+        assert!(rejected.is_empty());
+    }
+
+    /// On a SplitMix64-generated uniform distribution the estimators
+    /// must land where the closed forms say: median ≈ 0.5, quartiles
+    /// ≈ 0.25/0.75, MAD ≈ 0.25 for U(0,1).
+    #[test]
+    fn uniform_distribution_estimates() {
+        let mut rng = SplitMix64::new(0xC0FFEE);
+        let xs: Vec<f64> = (0..4000).map(|_| rng.gen_f64()).collect();
+        assert!((median(&xs) - 0.5).abs() < 0.03, "median {}", median(&xs));
+        assert!((quantile(&xs, 0.25) - 0.25).abs() < 0.03);
+        assert!((quantile(&xs, 0.75) - 0.75).abs() < 0.03);
+        assert!((mad(&xs) - 0.25).abs() < 0.03, "mad {}", mad(&xs));
+        // A uniform sample has no Tukey outliers (IQR ≈ 0.5, fences
+        // beyond [−0.5, 1.5]).
+        let (_, rejected) = iqr_partition(&xs);
+        assert!(rejected.is_empty());
+    }
+
+    /// A contaminated SplitMix64 sample: 5% of the mass pushed out to
+    /// 100×. The summary's median/MAD must stay at the clean scale and
+    /// the rejection count must match the contamination.
+    #[test]
+    fn summary_over_contaminated_samples() {
+        let mut rng = SplitMix64::new(42);
+        let xs: Vec<f64> = (0..400)
+            .map(|i| {
+                let base = 1000.0 + 10.0 * rng.gen_f64();
+                if i % 20 == 0 {
+                    base * 100.0
+                } else {
+                    base
+                }
+            })
+            .collect();
+        let s = Summary::of(&xs).unwrap();
+        assert_eq!(s.n, 400);
+        assert_eq!(s.rejected, 20, "exactly the planted 5%");
+        assert!((1000.0..1010.0).contains(&s.median), "median {}", s.median);
+        assert!(s.mad < 10.0, "mad {}", s.mad);
+        assert!(s.max < 1011.0, "outliers kept: max {}", s.max);
+        assert!(s.sigma() >= s.mad);
+        assert!(Summary::of(&[]).is_none());
+    }
+}

@@ -135,7 +135,8 @@ pub use overapprox::{compute_z, thread_abstraction, AbstractTransition, ZReport}
 pub use portfolio::{Lineup, Portfolio};
 pub use property::Property;
 pub use schedule::{
-    ArmView, FrontierAwareScheduler, FrontierConfig, RoundRobinScheduler, SchedulePolicy, Scheduler,
+    ArmView, FrontierAwareScheduler, FrontierConfig, NamedProfile, RoundRobinScheduler,
+    SchedulePolicy, Scheduler,
 };
 pub use scheme1::{
     scheme1_explicit, scheme1_symbolic, Scheme1Config, Scheme1Engine, Scheme1Report,

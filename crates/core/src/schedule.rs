@@ -111,6 +111,143 @@ impl Default for FrontierConfig {
     }
 }
 
+/// A [`FrontierConfig`] with the name it was saved under — the unit
+/// `cuba tune` emits and `--schedule frontier:<profile>` loads.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NamedProfile {
+    /// Profile name (one token, no whitespace).
+    pub name: String,
+    /// The tuning it carries.
+    pub config: FrontierConfig,
+}
+
+impl FrontierConfig {
+    /// Serializes the config as a named profile file: `# `-comments,
+    /// one `key = value` line per field. [`parse_profile`] is the
+    /// exact inverse.
+    ///
+    /// [`parse_profile`]: Self::parse_profile
+    pub fn to_profile(&self, name: &str) -> String {
+        format!(
+            "# cuba frontier-schedule profile\n\
+             # load with: cuba verify --schedule frontier:<this file>\n\
+             name = {name}\n\
+             window = {}\n\
+             bonus_turns = {}\n\
+             max_lead = {}\n\
+             balloon_ratio = {}\n\
+             park_floor = {}\n\
+             park_after = {}\n",
+            self.window,
+            self.bonus_turns,
+            self.max_lead,
+            self.balloon_ratio,
+            self.park_floor,
+            self.park_after,
+        )
+    }
+
+    /// Parses a profile file written by [`to_profile`](Self::to_profile):
+    /// `key = value` lines over the defaults, `#` comments and blank
+    /// lines ignored. Unknown keys and malformed lines are errors
+    /// (they would silently mis-tune the scheduler otherwise); the
+    /// `name` line is optional and defaults to `"unnamed"`.
+    ///
+    /// # Errors
+    ///
+    /// A message naming the offending line number — never echoing file
+    /// content, so a mistaken path cannot leak into error output.
+    pub fn parse_profile(text: &str) -> Result<NamedProfile, String> {
+        let mut name = "unnamed".to_owned();
+        let mut config = FrontierConfig::default();
+        for (index, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                return Err(format!(
+                    "profile line {}: expected `key = value`",
+                    index + 1
+                ));
+            };
+            let (key, value) = (key.trim(), value.trim());
+            if key == "name" {
+                if value.is_empty() || value.chars().any(char::is_whitespace) {
+                    return Err(format!(
+                        "profile line {}: name must be one non-empty token",
+                        index + 1
+                    ));
+                }
+                name = value.to_owned();
+            } else {
+                config
+                    .set_field(key, value)
+                    .map_err(|message| format!("profile line {}: {message}", index + 1))?;
+            }
+        }
+        config.validate()?;
+        Ok(NamedProfile { name, config })
+    }
+
+    /// Parses an inline tuning spec — `key=value` pairs separated by
+    /// commas, over the defaults — the `--schedule
+    /// frontier:window=4,bonus_turns=2` form that needs no file.
+    ///
+    /// # Errors
+    ///
+    /// Unknown keys, unparsable values, or out-of-range fields.
+    pub fn parse_inline(spec: &str) -> Result<FrontierConfig, String> {
+        let mut config = FrontierConfig::default();
+        for pair in spec.split(',') {
+            let Some((key, value)) = pair.split_once('=') else {
+                return Err(format!("bad tuning pair '{pair}': expected key=value"));
+            };
+            config.set_field(key.trim(), value.trim())?;
+        }
+        config.validate()?;
+        Ok(config)
+    }
+
+    /// Sets one field by its profile key.
+    fn set_field(&mut self, key: &str, value: &str) -> Result<(), String> {
+        fn parse<T: std::str::FromStr>(key: &str, value: &str) -> Result<T, String> {
+            value.parse().map_err(|_| format!("bad value for '{key}'"))
+        }
+        match key {
+            "window" => self.window = parse(key, value)?,
+            "bonus_turns" => self.bonus_turns = parse(key, value)?,
+            "max_lead" => self.max_lead = parse(key, value)?,
+            "balloon_ratio" => self.balloon_ratio = parse(key, value)?,
+            "park_floor" => self.park_floor = parse(key, value)?,
+            "park_after" => self.park_after = parse(key, value)?,
+            other => return Err(format!("unknown tuning key '{other}'")),
+        }
+        Ok(())
+    }
+
+    /// Checks the invariants the scheduler depends on.
+    ///
+    /// # Errors
+    ///
+    /// A message naming the violated bound.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.window == 0 {
+            return Err("window must be at least 1".to_owned());
+        }
+        if self.max_lead == 0 {
+            return Err("max_lead must be at least 1".to_owned());
+        }
+        if self.balloon_ratio <= 1.0 || self.balloon_ratio.is_nan() {
+            return Err("balloon_ratio must exceed 1".to_owned());
+        }
+        if self.park_after == 0 {
+            return Err("park_after must be at least 1".to_owned());
+        }
+        Ok(())
+    }
+}
+
 /// How a session distributes turns over its racing arms.
 #[derive(Debug, Clone, PartialEq)]
 pub enum SchedulePolicy {
@@ -150,6 +287,60 @@ impl SchedulePolicy {
             SchedulePolicy::RoundRobin => "round-robin",
             SchedulePolicy::FrontierAware(_) => "frontier",
         }
+    }
+
+    /// Parses a schedule spec — the grammar shared by the CLI
+    /// `--schedule` flag and the serve API's per-request `schedule=`
+    /// parameter:
+    ///
+    /// * `round-robin` — the paper's lockstep.
+    /// * `frontier` — frontier-aware with default tuning.
+    /// * `frontier:<k=v,...>` — frontier-aware with inline tuning
+    ///   (any pair containing `=` is treated as inline).
+    /// * `frontier:<profile>` — frontier-aware with a named profile,
+    ///   resolved by `resolve` (a file loader on the CLI, a
+    ///   preloaded-profile lookup in the serve API — the caller
+    ///   decides whether and where disk is touched).
+    ///
+    /// # Errors
+    ///
+    /// Unknown policy names, malformed inline tunings, and whatever
+    /// `resolve` reports for an unknown profile.
+    pub fn parse_spec(
+        spec: &str,
+        resolve: &dyn Fn(&str) -> Result<FrontierConfig, String>,
+    ) -> Result<SchedulePolicy, String> {
+        match spec {
+            "round-robin" => Ok(SchedulePolicy::RoundRobin),
+            "frontier" => Ok(SchedulePolicy::frontier_aware()),
+            _ => match spec.strip_prefix("frontier:") {
+                Some(arg) if arg.contains('=') => Ok(SchedulePolicy::FrontierAware(
+                    FrontierConfig::parse_inline(arg)?,
+                )),
+                Some("") => Err("empty frontier profile name".to_owned()),
+                Some(arg) => Ok(SchedulePolicy::FrontierAware(resolve(arg)?)),
+                None => Err(format!(
+                    "bad schedule '{spec}' (expected round-robin, frontier, \
+                     frontier:<profile>, or frontier:<key=value,...>)"
+                )),
+            },
+        }
+    }
+
+    /// [`parse_spec`](Self::parse_spec) with profiles resolved as
+    /// filesystem paths — the CLI behavior of `--schedule
+    /// frontier:<file>`.
+    ///
+    /// # Errors
+    ///
+    /// As for [`parse_spec`](Self::parse_spec); unreadable files
+    /// report the path and the I/O error.
+    pub fn parse_spec_with_files(spec: &str) -> Result<SchedulePolicy, String> {
+        SchedulePolicy::parse_spec(spec, &|path| {
+            let text = std::fs::read_to_string(path)
+                .map_err(|error| format!("cannot read profile {path}: {error}"))?;
+            Ok(FrontierConfig::parse_profile(&text)?.config)
+        })
     }
 }
 
@@ -624,6 +815,100 @@ mod tests {
                 <= rounds.iter().copied().min().unwrap() + config.max_lead + config.bonus_turns,
             "lead cap violated: {rounds:?}"
         );
+    }
+
+    /// A profile written by `to_profile` parses back to the exact
+    /// config and name — the contract between `cuba tune` (writer)
+    /// and `--schedule frontier:<profile>` (reader).
+    #[test]
+    fn profile_round_trips() {
+        let config = FrontierConfig {
+            window: 4,
+            bonus_turns: 2,
+            max_lead: 9,
+            balloon_ratio: 12.5,
+            park_floor: 128,
+            park_after: 3,
+        };
+        let text = config.to_profile("tuned-ci");
+        let parsed = FrontierConfig::parse_profile(&text).expect("round trip");
+        assert_eq!(parsed.name, "tuned-ci");
+        assert_eq!(parsed.config, config);
+        // Defaults round-trip too (integral balloon_ratio rendering).
+        let default = FrontierConfig::default();
+        let parsed = FrontierConfig::parse_profile(&default.to_profile("d")).unwrap();
+        assert_eq!(parsed.config, default);
+        // Partial profiles fill from the defaults; a missing name is
+        // "unnamed".
+        let partial = FrontierConfig::parse_profile("window = 5\n").unwrap();
+        assert_eq!(partial.name, "unnamed");
+        assert_eq!(partial.config.window, 5);
+        assert_eq!(
+            partial.config.bonus_turns,
+            FrontierConfig::default().bonus_turns
+        );
+    }
+
+    /// Malformed profiles are rejected with the line number and
+    /// without echoing content.
+    #[test]
+    fn profile_rejects_malformed_input() {
+        for (text, needle) in [
+            ("window five", "line 1"),
+            ("# ok\nwarp_factor = 9", "unknown tuning key"),
+            ("window = -1", "bad value"),
+            ("window = 0", "window must be at least 1"),
+            ("balloon_ratio = 0.5", "balloon_ratio must exceed 1"),
+            ("name = two words", "one non-empty token"),
+        ] {
+            let error = FrontierConfig::parse_profile(text).unwrap_err();
+            assert!(error.contains(needle), "{text:?}: {error}");
+        }
+        assert!(FrontierConfig::parse_inline("window=2,oops").is_err());
+        assert!(FrontierConfig::parse_inline("bogus=1").is_err());
+        let inline = FrontierConfig::parse_inline("window=2,bonus_turns=1").unwrap();
+        assert_eq!((inline.window, inline.bonus_turns), (2, 1));
+    }
+
+    /// The shared spec grammar: policy names, inline tunings, and
+    /// resolver-backed profiles.
+    #[test]
+    fn parse_spec_grammar() {
+        let no_profiles = |name: &str| -> Result<FrontierConfig, String> {
+            Err(format!("unknown profile '{name}'"))
+        };
+        assert_eq!(
+            SchedulePolicy::parse_spec("round-robin", &no_profiles).unwrap(),
+            SchedulePolicy::RoundRobin
+        );
+        assert_eq!(
+            SchedulePolicy::parse_spec("frontier", &no_profiles).unwrap(),
+            SchedulePolicy::default()
+        );
+        let inline =
+            SchedulePolicy::parse_spec("frontier:window=2,max_lead=4", &no_profiles).unwrap();
+        match inline {
+            SchedulePolicy::FrontierAware(config) => {
+                assert_eq!((config.window, config.max_lead), (2, 4));
+            }
+            other => panic!("unexpected policy {other:?}"),
+        }
+        // Named profiles go through the resolver.
+        let resolver = |name: &str| -> Result<FrontierConfig, String> {
+            assert_eq!(name, "tuned");
+            Ok(FrontierConfig {
+                window: 7,
+                ..FrontierConfig::default()
+            })
+        };
+        match SchedulePolicy::parse_spec("frontier:tuned", &resolver).unwrap() {
+            SchedulePolicy::FrontierAware(config) => assert_eq!(config.window, 7),
+            other => panic!("unexpected policy {other:?}"),
+        }
+        assert!(SchedulePolicy::parse_spec("frontier:", &no_profiles).is_err());
+        assert!(SchedulePolicy::parse_spec("frontier:missing", &no_profiles).is_err());
+        assert!(SchedulePolicy::parse_spec("lifo", &no_profiles).is_err());
+        assert!(SchedulePolicy::parse_spec_with_files("frontier:/no/such/profile").is_err());
     }
 
     /// Policy plumbing: names, default, and scheduler construction.

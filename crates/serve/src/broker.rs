@@ -159,9 +159,15 @@ impl Broker {
     /// The portfolio a request runs under: the service's base session
     /// configuration with the abort token wired in, plus the
     /// request's own overrides.
-    pub fn portfolio(&self, lineup: Option<Lineup>, max_k: Option<usize>) -> Portfolio {
+    pub fn portfolio(
+        &self,
+        lineup: Option<Lineup>,
+        max_k: Option<usize>,
+        schedule: Option<cuba_core::SchedulePolicy>,
+    ) -> Portfolio {
         let session = SessionConfig {
             max_k: max_k.unwrap_or(self.config.session.max_k),
+            schedule: schedule.unwrap_or_else(|| self.config.session.schedule.clone()),
             cancel: Some(self.abort.clone()),
             ..self.config.session.clone()
         };
@@ -289,7 +295,7 @@ mod tests {
         broker.initiate_shutdown(ShutdownMode::Graceful);
         assert!(broker.is_draining());
         // Graceful never fires the abort token…
-        let probe = broker.portfolio(None, None);
+        let probe = broker.portfolio(None, None, None);
         let cancel = probe.config().cancel.clone().expect("abort token wired in");
         assert!(!cancel.is_cancelled());
         // …abort does, and every session's config polls the same flag.
@@ -398,9 +404,9 @@ mod tests {
     fn portfolio_applies_overrides() {
         let broker = Broker::new(ServeConfig::default());
         assert_eq!(
-            broker.portfolio(None, None).config().max_k,
+            broker.portfolio(None, None, None).config().max_k,
             ServeConfig::default().session.max_k
         );
-        assert_eq!(broker.portfolio(None, Some(7)).config().max_k, 7);
+        assert_eq!(broker.portfolio(None, Some(7), None).config().max_k, 7);
     }
 }

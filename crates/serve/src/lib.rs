@@ -15,8 +15,8 @@
 //!
 //! | Endpoint | Semantics |
 //! |---|---|
-//! | `POST /analyze` | Body: a model (`.cpds` text by default, `?format=bp` for Boolean programs). Repeatable `?property=SPEC` (the CLI `--property` grammar). Streams NDJSON events per property until the verdict. |
-//! | `POST /suite` | Same body/parameters; runs every property through [`Portfolio::run_suite_cached`](cuba_core::Portfolio::run_suite_cached) with bounded parallelism (`?workers=N`) and answers one JSON document. |
+//! | `POST /analyze` | Body: a model (`.cpds` text by default, `?format=bp` for Boolean programs). Repeatable `?property=SPEC` (the CLI `--property` grammar). `?schedule=` overrides the arm scheduling per request (the CLI `--schedule` grammar; `frontier:<name>` selects a profile preloaded at boot via `cuba serve --profile`, `frontier:key=value,...` tunes inline — requests can never make the server read a file). Streams NDJSON events per property until the verdict. |
+//! | `POST /suite` | Same body/parameters (`?schedule=` included); runs every property through [`Portfolio::run_suite_cached`](cuba_core::Portfolio::run_suite_cached) with bounded parallelism (`?workers=N`) and answers one JSON document. |
 //! | `GET /systems` | The shared-exploration registry: per cached system its fingerprint, FCR verdict (if decided) and per-backend explorer counters (`rounds_explored`, `depth`). |
 //! | `GET /healthz` | Liveness + service counters. |
 //! | `POST /shutdown` | `?mode=graceful` (default) drains in-flight sessions; `?mode=abort` additionally fires the service-wide [`CancelToken`](cuba_explore::CancelToken) so explorations stop at their next interrupt poll. |
@@ -39,6 +39,7 @@
 //! session's own [`CancelToken`](cuba_explore::CancelToken); interrupted rounds roll back, so
 //! the shared layers stay valid for every other client.
 
+use std::collections::HashMap;
 use std::io::{BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::Arc;
@@ -46,7 +47,8 @@ use std::time::Duration;
 
 use cuba_bench::JsonObject;
 use cuba_core::{
-    CubaOutcome, EngineKind, Lineup, Property, SequenceEvent, SessionConfig, SessionEvent, Verdict,
+    CubaOutcome, EngineKind, FrontierConfig, Lineup, Property, SchedulePolicy, SequenceEvent,
+    SessionConfig, SessionEvent, Verdict,
 };
 use cuba_explore::{LayerView, SharedExplorer};
 use cuba_pds::Cpds;
@@ -81,6 +83,13 @@ pub struct ServeConfig {
     pub session: SessionConfig,
     /// Base engine lineup (requests may override via `?engine=`).
     pub lineup: Lineup,
+    /// Named schedule profiles preloaded at boot (`cuba serve
+    /// --profile <file>`): requests select one with
+    /// `?schedule=frontier:<name>`. Requests can also tune inline
+    /// (`?schedule=frontier:key=value,...`) — but never name a file:
+    /// the service resolves profiles against this map only, so a
+    /// request cannot make the server read disk.
+    pub profiles: HashMap<String, FrontierConfig>,
 }
 
 impl Default for ServeConfig {
@@ -97,6 +106,7 @@ impl Default for ServeConfig {
             max_systems: 64,
             session: SessionConfig::new(),
             lineup: Lineup::Auto,
+            profiles: HashMap::new(),
         }
     }
 }
@@ -303,16 +313,26 @@ fn respond_error(
 }
 
 /// Everything a `/analyze` or `/suite` request resolved to.
+#[derive(Debug)]
 struct AnalyzeRequest {
     cpds: Cpds,
     /// `(spec, property)` pairs, the file's default when none given.
     properties: Vec<(String, Property)>,
     lineup: Option<Lineup>,
     max_k: Option<usize>,
+    /// Per-request scheduling override (`?schedule=`), the CLI
+    /// `--schedule` grammar with profiles resolved against the
+    /// service's preloaded map.
+    schedule: Option<SchedulePolicy>,
 }
 
-/// Parses the shared `/analyze`–`/suite` request shape.
-fn parse_analyze_request(request: &Request) -> Result<AnalyzeRequest, String> {
+/// Parses the shared `/analyze`–`/suite` request shape. `profiles`
+/// resolves `schedule=frontier:<name>` — requests never reach the
+/// filesystem.
+fn parse_analyze_request(
+    request: &Request,
+    profiles: &HashMap<String, FrontierConfig>,
+) -> Result<AnalyzeRequest, String> {
     let format = request.query_first("format").unwrap_or("cpds");
     let source = request.body_utf8().map_err(|e| e.message())?;
     if source.trim().is_empty() {
@@ -345,11 +365,21 @@ fn parse_analyze_request(request: &Request) -> Result<AnalyzeRequest, String> {
                 .map_err(|_| format!("bad max_k '{raw}'"))?,
         ),
     };
+    let schedule = match request.query_first("schedule") {
+        None => None,
+        Some(spec) => Some(SchedulePolicy::parse_spec(spec, &|name| {
+            profiles
+                .get(name)
+                .cloned()
+                .ok_or_else(|| format!("unknown schedule profile '{name}'"))
+        })?),
+    };
     Ok(AnalyzeRequest {
         cpds,
         properties,
         lineup,
         max_k,
+        schedule,
     })
 }
 
@@ -383,7 +413,7 @@ fn handle_analyze(
     request: &Request,
     broker: &Arc<Broker>,
 ) -> std::io::Result<()> {
-    let parsed = match parse_analyze_request(request) {
+    let parsed = match parse_analyze_request(request, &broker.config().profiles) {
         Ok(parsed) => parsed,
         Err(message) => return respond_error(out, 400, "Bad Request", &message),
     };
@@ -391,7 +421,7 @@ fn handle_analyze(
     // bounded pool applies to analysis work only, never to control
     // endpoints.
     let _slot = broker.acquire_slot();
-    let portfolio = broker.portfolio(parsed.lineup.clone(), parsed.max_k);
+    let portfolio = broker.portfolio(parsed.lineup.clone(), parsed.max_k, parsed.schedule.clone());
     let artifacts = broker.artifacts_for(&parsed.cpds);
     let fcr = artifacts.fcr(&parsed.cpds).holds();
     // A lineup that cannot field a single arm is a client error;
@@ -501,7 +531,7 @@ fn handle_suite(
     request: &Request,
     broker: &Arc<Broker>,
 ) -> std::io::Result<()> {
-    let parsed = match parse_analyze_request(request) {
+    let parsed = match parse_analyze_request(request, &broker.config().profiles) {
         Ok(parsed) => parsed,
         Err(message) => return respond_error(out, 400, "Bad Request", &message),
     };
@@ -523,7 +553,7 @@ fn handle_suite(
     // parallelism runs within it.
     let _slot = broker.acquire_slot();
     broker.count_suite();
-    let portfolio = broker.portfolio(parsed.lineup, parsed.max_k);
+    let portfolio = broker.portfolio(parsed.lineup, parsed.max_k, parsed.schedule);
     // Probe the cache up front so the reported hit/miss reflects this
     // request's arrival, not the in-run lookup race.
     let (_, cache_hit) = broker.cache.lookup(&parsed.cpds);
@@ -920,7 +950,7 @@ mod tests {
             body: model.as_bytes().to_vec(),
             ..Request::default()
         };
-        let parsed = parse_analyze_request(&request).unwrap();
+        let parsed = parse_analyze_request(&request, &HashMap::new()).unwrap();
         assert_eq!(parsed.properties, vec![("default".into(), Property::True)]);
         assert_eq!(parsed.lineup, None);
         assert_eq!(parsed.max_k, None);
@@ -931,16 +961,51 @@ mod tests {
             ("engine".into(), "symbolic".into()),
             ("max_k".into(), "9".into()),
         ];
-        let parsed = parse_analyze_request(&request).unwrap();
+        let parsed = parse_analyze_request(&request, &HashMap::new()).unwrap();
         assert_eq!(parsed.properties.len(), 2);
         assert_eq!(parsed.properties[0].0, "never-shared:1");
         assert_eq!(parsed.max_k, Some(9));
+        assert_eq!(parsed.schedule, None);
         assert!(matches!(parsed.lineup, Some(Lineup::Fixed(_))));
 
+        // Per-request scheduling: plain names, inline tunings, and
+        // profiles resolved against the boot-time map only.
+        request.query = vec![("schedule".into(), "round-robin".into())];
+        let parsed = parse_analyze_request(&request, &HashMap::new()).unwrap();
+        assert_eq!(parsed.schedule, Some(SchedulePolicy::RoundRobin));
+        request.query = vec![("schedule".into(), "frontier:window=2".into())];
+        let parsed = parse_analyze_request(&request, &HashMap::new()).unwrap();
+        match parsed.schedule {
+            Some(SchedulePolicy::FrontierAware(config)) => assert_eq!(config.window, 2),
+            other => panic!("unexpected schedule {other:?}"),
+        }
+        let mut profiles = HashMap::new();
+        profiles.insert(
+            "tuned".to_owned(),
+            FrontierConfig {
+                bonus_turns: 1,
+                ..FrontierConfig::default()
+            },
+        );
+        request.query = vec![("schedule".into(), "frontier:tuned".into())];
+        let parsed = parse_analyze_request(&request, &profiles).unwrap();
+        match parsed.schedule {
+            Some(SchedulePolicy::FrontierAware(config)) => assert_eq!(config.bonus_turns, 1),
+            other => panic!("unexpected schedule {other:?}"),
+        }
+        // An unknown profile (a file path, say) is a client error —
+        // never a filesystem access.
+        request.query = vec![("schedule".into(), "frontier:/etc/passwd".into())];
+        let error = parse_analyze_request(&request, &profiles).unwrap_err();
+        assert!(error.contains("unknown schedule profile"), "{error}");
+
         request.query = vec![("engine".into(), "quantum".into())];
-        assert!(parse_analyze_request(&request).is_err());
+        assert!(parse_analyze_request(&request, &HashMap::new()).is_err());
         request.query.clear();
         request.body.clear();
-        assert!(parse_analyze_request(&request).is_err(), "empty body");
+        assert!(
+            parse_analyze_request(&request, &HashMap::new()).is_err(),
+            "empty body"
+        );
     }
 }

@@ -9,9 +9,15 @@
 //!                                         symbolic arms otherwise)
 //!     --max-k <n>      round limit (default 64)
 //!     --parallel       race the engine arms on real OS threads
-//!     --schedule frontier|round-robin    arm scheduling policy (default: frontier =
-//!                                         cost-aware: bonus turns for the plateauing
-//!                                         arm, parking for ballooning ones)
+//!     --schedule SPEC  arm scheduling policy (default: frontier = cost-aware:
+//!                      bonus turns for the plateauing arm, parking for
+//!                      ballooning ones). SPEC grammar, shared with `cuba serve`:
+//!                        round-robin              the paper's lockstep
+//!                        frontier                 default tuning
+//!                        frontier:<file>          a profile written by `cuba tune`
+//!                        frontier:k=v,...         inline tuning (window, bonus_turns,
+//!                                                 max_lead, balloon_ratio, park_floor,
+//!                                                 park_after)
 //!     --timeout <s>    wall-clock limit in seconds (verdict: undetermined)
 //!     --trace          stream per-round events to stderr
 //!     --json           emit one machine-readable JSON object on stdout
@@ -31,13 +37,45 @@
 //!                            mutex:<thread>@<sym>,<thread>@<sym>
 //! cuba fcr <file>      run only the finite-context-reachability check
 //! cuba info <file>     print model statistics
+//! cuba bench [options] measure the Table 2 suite, statistically
+//!     --samples <n>    measured suite iterations (default 5)
+//!     --warmup <n>     unmeasured iterations first (default 1)
+//!     --workers <n>    problems in flight (default: CPUs)
+//!     --schedule SPEC  as for verify
+//!     --compare <file> classify each workload against a recorded baseline as
+//!                      improved/regressed/unchanged with noise-aware thresholds
+//!                      (medians of IQR-filtered samples; a regression must
+//!                      exceed the ratio, the MAD band, AND the absolute floor)
+//!     --gate           exit 1 on any regression or verdict change (CI mode)
+//!     --ratio <r>      required median ratio (default 4.0)
+//!     --sigma <s>      required distance in MAD-sigmas (default 8.0)
+//!     --floor-ms <m>   absolute floor, milliseconds (default 250)
+//!
+//!     The N-sample JSON record (BENCH_*.json format, `samples_us` per
+//!     workload, no timing fields on error rows) goes to stdout; the
+//!     comparison report and progress go to stderr.
+//! cuba tune [options]  sweep FrontierConfig, emit a schedule profile
+//!     --out <file>     profile path (default cuba-tuned.profile)
+//!     --name <name>    profile name (default tuned)
+//!     --samples <n>    suite iterations per candidate (default 1)
+//!     --warmup <n>     unmeasured iterations first (default 1)
+//!     --passes <n>     coordinate-descent passes (default 1)
+//!     --workers <n>    problems in flight (default: CPUs)
+//!
+//!     Scores candidates by (total live exploration rounds, wall) and
+//!     only ever adopts one whose per-workload verdicts are identical
+//!     to the default configuration's, so the emitted profile is
+//!     never worse than the defaults. Load it with
+//!     `--schedule frontier:<file>`.
 //! cuba serve [options] run the HTTP analysis service (cuba-serve)
 //!     --addr <a>       bind address (default 127.0.0.1:0 = ephemeral;
 //!                      the bound address is printed on stdout)
 //!     --workers <n>    bounded worker pool size (default: CPUs, max 8)
 //!     --max-k <n>      default round limit for served sessions
 //!     --timeout <s>    default wall-clock limit per served session
-//!     --schedule frontier|round-robin    arm scheduling policy
+//!     --schedule SPEC  arm scheduling policy (grammar as for verify)
+//!     --profile <f>    preload a named schedule profile (repeatable);
+//!                      requests select it with schedule=frontier:<name>
 //!
 //!     Endpoints: POST /analyze (NDJSON event stream; repeatable
 //!     property= query params, body = model source, format=cpds|bp),
@@ -75,9 +113,14 @@ fn main() -> ExitCode {
 
 fn usage() -> String {
     "usage: cuba <verify|fcr|info> <file.bp|file.cpds> [--engine auto|explicit|symbolic] \
-     [--max-k N] [--parallel] [--schedule frontier|round-robin] [--timeout SECS] [--trace] \
+     [--max-k N] [--parallel] [--schedule SPEC] [--timeout SECS] [--trace] \
      [--json] [--never-shared Q] [--property SPEC]...\n   or: cuba serve [--addr ADDR] \
-     [--workers N] [--max-k N] [--timeout SECS] [--schedule frontier|round-robin]"
+     [--workers N] [--max-k N] [--timeout SECS] [--schedule SPEC] [--profile FILE]...\n   \
+     or: cuba bench [--samples N] [--warmup N] [--workers N] [--schedule SPEC] \
+     [--compare FILE] [--gate] [--ratio R] [--sigma S] [--floor-ms MS]\n   \
+     or: cuba tune [--out FILE] [--name NAME] [--samples N] [--warmup N] [--passes N] \
+     [--workers N]\n   (schedule SPEC: round-robin | frontier | frontier:<profile-file> \
+     | frontier:key=value,...)"
         .to_owned()
 }
 
@@ -155,6 +198,8 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
             verify(cpds, properties, &options)
         }
         "serve" => serve(&args[1..]),
+        "bench" => bench(&args[1..]),
+        "tune" => tune(&args[1..]),
         other => Err(format!("unknown command '{other}'\n{}", usage())),
     }
 }
@@ -199,11 +244,16 @@ fn serve(args: &[String]) -> Result<ExitCode, String> {
             }
             "--schedule" => {
                 i += 1;
-                config.session.schedule = match args.get(i).map(|s| s.as_str()) {
-                    Some("frontier") => SchedulePolicy::frontier_aware(),
-                    Some("round-robin") => SchedulePolicy::RoundRobin,
-                    other => return Err(format!("bad --schedule {other:?}")),
-                };
+                let spec = args.get(i).ok_or("--schedule needs a spec argument")?;
+                config.session.schedule = SchedulePolicy::parse_spec_with_files(spec)?;
+            }
+            "--profile" => {
+                i += 1;
+                let path = args.get(i).ok_or("--profile needs a file argument")?;
+                let text = std::fs::read_to_string(path)
+                    .map_err(|e| format!("cannot read profile {path}: {e}"))?;
+                let profile = cuba::core::FrontierConfig::parse_profile(&text)?;
+                config.profiles.insert(profile.name.clone(), profile.config);
             }
             other => return Err(format!("unknown option '{other}'")),
         }
@@ -219,6 +269,179 @@ fn serve(args: &[String]) -> Result<ExitCode, String> {
     server.run().map_err(|e| format!("serve: {e}"))?;
     println!("cuba-serve drained and shut down");
     Ok(ExitCode::SUCCESS)
+}
+
+/// `cuba bench`: the in-tree statistical benchmarking harness —
+/// warmup + N measured iterations of the Table 2 suite, an N-sample
+/// JSON record on stdout, and (with `--compare`) a noise-aware
+/// classification of every workload against a recorded baseline.
+fn bench(args: &[String]) -> Result<ExitCode, String> {
+    let mut plan = cuba_bench::harness::BenchPlan::default();
+    let mut compare_path: Option<String> = None;
+    let mut gate = false;
+    let mut thresholds = cuba_bench::compare::Thresholds::default();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--samples" => {
+                i += 1;
+                plan.samples = parse_count(args.get(i), "--samples")?;
+            }
+            "--warmup" => {
+                i += 1;
+                plan.warmup = parse_zero_ok(args.get(i), "--warmup")?;
+            }
+            "--workers" => {
+                i += 1;
+                plan.workers = parse_count(args.get(i), "--workers")?;
+            }
+            "--schedule" => {
+                i += 1;
+                let spec = args.get(i).ok_or("--schedule needs a spec argument")?;
+                plan.schedule = SchedulePolicy::parse_spec_with_files(spec)?;
+            }
+            "--compare" => {
+                i += 1;
+                compare_path = Some(
+                    args.get(i)
+                        .cloned()
+                        .ok_or("--compare needs a file argument")?,
+                );
+            }
+            "--gate" => gate = true,
+            "--ratio" => {
+                i += 1;
+                thresholds.ratio = parse_float(args.get(i), "--ratio")?;
+            }
+            "--sigma" => {
+                i += 1;
+                thresholds.mad_sigmas = parse_float(args.get(i), "--sigma")?;
+            }
+            "--floor-ms" => {
+                i += 1;
+                thresholds.abs_floor_us = parse_float(args.get(i), "--floor-ms")? * 1000.0;
+            }
+            other => return Err(format!("unknown option '{other}'")),
+        }
+        i += 1;
+    }
+    if gate && compare_path.is_none() {
+        return Err("--gate needs --compare FILE to compare against".to_owned());
+    }
+
+    let run = cuba_bench::harness::run(&plan);
+    let record = cuba_bench::harness::run_to_json(&run);
+    println!("{record}");
+    eprintln!(
+        "measured {} workloads x {} samples in {:.1}s",
+        run.rows.len(),
+        plan.samples,
+        run.measure_seconds
+    );
+    if run.rows.iter().any(|row| row.unstable) {
+        return Err("verdicts changed between samples (unstable suite)".to_owned());
+    }
+
+    let Some(path) = compare_path else {
+        return Ok(ExitCode::SUCCESS);
+    };
+    let baseline_text =
+        std::fs::read_to_string(&path).map_err(|e| format!("cannot read baseline {path}: {e}"))?;
+    let baseline = cuba_bench::compare::parse_records(&baseline_text);
+    let current = cuba_bench::compare::parse_records(&record);
+    let report = cuba_bench::compare::compare(&baseline, &current, &thresholds);
+    eprint!("{}", report.render());
+    if report.gate_ok() {
+        eprintln!("bench gate OK against {path}");
+        Ok(ExitCode::SUCCESS)
+    } else if gate {
+        eprintln!("bench gate FAILED against {path}");
+        Ok(ExitCode::from(1))
+    } else {
+        eprintln!("differences found against {path} (no --gate: exit 0)");
+        Ok(ExitCode::SUCCESS)
+    }
+}
+
+/// `cuba tune`: sweeps the `FrontierConfig` neighborhood over the
+/// bench suite and writes the winning tuning as a named profile that
+/// `--schedule frontier:<file>` loads.
+fn tune(args: &[String]) -> Result<ExitCode, String> {
+    let mut plan = cuba_bench::tune::TunePlan::default();
+    let mut out = "cuba-tuned.profile".to_owned();
+    let mut name = "tuned".to_owned();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--out" => {
+                i += 1;
+                out = args.get(i).cloned().ok_or("--out needs a file argument")?;
+            }
+            "--name" => {
+                i += 1;
+                name = args.get(i).cloned().ok_or("--name needs a name argument")?;
+            }
+            "--samples" => {
+                i += 1;
+                plan.samples = parse_count(args.get(i), "--samples")?;
+            }
+            "--warmup" => {
+                i += 1;
+                plan.warmup = parse_zero_ok(args.get(i), "--warmup")?;
+            }
+            "--passes" => {
+                i += 1;
+                plan.passes = parse_count(args.get(i), "--passes")?;
+            }
+            "--workers" => {
+                i += 1;
+                plan.workers = parse_count(args.get(i), "--workers")?;
+            }
+            other => return Err(format!("unknown option '{other}'")),
+        }
+        i += 1;
+    }
+    // The profile reader enforces one-token names; reject a bad name
+    // before the (minutes-long) sweep, not when the file is loaded.
+    if name.is_empty() || name.chars().any(char::is_whitespace) {
+        return Err("bad --name value (one non-empty token, no whitespace)".to_owned());
+    }
+
+    let outcome = cuba_bench::tune::run(&plan);
+    let best = &outcome.best;
+    let default = &outcome.default_eval;
+    eprintln!(
+        "evaluated {} candidates: default {:.0} live rounds / {:.1}ms, best {:.0} live rounds / {:.1}ms",
+        outcome.evaluated,
+        default.live_rounds,
+        default.wall_us / 1000.0,
+        best.live_rounds,
+        best.wall_us / 1000.0,
+    );
+    if !outcome.improved() {
+        eprintln!("no tuning beat the defaults; the profile records the defaults");
+    }
+    let profile = best.config.to_profile(&name);
+    std::fs::write(&out, &profile).map_err(|e| format!("cannot write {out}: {e}"))?;
+    println!("wrote {out} (schedule with: --schedule frontier:{out})");
+    Ok(ExitCode::SUCCESS)
+}
+
+fn parse_count(arg: Option<&String>, flag: &str) -> Result<usize, String> {
+    arg.and_then(|s| s.parse().ok())
+        .filter(|n| *n > 0)
+        .ok_or_else(|| format!("bad {flag} value (positive integer)"))
+}
+
+fn parse_zero_ok(arg: Option<&String>, flag: &str) -> Result<usize, String> {
+    arg.and_then(|s| s.parse().ok())
+        .ok_or_else(|| format!("bad {flag} value (non-negative integer)"))
+}
+
+fn parse_float(arg: Option<&String>, flag: &str) -> Result<f64, String> {
+    arg.and_then(|s| s.parse::<f64>().ok())
+        .filter(|v| v.is_finite() && *v >= 0.0)
+        .ok_or_else(|| format!("bad {flag} value (non-negative number)"))
 }
 
 /// `info`/`fcr` take exactly one argument: the model file.
@@ -273,11 +496,8 @@ fn parse_verify_options(args: &[String]) -> Result<VerifyOptions, String> {
             "--parallel" => options.parallel = true,
             "--schedule" => {
                 i += 1;
-                options.schedule = match args.get(i).map(|s| s.as_str()) {
-                    Some("frontier") => SchedulePolicy::frontier_aware(),
-                    Some("round-robin") => SchedulePolicy::RoundRobin,
-                    other => return Err(format!("bad --schedule {other:?}")),
-                };
+                let spec = args.get(i).ok_or("--schedule needs a spec argument")?;
+                options.schedule = SchedulePolicy::parse_spec_with_files(spec)?;
             }
             "--trace" => options.trace = true,
             "--json" => options.json = true,

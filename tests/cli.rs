@@ -161,7 +161,81 @@ fn schedule_flag_and_per_arm_logs() {
 
     let (_, stderr, code) = cuba(&["verify", "samples/fig1.cpds", "--schedule", "fastest"]);
     assert_eq!(code, Some(2));
-    assert!(stderr.contains("bad --schedule"));
+    assert!(stderr.contains("bad schedule"));
+}
+
+/// The extended `--schedule` grammar: inline `frontier:key=value`
+/// tunings and profile files written by `cuba tune`'s serializer.
+#[test]
+fn schedule_profiles_and_inline_tunings() {
+    // Inline tuning parses and verifies.
+    let (stdout, _, code) = cuba(&[
+        "verify",
+        "samples/fig1.cpds",
+        "--schedule",
+        "frontier:window=2,bonus_turns=1",
+        "--json",
+    ]);
+    assert_eq!(code, Some(0));
+    assert!(stdout.contains("\"schedule\":\"frontier\""));
+    assert!(stdout.contains("\"verdict\":\"safe\""));
+
+    // A profile file in the `cuba tune` output format loads the same
+    // way; verdicts do not depend on the tuning.
+    let profile = std::env::temp_dir().join("cuba-cli-test.profile");
+    std::fs::write(
+        &profile,
+        "# test profile\nname = cli-test\nwindow = 2\nbonus_turns = 1\n",
+    )
+    .expect("profile written");
+    let spec = format!("frontier:{}", profile.display());
+    let (stdout, _, code) = cuba(&["verify", "samples/fig1.cpds", "--schedule", &spec, "--json"]);
+    assert_eq!(code, Some(0), "profile file loads");
+    assert!(stdout.contains("\"verdict\":\"safe\""));
+    assert!(stdout.contains("\"k\":5"));
+
+    // Unknown keys and missing files are option errors (exit 2).
+    let (_, stderr, code) = cuba(&[
+        "verify",
+        "samples/fig1.cpds",
+        "--schedule",
+        "frontier:warp=9",
+    ]);
+    assert_eq!(code, Some(2));
+    assert!(stderr.contains("unknown tuning key"));
+    let (_, stderr, code) = cuba(&[
+        "verify",
+        "samples/fig1.cpds",
+        "--schedule",
+        "frontier:/no/such/profile",
+    ]);
+    assert_eq!(code, Some(2));
+    assert!(stderr.contains("cannot read profile"));
+}
+
+/// `cuba bench` / `cuba tune` argument validation (the measured paths
+/// run the full suite and are covered by the harness unit tests and
+/// the CI bench job; a debug-build suite iteration is too slow here).
+#[test]
+fn bench_and_tune_validate_arguments() {
+    let (_, stderr, code) = cuba(&["bench", "--gate"]);
+    assert_eq!(code, Some(2));
+    assert!(stderr.contains("--gate needs --compare"));
+    let (_, stderr, code) = cuba(&["bench", "--samples", "0"]);
+    assert_eq!(code, Some(2));
+    assert!(stderr.contains("bad --samples"));
+    let (_, stderr, code) = cuba(&["bench", "--ratio", "-3"]);
+    assert_eq!(code, Some(2));
+    assert!(stderr.contains("bad --ratio"));
+    let (_, stderr, code) = cuba(&["bench", "--turbo"]);
+    assert_eq!(code, Some(2));
+    assert!(stderr.contains("unknown option"));
+    let (_, stderr, code) = cuba(&["tune", "--out"]);
+    assert_eq!(code, Some(2));
+    assert!(stderr.contains("--out needs a file argument"));
+    let (_, stderr, code) = cuba(&["tune", "--passes", "zero"]);
+    assert_eq!(code, Some(2));
+    assert!(stderr.contains("bad --passes"));
 }
 
 /// Repeated `--property`: one invocation, many properties, one JSON
