@@ -4,17 +4,29 @@
 //! reachability duality; the finiteness test agrees with bounded
 //! enumeration. Instances come from the in-tree deterministic
 //! generator (`cuba_pds::rng`); each test sweeps a fixed seed range.
+//! The language-preservation tests shrink their generator size caps
+//! ([`rng::shrink`], proptest-style) when a seed fails, so the panic
+//! names the smallest NFA shape that reproduces the bug.
 
 use cuba_automata::{
     bounded_reach, intersect, is_language_finite, language_equal, language_subset, post_star,
     pre_star, CanonicalDfa, Dfa, Finiteness, Label, Nfa, Psa, StateId,
 };
-use cuba_pds::rng::SplitMix64;
+use cuba_pds::rng::{self, SplitMix64};
 use cuba_pds::{Pds, PdsBuilder, PdsConfig, SharedState, Stack, StackSym};
 
-/// A random NFA over symbols 0..3 with up to 6 states.
-fn gen_nfa(rng: &mut SplitMix64) -> Nfa {
-    let n = 1 + rng.gen_u32(5);
+/// Default NFA generator size caps: up to `1 + MAX_EXTRA_STATES`
+/// states and up to `MAX_TRANSITIONS` symbol transitions.
+const MAX_EXTRA_STATES: usize = 5;
+const MAX_TRANSITIONS: usize = 16;
+
+/// A random NFA over symbols 0..3, sized by the given caps.
+fn gen_nfa_sized(rng: &mut SplitMix64, max_extra_states: usize, max_transitions: usize) -> Nfa {
+    let n = if max_extra_states == 0 {
+        1
+    } else {
+        1 + rng.gen_u32(max_extra_states as u32)
+    };
     let mut nfa = Nfa::with_states(n);
     for _ in 0..1 + rng.gen_usize(2) {
         nfa.set_initial(StateId(rng.gen_u32(n)));
@@ -22,17 +34,51 @@ fn gen_nfa(rng: &mut SplitMix64) -> Nfa {
     for _ in 0..1 + rng.gen_usize(2) {
         nfa.set_final(StateId(rng.gen_u32(n)));
     }
-    for _ in 0..rng.gen_usize(16) {
-        nfa.add_transition(
-            StateId(rng.gen_u32(n)),
-            Label::Sym(rng.gen_u32(4)),
-            StateId(rng.gen_u32(n)),
-        );
-    }
-    for _ in 0..rng.gen_usize(3) {
-        nfa.add_transition(StateId(rng.gen_u32(n)), Label::Eps, StateId(rng.gen_u32(n)));
+    if max_transitions > 0 {
+        for _ in 0..rng.gen_usize(max_transitions) {
+            nfa.add_transition(
+                StateId(rng.gen_u32(n)),
+                Label::Sym(rng.gen_u32(4)),
+                StateId(rng.gen_u32(n)),
+            );
+        }
+        for _ in 0..rng.gen_usize(3) {
+            nfa.add_transition(StateId(rng.gen_u32(n)), Label::Eps, StateId(rng.gen_u32(n)));
+        }
     }
     nfa
+}
+
+/// A random NFA at the default size caps.
+fn gen_nfa(rng: &mut SplitMix64) -> Nfa {
+    gen_nfa_sized(rng, MAX_EXTRA_STATES, MAX_TRANSITIONS)
+}
+
+/// Sweeps `holds(seed, max_extra_states, max_transitions)` over the
+/// seed range at the full caps; on the first failing seed, shrinks the
+/// caps while the property still fails and panics naming the minimal
+/// reproduction.
+fn check_nfa(name: &str, cases: u64, holds: impl Fn(u64, usize, usize) -> bool) {
+    for seed in 0..cases {
+        if holds(seed, MAX_EXTRA_STATES, MAX_TRANSITIONS) {
+            continue;
+        }
+        let (states, transitions) = rng::shrink(
+            (MAX_EXTRA_STATES, MAX_TRANSITIONS),
+            |&(s, t)| {
+                let mut next: Vec<(usize, usize)> =
+                    rng::shrink_usize(s).into_iter().map(|s2| (s2, t)).collect();
+                next.extend(rng::shrink_usize(t).into_iter().map(|t2| (s, t2)));
+                next
+            },
+            |&(s, t)| !holds(seed, s, t),
+        );
+        panic!(
+            "{name}: seed {seed} fails; shrunk to caps of {} state(s), \
+             {transitions} transition(s)",
+            states + 1
+        );
+    }
 }
 
 /// All words over {0..3} up to length 4 — a complete probe set for the
@@ -60,26 +106,26 @@ const NFA_CASES: u64 = 64;
 
 #[test]
 fn determinization_preserves_language() {
-    for seed in 0..NFA_CASES {
-        let nfa = gen_nfa(&mut SplitMix64::new(seed));
+    check_nfa("determinize preserves language", NFA_CASES, |seed, s, t| {
+        let nfa = gen_nfa_sized(&mut SplitMix64::new(seed), s, t);
         let dfa = Dfa::determinize(&nfa);
-        for w in probe_words() {
-            assert_eq!(dfa.accepts(&w), nfa.accepts(&w), "seed {seed}, word {w:?}");
-        }
-    }
+        probe_words()
+            .iter()
+            .all(|w| dfa.accepts(w) == nfa.accepts(w))
+    });
 }
 
 #[test]
 fn minimization_preserves_language() {
-    for seed in 0..NFA_CASES {
-        let nfa = gen_nfa(&mut SplitMix64::new(seed));
+    check_nfa("minimize preserves language", NFA_CASES, |seed, s, t| {
+        let nfa = gen_nfa_sized(&mut SplitMix64::new(seed), s, t);
         let dfa = Dfa::determinize(&nfa);
         let min = cuba_automata::minimize(&dfa);
-        assert!(min.num_states() <= dfa.num_states().max(1));
-        for w in probe_words() {
-            assert_eq!(min.accepts(&w), dfa.accepts(&w), "seed {seed}, word {w:?}");
-        }
-    }
+        min.num_states() <= dfa.num_states().max(1)
+            && probe_words()
+                .iter()
+                .all(|w| min.accepts(w) == dfa.accepts(w))
+    });
 }
 
 #[test]
@@ -133,19 +179,15 @@ fn subset_agrees_with_sampling() {
 
 #[test]
 fn intersection_is_conjunction() {
-    for seed in 0..NFA_CASES {
+    check_nfa("intersection is conjunction", NFA_CASES, |seed, s, t| {
         let mut rng = SplitMix64::new(seed);
-        let a = gen_nfa(&mut rng);
-        let b = gen_nfa(&mut rng);
+        let a = gen_nfa_sized(&mut rng, s, t);
+        let b = gen_nfa_sized(&mut rng, s, t);
         let i = intersect(&a, &b);
-        for w in probe_words() {
-            assert_eq!(
-                i.accepts(&w),
-                a.accepts(&w) && b.accepts(&w),
-                "seed {seed}, word {w:?}"
-            );
-        }
-    }
+        probe_words()
+            .iter()
+            .all(|w| i.accepts(w) == (a.accepts(w) && b.accepts(w)))
+    });
 }
 
 #[test]

@@ -92,6 +92,12 @@ pub struct BenchPlan {
     pub workers: usize,
     /// Arm scheduling policy for every session.
     pub schedule: SchedulePolicy,
+    /// Run the verdict-preserving static pre-analysis on every
+    /// workload before measuring. The suite cache then keys on the
+    /// *reduced* systems, and each row records what the reduction
+    /// removed. Verdicts are identical by construction; `--compare`
+    /// against an unreduced baseline gates exactly that.
+    pub reduce: bool,
 }
 
 impl Default for BenchPlan {
@@ -103,6 +109,7 @@ impl Default for BenchPlan {
                 .map(|n| n.get())
                 .unwrap_or(4),
             schedule: SchedulePolicy::default(),
+            reduce: false,
         }
     }
 }
@@ -139,6 +146,12 @@ pub struct BenchRow {
     pub samples_us: Vec<f64>,
     /// Whole-outcome duration of the first sample, milliseconds.
     pub duration_ms: u128,
+    /// With [`BenchPlan::reduce`]: transitions the pre-analysis
+    /// removed from this workload's system (absent otherwise).
+    pub reduce_removed: Option<usize>,
+    /// With [`BenchPlan::reduce`]: total pre-analysis time for this
+    /// workload's system, microseconds (absent otherwise).
+    pub reduce_us: Option<u64>,
     /// Whether any later sample disagreed with the first on the
     /// structural outcome (verdict) — should never happen; surfaced
     /// loudly instead of silently averaged away.
@@ -210,8 +223,29 @@ pub fn run(plan: &BenchPlan) -> BenchRun {
 
 /// [`run`] over an explicit workload list (tests measure a small
 /// subset; the debug-build suite is seconds per iteration).
-pub fn run_problems(plan: &BenchPlan, problems: Vec<(String, Cpds, Property)>) -> BenchRun {
+pub fn run_problems(plan: &BenchPlan, mut problems: Vec<(String, Cpds, Property)>) -> BenchRun {
     let portfolio = Portfolio::auto().with_config(bench_config(plan.schedule.clone()));
+
+    // With --reduce, the pre-analysis runs once per workload up front;
+    // every iteration (and the suite cache) then sees only the reduced
+    // systems. The reduction is property-independent, so workloads
+    // sharing a system still share one cache entry.
+    let mut reductions: Vec<Option<(usize, u64)>> = vec![None; problems.len()];
+    if plan.reduce {
+        for (i, (label, cpds, property)) in problems.iter_mut().enumerate() {
+            match cuba_reduce::reduce(cpds, std::slice::from_ref(property)) {
+                Ok(reduction) => {
+                    let stats = &reduction.stats;
+                    reductions[i] = Some((
+                        stats.removed_transitions,
+                        stats.skeleton_us + stats.coi_us + stats.rebuild_us,
+                    ));
+                    *cpds = reduction.cpds;
+                }
+                Err(e) => eprintln!("reduce {label}: {e} (measuring unreduced)"),
+            }
+        }
+    }
 
     for i in 0..plan.warmup {
         let start = Instant::now();
@@ -244,6 +278,8 @@ pub fn run_problems(plan: &BenchPlan, problems: Vec<(String, Cpds, Property)>) -
                     rounds_replayed: 0,
                     samples_us: Vec::new(),
                     duration_ms: 0,
+                    reduce_removed: reductions[i].map(|(removed, _)| removed),
+                    reduce_us: reductions[i].map(|(_, us)| us),
                     unstable: false,
                 };
                 match result {
@@ -327,6 +363,15 @@ pub fn row_to_json(row: &BenchRow) -> String {
         .collect();
     obj.raw("samples_us", format!("[{}]", samples.join(",")));
     obj.number("duration_ms", row.duration_ms as f64);
+    // Additive reduction fields (present only under `--reduce`): the
+    // baseline scanner ignores unknown keys, so records stay
+    // comparable across reduced and unreduced runs.
+    if let Some(removed) = row.reduce_removed {
+        obj.number("reduce_removed", removed as f64);
+    }
+    if let Some(us) = row.reduce_us {
+        obj.number("reduce_us", us as f64);
+    }
     if row.unstable {
         obj.bool("unstable", true);
     }
@@ -383,6 +428,8 @@ mod tests {
             rounds_replayed: 0,
             samples_us: Vec::new(),
             duration_ms: 0,
+            reduce_removed: None,
+            reduce_us: None,
             unstable: false,
         };
         let json = row_to_json(&error);
@@ -404,12 +451,49 @@ mod tests {
             rounds_replayed: 4,
             samples_us: vec![1700.0, 1600.0, 1800.0],
             duration_ms: 1,
+            reduce_removed: Some(3),
+            reduce_us: Some(120),
             unstable: false,
         };
         let json = row_to_json(&measured);
         assert!(json.contains("\"round_wall_us\":1700"), "{json}");
         assert!(json.contains("\"samples_us\":[1700,1600,1800]"));
         assert!(json.contains("\"k\":4"));
+    }
+
+    /// `--reduce` changes no verdict and no bound, keeps the shared-
+    /// system cache pattern, and records the reduction fields.
+    #[test]
+    fn reduced_run_agrees_with_unreduced() {
+        let plan = BenchPlan {
+            warmup: 0,
+            samples: 1,
+            ..BenchPlan::default()
+        };
+        let problems: Vec<_> = bench_suite()
+            .into_iter()
+            .filter(|(label, _, _)| label.starts_with("fig1-multi/"))
+            .collect();
+        let plain = run_problems(&plan, problems.clone());
+        let reduced = run_problems(
+            &BenchPlan {
+                reduce: true,
+                ..plan
+            },
+            problems,
+        );
+        for (a, b) in plain.rows.iter().zip(&reduced.rows) {
+            assert_eq!(a.verdict, b.verdict, "{}", a.label);
+            assert_eq!(a.k, b.k, "{}", a.label);
+            assert_eq!(a.engine, b.engine, "{}", a.label);
+            assert!(b.reduce_removed.is_some() && b.reduce_us.is_some());
+            assert!(a.reduce_removed.is_none());
+        }
+        // The reduction is property-independent, so the three
+        // properties still share one cached system.
+        assert!(!reduced.rows[0].cache_hit);
+        assert!(reduced.rows[1].cache_hit && reduced.rows[2].cache_hit);
+        assert!(run_to_json(&reduced).contains("\"reduce_removed\":"));
     }
 
     /// A tiny real run over the fig1-multi block (the full suite is

@@ -180,6 +180,30 @@ impl Expr {
         out
     }
 
+    /// The expression's value when it is a compile-time constant:
+    /// `Some(b)` iff every valuation and every `*` resolution yields
+    /// `b`. Short-circuits `0 & e` and `1 | e`, so a constant verdict
+    /// does not require both operands to be constant.
+    pub fn fold_const(&self) -> Option<bool> {
+        match self {
+            Expr::Const(b) => Some(*b),
+            Expr::Var(_) | Expr::Nondet => None,
+            Expr::Not(inner) => inner.fold_const().map(|b| !b),
+            Expr::Bin(op, lhs, rhs) => {
+                let (l, r) = (lhs.fold_const(), rhs.fold_const());
+                match op {
+                    BinOp::And if l == Some(false) || r == Some(false) => Some(false),
+                    BinOp::Or if l == Some(true) || r == Some(true) => Some(true),
+                    BinOp::And => Some(l? && r?),
+                    BinOp::Or => Some(l? || r?),
+                    BinOp::Xor => Some(l? ^ r?),
+                    BinOp::Eq => Some(l? == r?),
+                    BinOp::Neq => Some(l? != r?),
+                }
+            }
+        }
+    }
+
     /// Variables referenced by the expression.
     pub fn vars(&self, out: &mut Vec<String>) {
         match self {

@@ -12,6 +12,10 @@ pub struct CfgEdge {
     pub to: usize,
     /// The edge's effect.
     pub effect: Effect,
+    /// Source position of the statement the edge was lowered from
+    /// (the default span marks synthetic edges, e.g. the implicit
+    /// return).
+    pub span: crate::Span,
 }
 
 /// Effects a single CFG edge can have.
@@ -75,6 +79,7 @@ struct Lowerer {
     num_points: usize,
     labels: HashMap<String, usize>,
     pending_gotos: Vec<(usize, String, crate::Span)>, // edge idx, label
+    current_span: crate::Span,
 }
 
 impl Lowerer {
@@ -85,7 +90,12 @@ impl Lowerer {
     }
 
     fn edge(&mut self, from: usize, to: usize, effect: Effect) -> usize {
-        self.edges.push(CfgEdge { from, to, effect });
+        self.edges.push(CfgEdge {
+            from,
+            to,
+            effect,
+            span: self.current_span,
+        });
         self.edges.len() - 1
     }
 
@@ -108,6 +118,7 @@ impl Lowerer {
     }
 
     fn stmt(&mut self, at: usize, s: &Stmt) -> Result<usize, BoolProgError> {
+        self.current_span = s.span;
         match &s.kind {
             StmtKind::Skip => {
                 let next = self.fresh();
@@ -245,11 +256,14 @@ pub fn lower_function(func: &Func) -> Result<FunctionCfg, BoolProgError> {
         num_points: 0,
         labels: HashMap::new(),
         pending_gotos: Vec::new(),
+        current_span: crate::Span::default(),
     };
     let entry = lowerer.fresh();
     debug_assert_eq!(entry, 0);
     let exit_point = lowerer.stmts(entry, &func.body)?;
-    // Implicit return at the fall-through point.
+    // Implicit return at the fall-through point; the default span
+    // marks it as synthetic.
+    lowerer.current_span = crate::Span::default();
     lowerer.edge(exit_point, exit_point, Effect::Return(None));
     // Patch gotos.
     for (edge_idx, label, span) in std::mem::take(&mut lowerer.pending_gotos) {

@@ -43,14 +43,16 @@ mod ast;
 mod cfg;
 mod error;
 mod lexer;
+mod lint;
 mod parser;
 mod resolve;
 mod translate;
 
 pub use ast::{BinOp, Decl, Expr, Func, Program, Stmt, StmtKind, Type};
-pub use cfg::{lower_function, CfgEdge, FunctionCfg};
+pub use cfg::{lower_function, CfgEdge, Effect, FunctionCfg};
 pub use error::{BoolProgError, Span};
 pub use lexer::{tokenize, Token, TokenKind};
+pub use lint::{lint_program, simplify_cfg, Severity, SimplifyOutcome, SourceLint};
 pub use parser::parse;
 pub use resolve::{resolve, Resolved};
-pub use translate::{translate, Translated};
+pub use translate::{translate, translate_simplified, SimplifyReport, Translated};

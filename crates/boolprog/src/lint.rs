@@ -1,0 +1,429 @@
+//! Source-level diagnostics and the pre-translation simplification
+//! pass for Boolean programs.
+//!
+//! Two entry points:
+//!
+//! * [`simplify_cfg`] — constant propagation and dead-branch pruning
+//!   on one lowered [`FunctionCfg`]: edges guarded by constant-false
+//!   conditions are deleted, constant guards are rewritten to `skip`,
+//!   and edges leaving CFG-unreachable program points are dropped.
+//!   Program points and their ids are never renumbered, so the stack
+//!   symbol layout of the translation is unchanged — only the
+//!   `valuations × edges` product the translator enumerates shrinks.
+//!   Every deleted edge corresponds to transitions that could never
+//!   fire, so the translated system's reachable behaviors are
+//!   identical.
+//! * [`lint_program`] — an AST scan for findings that need source
+//!   structure rather than control flow: variables that are written
+//!   but never read.
+//!
+//! Both report [`SourceLint`]s carrying 1-based source positions.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use crate::ast::{Decl, Expr, Program, Stmt, StmtKind};
+use crate::cfg::{CfgEdge, Effect, FunctionCfg};
+use crate::Span;
+
+/// Severity of a source-level diagnostic (mirrors the model-level
+/// lint levels of the `cuba-reduce` crate, kept separate so the
+/// frontend stays dependency-free).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Informational.
+    Note,
+    /// Suspicious: almost certainly dead weight or a mistake.
+    Warn,
+    /// Definite error.
+    Deny,
+}
+
+/// One source-level diagnostic with a 1-based position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SourceLint {
+    /// Stable kebab-case identifier.
+    pub code: &'static str,
+    /// Severity.
+    pub severity: Severity,
+    /// Human-readable description.
+    pub message: String,
+    /// Source position of the finding.
+    pub span: Span,
+}
+
+impl SourceLint {
+    fn new(code: &'static str, severity: Severity, message: impl Into<String>, span: Span) -> Self {
+        SourceLint {
+            code,
+            severity,
+            message: message.into(),
+            span,
+        }
+    }
+}
+
+/// Result of [`simplify_cfg`].
+#[derive(Debug, Clone)]
+pub struct SimplifyOutcome {
+    /// The simplified control-flow graph (same points, fewer edges).
+    pub cfg: FunctionCfg,
+    /// Edges removed (constant-false guards + unreachable code).
+    pub edges_removed: usize,
+    /// Program points that became (or were) unreachable from entry.
+    pub unreachable_points: usize,
+    /// Findings worth surfacing to the user.
+    pub lints: Vec<SourceLint>,
+}
+
+/// Simplifies one function CFG: folds constant guards, prunes edges
+/// that can never be taken, and drops edges leaving unreachable
+/// program points. See the module docs for why the translation of the
+/// result has identical reachable behavior.
+pub fn simplify_cfg(cfg: &FunctionCfg) -> SimplifyOutcome {
+    let mut lints: Vec<SourceLint> = Vec::new();
+    let mut kept: Vec<CfgEdge> = Vec::new();
+    for edge in &cfg.edges {
+        match &edge.effect {
+            Effect::Assume(e) => match e.fold_const() {
+                Some(false) => {
+                    lints.push(SourceLint::new(
+                        "dead-branch",
+                        Severity::Warn,
+                        "condition is always false; the guarded code is unreachable",
+                        edge.span,
+                    ));
+                }
+                Some(true) => kept.push(CfgEdge {
+                    effect: Effect::Skip,
+                    ..edge.clone()
+                }),
+                None => kept.push(edge.clone()),
+            },
+            // A constant-true negative branch (`while (1)`'s exit) is
+            // pruned silently: spinning forever is idiomatic, and any
+            // genuinely dead code after the loop is reported by the
+            // reachability pass below.
+            Effect::AssumeNot(e) => match e.fold_const() {
+                Some(true) => {}
+                Some(false) => kept.push(CfgEdge {
+                    effect: Effect::Skip,
+                    ..edge.clone()
+                }),
+                None => kept.push(edge.clone()),
+            },
+            Effect::Assert(e) => match e.fold_const() {
+                Some(true) => {
+                    lints.push(SourceLint::new(
+                        "constant-assert",
+                        Severity::Note,
+                        "assertion always holds",
+                        edge.span,
+                    ));
+                    kept.push(CfgEdge {
+                        effect: Effect::Skip,
+                        ..edge.clone()
+                    });
+                }
+                Some(false) => {
+                    lints.push(SourceLint::new(
+                        "constant-assert",
+                        Severity::Warn,
+                        "assertion always fails",
+                        edge.span,
+                    ));
+                    kept.push(edge.clone());
+                }
+                None => kept.push(edge.clone()),
+            },
+            _ => kept.push(edge.clone()),
+        }
+    }
+    let const_removed = cfg.edges.len() - kept.len();
+
+    // Forward reachability over the kept edges; entry is point 0.
+    let mut reachable = vec![false; cfg.num_points.max(1)];
+    reachable[0] = true;
+    let mut queue: VecDeque<usize> = VecDeque::new();
+    queue.push_back(0);
+    let mut out: HashMap<usize, Vec<usize>> = HashMap::new();
+    for e in &kept {
+        out.entry(e.from).or_default().push(e.to);
+    }
+    while let Some(p) = queue.pop_front() {
+        for &t in out.get(&p).into_iter().flatten() {
+            if !reachable[t] {
+                reachable[t] = true;
+                queue.push_back(t);
+            }
+        }
+    }
+    let mut dead_spans: HashSet<(usize, usize)> = HashSet::new();
+    let before = kept.len();
+    kept.retain(|e| {
+        if reachable[e.from] {
+            return true;
+        }
+        // One finding per source statement; synthetic edges (default
+        // span) stay silent.
+        if e.span != Span::default() && dead_spans.insert((e.span.line, e.span.col)) {
+            lints.push(SourceLint::new(
+                "dead-branch",
+                Severity::Warn,
+                "unreachable code",
+                e.span,
+            ));
+        }
+        false
+    });
+    let edges_removed = const_removed + (before - kept.len());
+    let unreachable_points = reachable.iter().filter(|&&r| !r).count();
+    lints.sort_by_key(|l| (l.span.line, l.span.col));
+    SimplifyOutcome {
+        cfg: FunctionCfg {
+            name: cfg.name.clone(),
+            num_points: cfg.num_points,
+            edges: kept,
+            exit_point: cfg.exit_point,
+        },
+        edges_removed,
+        unreachable_points,
+        lints,
+    }
+}
+
+/// Per-variable read/write bookkeeping for the write-only scan.
+#[derive(Default)]
+struct Usage {
+    read: bool,
+    written: bool,
+}
+
+fn record_reads(e: &Expr, usage: &mut HashMap<String, Usage>) {
+    let mut names = Vec::new();
+    e.vars(&mut names);
+    for name in names {
+        usage.entry(name).or_default().read = true;
+    }
+}
+
+fn record_write(name: &str, usage: &mut HashMap<String, Usage>) {
+    usage.entry(name.to_owned()).or_default().written = true;
+}
+
+fn scan_stmts(stmts: &[Stmt], usage: &mut HashMap<String, Usage>) {
+    for s in stmts {
+        match &s.kind {
+            StmtKind::Skip | StmtKind::Goto(_) | StmtKind::Lock | StmtKind::Unlock => {}
+            StmtKind::ThreadCreate(_) => {}
+            StmtKind::Assume(e) | StmtKind::Assert(e) => record_reads(e, usage),
+            StmtKind::Assign {
+                targets,
+                values,
+                constrain,
+            } => {
+                for t in targets {
+                    record_write(t, usage);
+                }
+                for v in values {
+                    record_reads(v, usage);
+                }
+                if let Some(c) = constrain {
+                    record_reads(c, usage);
+                }
+            }
+            StmtKind::CallAssign { target, args, .. } => {
+                record_write(target, usage);
+                for a in args {
+                    record_reads(a, usage);
+                }
+            }
+            StmtKind::Call { args, .. } => {
+                for a in args {
+                    record_reads(a, usage);
+                }
+            }
+            StmtKind::Return(e) => {
+                if let Some(e) = e {
+                    record_reads(e, usage);
+                }
+            }
+            StmtKind::While { cond, body } => {
+                record_reads(cond, usage);
+                scan_stmts(body, usage);
+            }
+            StmtKind::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
+                record_reads(cond, usage);
+                scan_stmts(then_branch, usage);
+                scan_stmts(else_branch, usage);
+            }
+            StmtKind::Atomic(body) => scan_stmts(body, usage),
+        }
+    }
+}
+
+fn write_only_decls(
+    decls: &[Decl],
+    usage: &HashMap<String, Usage>,
+    scope: &str,
+    lints: &mut Vec<SourceLint>,
+) {
+    for decl in decls {
+        for name in &decl.names {
+            let Some(u) = usage.get(name) else { continue };
+            if u.written && !u.read {
+                lints.push(SourceLint::new(
+                    "write-only-variable",
+                    Severity::Warn,
+                    format!("{scope} variable `{name}` is assigned but never read"),
+                    decl.span,
+                ));
+            }
+        }
+    }
+}
+
+/// Scans a parsed program for variables that are written but never
+/// read. Locals are checked per function; globals across the whole
+/// program (any read anywhere counts). Parameters and variables that
+/// are never mentioned at all are left alone.
+pub fn lint_program(program: &Program) -> Vec<SourceLint> {
+    let mut lints = Vec::new();
+    let mut global_usage: HashMap<String, Usage> = HashMap::new();
+    for func in &program.funcs {
+        let mut usage: HashMap<String, Usage> = HashMap::new();
+        scan_stmts(&func.body, &mut usage);
+        let local_names: HashSet<&String> = func
+            .decls
+            .iter()
+            .flat_map(|d| d.names.iter())
+            .chain(func.params.iter())
+            .collect();
+        write_only_decls(&func.decls, &usage, "local", &mut lints);
+        // Everything not shadowed by a local flows into the global
+        // tally.
+        for (name, u) in usage {
+            if local_names.contains(&name) {
+                continue;
+            }
+            let g = global_usage.entry(name).or_default();
+            g.read |= u.read;
+            g.written |= u.written;
+        }
+    }
+    write_only_decls(&program.decls, &global_usage, "global", &mut lints);
+    lints.sort_by_key(|l| (l.span.line, l.span.col));
+    lints
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cfg::lower_function;
+    use crate::parse;
+
+    fn simplify(src: &str, func: usize) -> SimplifyOutcome {
+        let prog = parse(src).unwrap();
+        simplify_cfg(&lower_function(&prog.funcs[func]).unwrap())
+    }
+
+    #[test]
+    fn clean_function_is_untouched() {
+        let out = simplify("decl x; void f() { if (x) { x := 0; } }", 0);
+        assert_eq!(out.edges_removed, 0);
+        assert!(out.lints.is_empty());
+    }
+
+    #[test]
+    fn constant_false_assume_prunes_branch() {
+        let out = simplify(
+            "decl x; void f() { if (0) { x := 1; } else { x := 0; } }",
+            0,
+        );
+        assert!(out.edges_removed >= 2, "guard edge + dead assignment");
+        assert!(out
+            .lints
+            .iter()
+            .any(|l| l.code == "dead-branch" && l.message.contains("always false")));
+        assert!(out
+            .lints
+            .iter()
+            .any(|l| l.code == "dead-branch" && l.message.contains("unreachable code")));
+        // Point ids survive: the symbol layout must not shift.
+        let orig = lower_function(
+            &parse("decl x; void f() { if (0) { x := 1; } else { x := 0; } }")
+                .unwrap()
+                .funcs[0],
+        )
+        .unwrap();
+        assert_eq!(out.cfg.num_points, orig.num_points);
+    }
+
+    #[test]
+    fn spin_loop_is_not_linted() {
+        let out = simplify("decl x; void f() { while (1) { x := 1; } }", 0);
+        // The loop-exit edge is pruned, but silently.
+        assert!(out.edges_removed >= 1);
+        assert!(out.lints.is_empty(), "{:?}", out.lints);
+    }
+
+    #[test]
+    fn code_after_spin_loop_is_dead() {
+        let out = simplify("decl x; void f() { while (1) { skip; } x := 1; }", 0);
+        assert!(out
+            .lints
+            .iter()
+            .any(|l| l.code == "dead-branch" && l.message == "unreachable code"));
+    }
+
+    #[test]
+    fn constant_asserts_are_reported() {
+        let out = simplify("void f() { assert(1); }", 0);
+        assert!(out
+            .lints
+            .iter()
+            .any(|l| l.code == "constant-assert" && l.severity == Severity::Note));
+        let out = simplify("void f() { assert(0); }", 0);
+        assert!(out
+            .lints
+            .iter()
+            .any(|l| l.code == "constant-assert" && l.severity == Severity::Warn));
+    }
+
+    #[test]
+    fn write_only_global_found() {
+        let prog =
+            parse("decl g h; void f() { g := 1; assert(h); } void main() { thread_create(f); }")
+                .unwrap();
+        let lints = lint_program(&prog);
+        assert_eq!(lints.len(), 1);
+        assert_eq!(lints[0].code, "write-only-variable");
+        assert!(lints[0].message.contains("`g`"));
+        assert_eq!(lints[0].span.line, 1);
+    }
+
+    #[test]
+    fn write_only_local_found_per_function() {
+        let prog = parse(
+            "void f() { decl t; t := 1; } void g() { decl t; t := 1; assert(t); } \
+             void main() { thread_create(f); }",
+        )
+        .unwrap();
+        let lints = lint_program(&prog);
+        assert_eq!(lints.len(), 1);
+        assert!(lints[0].message.contains("local variable `t`"));
+    }
+
+    #[test]
+    fn read_variables_are_clean() {
+        let prog = parse(
+            "decl x; void f() { x := 1; } void g() { while (!x) { skip; } } \
+             void main() { thread_create(f); thread_create(g); }",
+        )
+        .unwrap();
+        assert!(lint_program(&prog).is_empty());
+    }
+}

@@ -5,6 +5,7 @@ use cuba_pds::{Cpds, CpdsBuilder, PdsBuilder, SharedState, StackSym};
 
 use crate::ast::{Expr, Program, Type};
 use crate::cfg::{lower_function, Effect, FunctionCfg};
+use crate::lint::{simplify_cfg, SourceLint};
 use crate::resolve::{resolve, Resolved};
 use crate::BoolProgError;
 
@@ -69,6 +70,19 @@ impl Translated {
     }
 }
 
+/// What the pre-translation simplification pass did to a program.
+#[derive(Debug, Clone, Default)]
+pub struct SimplifyReport {
+    /// CFG edges removed across all functions (constant-false guards
+    /// plus unreachable code).
+    pub edges_removed: usize,
+    /// Program points unreachable from their function's entry.
+    pub unreachable_points: usize,
+    /// Source-level findings from the simplification (dead branches,
+    /// constant asserts).
+    pub lints: Vec<SourceLint>,
+}
+
 /// Translates a parsed Boolean program into a [`Cpds`].
 ///
 /// Encoding (see the crate docs): shared state = global valuation in
@@ -83,6 +97,29 @@ impl Translated {
 /// Propagates resolution errors and rejects programs whose valuation
 /// spaces exceed the guardrails ([`BoolProgError::TooLarge`]).
 pub fn translate(program: &Program) -> Result<Translated, BoolProgError> {
+    translate_inner(program, false).map(|(t, _)| t)
+}
+
+/// Like [`translate`], but runs [`simplify_cfg`] on every lowered
+/// function first, so transitions that could never fire (constant-false
+/// branches, unreachable code) are not emitted at all. The stack-symbol
+/// layout is unchanged — simplification never renumbers program points
+/// — so reachable behavior, and hence any verdict over the translated
+/// system, is preserved.
+///
+/// # Errors
+///
+/// Same failure modes as [`translate`].
+pub fn translate_simplified(
+    program: &Program,
+) -> Result<(Translated, SimplifyReport), BoolProgError> {
+    translate_inner(program, true)
+}
+
+fn translate_inner(
+    program: &Program,
+    simplify: bool,
+) -> Result<(Translated, SimplifyReport), BoolProgError> {
     let resolved = resolve(program)?;
     if resolved.thread_entries.is_empty() {
         return Err(BoolProgError::resolve(
@@ -116,6 +153,7 @@ pub fn translate(program: &Program) -> Result<Translated, BoolProgError> {
     let mut layouts: Vec<FunctionLayout> = Vec::new();
     let mut bases: HashMap<String, (u32, usize)> = HashMap::new(); // name -> (base, func idx)
     let mut next_base: u64 = 0;
+    let mut report = SimplifyReport::default();
     for (i, f) in program.funcs.iter().enumerate() {
         if f.name == "main" {
             cfgs.push(None);
@@ -128,7 +166,14 @@ pub fn translate(program: &Program) -> Result<Translated, BoolProgError> {
                 resolved.locals[i].len()
             )));
         }
-        let cfg = lower_function(f)?;
+        let mut cfg = lower_function(f)?;
+        if simplify {
+            let outcome = simplify_cfg(&cfg);
+            cfg = outcome.cfg;
+            report.edges_removed += outcome.edges_removed;
+            report.unreachable_points += outcome.unreachable_points;
+            report.lints.extend(outcome.lints);
+        }
         let width = 1u64 << resolved.locals[i].len();
         let base = next_base;
         next_base += cfg.num_points as u64 * width;
@@ -180,14 +225,18 @@ pub fn translate(program: &Program) -> Result<Translated, BoolProgError> {
         .build()
         .map_err(|e| BoolProgError::TooLarge(e.to_string()))?;
 
-    Ok(Translated {
-        cpds,
-        error_state,
-        globals: resolved.globals.clone(),
-        has_lock_bit: lock_bit.is_some(),
-        has_ret_bit: ret_bit.is_some(),
-        functions: layouts,
-    })
+    report.lints.sort_by_key(|l| (l.span.line, l.span.col));
+    Ok((
+        Translated {
+            cpds,
+            error_state,
+            globals: resolved.globals.clone(),
+            has_lock_bit: lock_bit.is_some(),
+            has_ret_bit: ret_bit.is_some(),
+            functions: layouts,
+        },
+        report,
+    ))
 }
 
 struct Translator<'a> {
@@ -644,6 +693,60 @@ mod tests {
         );
         let e = translate(&parse(&src).unwrap()).unwrap_err();
         assert!(matches!(e, BoolProgError::TooLarge(_)));
+    }
+
+    #[test]
+    fn simplified_translation_shrinks_but_agrees() {
+        // assume(0) makes the failing assert unreachable; the
+        // simplified translation drops those transitions entirely yet
+        // reaches the same verdict.
+        let src = r#"
+            decl x;
+            void a() { x := 1; }
+            void b() { if (0) { assert(0); } else { assert(!x | x); } }
+            void main() { thread_create(a); thread_create(b); }
+        "#;
+        let program = parse(src).unwrap();
+        let plain = translate(&program).unwrap();
+        let (simplified, report) = translate_simplified(&program).unwrap();
+        assert!(report.edges_removed > 0);
+        assert!(report
+            .lints
+            .iter()
+            .any(|l| l.code == "dead-branch" || l.code == "constant-assert"));
+        let count = |t: &Translated| {
+            (0..t.cpds.num_threads())
+                .map(|i| t.cpds.thread(i).actions().len())
+                .sum::<usize>()
+        };
+        assert!(count(&simplified) < count(&plain), "fewer transitions");
+        let verdict = |t: &Translated| {
+            Cuba::new(t.cpds.clone(), t.error_free_property())
+                .run(&CubaConfig::default())
+                .unwrap()
+                .verdict
+        };
+        assert!(verdict(&plain).is_safe());
+        assert!(verdict(&simplified).is_safe());
+    }
+
+    #[test]
+    fn simplified_translation_is_identity_on_clean_programs() {
+        let src = r#"
+            decl x;
+            void a() { x := 1; }
+            void b() { assume(!x); assert(!x); }
+            void main() { thread_create(a); thread_create(b); }
+        "#;
+        let program = parse(src).unwrap();
+        let plain = translate(&program).unwrap();
+        let (simplified, report) = translate_simplified(&program).unwrap();
+        assert_eq!(report.edges_removed, 0);
+        assert!(report.lints.is_empty());
+        assert_eq!(
+            cuba_core::fingerprint(&plain.cpds),
+            cuba_core::fingerprint(&simplified.cpds)
+        );
     }
 
     #[test]

@@ -12,6 +12,12 @@ pub enum CubaError {
     /// the FCR check (its per-round sets may be infinite); use the
     /// symbolic variants instead (§6 overall procedure).
     FcrRequired,
+    /// The property names states, threads or stack symbols that do not
+    /// exist in the model (see [`Property::validate`](crate::Property::validate)).
+    /// Such a property can never be violated, so running it would
+    /// report a vacuous `safe`; it is rejected at session start
+    /// instead.
+    InvalidProperty(String),
 }
 
 impl std::fmt::Display for CubaError {
@@ -23,6 +29,7 @@ impl std::fmt::Display for CubaError {
                 f,
                 "explicit-state analysis requires finite context reachability"
             ),
+            CubaError::InvalidProperty(msg) => write!(f, "invalid property: {msg}"),
         }
     }
 }
@@ -32,7 +39,7 @@ impl std::error::Error for CubaError {
         match self {
             CubaError::Explore(e) => Some(e),
             CubaError::Model(e) => Some(e),
-            CubaError::FcrRequired => None,
+            CubaError::FcrRequired | CubaError::InvalidProperty(_) => None,
         }
     }
 }
@@ -60,5 +67,8 @@ mod tests {
         assert!(e.to_string().contains("exploration failed"));
         assert!(e.source().is_some());
         assert!(CubaError::FcrRequired.source().is_none());
+        let e = CubaError::InvalidProperty("names shared state 99".to_owned());
+        assert!(e.to_string().contains("invalid property"));
+        assert!(e.source().is_none());
     }
 }

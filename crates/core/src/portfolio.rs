@@ -122,13 +122,20 @@ impl Portfolio {
     ///
     /// # Errors
     ///
-    /// As for [`session`](Self::session).
+    /// As for [`session`](Self::session), plus
+    /// [`CubaError::InvalidProperty`] when the property names states,
+    /// threads or symbols the model does not have — such a property
+    /// could never be violated, so the session would report a vacuous
+    /// `safe`.
     pub fn session_with(
         &self,
         cpds: Cpds,
         property: Property,
         artifacts: &Arc<SystemArtifacts>,
     ) -> Result<AnalysisSession, CubaError> {
+        property
+            .validate(&cpds)
+            .map_err(CubaError::InvalidProperty)?;
         let lineup = self.lineup_with(&cpds, artifacts);
         AnalysisSession::with_artifacts(cpds, property, &lineup, &self.config, artifacts)
     }
@@ -189,6 +196,9 @@ impl Portfolio {
         mut on_event: Option<&mut dyn FnMut(&SessionEvent)>,
         artifacts: &Arc<SystemArtifacts>,
     ) -> Result<CubaOutcome, CubaError> {
+        property
+            .validate(&cpds)
+            .map_err(CubaError::InvalidProperty)?;
         let start = std::time::Instant::now();
         let fcr_holds = artifacts.fcr(&cpds).holds();
         let lineup: Vec<EngineKind> = self
@@ -621,6 +631,24 @@ mod tests {
         assert!(matches!(
             results[3].as_ref().unwrap().verdict,
             Verdict::Safe { k: 5, .. }
+        ));
+    }
+
+    /// A property naming ids outside the model is rejected at session
+    /// start instead of verifying vacuously.
+    #[test]
+    fn invalid_property_rejected_at_session_start() {
+        let portfolio = Portfolio::auto();
+        let bad = Property::never_shared(SharedState(99));
+        match portfolio.run(fig1(), bad.clone()) {
+            Err(CubaError::InvalidProperty(msg)) => {
+                assert!(msg.contains("shared state 99"), "{msg}");
+            }
+            other => panic!("expected InvalidProperty, got {other:?}"),
+        }
+        assert!(matches!(
+            portfolio.run_parallel(fig1(), bad, None),
+            Err(CubaError::InvalidProperty(_))
         ));
     }
 

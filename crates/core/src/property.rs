@@ -1,4 +1,4 @@
-use cuba_pds::{SharedState, StackSym, VisibleState};
+use cuba_pds::{Cpds, SharedState, StackSym, VisibleState};
 
 /// A safety property over *visible* states (paper §2.2: "Most
 /// reachability properties, including assertions inserted into a
@@ -63,6 +63,95 @@ impl Property {
         I: IntoIterator<Item = &'a VisibleState>,
     {
         iter.into_iter().find(|v| self.violated_by(v))
+    }
+
+    /// Validates that every shared state, thread index and stack
+    /// symbol this property names exists in `cpds`.
+    ///
+    /// [`parse`](Property::parse) is purely syntactic: it happily
+    /// accepts `never-shared:99` for a four-state model, and such a
+    /// property is *silently true* — [`violated_by`](Property::violated_by)
+    /// can never match an id that no reachable state carries. Callers
+    /// that take user-supplied specs (the CLI, the serve API) should
+    /// validate at session start and reject the spec instead of
+    /// reporting a vacuous `safe`.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message naming the offending id and the valid
+    /// range.
+    pub fn validate(&self, cpds: &Cpds) -> Result<(), String> {
+        let num_shared = cpds.num_shared();
+        let num_threads = cpds.num_threads();
+        let check_q = |q: SharedState| {
+            if q.0 < num_shared {
+                Ok(())
+            } else {
+                Err(format!(
+                    "property `{self}` names shared state {q}, but the model has \
+                     {num_shared} shared states (0..={})",
+                    num_shared.saturating_sub(1)
+                ))
+            }
+        };
+        let check_sym = |thread: usize, sym: StackSym| {
+            let alphabet = cpds.thread(thread).alphabet_size();
+            if sym.0 < alphabet {
+                Ok(())
+            } else {
+                Err(format!(
+                    "property `{self}` names stack symbol {sym} of thread {thread}, but \
+                     that thread's alphabet has {alphabet} symbols (0..={})",
+                    alphabet.saturating_sub(1)
+                ))
+            }
+        };
+        match self {
+            Property::True => Ok(()),
+            Property::NeverVisible(targets) => {
+                for v in targets {
+                    check_q(v.q)?;
+                    if v.tops.len() != num_threads {
+                        return Err(format!(
+                            "property `{self}` lists {} top-of-stack entries, but the \
+                             model has {num_threads} threads",
+                            v.tops.len()
+                        ));
+                    }
+                    for (i, top) in v.tops.iter().enumerate() {
+                        if let Some(sym) = top {
+                            check_sym(i, *sym)?;
+                        }
+                    }
+                }
+                Ok(())
+            }
+            Property::NeverShared(states) => {
+                for &q in states {
+                    check_q(q)?;
+                }
+                Ok(())
+            }
+            Property::MutualExclusion(pins) => {
+                for &(thread, sym) in pins {
+                    if thread >= num_threads {
+                        return Err(format!(
+                            "property `{self}` names thread {thread}, but the model \
+                             has {num_threads} threads (0..={})",
+                            num_threads.saturating_sub(1)
+                        ));
+                    }
+                    check_sym(thread, sym)?;
+                }
+                Ok(())
+            }
+            Property::All(props) => {
+                for p in props {
+                    p.validate(cpds)?;
+                }
+                Ok(())
+            }
+        }
     }
 
     /// Parses a property spec — the grammar shared by the CLI's
@@ -284,6 +373,42 @@ mod tests {
         ] {
             assert!(Property::parse(bad).is_err(), "{bad:?} must be rejected");
         }
+    }
+
+    #[test]
+    fn validate_accepts_in_range_properties() {
+        let cpds = crate::testutil::fig1();
+        assert!(Property::True.validate(&cpds).is_ok());
+        assert!(Property::never_shared(q(1)).validate(&cpds).is_ok());
+        assert!(Property::never_visible(vis(1, &[Some(2), Some(6)]))
+            .validate(&cpds)
+            .is_ok());
+        assert!(Property::mutex(0, s(2), 1, s(6)).validate(&cpds).is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_unknown_ids() {
+        let cpds = crate::testutil::fig1();
+        let e = Property::never_shared(q(99)).validate(&cpds).unwrap_err();
+        assert!(e.contains("shared state 99"), "{e}");
+        let e = Property::never_visible(vis(0, &[Some(99), Some(6)]))
+            .validate(&cpds)
+            .unwrap_err();
+        assert!(e.contains("stack symbol"), "{e}");
+        // Wrong arity: one top for a two-thread model.
+        let e = Property::never_visible(vis(0, &[Some(2)]))
+            .validate(&cpds)
+            .unwrap_err();
+        assert!(e.contains("threads"), "{e}");
+        let e = Property::MutualExclusion(vec![(5, s(2))])
+            .validate(&cpds)
+            .unwrap_err();
+        assert!(e.contains("thread 5"), "{e}");
+        // All recurses.
+        let e = Property::All(vec![Property::True, Property::never_shared(q(99))])
+            .validate(&cpds)
+            .unwrap_err();
+        assert!(e.contains("shared state 99"), "{e}");
     }
 
     #[test]

@@ -64,6 +64,50 @@ impl SplitMix64 {
     }
 }
 
+/// Greedy proptest-style shrinking of a failing counterexample.
+///
+/// `candidates` proposes smaller variants of a value (halved sizes,
+/// dropped components); `fails` re-runs the property under test.
+/// Starting from a known-failing `value`, the search moves to the
+/// first candidate that still fails and repeats until every candidate
+/// passes, returning a locally minimal failing input. Termination is
+/// the candidate function's job: each candidate must be strictly
+/// smaller under some well-founded measure (as [`shrink_usize`] is);
+/// a defensive step bound guards against candidate functions that
+/// violate that.
+pub fn shrink<T>(
+    mut value: T,
+    candidates: impl Fn(&T) -> Vec<T>,
+    mut fails: impl FnMut(&T) -> bool,
+) -> T {
+    for _ in 0..10_000 {
+        let Some(next) = candidates(&value).into_iter().find(|c| fails(c)) else {
+            return value;
+        };
+        value = next;
+    }
+    value
+}
+
+/// Shrink candidates for a size parameter: zero first (the biggest
+/// jump), then the half, then the predecessor — the classic integer
+/// shrinking ladder. Every candidate is strictly smaller than `n`, so
+/// [`shrink`] over these terminates. Empty for `n == 0`.
+pub fn shrink_usize(n: usize) -> Vec<usize> {
+    let mut out = Vec::new();
+    if n == 0 {
+        return out;
+    }
+    out.push(0);
+    if n / 2 != 0 {
+        out.push(n / 2);
+    }
+    if n - 1 != 0 && n - 1 != n / 2 {
+        out.push(n - 1);
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -85,6 +129,39 @@ mod tests {
             assert!(rng.gen_usize(3) < 3);
             let f = rng.gen_f64();
             assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn shrink_finds_minimal_threshold() {
+        // Property "n < 13" fails for n ≥ 13; shrinking from 100 must
+        // land exactly on the boundary.
+        let minimal = shrink(100usize, |&n| shrink_usize(n), |&n| n >= 13);
+        assert_eq!(minimal, 13);
+        // An input where everything below fails shrinks to zero.
+        assert_eq!(shrink(64usize, |&n| shrink_usize(n), |_| true), 0);
+        // Pairs shrink coordinate-wise.
+        let minimal = shrink(
+            (9usize, 6usize),
+            |&(a, b)| {
+                let mut next: Vec<(usize, usize)> =
+                    shrink_usize(a).into_iter().map(|a2| (a2, b)).collect();
+                next.extend(shrink_usize(b).into_iter().map(|b2| (a, b2)));
+                next
+            },
+            |&(a, b)| a >= 3 && b >= 2,
+        );
+        assert_eq!(minimal, (3, 2));
+    }
+
+    #[test]
+    fn shrink_usize_ladder() {
+        assert!(shrink_usize(0).is_empty());
+        assert_eq!(shrink_usize(1), vec![0]);
+        assert_eq!(shrink_usize(2), vec![0, 1]);
+        assert_eq!(shrink_usize(9), vec![0, 4, 8]);
+        for n in 1..100usize {
+            assert!(shrink_usize(n).iter().all(|&c| c < n));
         }
     }
 

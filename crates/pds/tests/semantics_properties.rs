@@ -1,16 +1,28 @@
 //! Property tests of the PDS/CPDS step semantics (§2.1–2.2), driven
 //! by the in-tree deterministic generator (`cuba_pds::rng`) instead of
 //! an external property-testing framework: each test fixes a seed
-//! range and checks the invariant on every generated instance.
+//! range and checks the invariant on every generated instance. On a
+//! failure, the generator size caps are shrunk ([`rng::shrink`],
+//! proptest-style) while the property keeps failing, so the panic
+//! names the smallest instance sizes that reproduce the bug.
 
-use cuba_pds::rng::SplitMix64;
+use cuba_pds::rng::{self, SplitMix64};
 use cuba_pds::{
     Action, ActionKind, Cpds, CpdsBuilder, GlobalState, PdsBuilder, PdsConfig, Rhs, SharedState,
     Stack, StackSym,
 };
 
-fn gen_stack(rng: &mut SplitMix64) -> Stack {
-    let len = rng.gen_usize(6);
+/// Default generator size caps: up to this many PDS actions…
+const MAX_ACTIONS: usize = 9;
+/// …and stacks of up to this depth.
+const MAX_STACK: usize = 6;
+
+fn gen_stack(rng: &mut SplitMix64, max_depth: usize) -> Stack {
+    let len = if max_depth == 0 {
+        0
+    } else {
+        rng.gen_usize(max_depth)
+    };
     Stack::from_top_down((0..len).map(|_| StackSym(rng.gen_u32(4))))
 }
 
@@ -34,8 +46,12 @@ fn gen_action(rng: &mut SplitMix64) -> Action {
     }
 }
 
-fn gen_pds(rng: &mut SplitMix64) -> cuba_pds::Pds {
-    let n = 1 + rng.gen_usize(9);
+fn gen_pds(rng: &mut SplitMix64, max_actions: usize) -> cuba_pds::Pds {
+    let n = if max_actions == 0 {
+        0
+    } else {
+        1 + rng.gen_usize(max_actions)
+    };
     let mut b = PdsBuilder::new(3, 4);
     for _ in 0..n {
         b.action(gen_action(rng)).expect("generated in range");
@@ -45,107 +61,145 @@ fn gen_pds(rng: &mut SplitMix64) -> cuba_pds::Pds {
 
 const CASES: u64 = 128;
 
+/// Sweeps `holds(seed, max_actions, max_stack)` over the seed range at
+/// full instance sizes; on the first failing seed, shrinks the size
+/// caps while the property still fails and panics naming the minimal
+/// reproduction (re-run the predicate at those caps to debug it).
+fn check(name: &str, holds: impl Fn(u64, usize, usize) -> bool) {
+    for seed in 0..CASES {
+        if holds(seed, MAX_ACTIONS, MAX_STACK) {
+            continue;
+        }
+        let (actions, stack) = rng::shrink(
+            (MAX_ACTIONS, MAX_STACK),
+            |&(a, s)| {
+                let mut next: Vec<(usize, usize)> =
+                    rng::shrink_usize(a).into_iter().map(|a2| (a2, s)).collect();
+                next.extend(rng::shrink_usize(s).into_iter().map(|s2| (a, s2)));
+                next
+            },
+            |&(a, s)| !holds(seed, a, s),
+        );
+        panic!(
+            "{name}: seed {seed} fails; shrunk to caps of {actions} action(s), \
+             stack depth {stack}"
+        );
+    }
+}
+
 /// Stack effects: a step changes the stack size by at most one, and
 /// only according to its action kind.
 #[test]
 fn step_changes_stack_by_at_most_one() {
-    for seed in 0..CASES {
-        let mut rng = SplitMix64::new(seed);
-        let pds = gen_pds(&mut rng);
-        let config = PdsConfig::new(SharedState(rng.gen_u32(3)), gen_stack(&mut rng));
-        let before = config.stack.len();
-        for succ in pds.successors(&config) {
-            let after = succ.stack.len();
-            assert!(
-                (before as isize - after as isize).abs() <= 1,
-                "seed {seed}: stack jumped from {before} to {after}"
-            );
-        }
-    }
+    check(
+        "stack delta bounded by one",
+        |seed, max_actions, max_stack| {
+            let mut rng = SplitMix64::new(seed);
+            let pds = gen_pds(&mut rng, max_actions);
+            let config =
+                PdsConfig::new(SharedState(rng.gen_u32(3)), gen_stack(&mut rng, max_stack));
+            let before = config.stack.len() as isize;
+            pds.successors(&config)
+                .iter()
+                .all(|succ| (before - succ.stack.len() as isize).abs() <= 1)
+        },
+    );
 }
 
 /// Enabledness: a successor exists only if some action matches the
 /// current (shared state, top) pair exactly.
 #[test]
 fn successors_match_enabled_actions() {
-    for seed in 0..CASES {
-        let mut rng = SplitMix64::new(seed);
-        let pds = gen_pds(&mut rng);
-        let config = PdsConfig::new(SharedState(rng.gen_u32(3)), gen_stack(&mut rng));
-        let n_enabled = pds.actions_from(config.q, config.stack.top()).len();
-        assert_eq!(pds.successors(&config).len(), n_enabled, "seed {seed}");
-    }
+    check(
+        "successors equal enabled actions",
+        |seed, max_actions, max_stack| {
+            let mut rng = SplitMix64::new(seed);
+            let pds = gen_pds(&mut rng, max_actions);
+            let config =
+                PdsConfig::new(SharedState(rng.gen_u32(3)), gen_stack(&mut rng, max_stack));
+            let n_enabled = pds.actions_from(config.q, config.stack.top()).len();
+            pds.successors(&config).len() == n_enabled
+        },
+    );
 }
 
 /// Below-top stack content is never touched by a step.
 #[test]
 fn step_preserves_stack_below_top() {
-    for seed in 0..CASES {
-        let mut rng = SplitMix64::new(seed);
-        let pds = gen_pds(&mut rng);
-        let config = PdsConfig::new(SharedState(rng.gen_u32(3)), gen_stack(&mut rng));
-        let tail: Vec<StackSym> = config.stack.iter_top_down().skip(1).collect();
-        for succ in pds.successors(&config) {
-            let succ_all: Vec<StackSym> = succ.stack.iter_top_down().collect();
-            assert!(
-                succ_all.ends_with(&tail),
-                "seed {seed}: below-top content changed: {succ_all:?} vs tail {tail:?}"
-            );
-        }
-    }
+    check(
+        "below-top content preserved",
+        |seed, max_actions, max_stack| {
+            let mut rng = SplitMix64::new(seed);
+            let pds = gen_pds(&mut rng, max_actions);
+            let config =
+                PdsConfig::new(SharedState(rng.gen_u32(3)), gen_stack(&mut rng, max_stack));
+            let tail: Vec<StackSym> = config.stack.iter_top_down().skip(1).collect();
+            pds.successors(&config).iter().all(|succ| {
+                let succ_all: Vec<StackSym> = succ.stack.iter_top_down().collect();
+                succ_all.ends_with(&tail)
+            })
+        },
+    );
 }
 
 /// CPDS asynchrony: a thread-i step leaves all other stacks untouched
 /// and matches the thread's own PDS step.
 #[test]
 fn cpds_steps_are_asynchronous() {
-    for seed in 0..CASES {
-        let mut rng = SplitMix64::new(seed);
-        let pds = gen_pds(&mut rng);
-        let q = rng.gen_u32(3);
-        let s1 = gen_stack(&mut rng);
-        let s2 = gen_stack(&mut rng);
-        let cpds: Cpds = CpdsBuilder::new(3, SharedState(0))
-            .thread(pds.clone(), [])
-            .thread(pds.clone(), [])
-            .build()
-            .unwrap();
-        let state = GlobalState::new(SharedState(q), vec![s1.clone(), s2.clone()]);
-        for i in 0..2usize {
-            for succ in cpds.successors_of_thread(&state, i) {
-                assert_eq!(&succ.stacks[1 - i], &state.stacks[1 - i], "seed {seed}");
-                // The moved component is a legal sequential step.
-                let thread_cfg = PdsConfig::new(state.q, state.stacks[i].clone());
-                let expected: Vec<PdsConfig> = pds.successors(&thread_cfg);
-                let got = PdsConfig::new(succ.q, succ.stacks[i].clone());
-                assert!(expected.contains(&got), "seed {seed}");
-            }
-        }
-    }
+    check(
+        "CPDS steps are asynchronous",
+        |seed, max_actions, max_stack| {
+            let mut rng = SplitMix64::new(seed);
+            let pds = gen_pds(&mut rng, max_actions);
+            let q = rng.gen_u32(3);
+            let s1 = gen_stack(&mut rng, max_stack);
+            let s2 = gen_stack(&mut rng, max_stack);
+            let cpds: Cpds = CpdsBuilder::new(3, SharedState(0))
+                .thread(pds.clone(), [])
+                .thread(pds.clone(), [])
+                .build()
+                .unwrap();
+            let state = GlobalState::new(SharedState(q), vec![s1.clone(), s2.clone()]);
+            (0..2usize).all(|i| {
+                cpds.successors_of_thread(&state, i).iter().all(|succ| {
+                    if succ.stacks[1 - i] != state.stacks[1 - i] {
+                        return false;
+                    }
+                    // The moved component is a legal sequential step.
+                    let thread_cfg = PdsConfig::new(state.q, state.stacks[i].clone());
+                    let expected: Vec<PdsConfig> = pds.successors(&thread_cfg);
+                    let got = PdsConfig::new(succ.q, succ.stacks[i].clone());
+                    expected.contains(&got)
+                })
+            })
+        },
+    );
 }
 
 /// The visible projection commutes with steps on the untouched
 /// threads: `T` of an unmoved stack is stable.
 #[test]
 fn visible_projection_of_unmoved_threads_is_stable() {
-    for seed in 0..CASES {
-        let mut rng = SplitMix64::new(seed);
-        let pds = gen_pds(&mut rng);
-        let q = rng.gen_u32(3);
-        let s1 = gen_stack(&mut rng);
-        let s2 = gen_stack(&mut rng);
-        let cpds = CpdsBuilder::new(3, SharedState(0))
-            .thread(pds.clone(), [])
-            .thread(pds, [])
-            .build()
-            .unwrap();
-        let state = GlobalState::new(SharedState(q), vec![s1, s2]);
-        let before = state.visible();
-        for succ in cpds.successors_of_thread(&state, 0) {
-            let after = succ.visible();
-            assert_eq!(after.tops[1], before.tops[1], "seed {seed}");
-        }
-    }
+    check(
+        "visible projection stable",
+        |seed, max_actions, max_stack| {
+            let mut rng = SplitMix64::new(seed);
+            let pds = gen_pds(&mut rng, max_actions);
+            let q = rng.gen_u32(3);
+            let s1 = gen_stack(&mut rng, max_stack);
+            let s2 = gen_stack(&mut rng, max_stack);
+            let cpds = CpdsBuilder::new(3, SharedState(0))
+                .thread(pds.clone(), [])
+                .thread(pds, [])
+                .build()
+                .unwrap();
+            let state = GlobalState::new(SharedState(q), vec![s1, s2]);
+            let before = state.visible();
+            cpds.successors_of_thread(&state, 0)
+                .iter()
+                .all(|succ| succ.visible().tops[1] == before.tops[1])
+        },
+    );
 }
 
 /// Rhs arity is consistent with the action constructors.

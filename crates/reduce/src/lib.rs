@@ -1,0 +1,546 @@
+//! Verdict-preserving static pre-analysis for CUBA models.
+//!
+//! CUBA's cost is dominated by `post*`/`pre*` saturation over the full
+//! CPDS, yet models routinely carry control states and transitions
+//! that provably cannot occur: translation artifacts, disabled
+//! configuration branches, left-over states. This crate runs a cheap
+//! multi-pass analysis *before* exploration:
+//!
+//! 1. **Skeleton reachability**: the context-insensitive
+//!    stack-cut-at-one product of Alg. 2, labeled with concrete
+//!    actions. Every transition whose left-hand side `(q, σ)` is not
+//!    covered by any skeleton state can never fire in the concrete
+//!    semantics (the skeleton overapproximates the reachable visible
+//!    states, Lemma 12) — such *dead transitions* are deleted.
+//! 2. **Cone of influence**: the backward closure of the skeleton
+//!    from every state violating a checked [`Property`]. Transitions
+//!    outside the cone cannot influence the verdict's *word*
+//!    (safe/unsafe), but slicing them away would change the
+//!    convergence bound `k` that [`Verdict::Safe`](cuba_core::Verdict)
+//!    certifies — so the default pipeline *reports* them (statistics,
+//!    lints) instead of removing them.
+//! 3. **Diagnostics** ([`Lint`]): machine-readable findings —
+//!    unreachable control states, dead transitions, vacuous or
+//!    ill-formed property specs — suitable for `cuba lint`.
+//!
+//! # Why the result is verdict-preserving
+//!
+//! Deleting a dead transition leaves every reachability layer `Rk`
+//! untouched (it never fires), but CUBA's *convergence machinery* also
+//! reads the program text: the generator set `G` is built from pop
+//! targets and emerging symbols (Eq. 2), the overapproximation `Z`
+//! from emerging symbols (Alg. 2), and engine selection from the FCR
+//! check (§5), which starts from *all* of `Q × Σ≤1`, not just reachable
+//! configurations. The pipeline therefore deletes a dead transition
+//! only when the deletion provably cannot shift any of those inputs:
+//!
+//! * per-thread **emerging symbols**, **pop targets** and **used
+//!   symbols** must be unchanged — a dead transition that is the sole
+//!   contributor of one of these is retained;
+//! * the per-thread **FCR classification** must be unchanged — checked
+//!   directly by re-running the finiteness test on the candidate
+//!   reduction and reverting the thread if it flips.
+//!
+//! Under these guards the sequences `(Rk)`, `(Sk)`, `(T(Rk))`, the set
+//! `G ∩ Z`, and the engine lineup all coincide with the original
+//! system's, so every engine reports the identical verdict, bound and
+//! convergence method. Shared states and stack symbols are never
+//! renumbered: unreachable control states are retired in place by
+//! dropping their incident transitions, so properties and witnesses
+//! keep their meaning on the reduced system.
+
+mod lint;
+mod skeleton;
+
+use std::collections::HashSet;
+use std::time::Instant;
+
+use cuba_automata::is_language_finite;
+use cuba_core::{fcr_psa, Property};
+use cuba_pds::{Cpds, CpdsBuilder, Pds, PdsBuilder, PdsError, Rhs, SharedState, StackSym};
+
+pub use lint::{Lint, LintLevel};
+
+/// Counters and pass timings of one [`reduce`] run, designed to be
+/// embedded verbatim in `verify --json` output and BENCH records.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ReductionStats {
+    /// States of the explored context-insensitive skeleton.
+    pub skeleton_states: usize,
+    /// Shared states of the model.
+    pub shared_states: usize,
+    /// Shared states no skeleton state carries (unreachable).
+    pub unreachable_shared: usize,
+    /// Transitions across all threads before reduction.
+    pub transitions: usize,
+    /// Transitions that can never fire (dead).
+    pub dead_transitions: usize,
+    /// Dead transitions actually removed — dead ones whose removal
+    /// would disturb a convergence invariant are retained.
+    pub removed_transitions: usize,
+    /// Firable transitions outside every checked property's cone of
+    /// influence (reported, not removed).
+    pub irrelevant_transitions: usize,
+    /// Checked properties whose violation is unreachable even in the
+    /// skeleton.
+    pub vacuous_properties: usize,
+    /// Wall time of the skeleton pass, microseconds.
+    pub skeleton_us: u64,
+    /// Wall time of the cone-of-influence pass, microseconds.
+    pub coi_us: u64,
+    /// Wall time of guard checks and the system rebuild, microseconds.
+    pub rebuild_us: u64,
+}
+
+impl ReductionStats {
+    /// Whether the reduced system differs from the original.
+    pub fn changed(&self) -> bool {
+        self.removed_transitions > 0
+    }
+}
+
+/// The outcome of the pre-analysis pipeline.
+#[derive(Debug, Clone)]
+pub struct Reduction {
+    /// The reduced system — identical ids and names, possibly fewer
+    /// transitions. Safe to verify in place of the original: every
+    /// engine reports the same verdict, bound and method.
+    pub cpds: Cpds,
+    /// Counters and pass timings.
+    pub stats: ReductionStats,
+    /// Diagnostics discovered along the way.
+    pub lints: Vec<Lint>,
+}
+
+impl Reduction {
+    /// Whether any diagnostic reaches [`LintLevel::Deny`].
+    pub fn has_deny(&self) -> bool {
+        self.lints.iter().any(|l| l.level == LintLevel::Deny)
+    }
+}
+
+/// Symbols an action mentions (left-hand top and right-hand writes).
+fn mentioned_symbols(a: &cuba_pds::Action) -> impl Iterator<Item = StackSym> {
+    let mut syms: Vec<StackSym> = Vec::with_capacity(3);
+    if let Some(top) = a.top {
+        syms.push(top);
+    }
+    match a.rhs {
+        Rhs::Empty => {}
+        Rhs::One(s) => syms.push(s),
+        Rhs::Two { top, below } => {
+            syms.push(top);
+            syms.push(below);
+        }
+    }
+    syms.into_iter()
+}
+
+/// Chooses which actions of one thread to keep: every firable action,
+/// plus any dead action whose removal would change the thread's
+/// emerging-symbol, pop-target or used-symbol aggregates (the inputs
+/// of `G`, `Z` and the FCR initial set).
+fn decide_keep(pds: &Pds, firable: &[bool]) -> Vec<bool> {
+    let mut keep = firable.to_vec();
+    let mut emerging: HashSet<StackSym> = HashSet::new();
+    let mut pop_targets: HashSet<SharedState> = HashSet::new();
+    let mut used: HashSet<StackSym> = HashSet::new();
+    let absorb = |a: &cuba_pds::Action,
+                  emerging: &mut HashSet<StackSym>,
+                  pop_targets: &mut HashSet<SharedState>,
+                  used: &mut HashSet<StackSym>| {
+        if let Rhs::Two { below, .. } = a.rhs {
+            emerging.insert(below);
+        }
+        if a.is_pop() {
+            pop_targets.insert(a.q_post);
+        }
+        used.extend(mentioned_symbols(a));
+    };
+    for (idx, a) in pds.actions().iter().enumerate() {
+        if keep[idx] {
+            absorb(a, &mut emerging, &mut pop_targets, &mut used);
+        }
+    }
+    for (idx, a) in pds.actions().iter().enumerate() {
+        if keep[idx] {
+            continue;
+        }
+        let contributes_emerging =
+            matches!(a.rhs, Rhs::Two { below, .. } if !emerging.contains(&below));
+        let contributes_pop = a.is_pop() && !pop_targets.contains(&a.q_post);
+        let contributes_sym = mentioned_symbols(a).any(|s| !used.contains(&s));
+        if contributes_emerging || contributes_pop || contributes_sym {
+            keep[idx] = true;
+            absorb(a, &mut emerging, &mut pop_targets, &mut used);
+        }
+    }
+    keep
+}
+
+/// Rebuilds one thread's PDS with only the `keep`-flagged actions,
+/// preserving action names, symbol names, and the alphabet (ids are
+/// never renumbered).
+fn rebuild_pds(pds: &Pds, keep: &[bool]) -> Result<Pds, PdsError> {
+    let mut b = PdsBuilder::new(pds.num_shared(), pds.alphabet_size());
+    for (idx, a) in pds.actions().iter().enumerate() {
+        if !keep[idx] {
+            continue;
+        }
+        match pds.action_name(idx) {
+            Some(name) => b.named_action(name, *a)?,
+            None => b.action(*a)?,
+        };
+    }
+    for sym in 0..pds.alphabet_size() {
+        if let Some(name) = pds.sym_name(StackSym(sym)) {
+            b.name_symbol(StackSym(sym), name);
+        }
+    }
+    b.build()
+}
+
+/// Runs the full pre-analysis pipeline on `cpds` with respect to the
+/// properties that will be checked.
+///
+/// The returned [`Reduction::cpds`] is a drop-in replacement for the
+/// original system: verifying it yields the identical
+/// [`Verdict`](cuba_core::Verdict) (word, bound *and* convergence
+/// method) at no more exploration work. Pass the reduced system to the
+/// [`SuiteCache`](cuba_core::SuiteCache) so cached artifacts are keyed
+/// on what is actually explored.
+///
+/// # Errors
+///
+/// Propagates [`PdsError`] from the rebuild — unreachable in practice,
+/// since every kept action was validated when the input was built.
+pub fn reduce(cpds: &Cpds, properties: &[Property]) -> Result<Reduction, PdsError> {
+    let t0 = Instant::now();
+    let skel = skeleton::explore(cpds);
+    let skeleton_us = t0.elapsed().as_micros() as u64;
+
+    let t1 = Instant::now();
+    let rel = skeleton::relevance(cpds, &skel, properties);
+    let coi_us = t1.elapsed().as_micros() as u64;
+
+    let t2 = Instant::now();
+    let mut builder = CpdsBuilder::new(cpds.num_shared(), cpds.q_init());
+    let mut keeps: Vec<Vec<bool>> = Vec::with_capacity(cpds.num_threads());
+    for (i, pds) in cpds.threads().iter().enumerate() {
+        let mut keep = decide_keep(pds, &skel.firable[i]);
+        if keep.iter().any(|&k| !k) {
+            // FCR guard: engine selection reads the per-thread
+            // finiteness of R(Q × Σ≤1). Revert the thread if the
+            // candidate reduction flips it.
+            let original = is_language_finite(fcr_psa(pds, cpds.num_shared()).as_nfa());
+            let candidate = rebuild_pds(pds, &keep)?;
+            let reduced = is_language_finite(fcr_psa(&candidate, cpds.num_shared()).as_nfa());
+            if reduced == original {
+                builder = builder.thread(candidate, cpds.initial_stack(i).iter_top_down());
+            } else {
+                keep = vec![true; pds.actions().len()];
+                builder = builder.thread(
+                    rebuild_pds(pds, &keep)?,
+                    cpds.initial_stack(i).iter_top_down(),
+                );
+            }
+        } else {
+            builder = builder.thread(
+                rebuild_pds(pds, &keep)?,
+                cpds.initial_stack(i).iter_top_down(),
+            );
+        }
+        keeps.push(keep);
+    }
+    for q in 0..cpds.num_shared() {
+        if let Some(name) = cpds.shared_name(SharedState(q)) {
+            builder = builder.name_shared(SharedState(q), name);
+        }
+    }
+    let reduced = builder.build()?;
+    let rebuild_us = t2.elapsed().as_micros() as u64;
+
+    let transitions: usize = cpds.threads().iter().map(|p| p.actions().len()).sum();
+    let dead_transitions: usize = skel
+        .firable
+        .iter()
+        .flatten()
+        .filter(|&&firable| !firable)
+        .count();
+    let removed_transitions: usize = keeps.iter().flatten().filter(|&&keep| !keep).count();
+    let irrelevant_transitions: usize = skel
+        .firable
+        .iter()
+        .zip(rel.relevant.iter())
+        .flat_map(|(f, r)| f.iter().zip(r.iter()))
+        .filter(|&(&firable, &relevant)| firable && !relevant)
+        .count();
+    let vacuous_properties = rel.vacuous.iter().filter(|&&v| v).count();
+    let stats = ReductionStats {
+        skeleton_states: skel.num_states(),
+        shared_states: cpds.num_shared() as usize,
+        unreachable_shared: skel.reachable_shared.iter().filter(|&&r| !r).count(),
+        transitions,
+        dead_transitions,
+        removed_transitions,
+        irrelevant_transitions,
+        vacuous_properties,
+        skeleton_us,
+        coi_us,
+        rebuild_us,
+    };
+
+    let lints = collect_lints(cpds, properties, &skel, &rel, &keeps);
+    Ok(Reduction {
+        cpds: reduced,
+        stats,
+        lints,
+    })
+}
+
+/// Produces the CPDS-level lint catalogue from the analysis results.
+fn collect_lints(
+    cpds: &Cpds,
+    properties: &[Property],
+    skel: &skeleton::Skeleton,
+    rel: &skeleton::Relevance,
+    keeps: &[Vec<bool>],
+) -> Vec<Lint> {
+    let mut lints = Vec::new();
+    for (p, property) in properties.iter().enumerate() {
+        match property.validate(cpds) {
+            Err(message) => {
+                lints.push(Lint::new("unknown-state", LintLevel::Deny, message));
+            }
+            Ok(()) => {
+                if rel.vacuous[p] && !matches!(property, Property::True) {
+                    lints.push(Lint::new(
+                        "vacuous-property",
+                        LintLevel::Note,
+                        format!(
+                            "property `{property}` cannot be violated even in the \
+                             context-insensitive overapproximation; verification is trivial"
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+    for q in 0..cpds.num_shared() {
+        if !skel.reachable_shared[q as usize] {
+            let name = cpds
+                .shared_name(SharedState(q))
+                .map(|n| format!(" (`{n}`)"))
+                .unwrap_or_default();
+            lints.push(Lint::new(
+                "unreachable-state",
+                LintLevel::Warn,
+                format!("shared state {q}{name} is unreachable from the initial state"),
+            ));
+        }
+    }
+    for (i, pds) in cpds.threads().iter().enumerate() {
+        for (idx, a) in pds.actions().iter().enumerate() {
+            if skel.firable[i][idx] {
+                continue;
+            }
+            let what = pds
+                .action_name(idx)
+                .map(|n| format!("`{n}`"))
+                .unwrap_or_else(|| format!("`{a}`"));
+            let retained = if keeps[i][idx] {
+                " (retained: removing it would change the convergence certificate)"
+            } else {
+                ""
+            };
+            lints.push(Lint::new(
+                "dead-transition",
+                LintLevel::Warn,
+                format!(
+                    "thread {i}: transition {what} can never fire — its source pair \
+                     is unreachable{retained}"
+                ),
+            ));
+        }
+    }
+    lints
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cuba_pds::VisibleState;
+
+    fn q(n: u32) -> SharedState {
+        SharedState(n)
+    }
+    fn s(n: u32) -> StackSym {
+        StackSym(n)
+    }
+
+    fn fig1() -> Cpds {
+        let mut p1 = PdsBuilder::new(4, 3);
+        p1.overwrite(q(0), s(1), q(1), s(2)).unwrap();
+        p1.overwrite(q(3), s(2), q(0), s(1)).unwrap();
+        let mut p2 = PdsBuilder::new(4, 7);
+        p2.pop(q(0), s(4), q(0)).unwrap();
+        p2.overwrite(q(1), s(4), q(2), s(5)).unwrap();
+        p2.push(q(2), s(5), q(3), s(4), s(6)).unwrap();
+        CpdsBuilder::new(4, q(0))
+            .thread(p1.build().unwrap(), [s(1)])
+            .thread(p2.build().unwrap(), [s(4)])
+            .build()
+            .unwrap()
+    }
+
+    /// Fig. 1 with an injected dead branch: state 4 ("debug") is never
+    /// produced, so both actions reading it are dead.
+    fn fig1_with_dead_code() -> Cpds {
+        let mut p1 = PdsBuilder::new(5, 3);
+        p1.overwrite(q(0), s(1), q(1), s(2)).unwrap();
+        p1.overwrite(q(3), s(2), q(0), s(1)).unwrap();
+        p1.named_action(
+            "debug-dump",
+            cuba_pds::Action::overwrite(q(4), s(1), q(0), s(1)),
+        )
+        .unwrap();
+        let mut p2 = PdsBuilder::new(5, 7);
+        p2.pop(q(0), s(4), q(0)).unwrap();
+        p2.overwrite(q(1), s(4), q(2), s(5)).unwrap();
+        p2.push(q(2), s(5), q(3), s(4), s(6)).unwrap();
+        p2.overwrite(q(4), s(4), q(4), s(5)).unwrap();
+        CpdsBuilder::new(5, q(0))
+            .thread(p1.build().unwrap(), [s(1)])
+            .thread(p2.build().unwrap(), [s(4)])
+            .name_shared(q(4), "debug")
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn fig1_reduces_to_identity() {
+        let cpds = fig1();
+        let r = reduce(&cpds, &[Property::True]).unwrap();
+        assert_eq!(r.stats.removed_transitions, 0);
+        assert_eq!(r.stats.dead_transitions, 0);
+        assert_eq!(r.stats.unreachable_shared, 0);
+        assert!(!r.stats.changed());
+        assert_eq!(
+            cuba_core::fingerprint(&r.cpds),
+            cuba_core::fingerprint(&cpds)
+        );
+        assert!(r.lints.is_empty(), "{:?}", r.lints);
+    }
+
+    #[test]
+    fn dead_code_is_removed_and_linted() {
+        let cpds = fig1_with_dead_code();
+        let r = reduce(&cpds, &[Property::never_shared(q(2))]).unwrap();
+        assert_eq!(r.stats.dead_transitions, 2);
+        assert_eq!(r.stats.removed_transitions, 2);
+        assert_eq!(r.stats.unreachable_shared, 1);
+        assert_eq!(r.cpds.thread(0).actions().len(), 2);
+        assert_eq!(r.cpds.thread(1).actions().len(), 3);
+        // Ids and names survive untouched.
+        assert_eq!(r.cpds.num_shared(), 5);
+        assert_eq!(r.cpds.shared_name(q(4)), Some("debug"));
+        let codes: Vec<&str> = r.lints.iter().map(|l| l.code).collect();
+        assert!(codes.contains(&"unreachable-state"));
+        assert_eq!(codes.iter().filter(|&&c| c == "dead-transition").count(), 2);
+        // The named dead action is reported by name.
+        assert!(r
+            .lints
+            .iter()
+            .any(|l| l.code == "dead-transition" && l.message.contains("`debug-dump`")));
+    }
+
+    #[test]
+    fn reduction_preserves_convergence_aggregates() {
+        let cpds = fig1_with_dead_code();
+        let r = reduce(&cpds, &[Property::True]).unwrap();
+        for i in 0..cpds.num_threads() {
+            assert_eq!(
+                r.cpds.thread(i).emerging_symbols(),
+                cpds.thread(i).emerging_symbols(),
+                "thread {i} emerging symbols changed"
+            );
+            assert_eq!(
+                r.cpds.thread(i).pop_targets(),
+                cpds.thread(i).pop_targets(),
+                "thread {i} pop targets changed"
+            );
+            assert_eq!(
+                r.cpds.thread(i).used_symbols(),
+                cpds.thread(i).used_symbols(),
+                "thread {i} used symbols changed"
+            );
+        }
+    }
+
+    #[test]
+    fn sole_contributor_dead_actions_are_retained() {
+        // The dead push is the only producer of emerging symbol 2 and
+        // the dead pop the only pop targeting state 1: removing either
+        // would shrink G/Z, so both must be kept (and flagged).
+        let mut p = PdsBuilder::new(3, 4);
+        p.overwrite(q(0), s(0), q(0), s(1)).unwrap();
+        p.push(q(2), s(0), q(2), s(3), s(2)).unwrap(); // dead, sole emerging producer
+        p.pop(q(2), s(3), q(1)).unwrap(); // dead, sole pop target
+        let cpds = CpdsBuilder::new(3, q(0))
+            .thread(p.build().unwrap(), [s(0)])
+            .build()
+            .unwrap();
+        let r = reduce(&cpds, &[Property::True]).unwrap();
+        assert_eq!(r.stats.dead_transitions, 2);
+        assert_eq!(r.stats.removed_transitions, 0);
+        assert_eq!(r.cpds.thread(0).actions().len(), 3);
+        assert!(r
+            .lints
+            .iter()
+            .any(|l| l.code == "dead-transition" && l.message.contains("retained")));
+    }
+
+    #[test]
+    fn unknown_state_property_is_denied() {
+        let cpds = fig1();
+        let bogus = Property::never_shared(q(9));
+        let r = reduce(&cpds, &[bogus]).unwrap();
+        assert!(r.has_deny());
+        assert!(r
+            .lints
+            .iter()
+            .any(|l| l.code == "unknown-state" && l.level == LintLevel::Deny));
+    }
+
+    #[test]
+    fn vacuous_property_is_noted() {
+        let cpds = fig1();
+        // ⟨2|1,5⟩ is outside Z (Ex. 14).
+        let target = VisibleState::new(q(2), vec![Some(s(1)), Some(s(5))]);
+        let r = reduce(&cpds, &[Property::never_visible(target)]).unwrap();
+        assert!(r
+            .lints
+            .iter()
+            .any(|l| l.code == "vacuous-property" && l.level == LintLevel::Note));
+        assert_eq!(r.stats.vacuous_properties, 1);
+    }
+
+    #[test]
+    fn reduced_system_verifies_identically() {
+        use cuba_core::{Portfolio, Verdict};
+        let cpds = fig1_with_dead_code();
+        let property = Property::never_shared(q(2));
+        let original = Portfolio::auto()
+            .run(cpds.clone(), property.clone())
+            .unwrap();
+        let r = reduce(&cpds, std::slice::from_ref(&property)).unwrap();
+        assert!(r.stats.changed());
+        let reduced = Portfolio::auto().run(r.cpds, property).unwrap();
+        match (&original.verdict, &reduced.verdict) {
+            (Verdict::Unsafe { k: k0, .. }, Verdict::Unsafe { k: k1, .. }) => {
+                assert_eq!(k0, k1)
+            }
+            (a, b) => assert_eq!(a, b),
+        }
+    }
+}

@@ -1,0 +1,332 @@
+//! The labeled context-insensitive skeleton: the same stack-cut-at-one
+//! asynchronous product that [`cuba_core::compute_z`] explores (Alg. 2),
+//! rebuilt here with two additions the reduction pipeline needs:
+//!
+//! * every abstract edge is *labeled* with the concrete action that
+//!   induced it, so a backward pass can name the transitions lying on
+//!   some path into a property violation (cone of influence);
+//! * the pop-guess set is widened with the non-top symbols of each
+//!   thread's initial stack, so the skeleton stays an overapproximation
+//!   of the reachable visible states even for initial stacks deeper
+//!   than one symbol.
+//!
+//! Everything flagged unreachable here is unreachable in the concrete
+//! semantics (the skeleton is a superset, Lemma 12 direction), which is
+//! what makes deleting it verdict-preserving.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use cuba_core::Property;
+use cuba_pds::{Cpds, Pds, Rhs, StackSym, ThreadVisible, VisibleState};
+
+/// One abstract move: firing `action` of the owning thread takes the
+/// thread-visible pair `from` to `to`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct Move {
+    from: ThreadVisible,
+    to: ThreadVisible,
+    action: usize,
+}
+
+/// The thread abstraction with action labels. `extra_emerging` holds
+/// symbols a pop may reveal beyond the push-written ones — the non-top
+/// symbols of the thread's initial stack.
+fn labeled_abstraction(pds: &Pds, extra_emerging: &[StackSym]) -> Vec<Move> {
+    let mut emerging: Vec<StackSym> = pds.emerging_symbols();
+    for &sym in extra_emerging {
+        if !emerging.contains(&sym) {
+            emerging.push(sym);
+        }
+    }
+    let mut seen: HashSet<Move> = HashSet::new();
+    let mut out: Vec<Move> = Vec::new();
+    let mut push = |m: Move, out: &mut Vec<Move>| {
+        if seen.insert(m) {
+            out.push(m);
+        }
+    };
+    for (action, a) in pds.actions().iter().enumerate() {
+        let from = ThreadVisible { q: a.q, top: a.top };
+        let to_top = match a.rhs {
+            Rhs::Empty => None,
+            Rhs::One(s) => Some(s),
+            Rhs::Two { top, .. } => Some(top),
+        };
+        push(
+            Move {
+                from,
+                to: ThreadVisible {
+                    q: a.q_post,
+                    top: to_top,
+                },
+                action,
+            },
+            &mut out,
+        );
+        // Pops reveal an unknown symbol: guess every emerging symbol.
+        if a.rhs.is_empty() && a.top.is_some() {
+            for &rho in &emerging {
+                push(
+                    Move {
+                        from,
+                        to: ThreadVisible {
+                            q: a.q_post,
+                            top: Some(rho),
+                        },
+                        action,
+                    },
+                    &mut out,
+                );
+            }
+        }
+    }
+    out
+}
+
+/// The explored skeleton: the overapproximated visible-state space with
+/// labeled reverse edges, plus the per-action firability verdicts.
+pub(crate) struct Skeleton {
+    /// Interned product states (index = state id).
+    pub states: Vec<VisibleState>,
+    /// Reverse adjacency: `preds[v]` lists `(u, thread, action)` for
+    /// every abstract edge `u → v`.
+    pub preds: Vec<Vec<(u32, u32, u32)>>,
+    /// Per thread, per action index: can the action's left-hand side
+    /// `(q, top)` occur in any skeleton state?
+    pub firable: Vec<Vec<bool>>,
+    /// Per shared state: does any skeleton state carry it?
+    pub reachable_shared: Vec<bool>,
+}
+
+impl Skeleton {
+    /// Number of product states explored (`|Z|` of the widened
+    /// skeleton).
+    pub fn num_states(&self) -> usize {
+        self.states.len()
+    }
+}
+
+/// Explores the asynchronous product of the labeled thread
+/// abstractions from the initial visible state.
+pub(crate) fn explore(cpds: &Cpds) -> Skeleton {
+    // Per thread: moves indexed by their source pair.
+    let moves: Vec<HashMap<ThreadVisible, Vec<(ThreadVisible, u32)>>> = (0..cpds.num_threads())
+        .map(|i| {
+            let below: Vec<StackSym> = cpds.initial_stack(i).iter_top_down().skip(1).collect();
+            let mut by_from: HashMap<ThreadVisible, Vec<(ThreadVisible, u32)>> = HashMap::new();
+            for m in labeled_abstraction(cpds.thread(i), &below) {
+                by_from
+                    .entry(m.from)
+                    .or_default()
+                    .push((m.to, m.action as u32));
+            }
+            by_from
+        })
+        .collect();
+
+    let start = cpds.initial_state().visible();
+    let mut states: Vec<VisibleState> = vec![start.clone()];
+    let mut index: HashMap<VisibleState, u32> = HashMap::new();
+    index.insert(start, 0);
+    let mut preds: Vec<Vec<(u32, u32, u32)>> = vec![Vec::new()];
+    let mut queue: VecDeque<u32> = VecDeque::new();
+    queue.push_back(0);
+    while let Some(u) = queue.pop_front() {
+        for (i, by_from) in moves.iter().enumerate() {
+            let tv = states[u as usize].thread_visible(i);
+            let Some(outgoing) = by_from.get(&tv) else {
+                continue;
+            };
+            for &(to, action) in outgoing {
+                let mut next = states[u as usize].clone();
+                next.q = to.q;
+                next.tops[i] = to.top;
+                let v = match index.get(&next) {
+                    Some(&v) => v,
+                    None => {
+                        let v = states.len() as u32;
+                        states.push(next.clone());
+                        index.insert(next, v);
+                        preds.push(Vec::new());
+                        queue.push_back(v);
+                        v
+                    }
+                };
+                preds[v as usize].push((u, i as u32, action));
+            }
+        }
+    }
+
+    let mut reachable_shared = vec![false; cpds.num_shared() as usize];
+    for v in &states {
+        reachable_shared[v.q.0 as usize] = true;
+    }
+    let mut firable: Vec<Vec<bool>> = cpds
+        .threads()
+        .iter()
+        .map(|pds| vec![false; pds.actions().len()])
+        .collect();
+    for v in &states {
+        for (i, pds) in cpds.threads().iter().enumerate() {
+            for &idx in pds.actions_from(v.q, v.tops[i]) {
+                firable[i][idx] = true;
+            }
+        }
+    }
+    Skeleton {
+        states,
+        preds,
+        firable,
+        reachable_shared,
+    }
+}
+
+/// The property-directed backward closure (cone of influence).
+pub(crate) struct Relevance {
+    /// Per thread, per action index: does the action label some
+    /// skeleton edge on a path into a violation of *any* of the checked
+    /// properties?
+    pub relevant: Vec<Vec<bool>>,
+    /// Per property: is the violation unreachable even in the skeleton
+    /// (the property holds trivially)?
+    pub vacuous: Vec<bool>,
+}
+
+/// Walks the skeleton backward from every state violating one of
+/// `properties`, marking the actions that can still influence a
+/// violation. Actions left unmarked are property-irrelevant: a cone-of
+/// -influence slice could drop them, at the price of changing the
+/// convergence bound — see the crate docs for why the default pipeline
+/// reports them instead of removing them.
+pub(crate) fn relevance(cpds: &Cpds, skel: &Skeleton, properties: &[Property]) -> Relevance {
+    let mut relevant: Vec<Vec<bool>> = cpds
+        .threads()
+        .iter()
+        .map(|pds| vec![false; pds.actions().len()])
+        .collect();
+    let mut vacuous = Vec::with_capacity(properties.len());
+    let mut in_cone = vec![false; skel.states.len()];
+    let mut queue: VecDeque<u32> = VecDeque::new();
+    for property in properties {
+        let mut any = false;
+        for (id, v) in skel.states.iter().enumerate() {
+            if property.violated_by(v) {
+                any = true;
+                if !in_cone[id] {
+                    in_cone[id] = true;
+                    queue.push_back(id as u32);
+                }
+            }
+        }
+        vacuous.push(!any);
+    }
+    // One shared closure over the union of all targets: an edge is
+    // relevant as soon as its target can reach any violation.
+    while let Some(v) = queue.pop_front() {
+        for &(u, thread, action) in &skel.preds[v as usize] {
+            relevant[thread as usize][action as usize] = true;
+            if !in_cone[u as usize] {
+                in_cone[u as usize] = true;
+                queue.push_back(u);
+            }
+        }
+    }
+    Relevance { relevant, vacuous }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cuba_pds::{CpdsBuilder, PdsBuilder, SharedState};
+
+    fn q(n: u32) -> SharedState {
+        SharedState(n)
+    }
+    fn s(n: u32) -> StackSym {
+        StackSym(n)
+    }
+
+    /// Fig. 1 of the paper, with names for readability.
+    fn fig1() -> Cpds {
+        let mut p1 = PdsBuilder::new(4, 3);
+        p1.overwrite(q(0), s(1), q(1), s(2)).unwrap();
+        p1.overwrite(q(3), s(2), q(0), s(1)).unwrap();
+        let mut p2 = PdsBuilder::new(4, 7);
+        p2.pop(q(0), s(4), q(0)).unwrap();
+        p2.overwrite(q(1), s(4), q(2), s(5)).unwrap();
+        p2.push(q(2), s(5), q(3), s(4), s(6)).unwrap();
+        CpdsBuilder::new(4, q(0))
+            .thread(p1.build().unwrap(), [s(1)])
+            .thread(p2.build().unwrap(), [s(4)])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn fig1_everything_firable() {
+        let cpds = fig1();
+        let skel = explore(&cpds);
+        assert!(skel.firable.iter().flatten().all(|&f| f));
+        assert!(skel.reachable_shared.iter().all(|&r| r));
+        // Matches the Fig. 3 Z set: eight visible states.
+        assert_eq!(skel.num_states(), 8);
+    }
+
+    #[test]
+    fn dead_action_detected() {
+        // Shared state 9 is never produced, so an action reading it can
+        // never fire.
+        let mut p1 = PdsBuilder::new(10, 3);
+        p1.overwrite(q(0), s(1), q(1), s(2)).unwrap();
+        p1.overwrite(q(9), s(1), q(0), s(1)).unwrap(); // dead
+        let cpds = CpdsBuilder::new(10, q(0))
+            .thread(p1.build().unwrap(), [s(1)])
+            .build()
+            .unwrap();
+        let skel = explore(&cpds);
+        assert_eq!(skel.firable[0], vec![true, false]);
+        assert!(!skel.reachable_shared[9]);
+        assert!(skel.reachable_shared[0] && skel.reachable_shared[1]);
+    }
+
+    #[test]
+    fn deep_initial_stack_symbols_emerge() {
+        // Thread starts with stack [0, 1] (0 on top); popping 0 reveals
+        // 1, which is not written under any push. The widened skeleton
+        // must still see (1, top 1) so the second action stays firable.
+        let mut p = PdsBuilder::new(2, 2);
+        p.pop(q(0), s(0), q(1)).unwrap();
+        p.overwrite(q(1), s(1), q(0), s(1)).unwrap();
+        let cpds = CpdsBuilder::new(2, q(0))
+            .thread(p.build().unwrap(), [s(0), s(1)])
+            .build()
+            .unwrap();
+        let skel = explore(&cpds);
+        assert!(skel.firable[0].iter().all(|&f| f));
+    }
+
+    #[test]
+    fn relevance_follows_paths_to_violation() {
+        let cpds = fig1();
+        let skel = explore(&cpds);
+        // ⟨2|·⟩ is reachable; every action can sit on a path to it
+        // except nothing — in Fig. 1 all actions feed the loop.
+        let rel = relevance(&cpds, &skel, &[Property::never_shared(q(2))]);
+        assert_eq!(rel.vacuous, vec![false]);
+        assert!(rel.relevant[0]
+            .iter()
+            .chain(rel.relevant[1].iter())
+            .any(|&r| r));
+    }
+
+    #[test]
+    fn vacuous_property_has_empty_cone() {
+        let cpds = fig1();
+        let skel = explore(&cpds);
+        // ⟨2|1,5⟩ is outside Z (Ex. 14): statically safe.
+        let target = VisibleState::new(q(2), vec![Some(s(1)), Some(s(5))]);
+        let rel = relevance(&cpds, &skel, &[Property::never_visible(target)]);
+        assert_eq!(rel.vacuous, vec![true]);
+        assert!(rel.relevant.iter().flatten().all(|&r| !r));
+    }
+}

@@ -15,8 +15,8 @@
 //!
 //! | Endpoint | Semantics |
 //! |---|---|
-//! | `POST /analyze` | Body: a model (`.cpds` text by default, `?format=bp` for Boolean programs). Repeatable `?property=SPEC` (the CLI `--property` grammar). `?schedule=` overrides the arm scheduling per request (the CLI `--schedule` grammar; `frontier:<name>` selects a profile preloaded at boot via `cuba serve --profile`, `frontier:key=value,...` tunes inline — requests can never make the server read a file). Streams NDJSON events per property until the verdict. |
-//! | `POST /suite` | Same body/parameters (`?schedule=` included); runs every property through [`Portfolio::run_suite_cached`](cuba_core::Portfolio::run_suite_cached) with bounded parallelism (`?workers=N`) and answers one JSON document. |
+//! | `POST /analyze` | Body: a model (`.cpds` text by default, `?format=bp` for Boolean programs). Repeatable `?property=SPEC` (the CLI `--property` grammar). `?schedule=` overrides the arm scheduling per request (the CLI `--schedule` grammar; `frontier:<name>` selects a profile preloaded at boot via `cuba serve --profile`, `frontier:key=value,...` tunes inline — requests can never make the server read a file). `?reduce=true` runs the verdict-preserving static pre-analysis (`cuba lint`'s reduction pipeline) on the parsed system before analysis; the stream then opens with one `reduced` line. Streams NDJSON events per property until the verdict. |
+//! | `POST /suite` | Same body/parameters (`?schedule=` and `?reduce=` included); runs every property through [`Portfolio::run_suite_cached`](cuba_core::Portfolio::run_suite_cached) with bounded parallelism (`?workers=N`) and answers one JSON document. |
 //! | `GET /systems` | The shared-exploration registry: per cached system its fingerprint, FCR verdict (if decided) and per-backend explorer counters (`rounds_explored`, `depth`). |
 //! | `GET /healthz` | Liveness + service counters. |
 //! | `POST /shutdown` | `?mode=graceful` (default) drains in-flight sessions; `?mode=abort` additionally fires the service-wide [`CancelToken`](cuba_explore::CancelToken) so explorations stop at their next interrupt poll. |
@@ -324,6 +324,11 @@ struct AnalyzeRequest {
     /// `--schedule` grammar with profiles resolved against the
     /// service's preloaded map.
     schedule: Option<SchedulePolicy>,
+    /// When `?reduce=true` was given, the number of transitions the
+    /// verdict-preserving pre-analysis removed from `cpds` (which is
+    /// already the reduced system). `None` means no reduction was
+    /// requested.
+    reduce_removed: Option<usize>,
 }
 
 /// Parses the shared `/analyze`–`/suite` request shape. `profiles`
@@ -374,12 +379,32 @@ fn parse_analyze_request(
                 .ok_or_else(|| format!("unknown schedule profile '{name}'"))
         })?),
     };
+    let reduce = match request.query_first("reduce") {
+        None | Some("false") | Some("0") => false,
+        Some("true") | Some("1") | Some("") => true,
+        Some(other) => return Err(format!("bad reduce '{other}' (expected true or false)")),
+    };
+    // Reduce *before* the broker sees the system: the shared cache
+    // fingerprints structure, so reduced requests key on the reduced
+    // CPDS and share exploration with each other, never with the
+    // unreduced original. Reduction is property-independent (the
+    // verdict-preservation invariant), so one reduced system serves
+    // every property of the request.
+    let (cpds, reduce_removed) = if reduce {
+        let props: Vec<Property> = properties.iter().map(|(_, p)| p.clone()).collect();
+        let reduction = cuba_reduce::reduce(&cpds, &props).map_err(|e| format!("reduce: {e}"))?;
+        let removed = reduction.stats.removed_transitions;
+        (reduction.cpds, Some(removed))
+    } else {
+        (cpds, None)
+    };
     Ok(AnalyzeRequest {
         cpds,
         properties,
         lineup,
         max_k,
         schedule,
+        reduce_removed,
     })
 }
 
@@ -462,6 +487,9 @@ fn handle_analyze(
 
     write_stream_head(out, "application/x-ndjson")?;
     let mut client_gone = false;
+    if let Some(removed) = parsed.reduce_removed {
+        send_line(out, &reduced_line(removed), &mut client_gone);
+    }
     for (spec, property) in parsed.properties {
         if client_gone {
             break;
@@ -590,6 +618,9 @@ fn handle_suite(
     let stats = broker.cache.stats();
     let mut body = JsonObject::new();
     body.string("cache", if cache_hit { "hit" } else { "miss" });
+    if let Some(removed) = parsed.reduce_removed {
+        body.number("reduce_removed", removed as f64);
+    }
     body.raw("results", format!("[{}]", records.join(",")));
     body.number("systems", stats.systems as f64);
     write_response(out, 200, "OK", "application/json", body.finish().as_bytes())
@@ -721,6 +752,15 @@ fn handle_shutdown(
 // NDJSON serialization. Kept public (and free of wall-clock fields in
 // the `verdict` line) so tests and clients can reproduce the exact
 // bytes from a direct `Portfolio` run.
+
+/// The stream-level `reduced` line, sent once before the first
+/// property when the request asked for `?reduce=true`.
+pub fn reduced_line(removed: usize) -> String {
+    let mut obj = JsonObject::new();
+    obj.string("type", "reduced");
+    obj.number("removed_transitions", removed as f64);
+    obj.finish()
+}
 
 /// The per-property `start` line.
 pub fn start_line(property: &str, fcr: bool, backend: &str) -> String {
@@ -1006,6 +1046,45 @@ mod tests {
         assert!(
             parse_analyze_request(&request, &HashMap::new()).is_err(),
             "empty body"
+        );
+    }
+
+    /// `?reduce=true` applies the verdict-preserving pre-analysis to
+    /// the parsed system before the broker ever sees it.
+    #[test]
+    fn analyze_request_reduce_param() {
+        // One live transition, one dead one from an unreachable shared
+        // state: the reduction must drop exactly the dead transition.
+        let model = "shared 3\ninit 0\nthread 2\nstack 1\n(0,1) -> (1,1)\n(2,1) -> (2,1)\n";
+        let mut request = Request {
+            method: "POST".into(),
+            path: "/analyze".into(),
+            body: model.as_bytes().to_vec(),
+            ..Request::default()
+        };
+        let plain = parse_analyze_request(&request, &HashMap::new()).unwrap();
+        assert_eq!(plain.reduce_removed, None);
+
+        request.query = vec![("reduce".into(), "true".into())];
+        let reduced = parse_analyze_request(&request, &HashMap::new()).unwrap();
+        assert_eq!(reduced.reduce_removed, Some(1));
+        assert_eq!(reduced.cpds.num_threads(), plain.cpds.num_threads());
+
+        request.query = vec![("reduce".into(), "false".into())];
+        let parsed = parse_analyze_request(&request, &HashMap::new()).unwrap();
+        assert_eq!(parsed.reduce_removed, None);
+
+        request.query = vec![("reduce".into(), "maybe".into())];
+        let error = parse_analyze_request(&request, &HashMap::new()).unwrap_err();
+        assert!(error.contains("bad reduce"), "{error}");
+    }
+
+    /// The stream-level `reduced` line is stable JSON.
+    #[test]
+    fn reduced_line_shape() {
+        assert_eq!(
+            reduced_line(4),
+            "{\"type\":\"reduced\",\"removed_transitions\":4}"
         );
     }
 }

@@ -9,6 +9,7 @@
 //! * [`explore`] — explicit and symbolic context-bounded reachability
 //! * [`core`] — observation sequences, Scheme 1, Algorithm 3, FCR, the driver
 //! * [`boolprog`] — the concurrent Boolean program frontend (App. B)
+//! * [`reduce`] — verdict-preserving static pre-analysis and lints
 //! * [`benchmarks`] — the paper's running examples and benchmark suite
 //!
 //! # Quickstart
@@ -44,3 +45,4 @@ pub use cuba_boolprog as boolprog;
 pub use cuba_core as core;
 pub use cuba_explore as explore;
 pub use cuba_pds as pds;
+pub use cuba_reduce as reduce;

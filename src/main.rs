@@ -35,13 +35,34 @@
 //!                            never-shared:<q>
 //!                            never-visible:<q>|<t1>,<t2>,...   ('-' = empty stack)
 //!                            mutex:<thread>@<sym>,<thread>@<sym>
+//!     --reduce         verdict-preserving static pre-analysis first:
+//!                      prune transitions that can never fire (and, for
+//!                      .bp inputs, constant-false branches before
+//!                      translation); the verdict word is unchanged and
+//!                      `--json` gains a "reduction" stats object
 //! cuba fcr <file>      run only the finite-context-reachability check
 //! cuba info <file>     print model statistics
+//! cuba lint <file> [options]  static diagnostics without verifying
+//!     --property <spec>    property to check against the model
+//!                          (repeatable; grammar as for verify)
+//!     --json           one JSON object: {"file", "lints": [{code,
+//!                      level, message, line?, col?}], "reduction",
+//!                      "deny"/"warn"/"note" counts}
+//!
+//!     Lints: unknown-state (deny), vacuous-property (note),
+//!     unreachable-state / dead-transition (warn, .cpds),
+//!     dead-branch / write-only-variable (warn, .bp),
+//!     constant-assert (note/warn, .bp). Exit 1 when any deny-level
+//!     lint fires, else 0.
 //! cuba bench [options] measure the Table 2 suite, statistically
 //!     --samples <n>    measured suite iterations (default 5)
 //!     --warmup <n>     unmeasured iterations first (default 1)
 //!     --workers <n>    problems in flight (default: CPUs)
 //!     --schedule SPEC  as for verify
+//!     --reduce         pre-reduce every workload (rows gain
+//!                      reduce_removed / reduce_us); with --compare
+//!                      against an unreduced baseline this gates that
+//!                      reduction never changes a verdict
 //!     --compare <file> classify each workload against a recorded baseline as
 //!                      improved/regressed/unchanged with noise-aware thresholds
 //!                      (medians of IQR-filtered samples; a regression must
@@ -78,7 +99,8 @@
 //!                      requests select it with schedule=frontier:<name>
 //!
 //!     Endpoints: POST /analyze (NDJSON event stream; repeatable
-//!     property= query params, body = model source, format=cpds|bp),
+//!     property= query params, body = model source, format=cpds|bp,
+//!     reduce=true for the verdict-preserving pre-analysis),
 //!     POST /suite, GET /systems, GET /healthz, POST /shutdown
 //!     (mode=graceful|abort). Concurrent clients asking about one
 //!     system share a single layered exploration per backend.
@@ -114,9 +136,10 @@ fn main() -> ExitCode {
 fn usage() -> String {
     "usage: cuba <verify|fcr|info> <file.bp|file.cpds> [--engine auto|explicit|symbolic] \
      [--max-k N] [--parallel] [--schedule SPEC] [--timeout SECS] [--trace] \
-     [--json] [--never-shared Q] [--property SPEC]...\n   or: cuba serve [--addr ADDR] \
+     [--json] [--reduce] [--never-shared Q] [--property SPEC]...\n   or: cuba lint \
+     <file.bp|file.cpds> [--property SPEC]... [--json]\n   or: cuba serve [--addr ADDR] \
      [--workers N] [--max-k N] [--timeout SECS] [--schedule SPEC] [--profile FILE]...\n   \
-     or: cuba bench [--samples N] [--warmup N] [--workers N] [--schedule SPEC] \
+     or: cuba bench [--samples N] [--warmup N] [--workers N] [--schedule SPEC] [--reduce] \
      [--compare FILE] [--gate] [--ratio R] [--sigma S] [--floor-ms MS]\n   \
      or: cuba tune [--out FILE] [--name NAME] [--samples N] [--warmup N] [--passes N] \
      [--workers N]\n   (schedule SPEC: round-robin | frontier | frontier:<profile-file> \
@@ -133,6 +156,7 @@ struct VerifyOptions {
     timeout: Option<Duration>,
     trace: bool,
     json: bool,
+    reduce: bool,
     never_shared: Option<SharedState>,
     /// Repeated `--property` specs, verified in order over one shared
     /// exploration of the system.
@@ -149,6 +173,7 @@ impl Default for VerifyOptions {
             timeout: None,
             trace: false,
             json: false,
+            reduce: false,
             never_shared: None,
             properties: Vec::new(),
         }
@@ -184,7 +209,9 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
                 return Err(usage());
             };
             let options = parse_verify_options(&args[2..])?;
-            let (cpds, default_property) = load(path)?;
+            // With --reduce, .bp inputs get the pre-translation CFG
+            // simplification as well (same verdict, fewer transitions).
+            let model = load_model(path, options.reduce)?;
             // The property worklist: every `--property`, then the
             // legacy `--never-shared`, then (if nothing was given) the
             // file's default property.
@@ -193,10 +220,11 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
                 properties.push((format!("never-shared:{}", q.0), Property::never_shared(q)));
             }
             if properties.is_empty() {
-                properties.push(("default".to_owned(), default_property));
+                properties.push(("default".to_owned(), model.default_property.clone()));
             }
-            verify(cpds, properties, &options)
+            verify(model, properties, &options)
         }
+        "lint" => lint_cmd(&args[1..]),
         "serve" => serve(&args[1..]),
         "bench" => bench(&args[1..]),
         "tune" => tune(&args[1..]),
@@ -309,6 +337,7 @@ fn bench(args: &[String]) -> Result<ExitCode, String> {
                 );
             }
             "--gate" => gate = true,
+            "--reduce" => plan.reduce = true,
             "--ratio" => {
                 i += 1;
                 thresholds.ratio = parse_float(args.get(i), "--ratio")?;
@@ -427,6 +456,144 @@ fn tune(args: &[String]) -> Result<ExitCode, String> {
     Ok(ExitCode::SUCCESS)
 }
 
+/// `cuba lint`: run the static pre-analysis for its diagnostics only —
+/// no verification. Source-level findings (`.bp`: dead branches,
+/// constant asserts, write-only variables) come from the frontend
+/// passes; model-level findings (`.cpds`: unreachable states, dead
+/// transitions) and property findings (unknown ids, vacuous specs)
+/// come from the `cuba-reduce` pipeline. Exits 1 when any deny-level
+/// lint fires.
+fn lint_cmd(args: &[String]) -> Result<ExitCode, String> {
+    use cuba::reduce::{Lint, LintLevel};
+
+    let Some(path) = args.first() else {
+        return Err(usage());
+    };
+    let mut json = false;
+    let mut property_specs: Vec<(String, Property)> = Vec::new();
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--json" => json = true,
+            "--property" => {
+                i += 1;
+                let spec = args.get(i).ok_or("--property needs a spec argument")?;
+                property_specs.push((spec.clone(), parse_property(spec)?));
+            }
+            other => return Err(format!("unknown option '{other}'")),
+        }
+        i += 1;
+    }
+
+    let source = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let mut lints: Vec<Lint> = Vec::new();
+    let is_bp = path.ends_with(".bp");
+    let (cpds, default_property) = if is_bp {
+        let program = boolprog::parse(&source).map_err(|e| format!("{path}: {e}"))?;
+        for lint in boolprog::lint_program(&program) {
+            lints.push(from_source_lint(lint));
+        }
+        let (translated, report) =
+            boolprog::translate_simplified(&program).map_err(|e| format!("{path}: {e}"))?;
+        for lint in report.lints {
+            lints.push(from_source_lint(lint));
+        }
+        let property = translated.error_free_property();
+        (translated.cpds, property)
+    } else if path.ends_with(".cpds") {
+        let cpds = textfmt::parse_cpds(&source).map_err(|e| format!("{path}: {e}"))?;
+        (cpds, Property::True)
+    } else {
+        return Err(format!("{path}: unknown extension (expected .bp or .cpds)"));
+    };
+
+    let properties: Vec<Property> = if property_specs.is_empty() {
+        vec![default_property]
+    } else {
+        property_specs.iter().map(|(_, p)| p.clone()).collect()
+    };
+    let reduction = cuba::reduce::reduce(&cpds, &properties).map_err(|e| format!("{path}: {e}"))?;
+    if is_bp {
+        // Translated models carry symbol-level diagnostics that name
+        // synthetic stack symbols, not source lines — keep only the
+        // property-level findings; the counts live in the stats object.
+        lints.extend(
+            reduction
+                .lints
+                .iter()
+                .filter(|l| l.code == "unknown-state" || l.code == "vacuous-property")
+                .cloned(),
+        );
+    } else {
+        lints.extend(reduction.lints.iter().cloned());
+    }
+    // Spanned lints first, in source order; then model-level findings.
+    lints.sort_by_key(|l| (l.line.is_none(), l.line, l.col));
+
+    let count = |level: LintLevel| lints.iter().filter(|l| l.level == level).count();
+    let (deny, warn, note) = (
+        count(LintLevel::Deny),
+        count(LintLevel::Warn),
+        count(LintLevel::Note),
+    );
+    if json {
+        let mut out = String::from("{");
+        push_field(&mut out, "file", &json_string(path));
+        let rendered: Vec<String> = lints.iter().map(lint_json).collect();
+        push_field(&mut out, "lints", &format!("[{}]", rendered.join(",")));
+        push_field(&mut out, "deny", &deny.to_string());
+        push_field(&mut out, "warn", &warn.to_string());
+        push_field(&mut out, "note", &note.to_string());
+        push_field(
+            &mut out,
+            "reduction",
+            &reduction_json(&reduction.stats, None),
+        );
+        out.push('}');
+        println!("{out}");
+    } else {
+        for lint in &lints {
+            println!("{lint}");
+        }
+        if lints.is_empty() {
+            println!("{path}: no diagnostics");
+        } else {
+            println!("{path}: {deny} deny, {warn} warn, {note} note");
+        }
+    }
+    Ok(if deny > 0 {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    })
+}
+
+/// Converts a frontend [`boolprog::SourceLint`] to the model-level
+/// lint type shared by all diagnostics consumers.
+fn from_source_lint(lint: boolprog::SourceLint) -> cuba::reduce::Lint {
+    use cuba::reduce::LintLevel;
+    let level = match lint.severity {
+        boolprog::Severity::Note => LintLevel::Note,
+        boolprog::Severity::Warn => LintLevel::Warn,
+        boolprog::Severity::Deny => LintLevel::Deny,
+    };
+    cuba::reduce::Lint::new(lint.code, level, lint.message).with_span(lint.span.line, lint.span.col)
+}
+
+/// One lint as a JSON object (`line`/`col` only when present).
+fn lint_json(lint: &cuba::reduce::Lint) -> String {
+    let mut out = String::from("{");
+    push_field(&mut out, "code", &json_string(lint.code));
+    push_field(&mut out, "level", &json_string(&lint.level.to_string()));
+    push_field(&mut out, "message", &json_string(&lint.message));
+    if let (Some(line), Some(col)) = (lint.line, lint.col) {
+        push_field(&mut out, "line", &line.to_string());
+        push_field(&mut out, "col", &col.to_string());
+    }
+    out.push('}');
+    out
+}
+
 fn parse_count(arg: Option<&String>, flag: &str) -> Result<usize, String> {
     arg.and_then(|s| s.parse().ok())
         .filter(|n| *n > 0)
@@ -501,6 +668,7 @@ fn parse_verify_options(args: &[String]) -> Result<VerifyOptions, String> {
             }
             "--trace" => options.trace = true,
             "--json" => options.json = true,
+            "--reduce" => options.reduce = true,
             "--never-shared" => {
                 i += 1;
                 let q: u32 = args
@@ -523,10 +691,22 @@ fn parse_verify_options(args: &[String]) -> Result<VerifyOptions, String> {
 }
 
 fn verify(
-    cpds: Cpds,
+    model: LoadedModel,
     properties: Vec<(String, Property)>,
     options: &VerifyOptions,
 ) -> Result<ExitCode, String> {
+    // Verdict-preserving pre-analysis: prune transitions that can
+    // never fire before any engine sees the system. The SuiteCache /
+    // SystemArtifacts keys below are computed from the *reduced* CPDS.
+    let (cpds, reduction_field) = if options.reduce {
+        let props: Vec<Property> = properties.iter().map(|(_, p)| p.clone()).collect();
+        let reduction =
+            cuba::reduce::reduce(&model.cpds, &props).map_err(|e| format!("reduce: {e}"))?;
+        let rendered = reduction_json(&reduction.stats, model.simplify.as_ref());
+        (reduction.cpds, Some(rendered))
+    } else {
+        (model.cpds, None)
+    };
     let portfolio = match &options.lineup {
         Lineup::Auto => Portfolio::auto(),
         Lineup::Fixed(kinds) => Portfolio::fixed(kinds.clone()),
@@ -596,7 +776,13 @@ fn verify(
         if options.json {
             println!(
                 "{}",
-                outcome_json(&outcome, &round_log, &options.schedule, &spec)
+                outcome_json(
+                    &outcome,
+                    &round_log,
+                    &options.schedule,
+                    &spec,
+                    reduction_field.as_deref()
+                )
             );
         } else {
             if many {
@@ -695,6 +881,7 @@ fn outcome_json(
     round_log: &[RoundRecord],
     schedule: &SchedulePolicy,
     property: &str,
+    reduction: Option<&str>,
 ) -> String {
     let mut out = String::from("{");
     let (verdict, k) = match &outcome.verdict {
@@ -779,6 +966,67 @@ fn outcome_json(
         })
         .collect();
     push_field(&mut out, "arms", &format!("[{}]", arms.join(",")));
+    if let Some(reduction) = reduction {
+        push_field(&mut out, "reduction", reduction);
+    }
+    out.push('}');
+    out
+}
+
+/// Renders [`cuba::reduce::ReductionStats`] (plus, for `.bp` inputs,
+/// the pre-translation simplification numbers) as one JSON object.
+fn reduction_json(
+    stats: &cuba::reduce::ReductionStats,
+    simplify: Option<&boolprog::SimplifyReport>,
+) -> String {
+    let mut out = String::from("{");
+    push_field(&mut out, "transitions", &stats.transitions.to_string());
+    push_field(
+        &mut out,
+        "dead_transitions",
+        &stats.dead_transitions.to_string(),
+    );
+    push_field(
+        &mut out,
+        "removed_transitions",
+        &stats.removed_transitions.to_string(),
+    );
+    push_field(
+        &mut out,
+        "irrelevant_transitions",
+        &stats.irrelevant_transitions.to_string(),
+    );
+    push_field(&mut out, "shared_states", &stats.shared_states.to_string());
+    push_field(
+        &mut out,
+        "unreachable_shared",
+        &stats.unreachable_shared.to_string(),
+    );
+    push_field(
+        &mut out,
+        "skeleton_states",
+        &stats.skeleton_states.to_string(),
+    );
+    push_field(
+        &mut out,
+        "vacuous_properties",
+        &stats.vacuous_properties.to_string(),
+    );
+    push_field(&mut out, "skeleton_us", &stats.skeleton_us.to_string());
+    push_field(&mut out, "coi_us", &stats.coi_us.to_string());
+    push_field(&mut out, "rebuild_us", &stats.rebuild_us.to_string());
+    if let Some(report) = simplify {
+        push_field(
+            &mut out,
+            "cfg_edges_removed",
+            &report.edges_removed.to_string(),
+        );
+        push_field(
+            &mut out,
+            "cfg_unreachable_points",
+            &report.unreachable_points.to_string(),
+        );
+    }
     out.push('}');
     out
 }
@@ -792,17 +1040,50 @@ fn push_field(out: &mut String, key: &str, rendered: &str) {
     out.push_str(rendered);
 }
 
+/// A loaded model plus its per-format default property.
+struct LoadedModel {
+    cpds: Cpds,
+    default_property: Property,
+    /// `.bp` inputs loaded with `simplify`: what the pre-translation
+    /// CFG pass did.
+    simplify: Option<boolprog::SimplifyReport>,
+}
+
 /// Loads a model by extension: `.bp` Boolean program or `.cpds` text.
 fn load(path: &str) -> Result<(Cpds, Property), String> {
+    let model = load_model(path, false)?;
+    Ok((model.cpds, model.default_property))
+}
+
+/// As [`load`], optionally running the `.bp` frontend's
+/// constant-propagation / dead-branch simplification before
+/// translation (`.cpds` inputs are unaffected; their reduction happens
+/// at the CPDS level).
+fn load_model(path: &str, simplify: bool) -> Result<LoadedModel, String> {
     let source = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
     if path.ends_with(".bp") {
         let program = boolprog::parse(&source).map_err(|e| format!("{path}: {e}"))?;
-        let translated = boolprog::translate(&program).map_err(|e| format!("{path}: {e}"))?;
+        let (translated, report) = if simplify {
+            let (t, report) =
+                boolprog::translate_simplified(&program).map_err(|e| format!("{path}: {e}"))?;
+            (t, Some(report))
+        } else {
+            let t = boolprog::translate(&program).map_err(|e| format!("{path}: {e}"))?;
+            (t, None)
+        };
         let property = translated.error_free_property();
-        Ok((translated.cpds, property))
+        Ok(LoadedModel {
+            cpds: translated.cpds,
+            default_property: property,
+            simplify: report,
+        })
     } else if path.ends_with(".cpds") {
         let cpds = textfmt::parse_cpds(&source).map_err(|e| format!("{path}: {e}"))?;
-        Ok((cpds, Property::True))
+        Ok(LoadedModel {
+            cpds,
+            default_property: Property::True,
+            simplify: None,
+        })
     } else {
         Err(format!("{path}: unknown extension (expected .bp or .cpds)"))
     }

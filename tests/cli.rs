@@ -295,6 +295,72 @@ fn repeated_property_flag_shares_exploration() {
     assert!(stderr.contains("bad --property"));
 }
 
+/// `cuba lint`: the purpose-built dead-code sample yields true
+/// diagnostics, the clean samples yield none (the vacuous-property
+/// *notes* on assert-free/invariantly-safe programs are true
+/// positives), and warnings never fail the exit code.
+#[test]
+fn lint_reports_dead_code_and_stays_quiet_on_clean_models() {
+    let (stdout, _, code) = cuba(&["lint", "samples/deadcode.bp"]);
+    assert_eq!(code, Some(0), "warnings do not fail the lint");
+    assert!(stdout.contains("write-only-variable"));
+    assert!(stdout.contains("`ghost` is assigned but never read"));
+    assert!(stdout.contains("dead-branch"));
+    assert!(stdout.contains("unreachable code"));
+    assert!(stdout.contains("5 warn"));
+
+    let (stdout, _, code) = cuba(&["lint", "samples/fig1.cpds"]);
+    assert_eq!(code, Some(0));
+    assert!(stdout.contains("no diagnostics"));
+
+    let (stdout, _, code) = cuba(&["lint", "samples/ticket.bp"]);
+    assert_eq!(code, Some(0));
+    assert!(stdout.contains("no diagnostics"));
+
+    // JSON output: machine-readable lints plus the reduction stats.
+    let (stdout, _, code) = cuba(&["lint", "samples/deadcode.bp", "--json"]);
+    assert_eq!(code, Some(0));
+    let line = stdout.trim();
+    assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+    assert!(line.contains("\"lints\":["));
+    assert!(line.contains("\"code\":\"write-only-variable\""));
+    assert!(line.contains("\"level\":\"warn\""));
+    assert!(line.contains("\"line\":"));
+    assert!(line.contains("\"reduction\":{"));
+
+    // A property naming a nonexistent state is a deny: exit 1.
+    let (stdout, _, code) = cuba(&["lint", "samples/fig1.cpds", "--property", "never-shared:99"]);
+    assert_eq!(code, Some(1), "deny lints fail the exit code");
+    assert!(stdout.contains("unknown-state"));
+}
+
+/// `--reduce` on verify: identical verdict, and the JSON record
+/// carries the reduction statistics.
+#[test]
+fn verify_reduce_flag_preserves_verdicts() {
+    let (stdout, _, code) = cuba(&["verify", "samples/fig1.cpds", "--reduce", "--json"]);
+    assert_eq!(code, Some(0));
+    assert!(stdout.contains("\"verdict\":\"safe\""));
+    assert!(stdout.contains("\"k\":5"));
+    assert!(stdout.contains("\"reduction\":{"));
+    assert!(stdout.contains("\"removed_transitions\":"));
+
+    let (stdout, _, code) = cuba(&["verify", "samples/ticket.bp", "--reduce", "--json"]);
+    assert_eq!(code, Some(1), "unsafe verdict survives reduction");
+    assert!(stdout.contains("\"verdict\":\"unsafe\""));
+
+    // Invalid properties are rejected at session start, reduced or
+    // not — never a vacuous `safe`.
+    let (_, stderr, code) = cuba(&[
+        "verify",
+        "samples/fig1.cpds",
+        "--property",
+        "never-shared:99",
+    ]);
+    assert_eq!(code, Some(2));
+    assert!(stderr.contains("invalid property"));
+}
+
 #[test]
 fn trace_streams_rounds_to_stderr() {
     let (stdout, stderr, code) = cuba(&["verify", "samples/fig1.cpds", "--trace"]);

@@ -1,0 +1,125 @@
+//! Verdict preservation of the static pre-analysis (`cuba lint`'s
+//! reduction pipeline, `--reduce` on the CLI): over the full bench
+//! suite — every Table 2 row plus the `fig1-multi/*` block — running
+//! the reduced system must produce the *identical* verdict (word,
+//! bound, convergence method) as the original, and never explore more
+//! rounds.
+
+use cuba::core::{CubaError, CubaOutcome, SchedulePolicy, Verdict};
+use cuba_bench::harness::{bench_config, bench_suite, run_iteration, verdict_word};
+
+/// The comparable part of a result: verdict word, bound and method —
+/// everything except the witness (whose shape may legitimately differ
+/// when dead transitions are gone) and wall-clock fields.
+fn signature(result: &Result<CubaOutcome, CubaError>) -> String {
+    let word = verdict_word(result);
+    match result {
+        Ok(outcome) => match &outcome.verdict {
+            Verdict::Safe { k, method } => format!("{word} k={k} method={method}"),
+            Verdict::Unsafe { k, .. } => format!("{word} k={k}"),
+            Verdict::Undetermined { reason } => format!("{word} reason={reason}"),
+        },
+        Err(error) => format!("{word} {error}"),
+    }
+}
+
+#[test]
+fn reduction_preserves_every_suite_verdict() {
+    let problems = bench_suite();
+    let reduced: Vec<_> = problems
+        .iter()
+        .map(|(label, cpds, property)| {
+            let reduction = cuba::reduce::reduce(cpds, std::slice::from_ref(property))
+                .unwrap_or_else(|e| panic!("{label}: reduce failed: {e}"));
+            (label.clone(), reduction.cpds, property.clone())
+        })
+        .collect();
+
+    let portfolio =
+        cuba::core::Portfolio::auto().with_config(bench_config(SchedulePolicy::default()));
+    // workers = 1 keeps the shared-cache replay pattern (the
+    // fig1-multi block) deterministic, so per-row exploration counts
+    // are comparable between the two runs.
+    let (original_results, _) = run_iteration(&portfolio, &problems, 1);
+    let (reduced_results, _) = run_iteration(&portfolio, &reduced, 1);
+
+    assert_eq!(original_results.len(), reduced_results.len());
+    for ((label, _, _), (original, reduced)) in problems
+        .iter()
+        .zip(original_results.iter().zip(reduced_results.iter()))
+    {
+        assert_eq!(
+            signature(original),
+            signature(reduced),
+            "{label}: reduction changed the verdict"
+        );
+        if let (Ok(original), Ok(reduced)) = (original, reduced) {
+            assert!(
+                reduced.rounds_explored <= original.rounds_explored,
+                "{label}: reduction explored more rounds ({} > {})",
+                reduced.rounds_explored,
+                original.rounds_explored
+            );
+        }
+    }
+}
+
+/// Checks a witness's *state path* against a CPDS, ignoring the
+/// recorded action indices: removing dead actions compacts each
+/// thread's action list, so a reduced-system witness carries reduced
+/// indices, but its states must still be a legal run of the original.
+fn state_path_replays(witness: &cuba::explore::Witness, cpds: &cuba::pds::Cpds) -> bool {
+    let mut current = witness.start.clone();
+    for step in &witness.steps {
+        let mut ok = false;
+        cpds.successors_of_thread_into(&current, step.thread.0, &mut |succ, _| {
+            if succ == step.state {
+                ok = true;
+            }
+        });
+        if !ok {
+            return false;
+        }
+        current = step.state.clone();
+    }
+    true
+}
+
+/// Witnesses found on the reduced system are real behaviors of the
+/// *original* system: the reduction only ever deletes transitions.
+#[test]
+fn reduced_witnesses_replay_on_the_original() {
+    let portfolio =
+        cuba::core::Portfolio::auto().with_config(bench_config(SchedulePolicy::default()));
+    let mut checked = 0;
+    for (label, cpds, property) in bench_suite() {
+        let reduction = cuba::reduce::reduce(&cpds, std::slice::from_ref(&property))
+            .unwrap_or_else(|e| panic!("{label}: reduce failed: {e}"));
+        if !reduction.stats.changed() {
+            continue;
+        }
+        let reduced_cpds = reduction.cpds;
+        let problems = vec![(label.clone(), reduced_cpds.clone(), property)];
+        let (results, _) = run_iteration(&portfolio, &problems, 1);
+        if let Ok(outcome) = &results[0] {
+            if let Verdict::Unsafe {
+                witness: Some(witness),
+                ..
+            } = &outcome.verdict
+            {
+                assert!(
+                    witness.replay(&reduced_cpds),
+                    "{label}: witness must replay on the system it was found on"
+                );
+                assert!(
+                    state_path_replays(witness, &cpds),
+                    "{label}: reduced witness states must be a legal run of the original"
+                );
+                checked += 1;
+            }
+        }
+    }
+    // The suite has unsafe rows; if none of them reduced, the test
+    // still passes — the equivalence test above covers them.
+    let _ = checked;
+}
