@@ -47,6 +47,7 @@ mod ops;
 mod poststar;
 mod prestar;
 mod psa;
+mod rules;
 
 pub use canonical::CanonicalDfa;
 pub use dfa::Dfa;
@@ -56,6 +57,9 @@ pub use finiteness::{is_language_finite, Finiteness};
 pub use minimize::minimize;
 pub use nfa::{Label, Nfa, StateId};
 pub use ops::{intersect, language_equal, language_subset};
-pub use poststar::{bounded_reach, post_star, post_star_from_config, post_star_guarded};
-pub use prestar::{pre_star, pre_star_guarded};
+pub use poststar::{
+    bounded_reach, post_star, post_star_from_config, post_star_guarded, post_star_with,
+};
+pub use prestar::{pre_star, pre_star_guarded, pre_star_with};
 pub use psa::Psa;
+pub use rules::RuleTable;

@@ -1,0 +1,176 @@
+//! Interned, CSR-style rule indices for the saturation procedures.
+//!
+//! A [`Pds`](cuba_pds::Pds) already interns shared states and stack
+//! symbols into dense `u32` ranges (`0..num_shared`,
+//! `0..alphabet_size`), so the rule index a saturation needs — "which
+//! actions have left-hand side `(q, γ)`?" — fits a flat
+//! compressed-sparse-row layout: one offset table indexed by
+//! `q * |Σ| + γ` plus one packed row array of action ids. Building it
+//! is a two-pass counting sort over the action list, and a lookup is
+//! two array reads instead of a hash + probe.
+//!
+//! [`RuleTable`] is built **once per system** and shared by every
+//! saturation over that PDS (the symbolic engine caches one per
+//! thread), where the previous `HashMap<(u32, u32), Vec<usize>>` was
+//! rebuilt on every `post*` call — once per context step.
+
+use cuba_pds::Pds;
+
+/// The flat CSR rule index of one PDS: action ids grouped by
+/// left-hand side `(q, γ)`, plus the empty-stack actions grouped by
+/// `q`. Within a cell, ids keep the PDS insertion order, so a
+/// saturation fires rules in exactly the order the old hash index
+/// did.
+#[derive(Debug, Clone)]
+pub struct RuleTable {
+    num_controls: u32,
+    alphabet_size: u32,
+    /// `offsets[q * alphabet_size + γ] .. offsets[.. + 1]` indexes
+    /// `rows`; length `num_controls * alphabet_size + 1`.
+    offsets: Vec<u32>,
+    /// Packed action ids for symbol-guarded rules.
+    rows: Vec<u32>,
+    /// As `offsets`, for empty-stack rules keyed by `q` alone; length
+    /// `num_controls + 1`.
+    empty_offsets: Vec<u32>,
+    /// Packed action ids for empty-stack rules.
+    empty_rows: Vec<u32>,
+}
+
+impl RuleTable {
+    /// Builds the index from `pds` (two passes over the action list).
+    pub fn new(pds: &Pds) -> Self {
+        let nq = pds.num_shared() as usize;
+        let na = pds.alphabet_size() as usize;
+        let mut offsets = vec![0u32; nq * na + 1];
+        let mut empty_offsets = vec![0u32; nq + 1];
+        for a in pds.actions() {
+            match a.top {
+                Some(sym) => offsets[a.q.0 as usize * na + sym.0 as usize + 1] += 1,
+                None => empty_offsets[a.q.0 as usize + 1] += 1,
+            }
+        }
+        for i in 1..offsets.len() {
+            offsets[i] += offsets[i - 1];
+        }
+        for i in 1..empty_offsets.len() {
+            empty_offsets[i] += empty_offsets[i - 1];
+        }
+        let mut rows = vec![0u32; *offsets.last().unwrap() as usize];
+        let mut empty_rows = vec![0u32; *empty_offsets.last().unwrap() as usize];
+        // Per-cell write cursors; consumed left to right so each
+        // cell's ids stay in insertion order.
+        let mut next = offsets.clone();
+        let mut empty_next = empty_offsets.clone();
+        for (i, a) in pds.actions().iter().enumerate() {
+            match a.top {
+                Some(sym) => {
+                    let cell = a.q.0 as usize * na + sym.0 as usize;
+                    rows[next[cell] as usize] = i as u32;
+                    next[cell] += 1;
+                }
+                None => {
+                    let cell = a.q.0 as usize;
+                    empty_rows[empty_next[cell] as usize] = i as u32;
+                    empty_next[cell] += 1;
+                }
+            }
+        }
+        RuleTable {
+            num_controls: nq as u32,
+            alphabet_size: na as u32,
+            offsets,
+            rows,
+            empty_offsets,
+            empty_rows,
+        }
+    }
+
+    /// Number of interned control states.
+    pub fn num_controls(&self) -> u32 {
+        self.num_controls
+    }
+
+    /// Size of the interned stack alphabet.
+    pub fn alphabet_size(&self) -> u32 {
+        self.alphabet_size
+    }
+
+    /// Action ids with left-hand side `(q, γ)`, in insertion order.
+    /// Out-of-range keys yield the empty slice (matching the old hash
+    /// lookup's `None`).
+    #[inline]
+    pub fn rules(&self, q: u32, gamma: u32) -> &[u32] {
+        if q >= self.num_controls || gamma >= self.alphabet_size {
+            return &[];
+        }
+        let cell = q as usize * self.alphabet_size as usize + gamma as usize;
+        &self.rows[self.offsets[cell] as usize..self.offsets[cell + 1] as usize]
+    }
+
+    /// Empty-stack action ids with left-hand side `(q, ε)`.
+    #[inline]
+    pub fn empty_rules(&self, q: u32) -> &[u32] {
+        if q >= self.num_controls {
+            return &[];
+        }
+        let cell = q as usize;
+        &self.empty_rows[self.empty_offsets[cell] as usize..self.empty_offsets[cell + 1] as usize]
+    }
+
+    /// Total number of indexed actions (both kinds).
+    pub fn num_rules(&self) -> usize {
+        self.rows.len() + self.empty_rows.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cuba_pds::{PdsBuilder, SharedState, StackSym};
+
+    fn q(n: u32) -> SharedState {
+        SharedState(n)
+    }
+    fn s(n: u32) -> StackSym {
+        StackSym(n)
+    }
+
+    #[test]
+    fn table_matches_hash_index_semantics() {
+        let mut b = PdsBuilder::new(3, 3);
+        b.push(q(0), s(0), q(1), s(1), s(0)).unwrap();
+        b.push(q(1), s(1), q(2), s(2), s(0)).unwrap();
+        b.overwrite(q(2), s(2), q(0), s(1)).unwrap();
+        b.pop(q(0), s(1), q(0)).unwrap();
+        b.overwrite(q(0), s(0), q(2), s(2)).unwrap();
+        let pds = b.build().unwrap();
+        let table = RuleTable::new(&pds);
+
+        // Each cell lists exactly the matching actions, in order.
+        assert_eq!(table.rules(0, 0), &[0, 4]);
+        assert_eq!(table.rules(1, 1), &[1]);
+        assert_eq!(table.rules(2, 2), &[2]);
+        assert_eq!(table.rules(0, 1), &[3]);
+        assert!(table.rules(1, 0).is_empty());
+        assert_eq!(table.num_rules(), pds.actions().len());
+        // Out-of-range keys are empty, not a panic.
+        assert!(table.rules(99, 0).is_empty());
+        assert!(table.rules(0, 99).is_empty());
+        assert!(table.empty_rules(99).is_empty());
+    }
+
+    #[test]
+    fn empty_stack_rules_key_by_control_alone() {
+        let mut b = PdsBuilder::new(3, 2);
+        b.from_empty(q(0), q(1), Some(s(0))).unwrap();
+        b.from_empty(q(0), q(2), None).unwrap();
+        b.overwrite(q(1), s(0), q(1), s(1)).unwrap();
+        let pds = b.build().unwrap();
+        let table = RuleTable::new(&pds);
+        assert_eq!(table.empty_rules(0), &[0, 1]);
+        assert!(table.empty_rules(1).is_empty());
+        assert_eq!(table.rules(1, 0), &[2]);
+        assert_eq!(table.num_rules(), 3);
+    }
+}

@@ -98,6 +98,10 @@ pub struct BenchPlan {
     /// removed. Verdicts are identical by construction; `--compare`
     /// against an unreduced baseline gates exactly that.
     pub reduce: bool,
+    /// Saturation worker threads per context step (`0` = available
+    /// parallelism, `1` = the sequential code path). Records are
+    /// identical at every value except for the timing fields.
+    pub threads: usize,
 }
 
 impl Default for BenchPlan {
@@ -110,6 +114,7 @@ impl Default for BenchPlan {
                 .unwrap_or(4),
             schedule: SchedulePolicy::default(),
             reduce: false,
+            threads: 0,
         }
     }
 }
@@ -224,7 +229,9 @@ pub fn run(plan: &BenchPlan) -> BenchRun {
 /// [`run`] over an explicit workload list (tests measure a small
 /// subset; the debug-build suite is seconds per iteration).
 pub fn run_problems(plan: &BenchPlan, mut problems: Vec<(String, Cpds, Property)>) -> BenchRun {
-    let portfolio = Portfolio::auto().with_config(bench_config(plan.schedule.clone()));
+    let mut config = bench_config(plan.schedule.clone());
+    config.budget.threads = plan.threads;
+    let portfolio = Portfolio::auto().with_config(config);
 
     // With --reduce, the pre-analysis runs once per workload up front;
     // every iteration (and the suite cache) then sees only the reduced

@@ -3,9 +3,10 @@
 //! fewer live exploration rounds (wall time as the tie-break) without
 //! changing a single verdict.
 //!
-//! The search is a deterministic coordinate descent over the four
-//! scheduler knobs the ROADMAP names (window, bonus turns, lead cap,
-//! balloon ratio): starting from the defaults, each pass sweeps one
+//! The search is a deterministic coordinate descent over five knobs:
+//! the four scheduler knobs the ROADMAP names (window, bonus turns,
+//! lead cap, balloon ratio) plus the saturation thread count the
+//! sharded backend added: starting from the defaults, each pass sweeps one
 //! axis at a time and adopts a candidate only when it is *strictly*
 //! better under the lexicographic score `(total live rounds, total
 //! wall)` **and** its per-workload verdicts are identical to the
@@ -31,7 +32,7 @@ pub struct TunePlan {
     pub warmup: usize,
     /// Problems in flight per iteration.
     pub workers: usize,
-    /// Coordinate-descent passes over the four axes.
+    /// Coordinate-descent passes over the five axes.
     pub passes: usize,
 }
 
@@ -97,6 +98,9 @@ const WINDOWS: &[usize] = &[2, 3, 4, 5];
 const BONUS_TURNS: &[usize] = &[1, 2, 3, 4, 6];
 const MAX_LEADS: &[usize] = &[3, 4, 6, 8, 12];
 const BALLOON_RATIOS: &[f64] = &[3.0, 6.0, 8.0, 12.0, 24.0];
+/// Saturation worker threads (0 = auto): verdict-neutral by
+/// construction, so only the score can move.
+const THREADS: &[usize] = &[0, 1, 2, 4, 8];
 
 /// Applies axis `axis` value `index` to `config`, returning `None`
 /// past the end of the axis.
@@ -107,6 +111,7 @@ fn candidate(config: &FrontierConfig, axis: usize, index: usize) -> Option<Front
         1 => next.bonus_turns = *BONUS_TURNS.get(index)?,
         2 => next.max_lead = *MAX_LEADS.get(index)?,
         3 => next.balloon_ratio = *BALLOON_RATIOS.get(index)?,
+        4 => next.threads = *THREADS.get(index)?,
         _ => return None,
     }
     Some(next)
@@ -132,7 +137,7 @@ pub fn sweep(
     let mut seen: Vec<CandidateEval> = vec![default_eval.clone()];
     for _ in 0..passes.max(1) {
         let before = best.config.clone();
-        for axis in 0..4 {
+        for axis in 0..5 {
             let mut index = 0;
             while let Some(next) = candidate(&best.config, axis, index) {
                 index += 1;
@@ -224,12 +229,13 @@ pub fn run(plan: &TunePlan) -> TuneOutcome {
         let start = std::time::Instant::now();
         let eval = evaluate_on_suite(config, plan.samples, plan.workers);
         eprintln!(
-            "candidate {evaluated}: window={} bonus={} lead={} balloon={} -> \
+            "candidate {evaluated}: window={} bonus={} lead={} balloon={} threads={} -> \
              {:.0} live rounds, {:.1}ms wall ({:.2}s)",
             config.window,
             config.bonus_turns,
             config.max_lead,
             config.balloon_ratio,
+            config.threads,
             eval.live_rounds,
             eval.wall_us / 1000.0,
             start.elapsed().as_secs_f64(),
@@ -314,10 +320,10 @@ mod tests {
         });
         assert_eq!(outcome.best.config, FrontierConfig::default());
         assert_eq!(outcome.best.live_rounds, outcome.default_eval.live_rounds);
-        // Default + the off-incumbent values of the four axes, once
-        // each: 1 + 3 + 4 + 4 + 4. Passes 2..5 run from cache and the
-        // convergence check stops the loop.
-        assert_eq!(calls, 16, "re-measured an already-seen config");
+        // Default + the off-incumbent values of the five axes, once
+        // each: 1 + 3 + 4 + 4 + 4 + 4. Passes 2..5 run from cache and
+        // the convergence check stops the loop.
+        assert_eq!(calls, 20, "re-measured an already-seen config");
         assert_eq!(outcome.evaluated, calls);
     }
 

@@ -96,6 +96,13 @@ pub struct FrontierConfig {
     /// Consecutive ballooning evaluations before the arm is parked
     /// outright (before that it is demoted to every other cycle).
     pub park_after: usize,
+    /// Saturation worker threads per context step (`0` = inherit the
+    /// session budget's setting, which itself defaults to the
+    /// machine's available parallelism; `1` = sequential). Tunable
+    /// because the profitable shard count depends on the workload's
+    /// saturation sizes, not on the schedule — but co-tuning it with
+    /// the scheduler knobs lets `cuba tune` find the joint optimum.
+    pub threads: usize,
 }
 
 impl Default for FrontierConfig {
@@ -107,6 +114,7 @@ impl Default for FrontierConfig {
             balloon_ratio: 8.0,
             park_floor: 256,
             park_after: 2,
+            threads: 0,
         }
     }
 }
@@ -137,13 +145,15 @@ impl FrontierConfig {
              max_lead = {}\n\
              balloon_ratio = {}\n\
              park_floor = {}\n\
-             park_after = {}\n",
+             park_after = {}\n\
+             threads = {}\n",
             self.window,
             self.bonus_turns,
             self.max_lead,
             self.balloon_ratio,
             self.park_floor,
             self.park_after,
+            self.threads,
         )
     }
 
@@ -221,6 +231,7 @@ impl FrontierConfig {
             "balloon_ratio" => self.balloon_ratio = parse(key, value)?,
             "park_floor" => self.park_floor = parse(key, value)?,
             "park_after" => self.park_after = parse(key, value)?,
+            "threads" => self.threads = parse(key, value)?,
             other => return Err(format!("unknown tuning key '{other}'")),
         }
         Ok(())
@@ -829,6 +840,7 @@ mod tests {
             balloon_ratio: 12.5,
             park_floor: 128,
             park_after: 3,
+            threads: 2,
         };
         let text = config.to_profile("tuned-ci");
         let parsed = FrontierConfig::parse_profile(&text).expect("round trip");

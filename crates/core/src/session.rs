@@ -181,8 +181,19 @@ impl AnalysisSession {
             .iter()
             .any(|k| matches!(k, EngineKind::Alg3Explicit | EngineKind::Alg3Symbolic))
             .then(|| artifacts.g_cap_z(&cpds));
+        // A tuned frontier profile may carry a saturation thread
+        // count; it fills in only when the budget left the knob on
+        // auto, so an explicit `--threads` always wins.
+        let mut budget = config.budget.clone().with_interrupt(interrupt.clone());
+        if budget.threads == 0 {
+            if let crate::SchedulePolicy::FrontierAware(fc) = &config.schedule {
+                if fc.threads != 0 {
+                    budget.threads = fc.threads;
+                }
+            }
+        }
         let params = EngineParams {
-            budget: config.budget.clone().with_interrupt(interrupt.clone()),
+            budget,
             max_k: config.max_k,
             subsumption: config.subsumption,
             // Fuse the Scheme 1 collapse test into an Algorithm 3 arm

@@ -1,6 +1,6 @@
 use std::collections::HashMap;
 
-use cuba_automata::{language_subset, post_star_guarded, CanonicalDfa, Psa};
+use cuba_automata::{language_subset, post_star_with, CanonicalDfa, Psa, RuleTable};
 use cuba_pds::{Cpds, GlobalState, SharedState, StackSym, VisibleState};
 
 use crate::{ExploreBudget, ExploreError, Interrupt, LayerStore};
@@ -168,6 +168,10 @@ pub struct SymbolicEngine {
     /// The property-independent layer record (shared vocabulary with
     /// the explicit engine; see [`LayerStore`]).
     store: LayerStore,
+    /// One CSR rule index per thread-PDS, built once at construction
+    /// and shared by every saturation (previously the equivalent hash
+    /// index was rebuilt on every context step).
+    tables: Vec<RuleTable>,
 }
 
 impl SymbolicEngine {
@@ -179,6 +183,9 @@ impl SymbolicEngine {
         index.insert(init.clone(), 0u32);
         let mut by_shared: HashMap<SharedState, Vec<u32>> = HashMap::new();
         by_shared.insert(init.q, vec![0]);
+        let tables = (0..cpds.num_threads())
+            .map(|i| RuleTable::new(cpds.thread(i)))
+            .collect();
         SymbolicEngine {
             cpds,
             budget,
@@ -187,6 +194,7 @@ impl SymbolicEngine {
             index,
             by_shared,
             store: LayerStore::new(visible),
+            tables,
         }
     }
 
@@ -331,7 +339,8 @@ impl SymbolicEngine {
     /// One full context of `thread` from symbolic state `tau_id`.
     ///
     /// The `post*` saturation itself polls the budget's interrupt
-    /// every few transition insertions, so even a single pathological
+    /// every few transition insertions — on every shard when the
+    /// sharded backend is active — so even a single pathological
     /// context step cannot overshoot a deadline by more than a poll
     /// interval.
     fn context_post(&self, tau_id: u32, thread: usize) -> Result<Vec<SymbolicState>, ExploreError> {
@@ -342,19 +351,15 @@ impl SymbolicEngine {
             Ok(p) => p,
             Err(_) => return Ok(Vec::new()),
         };
-        let mut why: Option<ExploreError> = None;
-        let saturated = post_star_guarded(self.cpds.thread(thread), &init, &mut || match self
-            .budget
-            .interrupt
-            .check()
-        {
-            Ok(()) => true,
-            Err(e) => {
-                why = Some(e);
-                false
-            }
-        })
-        .map_err(|_| why.take().unwrap_or(ExploreError::Cancelled))?;
+        let interrupt = &self.budget.interrupt;
+        let saturated = post_star_with(
+            self.cpds.thread(thread),
+            &self.tables[thread],
+            &init,
+            self.budget.effective_threads(),
+            &|| interrupt.check().is_ok(),
+        )
+        .map_err(|_| interrupt.check().err().unwrap_or(ExploreError::Cancelled))?;
         let mut out = Vec::new();
         for q2 in saturated.nonempty_controls() {
             let lang = saturated.stack_language(q2);

@@ -18,6 +18,12 @@
 //!                        frontier:k=v,...         inline tuning (window, bonus_turns,
 //!                                                 max_lead, balloon_ratio, park_floor,
 //!                                                 park_after)
+//!     --threads <n>    saturation worker threads per context step
+//!                      (default 0 = available parallelism; 1 = the
+//!                      sequential code path). Verdicts, k, witnesses,
+//!                      and growth logs are identical at every value —
+//!                      only wall time moves. A frontier profile's
+//!                      `threads` key fills in when this is left on auto.
 //!     --timeout <s>    wall-clock limit in seconds (verdict: undetermined)
 //!     --trace          stream per-round events to stderr
 //!     --json           emit one machine-readable JSON object on stdout
@@ -58,6 +64,9 @@
 //!     --samples <n>    measured suite iterations (default 5)
 //!     --warmup <n>     unmeasured iterations first (default 1)
 //!     --workers <n>    problems in flight (default: CPUs)
+//!     --threads <n>    saturation worker threads (as for verify);
+//!                      records are identical at every value except
+//!                      the timing fields
 //!     --schedule SPEC  as for verify
 //!     --reduce         pre-reduce every workload (rows gain
 //!                      reduce_removed / reduce_us); with --compare
@@ -92,6 +101,9 @@
 //!     --addr <a>       bind address (default 127.0.0.1:0 = ephemeral;
 //!                      the bound address is printed on stdout)
 //!     --workers <n>    bounded worker pool size (default: CPUs, max 8)
+//!     --threads <n>    saturation worker threads per served session
+//!                      (default 0 = cores / workers, so the pool as a
+//!                      whole never oversubscribes the machine)
 //!     --max-k <n>      default round limit for served sessions
 //!     --timeout <s>    default wall-clock limit per served session
 //!     --schedule SPEC  arm scheduling policy (grammar as for verify)
@@ -135,12 +147,13 @@ fn main() -> ExitCode {
 
 fn usage() -> String {
     "usage: cuba <verify|fcr|info> <file.bp|file.cpds> [--engine auto|explicit|symbolic] \
-     [--max-k N] [--parallel] [--schedule SPEC] [--timeout SECS] [--trace] \
+     [--max-k N] [--parallel] [--threads N] [--schedule SPEC] [--timeout SECS] [--trace] \
      [--json] [--reduce] [--never-shared Q] [--property SPEC]...\n   or: cuba lint \
      <file.bp|file.cpds> [--property SPEC]... [--json]\n   or: cuba serve [--addr ADDR] \
-     [--workers N] [--max-k N] [--timeout SECS] [--schedule SPEC] [--profile FILE]...\n   \
-     or: cuba bench [--samples N] [--warmup N] [--workers N] [--schedule SPEC] [--reduce] \
-     [--compare FILE] [--gate] [--ratio R] [--sigma S] [--floor-ms MS]\n   \
+     [--workers N] [--threads N] [--max-k N] [--timeout SECS] [--schedule SPEC] \
+     [--profile FILE]...\n   \
+     or: cuba bench [--samples N] [--warmup N] [--workers N] [--threads N] [--schedule SPEC] \
+     [--reduce] [--compare FILE] [--gate] [--ratio R] [--sigma S] [--floor-ms MS]\n   \
      or: cuba tune [--out FILE] [--name NAME] [--samples N] [--warmup N] [--passes N] \
      [--workers N]\n   (schedule SPEC: round-robin | frontier | frontier:<profile-file> \
      | frontier:key=value,...)"
@@ -152,6 +165,8 @@ struct VerifyOptions {
     lineup: Lineup,
     max_k: usize,
     parallel: bool,
+    /// Saturation worker threads (0 = auto, 1 = sequential).
+    threads: usize,
     schedule: SchedulePolicy,
     timeout: Option<Duration>,
     trace: bool,
@@ -169,6 +184,7 @@ impl Default for VerifyOptions {
             lineup: Lineup::Auto,
             max_k: 64,
             parallel: false,
+            threads: 0,
             schedule: SchedulePolicy::default(),
             timeout: None,
             trace: false,
@@ -254,6 +270,10 @@ fn serve(args: &[String]) -> Result<ExitCode, String> {
                     .filter(|n| *n > 0)
                     .ok_or("bad --workers value")?;
             }
+            "--threads" => {
+                i += 1;
+                config.session.budget.threads = parse_zero_ok(args.get(i), "--threads")?;
+            }
             "--max-k" => {
                 i += 1;
                 config.session.max_k = args
@@ -322,6 +342,10 @@ fn bench(args: &[String]) -> Result<ExitCode, String> {
             "--workers" => {
                 i += 1;
                 plan.workers = parse_count(args.get(i), "--workers")?;
+            }
+            "--threads" => {
+                i += 1;
+                plan.threads = parse_zero_ok(args.get(i), "--threads")?;
             }
             "--schedule" => {
                 i += 1;
@@ -661,6 +685,10 @@ fn parse_verify_options(args: &[String]) -> Result<VerifyOptions, String> {
                     .ok_or("bad --timeout value (seconds)")?;
             }
             "--parallel" => options.parallel = true,
+            "--threads" => {
+                i += 1;
+                options.threads = parse_zero_ok(args.get(i), "--threads")?;
+            }
             "--schedule" => {
                 i += 1;
                 let spec = args.get(i).ok_or("--schedule needs a spec argument")?;
@@ -711,11 +739,15 @@ fn verify(
         Lineup::Auto => Portfolio::auto(),
         Lineup::Fixed(kinds) => Portfolio::fixed(kinds.clone()),
     }
-    .with_config(SessionConfig {
-        max_k: options.max_k,
-        timeout: options.timeout,
-        schedule: options.schedule.clone(),
-        ..SessionConfig::new()
+    .with_config({
+        let mut config = SessionConfig {
+            max_k: options.max_k,
+            timeout: options.timeout,
+            schedule: options.schedule.clone(),
+            ..SessionConfig::new()
+        };
+        config.budget.threads = options.threads;
+        config
     });
 
     // One set of per-system artifacts for the whole invocation: every
