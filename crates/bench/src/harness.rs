@@ -102,6 +102,13 @@ pub struct BenchPlan {
     /// parallelism, `1` = the sequential code path). Records are
     /// identical at every value except for the timing fields.
     pub threads: usize,
+    /// Learned per-fingerprint tunings (`--profile-map`). Novel
+    /// fingerprints are probed once *before* warmup — through a
+    /// dedicated cache, so probing never pollutes the measured
+    /// iterations — and every measured session then starts with its
+    /// system's learned schedule, falling back to `schedule` on a
+    /// miss.
+    pub profile_map: Option<std::sync::Arc<cuba_core::ProfileMap>>,
 }
 
 impl Default for BenchPlan {
@@ -115,6 +122,7 @@ impl Default for BenchPlan {
             schedule: SchedulePolicy::default(),
             reduce: false,
             threads: 0,
+            profile_map: None,
         }
     }
 }
@@ -231,7 +239,10 @@ pub fn run(plan: &BenchPlan) -> BenchRun {
 pub fn run_problems(plan: &BenchPlan, mut problems: Vec<(String, Cpds, Property)>) -> BenchRun {
     let mut config = bench_config(plan.schedule.clone());
     config.budget.threads = plan.threads;
-    let portfolio = Portfolio::auto().with_config(config);
+    let mut portfolio = Portfolio::auto().with_config(config.clone());
+    if let Some(map) = &plan.profile_map {
+        portfolio = portfolio.with_profile_map(map.clone());
+    }
 
     // With --reduce, the pre-analysis runs once per workload up front;
     // every iteration (and the suite cache) then sees only the reduced
@@ -251,6 +262,25 @@ pub fn run_problems(plan: &BenchPlan, mut problems: Vec<(String, Cpds, Property)
                 }
                 Err(e) => eprintln!("reduce {label}: {e} (measuring unreduced)"),
             }
+        }
+    }
+
+    // With --profile-map, probe every fingerprint the map has not
+    // learned yet before any measurement (and after --reduce, so the
+    // map keys on the systems the sessions will actually see). The
+    // probe shares one dedicated cache across its candidates and the
+    // measured iterations below never touch it.
+    if let Some(map) = &plan.profile_map {
+        let start = Instant::now();
+        let probes =
+            crate::tune::ensure_profiles(map, &problems, plan.workers, &SuiteCache::new(), &config);
+        if probes > 0 {
+            eprintln!(
+                "profile map: {} probes over {} workloads: {:.2}s",
+                probes,
+                problems.len(),
+                start.elapsed().as_secs_f64()
+            );
         }
     }
 

@@ -168,7 +168,7 @@ pub fn fingerprint(cpds: &Cpds) -> u64 {
 /// Structural equality of two systems — the confirmation step behind
 /// the fingerprint, so a 64-bit hash collision can never hand one
 /// system the artifacts (and hence the verdict machinery) of another.
-fn same_system(a: &Cpds, b: &Cpds) -> bool {
+pub(crate) fn same_system(a: &Cpds, b: &Cpds) -> bool {
     a.num_shared() == b.num_shared()
         && a.q_init() == b.q_init()
         && a.num_threads() == b.num_threads()

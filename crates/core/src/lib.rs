@@ -111,6 +111,7 @@ mod fcr;
 mod generator;
 mod overapprox;
 mod portfolio;
+mod profile_map;
 mod property;
 mod schedule;
 mod scheme1;
@@ -133,6 +134,9 @@ pub use fcr::{check_fcr, fcr_checks_performed, fcr_psa, FcrReport};
 pub use generator::GeneratorSet;
 pub use overapprox::{compute_z, thread_abstraction, AbstractTransition, ZReport};
 pub use portfolio::{Lineup, Portfolio};
+pub use profile_map::{
+    LearnedProfile, ProbeGuard, ProbeRecord, ProfileMap, ProfileMapStats, PROFILE_MAP_VERSION,
+};
 pub use property::Property;
 pub use schedule::{
     ArmView, FrontierAwareScheduler, FrontierConfig, NamedProfile, RoundRobinScheduler,

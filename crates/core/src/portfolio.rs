@@ -26,8 +26,8 @@ use cuba_pds::Cpds;
 
 use crate::engine::EngineKind;
 use crate::{
-    AnalysisSession, CubaError, CubaOutcome, Property, SchedulePolicy, SessionConfig, SessionEvent,
-    SuiteCache, SystemArtifacts, Verdict,
+    AnalysisSession, CubaError, CubaOutcome, ProfileMap, Property, SchedulePolicy, SessionConfig,
+    SessionEvent, SuiteCache, SystemArtifacts, Verdict,
 };
 
 /// How a portfolio picks its engine lineup for a problem.
@@ -48,6 +48,10 @@ pub enum Lineup {
 pub struct Portfolio {
     lineup: Lineup,
     config: SessionConfig,
+    /// Learned per-fingerprint tunings. When set, every session start
+    /// consults the map first and only falls back to `config.schedule`
+    /// for systems the map has not learned.
+    profile_map: Option<Arc<ProfileMap>>,
 }
 
 impl Default for Portfolio {
@@ -62,6 +66,7 @@ impl Portfolio {
         Portfolio {
             lineup: Lineup::Auto,
             config: SessionConfig::new(),
+            profile_map: None,
         }
     }
 
@@ -70,6 +75,7 @@ impl Portfolio {
         Portfolio {
             lineup: Lineup::Fixed(kinds.into()),
             config: SessionConfig::new(),
+            profile_map: None,
         }
     }
 
@@ -79,9 +85,30 @@ impl Portfolio {
         self
     }
 
+    /// Attaches a learned per-fingerprint [`ProfileMap`]. Sessions
+    /// opened through this portfolio then start with the map's tuning
+    /// for their system (frontier-aware, `threads` included) and fall
+    /// back to the configured `--schedule` only on a map miss.
+    pub fn with_profile_map(mut self, map: Arc<ProfileMap>) -> Self {
+        self.profile_map = Some(map);
+        self
+    }
+
     /// The session configuration.
     pub fn config(&self) -> &SessionConfig {
         &self.config
+    }
+
+    /// The configuration a session for `cpds` would actually start
+    /// with: the profile map's learned schedule when one is attached
+    /// and has this fingerprint, the base configuration otherwise.
+    fn effective_config(&self, cpds: &Cpds) -> std::borrow::Cow<'_, SessionConfig> {
+        if let Some(learned) = self.profile_map.as_ref().and_then(|map| map.lookup(cpds)) {
+            let mut config = self.config.clone();
+            config.schedule = SchedulePolicy::FrontierAware(learned);
+            return std::borrow::Cow::Owned(config);
+        }
+        std::borrow::Cow::Borrowed(&self.config)
     }
 
     /// The concrete lineup this portfolio fields for a system.
@@ -136,8 +163,9 @@ impl Portfolio {
         property
             .validate(&cpds)
             .map_err(CubaError::InvalidProperty)?;
+        let config = self.effective_config(&cpds);
         let lineup = self.lineup_with(&cpds, artifacts);
-        AnalysisSession::with_artifacts(cpds, property, &lineup, &self.config, artifacts)
+        AnalysisSession::with_artifacts(cpds, property, &lineup, &config, artifacts)
     }
 
     /// Runs the race round-robin on the current thread.
@@ -199,6 +227,7 @@ impl Portfolio {
         property
             .validate(&cpds)
             .map_err(CubaError::InvalidProperty)?;
+        let session_config = self.effective_config(&cpds);
         let start = std::time::Instant::now();
         let fcr_holds = artifacts.fcr(&cpds).holds();
         let lineup: Vec<EngineKind> = self
@@ -224,7 +253,7 @@ impl Portfolio {
         // while it balloons past the leanest active sibling.
         let board: Vec<AtomicUsize> = lineup.iter().map(|_| AtomicUsize::new(0)).collect();
         let active = AtomicUsize::new(lineup.len());
-        let frontier = match &self.config.schedule {
+        let frontier = match &session_config.schedule {
             SchedulePolicy::FrontierAware(config) => Some(config.clone()),
             SchedulePolicy::RoundRobin => None,
         };
@@ -241,7 +270,7 @@ impl Portfolio {
                     std::slice::from_ref(kind),
                     &lineup,
                     Some(race.clone()),
-                    &self.config,
+                    &session_config,
                     artifacts,
                 );
                 let events_tx = events_tx.clone();

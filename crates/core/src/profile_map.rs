@@ -1,0 +1,611 @@
+//! A persistent fingerprint → [`FrontierConfig`] profile map — the
+//! autotune store behind `--profile-map`.
+//!
+//! `cuba tune` emits one global profile scored over the whole suite;
+//! this module learns one per *structural CPDS fingerprint* instead,
+//! online: the first analysis of a novel fingerprint runs a cheap
+//! tuning probe (see `cuba_bench::tune`), the winner is cached here
+//! with its provenance, and every later session on the same system
+//! starts with the learned schedule — including the saturation
+//! `threads` count — without re-probing. The map serializes to a
+//! versioned, line-oriented text format in the same family as
+//! [`FrontierConfig::to_profile`], so learned tunings survive process
+//! restarts and can be shipped between machines.
+//!
+//! Collision discipline mirrors [`SuiteCache`](crate::SuiteCache):
+//! entries are bucketed by 64-bit fingerprint, each in-process entry
+//! retains the `Arc<Cpds>` that confirmed it, and lookups re-check
+//! structural equality so a hash collision can never hand one system
+//! the tuning of another. Entries loaded from disk carry only the
+//! fingerprint; the first structurally distinct system to claim one
+//! binds it, and any collider after that probes afresh.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+use cuba_pds::Cpds;
+
+use crate::cache::{fingerprint, same_system};
+use crate::schedule::FrontierConfig;
+
+/// The (only) profile-map format version this build reads and writes.
+pub const PROFILE_MAP_VERSION: u32 = 1;
+
+/// Provenance of a learned profile: what the probe measured when it
+/// picked the config, so `merge` can prefer better-scored knowledge
+/// and operators can audit a map file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProbeRecord {
+    /// Primary probe score: total scheduler rounds (live + replayed)
+    /// the winning config needed over the probed properties.
+    pub rounds: f64,
+    /// Tie-break probe score: wall-clock microseconds over the same.
+    pub wall_us: f64,
+    /// Samples per candidate the probe averaged over.
+    pub samples: usize,
+    /// The context-switch bound cap (`max_k`) the probe ran under.
+    pub tuned_at_k: usize,
+}
+
+impl ProbeRecord {
+    /// Lexicographic probe score — fewer rounds first, wall breaks
+    /// ties. Lower is better.
+    pub fn score(&self) -> (f64, f64) {
+        (self.rounds, self.wall_us)
+    }
+}
+
+/// One learned tuning: the config a probe picked plus its provenance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LearnedProfile {
+    /// The winning schedule, `threads` included. Its probe verdicts
+    /// matched the default config's — the tune adoption invariant —
+    /// or it *is* the default config.
+    pub config: FrontierConfig,
+    /// What the probe measured when it adopted `config`.
+    pub probe: ProbeRecord,
+}
+
+/// One bucket slot. `system` is the retained copy that confirmed the
+/// entry (learned in-process or claimed after a disk load); `None`
+/// marks a disk-loaded entry no system has claimed yet.
+#[derive(Debug)]
+struct MapEntry {
+    system: Option<Arc<Cpds>>,
+    profile: LearnedProfile,
+}
+
+/// Counters a [`ProfileMap`] keeps, surfaced by `GET /systems`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProfileMapStats {
+    /// Learned entries currently in the map.
+    pub entries: usize,
+    /// Lookups that found a (structurally confirmed) profile.
+    pub hits: usize,
+    /// Lookups that found nothing for the fingerprint.
+    pub misses: usize,
+    /// Probes started through [`ProfileMap::try_begin_probe`].
+    pub probes_started: usize,
+    /// Probes whose winner was recorded via [`ProfileMap::learn`].
+    pub probes_learned: usize,
+}
+
+/// Thread-safe fingerprint → [`FrontierConfig`] store with
+/// lookup/learn/merge/save and a probe-deduplication gate, shared by
+/// `cuba verify/bench/serve --profile-map`.
+#[derive(Debug, Default)]
+pub struct ProfileMap {
+    entries: Mutex<HashMap<u64, Vec<MapEntry>>>,
+    /// Fingerprints with a probe in flight — the gate that makes
+    /// concurrent clients on one fingerprint trigger exactly one probe.
+    probing: Mutex<HashSet<u64>>,
+    hits: AtomicUsize,
+    misses: AtomicUsize,
+    probes_started: AtomicUsize,
+    probes_learned: AtomicUsize,
+}
+
+/// Releases a fingerprint's probe slot on drop, so a failed or
+/// abandoned probe does not wedge the fingerprint forever.
+#[derive(Debug)]
+pub struct ProbeGuard<'a> {
+    map: &'a ProfileMap,
+    fingerprint: u64,
+}
+
+impl Drop for ProbeGuard<'_> {
+    fn drop(&mut self) {
+        self.map
+            .probing
+            .lock()
+            .expect("profile-map probe set poisoned")
+            .remove(&self.fingerprint);
+    }
+}
+
+impl ProfileMap {
+    /// An empty map.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of learned entries.
+    pub fn len(&self) -> usize {
+        self.entries
+            .lock()
+            .expect("profile map poisoned")
+            .values()
+            .map(Vec::len)
+            .sum()
+    }
+
+    /// True if nothing has been learned or loaded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Looks up the learned config for `cpds`, confirming structural
+    /// identity against the entry's retained system. A disk-loaded
+    /// (unclaimed) entry under the right fingerprint is claimed by the
+    /// first system to look it up and confirmed structurally from then
+    /// on. Counts a hit or miss either way.
+    pub fn lookup(&self, cpds: &Cpds) -> Option<FrontierConfig> {
+        self.lookup_profile(cpds).map(|profile| profile.config)
+    }
+
+    /// [`lookup`](Self::lookup), but returning the provenance too.
+    pub fn lookup_profile(&self, cpds: &Cpds) -> Option<LearnedProfile> {
+        let fp = fingerprint(cpds);
+        let mut entries = self.entries.lock().expect("profile map poisoned");
+        let found = entries.get_mut(&fp).and_then(|bucket| {
+            // Prefer a structurally confirmed entry; otherwise claim
+            // the first unclaimed disk entry for this system.
+            if let Some(entry) = bucket.iter().find(|e| {
+                e.system
+                    .as_deref()
+                    .is_some_and(|known| same_system(known, cpds))
+            }) {
+                return Some(entry.profile.clone());
+            }
+            bucket.iter_mut().find(|e| e.system.is_none()).map(|entry| {
+                entry.system = Some(Arc::new(cpds.clone()));
+                entry.profile.clone()
+            })
+        });
+        drop(entries);
+        match &found {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        found
+    }
+
+    /// Reads an entry by raw fingerprint without claiming or counting
+    /// — the `GET /systems` view. With colliding entries (vanishingly
+    /// rare) the first is returned.
+    pub fn peek(&self, fingerprint: u64) -> Option<LearnedProfile> {
+        self.entries
+            .lock()
+            .expect("profile map poisoned")
+            .get(&fingerprint)
+            .and_then(|bucket| bucket.first())
+            .map(|entry| entry.profile.clone())
+    }
+
+    /// Records the probe winner for `cpds`, replacing any entry the
+    /// same system (or an unclaimed disk entry under its fingerprint)
+    /// already holds. The caller is responsible for the adoption
+    /// invariant: `profile.config` must have produced verdicts
+    /// identical to the default config's on the probe, or be the
+    /// default itself — `tune::sweep` guarantees this for its winner.
+    pub fn learn(&self, cpds: &Cpds, profile: LearnedProfile) {
+        let fp = fingerprint(cpds);
+        let mut entries = self.entries.lock().expect("profile map poisoned");
+        let bucket = entries.entry(fp).or_default();
+        if let Some(entry) = bucket.iter_mut().find(|e| match &e.system {
+            Some(known) => same_system(known, cpds),
+            None => true,
+        }) {
+            if entry.system.is_none() {
+                entry.system = Some(Arc::new(cpds.clone()));
+            }
+            entry.profile = profile;
+        } else {
+            bucket.push(MapEntry {
+                system: Some(Arc::new(cpds.clone())),
+                profile,
+            });
+        }
+        drop(entries);
+        self.probes_learned.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Claims the probe slot for `fingerprint`. Returns `None` while
+    /// another thread holds it — callers then proceed with their
+    /// fallback schedule instead of probing a second time. The slot is
+    /// released when the returned guard drops.
+    pub fn try_begin_probe(&self, fingerprint: u64) -> Option<ProbeGuard<'_>> {
+        let mut probing = self.probing.lock().expect("profile-map probe set poisoned");
+        if !probing.insert(fingerprint) {
+            return None;
+        }
+        drop(probing);
+        self.probes_started.fetch_add(1, Ordering::Relaxed);
+        Some(ProbeGuard {
+            map: self,
+            fingerprint,
+        })
+    }
+
+    /// Folds another map's entries into this one: fingerprints absent
+    /// here are adopted wholesale; where both sides know a fingerprint,
+    /// the better probe score (fewer rounds, wall as tie-break) wins,
+    /// ties keeping the incumbent. Matching is per bucket slot, by
+    /// structural identity where both systems are retained.
+    pub fn merge(&self, other: ProfileMap) {
+        let incoming = other.entries.into_inner().expect("profile map poisoned");
+        let mut entries = self.entries.lock().expect("profile map poisoned");
+        for (fp, bucket) in incoming {
+            let slot = entries.entry(fp).or_default();
+            for new in bucket {
+                let existing = slot.iter_mut().find(|e| match (&e.system, &new.system) {
+                    (Some(a), Some(b)) => same_system(a, b),
+                    _ => true,
+                });
+                match existing {
+                    Some(entry) => {
+                        if new.profile.probe.score() < entry.profile.probe.score() {
+                            *entry = new;
+                        }
+                    }
+                    None => slot.push(new),
+                }
+            }
+        }
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> ProfileMapStats {
+        ProfileMapStats {
+            entries: self.len(),
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            probes_started: self.probes_started.load(Ordering::Relaxed),
+            probes_learned: self.probes_learned.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Serializes the map in the versioned text format
+    /// [`parse`](Self::parse) reads. Blocks are emitted in fingerprint
+    /// order so saving is deterministic. Should a bucket ever hold
+    /// colliding distinct systems, only its first entry is written —
+    /// the format keys blocks by fingerprint alone, so a second block
+    /// would be unparseable; the collider simply re-probes next time.
+    pub fn to_text(&self) -> String {
+        let entries = self.entries.lock().expect("profile map poisoned");
+        let ordered: BTreeMap<u64, &MapEntry> = entries
+            .iter()
+            .filter_map(|(fp, bucket)| bucket.first().map(|entry| (*fp, entry)))
+            .collect();
+        let mut out = String::new();
+        out.push_str(
+            "# cuba frontier-schedule profile map\n\
+             # load with: cuba verify --profile-map <this file>\n",
+        );
+        out.push_str(&format!("version = {PROFILE_MAP_VERSION}\n"));
+        for (fp, entry) in ordered {
+            let config = &entry.profile.config;
+            let probe = &entry.profile.probe;
+            out.push('\n');
+            out.push_str(&format!(
+                "fingerprint = {fp}\n\
+                 window = {}\n\
+                 bonus_turns = {}\n\
+                 max_lead = {}\n\
+                 balloon_ratio = {}\n\
+                 park_floor = {}\n\
+                 park_after = {}\n\
+                 threads = {}\n\
+                 probe_rounds = {}\n\
+                 probe_wall_us = {}\n\
+                 probe_samples = {}\n\
+                 tuned_at_k = {}\n",
+                config.window,
+                config.bonus_turns,
+                config.max_lead,
+                config.balloon_ratio,
+                config.park_floor,
+                config.park_after,
+                config.threads,
+                probe.rounds,
+                probe.wall_us,
+                probe.samples,
+                probe.tuned_at_k,
+            ));
+        }
+        out
+    }
+
+    /// Parses the text format [`to_text`](Self::to_text) writes: an
+    /// optional `version = 1` header, then `fingerprint = <u64>`
+    /// blocks of `key = value` lines — the [`FrontierConfig`] profile
+    /// keys plus the `probe_*`/`tuned_at_k` provenance. `#` comments
+    /// and blank lines are ignored anywhere.
+    ///
+    /// # Errors
+    ///
+    /// A message naming the offending line number — unknown versions,
+    /// unknown keys, malformed or duplicate blocks — never echoing
+    /// file content.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        struct Block {
+            fingerprint: u64,
+            config: FrontierConfig,
+            probe: ProbeRecord,
+        }
+        fn flush(
+            block: Option<Block>,
+            entries: &mut HashMap<u64, Vec<MapEntry>>,
+        ) -> Result<(), String> {
+            let Some(block) = block else { return Ok(()) };
+            block.config.validate()?;
+            entries.insert(
+                block.fingerprint,
+                vec![MapEntry {
+                    system: None,
+                    profile: LearnedProfile {
+                        config: block.config,
+                        probe: block.probe,
+                    },
+                }],
+            );
+            Ok(())
+        }
+
+        let mut entries: HashMap<u64, Vec<MapEntry>> = HashMap::new();
+        let mut block: Option<Block> = None;
+        for (index, line) in text.lines().enumerate() {
+            let at = |message: String| format!("profile map line {}: {message}", index + 1);
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                return Err(at("expected `key = value`".to_owned()));
+            };
+            let (key, value) = (key.trim(), value.trim());
+            match key {
+                "version" => {
+                    let version: u32 = value
+                        .parse()
+                        .map_err(|_| at("bad value for 'version'".to_owned()))?;
+                    if version != PROFILE_MAP_VERSION {
+                        return Err(at(format!(
+                            "unsupported profile map version (this build reads version {PROFILE_MAP_VERSION})"
+                        )));
+                    }
+                }
+                "fingerprint" => {
+                    flush(block.take(), &mut entries).map_err(&at)?;
+                    let fp: u64 = value
+                        .parse()
+                        .map_err(|_| at("bad value for 'fingerprint'".to_owned()))?;
+                    if entries.contains_key(&fp) {
+                        return Err(at("duplicate fingerprint".to_owned()));
+                    }
+                    block = Some(Block {
+                        fingerprint: fp,
+                        config: FrontierConfig::default(),
+                        probe: ProbeRecord {
+                            rounds: 0.0,
+                            wall_us: 0.0,
+                            samples: 0,
+                            tuned_at_k: 0,
+                        },
+                    });
+                }
+                _ => {
+                    let Some(current) = block.as_mut() else {
+                        return Err(at("key before the first `fingerprint` block".to_owned()));
+                    };
+                    fn parse_num<T: std::str::FromStr>(
+                        key: &str,
+                        value: &str,
+                    ) -> Result<T, String> {
+                        value.parse().map_err(|_| format!("bad value for '{key}'"))
+                    }
+                    match key {
+                        "probe_rounds" => {
+                            current.probe.rounds = parse_num(key, value).map_err(&at)?;
+                        }
+                        "probe_wall_us" => {
+                            current.probe.wall_us = parse_num(key, value).map_err(&at)?;
+                        }
+                        "probe_samples" => {
+                            current.probe.samples = parse_num(key, value).map_err(&at)?;
+                        }
+                        "tuned_at_k" => {
+                            current.probe.tuned_at_k = parse_num(key, value).map_err(&at)?;
+                        }
+                        _ => current.config.set_field(key, value).map_err(&at)?,
+                    }
+                }
+            }
+        }
+        flush(block.take(), &mut entries)
+            .map_err(|message| format!("profile map line {}: {message}", text.lines().count()))?;
+        Ok(ProfileMap {
+            entries: Mutex::new(entries),
+            ..ProfileMap::default()
+        })
+    }
+
+    /// Reads and parses a map file.
+    ///
+    /// # Errors
+    ///
+    /// The I/O error or parse error, prefixed with the path.
+    pub fn load(path: &str) -> Result<Self, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        Self::parse(&text).map_err(|e| format!("{path}: {e}"))
+    }
+
+    /// Writes the map to `path` in the versioned text format.
+    ///
+    /// # Errors
+    ///
+    /// The I/O error, prefixed with the path.
+    pub fn save(&self, path: &str) -> Result<(), String> {
+        std::fs::write(path, self.to_text()).map_err(|e| format!("{path}: {e}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{fig1, fig2};
+
+    fn learned(window: usize, rounds: f64) -> LearnedProfile {
+        LearnedProfile {
+            config: FrontierConfig {
+                window,
+                threads: 1,
+                ..FrontierConfig::default()
+            },
+            probe: ProbeRecord {
+                rounds,
+                wall_us: 10.5,
+                samples: 1,
+                tuned_at_k: 32,
+            },
+        }
+    }
+
+    #[test]
+    fn map_round_trips_through_text() {
+        let map = ProfileMap::new();
+        map.learn(&fig1(), learned(4, 12.0));
+        map.learn(&fig2(), learned(2, 7.0));
+        let text = map.to_text();
+        assert!(text.starts_with("# cuba frontier-schedule profile map"));
+        assert!(text.contains("version = 1"));
+
+        let reloaded = ProfileMap::parse(&text).expect("round trip");
+        assert_eq!(reloaded.len(), 2);
+        assert_eq!(reloaded.lookup_profile(&fig1()), Some(learned(4, 12.0)));
+        assert_eq!(reloaded.lookup_profile(&fig2()), Some(learned(2, 7.0)));
+        // Deterministic serialization: a second save is byte-identical.
+        assert_eq!(reloaded.to_text(), text);
+    }
+
+    #[test]
+    fn parse_rejects_corrupt_input() {
+        for (bad, needle) in [
+            (
+                "version = 1\nnot a key value line\n",
+                "expected `key = value`",
+            ),
+            (
+                "version = 1\nwindow = 3\n",
+                "before the first `fingerprint`",
+            ),
+            (
+                "version = 1\nfingerprint = abc\n",
+                "bad value for 'fingerprint'",
+            ),
+            (
+                "version = 1\nfingerprint = 1\nwombat = 3\n",
+                "unknown tuning key",
+            ),
+            (
+                "version = 1\nfingerprint = 1\nwindow = many\n",
+                "bad value for 'window'",
+            ),
+            (
+                "version = 1\nfingerprint = 1\nwindow = 0\n",
+                "window must be at least 1",
+            ),
+            (
+                "version = 1\nfingerprint = 1\n\nfingerprint = 1\n",
+                "duplicate fingerprint",
+            ),
+            (
+                "version = 1\nfingerprint = 1\nprobe_rounds = soon\n",
+                "bad value for 'probe_rounds'",
+            ),
+        ] {
+            let err = ProfileMap::parse(bad).expect_err(bad);
+            assert!(err.contains(needle), "{bad:?} -> {err}");
+            assert!(err.contains("profile map line"), "{err}");
+        }
+    }
+
+    #[test]
+    fn parse_rejects_unknown_versions() {
+        let err = ProfileMap::parse("version = 2\n").expect_err("future version");
+        assert!(err.contains("unsupported profile map version"), "{err}");
+        // A versionless map still parses (the header is optional).
+        assert!(ProfileMap::parse("fingerprint = 7\nwindow = 4\n").is_ok());
+    }
+
+    #[test]
+    fn lookup_confirms_structural_identity() {
+        let map = ProfileMap::new();
+        map.learn(&fig1(), learned(4, 12.0));
+        assert_eq!(map.lookup(&fig1()).map(|c| c.window), Some(4));
+        assert_eq!(map.lookup(&fig2()), None);
+        let stats = map.stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+        assert_eq!(stats.probes_learned, 1);
+    }
+
+    #[test]
+    fn disk_entries_are_claimed_once() {
+        let map = ProfileMap::new();
+        map.learn(&fig1(), learned(4, 12.0));
+        let reloaded = ProfileMap::parse(&map.to_text()).expect("parse");
+        // fig2 hashes differently, so it cannot claim fig1's block.
+        assert_eq!(reloaded.lookup(&fig2()), None);
+        // fig1 claims its block; the claim then survives as a
+        // structurally confirmed entry.
+        assert!(reloaded.lookup(&fig1()).is_some());
+        assert!(reloaded.lookup(&fig1()).is_some());
+        assert_eq!(reloaded.len(), 1);
+    }
+
+    #[test]
+    fn learn_replaces_and_merge_prefers_better_scores() {
+        let map = ProfileMap::new();
+        map.learn(&fig1(), learned(4, 12.0));
+        map.learn(&fig1(), learned(5, 9.0));
+        assert_eq!(map.len(), 1);
+        assert_eq!(map.lookup(&fig1()).map(|c| c.window), Some(5));
+
+        // Worse incoming score: incumbent kept.
+        let worse = ProfileMap::new();
+        worse.learn(&fig1(), learned(2, 30.0));
+        map.merge(worse);
+        assert_eq!(map.lookup(&fig1()).map(|c| c.window), Some(5));
+
+        // Better incoming score and a novel fingerprint: both adopted.
+        let better = ProfileMap::new();
+        better.learn(&fig1(), learned(3, 5.0));
+        better.learn(&fig2(), learned(2, 7.0));
+        map.merge(better);
+        assert_eq!(map.lookup(&fig1()).map(|c| c.window), Some(3));
+        assert_eq!(map.lookup(&fig2()).map(|c| c.window), Some(2));
+        assert_eq!(map.len(), 2);
+    }
+
+    #[test]
+    fn probe_slot_is_exclusive_until_released() {
+        let map = ProfileMap::new();
+        let guard = map.try_begin_probe(42).expect("first claim");
+        assert!(map.try_begin_probe(42).is_none());
+        assert!(map.try_begin_probe(43).is_some());
+        drop(guard);
+        assert!(map.try_begin_probe(42).is_some());
+        assert_eq!(map.stats().probes_started, 3);
+    }
+}

@@ -161,7 +161,10 @@ impl FrontierConfig {
     /// `key = value` lines over the defaults, `#` comments and blank
     /// lines ignored. Unknown keys and malformed lines are errors
     /// (they would silently mis-tune the scheduler otherwise); the
-    /// `name` line is optional and defaults to `"unnamed"`.
+    /// `name` line is optional and defaults to `"unnamed"`. A
+    /// `version` header is accepted for forward compatibility with the
+    /// versioned profile-map format — version 1 (and versionless
+    /// pre-map files) load, anything newer is rejected.
     ///
     /// # Errors
     ///
@@ -182,7 +185,14 @@ impl FrontierConfig {
                 ));
             };
             let (key, value) = (key.trim(), value.trim());
-            if key == "name" {
+            if key == "version" {
+                if value != "1" {
+                    return Err(format!(
+                        "profile line {}: unsupported profile version (this build reads version 1)",
+                        index + 1
+                    ));
+                }
+            } else if key == "name" {
                 if value.is_empty() || value.chars().any(char::is_whitespace) {
                     return Err(format!(
                         "profile line {}: name must be one non-empty token",
@@ -219,8 +229,9 @@ impl FrontierConfig {
         Ok(config)
     }
 
-    /// Sets one field by its profile key.
-    fn set_field(&mut self, key: &str, value: &str) -> Result<(), String> {
+    /// Sets one field by its profile key. Shared with the profile-map
+    /// parser, which reuses the exact key set per fingerprint block.
+    pub(crate) fn set_field(&mut self, key: &str, value: &str) -> Result<(), String> {
         fn parse<T: std::str::FromStr>(key: &str, value: &str) -> Result<T, String> {
             value.parse().map_err(|_| format!("bad value for '{key}'"))
         }

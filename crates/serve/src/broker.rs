@@ -12,7 +12,10 @@ use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Instant;
 
-use cuba_core::{fingerprint, Lineup, Portfolio, SessionConfig, SuiteCache, SystemArtifacts};
+use cuba_core::{
+    fingerprint, Lineup, Portfolio, ProfileMap, Property, SessionConfig, SuiteCache,
+    SystemArtifacts,
+};
 use cuba_explore::CancelToken;
 use cuba_pds::Cpds;
 
@@ -165,6 +168,10 @@ impl Broker {
         max_k: Option<usize>,
         schedule: Option<cuba_core::SchedulePolicy>,
     ) -> Portfolio {
+        // An explicit per-request schedule outranks the learned map;
+        // otherwise sessions consult the map first and fall back to
+        // the service's base `--schedule`.
+        let consult_map = schedule.is_none();
         let session = SessionConfig {
             max_k: max_k.unwrap_or(self.config.session.max_k),
             schedule: schedule.unwrap_or_else(|| self.config.session.schedule.clone()),
@@ -172,11 +179,48 @@ impl Broker {
             ..self.config.session.clone()
         };
         let lineup = lineup.unwrap_or_else(|| self.config.lineup.clone());
-        match lineup {
+        let mut portfolio = match lineup {
             Lineup::Auto => Portfolio::auto(),
             Lineup::Fixed(kinds) => Portfolio::fixed(kinds),
         }
-        .with_config(session)
+        .with_config(session);
+        if consult_map {
+            if let Some(map) = &self.config.profile_map {
+                portfolio = portfolio.with_profile_map(map.clone());
+            }
+        }
+        portfolio
+    }
+
+    /// The learned profile map served under `--profile-map`, if any.
+    pub fn profile_map(&self) -> Option<&Arc<ProfileMap>> {
+        self.config.profile_map.as_ref()
+    }
+
+    /// With `--profile-map`: makes sure the map has a learned profile
+    /// for every system of `problems`, probing novel fingerprints
+    /// through the broker's long-lived cache — the probe candidates
+    /// replay layers the service has already explored (and leave warm
+    /// layers for the request that triggered them). The map's probe
+    /// gate guarantees concurrent requests for one fingerprint run
+    /// exactly one probe; the losers proceed on the fallback schedule.
+    ///
+    /// The probe runs under the service's base session limits with
+    /// the abort token wired in, so an abort shutdown interrupts
+    /// in-flight probes like any other analysis.
+    pub fn ensure_profiles(&self, cpds: &Cpds, properties: &[(String, Property)]) {
+        let Some(map) = &self.config.profile_map else {
+            return;
+        };
+        let problems: Vec<(String, Cpds, Property)> = properties
+            .iter()
+            .map(|(label, property)| (label.clone(), cpds.clone(), property.clone()))
+            .collect();
+        let base = SessionConfig {
+            cancel: Some(self.abort.clone()),
+            ..self.config.session.clone()
+        };
+        cuba_bench::tune::ensure_profiles(map, &problems, 1, &self.cache, &base);
     }
 
     /// Whether the service has begun shutting down.

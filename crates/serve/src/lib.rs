@@ -90,6 +90,15 @@ pub struct ServeConfig {
     /// the service resolves profiles against this map only, so a
     /// request cannot make the server read disk.
     pub profiles: HashMap<String, FrontierConfig>,
+    /// Learned per-fingerprint tunings (`cuba serve --profile-map`):
+    /// the first request for a novel fingerprint runs one cheap
+    /// tuning probe through the broker's shared cache and the winner
+    /// is recorded here; every later session on that system starts
+    /// with it. A per-request `?schedule=` override outranks the map.
+    /// The CLI loads the file at boot and flushes the map back on
+    /// graceful shutdown; embedded servers save through
+    /// [`Broker::profile_map`].
+    pub profile_map: Option<Arc<cuba_core::ProfileMap>>,
 }
 
 impl Default for ServeConfig {
@@ -107,6 +116,7 @@ impl Default for ServeConfig {
             session: SessionConfig::new(),
             lineup: Lineup::Auto,
             profiles: HashMap::new(),
+            profile_map: None,
         }
     }
 }
@@ -460,6 +470,12 @@ fn handle_analyze(
     // bounded pool applies to analysis work only, never to control
     // endpoints.
     let _slot = broker.acquire_slot();
+    // Learn a tuning for novel fingerprints before the sessions start
+    // (skipped entirely when the request pins its own schedule — the
+    // override outranks the map, so probing for it would be wasted).
+    if parsed.schedule.is_none() {
+        broker.ensure_profiles(&parsed.cpds, &parsed.properties);
+    }
     let portfolio = broker.portfolio(parsed.lineup.clone(), parsed.max_k, parsed.schedule.clone());
     let artifacts = broker.artifacts_for(&parsed.cpds);
     let fcr = artifacts.fcr(&parsed.cpds).holds();
@@ -595,6 +611,9 @@ fn handle_suite(
     // parallelism runs within it.
     let _slot = broker.acquire_slot();
     broker.count_suite();
+    if parsed.schedule.is_none() {
+        broker.ensure_profiles(&parsed.cpds, &parsed.properties);
+    }
     let portfolio = broker.portfolio(parsed.lineup, parsed.max_k, parsed.schedule);
     // Probe the cache up front so the reported hit/miss reflects this
     // request's arrival, not the in-run lookup race.
@@ -674,6 +693,9 @@ fn handle_systems(out: &mut impl Write, broker: &Arc<Broker>) -> std::io::Result
                     .artifacts
                     .symbolic_explorer_if_started(cuba_explore::SubsumptionMode::Pointwise),
             );
+            if let Some(map) = broker.profile_map() {
+                profile_field(&mut obj, map.peek(entry.fingerprint));
+            }
             obj.finish()
         })
         .collect();
@@ -682,8 +704,40 @@ fn handle_systems(out: &mut impl Write, broker: &Arc<Broker>) -> std::io::Result
     body.number("systems", stats.systems as f64);
     body.number("cache_hits", stats.hits as f64);
     body.number("cache_misses", stats.misses as f64);
+    if let Some(map) = broker.profile_map() {
+        let profile_stats = map.stats();
+        body.number("profiles_learned", profile_stats.entries as f64);
+        body.number("profile_hits", profile_stats.hits as f64);
+        body.number("profile_misses", profile_stats.misses as f64);
+        body.number("probes_started", profile_stats.probes_started as f64);
+        body.number("probes_learned", profile_stats.probes_learned as f64);
+    }
     body.raw("entries", format!("[{}]", entries.join(",")));
     write_response(out, 200, "OK", "application/json", body.finish().as_bytes())
+}
+
+/// Renders one system's learned profile (or `null` while unprobed):
+/// the full tuning plus the probe provenance the map persists.
+fn profile_field(obj: &mut JsonObject, profile: Option<cuba_core::LearnedProfile>) {
+    match profile {
+        Some(profile) => {
+            let mut inner = JsonObject::new();
+            inner.number("window", profile.config.window as f64);
+            inner.number("bonus_turns", profile.config.bonus_turns as f64);
+            inner.number("max_lead", profile.config.max_lead as f64);
+            inner.number("balloon_ratio", profile.config.balloon_ratio);
+            inner.number("park_floor", profile.config.park_floor as f64);
+            inner.number("park_after", profile.config.park_after as f64);
+            inner.number("threads", profile.config.threads as f64);
+            inner.number("probe_rounds", profile.probe.rounds);
+            inner.number("probe_samples", profile.probe.samples as f64);
+            inner.number("tuned_at_k", profile.probe.tuned_at_k as f64);
+            obj.raw("profile", inner.finish());
+        }
+        None => {
+            obj.null("profile");
+        }
+    }
 }
 
 /// Renders one backend explorer slot (or `null` when never started).

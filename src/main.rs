@@ -46,6 +46,13 @@
 //!                      .bp inputs, constant-false branches before
 //!                      translation); the verdict word is unchanged and
 //!                      `--json` gains a "reduction" stats object
+//!     --profile-map <f>  persistent fingerprint -> schedule map: load
+//!                      (or start) the map at <f>, run a cheap tuning
+//!                      probe if this system is novel, adopt the
+//!                      learned config for the run, and save the map
+//!                      on exit. The learned profile outranks the
+//!                      base --schedule; its verdicts are always
+//!                      identical to the default configuration's.
 //! cuba fcr <file>      run only the finite-context-reachability check
 //! cuba info <file>     print model statistics
 //! cuba lint <file> [options]  static diagnostics without verifying
@@ -80,6 +87,10 @@
 //!     --ratio <r>      required median ratio (default 4.0)
 //!     --sigma <s>      required distance in MAD-sigmas (default 8.0)
 //!     --floor-ms <m>   absolute floor, milliseconds (default 250)
+//!     --profile-map <f>  load (or start) the persistent profile map
+//!                      at <f>, probe novel fingerprints before the
+//!                      warmup, run the measured suite through the
+//!                      learned schedules, and save the map after
 //!
 //!     The N-sample JSON record (BENCH_*.json format, `samples_us` per
 //!     workload, no timing fields on error rows) goes to stdout; the
@@ -91,6 +102,13 @@
 //!     --warmup <n>     unmeasured iterations first (default 1)
 //!     --passes <n>     coordinate-descent passes (default 1)
 //!     --workers <n>    problems in flight (default: CPUs)
+//!     --probe          single-pass budget-capped sweep through one
+//!                      shared exploration cache — the same probe the
+//!                      online --profile-map path runs on a novel
+//!                      fingerprint; seconds instead of minutes
+//!     --emit-map       probe each distinct fingerprint in the suite
+//!                      and write a profile *map* (load with
+//!                      --profile-map) instead of a single profile
 //!
 //!     Scores candidates by (total live exploration rounds, wall) and
 //!     only ever adopts one whose per-workload verdicts are identical
@@ -109,6 +127,12 @@
 //!     --schedule SPEC  arm scheduling policy (grammar as for verify)
 //!     --profile <f>    preload a named schedule profile (repeatable);
 //!                      requests select it with schedule=frontier:<name>
+//!     --profile-map <f>  load (or start) the persistent profile map
+//!                      at <f>: requests without an explicit schedule=
+//!                      consult it, novel systems are probed once
+//!                      (concurrent clients share the probe), learned
+//!                      profiles show up in GET /systems, and the map
+//!                      is saved when the server drains
 //!
 //!     Endpoints: POST /analyze (NDJSON event stream; repeatable
 //!     property= query params, body = model source, format=cpds|bp,
@@ -128,8 +152,8 @@ use std::time::Duration;
 use cuba::benchmarks::textfmt;
 use cuba::boolprog;
 use cuba::core::{
-    check_fcr, CubaOutcome, EngineKind, Lineup, Portfolio, Property, SchedulePolicy, SessionConfig,
-    SessionEvent, SystemArtifacts, Verdict,
+    check_fcr, CubaOutcome, EngineKind, Lineup, Portfolio, ProfileMap, Property, SchedulePolicy,
+    SessionConfig, SessionEvent, SuiteCache, SystemArtifacts, Verdict,
 };
 use cuba::pds::{Cpds, SharedState};
 use cuba_bench::json_escape as json_string;
@@ -148,15 +172,17 @@ fn main() -> ExitCode {
 fn usage() -> String {
     "usage: cuba <verify|fcr|info> <file.bp|file.cpds> [--engine auto|explicit|symbolic] \
      [--max-k N] [--parallel] [--threads N] [--schedule SPEC] [--timeout SECS] [--trace] \
-     [--json] [--reduce] [--never-shared Q] [--property SPEC]...\n   or: cuba lint \
+     [--json] [--reduce] [--never-shared Q] [--property SPEC]... [--profile-map FILE]\n   \
+     or: cuba lint \
      <file.bp|file.cpds> [--property SPEC]... [--json]\n   or: cuba serve [--addr ADDR] \
      [--workers N] [--threads N] [--max-k N] [--timeout SECS] [--schedule SPEC] \
-     [--profile FILE]...\n   \
+     [--profile FILE]... [--profile-map FILE]\n   \
      or: cuba bench [--samples N] [--warmup N] [--workers N] [--threads N] [--schedule SPEC] \
-     [--reduce] [--compare FILE] [--gate] [--ratio R] [--sigma S] [--floor-ms MS]\n   \
+     [--reduce] [--compare FILE] [--gate] [--ratio R] [--sigma S] [--floor-ms MS] \
+     [--profile-map FILE]\n   \
      or: cuba tune [--out FILE] [--name NAME] [--samples N] [--warmup N] [--passes N] \
-     [--workers N]\n   (schedule SPEC: round-robin | frontier | frontier:<profile-file> \
-     | frontier:key=value,...)"
+     [--workers N] [--probe] [--emit-map]\n   (schedule SPEC: round-robin | frontier \
+     | frontier:<profile-file> | frontier:key=value,...)"
         .to_owned()
 }
 
@@ -176,6 +202,9 @@ struct VerifyOptions {
     /// Repeated `--property` specs, verified in order over one shared
     /// exploration of the system.
     properties: Vec<(String, Property)>,
+    /// `--profile-map FILE`: consult (and grow) the persistent
+    /// fingerprint → schedule map at this path.
+    profile_map: Option<String>,
 }
 
 impl Default for VerifyOptions {
@@ -192,7 +221,18 @@ impl Default for VerifyOptions {
             reduce: false,
             never_shared: None,
             properties: Vec::new(),
+            profile_map: None,
         }
+    }
+}
+
+/// Loads the profile map at `path`, or starts an empty one when the
+/// file does not exist yet (first run learns, later runs reuse).
+fn load_profile_map(path: &str) -> Result<Arc<ProfileMap>, String> {
+    if std::path::Path::new(path).exists() {
+        Ok(Arc::new(ProfileMap::load(path)?))
+    } else {
+        Ok(Arc::new(ProfileMap::new()))
     }
 }
 
@@ -252,6 +292,7 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
 /// `POST /shutdown` request stops it.
 fn serve(args: &[String]) -> Result<ExitCode, String> {
     let mut config = cuba_serve::ServeConfig::default();
+    let mut map_state: Option<(Arc<ProfileMap>, String)> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -303,6 +344,16 @@ fn serve(args: &[String]) -> Result<ExitCode, String> {
                 let profile = cuba::core::FrontierConfig::parse_profile(&text)?;
                 config.profiles.insert(profile.name.clone(), profile.config);
             }
+            "--profile-map" => {
+                i += 1;
+                let path = args
+                    .get(i)
+                    .cloned()
+                    .ok_or("--profile-map needs a file argument")?;
+                let map = load_profile_map(&path)?;
+                config.profile_map = Some(map.clone());
+                map_state = Some((map, path));
+            }
             other => return Err(format!("unknown option '{other}'")),
         }
         i += 1;
@@ -315,6 +366,15 @@ fn serve(args: &[String]) -> Result<ExitCode, String> {
     use std::io::Write as _;
     let _ = std::io::stdout().flush();
     server.run().map_err(|e| format!("serve: {e}"))?;
+    // run() returns only after the worker pool drains, so everything
+    // learned across requests is in the map: the graceful-shutdown flush.
+    if let Some((map, path)) = &map_state {
+        map.save(path)?;
+        println!(
+            "profile map saved to {path} ({} profiles)",
+            map.stats().entries
+        );
+    }
     println!("cuba-serve drained and shut down");
     Ok(ExitCode::SUCCESS)
 }
@@ -326,6 +386,7 @@ fn serve(args: &[String]) -> Result<ExitCode, String> {
 fn bench(args: &[String]) -> Result<ExitCode, String> {
     let mut plan = cuba_bench::harness::BenchPlan::default();
     let mut compare_path: Option<String> = None;
+    let mut map_path: Option<String> = None;
     let mut gate = false;
     let mut thresholds = cuba_bench::compare::Thresholds::default();
     let mut i = 0;
@@ -374,6 +435,14 @@ fn bench(args: &[String]) -> Result<ExitCode, String> {
                 i += 1;
                 thresholds.abs_floor_us = parse_float(args.get(i), "--floor-ms")? * 1000.0;
             }
+            "--profile-map" => {
+                i += 1;
+                map_path = Some(
+                    args.get(i)
+                        .cloned()
+                        .ok_or("--profile-map needs a file argument")?,
+                );
+            }
             other => return Err(format!("unknown option '{other}'")),
         }
         i += 1;
@@ -381,8 +450,26 @@ fn bench(args: &[String]) -> Result<ExitCode, String> {
     if gate && compare_path.is_none() {
         return Err("--gate needs --compare FILE to compare against".to_owned());
     }
+    let profile_map = match &map_path {
+        Some(path) => {
+            let map = load_profile_map(path)?;
+            plan.profile_map = Some(map.clone());
+            Some(map)
+        }
+        None => None,
+    };
 
     let run = cuba_bench::harness::run(&plan);
+    // Persist what this run learned before any gate can fail the
+    // process: the warm rerun needs the map even when CI gates red.
+    if let (Some(map), Some(path)) = (&profile_map, &map_path) {
+        map.save(path)?;
+        let stats = map.stats();
+        eprintln!(
+            "profile map {path}: {} profiles, {} hits / {} misses this run",
+            stats.entries, stats.hits, stats.misses
+        );
+    }
     let record = cuba_bench::harness::run_to_json(&run);
     println!("{record}");
     eprintln!(
@@ -421,14 +508,16 @@ fn bench(args: &[String]) -> Result<ExitCode, String> {
 /// `--schedule frontier:<file>` loads.
 fn tune(args: &[String]) -> Result<ExitCode, String> {
     let mut plan = cuba_bench::tune::TunePlan::default();
-    let mut out = "cuba-tuned.profile".to_owned();
+    let mut out: Option<String> = None;
     let mut name = "tuned".to_owned();
+    let mut probe = false;
+    let mut emit_map = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--out" => {
                 i += 1;
-                out = args.get(i).cloned().ok_or("--out needs a file argument")?;
+                out = Some(args.get(i).cloned().ok_or("--out needs a file argument")?);
             }
             "--name" => {
                 i += 1;
@@ -450,9 +539,16 @@ fn tune(args: &[String]) -> Result<ExitCode, String> {
                 i += 1;
                 plan.workers = parse_count(args.get(i), "--workers")?;
             }
+            "--probe" => probe = true,
+            "--emit-map" => emit_map = true,
             other => return Err(format!("unknown option '{other}'")),
         }
         i += 1;
+    }
+    if probe && emit_map {
+        return Err(
+            "--probe and --emit-map are mutually exclusive (--emit-map already probes)".to_owned(),
+        );
     }
     // The profile reader enforces one-token names; reject a bad name
     // before the (minutes-long) sweep, not when the file is loaded.
@@ -460,7 +556,26 @@ fn tune(args: &[String]) -> Result<ExitCode, String> {
         return Err("bad --name value (one non-empty token, no whitespace)".to_owned());
     }
 
-    let outcome = cuba_bench::tune::run(&plan);
+    // Batch mode: probe every distinct fingerprint in the suite and
+    // write the learned map, seeding what verify/bench/serve
+    // --profile-map would otherwise learn one system at a time.
+    if emit_map {
+        let out = out.unwrap_or_else(|| "cuba-profile.map".to_owned());
+        let (map, probes) = cuba_bench::tune::seed_map(&plan);
+        map.save(&out)?;
+        println!(
+            "wrote {out} ({} fingerprints, {probes} probed; load with: --profile-map {out})",
+            map.stats().entries
+        );
+        return Ok(ExitCode::SUCCESS);
+    }
+
+    let out = out.unwrap_or_else(|| "cuba-tuned.profile".to_owned());
+    let outcome = if probe {
+        cuba_bench::tune::run_probe(&plan)
+    } else {
+        cuba_bench::tune::run(&plan)
+    };
     let best = &outcome.best;
     let default = &outcome.default_eval;
     eprintln!(
@@ -711,6 +826,14 @@ fn parse_verify_options(args: &[String]) -> Result<VerifyOptions, String> {
                 let property = parse_property(spec)?;
                 options.properties.push((spec.clone(), property));
             }
+            "--profile-map" => {
+                i += 1;
+                options.profile_map = Some(
+                    args.get(i)
+                        .cloned()
+                        .ok_or("--profile-map needs a file argument")?,
+                );
+            }
             other => return Err(format!("unknown option '{other}'")),
         }
         i += 1;
@@ -735,11 +858,7 @@ fn verify(
     } else {
         (model.cpds, None)
     };
-    let portfolio = match &options.lineup {
-        Lineup::Auto => Portfolio::auto(),
-        Lineup::Fixed(kinds) => Portfolio::fixed(kinds.clone()),
-    }
-    .with_config({
+    let config = {
         let mut config = SessionConfig {
             max_k: options.max_k,
             timeout: options.timeout,
@@ -748,12 +867,38 @@ fn verify(
         };
         config.budget.threads = options.threads;
         config
-    });
+    };
+    let mut portfolio = match &options.lineup {
+        Lineup::Auto => Portfolio::auto(),
+        Lineup::Fixed(kinds) => Portfolio::fixed(kinds.clone()),
+    }
+    .with_config(config.clone());
 
     // One set of per-system artifacts for the whole invocation: every
     // property replays the same layered exploration per backend ("one
     // system, many properties"); only deeper bounds are computed live.
-    let artifacts = Arc::new(SystemArtifacts::new());
+    //
+    // With --profile-map the artifacts come from a SuiteCache instead,
+    // so the tuning probe (for a novel fingerprint) and the real run
+    // share one layered exploration — probing never re-saturates what
+    // the run computes anyway, and the map keys on the *reduced*
+    // system when --reduce is on.
+    let mut save_map: Option<(Arc<ProfileMap>, &str)> = None;
+    let artifacts = if let Some(path) = &options.profile_map {
+        let map = load_profile_map(path)?;
+        let cache = SuiteCache::new();
+        let problems: Vec<(String, Cpds, Property)> = properties
+            .iter()
+            .map(|(label, property)| (label.clone(), cpds.clone(), property.clone()))
+            .collect();
+        cuba_bench::tune::ensure_profiles(&map, &problems, 1, &cache, &config);
+        portfolio = portfolio.with_profile_map(map.clone());
+        let artifacts = cache.artifacts(&cpds);
+        save_map = Some((map, path));
+        artifacts
+    } else {
+        Arc::new(SystemArtifacts::new())
+    };
     let many = properties.len() > 1;
     let mut exit = ExitCode::SUCCESS;
     let mut saw_unsafe = false;
@@ -827,6 +972,9 @@ fn verify(
             Verdict::Unsafe { .. } => saw_unsafe = true,
             Verdict::Undetermined { .. } => saw_undetermined = true,
         }
+    }
+    if let Some((map, path)) = save_map {
+        map.save(path)?;
     }
     // The worst verdict decides: any unsafe → 1, else undetermined → 3.
     if saw_unsafe {

@@ -34,6 +34,7 @@ fn plan(threads: usize) -> BenchPlan {
         schedule: SchedulePolicy::RoundRobin,
         reduce: false,
         threads,
+        profile_map: None,
     }
 }
 

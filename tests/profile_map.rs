@@ -1,0 +1,155 @@
+//! Integration tests of the persistent profile map — the acceptance
+//! criteria of the online-autotune milestone:
+//!
+//! * a second run of the Table 2 suite through a warm map explores no
+//!   more live rounds than the cold run, at byte-identical verdict
+//!   words (the learned schedules help or the defaults win);
+//! * the map round-trips through its on-disk text format with the
+//!   learned configs and provenance intact;
+//! * concurrent serve clients asking about one novel system trigger
+//!   exactly one tuning probe.
+
+use std::sync::Arc;
+
+use cuba::benchmarks::suite::table2_suite;
+use cuba::core::{
+    Portfolio, ProfileMap, Property, SchedulePolicy, SessionConfig, SuiteCache, Verdict,
+};
+use cuba::explore::ExploreBudget;
+use cuba::pds::Cpds;
+
+fn suite_config() -> SessionConfig {
+    SessionConfig {
+        budget: ExploreBudget {
+            // Same cap as the other suite-level integration tests:
+            // keeps the OOM row bounded in debug mode.
+            max_symbolic_states: 10_000,
+            ..ExploreBudget::default()
+        },
+        max_k: 24,
+        schedule: SchedulePolicy::frontier_aware(),
+        ..SessionConfig::new()
+    }
+}
+
+fn suite_problems() -> Vec<(String, Cpds, Property)> {
+    table2_suite()
+        .into_iter()
+        .map(|b| (b.label(), b.cpds, b.property))
+        .collect()
+}
+
+/// One run's observable result: the verdict *word* per workload (the
+/// invariant the map must preserve is the word, not the bound — the
+/// convergence bound of a safe verdict legitimately differs by one
+/// depending on which arm wins) plus the total live rounds paid.
+fn run_suite(portfolio: &Portfolio, problems: &[(String, Cpds, Property)]) -> (Vec<String>, usize) {
+    let cache = SuiteCache::new();
+    let batch: Vec<(Cpds, Property)> = problems
+        .iter()
+        .map(|(_, cpds, property)| (cpds.clone(), property.clone()))
+        .collect();
+    let results = portfolio.run_suite_cached(batch, 4, &cache);
+    let mut verdicts = Vec::new();
+    let mut live_rounds = 0usize;
+    for (label, result) in problems.iter().map(|(l, _, _)| l).zip(results) {
+        // The OOM row errors by design at the test budget; an error is
+        // part of the verdict word the map must preserve.
+        verdicts.push(match &result {
+            Ok(o) => match &o.verdict {
+                Verdict::Safe { .. } => format!("{label}:safe"),
+                Verdict::Unsafe { k, .. } => format!("{label}:unsafe@{k}"),
+                Verdict::Undetermined { .. } => format!("{label}:undetermined"),
+            },
+            Err(e) => format!("{label}:error:{e}"),
+        });
+        if let Ok(outcome) = &result {
+            live_rounds += outcome.rounds_explored;
+        }
+    }
+    (verdicts, live_rounds)
+}
+
+/// Acceptance: learn the Table 2 suite into a map once, then compare a
+/// cold (default-schedule) run against a warm (map-consulting) run —
+/// byte-identical verdict words, no more live rounds. The map is also
+/// pushed through its text format first, so what the warm run consults
+/// is what a `--profile-map` file would deliver.
+#[test]
+fn warm_map_rerun_is_never_worse_than_cold() {
+    let problems = suite_problems();
+    let config = suite_config();
+
+    let cold_portfolio = Portfolio::auto().with_config(config.clone());
+    let (cold_verdicts, cold_rounds) = run_suite(&cold_portfolio, &problems);
+
+    // Learn every fingerprint through a dedicated cache (the probe
+    // shares layers within itself, not with the measured runs).
+    let map = ProfileMap::new();
+    let probes = cuba_bench::tune::ensure_profiles(&map, &problems, 4, &SuiteCache::new(), &config);
+    assert!(probes > 0, "a fresh map must probe the novel suite");
+    assert_eq!(map.stats().probes_started, probes);
+
+    // Round-trip through the on-disk format: the warm run consults
+    // what a saved file would deliver.
+    let text = map.to_text();
+    let reloaded = Arc::new(ProfileMap::parse(&text).expect("saved map must parse"));
+    assert_eq!(reloaded.to_text(), text, "text format must round-trip");
+
+    let warm_portfolio = Portfolio::auto()
+        .with_config(config)
+        .with_profile_map(reloaded.clone());
+    let (warm_verdicts, warm_rounds) = run_suite(&warm_portfolio, &problems);
+
+    assert_eq!(
+        cold_verdicts, warm_verdicts,
+        "learned schedules must preserve every verdict word"
+    );
+    assert!(
+        warm_rounds <= cold_rounds,
+        "the warm rerun must explore no more live rounds: warm {warm_rounds} vs cold {cold_rounds}"
+    );
+    // The warm run consulted the map for every workload.
+    assert!(reloaded.stats().hits >= problems.len());
+}
+
+/// Concurrent serve clients asking about one novel system race into
+/// the broker's probe gate: exactly one of them runs the tuning probe,
+/// the rest fall back to the configured schedule without waiting, and
+/// every later client hits the learned profile.
+#[test]
+fn concurrent_clients_trigger_exactly_one_probe() {
+    let map = Arc::new(ProfileMap::new());
+    let config = cuba_serve::ServeConfig {
+        profile_map: Some(map.clone()),
+        ..cuba_serve::ServeConfig::default()
+    };
+    let broker = Arc::new(cuba_serve::Broker::new(config));
+
+    let cpds = cuba::benchmarks::fig1::build();
+    let properties = vec![("default".to_owned(), Property::True)];
+    let clients: Vec<_> = (0..8)
+        .map(|_| {
+            let broker = broker.clone();
+            let cpds = cpds.clone();
+            let properties = properties.clone();
+            std::thread::spawn(move || broker.ensure_profiles(&cpds, &properties))
+        })
+        .collect();
+    for client in clients {
+        client.join().expect("client thread panicked");
+    }
+
+    let stats = map.stats();
+    assert_eq!(
+        stats.probes_started, 1,
+        "one fingerprint, many clients: exactly one probe"
+    );
+    assert_eq!(stats.probes_learned, 1);
+    assert_eq!(stats.entries, 1);
+    // A straggler after the probe finished hits the learned profile
+    // without probing again.
+    broker.ensure_profiles(&cpds, &properties);
+    assert_eq!(map.stats().probes_started, 1);
+    assert!(map.stats().hits >= 1);
+}
