@@ -1,7 +1,10 @@
 use std::collections::{BTreeSet, HashMap, HashSet, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::time::Instant;
 
 use cuba_pds::{Pds, Rhs, SharedState, StackSym};
+use cuba_telemetry::metrics::{stage_time, Stage, METRICS};
+use cuba_telemetry::trace;
 
 use crate::rules::RuleTable;
 use crate::{Label, Nfa, Psa, SaturationInterrupted, StateId};
@@ -153,6 +156,11 @@ fn post_star_table(
         interrupted: false,
     };
     let sink = sat.psa.sink();
+    // The sequential fixpoint is one telemetry wave: no barriers, so
+    // the whole worklist run is the unit of observation.
+    METRICS.waves.inc();
+    METRICS.frontier_edges.observe(sat.work.len() as u64);
+    let mut wave_span = trace::span_args("wave", vec![("frontier", sat.work.len().into())]);
 
     // Fresh middle states, one per (target control, pushed symbol).
     let mut mid: HashMap<(u32, u32), StateId> = HashMap::new();
@@ -227,6 +235,8 @@ fn post_star_table(
     if sat.interrupted {
         return Err(SaturationInterrupted);
     }
+    wave_span.arg("inserted", sat.inserted);
+    drop(wave_span);
     debug_assert!(
         sat.psa.validate().is_ok(),
         "post_star must preserve PSA invariants"
@@ -364,6 +374,15 @@ fn post_star_sharded(
         if !poll() {
             return Err(SaturationInterrupted);
         }
+        METRICS.waves.inc();
+        METRICS.frontier_edges.observe(frontier.len() as u64);
+        let mut wave_span = trace::span_args(
+            "wave",
+            vec![
+                ("frontier", frontier.len().into()),
+                ("shards", threads.into()),
+            ],
+        );
         let mut shards: Vec<Vec<(StateId, Label, StateId)>> = vec![Vec::new(); threads];
         for e in frontier.drain(..) {
             shards[e.2 .0 as usize % threads].push(e);
@@ -378,8 +397,13 @@ fn post_star_sharded(
             let handles: Vec<_> = (0..threads)
                 .map(|w| {
                     scope.spawn(move || {
+                        // Shard-worker tracks live at tid 1000+shard,
+                        // clear of the auto-allocated session tids.
+                        trace::set_thread_tid(1000 + w as u32);
+                        let mut shard_span = trace::span("shard");
                         let mut out: Vec<Prop> = Vec::new();
                         let mut polled = 0usize;
+                        let mut steals = 0u64;
                         'shards: for off in 0..threads {
                             let si = (w + off) % threads;
                             let shard = &shards_ref[si];
@@ -390,6 +414,9 @@ fn post_star_sharded(
                                 let lo = cursors_ref[si].fetch_add(STEAL_CHUNK, Ordering::Relaxed);
                                 if lo >= shard.len() {
                                     break;
+                                }
+                                if off != 0 {
+                                    steals += 1;
                                 }
                                 for e in &shard[lo..(lo + STEAL_CHUNK).min(shard.len())] {
                                     propose(e, psa_ref, eps_ref, table, pds, sink, &mut out);
@@ -403,6 +430,11 @@ fn post_star_sharded(
                                 }
                             }
                         }
+                        if steals > 0 {
+                            METRICS.steals.add(steals);
+                        }
+                        shard_span.arg("proposals", out.len());
+                        shard_span.arg("steals", steals);
                         out
                     })
                 })
@@ -415,6 +447,9 @@ fn post_star_sharded(
         if stop.load(Ordering::Relaxed) {
             return Err(SaturationInterrupted);
         }
+
+        let merge_start = Instant::now();
+        let mut merge_span = trace::span("merge");
 
         // The barrier merge. Middle states first, in sorted key order.
         let mut new_mids: BTreeSet<(u32, u32)> = BTreeSet::new();
@@ -459,6 +494,11 @@ fn post_star_sharded(
                 frontier.push((src, label, dst));
             }
         }
+        merge_span.arg("inserted", frontier.len());
+        drop(merge_span);
+        stage_time(Stage::Merge, merge_start.elapsed());
+        wave_span.arg("inserted", frontier.len());
+        drop(wave_span);
     }
     debug_assert!(
         psa.validate().is_ok(),

@@ -1,7 +1,10 @@
 use std::collections::BTreeSet;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::time::Instant;
 
 use cuba_pds::{Pds, Rhs};
+use cuba_telemetry::metrics::{stage_time, Stage, METRICS};
+use cuba_telemetry::trace;
 
 use crate::poststar::SATURATION_POLL_EVERY;
 use crate::{Label, Psa, SaturationInterrupted, StateId};
@@ -57,6 +60,10 @@ pub fn pre_star_guarded(
         if !poll() {
             return Err(SaturationInterrupted);
         }
+        // Each backward fixpoint pass is one telemetry wave.
+        METRICS.waves.inc();
+        METRICS.frontier_edges.observe(pds.actions().len() as u64);
+        let _wave_span = trace::span_args("wave", vec![("rules", pds.actions().len().into())]);
         let mut changed = false;
         for a in pds.actions() {
             // States reachable from q' reading w'.
@@ -145,14 +152,22 @@ fn pre_star_sharded(
             return Err(SaturationInterrupted);
         }
         let actions = pds.actions();
+        METRICS.waves.inc();
+        METRICS.frontier_edges.observe(actions.len() as u64);
+        let mut wave_span = trace::span_args(
+            "wave",
+            vec![("rules", actions.len().into()), ("shards", threads.into())],
+        );
         let cursor = AtomicUsize::new(0);
         let psa_ref = &psa;
         let cursor_ref = &cursor;
         let stop_ref = &stop;
         let proposals: Vec<Vec<(StateId, Label, StateId)>> = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..threads)
-                .map(|_| {
+                .map(|w| {
                     scope.spawn(move || {
+                        trace::set_thread_tid(1000 + w as u32);
+                        let mut shard_span = trace::span("shard");
                         let mut out: Vec<(StateId, Label, StateId)> = Vec::new();
                         let mut polled = 0usize;
                         'pass: loop {
@@ -197,6 +212,7 @@ fn pre_star_sharded(
                                 }
                             }
                         }
+                        shard_span.arg("proposals", out.len());
                         out
                     })
                 })
@@ -209,6 +225,8 @@ fn pre_star_sharded(
         if stop.load(Ordering::Relaxed) {
             return Err(SaturationInterrupted);
         }
+        let merge_start = Instant::now();
+        let mut merge_span = trace::span("merge");
         let mut edges: Vec<(StateId, Label, StateId)> = proposals.into_iter().flatten().collect();
         edges.sort_unstable_by_key(crate::poststar::edge_key);
         edges.dedup();
@@ -221,6 +239,11 @@ fn pre_star_sharded(
                 }
             }
         }
+        merge_span.arg("inserted", inserted);
+        drop(merge_span);
+        stage_time(Stage::Merge, merge_start.elapsed());
+        wave_span.arg("inserted", inserted);
+        drop(wave_span);
         if inserted == 0 {
             return Ok(psa);
         }

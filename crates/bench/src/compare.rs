@@ -559,4 +559,50 @@ mod tests {
         assert_eq!(extract_number_array(&line, "samples_us").unwrap().len(), 2);
         assert_eq!(extract_number_array(&line, "absent"), None);
     }
+
+    /// The legacy scanner ignores the additive per-stage timing keys
+    /// (`saturate_us` / `check_us` / `merge_us`): a record carrying
+    /// them parses to exactly the same [`BenchRecord`] as one without,
+    /// so old baselines stay comparable against new runs.
+    #[test]
+    fn scanner_ignores_stage_timing_keys() {
+        let with_stages = "{\"label\":\"dekker/2*\",\"verdict\":\"safe\",\"k\":4,\
+            \"round_wall_us\":1700,\"saturate_us\":900,\"check_us\":800,\"merge_us\":40,\
+            \"samples_us\":[1700,1600,1800],\"duration_ms\":1}";
+        let without = "{\"label\":\"dekker/2*\",\"verdict\":\"safe\",\"k\":4,\
+            \"round_wall_us\":1700,\"samples_us\":[1700,1600,1800],\"duration_ms\":1}";
+        assert_eq!(parse_records(with_stages), parse_records(without));
+
+        // And the real writer's output (which now includes the stage
+        // medians) still scans to the plain sampled record.
+        let row = crate::harness::BenchRow {
+            label: "dekker/2*".into(),
+            verdict: "safe".into(),
+            reason: None,
+            cache_hit: false,
+            k: Some(4),
+            fcr: Some(true),
+            engine: Some("Alg3(T(Rk))".into()),
+            rounds: 5,
+            rounds_explored: 12,
+            rounds_replayed: 4,
+            samples_us: vec![1700.0, 1600.0, 1800.0],
+            saturate_samples_us: vec![900.0, 850.0, 950.0],
+            check_samples_us: vec![800.0, 750.0, 850.0],
+            merge_samples_us: vec![40.0, 30.0, 50.0],
+            duration_ms: 1,
+            reduce_removed: None,
+            reduce_us: None,
+            unstable: false,
+        };
+        let line = crate::harness::row_to_json(&row);
+        assert!(line.contains("\"saturate_us\":900"), "{line}");
+        let records = parse_records(&line);
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].verdict, "safe");
+        assert_eq!(records[0].samples_us, vec![1700.0, 1600.0, 1800.0]);
+        // The timing gate itself is indifferent to the new keys.
+        let report = compare(&records, &records, &Thresholds::default());
+        assert!(report.gate_ok());
+    }
 }

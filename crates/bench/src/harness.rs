@@ -157,6 +157,12 @@ pub struct BenchRow {
     pub rounds_replayed: usize,
     /// One `round_wall_us` measurement per sample, in iteration order.
     pub samples_us: Vec<f64>,
+    /// Per-sample saturation wall (exploration advances), µs.
+    pub saturate_samples_us: Vec<f64>,
+    /// Per-sample check wall (round remainder), µs.
+    pub check_samples_us: Vec<f64>,
+    /// Per-sample barrier-merge wall (subset of saturate), µs.
+    pub merge_samples_us: Vec<f64>,
     /// Whole-outcome duration of the first sample, milliseconds.
     pub duration_ms: u128,
     /// With [`BenchPlan::reduce`]: transitions the pre-analysis
@@ -314,6 +320,9 @@ pub fn run_problems(plan: &BenchPlan, mut problems: Vec<(String, Cpds, Property)
                     rounds_explored: 0,
                     rounds_replayed: 0,
                     samples_us: Vec::new(),
+                    saturate_samples_us: Vec::new(),
+                    check_samples_us: Vec::new(),
+                    merge_samples_us: Vec::new(),
                     duration_ms: 0,
                     reduce_removed: reductions[i].map(|(removed, _)| removed),
                     reduce_us: reductions[i].map(|(_, us)| us),
@@ -342,6 +351,15 @@ pub fn run_problems(plan: &BenchPlan, mut problems: Vec<(String, Cpds, Property)
             if let Ok(o) = result {
                 if rows[i].verdict != "error" {
                     rows[i].samples_us.push(o.round_wall.as_micros() as f64);
+                    rows[i]
+                        .saturate_samples_us
+                        .push(o.stages.saturate.as_micros() as f64);
+                    rows[i]
+                        .check_samples_us
+                        .push(o.stages.check.as_micros() as f64);
+                    rows[i]
+                        .merge_samples_us
+                        .push(o.stages.merge.as_micros() as f64);
                 }
             }
         }
@@ -392,6 +410,18 @@ pub fn row_to_json(row: &BenchRow) -> String {
     obj.number("rounds_replayed", row.rounds_replayed as f64);
     if let Some(median) = row.median_us() {
         obj.number("round_wall_us", median.round());
+    }
+    // Additive per-stage medians (µs), sourced from the telemetry
+    // registry's stage accumulator. The legacy comparator scanner
+    // ignores unknown keys, so these stay invisible to old baselines.
+    for (key, samples) in [
+        ("saturate_us", &row.saturate_samples_us),
+        ("check_us", &row.check_samples_us),
+        ("merge_us", &row.merge_samples_us),
+    ] {
+        if !samples.is_empty() {
+            obj.number(key, stats::median(samples).round());
+        }
     }
     let samples: Vec<String> = row
         .samples_us
@@ -464,6 +494,9 @@ mod tests {
             rounds_explored: 0,
             rounds_replayed: 0,
             samples_us: Vec::new(),
+            saturate_samples_us: Vec::new(),
+            check_samples_us: Vec::new(),
+            merge_samples_us: Vec::new(),
             duration_ms: 0,
             reduce_removed: None,
             reduce_us: None,
@@ -487,6 +520,9 @@ mod tests {
             rounds_explored: 12,
             rounds_replayed: 4,
             samples_us: vec![1700.0, 1600.0, 1800.0],
+            saturate_samples_us: vec![900.0, 850.0, 950.0],
+            check_samples_us: vec![800.0, 750.0, 850.0],
+            merge_samples_us: vec![40.0, 30.0, 50.0],
             duration_ms: 1,
             reduce_removed: Some(3),
             reduce_us: Some(120),
@@ -495,6 +531,9 @@ mod tests {
         let json = row_to_json(&measured);
         assert!(json.contains("\"round_wall_us\":1700"), "{json}");
         assert!(json.contains("\"samples_us\":[1700,1600,1800]"));
+        assert!(json.contains("\"saturate_us\":900"), "{json}");
+        assert!(json.contains("\"check_us\":800"), "{json}");
+        assert!(json.contains("\"merge_us\":40"), "{json}");
         assert!(json.contains("\"k\":4"));
     }
 

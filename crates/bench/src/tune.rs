@@ -376,8 +376,12 @@ pub fn ensure_profiles(
         let Some(_guard) = map.try_begin_probe(fp) else {
             continue; // another thread is probing this fingerprint
         };
+        let mut probe_span =
+            cuba_telemetry::trace::span_args("probe", vec![("fingerprint", fp.into())]);
         let group: Vec<(String, Cpds, cuba_core::Property)> = group.into_iter().cloned().collect();
         let outcome = probe_problems(&group, workers, cache, base);
+        probe_span.arg("rounds", outcome.best.live_rounds.round() as u64);
+        drop(probe_span);
         probes += 1;
         map.learn(
             cpds,

@@ -212,14 +212,19 @@ impl SuiteCache {
     /// As [`artifacts`](Self::artifacts), also reporting whether the
     /// slot already existed (`true` = hit).
     pub fn lookup(&self, cpds: &Cpds) -> (Arc<SystemArtifacts>, bool) {
+        let mut span = cuba_telemetry::trace::span("cache-lookup");
         let key = fingerprint(cpds);
         let mut map = self.map.lock().expect("suite cache lock");
         let bucket = map.entry(key).or_default();
         if let Some((_, artifacts)) = bucket.iter().find(|(known, _)| same_system(known, cpds)) {
             self.hits.fetch_add(1, Ordering::Relaxed);
+            cuba_telemetry::metrics::METRICS.cache_hits.inc();
+            span.arg("hit", 1u64);
             return (artifacts.clone(), true);
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
+        cuba_telemetry::metrics::METRICS.cache_misses.inc();
+        span.arg("hit", 0u64);
         let artifacts = Arc::new(SystemArtifacts::new());
         bucket.push((Arc::new(cpds.clone()), artifacts.clone()));
         (artifacts, false)

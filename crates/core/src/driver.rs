@@ -88,6 +88,30 @@ impl Default for CubaConfig {
     }
 }
 
+/// Wall-clock split of a run across the analysis stages, summed over
+/// completed rounds of all arms. `saturate` *contains* `merge` (the
+/// deterministic barrier merges happen inside exploration advances);
+/// `check` is the round remainder (membership and convergence tests),
+/// so `saturate + check ≈ round_wall`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StageTimes {
+    /// Time inside exploration advances (`ensure_layer`).
+    pub saturate: Duration,
+    /// Round time outside exploration: membership and convergence.
+    pub check: Duration,
+    /// Time inside barrier merges (a subset of `saturate`).
+    pub merge: Duration,
+}
+
+impl StageTimes {
+    /// Component-wise sum (aggregating arms of a race).
+    pub fn add(&mut self, other: &StageTimes) {
+        self.saturate += other.saturate;
+        self.check += other.check;
+        self.merge += other.merge;
+    }
+}
+
 /// Outcome of a [`Cuba`] run.
 #[derive(Debug, Clone)]
 pub struct CubaOutcome {
@@ -114,6 +138,9 @@ pub struct CubaOutcome {
     pub rounds_explored: usize,
     /// Rounds replayed from a shared explorer's existing layers.
     pub rounds_replayed: usize,
+    /// Per-stage wall-clock split of the completed rounds, summed
+    /// over all arms (see [`StageTimes`]).
+    pub stages: StageTimes,
 }
 
 /// The Cuba verifier: the paper's overall procedure (§6), as a thin

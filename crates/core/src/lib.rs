@@ -123,7 +123,7 @@ mod testutil;
 pub use alg3::{alg3_explicit, alg3_symbolic, Alg3Config, Alg3Engine, Alg3Report};
 pub use cache::{fingerprint, CacheEntry, CacheStats, SuiteCache, SystemArtifacts};
 pub use cba_baseline::{cba_baseline, CbaConfig, CbaEngine, CbaReport, CbaVerdict};
-pub use driver::{Cuba, CubaConfig, CubaOutcome, DriverMode, EngineUsed};
+pub use driver::{Cuba, CubaConfig, CubaOutcome, DriverMode, EngineUsed, StageTimes};
 pub use engine::{
     build_engine, Applicability, Engine, EngineKind, EngineParams, RoundCtx, RoundInfo,
     RoundOutcome,

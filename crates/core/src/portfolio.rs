@@ -315,6 +315,7 @@ impl Portfolio {
                                     round_wall: outcome.round_wall,
                                     rounds_explored: outcome.rounds_explored,
                                     rounds_replayed: outcome.rounds_replayed,
+                                    stages: outcome.stages,
                                 },
                                 Some(Err(e)) => ParallelArmReport {
                                     engine: arm_engine_placeholder(*kind),
@@ -324,6 +325,7 @@ impl Portfolio {
                                     round_wall: Duration::ZERO,
                                     rounds_explored: 0,
                                     rounds_replayed: 0,
+                                    stages: crate::StageTimes::default(),
                                 },
                                 None => ParallelArmReport {
                                     engine: arm_engine_placeholder(*kind),
@@ -335,6 +337,7 @@ impl Portfolio {
                                     round_wall: Duration::ZERO,
                                     rounds_explored: 0,
                                     rounds_replayed: 0,
+                                    stages: crate::StageTimes::default(),
                                 },
                             }
                         }
@@ -349,6 +352,7 @@ impl Portfolio {
                                 round_wall: Duration::ZERO,
                                 rounds_explored: 0,
                                 rounds_replayed: 0,
+                                stages: crate::StageTimes::default(),
                             }
                         }
                     };
@@ -495,6 +499,10 @@ fn pick_parallel_winner(
     let round_wall: Duration = reports.iter().map(|r| r.round_wall).sum();
     let rounds_explored: usize = reports.iter().map(|r| r.rounds_explored).sum();
     let rounds_replayed: usize = reports.iter().map(|r| r.rounds_replayed).sum();
+    let mut stages = crate::StageTimes::default();
+    for r in &reports {
+        stages.add(&r.stages);
+    }
     let outcome_from = |r: &ParallelArmReport, verdict: Verdict| CubaOutcome {
         verdict,
         fcr_holds,
@@ -505,6 +513,7 @@ fn pick_parallel_winner(
         round_wall,
         rounds_explored,
         rounds_replayed,
+        stages,
     };
     if let Some(r) = reports
         .iter()
@@ -551,6 +560,7 @@ struct ParallelArmReport {
     round_wall: Duration,
     rounds_explored: usize,
     rounds_replayed: usize,
+    stages: crate::StageTimes,
 }
 
 #[cfg(test)]

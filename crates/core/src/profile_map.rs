@@ -175,8 +175,14 @@ impl ProfileMap {
         });
         drop(entries);
         match &found {
-            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
-            None => self.misses.fetch_add(1, Ordering::Relaxed),
+            Some(_) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                cuba_telemetry::metrics::METRICS.profile_hits.inc();
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                cuba_telemetry::metrics::METRICS.profile_misses.inc();
+            }
         };
         found
     }
@@ -232,6 +238,7 @@ impl ProfileMap {
         }
         drop(probing);
         self.probes_started.fetch_add(1, Ordering::Relaxed);
+        cuba_telemetry::metrics::METRICS.probes.inc();
         Some(ProbeGuard {
             map: self,
             fingerprint,

@@ -15,10 +15,15 @@ use std::time::{Duration, Instant};
 
 use cuba_explore::{CancelToken, ExploreBudget, Interrupt, SubsumptionMode};
 use cuba_pds::Cpds;
+use cuba_telemetry::metrics::{round_scope, Stage, METRICS};
+use cuba_telemetry::trace;
 
 use crate::engine::{build_engine, Engine, EngineKind, EngineParams, RoundCtx, RoundOutcome};
 use crate::schedule::{ArmView, SchedulePolicy, Scheduler};
-use crate::{CubaError, CubaOutcome, EngineUsed, Property, SessionEvent, SystemArtifacts, Verdict};
+use crate::{
+    CubaError, CubaOutcome, EngineUsed, Property, SessionEvent, StageTimes, SystemArtifacts,
+    Verdict,
+};
 
 /// Configuration of an [`AnalysisSession`] (and of the
 /// [`Portfolio`](crate::Portfolio) scheduler built on top of it).
@@ -88,6 +93,8 @@ pub struct AnalysisSession {
     rounds_explored: usize,
     /// Rounds replayed from layers a shared explorer already held.
     rounds_replayed: usize,
+    /// Per-stage wall-clock split of the session's steps.
+    stages: StageTimes,
     pending: VecDeque<SessionEvent>,
     outcome: Option<Result<CubaOutcome, CubaError>>,
     /// Set once the final `Verdict` event has been queued.
@@ -234,6 +241,7 @@ impl AnalysisSession {
             round_wall: Duration::ZERO,
             rounds_explored: 0,
             rounds_replayed: 0,
+            stages: StageTimes::default(),
             pending: VecDeque::new(),
             outcome: None,
             decided: false,
@@ -283,6 +291,7 @@ impl AnalysisSession {
     /// Steps the arm picked by the schedule policy, queueing the
     /// resulting events, or finalizes the session when no arm remains.
     fn step_once(&mut self) {
+        let mut decision_span = trace::span("schedule-decision");
         let views: Vec<ArmView> = self
             .arms
             .iter()
@@ -295,13 +304,43 @@ impl AnalysisSession {
                 frontier: arm.engine.frontier(),
             })
             .collect();
-        let Some(index) = self.scheduler.next_arm(&views) else {
+        let picked = self.scheduler.next_arm(&views);
+        match picked {
+            Some(index) => decision_span.arg("arm", index),
+            None => decision_span.arg("arm", "none"),
+        }
+        drop(decision_span);
+        let Some(index) = picked else {
             self.finalize();
             return;
         };
         let arm = &mut self.arms[index];
         let id = arm.engine.id();
-        match arm.engine.step(&mut self.ctx) {
+        let mut round_span = trace::span_args("round", vec![("engine", id.to_string().into())]);
+        let scope = round_scope();
+        let step_start = Instant::now();
+        let result = arm.engine.step(&mut self.ctx);
+        let wall = step_start.elapsed();
+        let [sat_us, _, merge_us] = scope.take();
+        let step_stages = StageTimes {
+            saturate: Duration::from_micros(sat_us),
+            check: wall.saturating_sub(Duration::from_micros(sat_us)),
+            merge: Duration::from_micros(merge_us),
+        };
+        METRICS
+            .stage_duration_us(Stage::Check)
+            .observe(step_stages.check.as_micros() as u64);
+        self.stages.add(&step_stages);
+        if let Ok(RoundOutcome::Continue(info))
+        | Ok(RoundOutcome::Concluded {
+            round: Some(info), ..
+        }) = &result
+        {
+            round_span.arg("k", info.k);
+            round_span.arg("states", info.states);
+        }
+        drop(round_span);
+        match result {
             Ok(RoundOutcome::Continue(info)) => {
                 self.note_round(index, id, &info);
             }
@@ -332,6 +371,7 @@ impl AnalysisSession {
                         round_wall: self.round_wall,
                         rounds_explored: self.rounds_explored,
                         rounds_replayed: self.rounds_replayed,
+                        stages: self.stages,
                     }));
                 }
             }
@@ -351,8 +391,10 @@ impl AnalysisSession {
         self.round_wall += info.elapsed;
         if info.replayed {
             self.rounds_replayed += 1;
+            METRICS.rounds_replayed.inc();
         } else {
             self.rounds_explored += 1;
+            METRICS.rounds_explored.inc();
         }
         self.pending.push_back(round_event(id, info));
     }
@@ -383,6 +425,7 @@ impl AnalysisSession {
                 round_wall: self.round_wall,
                 rounds_explored: self.rounds_explored,
                 rounds_replayed: self.rounds_replayed,
+                stages: self.stages,
             };
             self.decide(Ok(outcome));
             return;
@@ -411,6 +454,7 @@ impl AnalysisSession {
                 round_wall: self.round_wall,
                 rounds_explored: self.rounds_explored,
                 rounds_replayed: self.rounds_replayed,
+                stages: self.stages,
             };
             self.decide(Ok(outcome));
             return;

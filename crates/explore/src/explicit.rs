@@ -177,6 +177,14 @@ impl ExplicitEngine {
             });
         }
         let frontier: Vec<u32> = self.store.layer_ids(k - 1).to_vec();
+        cuba_telemetry::metrics::METRICS.waves.inc();
+        cuba_telemetry::metrics::METRICS
+            .frontier_edges
+            .observe(frontier.len() as u64);
+        let mut wave_span = cuba_telemetry::trace::span_args(
+            "wave",
+            vec![("k", k.into()), ("frontier", frontier.len().into())],
+        );
         let round_start = self.states.len() as u32;
         let mut new_layer: Vec<u32> = Vec::new();
         let mut new_visible: Vec<VisibleState> = Vec::new();
@@ -202,8 +210,18 @@ impl ExplicitEngine {
             new_states: new_layer.len(),
             new_visible: new_visible.len(),
         };
+        wave_span.arg("new_states", summary.new_states);
+        drop(wave_span);
+        let merge_start = std::time::Instant::now();
+        let mut merge_span = cuba_telemetry::trace::span("merge");
         self.store
             .push_layer(new_layer, new_visible, self.states.len());
+        merge_span.arg("states", summary.new_states);
+        drop(merge_span);
+        cuba_telemetry::metrics::stage_time(
+            cuba_telemetry::metrics::Stage::Merge,
+            merge_start.elapsed(),
+        );
         Ok(summary)
     }
 

@@ -17,6 +17,8 @@ use std::sync::{mpsc, Mutex};
 use std::time::Duration;
 
 use cuba_pds::{Cpds, VisibleState};
+use cuba_telemetry::metrics::{stage_time, Stage};
+use cuba_telemetry::trace;
 
 use crate::{
     ExplicitEngine, ExploreBudget, ExploreError, Interrupt, LayerStore, SubsumptionMode,
@@ -187,6 +189,11 @@ impl SharedExplorer {
         if inner.store().current_k() >= k {
             return Ok(false);
         }
+        let sat_start = std::time::Instant::now();
+        let mut span = trace::span_args(
+            "ensure_layer",
+            vec![("k", k.into()), ("from", inner.store().current_k().into())],
+        );
         inner.set_interrupt(self.base_interrupt.merged(interrupt));
         let mut result = Ok(true);
         while inner.store().current_k() < k {
@@ -205,6 +212,9 @@ impl SharedExplorer {
             self.notify(build_view(inner.store(), new_k));
         }
         inner.set_interrupt(self.base_interrupt.clone());
+        span.arg("depth", inner.store().current_k());
+        drop(span);
+        stage_time(Stage::Saturate, sat_start.elapsed());
         result
     }
 

@@ -215,15 +215,23 @@ fn rebuild_pds(pds: &Pds, keep: &[bool]) -> Result<Pds, PdsError> {
 /// Propagates [`PdsError`] from the rebuild — unreachable in practice,
 /// since every kept action was validated when the input was built.
 pub fn reduce(cpds: &Cpds, properties: &[Property]) -> Result<Reduction, PdsError> {
+    cuba_telemetry::metrics::METRICS.reduce_passes.inc();
     let t0 = Instant::now();
-    let skel = skeleton::explore(cpds);
+    let skel = {
+        let _span = cuba_telemetry::trace::span("reduce-skeleton");
+        skeleton::explore(cpds)
+    };
     let skeleton_us = t0.elapsed().as_micros() as u64;
 
     let t1 = Instant::now();
-    let rel = skeleton::relevance(cpds, &skel, properties);
+    let rel = {
+        let _span = cuba_telemetry::trace::span("reduce-coi");
+        skeleton::relevance(cpds, &skel, properties)
+    };
     let coi_us = t1.elapsed().as_micros() as u64;
 
     let t2 = Instant::now();
+    let rebuild_span = cuba_telemetry::trace::span("reduce-rebuild");
     let mut builder = CpdsBuilder::new(cpds.num_shared(), cpds.q_init());
     let mut keeps: Vec<Vec<bool>> = Vec::with_capacity(cpds.num_threads());
     for (i, pds) in cpds.threads().iter().enumerate() {
@@ -258,6 +266,7 @@ pub fn reduce(cpds: &Cpds, properties: &[Property]) -> Result<Reduction, PdsErro
         }
     }
     let reduced = builder.build()?;
+    drop(rebuild_span);
     let rebuild_us = t2.elapsed().as_micros() as u64;
 
     let transitions: usize = cpds.threads().iter().map(|p| p.actions().len()).sum();

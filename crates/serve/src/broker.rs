@@ -94,7 +94,19 @@ impl Broker {
             free = self.slots_cv.wait(free).expect("slot count");
         }
         *free -= 1;
+        cuba_telemetry::metrics::METRICS.workers_busy.add(1);
         SlotGuard { broker: self }
+    }
+
+    /// Analysis slots currently claimed (busy workers).
+    pub fn workers_busy(&self) -> usize {
+        let free = *self.slots.lock().expect("slot count");
+        self.config.workers.max(1).saturating_sub(free)
+    }
+
+    /// Analysis slots currently free (idle workers).
+    pub fn workers_idle(&self) -> usize {
+        *self.slots.lock().expect("slot count")
     }
 
     /// Registers one accepted connection, or reports that the live
@@ -258,6 +270,7 @@ impl Broker {
     pub fn session_started(&self) -> SessionGuard<'_> {
         self.sessions_active.fetch_add(1, Ordering::Relaxed);
         self.sessions_total.fetch_add(1, Ordering::Relaxed);
+        cuba_telemetry::metrics::METRICS.sessions_active.add(1);
         SessionGuard { broker: self }
     }
 
@@ -292,6 +305,7 @@ pub struct SessionGuard<'a> {
 impl Drop for SessionGuard<'_> {
     fn drop(&mut self) {
         self.broker.sessions_active.fetch_sub(1, Ordering::Relaxed);
+        cuba_telemetry::metrics::METRICS.sessions_active.add(-1);
     }
 }
 
@@ -306,6 +320,7 @@ impl Drop for SlotGuard<'_> {
     fn drop(&mut self) {
         let mut free = self.broker.slots.lock().expect("slot count");
         *free += 1;
+        cuba_telemetry::metrics::METRICS.workers_busy.add(-1);
         self.broker.slots_cv.notify_one();
     }
 }

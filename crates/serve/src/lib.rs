@@ -18,7 +18,8 @@
 //! | `POST /analyze` | Body: a model (`.cpds` text by default, `?format=bp` for Boolean programs). Repeatable `?property=SPEC` (the CLI `--property` grammar). `?schedule=` overrides the arm scheduling per request (the CLI `--schedule` grammar; `frontier:<name>` selects a profile preloaded at boot via `cuba serve --profile`, `frontier:key=value,...` tunes inline — requests can never make the server read a file). `?reduce=true` runs the verdict-preserving static pre-analysis (`cuba lint`'s reduction pipeline) on the parsed system before analysis; the stream then opens with one `reduced` line. Streams NDJSON events per property until the verdict. |
 //! | `POST /suite` | Same body/parameters (`?schedule=` and `?reduce=` included); runs every property through [`Portfolio::run_suite_cached`](cuba_core::Portfolio::run_suite_cached) with bounded parallelism (`?workers=N`) and answers one JSON document. |
 //! | `GET /systems` | The shared-exploration registry: per cached system its fingerprint, FCR verdict (if decided) and per-backend explorer counters (`rounds_explored`, `depth`). |
-//! | `GET /healthz` | Liveness + service counters. |
+//! | `GET /healthz` | Liveness + service counters: uptime, build version, analysis-pool occupancy (`workers_busy`/`workers_idle`), the draining flag. |
+//! | `GET /metrics` | The process-wide telemetry registry ([`cuba_telemetry::metrics`]) in Prometheus text exposition format — counters, gauges, and latency histograms across every subsystem, plus the per-endpoint HTTP families this crate feeds. |
 //! | `POST /shutdown` | `?mode=graceful` (default) drains in-flight sessions; `?mode=abort` additionally fires the service-wide [`CancelToken`](cuba_explore::CancelToken) so explorations stop at their next interrupt poll. |
 //!
 //! # NDJSON event stream
@@ -294,17 +295,23 @@ fn handle_connection(stream: TcpStream, broker: &Arc<Broker>, addr: SocketAddr) 
     };
     drop(reader);
     broker.count_request();
+    let endpoint = cuba_telemetry::metrics::Endpoint::from_path(&request.path);
+    cuba_telemetry::metrics::METRICS
+        .http_requests(endpoint)
+        .inc();
+    let handle_start = std::time::Instant::now();
     let mut out = &stream;
     let result = match (request.method.as_str(), request.path.as_str()) {
         ("POST", "/analyze") => handle_analyze(&mut out, &request, broker),
         ("POST", "/suite") => handle_suite(&mut out, &request, broker),
         ("GET", "/systems") => handle_systems(&mut out, broker),
         ("GET", "/healthz") => handle_healthz(&mut out, broker),
+        ("GET", "/metrics") => handle_metrics(&mut out),
         ("POST", "/shutdown") => handle_shutdown(&mut out, &request, broker, addr),
         (_, "/analyze" | "/suite" | "/shutdown") => {
             respond_error(&mut out, 405, "Method Not Allowed", "use POST")
         }
-        (_, "/systems" | "/healthz") => {
+        (_, "/systems" | "/healthz" | "/metrics") => {
             respond_error(&mut out, 405, "Method Not Allowed", "use GET")
         }
         _ => respond_error(
@@ -314,6 +321,9 @@ fn handle_connection(stream: TcpStream, broker: &Arc<Broker>, addr: SocketAddr) 
             &format!("no such endpoint '{}'", request.path),
         ),
     };
+    cuba_telemetry::metrics::METRICS
+        .http_duration_us(endpoint)
+        .observe(handle_start.elapsed().as_micros() as u64);
     // Write errors mean the client went away: nothing left to do.
     let _ = result;
 }
@@ -755,6 +765,21 @@ fn explorer_field(obj: &mut JsonObject, key: &str, explorer: Option<Arc<SharedEx
     }
 }
 
+/// `GET /metrics`: the process-wide telemetry registry in Prometheus
+/// text exposition format. Scrape-ready — every metric family carries
+/// `# HELP`/`# TYPE` lines and histograms render cumulatively with a
+/// terminal `+Inf` bucket.
+fn handle_metrics(out: &mut impl Write) -> std::io::Result<()> {
+    let body = cuba_telemetry::metrics::render_prometheus();
+    write_response(
+        out,
+        200,
+        "OK",
+        "text/plain; version=0.0.4; charset=utf-8",
+        body.as_bytes(),
+    )
+}
+
 /// `GET /healthz`: liveness and service counters.
 fn handle_healthz(out: &mut impl Write, broker: &Arc<Broker>) -> std::io::Result<()> {
     let stats = broker.cache.stats();
@@ -767,8 +792,12 @@ fn handle_healthz(out: &mut impl Write, broker: &Arc<Broker>) -> std::io::Result
             "ok"
         },
     );
+    body.string("version", env!("CARGO_PKG_VERSION"));
+    body.bool("draining", broker.is_draining());
     body.number("uptime_ms", broker.uptime_ms() as f64);
     body.number("workers", broker.config().workers as f64);
+    body.number("workers_busy", broker.workers_busy() as f64);
+    body.number("workers_idle", broker.workers_idle() as f64);
     body.number("connections_active", broker.connections_active() as f64);
     body.number("requests_total", broker.requests_total() as f64);
     body.number("sessions_active", broker.sessions_active() as f64);
@@ -1007,6 +1036,7 @@ mod tests {
             round_wall: Duration::from_micros(250),
             rounds_explored: 6,
             rounds_replayed: 1,
+            stages: cuba_core::StageTimes::default(),
         }
     }
 

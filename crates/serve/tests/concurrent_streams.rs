@@ -325,15 +325,87 @@ fn control_endpoints_bypass_the_analysis_pool() {
     // The stream request is parked on the pool: no session starts…
     std::thread::sleep(std::time::Duration::from_millis(150));
     assert_eq!(broker.sessions_total(), 0, "analysis must wait for a slot");
-    // …while control endpoints answer immediately.
+    // …while control endpoints answer immediately, and the pool
+    // occupancy shows the saturated slot.
     let health = request(addr, "GET /healthz", "");
     assert!(health.contains("\"status\":\"ok\""));
+    assert_eq!(number_field(&health, "workers_busy"), 1);
+    assert_eq!(number_field(&health, "workers_idle"), 0);
     request(addr, "GET /systems", "");
 
     drop(slot);
     let body = queued.join().expect("queued client");
     line_of_type(&body, "verdict");
     assert_eq!(broker.sessions_total(), 1);
+
+    request(addr, "POST /shutdown", "");
+    handle.join().expect("clean shutdown");
+}
+
+/// `GET /metrics` serves the process-wide registry in Prometheus text
+/// format, `/healthz` reports build/version liveness fields, and
+/// wrong-method requests on both are clean 405s.
+#[test]
+fn metrics_endpoint_exposes_prometheus_text() {
+    let server = Server::bind(ServeConfig {
+        workers: 2,
+        session: test_session_config(),
+        ..ServeConfig::default()
+    })
+    .expect("bind");
+    let handle = server.spawn().expect("spawn");
+    let addr = handle.addr();
+
+    // Run one analysis so the analysis-side families carry data.
+    let body = request(addr, "POST /analyze?property=true", MODEL);
+    line_of_type(&body, "verdict");
+
+    let (head, metrics) = request_raw(addr, "GET /metrics", "");
+    assert!(head.starts_with("HTTP/1.1 200"), "got: {head}");
+    assert!(
+        head.contains("text/plain; version=0.0.4"),
+        "Prometheus content type missing: {head}"
+    );
+    // Required families: analysis counters, stage histograms, and the
+    // HTTP families this very scrape feeds.
+    for family in [
+        "cuba_rounds_explored_total",
+        "cuba_waves_total",
+        "cuba_cache_hits_total",
+        "cuba_sessions_active",
+        "cuba_workers_busy",
+        "cuba_stage_duration_us",
+        "cuba_http_requests_total",
+        "cuba_http_request_duration_us",
+        "cuba_frontier_edges",
+    ] {
+        assert!(
+            metrics.contains(&format!("# TYPE {family} ")),
+            "family '{family}' missing from exposition"
+        );
+    }
+    // The analysis above must be visible in the counters (the registry
+    // is process-global, so sibling tests may have added more), and
+    // this scrape counted itself as an endpoint hit.
+    assert!(metrics.contains("cuba_http_requests_total{endpoint=\"analyze\"}"));
+    assert!(metrics.contains("cuba_http_requests_total{endpoint=\"metrics\"}"));
+    assert!(
+        metrics.lines().any(|l| {
+            l.strip_prefix("cuba_waves_total ")
+                .and_then(|v| v.parse::<u64>().ok())
+                .is_some_and(|v| v > 0)
+        }),
+        "saturation waves should have been counted:\n{metrics}"
+    );
+
+    // Wrong method: GET-only endpoint.
+    let (head, _) = request_raw(addr, "POST /metrics", "");
+    assert!(head.starts_with("HTTP/1.1 405"), "got: {head}");
+
+    // Healthz liveness fields ride along.
+    let health = request(addr, "GET /healthz", "");
+    assert!(health.contains("\"version\":\""));
+    assert!(health.contains("\"draining\":false"));
 
     request(addr, "POST /shutdown", "");
     handle.join().expect("clean shutdown");

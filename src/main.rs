@@ -25,11 +25,20 @@
 //!                      only wall time moves. A frontier profile's
 //!                      `threads` key fills in when this is left on auto.
 //!     --timeout <s>    wall-clock limit in seconds (verdict: undetermined)
-//!     --trace          stream per-round events to stderr
+//!     --trace          stream per-round events to stderr (line-locked;
+//!                      with several properties each line is prefixed
+//!                      with its property spec)
+//!     --trace-out <f>  record structured spans (rounds, scheduler
+//!                      decisions, saturation waves, shard work, barrier
+//!                      merges, cache lookups, reduce passes) and write
+//!                      a Chrome trace-event JSON file on exit — load it
+//!                      in Perfetto (ui.perfetto.dev) or chrome://tracing
 //!     --json           emit one machine-readable JSON object on stdout
 //!                      per property (includes per-arm growth logs with
-//!                      per-round state deltas/wall-clock and the
-//!                      explored-vs-replayed shared-exploration counters)
+//!                      per-round state deltas/wall-clock, the
+//!                      explored-vs-replayed shared-exploration counters,
+//!                      and a "telemetry" block with per-stage wall
+//!                      times and registry counters)
 //!     --never-shared <q>   property: shared state q unreachable
 //!                          (default for .bp: no assertion fails;
 //!                           default for .cpds: compute reachability to convergence)
@@ -55,6 +64,9 @@
 //!                      identical to the default configuration's.
 //! cuba fcr <file>      run only the finite-context-reachability check
 //! cuba info <file>     print model statistics
+//! cuba trace-check <file>  validate a --trace-out Chrome trace file:
+//!     checks it parses, every B span has its matching E, and prints
+//!     an event/span/track summary. Exit 2 on a malformed trace.
 //! cuba lint <file> [options]  static diagnostics without verifying
 //!     --property <spec>    property to check against the model
 //!                          (repeatable; grammar as for verify)
@@ -172,16 +184,18 @@ fn main() -> ExitCode {
 fn usage() -> String {
     "usage: cuba <verify|fcr|info> <file.bp|file.cpds> [--engine auto|explicit|symbolic] \
      [--max-k N] [--parallel] [--threads N] [--schedule SPEC] [--timeout SECS] [--trace] \
-     [--json] [--reduce] [--never-shared Q] [--property SPEC]... [--profile-map FILE]\n   \
+     [--trace-out FILE] [--json] [--reduce] [--never-shared Q] [--property SPEC]... \
+     [--profile-map FILE]\n   \
      or: cuba lint \
      <file.bp|file.cpds> [--property SPEC]... [--json]\n   or: cuba serve [--addr ADDR] \
      [--workers N] [--threads N] [--max-k N] [--timeout SECS] [--schedule SPEC] \
-     [--profile FILE]... [--profile-map FILE]\n   \
+     [--profile FILE]... [--profile-map FILE] [--trace-out FILE]\n   \
      or: cuba bench [--samples N] [--warmup N] [--workers N] [--threads N] [--schedule SPEC] \
      [--reduce] [--compare FILE] [--gate] [--ratio R] [--sigma S] [--floor-ms MS] \
-     [--profile-map FILE]\n   \
+     [--profile-map FILE] [--trace-out FILE]\n   \
      or: cuba tune [--out FILE] [--name NAME] [--samples N] [--warmup N] [--passes N] \
-     [--workers N] [--probe] [--emit-map]\n   (schedule SPEC: round-robin | frontier \
+     [--workers N] [--probe] [--emit-map]\n   \
+     or: cuba trace-check <trace.json>\n   (schedule SPEC: round-robin | frontier \
      | frontier:<profile-file> | frontier:key=value,...)"
         .to_owned()
 }
@@ -196,6 +210,9 @@ struct VerifyOptions {
     schedule: SchedulePolicy,
     timeout: Option<Duration>,
     trace: bool,
+    /// `--trace-out FILE`: record structured spans and export a
+    /// Chrome trace-event JSON file on exit.
+    trace_out: Option<String>,
     json: bool,
     reduce: bool,
     never_shared: Option<SharedState>,
@@ -217,6 +234,7 @@ impl Default for VerifyOptions {
             schedule: SchedulePolicy::default(),
             timeout: None,
             trace: false,
+            trace_out: None,
             json: false,
             reduce: false,
             never_shared: None,
@@ -284,8 +302,49 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         "serve" => serve(&args[1..]),
         "bench" => bench(&args[1..]),
         "tune" => tune(&args[1..]),
+        "trace-check" => trace_check(args),
         other => Err(format!("unknown command '{other}'\n{}", usage())),
     }
+}
+
+/// `cuba trace-check`: validates a `--trace-out` Chrome trace file —
+/// it must parse, every `B` begin event must have its matching `E` on
+/// the same track, and timestamps must be sane. Prints a span summary
+/// so CI logs show what the trace covers.
+fn trace_check(args: &[String]) -> Result<ExitCode, String> {
+    let path = sole_path(args)?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let summary =
+        cuba_telemetry::trace::validate_chrome_trace(&text).map_err(|e| format!("{path}: {e}"))?;
+    println!(
+        "{path}: valid Chrome trace — {} events ({} spans, {} instants) on {} tracks",
+        summary.events, summary.spans, summary.instants, summary.tracks
+    );
+    for (name, count) in &summary.span_names {
+        println!("  {name}: {count}");
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+/// Enables span recording when `--trace-out` was given; returns the
+/// export path so the caller can flush the trace once the work is
+/// done.
+fn start_trace_recording(trace_out: Option<&String>) -> Option<&String> {
+    if trace_out.is_some() {
+        cuba_telemetry::enable_tracing();
+    }
+    trace_out
+}
+
+/// Writes the recorded spans as Chrome trace-event JSON and tells the
+/// user where the file went (stderr, like all progress output).
+fn finish_trace_recording(trace_out: Option<&String>) -> Result<(), String> {
+    let Some(path) = trace_out else {
+        return Ok(());
+    };
+    cuba_telemetry::trace::export_chrome(path)?;
+    eprintln!("trace written to {path} (load in ui.perfetto.dev or chrome://tracing)");
+    Ok(())
 }
 
 /// `cuba serve`: boots the HTTP analysis service and blocks until a
@@ -293,6 +352,7 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
 fn serve(args: &[String]) -> Result<ExitCode, String> {
     let mut config = cuba_serve::ServeConfig::default();
     let mut map_state: Option<(Arc<ProfileMap>, String)> = None;
+    let mut trace_out: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -354,10 +414,19 @@ fn serve(args: &[String]) -> Result<ExitCode, String> {
                 config.profile_map = Some(map.clone());
                 map_state = Some((map, path));
             }
+            "--trace-out" => {
+                i += 1;
+                trace_out = Some(
+                    args.get(i)
+                        .cloned()
+                        .ok_or("--trace-out needs a file argument")?,
+                );
+            }
             other => return Err(format!("unknown option '{other}'")),
         }
         i += 1;
     }
+    let trace_out = start_trace_recording(trace_out.as_ref());
     let workers = config.workers;
     let server = cuba_serve::Server::bind(config).map_err(|e| format!("bind: {e}"))?;
     let addr = server.local_addr().map_err(|e| e.to_string())?;
@@ -375,6 +444,7 @@ fn serve(args: &[String]) -> Result<ExitCode, String> {
             map.stats().entries
         );
     }
+    finish_trace_recording(trace_out)?;
     println!("cuba-serve drained and shut down");
     Ok(ExitCode::SUCCESS)
 }
@@ -387,6 +457,7 @@ fn bench(args: &[String]) -> Result<ExitCode, String> {
     let mut plan = cuba_bench::harness::BenchPlan::default();
     let mut compare_path: Option<String> = None;
     let mut map_path: Option<String> = None;
+    let mut trace_out: Option<String> = None;
     let mut gate = false;
     let mut thresholds = cuba_bench::compare::Thresholds::default();
     let mut i = 0;
@@ -443,6 +514,14 @@ fn bench(args: &[String]) -> Result<ExitCode, String> {
                         .ok_or("--profile-map needs a file argument")?,
                 );
             }
+            "--trace-out" => {
+                i += 1;
+                trace_out = Some(
+                    args.get(i)
+                        .cloned()
+                        .ok_or("--trace-out needs a file argument")?,
+                );
+            }
             other => return Err(format!("unknown option '{other}'")),
         }
         i += 1;
@@ -459,7 +538,9 @@ fn bench(args: &[String]) -> Result<ExitCode, String> {
         None => None,
     };
 
+    let trace_out = start_trace_recording(trace_out.as_ref());
     let run = cuba_bench::harness::run(&plan);
+    finish_trace_recording(trace_out)?;
     // Persist what this run learned before any gate can fail the
     // process: the warm rerun needs the map even when CI gates red.
     if let (Some(map), Some(path)) = (&profile_map, &map_path) {
@@ -810,6 +891,14 @@ fn parse_verify_options(args: &[String]) -> Result<VerifyOptions, String> {
                 options.schedule = SchedulePolicy::parse_spec_with_files(spec)?;
             }
             "--trace" => options.trace = true,
+            "--trace-out" => {
+                i += 1;
+                options.trace_out = Some(
+                    args.get(i)
+                        .cloned()
+                        .ok_or("--trace-out needs a file argument")?,
+                );
+            }
             "--json" => options.json = true,
             "--reduce" => options.reduce = true,
             "--never-shared" => {
@@ -900,6 +989,7 @@ fn verify(
         Arc::new(SystemArtifacts::new())
     };
     let many = properties.len() > 1;
+    let trace_out = start_trace_recording(options.trace_out.as_ref());
     let mut exit = ExitCode::SUCCESS;
     let mut saw_unsafe = false;
     let mut saw_undetermined = false;
@@ -910,9 +1000,13 @@ fn verify(
         // either way.
         let mut round_log: Vec<RoundRecord> = Vec::new();
         let trace = options.trace;
+        // With several properties (or parallel arms racing) trace
+        // lines interleave; the line-locked sink keeps each line
+        // whole, and the prefix says which property it belongs to.
+        let trace_prefix = if many { spec.clone() } else { String::new() };
         let mut on_event = |event: &SessionEvent| {
             if trace {
-                eprintln!("[trace] {event}");
+                cuba_telemetry::sink::trace_line(&trace_prefix, &event.to_string());
             }
             if let SessionEvent::RoundCompleted {
                 engine,
@@ -976,6 +1070,7 @@ fn verify(
     if let Some((map, path)) = save_map {
         map.save(path)?;
     }
+    finish_trace_recording(trace_out)?;
     // The worst verdict decides: any unsafe → 1, else undetermined → 3.
     if saw_unsafe {
         exit = ExitCode::from(1);
@@ -1146,9 +1241,58 @@ fn outcome_json(
         })
         .collect();
     push_field(&mut out, "arms", &format!("[{}]", arms.join(",")));
+    push_field(&mut out, "telemetry", &telemetry_json(outcome));
     if let Some(reduction) = reduction {
         push_field(&mut out, "reduction", reduction);
     }
+    out.push('}');
+    out
+}
+
+/// The `telemetry` block of the verify `--json` output: this
+/// outcome's per-stage wall times plus a snapshot of the process-wide
+/// registry counters (cumulative across the invocation — with several
+/// properties, later blocks include earlier properties' work).
+fn telemetry_json(outcome: &CubaOutcome) -> String {
+    use cuba_telemetry::metrics::METRICS;
+    let mut out = String::from("{");
+    push_field(
+        &mut out,
+        "saturate_us",
+        &outcome.stages.saturate.as_micros().to_string(),
+    );
+    push_field(
+        &mut out,
+        "check_us",
+        &outcome.stages.check.as_micros().to_string(),
+    );
+    push_field(
+        &mut out,
+        "merge_us",
+        &outcome.stages.merge.as_micros().to_string(),
+    );
+    push_field(&mut out, "waves", &METRICS.waves.get().to_string());
+    push_field(&mut out, "steals", &METRICS.steals.get().to_string());
+    push_field(
+        &mut out,
+        "cache_hits",
+        &METRICS.cache_hits.get().to_string(),
+    );
+    push_field(
+        &mut out,
+        "cache_misses",
+        &METRICS.cache_misses.get().to_string(),
+    );
+    push_field(
+        &mut out,
+        "reduce_passes",
+        &METRICS.reduce_passes.get().to_string(),
+    );
+    push_field(
+        &mut out,
+        "trace_events_dropped",
+        &METRICS.trace_events_dropped.get().to_string(),
+    );
     out.push('}');
     out
 }

@@ -372,6 +372,44 @@ fn trace_streams_rounds_to_stderr() {
 }
 
 #[test]
+fn trace_out_writes_a_trace_that_trace_check_accepts() {
+    let dir = std::env::temp_dir().join(format!("cuba-cli-trace-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("verify-trace.json");
+    let path = path.to_str().expect("utf-8 temp path");
+
+    let (stdout, stderr, code) = cuba(&["verify", "samples/fig1.cpds", "--trace-out", path]);
+    assert_eq!(code, Some(0), "stderr: {stderr}");
+    assert!(stdout.contains("safe for any resource amount"));
+    assert!(stderr.contains("trace written to"));
+
+    let (stdout, _, code) = cuba(&["trace-check", path]);
+    assert_eq!(code, Some(0), "stdout: {stdout}");
+    assert!(stdout.contains("valid Chrome trace"));
+    // The catalogue lists the portfolio and saturation spans.
+    for span in [
+        "round",
+        "wave",
+        "merge",
+        "ensure_layer",
+        "schedule-decision",
+    ] {
+        assert!(
+            stdout.contains(&format!("  {span}: ")),
+            "missing {span} in:\n{stdout}"
+        );
+    }
+
+    // A corrupted trace is rejected with the path in the message.
+    let broken = dir.join("broken.json");
+    std::fs::write(&broken, "{\"traceEvents\":3}").expect("write");
+    let (_, stderr, code) = cuba(&["trace-check", broken.to_str().expect("utf-8")]);
+    assert_eq!(code, Some(2));
+    assert!(stderr.contains("traceEvents"), "stderr: {stderr}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn timeout_yields_undetermined_exit_code() {
     // A zero-second deadline trips before the first round; the
     // verdict is undetermined (exit 3), not an error (exit 2).
