@@ -94,6 +94,57 @@ impl CanonicalDfa {
         }
     }
 
+    /// The sorted `(src, sym, dst)` transition triples — the canonical
+    /// form's raw data, for serializers ([`from_parts`](Self::from_parts)
+    /// is the inverse).
+    pub fn transitions(&self) -> &[(u32, u32, u32)] {
+        &self.transitions
+    }
+
+    /// Per-state accepting flags, indexed by state id.
+    pub fn finals(&self) -> &[bool] {
+        &self.finals
+    }
+
+    /// Rebuilds a canonical DFA from data previously read back through
+    /// [`transitions`](Self::transitions) and [`finals`](Self::finals)
+    /// (snapshot restore). Shape is validated — state ids in range,
+    /// triples strictly sorted (hence deterministic and duplicate-free),
+    /// flag count matching — so corrupt input cannot construct an
+    /// automaton whose equality or hashing misbehaves.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed datum.
+    pub fn from_parts(
+        num_states: u32,
+        transitions: Vec<(u32, u32, u32)>,
+        finals: Vec<bool>,
+    ) -> Result<Self, String> {
+        if finals.len() != num_states as usize {
+            return Err(format!(
+                "final-flag count {} does not match state count {num_states}",
+                finals.len()
+            ));
+        }
+        if num_states == 0 && !transitions.is_empty() {
+            return Err("zero-state automaton with transitions".to_owned());
+        }
+        for (i, &(src, _sym, dst)) in transitions.iter().enumerate() {
+            if src >= num_states || dst >= num_states {
+                return Err(format!("transition {i} references an out-of-range state"));
+            }
+            if i > 0 && transitions[i - 1] >= transitions[i] {
+                return Err(format!("transition {i} breaks the sorted canonical order"));
+            }
+        }
+        Ok(CanonicalDfa {
+            num_states,
+            transitions,
+            finals,
+        })
+    }
+
     /// Whether the language is empty.
     pub fn is_empty_language(&self) -> bool {
         self.num_states == 0

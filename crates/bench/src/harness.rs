@@ -22,7 +22,7 @@ use cuba_benchmarks::suite::{table2_problems, table2_suite};
 use cuba_core::{
     CubaError, CubaOutcome, Portfolio, Property, SchedulePolicy, SessionConfig, SuiteCache, Verdict,
 };
-use cuba_explore::ExploreBudget;
+use cuba_explore::{ExploreBudget, SharedExplorer, SnapshotKind};
 use cuba_pds::{Cpds, SharedState, StackSym, VisibleState};
 
 use crate::stats;
@@ -109,6 +109,24 @@ pub struct BenchPlan {
     /// system's learned schedule, falling back to `schedule` on a
     /// miss.
     pub profile_map: Option<std::sync::Arc<cuba_core::ProfileMap>>,
+    /// A `cuba snapshot` file to seed into every iteration's fresh
+    /// cache (`--from-snapshot`): the matching workload replays the
+    /// recorded layers instead of exploring live, and its hit probe
+    /// reports `"cache":"hit"`. The per-iteration restore keeps
+    /// samples comparable — every iteration measures the same
+    /// replay-from-depth work.
+    pub seed: Option<SnapshotSeed>,
+}
+
+/// A pre-explored layer store, as read from a `cuba snapshot` file.
+#[derive(Debug, Clone)]
+pub struct SnapshotSeed {
+    /// Which explorer slot the snapshot restores.
+    pub kind: SnapshotKind,
+    /// The recorded system's fingerprint (from the file header).
+    pub fingerprint: u64,
+    /// The raw snapshot file.
+    pub bytes: std::sync::Arc<Vec<u8>>,
 }
 
 impl Default for BenchPlan {
@@ -123,6 +141,7 @@ impl Default for BenchPlan {
             reduce: false,
             threads: 0,
             profile_map: None,
+            seed: None,
         }
     }
 }
@@ -219,7 +238,29 @@ pub fn run_iteration(
     problems: &[(String, Cpds, Property)],
     workers: usize,
 ) -> (Vec<Result<CubaOutcome, CubaError>>, Vec<bool>) {
+    run_iteration_seeded(
+        portfolio,
+        problems,
+        workers,
+        None,
+        &ExploreBudget::default(),
+    )
+}
+
+/// As [`run_iteration`], restoring `seed` into the fresh cache first,
+/// so the hit probe sees the snapshot-backed system as warm and its
+/// sessions replay the recorded bounds.
+pub fn run_iteration_seeded(
+    portfolio: &Portfolio,
+    problems: &[(String, Cpds, Property)],
+    workers: usize,
+    seed: Option<&SnapshotSeed>,
+    budget: &ExploreBudget,
+) -> (Vec<Result<CubaOutcome, CubaError>>, Vec<bool>) {
     let cache = SuiteCache::new();
+    if let Some(seed) = seed {
+        seed_cache(&cache, problems, seed, budget);
+    }
     // Probe hit/miss in input order before the (parallel) run — the
     // in-run lookup order is nondeterministic under workers > 1.
     let hits: Vec<bool> = problems
@@ -231,6 +272,36 @@ pub fn run_iteration(
         .map(|(_, cpds, property)| (cpds.clone(), property.clone()))
         .collect();
     (portfolio.run_suite_cached(batch, workers, &cache), hits)
+}
+
+/// Restores `seed` into `cache` for the first workload whose system
+/// matches the recorded fingerprint. A snapshot that matches no
+/// workload, or that fails verification, is reported on stderr and
+/// skipped — the measurement proceeds cold.
+fn seed_cache(
+    cache: &SuiteCache,
+    problems: &[(String, Cpds, Property)],
+    seed: &SnapshotSeed,
+    budget: &ExploreBudget,
+) {
+    for (label, cpds, _) in problems {
+        if cuba_core::fingerprint(cpds) != seed.fingerprint {
+            continue;
+        }
+        match SharedExplorer::restore(cpds.clone(), budget.clone(), seed.fingerprint, &seed.bytes) {
+            Ok(explorer) => {
+                let artifacts =
+                    cache.adopt(cpds, std::sync::Arc::new(cuba_core::SystemArtifacts::new()));
+                artifacts.seed_explorer(seed.kind, std::sync::Arc::new(explorer));
+            }
+            Err(e) => eprintln!("snapshot seed {label}: {e} (measuring cold)"),
+        }
+        return;
+    }
+    eprintln!(
+        "snapshot seed: fingerprint {:016x} matches no workload (measuring cold)",
+        seed.fingerprint
+    );
 }
 
 /// Measures the full bench suite under `plan`: `plan.warmup`
@@ -292,7 +363,13 @@ pub fn run_problems(plan: &BenchPlan, mut problems: Vec<(String, Cpds, Property)
 
     for i in 0..plan.warmup {
         let start = Instant::now();
-        let _ = run_iteration(&portfolio, &problems, plan.workers);
+        let _ = run_iteration_seeded(
+            &portfolio,
+            &problems,
+            plan.workers,
+            plan.seed.as_ref(),
+            &config.budget,
+        );
         eprintln!(
             "warmup {}/{}: {:.2}s",
             i + 1,
@@ -305,7 +382,13 @@ pub fn run_problems(plan: &BenchPlan, mut problems: Vec<(String, Cpds, Property)
     let measure_start = Instant::now();
     for sample in 0..plan.samples.max(1) {
         let start = Instant::now();
-        let (results, hits) = run_iteration(&portfolio, &problems, plan.workers);
+        let (results, hits) = run_iteration_seeded(
+            &portfolio,
+            &problems,
+            plan.workers,
+            plan.seed.as_ref(),
+            &config.budget,
+        );
         for (i, ((label, _, _), result)) in problems.iter().zip(&results).enumerate() {
             if sample == 0 {
                 let mut row = BenchRow {
@@ -570,6 +653,61 @@ mod tests {
         assert!(!reduced.rows[0].cache_hit);
         assert!(reduced.rows[1].cache_hit && reduced.rows[2].cache_hit);
         assert!(run_to_json(&reduced).contains("\"reduce_removed\":"));
+    }
+
+    /// `--from-snapshot` seeding: a snapshot of the fig1 system makes
+    /// its workloads replay (warm hit probe, fewer live rounds) with
+    /// verdicts and bounds identical to the cold run.
+    #[test]
+    fn snapshot_seed_replays_instead_of_exploring() {
+        let problems: Vec<_> = bench_suite()
+            .into_iter()
+            .filter(|(label, _, _)| label.starts_with("fig1-multi/"))
+            .collect();
+        let plan = BenchPlan {
+            warmup: 0,
+            samples: 1,
+            ..BenchPlan::default()
+        };
+        let cold = run_problems(&plan, problems.clone());
+
+        // Produce the snapshot the way `cuba snapshot` does: explore
+        // the system once, encode its layer store.
+        let cpds = fig1::build();
+        let artifacts = cuba_core::SystemArtifacts::new();
+        let explorer = artifacts.explicit_explorer(&cpds, &ExploreBudget::default());
+        for k in 0..=6 {
+            explorer
+                .ensure_layer(k, &cuba_explore::Interrupt::none())
+                .expect("fig1 explores in budget");
+        }
+        let fingerprint = cuba_core::fingerprint(&cpds);
+        let seed = SnapshotSeed {
+            kind: SnapshotKind::Explicit,
+            fingerprint,
+            bytes: std::sync::Arc::new(explorer.snapshot(fingerprint)),
+        };
+
+        let warm = run_problems(
+            &BenchPlan {
+                seed: Some(seed),
+                ..plan
+            },
+            problems,
+        );
+        for (a, b) in cold.rows.iter().zip(&warm.rows) {
+            assert_eq!(a.verdict, b.verdict, "{}", a.label);
+            assert_eq!(a.k, b.k, "{}", a.label);
+        }
+        // The seeded system probes warm and replays recorded bounds.
+        assert!(warm.rows[0].cache_hit, "seeded system probes as warm");
+        assert!(
+            warm.rows[0].rounds_explored < cold.rows[0].rounds_explored,
+            "replay beats exploration: {} vs {}",
+            warm.rows[0].rounds_explored,
+            cold.rows[0].rounds_explored
+        );
+        assert!(warm.rows[0].rounds_replayed > 0);
     }
 
     /// A tiny real run over the fig1-multi block (the full suite is

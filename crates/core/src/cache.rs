@@ -15,7 +15,7 @@ use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
-use cuba_explore::{ExploreBudget, Interrupt, SharedExplorer, SubsumptionMode};
+use cuba_explore::{ExploreBudget, Interrupt, SharedExplorer, SnapshotKind, SubsumptionMode};
 use cuba_pds::{Cpds, Rhs, VisibleState};
 
 use crate::{check_fcr, compute_z, FcrReport, GeneratorSet};
@@ -123,10 +123,32 @@ impl SystemArtifacts {
             SubsumptionMode::Pointwise => self.symbolic_pointwise.get().cloned(),
         }
     }
+
+    fn slot(&self, kind: SnapshotKind) -> &OnceLock<Arc<SharedExplorer>> {
+        match kind {
+            SnapshotKind::Explicit => &self.explicit_explorer,
+            SnapshotKind::SymbolicExact => &self.symbolic_exact,
+            SnapshotKind::SymbolicPointwise => &self.symbolic_pointwise,
+        }
+    }
+
+    /// The explorer for a snapshot backend kind, if started — what a
+    /// [`SnapshotStore`](crate::SnapshotStore) save sweeps over.
+    pub fn explorer_if_started(&self, kind: SnapshotKind) -> Option<Arc<SharedExplorer>> {
+        self.slot(kind).get().cloned()
+    }
+
+    /// Seeds an explorer slot with a restored [`SharedExplorer`]
+    /// (snapshot warm-start). Returns `false` when the slot was
+    /// already started — a live exploration always wins over a disk
+    /// copy, since it can only be deeper or equal.
+    pub fn seed_explorer(&self, kind: SnapshotKind, explorer: Arc<SharedExplorer>) -> bool {
+        self.slot(kind).set(explorer).is_ok()
+    }
 }
 
 /// The caps of `budget` with the caller's interrupt wiring removed.
-fn sanitized(budget: &ExploreBudget) -> ExploreBudget {
+pub(crate) fn sanitized(budget: &ExploreBudget) -> ExploreBudget {
     budget.clone().with_interrupt(Interrupt::none())
 }
 
@@ -168,7 +190,9 @@ pub fn fingerprint(cpds: &Cpds) -> u64 {
 /// Structural equality of two systems — the confirmation step behind
 /// the fingerprint, so a 64-bit hash collision can never hand one
 /// system the artifacts (and hence the verdict machinery) of another.
-pub(crate) fn same_system(a: &Cpds, b: &Cpds) -> bool {
+/// Public because service brokers apply the same discipline when
+/// reviving spilled systems.
+pub fn same_system(a: &Cpds, b: &Cpds) -> bool {
     a.num_shared() == b.num_shared()
         && a.q_init() == b.q_init()
         && a.num_threads() == b.num_threads()
@@ -286,6 +310,25 @@ impl SuiteCache {
         removed
     }
 
+    /// Re-inserts a previously evicted system with its still-live
+    /// artifacts — the revive half of a service's spill path. If the
+    /// system is cached again already, the existing slot wins and is
+    /// returned; otherwise the given `Arc` is re-admitted *unchanged*,
+    /// so clients still holding it and clients about to look it up
+    /// converge on one exploration instead of racing a cold restart.
+    /// Counted as neither hit nor miss (the caller already did its own
+    /// lookup).
+    pub fn adopt(&self, cpds: &Cpds, artifacts: Arc<SystemArtifacts>) -> Arc<SystemArtifacts> {
+        let key = fingerprint(cpds);
+        let mut map = self.map.lock().expect("suite cache lock");
+        let bucket = map.entry(key).or_default();
+        if let Some((_, existing)) = bucket.iter().find(|(known, _)| same_system(known, cpds)) {
+            return existing.clone();
+        }
+        bucket.push((Arc::new(cpds.clone()), artifacts.clone()));
+        artifacts
+    }
+
     /// A snapshot of every cached system and its artifacts, in
     /// unspecified order — the broker-facing view behind a service's
     /// `/systems` endpoint. Entries are `Arc` clones: cheap, and safe
@@ -386,6 +429,35 @@ mod tests {
         let a1_again = cache.artifacts(&fig1());
         assert!(!Arc::ptr_eq(&a1, &a1_again));
         assert_eq!(cache.len(), 2);
+    }
+
+    /// `adopt` re-admits an evicted system's live artifacts, so clients
+    /// holding the old `Arc` and fresh lookups converge again — and if
+    /// a new slot opened in the meantime, the new slot wins.
+    #[test]
+    fn adopt_restores_arc_sharing() {
+        let cache = SuiteCache::new();
+        let a1 = cache.artifacts(&fig1());
+        assert!(cache.remove(fingerprint(&fig1()), &a1));
+
+        let revived = cache.adopt(&fig1(), a1.clone());
+        assert!(Arc::ptr_eq(&revived, &a1), "adopt re-admits the live Arc");
+        assert!(
+            Arc::ptr_eq(&cache.artifacts(&fig1()), &a1),
+            "lookups after adopt see the revived slot"
+        );
+        let (hits, misses) = (cache.hits(), cache.misses());
+
+        // If the system was re-cached already, the existing slot wins.
+        assert!(cache.remove(fingerprint(&fig1()), &a1));
+        let fresh = cache.artifacts(&fig1());
+        let adopted = cache.adopt(&fig1(), a1.clone());
+        assert!(Arc::ptr_eq(&adopted, &fresh), "existing slot wins");
+        assert_eq!(cache.len(), 1, "no duplicate slot for one system");
+        // Only the fresh lookup moved the counters: adopt itself
+        // counts neither hits nor misses.
+        assert_eq!(cache.hits(), hits);
+        assert_eq!(cache.misses(), misses + 1);
     }
 
     /// `entries()` snapshots every cached system with its fingerprint

@@ -117,11 +117,12 @@ mod schedule;
 mod scheme1;
 mod sequence;
 mod session;
+mod snapshot_store;
 #[cfg(test)]
 mod testutil;
 
 pub use alg3::{alg3_explicit, alg3_symbolic, Alg3Config, Alg3Engine, Alg3Report};
-pub use cache::{fingerprint, CacheEntry, CacheStats, SuiteCache, SystemArtifacts};
+pub use cache::{fingerprint, same_system, CacheEntry, CacheStats, SuiteCache, SystemArtifacts};
 pub use cba_baseline::{cba_baseline, CbaConfig, CbaEngine, CbaReport, CbaVerdict};
 pub use driver::{Cuba, CubaConfig, CubaOutcome, DriverMode, EngineUsed, StageTimes};
 pub use engine::{
@@ -147,6 +148,7 @@ pub use scheme1::{
 };
 pub use sequence::{GrowthLog, SequenceEvent};
 pub use session::{AnalysisSession, SessionConfig};
+pub use snapshot_store::SnapshotStore;
 
 /// The answer of a CUBA analysis.
 #[derive(Debug, Clone, PartialEq, Eq)]

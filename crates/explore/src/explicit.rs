@@ -62,6 +62,50 @@ impl ExplicitEngine {
         }
     }
 
+    /// Rebuilds an engine from deserialized parts: the state table in
+    /// discovery order plus an already-validated layer record. The
+    /// lookup index and per-state layer bounds are derived, so a
+    /// restored engine is indistinguishable from one that explored the
+    /// same layers live.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first inconsistency between the
+    /// state table and the layer record, without echoing state content.
+    pub(crate) fn from_parts(
+        cpds: Cpds,
+        budget: ExploreBudget,
+        states: Vec<GlobalState>,
+        store: LayerStore,
+    ) -> Result<Self, String> {
+        if states.len() != store.state_count_at(store.current_k()) {
+            return Err("state table does not match the layer record".to_owned());
+        }
+        if states[0] != cpds.initial_state() {
+            return Err("state 0 is not the initial state".to_owned());
+        }
+        let mut index = HashMap::with_capacity(states.len());
+        for (id, state) in states.iter().enumerate() {
+            if index.insert(state.clone(), id as u32).is_some() {
+                return Err("duplicate global state in state table".to_owned());
+            }
+        }
+        let mut layer_of_state = vec![0u32; states.len()];
+        for k in 0..=store.current_k() {
+            for &id in store.layer_ids(k) {
+                layer_of_state[id as usize] = k as u32;
+            }
+        }
+        Ok(ExplicitEngine {
+            cpds,
+            budget,
+            states,
+            layer_of_state,
+            index,
+            store,
+        })
+    }
+
     /// The CPDS being explored.
     pub fn cpds(&self) -> &Cpds {
         &self.cpds

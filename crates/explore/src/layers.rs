@@ -190,6 +190,72 @@ impl LayerStore {
         self.state_counts.push(total_states);
         self.visible_counts.push(self.first_seen.len());
     }
+
+    /// Rebuilds a store from its serialized essence: the per-bound id
+    /// layers and per-bound new visible states. Everything else —
+    /// first-seen bounds, cumulative growth logs, the collapse bound —
+    /// is derived, which keeps the snapshot format minimal and makes
+    /// save → load → save byte-identical by construction.
+    ///
+    /// Validated invariants (anything else means a corrupt snapshot):
+    /// layer 0 is exactly `{0}`, ids are consecutive across bounds (an
+    /// engine numbers states in discovery order), a visible state is
+    /// first seen at exactly one bound, and an empty id layer brings
+    /// no new visible states.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated invariant, without
+    /// echoing any state content.
+    pub fn from_parts(
+        layers: Vec<Vec<u32>>,
+        visible_layers: Vec<Vec<VisibleState>>,
+    ) -> Result<Self, String> {
+        if layers.is_empty() || layers.len() != visible_layers.len() {
+            return Err("layer table shape mismatch".to_owned());
+        }
+        if layers[0] != [0] || visible_layers[0].len() != 1 {
+            return Err("layer 0 is not the singleton initial layer".to_owned());
+        }
+        let mut first_seen = HashMap::new();
+        let mut state_counts = Vec::with_capacity(layers.len());
+        let mut visible_counts = Vec::with_capacity(layers.len());
+        let mut collapsed_at = None;
+        let mut next_id = 0u32;
+        for (k, (ids, new_visible)) in layers.iter().zip(&visible_layers).enumerate() {
+            for &id in ids {
+                if id != next_id {
+                    return Err(format!("layer {k}: state ids are not consecutive"));
+                }
+                next_id = next_id
+                    .checked_add(1)
+                    .ok_or_else(|| format!("layer {k}: state id overflow"))?;
+            }
+            if ids.is_empty() {
+                if !new_visible.is_empty() {
+                    return Err(format!("layer {k}: empty layer with new visible states"));
+                }
+                if collapsed_at.is_none() {
+                    collapsed_at = Some(k);
+                }
+            }
+            for v in new_visible {
+                if first_seen.insert(v.clone(), k as u32).is_some() {
+                    return Err(format!("layer {k}: visible state first seen twice"));
+                }
+            }
+            state_counts.push(next_id as usize);
+            visible_counts.push(first_seen.len());
+        }
+        Ok(LayerStore {
+            layers,
+            visible_layers,
+            first_seen,
+            state_counts,
+            visible_counts,
+            collapsed_at,
+        })
+    }
 }
 
 #[cfg(test)]

@@ -51,6 +51,7 @@ mod explicit;
 mod layers;
 mod search;
 mod shared;
+pub mod snapshot;
 mod symbolic;
 mod witness;
 
@@ -59,5 +60,6 @@ pub use explicit::{ExplicitEngine, LayerSummary};
 pub use layers::LayerStore;
 pub use search::bounded_witness_search;
 pub use shared::{LayerSubscription, LayerView, SharedExplorer};
+pub use snapshot::{SnapshotKind, SNAPSHOT_MAGIC, SNAPSHOT_VERSION};
 pub use symbolic::{SubsumptionMode, SymbolicEngine, SymbolicState};
 pub use witness::{Witness, WitnessStep};

@@ -20,6 +20,7 @@ use cuba_pds::{Cpds, VisibleState};
 use cuba_telemetry::metrics::{stage_time, Stage};
 use cuba_telemetry::trace;
 
+use crate::snapshot::{self, DecodedBackend, SnapshotKind};
 use crate::{
     ExplicitEngine, ExploreBudget, ExploreError, Interrupt, LayerStore, SubsumptionMode,
     SymbolicEngine,
@@ -272,6 +273,77 @@ impl SharedExplorer {
         }
     }
 
+    /// The snapshot backend kind this explorer would record.
+    pub fn snapshot_kind(&self) -> SnapshotKind {
+        match &*self.lock() {
+            BackendImpl::Explicit(_) => SnapshotKind::Explicit,
+            BackendImpl::Symbolic(e) => match e.mode() {
+                SubsumptionMode::Exact => SnapshotKind::SymbolicExact,
+                SubsumptionMode::Pointwise => SnapshotKind::SymbolicPointwise,
+            },
+        }
+    }
+
+    /// Serializes the exploration into the versioned binary snapshot
+    /// format (see [`crate::snapshot`]), stamped with the caller's
+    /// `fingerprint` of the system. Taken under the store lock, so the
+    /// bytes always describe a sealed bound — never a half-computed
+    /// round.
+    ///
+    /// Deterministic: saving, restoring, and saving again yields
+    /// byte-identical output.
+    pub fn snapshot(&self, fingerprint: u64) -> Vec<u8> {
+        let inner = self.lock();
+        let mut span = trace::span_args(
+            "snapshot-encode",
+            vec![("k", inner.store().current_k().into())],
+        );
+        let bytes = match &*inner {
+            BackendImpl::Explicit(e) => snapshot::encode_explicit(e, fingerprint),
+            BackendImpl::Symbolic(e) => snapshot::encode_symbolic(e, fingerprint),
+        };
+        span.arg("bytes", bytes.len());
+        bytes
+    }
+
+    /// Rebuilds a shared explorer from snapshot `bytes`, verifying the
+    /// header fingerprint against `fingerprint` and the recorded
+    /// system structure against `cpds` byte-for-byte. The restored
+    /// explorer replays its layers exactly as a live one would —
+    /// [`ensure_layer`](Self::ensure_layer) returns `false` up to the
+    /// recorded depth — and starts with
+    /// [`rounds_explored`](Self::rounds_explored) at zero, since this
+    /// process has computed nothing live yet.
+    ///
+    /// # Errors
+    ///
+    /// Offset-numbered decode errors (wrong magic, newer version,
+    /// fingerprint/structure mismatch, checksum failure, truncation,
+    /// trailing bytes, inconsistent tables); file content is never
+    /// echoed.
+    pub fn restore(
+        cpds: Cpds,
+        budget: ExploreBudget,
+        fingerprint: u64,
+        bytes: &[u8],
+    ) -> Result<Self, String> {
+        let mut span = trace::span_args("snapshot-restore", vec![("bytes", bytes.len().into())]);
+        let base_interrupt = budget.interrupt.clone();
+        let inner = match snapshot::decode(cpds, budget, fingerprint, bytes)? {
+            DecodedBackend::Explicit(e) => BackendImpl::Explicit(*e),
+            DecodedBackend::Symbolic(e) => BackendImpl::Symbolic(*e),
+        };
+        let symbolic = matches!(inner, BackendImpl::Symbolic(_));
+        span.arg("k", inner.store().current_k());
+        Ok(SharedExplorer {
+            inner: Mutex::new(inner),
+            base_interrupt,
+            symbolic,
+            rounds_explored: AtomicUsize::new(0),
+            subscribers: Mutex::new(Vec::new()),
+        })
+    }
+
     fn lock(&self) -> std::sync::MutexGuard<'_, BackendImpl> {
         // Rounds are transactional only for *errors* (rolled back and
         // retryable); a panic mid-round leaves half-registered states
@@ -441,6 +513,53 @@ mod tests {
 
         explorer.ensure_layer(1, &Interrupt::none()).unwrap();
         assert_eq!(sub.try_next().map(|v| v.k), Some(1));
+    }
+
+    /// A restored explorer replays every recorded bound for free
+    /// (`rounds_explored` stays 0), serves identical views, and counts
+    /// only genuinely new layers as live — exactly like live sharing.
+    #[test]
+    fn restore_replays_recorded_bounds_for_free() {
+        let live = SharedExplorer::explicit(fig1(), ExploreBudget::default());
+        let none = Interrupt::none();
+        live.ensure_layer(4, &none).unwrap();
+        let bytes = live.snapshot(99);
+
+        let restored =
+            SharedExplorer::restore(fig1(), ExploreBudget::default(), 99, &bytes).unwrap();
+        assert_eq!(restored.depth(), 4);
+        assert!(!restored.is_symbolic());
+        assert_eq!(restored.snapshot_kind(), crate::SnapshotKind::Explicit);
+        assert!(
+            !restored.ensure_layer(4, &none).unwrap(),
+            "recorded bounds replay"
+        );
+        assert_eq!(restored.rounds_explored(), 0, "no live rounds yet");
+        for k in 0..=4 {
+            let a = live.view(k);
+            let b = restored.view(k);
+            assert_eq!(a.states, b.states);
+            assert_eq!(a.visible, b.visible);
+            assert_eq!(a.new_visible, b.new_visible);
+            assert_eq!(a.collapsed, b.collapsed);
+        }
+        // Extending past the snapshot is live again, and the extended
+        // store re-snapshots identically to a never-persisted one.
+        assert!(restored.ensure_layer(6, &none).unwrap());
+        assert_eq!(restored.rounds_explored(), 2);
+        live.ensure_layer(6, &none).unwrap();
+        assert_eq!(restored.snapshot(99), live.snapshot(99));
+    }
+
+    /// Restoring against the wrong system or a damaged file fails with
+    /// an offset-numbered error.
+    #[test]
+    fn restore_rejects_wrong_fingerprint() {
+        let live = SharedExplorer::explicit(fig1(), ExploreBudget::default());
+        live.ensure_layer(2, &Interrupt::none()).unwrap();
+        let bytes = live.snapshot(1);
+        let err = SharedExplorer::restore(fig1(), ExploreBudget::default(), 2, &bytes).unwrap_err();
+        assert!(err.starts_with("snapshot offset "), "{err}");
     }
 
     /// Views are bound-indexed: extending the store past `k` does not

@@ -198,6 +198,62 @@ impl SymbolicEngine {
         }
     }
 
+    /// Rebuilds an engine from deserialized parts: the symbolic-state
+    /// table in discovery order plus an already-validated layer record.
+    /// The lookup index, per-shared-state grouping, and CSR rule
+    /// tables are derived, so a restored engine is indistinguishable
+    /// from one that explored the same layers live.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first inconsistency between the
+    /// state table and the layer record, without echoing state content.
+    pub(crate) fn from_parts(
+        cpds: Cpds,
+        budget: ExploreBudget,
+        mode: SubsumptionMode,
+        states: Vec<SymbolicState>,
+        store: LayerStore,
+    ) -> Result<Self, String> {
+        if states.len() != store.state_count_at(store.current_k()) {
+            return Err("state table does not match the layer record".to_owned());
+        }
+        if states[0] != SymbolicState::singleton(&cpds.initial_state()) {
+            return Err("state 0 is not the initial symbolic state".to_owned());
+        }
+        let mut index = HashMap::with_capacity(states.len());
+        let mut by_shared: HashMap<SharedState, Vec<u32>> = HashMap::new();
+        for (id, state) in states.iter().enumerate() {
+            if index.insert(state.clone(), id as u32).is_some() {
+                return Err("duplicate symbolic state in state table".to_owned());
+            }
+            by_shared.entry(state.q).or_default().push(id as u32);
+        }
+        let tables = (0..cpds.num_threads())
+            .map(|i| RuleTable::new(cpds.thread(i)))
+            .collect();
+        Ok(SymbolicEngine {
+            cpds,
+            budget,
+            mode,
+            states,
+            index,
+            by_shared,
+            store,
+            tables,
+        })
+    }
+
+    /// The subsumption mode the engine deduplicates with.
+    pub fn mode(&self) -> SubsumptionMode {
+        self.mode
+    }
+
+    /// The stored symbolic states in discovery order (serialization).
+    pub(crate) fn states(&self) -> &[SymbolicState] {
+        &self.states
+    }
+
     /// The CPDS being explored.
     pub fn cpds(&self) -> &Cpds {
         &self.cpds

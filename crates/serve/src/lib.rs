@@ -13,11 +13,17 @@
 //!
 //! # Endpoints
 //!
+//! Every endpoint is mounted twice: at its legacy unprefixed path and
+//! under the versioned `/v1/` prefix, answering identically. `GET
+//! /v1` returns a JSON index of the versioned surface — endpoints,
+//! their legacy aliases, and the server's capabilities (workers,
+//! `max_systems`, whether a state directory is active).
+//!
 //! | Endpoint | Semantics |
 //! |---|---|
 //! | `POST /analyze` | Body: a model (`.cpds` text by default, `?format=bp` for Boolean programs). Repeatable `?property=SPEC` (the CLI `--property` grammar). `?schedule=` overrides the arm scheduling per request (the CLI `--schedule` grammar; `frontier:<name>` selects a profile preloaded at boot via `cuba serve --profile`, `frontier:key=value,...` tunes inline — requests can never make the server read a file). `?reduce=true` runs the verdict-preserving static pre-analysis (`cuba lint`'s reduction pipeline) on the parsed system before analysis; the stream then opens with one `reduced` line. Streams NDJSON events per property until the verdict. |
 //! | `POST /suite` | Same body/parameters (`?schedule=` and `?reduce=` included); runs every property through [`Portfolio::run_suite_cached`](cuba_core::Portfolio::run_suite_cached) with bounded parallelism (`?workers=N`) and answers one JSON document. |
-//! | `GET /systems` | The shared-exploration registry: per cached system its fingerprint, FCR verdict (if decided) and per-backend explorer counters (`rounds_explored`, `depth`). |
+//! | `GET /systems` | The shared-exploration registry: per system its fingerprint, residency (`resident` in the registry, or `spilled` — pushed out by `max_systems` but revivable/reloadable), FCR verdict (if decided) and per-backend explorer counters (`rounds_explored`, `depth`), plus service-wide snapshot counters (spills, revives, saves, reloads). |
 //! | `GET /healthz` | Liveness + service counters: uptime, build version, analysis-pool occupancy (`workers_busy`/`workers_idle`), the draining flag. |
 //! | `GET /metrics` | The process-wide telemetry registry ([`cuba_telemetry::metrics`]) in Prometheus text exposition format — counters, gauges, and latency histograms across every subsystem, plus the per-endpoint HTTP families this crate feeds. |
 //! | `POST /shutdown` | `?mode=graceful` (default) drains in-flight sessions; `?mode=abort` additionally fires the service-wide [`CancelToken`](cuba_explore::CancelToken) so explorations stop at their next interrupt poll. |
@@ -100,6 +106,13 @@ pub struct ServeConfig {
     /// graceful shutdown; embedded servers save through
     /// [`Broker::profile_map`].
     pub profile_map: Option<Arc<cuba_core::ProfileMap>>,
+    /// Snapshot directory (`cuba serve --state-dir`): layer stores are
+    /// persisted here — on `max_systems` spills and on graceful
+    /// shutdown — and lazily reloaded on the next request for a
+    /// system, including across a process restart (warm start).
+    /// `None` disables persistence; spilled systems then survive only
+    /// while some client still holds their artifacts.
+    pub state_dir: Option<String>,
 }
 
 impl Default for ServeConfig {
@@ -118,6 +131,7 @@ impl Default for ServeConfig {
             lineup: Lineup::Auto,
             profiles: HashMap::new(),
             profile_map: None,
+            state_dir: None,
         }
     }
 }
@@ -166,8 +180,13 @@ impl Server {
     ///
     /// # Errors
     ///
-    /// Address parse/bind failures.
+    /// Address parse/bind failures, or an unusable `state_dir`.
     pub fn bind(mut config: ServeConfig) -> std::io::Result<Server> {
+        if let Some(dir) = &config.state_dir {
+            // Fail the boot on an unusable state directory (the broker
+            // re-opens it; create_dir_all is idempotent).
+            cuba_core::SnapshotStore::open(dir).map_err(std::io::Error::other)?;
+        }
         if config.session.budget.threads == 0 {
             let avail = std::thread::available_parallelism()
                 .map(|n| n.get())
@@ -252,6 +271,11 @@ impl Server {
             }
         }
         self.broker.wait_connections_drained();
+        // Flush every resident system's layers before the process
+        // exits — the warm-start half of `--state-dir` (no-op without
+        // one). Abort shutdowns flush too: interrupted rounds rolled
+        // back, so the stores are consistent at their last bound.
+        self.broker.flush_snapshots();
         Ok(())
     }
 
@@ -295,13 +319,25 @@ fn handle_connection(stream: TcpStream, broker: &Arc<Broker>, addr: SocketAddr) 
     };
     drop(reader);
     broker.count_request();
-    let endpoint = cuba_telemetry::metrics::Endpoint::from_path(&request.path);
+    // The versioned surface: `/v1/<endpoint>` answers identically to
+    // the legacy unprefixed path (same handler, same bytes), and bare
+    // `/v1` is the API index. Telemetry classifies by the canonical
+    // (unprefixed) path so both spellings land in one family.
+    let canonical = match request.path.as_str() {
+        "/v1" | "/v1/" => "/v1",
+        path => path
+            .strip_prefix("/v1")
+            .filter(|rest| rest.starts_with('/'))
+            .unwrap_or(path),
+    };
+    let endpoint = cuba_telemetry::metrics::Endpoint::from_path(canonical);
     cuba_telemetry::metrics::METRICS
         .http_requests(endpoint)
         .inc();
     let handle_start = std::time::Instant::now();
     let mut out = &stream;
-    let result = match (request.method.as_str(), request.path.as_str()) {
+    let result = match (request.method.as_str(), canonical) {
+        ("GET", "/v1") => handle_index(&mut out, broker),
         ("POST", "/analyze") => handle_analyze(&mut out, &request, broker),
         ("POST", "/suite") => handle_suite(&mut out, &request, broker),
         ("GET", "/systems") => handle_systems(&mut out, broker),
@@ -311,7 +347,7 @@ fn handle_connection(stream: TcpStream, broker: &Arc<Broker>, addr: SocketAddr) 
         (_, "/analyze" | "/suite" | "/shutdown") => {
             respond_error(&mut out, 405, "Method Not Allowed", "use POST")
         }
-        (_, "/systems" | "/healthz" | "/metrics") => {
+        (_, "/v1" | "/systems" | "/healthz" | "/metrics") => {
             respond_error(&mut out, 405, "Method Not Allowed", "use GET")
         }
         _ => respond_error(
@@ -625,10 +661,11 @@ fn handle_suite(
         broker.ensure_profiles(&parsed.cpds, &parsed.properties);
     }
     let portfolio = broker.portfolio(parsed.lineup, parsed.max_k, parsed.schedule);
-    // Probe the cache up front so the reported hit/miss reflects this
-    // request's arrival, not the in-run lookup race.
-    let (_, cache_hit) = broker.cache.lookup(&parsed.cpds);
-    broker.artifacts_for(&parsed.cpds);
+    // Probe the registry up front so the reported hit/miss reflects
+    // this request's arrival, not the in-run lookup race. The
+    // broker-level lookup also revives/reloads spilled systems, so a
+    // spilled-but-warm system reports `hit` here.
+    let (_, cache_hit) = broker.lookup_for(&parsed.cpds);
     let problems: Vec<(Cpds, Property)> = parsed
         .properties
         .iter()
@@ -669,15 +706,60 @@ fn handle_suite(
     write_response(out, 200, "OK", "application/json", body.finish().as_bytes())
 }
 
+/// `GET /v1`: a JSON index of the versioned API — every endpoint with
+/// its method and legacy alias, plus the server's capabilities.
+fn handle_index(out: &mut impl Write, broker: &Arc<Broker>) -> std::io::Result<()> {
+    let endpoints: [(&str, &str, &str); 6] = [
+        ("POST", "/v1/analyze", "stream NDJSON verdicts for a model"),
+        (
+            "POST",
+            "/v1/suite",
+            "batch-verify every property, one JSON answer",
+        ),
+        (
+            "GET",
+            "/v1/systems",
+            "the shared-exploration registry with residency",
+        ),
+        ("GET", "/v1/healthz", "liveness and service counters"),
+        ("GET", "/v1/metrics", "Prometheus text exposition"),
+        ("POST", "/v1/shutdown", "graceful or abort shutdown"),
+    ];
+    let rendered: Vec<String> = endpoints
+        .iter()
+        .map(|(method, path, description)| {
+            let mut obj = JsonObject::new();
+            obj.string("method", method);
+            obj.string("path", path);
+            obj.string("legacy", path.strip_prefix("/v1").expect("v1-prefixed"));
+            obj.string("description", description);
+            obj.finish()
+        })
+        .collect();
+    let mut capabilities = JsonObject::new();
+    capabilities.number("workers", broker.config().workers as f64);
+    capabilities.number("max_systems", broker.config().max_systems as f64);
+    capabilities.bool("state_dir", broker.state_dir_enabled());
+    capabilities.bool("profile_map", broker.profile_map().is_some());
+    let mut body = JsonObject::new();
+    body.string("service", "cuba-serve");
+    body.string("version", env!("CARGO_PKG_VERSION"));
+    body.raw("api_versions", "[\"v1\"]".to_owned());
+    body.raw("endpoints", format!("[{}]", rendered.join(",")));
+    body.raw("capabilities", capabilities.finish());
+    write_response(out, 200, "OK", "application/json", body.finish().as_bytes())
+}
+
 /// `GET /systems`: the shared-exploration registry.
 fn handle_systems(out: &mut impl Write, broker: &Arc<Broker>) -> std::io::Result<()> {
-    let entries: Vec<String> = broker
+    let mut entries: Vec<String> = broker
         .cache
         .entries()
         .iter()
         .map(|entry| {
             let mut obj = JsonObject::new();
             obj.string("fingerprint", &format!("{:016x}", entry.fingerprint));
+            obj.string("residency", "resident");
             obj.number("threads", entry.system.num_threads() as f64);
             obj.number("shared_states", entry.system.num_shared() as f64);
             match entry.artifacts.fcr_if_checked() {
@@ -709,11 +791,26 @@ fn handle_systems(out: &mut impl Write, broker: &Arc<Broker>) -> std::io::Result
             obj.finish()
         })
         .collect();
+    // Spilled systems follow the resident ones: pushed out of the
+    // registry by `max_systems` but not gone — revivable through a
+    // still-live client `Arc` or reloadable from the state directory.
+    for (fingerprint, system) in broker.spilled_systems() {
+        let mut obj = JsonObject::new();
+        obj.string("fingerprint", &format!("{fingerprint:016x}"));
+        obj.string("residency", "spilled");
+        obj.number("threads", system.num_threads() as f64);
+        obj.number("shared_states", system.num_shared() as f64);
+        entries.push(obj.finish());
+    }
     let stats = broker.cache.stats();
     let mut body = JsonObject::new();
     body.number("systems", stats.systems as f64);
     body.number("cache_hits", stats.hits as f64);
     body.number("cache_misses", stats.misses as f64);
+    body.number("spills_total", broker.spills_total() as f64);
+    body.number("revives_total", broker.revives_total() as f64);
+    body.number("snapshot_saves_total", broker.saves_total() as f64);
+    body.number("snapshot_reloads_total", broker.reloads_total() as f64);
     if let Some(map) = broker.profile_map() {
         let profile_stats = map.stats();
         body.number("profiles_learned", profile_stats.entries as f64);

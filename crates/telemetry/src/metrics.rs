@@ -285,6 +285,12 @@ pub struct Metrics {
     pub reduce_passes: Counter,
     /// Trace events shed by a full thread buffer.
     pub trace_events_dropped: Counter,
+    /// Layer-store snapshots written to disk.
+    pub snapshot_saves: Counter,
+    /// Layer-store snapshots restored from disk.
+    pub snapshot_loads: Counter,
+    /// Systems spilled to disk under `max_systems` pressure.
+    pub snapshot_spills: Counter,
     /// Streaming sessions in flight right now.
     pub sessions_active: Gauge,
     /// Analysis worker slots currently occupied (`cuba serve`).
@@ -317,6 +323,9 @@ impl Metrics {
             probes: C,
             reduce_passes: C,
             trace_events_dropped: C,
+            snapshot_saves: C,
+            snapshot_loads: C,
+            snapshot_spills: C,
             sessions_active: Gauge::new(),
             workers_busy: Gauge::new(),
             http_requests: [C; ENDPOINTS],
@@ -373,7 +382,7 @@ fn family(out: &mut String, name: &str, kind: &str, help: &str) {
 pub fn render_prometheus() -> String {
     let m = &METRICS;
     let mut out = String::with_capacity(8 * 1024);
-    let counters: [(&str, &Counter, &str); 11] = [
+    let counters: [(&str, &Counter, &str); 14] = [
         (
             "cuba_rounds_explored_total",
             &m.rounds_explored,
@@ -428,6 +437,21 @@ pub fn render_prometheus() -> String {
             "cuba_trace_events_dropped_total",
             &m.trace_events_dropped,
             "Trace events shed by a full thread buffer.",
+        ),
+        (
+            "cuba_snapshot_saves_total",
+            &m.snapshot_saves,
+            "Layer-store snapshots written to disk.",
+        ),
+        (
+            "cuba_snapshot_loads_total",
+            &m.snapshot_loads,
+            "Layer-store snapshots restored from disk.",
+        ),
+        (
+            "cuba_snapshot_spills_total",
+            &m.snapshot_spills,
+            "Systems spilled to disk under max_systems pressure.",
         ),
     ];
     for (name, counter, help) in &counters {
@@ -638,6 +662,9 @@ mod tests {
             "cuba_probes_total",
             "cuba_reduce_passes_total",
             "cuba_trace_events_dropped_total",
+            "cuba_snapshot_saves_total",
+            "cuba_snapshot_loads_total",
+            "cuba_snapshot_spills_total",
             "cuba_sessions_active",
             "cuba_workers_busy",
             "cuba_http_requests_total",

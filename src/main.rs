@@ -62,6 +62,21 @@
 //!                      on exit. The learned profile outranks the
 //!                      base --schedule; its verdicts are always
 //!                      identical to the default configuration's.
+//!     --from-snapshot <f>  warm-start from a `cuba snapshot` file:
+//!                      the recorded layers replay (rounds_explored
+//!                      drops to the bounds beyond the snapshot's
+//!                      depth), verdicts are identical by
+//!                      construction, and a file that fails the
+//!                      structural-identity check is rejected
+//! cuba snapshot <file> --out <f> [options]  explore once, write the
+//!     layer store as a compact versioned binary snapshot (header:
+//!     format version, CPDS fingerprint, backend kind, checksum) —
+//!     the offline produce half of --from-snapshot / --state-dir
+//!     --engine auto|explicit|symbolic   backend to record (auto =
+//!                      explicit under FCR, symbolic otherwise)
+//!     --max-k <n>      explore at most this bound (default 64); the
+//!                      exploration stops early at collapse
+//!     --threads <n>    saturation worker threads (as for verify)
 //! cuba fcr <file>      run only the finite-context-reachability check
 //! cuba info <file>     print model statistics
 //! cuba trace-check <file>  validate a --trace-out Chrome trace file:
@@ -103,6 +118,10 @@
 //!                      at <f>, probe novel fingerprints before the
 //!                      warmup, run the measured suite through the
 //!                      learned schedules, and save the map after
+//!     --from-snapshot <f>  seed every iteration's fresh suite cache
+//!                      from a `cuba snapshot` file: the matching
+//!                      workload replays the recorded layers (its row
+//!                      shows "cache":"hit"); verdicts are identical
 //!
 //!     The N-sample JSON record (BENCH_*.json format, `samples_us` per
 //!     workload, no timing fields on error rows) goes to stdout; the
@@ -145,13 +164,24 @@
 //!                      (concurrent clients share the probe), learned
 //!                      profiles show up in GET /systems, and the map
 //!                      is saved when the server drains
+//!     --state-dir <d>  persistent layer-store snapshots: systems
+//!                      pushed out by max_systems pressure spill to
+//!                      <d> instead of being forgotten and reload
+//!                      transparently on the next request; on a
+//!                      graceful drain every resident system is
+//!                      flushed, so a restarted server warm-starts
+//!                      (identical verdicts, zero re-exploration)
 //!
-//!     Endpoints: POST /analyze (NDJSON event stream; repeatable
+//!     Endpoints are mounted under /v1 (GET /v1 returns a JSON index
+//!     plus server capabilities; the unprefixed legacy paths answer
+//!     identically): POST /analyze (NDJSON event stream; repeatable
 //!     property= query params, body = model source, format=cpds|bp,
 //!     reduce=true for the verdict-preserving pre-analysis),
-//!     POST /suite, GET /systems, GET /healthz, POST /shutdown
-//!     (mode=graceful|abort). Concurrent clients asking about one
-//!     system share a single layered exploration per backend.
+//!     POST /suite, GET /systems (per-system residency
+//!     resident|spilled plus snapshot/spill counters), GET /healthz,
+//!     POST /shutdown (mode=graceful|abort). Concurrent clients
+//!     asking about one system share a single layered exploration per
+//!     backend.
 //! ```
 //!
 //! With several properties the exit code is the *worst* verdict:
@@ -164,9 +194,10 @@ use std::time::Duration;
 use cuba::benchmarks::textfmt;
 use cuba::boolprog;
 use cuba::core::{
-    check_fcr, CubaOutcome, EngineKind, Lineup, Portfolio, ProfileMap, Property, SchedulePolicy,
-    SessionConfig, SessionEvent, SuiteCache, SystemArtifacts, Verdict,
+    check_fcr, fingerprint, CubaOutcome, EngineKind, Lineup, Portfolio, ProfileMap, Property,
+    SchedulePolicy, SessionConfig, SessionEvent, SuiteCache, SystemArtifacts, Verdict,
 };
+use cuba::explore::{ExploreBudget, Interrupt, SharedExplorer, SubsumptionMode};
 use cuba::pds::{Cpds, SharedState};
 use cuba_bench::json_escape as json_string;
 
@@ -185,14 +216,16 @@ fn usage() -> String {
     "usage: cuba <verify|fcr|info> <file.bp|file.cpds> [--engine auto|explicit|symbolic] \
      [--max-k N] [--parallel] [--threads N] [--schedule SPEC] [--timeout SECS] [--trace] \
      [--trace-out FILE] [--json] [--reduce] [--never-shared Q] [--property SPEC]... \
-     [--profile-map FILE]\n   \
+     [--profile-map FILE] [--from-snapshot FILE]\n   \
      or: cuba lint \
-     <file.bp|file.cpds> [--property SPEC]... [--json]\n   or: cuba serve [--addr ADDR] \
+     <file.bp|file.cpds> [--property SPEC]... [--json]\n   or: cuba snapshot \
+     <file.bp|file.cpds> --out FILE [--engine auto|explicit|symbolic] [--max-k N] \
+     [--threads N]\n   or: cuba serve [--addr ADDR] \
      [--workers N] [--threads N] [--max-k N] [--timeout SECS] [--schedule SPEC] \
-     [--profile FILE]... [--profile-map FILE] [--trace-out FILE]\n   \
+     [--profile FILE]... [--profile-map FILE] [--trace-out FILE] [--state-dir DIR]\n   \
      or: cuba bench [--samples N] [--warmup N] [--workers N] [--threads N] [--schedule SPEC] \
      [--reduce] [--compare FILE] [--gate] [--ratio R] [--sigma S] [--floor-ms MS] \
-     [--profile-map FILE] [--trace-out FILE]\n   \
+     [--profile-map FILE] [--trace-out FILE] [--from-snapshot FILE]\n   \
      or: cuba tune [--out FILE] [--name NAME] [--samples N] [--warmup N] [--passes N] \
      [--workers N] [--probe] [--emit-map]\n   \
      or: cuba trace-check <trace.json>\n   (schedule SPEC: round-robin | frontier \
@@ -222,6 +255,10 @@ struct VerifyOptions {
     /// `--profile-map FILE`: consult (and grow) the persistent
     /// fingerprint → schedule map at this path.
     profile_map: Option<String>,
+    /// `--from-snapshot FILE`: seed the invocation's shared
+    /// exploration from a `cuba snapshot` file before any property
+    /// runs — matching bounds replay instead of exploring live.
+    from_snapshot: Option<String>,
 }
 
 impl Default for VerifyOptions {
@@ -240,7 +277,124 @@ impl Default for VerifyOptions {
             never_shared: None,
             properties: Vec::new(),
             profile_map: None,
+            from_snapshot: None,
         }
+    }
+}
+
+/// The flags shared by several subcommands, parsed in exactly one
+/// place so the grammar and the error texts cannot drift between
+/// `verify`, `bench`, `serve`, and `snapshot`. Each subcommand says
+/// which of them it accepts; everything else falls through to its own
+/// match arm.
+#[derive(Default)]
+struct CommonOpts {
+    /// `--schedule SPEC` (grammar in [`SchedulePolicy::parse_spec_with_files`]).
+    schedule: Option<SchedulePolicy>,
+    /// `--threads N` (0 = auto, 1 = sequential).
+    threads: Option<usize>,
+    /// `--timeout SECS` (fractional seconds).
+    timeout: Option<Duration>,
+    /// `--profile-map FILE` (loaded by the subcommand: semantics differ).
+    profile_map: Option<String>,
+    /// `--trace-out FILE`.
+    trace_out: Option<String>,
+    /// `--reduce`.
+    reduce: bool,
+    /// `--state-dir DIR` (serve only today).
+    state_dir: Option<String>,
+}
+
+/// The shared flags each subcommand opts into.
+const VERIFY_COMMON: &[&str] = &[
+    "--schedule",
+    "--threads",
+    "--timeout",
+    "--profile-map",
+    "--trace-out",
+    "--reduce",
+];
+const BENCH_COMMON: &[&str] = &[
+    "--schedule",
+    "--threads",
+    "--profile-map",
+    "--trace-out",
+    "--reduce",
+];
+const SERVE_COMMON: &[&str] = &[
+    "--schedule",
+    "--threads",
+    "--timeout",
+    "--profile-map",
+    "--trace-out",
+    "--state-dir",
+];
+const SNAPSHOT_COMMON: &[&str] = &["--threads"];
+
+impl CommonOpts {
+    /// Tries to consume `args[*i]` (plus its argument, if any) as one
+    /// of the shared flags in `accepted`. `Ok(true)` means consumed,
+    /// with `*i` left on the flag's last token — the subcommand loops
+    /// all step `i` once more afterwards. `Ok(false)` means the token
+    /// is not an accepted shared flag and the caller's own match
+    /// handles it.
+    fn try_parse(
+        &mut self,
+        args: &[String],
+        i: &mut usize,
+        accepted: &[&str],
+    ) -> Result<bool, String> {
+        let flag = args[*i].clone();
+        if !accepted.contains(&flag.as_str()) {
+            return Ok(false);
+        }
+        match flag.as_str() {
+            "--schedule" => {
+                *i += 1;
+                let spec = args.get(*i).ok_or("--schedule needs a spec argument")?;
+                self.schedule = Some(SchedulePolicy::parse_spec_with_files(spec)?);
+            }
+            "--threads" => {
+                *i += 1;
+                self.threads = Some(parse_zero_ok(args.get(*i), "--threads")?);
+            }
+            "--timeout" => {
+                *i += 1;
+                self.timeout = Some(
+                    args.get(*i)
+                        .and_then(|s| s.parse::<f64>().ok())
+                        .and_then(|s| Duration::try_from_secs_f64(s).ok())
+                        .ok_or("bad --timeout value (seconds)")?,
+                );
+            }
+            "--profile-map" => {
+                *i += 1;
+                self.profile_map = Some(
+                    args.get(*i)
+                        .cloned()
+                        .ok_or("--profile-map needs a file argument")?,
+                );
+            }
+            "--trace-out" => {
+                *i += 1;
+                self.trace_out = Some(
+                    args.get(*i)
+                        .cloned()
+                        .ok_or("--trace-out needs a file argument")?,
+                );
+            }
+            "--reduce" => self.reduce = true,
+            "--state-dir" => {
+                *i += 1;
+                self.state_dir = Some(
+                    args.get(*i)
+                        .cloned()
+                        .ok_or("--state-dir needs a directory argument")?,
+                );
+            }
+            other => return Err(format!("unknown option '{other}'")),
+        }
+        Ok(true)
     }
 }
 
@@ -299,6 +453,7 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
             verify(model, properties, &options)
         }
         "lint" => lint_cmd(&args[1..]),
+        "snapshot" => snapshot_cmd(&args[1..]),
         "serve" => serve(&args[1..]),
         "bench" => bench(&args[1..]),
         "tune" => tune(&args[1..]),
@@ -347,14 +502,103 @@ fn finish_trace_recording(trace_out: Option<&String>) -> Result<(), String> {
     Ok(())
 }
 
+/// `cuba snapshot`: explore a model once and write its layer store as
+/// a self-contained binary snapshot file — the produce half of the
+/// offline ship-layers-between-processes workflow. `verify
+/// --from-snapshot`, `bench --from-snapshot`, and the `serve
+/// --state-dir` directory consume the same format.
+fn snapshot_cmd(args: &[String]) -> Result<ExitCode, String> {
+    let Some(path) = args.first() else {
+        return Err(usage());
+    };
+    let mut out: Option<String> = None;
+    let mut max_k: usize = 64;
+    let mut engine = "auto".to_owned();
+    let mut common = CommonOpts::default();
+    let mut i = 1;
+    while i < args.len() {
+        if common.try_parse(args, &mut i, SNAPSHOT_COMMON)? {
+            i += 1;
+            continue;
+        }
+        match args[i].as_str() {
+            "--out" => {
+                i += 1;
+                out = Some(args.get(i).cloned().ok_or("--out needs a file argument")?);
+            }
+            "--max-k" => {
+                i += 1;
+                max_k = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .ok_or("bad --max-k value")?;
+            }
+            "--engine" => {
+                i += 1;
+                engine = match args.get(i).map(|s| s.as_str()) {
+                    Some(e @ ("auto" | "explicit" | "symbolic")) => e.to_owned(),
+                    other => return Err(format!("bad --engine {other:?}")),
+                };
+            }
+            other => return Err(format!("unknown option '{other}'")),
+        }
+        i += 1;
+    }
+    // Options are validated before the model is touched (repo-wide
+    // CLI discipline), so a missing --out never costs an exploration.
+    let out = out.ok_or("snapshot needs --out FILE")?;
+
+    let model = load_model(path, false)?;
+    let cpds = model.cpds;
+    // auto follows the portfolio's backend split: explicit layers
+    // under FCR, symbolic (exact subsumption) otherwise.
+    let explicit = match engine.as_str() {
+        "explicit" => true,
+        "symbolic" => false,
+        _ => check_fcr(&cpds).holds(),
+    };
+    let budget = ExploreBudget {
+        threads: common.threads.unwrap_or(0),
+        ..ExploreBudget::default()
+    };
+    let artifacts = SystemArtifacts::new();
+    let explorer = if explicit {
+        artifacts.explicit_explorer(&cpds, &budget)
+    } else {
+        artifacts.symbolic_explorer(&cpds, &budget, SubsumptionMode::Exact)
+    };
+    let interrupt = Interrupt::none();
+    for k in 0..=max_k {
+        explorer
+            .ensure_layer(k, &interrupt)
+            .map_err(|e| format!("explore k={k}: {e}"))?;
+        if explorer.view(k).collapsed {
+            break;
+        }
+    }
+    let fp = fingerprint(&cpds);
+    let bytes = explorer.snapshot(fp);
+    std::fs::write(&out, &bytes).map_err(|e| format!("cannot write {out}: {e}"))?;
+    println!(
+        "snapshot written to {out} ({}, depth {}, {} bytes, fingerprint {fp:016x})",
+        explorer.snapshot_kind().label(),
+        explorer.depth(),
+        bytes.len()
+    );
+    Ok(ExitCode::SUCCESS)
+}
+
 /// `cuba serve`: boots the HTTP analysis service and blocks until a
 /// `POST /shutdown` request stops it.
 fn serve(args: &[String]) -> Result<ExitCode, String> {
     let mut config = cuba_serve::ServeConfig::default();
-    let mut map_state: Option<(Arc<ProfileMap>, String)> = None;
-    let mut trace_out: Option<String> = None;
+    let mut common = CommonOpts::default();
     let mut i = 0;
     while i < args.len() {
+        if common.try_parse(args, &mut i, SERVE_COMMON)? {
+            i += 1;
+            continue;
+        }
         match args[i].as_str() {
             "--addr" => {
                 i += 1;
@@ -371,30 +615,12 @@ fn serve(args: &[String]) -> Result<ExitCode, String> {
                     .filter(|n| *n > 0)
                     .ok_or("bad --workers value")?;
             }
-            "--threads" => {
-                i += 1;
-                config.session.budget.threads = parse_zero_ok(args.get(i), "--threads")?;
-            }
             "--max-k" => {
                 i += 1;
                 config.session.max_k = args
                     .get(i)
                     .and_then(|s| s.parse().ok())
                     .ok_or("bad --max-k value")?;
-            }
-            "--timeout" => {
-                i += 1;
-                config.session.timeout = args
-                    .get(i)
-                    .and_then(|s| s.parse::<f64>().ok())
-                    .and_then(|s| Duration::try_from_secs_f64(s).ok())
-                    .map(Some)
-                    .ok_or("bad --timeout value (seconds)")?;
-            }
-            "--schedule" => {
-                i += 1;
-                let spec = args.get(i).ok_or("--schedule needs a spec argument")?;
-                config.session.schedule = SchedulePolicy::parse_spec_with_files(spec)?;
             }
             "--profile" => {
                 i += 1;
@@ -404,29 +630,27 @@ fn serve(args: &[String]) -> Result<ExitCode, String> {
                 let profile = cuba::core::FrontierConfig::parse_profile(&text)?;
                 config.profiles.insert(profile.name.clone(), profile.config);
             }
-            "--profile-map" => {
-                i += 1;
-                let path = args
-                    .get(i)
-                    .cloned()
-                    .ok_or("--profile-map needs a file argument")?;
-                let map = load_profile_map(&path)?;
-                config.profile_map = Some(map.clone());
-                map_state = Some((map, path));
-            }
-            "--trace-out" => {
-                i += 1;
-                trace_out = Some(
-                    args.get(i)
-                        .cloned()
-                        .ok_or("--trace-out needs a file argument")?,
-                );
-            }
             other => return Err(format!("unknown option '{other}'")),
         }
         i += 1;
     }
-    let trace_out = start_trace_recording(trace_out.as_ref());
+    if let Some(schedule) = common.schedule {
+        config.session.schedule = schedule;
+    }
+    if let Some(threads) = common.threads {
+        config.session.budget.threads = threads;
+    }
+    if common.timeout.is_some() {
+        config.session.timeout = common.timeout;
+    }
+    config.state_dir = common.state_dir.clone();
+    let mut map_state: Option<(Arc<ProfileMap>, String)> = None;
+    if let Some(path) = common.profile_map.clone() {
+        let map = load_profile_map(&path)?;
+        config.profile_map = Some(map.clone());
+        map_state = Some((map, path));
+    }
+    let trace_out = start_trace_recording(common.trace_out.as_ref());
     let workers = config.workers;
     let server = cuba_serve::Server::bind(config).map_err(|e| format!("bind: {e}"))?;
     let addr = server.local_addr().map_err(|e| e.to_string())?;
@@ -444,6 +668,11 @@ fn serve(args: &[String]) -> Result<ExitCode, String> {
             map.stats().entries
         );
     }
+    // run() flushed every resident system's layer snapshots into the
+    // state dir before returning (the warm-start half of --state-dir).
+    if let Some(dir) = &common.state_dir {
+        println!("state saved to {dir}");
+    }
     finish_trace_recording(trace_out)?;
     println!("cuba-serve drained and shut down");
     Ok(ExitCode::SUCCESS)
@@ -456,12 +685,15 @@ fn serve(args: &[String]) -> Result<ExitCode, String> {
 fn bench(args: &[String]) -> Result<ExitCode, String> {
     let mut plan = cuba_bench::harness::BenchPlan::default();
     let mut compare_path: Option<String> = None;
-    let mut map_path: Option<String> = None;
-    let mut trace_out: Option<String> = None;
+    let mut common = CommonOpts::default();
     let mut gate = false;
     let mut thresholds = cuba_bench::compare::Thresholds::default();
     let mut i = 0;
     while i < args.len() {
+        if common.try_parse(args, &mut i, BENCH_COMMON)? {
+            i += 1;
+            continue;
+        }
         match args[i].as_str() {
             "--samples" => {
                 i += 1;
@@ -475,15 +707,6 @@ fn bench(args: &[String]) -> Result<ExitCode, String> {
                 i += 1;
                 plan.workers = parse_count(args.get(i), "--workers")?;
             }
-            "--threads" => {
-                i += 1;
-                plan.threads = parse_zero_ok(args.get(i), "--threads")?;
-            }
-            "--schedule" => {
-                i += 1;
-                let spec = args.get(i).ok_or("--schedule needs a spec argument")?;
-                plan.schedule = SchedulePolicy::parse_spec_with_files(spec)?;
-            }
             "--compare" => {
                 i += 1;
                 compare_path = Some(
@@ -493,7 +716,6 @@ fn bench(args: &[String]) -> Result<ExitCode, String> {
                 );
             }
             "--gate" => gate = true,
-            "--reduce" => plan.reduce = true,
             "--ratio" => {
                 i += 1;
                 thresholds.ratio = parse_float(args.get(i), "--ratio")?;
@@ -506,26 +728,33 @@ fn bench(args: &[String]) -> Result<ExitCode, String> {
                 i += 1;
                 thresholds.abs_floor_us = parse_float(args.get(i), "--floor-ms")? * 1000.0;
             }
-            "--profile-map" => {
+            "--from-snapshot" => {
                 i += 1;
-                map_path = Some(
-                    args.get(i)
-                        .cloned()
-                        .ok_or("--profile-map needs a file argument")?,
-                );
-            }
-            "--trace-out" => {
-                i += 1;
-                trace_out = Some(
-                    args.get(i)
-                        .cloned()
-                        .ok_or("--trace-out needs a file argument")?,
-                );
+                let path = args
+                    .get(i)
+                    .cloned()
+                    .ok_or("--from-snapshot needs a file argument")?;
+                let bytes = std::fs::read(&path).map_err(|e| format!("{path}: {e}"))?;
+                let (kind, fingerprint) = cuba::explore::snapshot::peek_header(&bytes)
+                    .map_err(|e| format!("{path}: {e}"))?;
+                plan.seed = Some(cuba_bench::harness::SnapshotSeed {
+                    kind,
+                    fingerprint,
+                    bytes: Arc::new(bytes),
+                });
             }
             other => return Err(format!("unknown option '{other}'")),
         }
         i += 1;
     }
+    if let Some(schedule) = common.schedule {
+        plan.schedule = schedule;
+    }
+    if let Some(threads) = common.threads {
+        plan.threads = threads;
+    }
+    plan.reduce = common.reduce;
+    let map_path = common.profile_map.clone();
     if gate && compare_path.is_none() {
         return Err("--gate needs --compare FILE to compare against".to_owned());
     }
@@ -538,7 +767,7 @@ fn bench(args: &[String]) -> Result<ExitCode, String> {
         None => None,
     };
 
-    let trace_out = start_trace_recording(trace_out.as_ref());
+    let trace_out = start_trace_recording(common.trace_out.as_ref());
     let run = cuba_bench::harness::run(&plan);
     finish_trace_recording(trace_out)?;
     // Persist what this run learned before any gate can fail the
@@ -848,8 +1077,13 @@ fn sole_path(args: &[String]) -> Result<&str, String> {
 
 fn parse_verify_options(args: &[String]) -> Result<VerifyOptions, String> {
     let mut options = VerifyOptions::default();
+    let mut common = CommonOpts::default();
     let mut i = 0;
     while i < args.len() {
+        if common.try_parse(args, &mut i, VERIFY_COMMON)? {
+            i += 1;
+            continue;
+        }
         match args[i].as_str() {
             "--engine" => {
                 i += 1;
@@ -871,36 +1105,9 @@ fn parse_verify_options(args: &[String]) -> Result<VerifyOptions, String> {
                     .and_then(|s| s.parse().ok())
                     .ok_or("bad --max-k value")?;
             }
-            "--timeout" => {
-                i += 1;
-                options.timeout = args
-                    .get(i)
-                    .and_then(|s| s.parse::<f64>().ok())
-                    .and_then(|s| Duration::try_from_secs_f64(s).ok())
-                    .map(Some)
-                    .ok_or("bad --timeout value (seconds)")?;
-            }
             "--parallel" => options.parallel = true,
-            "--threads" => {
-                i += 1;
-                options.threads = parse_zero_ok(args.get(i), "--threads")?;
-            }
-            "--schedule" => {
-                i += 1;
-                let spec = args.get(i).ok_or("--schedule needs a spec argument")?;
-                options.schedule = SchedulePolicy::parse_spec_with_files(spec)?;
-            }
             "--trace" => options.trace = true,
-            "--trace-out" => {
-                i += 1;
-                options.trace_out = Some(
-                    args.get(i)
-                        .cloned()
-                        .ok_or("--trace-out needs a file argument")?,
-                );
-            }
             "--json" => options.json = true,
-            "--reduce" => options.reduce = true,
             "--never-shared" => {
                 i += 1;
                 let q: u32 = args
@@ -915,18 +1122,28 @@ fn parse_verify_options(args: &[String]) -> Result<VerifyOptions, String> {
                 let property = parse_property(spec)?;
                 options.properties.push((spec.clone(), property));
             }
-            "--profile-map" => {
+            "--from-snapshot" => {
                 i += 1;
-                options.profile_map = Some(
+                options.from_snapshot = Some(
                     args.get(i)
                         .cloned()
-                        .ok_or("--profile-map needs a file argument")?,
+                        .ok_or("--from-snapshot needs a file argument")?,
                 );
             }
             other => return Err(format!("unknown option '{other}'")),
         }
         i += 1;
     }
+    if let Some(schedule) = common.schedule {
+        options.schedule = schedule;
+    }
+    if let Some(threads) = common.threads {
+        options.threads = threads;
+    }
+    options.timeout = common.timeout;
+    options.trace_out = common.trace_out;
+    options.reduce = common.reduce;
+    options.profile_map = common.profile_map;
     Ok(options)
 }
 
@@ -988,6 +1205,26 @@ fn verify(
     } else {
         Arc::new(SystemArtifacts::new())
     };
+    // Warm-start from a `cuba snapshot` file: the restored layers go
+    // into this invocation's artifacts, so every property replays the
+    // recorded bounds and only deeper ones are computed live. The
+    // restore verifies the file against the loaded (and, with
+    // --reduce, reduced) system before any layer is trusted.
+    if let Some(snap_path) = &options.from_snapshot {
+        let bytes = std::fs::read(snap_path).map_err(|e| format!("{snap_path}: {e}"))?;
+        let (kind, _) = cuba::explore::snapshot::peek_header(&bytes)
+            .map_err(|e| format!("{snap_path}: {e}"))?;
+        let explorer = SharedExplorer::restore(
+            cpds.clone(),
+            config.budget.clone(),
+            fingerprint(&cpds),
+            &bytes,
+        )
+        .map_err(|e| format!("{snap_path}: {e}"))?;
+        if artifacts.seed_explorer(kind, Arc::new(explorer)) {
+            eprintln!("snapshot {snap_path}: seeded the {} layers", kind.label());
+        }
+    }
     let many = properties.len() > 1;
     let trace_out = start_trace_recording(options.trace_out.as_ref());
     let mut exit = ExitCode::SUCCESS;

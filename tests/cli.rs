@@ -409,6 +409,83 @@ fn trace_out_writes_a_trace_that_trace_check_accepts() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// `cuba snapshot` → `verify --from-snapshot`: the offline produce /
+/// consume round trip yields identical verdicts with the recorded
+/// bounds replayed; mismatched, truncated, and missing files are
+/// rejected with the path named and no content echoed.
+#[test]
+fn snapshot_produce_consume_round_trip() {
+    let dir = std::env::temp_dir().join(format!("cuba-cli-snap-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let snap = dir.join("fig1.cubasnap");
+    let snap = snap.to_str().expect("utf-8 temp path");
+
+    let (stdout, _, code) = cuba(&[
+        "snapshot",
+        "samples/fig1.cpds",
+        "--out",
+        snap,
+        "--max-k",
+        "8",
+    ]);
+    assert_eq!(code, Some(0));
+    assert!(stdout.contains("snapshot written to"), "{stdout}");
+    assert!(stdout.contains("explicit"), "FCR holds on fig1: {stdout}");
+
+    // Consuming the snapshot seeds the shared exploration: identical
+    // verdict and bound, with replayed rounds in the record.
+    let (stdout, stderr, code) = cuba(&[
+        "verify",
+        "samples/fig1.cpds",
+        "--from-snapshot",
+        snap,
+        "--json",
+    ]);
+    assert_eq!(code, Some(0), "stderr: {stderr}");
+    assert!(stdout.contains("\"verdict\":\"safe\""));
+    assert!(stdout.contains("\"k\":5"));
+    assert!(stderr.contains("seeded the explicit layers"), "{stderr}");
+    assert!(stdout.contains("\"replayed\":true"), "{stdout}");
+
+    // A missing --out is rejected before the model file is touched.
+    let (_, stderr, code) = cuba(&["snapshot", "does-not-exist.cpds"]);
+    assert_eq!(code, Some(2));
+    assert!(stderr.contains("--out"));
+    assert!(!stderr.contains("does-not-exist"));
+
+    // A snapshot of a *different* system fails the structural
+    // identity check (same discipline as the cache's collision
+    // handling), with the offending file named.
+    let other = dir.join("fig2.cubasnap");
+    let other = other.to_str().expect("utf-8 temp path");
+    let (_, _, code) = cuba(&[
+        "snapshot",
+        "samples/fig2.bp",
+        "--out",
+        other,
+        "--max-k",
+        "8",
+    ]);
+    assert_eq!(code, Some(0));
+    let (_, stderr, code) = cuba(&["verify", "samples/fig1.cpds", "--from-snapshot", other]);
+    assert_eq!(code, Some(2));
+    assert!(stderr.contains("fingerprint mismatch"), "stderr: {stderr}");
+
+    // A truncated file is rejected with an offset-numbered error.
+    let bytes = std::fs::read(snap).expect("snapshot bytes");
+    let broken = dir.join("broken.cubasnap");
+    std::fs::write(&broken, &bytes[..20]).expect("truncate");
+    let (_, stderr, code) = cuba(&[
+        "verify",
+        "samples/fig1.cpds",
+        "--from-snapshot",
+        broken.to_str().expect("utf-8 temp path"),
+    ]);
+    assert_eq!(code, Some(2));
+    assert!(stderr.contains("snapshot offset"), "stderr: {stderr}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn timeout_yields_undetermined_exit_code() {
     // A zero-second deadline trips before the first round; the

@@ -35,6 +35,7 @@ fn plan(threads: usize) -> BenchPlan {
         reduce: false,
         threads,
         profile_map: None,
+        seed: None,
     }
 }
 
